@@ -1,0 +1,167 @@
+package partialdsm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"partialdsm/internal/bellmanford"
+)
+
+// bfNodes binds cluster node handles to the algorithm's Node interface.
+func bfNodes(c *Cluster) []bellmanford.Node {
+	nodes := make([]bellmanford.Node, c.NumNodes())
+	for i := range nodes {
+		nodes[i] = c.Node(i)
+	}
+	return nodes
+}
+
+// TestBellmanFordFigure8 is experiment E10/E11: the paper's §6 case
+// study on the Figure 8 network over a PRAM memory with the paper's
+// partial replication, checked against the sequential oracle, with the
+// execution validated as PRAM-consistent and efficient (Theorem 2).
+func TestBellmanFordFigure8(t *testing.T) {
+	g := bellmanford.Figure8Graph()
+	c := newCluster(t, Config{
+		Consistency: PRAM,
+		Placement:   bellmanford.Placement(g),
+		Seed:        1,
+		MaxLatency:  100 * time.Microsecond,
+	})
+	res, err := bellmanford.Run(bfNodes(c), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bellmanford.Shortest(g, 0)
+	if !reflect.DeepEqual(res.Dist, want) {
+		t.Fatalf("distributed = %v, oracle = %v", res.Dist, want)
+	}
+	c.Quiesce()
+	if err := c.VerifyWitness(); err != nil {
+		t.Errorf("PRAM witness violated: %v", err)
+	}
+	if err := c.VerifyEfficiency(); err != nil {
+		t.Errorf("efficiency violated: %v", err)
+	}
+}
+
+// TestBellmanFordRandomGraphsOnPRAM runs the case study on random
+// graphs and seeds — the weight-independent form of E11.
+func TestBellmanFordRandomGraphsOnPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		g := bellmanford.RandomGraph(rng, 7, 8, 12)
+		c, err := New(Config{
+			Consistency: PRAM,
+			Placement:   bellmanford.Placement(g),
+			Seed:        int64(trial),
+			MaxLatency:  150 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bellmanford.Run(bfNodes(c), g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bellmanford.Shortest(g, 0); !reflect.DeepEqual(res.Dist, want) {
+			t.Fatalf("trial %d: distributed = %v, oracle = %v", trial, res.Dist, want)
+		}
+		c.Quiesce()
+		if err := c.VerifyEfficiency(); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+		c.Close()
+	}
+}
+
+// TestBellmanFordOnStrongerMemories checks that the algorithm (designed
+// for PRAM) also runs on the stronger criteria, as the strength
+// hierarchy implies.
+func TestBellmanFordOnStrongerMemories(t *testing.T) {
+	g := bellmanford.Figure8Graph()
+	want := bellmanford.Shortest(g, 0)
+	for _, cons := range []Consistency{CausalPartial, CausalHoopAware, Sequential, Atomic} {
+		cons := cons
+		t.Run(string(cons), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, Config{
+				Consistency: cons,
+				Placement:   bellmanford.Placement(g),
+				Seed:        3,
+			})
+			res, err := bellmanford.Run(bfNodes(c), g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Dist, want) {
+				t.Fatalf("distributed = %v, oracle = %v", res.Dist, want)
+			}
+		})
+	}
+}
+
+// TestFigure9StepPattern is experiment E12: at every round k each
+// process reads predecessor estimates of round ≥ k. The protocol
+// correctly runs "if each process reads the values written by each of
+// its neighbors according to their program order" (§6.1) — verified by
+// the PRAM witness over the recorded trace plus the oracle agreement,
+// and here additionally by inspecting that every k_h value observed at
+// the barrier is non-decreasing per predecessor.
+func TestFigure9StepPattern(t *testing.T) {
+	g := bellmanford.Figure8Graph()
+	c := newCluster(t, Config{
+		Consistency: PRAM,
+		Placement:   bellmanford.Placement(g),
+		Seed:        4,
+		MaxLatency:  200 * time.Microsecond,
+	})
+	if _, err := bellmanford.Run(bfNodes(c), g, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatalf("per-sender program order violated: %v", err)
+	}
+	// Inspect the recorded history: per reader, the sequence of k_h
+	// values read must be non-decreasing for each h (rounds only move
+	// forward), which is the observable content of Figure 9's step
+	// pattern.
+	data, err := c.HistoryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty history")
+	}
+	// The witness already validates read-latest against apply order;
+	// non-decreasing k reads follow from per-sender order + the writer
+	// only incrementing k. A direct check via the exported history:
+	verifyMonotoneKReads(t, c, g)
+}
+
+func verifyMonotoneKReads(t *testing.T, c *Cluster, g *bellmanford.Graph) {
+	t.Helper()
+	h, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < h.NumProcs(); p++ {
+		last := make(map[string]int64)
+		for _, id := range h.Local(p) {
+			op := h.Op(id)
+			if !op.IsRead() || len(op.Var) == 0 || op.Var[0] != 'k' {
+				continue
+			}
+			if op.Val == Bottom {
+				continue
+			}
+			if prev, seen := last[op.Var]; seen && op.Val < prev {
+				t.Fatalf("process %d observed %s going backward: %d after %d", p, op.Var, op.Val, prev)
+			}
+			last[op.Var] = op.Val
+		}
+	}
+}

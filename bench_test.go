@@ -1,0 +1,228 @@
+// Benchmarks regenerating the paper's quantitative claims (see
+// DESIGN.md §3 and EXPERIMENTS.md):
+//
+//   - BenchmarkWrite / BenchmarkRead: per-operation cost of each
+//     consistency protocol (wait-free vs round-trip, §3.3's latency
+//     argument);
+//   - BenchmarkControlOverhead: experiment E9 — control bytes per
+//     operation as the ring system grows (causal grows Θ(N), PRAM
+//     flat);
+//   - BenchmarkHoopAwareAblation: experiment E15 — broadcast vs
+//     hoop-aware causal notifications vs PRAM on star and ring share
+//     graphs;
+//   - BenchmarkBellmanFord: experiment E10/E11 — the §6 case study at
+//     increasing network sizes.
+//
+// Custom metrics: ctrl-B/op (control bytes per operation) and msgs/op.
+package partialdsm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"partialdsm"
+	"partialdsm/internal/bellmanford"
+)
+
+// ringPlacement builds the adversarial ring share graph of E9.
+func ringPlacement(n int) [][]string {
+	out := make([][]string, n)
+	for p := 0; p < n; p++ {
+		out[p] = []string{fmt.Sprintf("x%d", p), fmt.Sprintf("x%d", (p+1)%n)}
+	}
+	return out
+}
+
+// starPlacement builds the hub-and-leaves share graph of E15.
+func starPlacement(n int) [][]string {
+	out := make([][]string, n)
+	for p := 1; p < n; p++ {
+		v := fmt.Sprintf("x%d", p-1)
+		out[0] = append(out[0], v)
+		out[p] = []string{v}
+	}
+	return out
+}
+
+// benchCluster builds an untraced cluster or fails the benchmark.
+func benchCluster(b *testing.B, cons partialdsm.Consistency, placement [][]string) *partialdsm.Cluster {
+	b.Helper()
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:  cons,
+		Placement:    placement,
+		Seed:         1,
+		DisableTrace: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+// reportTraffic attaches ctrl-bytes/op and msgs/op to the benchmark.
+func reportTraffic(b *testing.B, c *partialdsm.Cluster, ops int) {
+	c.Quiesce()
+	st := c.Stats()
+	b.ReportMetric(float64(st.CtrlBytes)/float64(ops), "ctrl-B/op")
+	b.ReportMetric(float64(st.Msgs)/float64(ops), "msgs/op")
+}
+
+// BenchmarkWrite measures the application-visible write latency of each
+// protocol on an 8-node full replication cluster: wait-free protocols
+// return immediately, Sequential and Atomic pay for ordering.
+func BenchmarkWrite(b *testing.B) {
+	placement := make([][]string, 8)
+	for i := range placement {
+		placement[i] = []string{"x"}
+	}
+	for _, cons := range partialdsm.Consistencies {
+		b.Run(string(cons), func(b *testing.B) {
+			c := benchCluster(b, cons, placement)
+			h := c.Node(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.Write("x", int64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportTraffic(b, c, b.N)
+		})
+	}
+}
+
+// BenchmarkRead measures read latency: local for everything except
+// Atomic, which pays a round trip to the primary.
+func BenchmarkRead(b *testing.B) {
+	placement := make([][]string, 8)
+	for i := range placement {
+		placement[i] = []string{"x"}
+	}
+	for _, cons := range partialdsm.Consistencies {
+		b.Run(string(cons), func(b *testing.B) {
+			c := benchCluster(b, cons, placement)
+			if err := c.Node(0).Write("x", 42); err != nil {
+				b.Fatal(err)
+			}
+			c.Quiesce()
+			h := c.Node(1) // non-primary reader
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Read("x"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkControlOverhead is experiment E9: write-only workload on a
+// ring of N nodes; compare the per-op control bytes across protocols
+// and sizes. The shape to observe: causal-full and causal-partial grow
+// with N, pram and slow stay flat.
+func BenchmarkControlOverhead(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		for _, cons := range []partialdsm.Consistency{
+			partialdsm.CausalFull, partialdsm.CausalPartial, partialdsm.PRAM, partialdsm.Slow,
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", cons, n), func(b *testing.B) {
+				c := benchCluster(b, cons, ringPlacement(n))
+				handles := make([]*partialdsm.NodeHandle, n)
+				for i := range handles {
+					handles[i] = c.Node(i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					node := i % n
+					v := fmt.Sprintf("x%d", node)
+					if err := handles[node].Write(v, int64(i)+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportTraffic(b, c, b.N)
+			})
+		}
+	}
+}
+
+// BenchmarkHoopAwareAblation is experiment E15: the message volume of
+// the three causal/PRAM designs on a star (most processes
+// x-irrelevant) versus a ring (everyone x-relevant).
+func BenchmarkHoopAwareAblation(b *testing.B) {
+	topologies := map[string][][]string{
+		"star9": starPlacement(9),
+		"ring9": ringPlacement(9),
+	}
+	for name, placement := range topologies {
+		for _, cons := range []partialdsm.Consistency{
+			partialdsm.CausalPartial, partialdsm.CausalHoopAware, partialdsm.PRAM,
+		} {
+			b.Run(fmt.Sprintf("%s/%s", name, cons), func(b *testing.B) {
+				c := benchCluster(b, cons, placement)
+				vars := c.Vars()
+				handles := make(map[string]*partialdsm.NodeHandle)
+				for _, v := range vars {
+					handles[v] = c.Node(c.Clique(v)[0])
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v := vars[i%len(vars)]
+					if err := handles[v].Write(v, int64(i)+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportTraffic(b, c, b.N)
+			})
+		}
+	}
+}
+
+// BenchmarkBellmanFord is experiment E10/E11 at growing graph sizes:
+// one full distributed shortest-path computation per iteration.
+func BenchmarkBellmanFord(b *testing.B) {
+	for _, n := range []int{5, 10, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := bellmanford.RandomGraph(rand.New(rand.NewSource(7)), n, 2*n, 9)
+			placement := bellmanford.Placement(g)
+			for i := 0; i < b.N; i++ {
+				c, err := partialdsm.New(partialdsm.Config{
+					Consistency:  partialdsm.PRAM,
+					Placement:    placement,
+					Seed:         1,
+					DisableTrace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes := make([]bellmanford.Node, c.NumNodes())
+				for j := range nodes {
+					nodes[j] = c.Node(j)
+				}
+				if _, err := bellmanford.Run(nodes, g, 0); err != nil {
+					b.Fatal(err)
+				}
+				c.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkQuiesce measures the settle time of a burst of updates on a
+// 16-node ring under PRAM.
+func BenchmarkQuiesce(b *testing.B) {
+	c := benchCluster(b, partialdsm.PRAM, ringPlacement(16))
+	h := c.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 16; k++ {
+			if err := h.Write("x0", int64(i*16+k)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Quiesce()
+	}
+}

@@ -1,0 +1,492 @@
+package partialdsm
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hoopPlacement is a 3-node topology with C(x) = {0,2} and node 1 on
+// the x-hoop [0,1,2] through y — the minimal setting where Theorem 1
+// makes node 1 x-relevant although it never accesses x.
+func hoopPlacement() [][]string {
+	return [][]string{{"x", "y"}, {"y"}, {"x", "y"}}
+}
+
+// fullPlacement replicates both variables everywhere.
+func fullPlacement(n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = []string{"x", "y"}
+	}
+	return out
+}
+
+// runWorkload drives every node with a seeded random mix of reads and
+// writes over its own variables, concurrently, then quiesces.
+func runWorkload(t *testing.T, c *Cluster, opsPerNode int, seed int64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < c.NumNodes(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			h := c.Node(i)
+			vars := c.VarsOf(i)
+			if len(vars) == 0 {
+				return
+			}
+			for k := 0; k < opsPerNode; k++ {
+				x := vars[rng.Intn(len(vars))]
+				if rng.Intn(2) == 0 {
+					if err := h.Write(x, int64(i)*1_000_000+int64(k)+1); err != nil {
+						t.Errorf("node %d write %s: %v", i, x, err)
+						return
+					}
+				} else {
+					if _, err := h.Read(x); err != nil {
+						t.Errorf("node %d read %s: %v", i, x, err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.Quiesce()
+}
+
+func newCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestBasicPropagationAllProtocols(t *testing.T) {
+	for _, cons := range Consistencies {
+		cons := cons
+		t.Run(string(cons), func(t *testing.T) {
+			c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(3), Seed: 1})
+			if err := c.Node(0).Write("x", 7); err != nil {
+				t.Fatal(err)
+			}
+			c.Quiesce()
+			for i := 0; i < 3; i++ {
+				v, err := c.Node(i).Read("x")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != 7 {
+					t.Errorf("node %d read x = %d, want 7", i, v)
+				}
+			}
+			// Unwritten variable reads ⊥.
+			v, err := c.Node(1).Read("y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != Bottom {
+				t.Errorf("unwritten y = %d, want Bottom", v)
+			}
+		})
+	}
+}
+
+func TestPartialReplicationPropagation(t *testing.T) {
+	for _, cons := range []Consistency{PRAM, Slow, CausalPartial, CausalHoopAware} {
+		cons := cons
+		t.Run(string(cons), func(t *testing.T) {
+			c := newCluster(t, Config{Consistency: cons, Placement: hoopPlacement(), Seed: 2})
+			if err := c.Node(0).Write("x", 11); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Node(1).Write("y", 22); err != nil {
+				t.Fatal(err)
+			}
+			c.Quiesce()
+			if v, _ := c.Node(2).Read("x"); v != 11 {
+				t.Errorf("node 2 x = %d, want 11", v)
+			}
+			if v, _ := c.Node(0).Read("y"); v != 22 {
+				t.Errorf("node 0 y = %d, want 22", v)
+			}
+		})
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	for _, cons := range Consistencies {
+		c := newCluster(t, Config{Consistency: cons, Placement: hoopPlacement(), Seed: 3})
+		if err := c.Node(1).Write("x", 1); err == nil {
+			t.Errorf("%s: node 1 must not write x (x ∉ X_1)", cons)
+		}
+		if _, err := c.Node(1).Read("x"); err == nil {
+			t.Errorf("%s: node 1 must not read x", cons)
+		}
+	}
+}
+
+func TestWitnessesUnderConcurrentWorkload(t *testing.T) {
+	placements := map[string][][]string{
+		"full": fullPlacement(4),
+		"hoop": hoopPlacement(),
+		"ring": {{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}},
+	}
+	for _, cons := range Consistencies {
+		for name, pl := range placements {
+			cons, name, pl := cons, name, pl
+			t.Run(string(cons)+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				c := newCluster(t, Config{
+					Consistency: cons,
+					Placement:   pl,
+					Seed:        99,
+					MaxLatency:  200 * time.Microsecond,
+				})
+				runWorkload(t, c, 25, 7)
+				if err := c.VerifyWitness(); err != nil {
+					t.Fatalf("witness violated: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestSlowUnderNonFIFO(t *testing.T) {
+	c := newCluster(t, Config{
+		Consistency: Slow,
+		Placement:   fullPlacement(4),
+		NonFIFO:     true,
+		MaxLatency:  300 * time.Microsecond,
+		Seed:        5,
+	})
+	runWorkload(t, c, 40, 13)
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatalf("slow witness violated under non-FIFO delivery: %v", err)
+	}
+}
+
+func TestCausalPartialUnderNonFIFO(t *testing.T) {
+	// The dependency lists must reconstruct causal order even when the
+	// network reorders freely.
+	for _, cons := range []Consistency{CausalPartial, CausalHoopAware} {
+		cons := cons
+		t.Run(string(cons), func(t *testing.T) {
+			c := newCluster(t, Config{
+				Consistency: cons,
+				Placement:   hoopPlacement(),
+				NonFIFO:     true,
+				MaxLatency:  300 * time.Microsecond,
+				Seed:        6,
+			})
+			runWorkload(t, c, 30, 17)
+			if err := c.VerifyWitness(); err != nil {
+				t.Fatalf("causal witness violated under non-FIFO delivery: %v", err)
+			}
+		})
+	}
+}
+
+func TestNonFIFORejectedForFIFOProtocols(t *testing.T) {
+	for _, cons := range []Consistency{PRAM, CausalFull} {
+		_, err := New(Config{Consistency: cons, Placement: fullPlacement(2), NonFIFO: true})
+		if err == nil {
+			t.Errorf("%s must reject NonFIFO", cons)
+		}
+	}
+}
+
+func TestCheckHistorySmallRuns(t *testing.T) {
+	// Each protocol's small recorded history must satisfy its own
+	// criterion under the exact checkers.
+	wantSatisfied := map[Consistency]string{
+		Atomic:           "sequential",
+		Sequential:       "sequential",
+		CausalFull:       "causal",
+		CausalPartial:    "causal",
+		CausalHoopAware:  "causal",
+		PRAM:             "pram",
+		Slow:             "slow",
+		CacheConsistency: "cache",
+	}
+	for cons, crit := range wantSatisfied {
+		cons, crit := cons, crit
+		t.Run(string(cons), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, Config{
+				Consistency: cons,
+				Placement:   fullPlacement(3),
+				Seed:        8,
+				MaxLatency:  100 * time.Microsecond,
+			})
+			runWorkload(t, c, 4, 21)
+			verdicts, err := c.CheckHistory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !verdicts[crit] {
+				json, _ := c.HistoryJSON()
+				t.Fatalf("history violates %s: verdicts=%v\n%s", crit, verdicts, json)
+			}
+		})
+	}
+}
+
+func TestEfficiencyTheorem2(t *testing.T) {
+	// PRAM and Slow: no information about x outside C(x), ever.
+	for _, cons := range []Consistency{PRAM, Slow} {
+		c := newCluster(t, Config{Consistency: cons, Placement: hoopPlacement(), Seed: 9})
+		runWorkload(t, c, 30, 31)
+		if err := c.VerifyEfficiency(); err != nil {
+			t.Errorf("%s: efficiency violated: %v", cons, err)
+		}
+	}
+}
+
+func TestInefficiencyTheorem1(t *testing.T) {
+	// Causal partial replication: node 1 ∉ C(x) must have handled
+	// information about x (it is x-relevant, on the hoop [0,1,2]).
+	c := newCluster(t, Config{Consistency: CausalPartial, Placement: hoopPlacement(), Seed: 10})
+	if err := c.Node(0).Write("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if err := c.VerifyEfficiency(); err == nil {
+		t.Error("causal-partial must violate the efficiency property on a hoop topology")
+	}
+	touch := c.Stats().Touch[1]
+	found := false
+	for _, v := range touch {
+		if v == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("node 1 touch set %v must include x", touch)
+	}
+}
+
+func TestHoopAwareRespectsRelevanceBound(t *testing.T) {
+	// Four nodes: 3 is x-irrelevant (pendant on node 2 via z, single
+	// anchor). Hoop-aware causal must keep x away from node 3;
+	// broadcast causal must not.
+	pl := [][]string{{"x", "y"}, {"y"}, {"x", "y", "z"}, {"z"}}
+	aware := newCluster(t, Config{Consistency: CausalHoopAware, Placement: pl, Seed: 11})
+	runWorkload(t, aware, 25, 41)
+	if err := aware.VerifyRelevanceBound(); err != nil {
+		t.Errorf("hoop-aware: relevance bound violated: %v", err)
+	}
+	if err := aware.VerifyWitness(); err != nil {
+		t.Errorf("hoop-aware: causal witness violated: %v", err)
+	}
+	if touched := touches(aware, 3, "x"); touched {
+		t.Error("hoop-aware: x-irrelevant node 3 handled information about x")
+	}
+
+	bcast := newCluster(t, Config{Consistency: CausalPartial, Placement: pl, Seed: 11})
+	runWorkload(t, bcast, 25, 41)
+	if touched := touches(bcast, 3, "x"); !touched {
+		t.Error("broadcast: node 3 should have been notified about x")
+	}
+}
+
+func touches(c *Cluster, node int, x string) bool {
+	for _, v := range c.Stats().Touch[node] {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCausalChainAcrossHoop(t *testing.T) {
+	// The Figure 3 scenario, live: w0(x)v then w0(y)v1; node 1 reads y,
+	// writes y'; node 2 reads y' then must see x=v under causal
+	// consistency (never ⊥). Repeated with random latency.
+	for trial := int64(0); trial < 10; trial++ {
+		for _, cons := range []Consistency{CausalPartial, CausalHoopAware, CausalFull} {
+			pl := hoopPlacement()
+			if cons == CausalFull {
+				pl = fullPlacement(3)
+			}
+			c, err := New(Config{
+				Consistency: cons, Placement: pl,
+				Seed: trial, MaxLatency: 300 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n0, n1, n2 := c.Node(0), c.Node(1), c.Node(2)
+			if err := n0.Write("x", 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := n0.Write("y", 200); err != nil {
+				t.Fatal(err)
+			}
+			// Node 1 polls until it sees y=200, then writes y=300.
+			for {
+				v, err := n1.Read("y")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v == 200 {
+					break
+				}
+				time.Sleep(10 * time.Microsecond)
+			}
+			if err := n1.Write("y", 300); err != nil {
+				t.Fatal(err)
+			}
+			// Node 2 polls until it sees y=300; causality then forces
+			// x=100 to be visible.
+			for {
+				v, err := n2.Read("y")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v == 300 {
+					break
+				}
+				time.Sleep(10 * time.Microsecond)
+			}
+			v, err := n2.Read("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 100 {
+				t.Errorf("%s trial %d: node 2 read x=%d after observing the chain, want 100",
+					cons, trial, v)
+			}
+			if err := c.VerifyWitness(); err != nil {
+				t.Errorf("%s trial %d: witness: %v", cons, trial, err)
+			}
+			c.Close()
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Consistency: PRAM}); err == nil {
+		t.Error("empty placement must be rejected")
+	}
+	if _, err := New(Config{Consistency: "bogus", Placement: fullPlacement(2)}); err == nil {
+		t.Error("unknown consistency must be rejected")
+	}
+	if _, err := New(Config{Consistency: PRAM, Placement: [][]string{{""}}}); err == nil {
+		t.Error("empty variable name must be rejected")
+	}
+}
+
+func TestDisableTrace(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), DisableTrace: true})
+	if err := c.Node(0).Write("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if err := c.VerifyWitness(); !errors.Is(err, ErrNoTrace) {
+		t.Errorf("VerifyWitness = %v, want ErrNoTrace", err)
+	}
+	if _, err := c.CheckHistory(); !errors.Is(err, ErrNoTrace) {
+		t.Errorf("CheckHistory = %v, want ErrNoTrace", err)
+	}
+	if _, err := c.HistoryJSON(); !errors.Is(err, ErrNoTrace) {
+		t.Errorf("HistoryJSON = %v, want ErrNoTrace", err)
+	}
+	if c.OpCount() != 0 {
+		t.Error("OpCount must be 0 without trace")
+	}
+}
+
+func TestTopologyQueries(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: hoopPlacement()})
+	if got := c.Clique("x"); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("C(x) = %v", got)
+	}
+	if got := c.XRelevant("x"); len(got) != 3 {
+		t.Errorf("x-relevant = %v, want all three", got)
+	}
+	if !c.Holds(0, "x") || c.Holds(1, "x") {
+		t.Error("Holds wrong")
+	}
+	if got := c.Vars(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Vars = %v", got)
+	}
+	if got := c.VarsOf(1); len(got) != 1 || got[0] != "y" {
+		t.Errorf("VarsOf(1) = %v", got)
+	}
+	if c.NumNodes() != 3 {
+		t.Error("NumNodes wrong")
+	}
+}
+
+func TestHistoryJSONExport(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), Seed: 12})
+	c.Node(0).Write("x", 5)
+	c.Quiesce()
+	c.Node(1).Read("x")
+	data, err := c.HistoryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"op":"w"`, `"var":"x"`, `"val":5`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s: %s", want, data)
+		}
+	}
+	if c.OpCount() != 2 {
+		t.Errorf("OpCount = %d, want 2", c.OpCount())
+	}
+}
+
+func TestSequentialReadYourWrites(t *testing.T) {
+	c := newCluster(t, Config{Consistency: Sequential, Placement: fullPlacement(3), Seed: 13})
+	n0 := c.Node(0)
+	for k := int64(1); k <= 20; k++ {
+		if err := n0.Write("x", k); err != nil {
+			t.Fatal(err)
+		}
+		v, err := n0.Read("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != k {
+			t.Fatalf("read-your-writes violated: wrote %d, read %d", k, v)
+		}
+	}
+}
+
+func TestAtomicLinearizableSingleVar(t *testing.T) {
+	c := newCluster(t, Config{Consistency: Atomic, Placement: fullPlacement(3), Seed: 14})
+	// After a write completes, every node must see it immediately —
+	// single authoritative copy.
+	if err := c.Node(1).Write("x", 77); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := c.Node(i).Read("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 77 {
+			t.Errorf("node %d read %d immediately after write, want 77", i, v)
+		}
+	}
+}
+
+func TestNodeHandleOutOfRange(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2)})
+	defer func() {
+		if recover() == nil {
+			t.Error("Node(99) must panic")
+		}
+	}()
+	c.Node(99)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runBF(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code := run(args, &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+func TestFigure8Run(t *testing.T) {
+	code, out, errOut := runBF(t, "-figure8", "-v")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, want := range []string{
+		"RESULT: distributed distances match the sequential oracle",
+		"consistency witness: ok",
+		"efficiency (Theorem 2)",
+		"graph: 5 vertices, 8 edges",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRandomGraphRun(t *testing.T) {
+	code, out, errOut := runBF(t, "-n", "6", "-extra", "4", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "RESULT: distributed distances match") {
+		t.Errorf("missing result line:\n%s", out)
+	}
+}
+
+func TestStrongerConsistency(t *testing.T) {
+	code, out, errOut := runBF(t, "-figure8", "-consistency", "sequential")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s\n%s", code, out, errOut)
+	}
+	if strings.Contains(out, "efficiency (Theorem 2)") {
+		t.Error("efficiency line must be PRAM-only")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	if code, _, _ := runBF(t, "-consistency", "bogus"); code != 2 {
+		t.Error("unknown consistency must exit 2")
+	}
+	if code, _, _ := runBF(t, "-n", "1"); code != 2 {
+		t.Error("tiny graph must exit 2")
+	}
+	if code, _, _ := runBF(t, "-nope"); code != 2 {
+		t.Error("bad flag must exit 2")
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCheck(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+const figure4JSON = `{"processes": [
+  [{"op":"w","var":"x","val":1},{"op":"r","var":"x","val":1},{"op":"w","var":"y","val":2}],
+  [{"op":"r","var":"y","val":2},{"op":"w","var":"y","val":3}],
+  [{"op":"r","var":"y","val":3},{"op":"r","var":"x","init":true}]
+]}`
+
+func TestCheckFigure4AllCriteria(t *testing.T) {
+	code, out, _ := runCheck(t, nil, figure4JSON)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (some criteria violated)\n%s", code, out)
+	}
+	for _, want := range []string{
+		"causal             VIOLATED",
+		"lazy-causal        consistent",
+		"pram               consistent",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckSingleCriterionWithWitness(t *testing.T) {
+	code, out, _ := runCheck(t, []string{"-criterion", "pram", "-witness"}, figure4JSON)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "S0:") || !strings.Contains(out, "w0(x)1") {
+		t.Errorf("witness serializations missing:\n%s", out)
+	}
+}
+
+func TestCheckFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.json")
+	if err := os.WriteFile(path, []byte(figure4JSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCheck(t, []string{"-criterion", "slow", path}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+}
+
+func TestCheckBadInput(t *testing.T) {
+	code, _, errOut := runCheck(t, nil, `{bogus`)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "dsm-check:") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestCheckUnknownCriterion(t *testing.T) {
+	code, _, _ := runCheck(t, []string{"-criterion", "bogus"}, figure4JSON)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestCheckTooManyFiles(t *testing.T) {
+	code, _, _ := runCheck(t, []string{"a", "b"}, "")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	code, _, _ := runCheck(t, []string{"/nonexistent/x.json"}, "")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestCheckBadFlag(t *testing.T) {
+	code, _, _ := runCheck(t, []string{"-nope"}, "")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const pramTraceJSON = `{
+ "consistency": "pram",
+ "placement": [["x"], ["x"]],
+ "history": {"processes": [
+   [{"op":"w","var":"x","val":1}],
+   [{"op":"r","var":"x","val":1}]
+ ]},
+ "logs": [
+  [{"writer":0,"wseq":0,"var":"x","val":1}],
+  [{"writer":0,"wseq":0,"var":"x","val":1},{"read":true,"var":"x","val":1}]
+ ]
+}`
+
+func TestTraceModeAccepts(t *testing.T) {
+	code, out, errOut := runCheck(t, []string{"-trace"}, pramTraceJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "witness: ok") {
+		t.Errorf("output missing witness ok:\n%s", out)
+	}
+	if !strings.Contains(out, "consistency=pram") {
+		t.Errorf("output missing trace metadata:\n%s", out)
+	}
+}
+
+func TestTraceModeDetectsViolation(t *testing.T) {
+	bad := strings.Replace(pramTraceJSON, `{"read":true,"var":"x","val":1}`, `{"read":true,"var":"x","val":9}`, 1)
+	code, out, _ := runCheck(t, []string{"-trace"}, bad)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "witness: VIOLATED") {
+		t.Errorf("violation not reported:\n%s", out)
+	}
+}
+
+func TestTraceModeBadInput(t *testing.T) {
+	if code, _, _ := runCheck(t, []string{"-trace"}, `{nope`); code != 2 {
+		t.Fatal("bad trace input must exit 2")
+	}
+	if code, _, _ := runCheck(t, []string{"-trace"},
+		`{"consistency":"pram","placement":[["x"]],"history":{"bad":1},"logs":[[]]}`); code != 2 {
+		t.Fatal("bad embedded history must exit 2")
+	}
+}

@@ -1,0 +1,118 @@
+// Command dsm-experiments regenerates the paper's evaluation artifacts
+// (Figures 1–9, Theorems 1–2, and the quantitative §3.3 experiments)
+// and prints one self-checking report per experiment.
+//
+// Usage:
+//
+//	dsm-experiments [-exp all|fig1…fig6|thm1|thm2|scaling|degree|bellmanford|hierarchy|ablation|openquestion|separation|latency] [-seed N]
+//
+// The process exits non-zero if any selected experiment fails its
+// checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"partialdsm/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsm-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run (all, fig1…fig6, thm1, thm2, scaling, degree, bellmanford, hierarchy, ablation, openquestion, separation, latency)")
+	seed := fs.Int64("seed", 1, "seed for randomized experiments")
+	sizes := fs.String("sizes", "4,8,16,24", "comma-separated ring sizes for the scaling sweep")
+	ops := fs.Int("ops", 30, "operations per node for workload-driven experiments")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var reports []experiments.Report
+	switch strings.ToLower(*exp) {
+	case "all":
+		reports = experiments.All(*seed)
+	case "fig1":
+		reports = []experiments.Report{experiments.Fig1()}
+	case "fig2":
+		reports = []experiments.Report{experiments.Fig2()}
+	case "fig3":
+		reports = []experiments.Report{experiments.Fig3()}
+	case "fig4":
+		reports = []experiments.Report{experiments.Fig4()}
+	case "fig5":
+		reports = []experiments.Report{experiments.Fig5()}
+	case "fig6":
+		reports = []experiments.Report{experiments.Fig6()}
+	case "thm1":
+		reports = []experiments.Report{experiments.Thm1(*seed)}
+	case "thm2":
+		reports = []experiments.Report{experiments.Thm2(*seed)}
+	case "scaling":
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			fmt.Fprintf(stderr, "dsm-experiments: %v\n", err)
+			return 2
+		}
+		rep, _ := experiments.Scaling(parsed, *ops, *seed)
+		reports = []experiments.Report{rep}
+	case "degree":
+		reports = []experiments.Report{experiments.DegreeSweep(12, []int{2, 4, 8, 12}, *ops, *seed)}
+	case "bellmanford", "fig8":
+		reports = []experiments.Report{experiments.BellmanFordFig8(*seed)}
+	case "hierarchy":
+		reports = []experiments.Report{experiments.Hierarchy(*seed, 150)}
+	case "ablation":
+		reports = []experiments.Report{experiments.Ablation(*ops, *seed)}
+	case "openquestion", "cache":
+		reports = []experiments.Report{experiments.OpenQuestion(*seed)}
+	case "separation":
+		reports = []experiments.Report{experiments.Separation(*seed)}
+	case "latency":
+		reports = []experiments.Report{experiments.Latency(*seed)}
+	default:
+		fmt.Fprintf(stderr, "dsm-experiments: unknown experiment %q\n", *exp)
+		return 2
+	}
+
+	failed := false
+	for _, r := range reports {
+		fmt.Fprint(stdout, r)
+		fmt.Fprintln(stdout)
+		if !r.Pass {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// parseSizes parses the -sizes flag.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 2 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

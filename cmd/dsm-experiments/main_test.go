@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code := run(args, &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+func TestFigureExperiments(t *testing.T) {
+	for _, exp := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6"} {
+		code, out, errOut := runExp(t, "-exp", exp)
+		if code != 0 {
+			t.Errorf("%s: exit = %d\n%s\n%s", exp, code, out, errOut)
+		}
+		if !strings.Contains(out, "[PASS]") {
+			t.Errorf("%s: no PASS marker:\n%s", exp, out)
+		}
+	}
+}
+
+func TestTheoremExperiments(t *testing.T) {
+	for _, exp := range []string{"thm1", "thm2"} {
+		code, out, _ := runExp(t, "-exp", exp, "-seed", "4")
+		if code != 0 {
+			t.Errorf("%s: exit = %d\n%s", exp, code, out)
+		}
+	}
+}
+
+func TestScalingWithCustomSizes(t *testing.T) {
+	code, out, _ := runExp(t, "-exp", "scaling", "-sizes", "4,8", "-ops", "15")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "E9") {
+		t.Errorf("missing E9 header:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if code, _, _ := runExp(t, "-exp", "nope"); code != 2 {
+		t.Error("unknown experiment must exit 2")
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	if code, _, _ := runExp(t, "-exp", "scaling", "-sizes", "1,x"); code != 2 {
+		t.Error("bad sizes must exit 2")
+	}
+	if code, _, _ := runExp(t, "-exp", "scaling", "-sizes", ""); code != 2 {
+		t.Error("empty sizes must exit 2")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runExp(t, "-bogus"); code != 2 {
+		t.Error("bad flag must exit 2")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 4, 8 ,16")
+	if err != nil || len(got) != 3 || got[0] != 4 || got[2] != 16 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,91 @@
+// Command dsm-sharegraph analyzes a variable distribution: it builds
+// the share graph, lists the replica cliques C(x), enumerates x-hoops,
+// and reports the x-relevant process sets of Theorem 1.
+//
+// The placement is read as JSON from a file or stdin:
+//
+//	{"processes": [["x","y"], ["y"], ["x","y"]]}
+//
+// Usage:
+//
+//	dsm-sharegraph [-var x] [-hoops N] [-dot] [file]
+//
+// -dot prints the Graphviz rendering instead of the analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"partialdsm/internal/sharegraph"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsm-sharegraph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	onlyVar := fs.String("var", "", "analyze a single variable (default: all)")
+	hoopLimit := fs.Int("hoops", 20, "maximum hoops to enumerate per variable (0 = unlimited)")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT of the share graph and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "dsm-sharegraph: at most one input file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "dsm-sharegraph: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	pl, err := sharegraph.ParsePlacement(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsm-sharegraph: %v\n", err)
+		return 2
+	}
+	if *dot {
+		fmt.Fprint(stdout, pl.DOT())
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "placement (%d processes, %d variables):\n%s\n", pl.NumProcs(), len(pl.Vars()), pl)
+	vars := pl.Vars()
+	if *onlyVar != "" {
+		vars = []string{*onlyVar}
+	}
+	for _, x := range vars {
+		cx := pl.Clique(x)
+		rel := pl.XRelevant(x)
+		fmt.Fprintf(stdout, "variable %s:\n", x)
+		fmt.Fprintf(stdout, "  C(%s)        = %v\n", x, cx)
+		fmt.Fprintf(stdout, "  %s-relevant  = %v", x, rel)
+		if len(rel) > len(cx) {
+			fmt.Fprintf(stdout, "   ← %d process(es) outside C(%s) must carry %s-information under causal consistency",
+				len(rel)-len(cx), x, x)
+		}
+		fmt.Fprintln(stdout)
+		hoops := pl.Hoops(x, *hoopLimit)
+		if len(hoops) == 0 {
+			fmt.Fprintf(stdout, "  no %s-hoops\n", x)
+			continue
+		}
+		fmt.Fprintf(stdout, "  %s-hoops (showing up to %d):\n", x, *hoopLimit)
+		for _, h := range hoops {
+			fmt.Fprintf(stdout, "    %v\n", h.Path)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSG(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+const hoopJSON = `{"processes": [["x","y"], ["y"], ["x","y"]]}`
+
+func TestSharegraphAnalysis(t *testing.T) {
+	code, out, _ := runSG(t, nil, hoopJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"C(x)        = [0 2]",
+		"x-relevant  = [0 1 2]",
+		"1 process(es) outside C(x)",
+		"[0 1 2]", // the hoop path
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSharegraphSingleVar(t *testing.T) {
+	code, out, _ := runSG(t, []string{"-var", "y"}, hoopJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out, "variable x:") {
+		t.Errorf("x should be excluded:\n%s", out)
+	}
+	if !strings.Contains(out, "variable y:") {
+		t.Errorf("y missing:\n%s", out)
+	}
+}
+
+func TestSharegraphDOT(t *testing.T) {
+	code, out, _ := runSG(t, []string{"-dot"}, hoopJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "graph sharegraph {") || !strings.Contains(out, "p0 -- p1") {
+		t.Errorf("DOT output wrong:\n%s", out)
+	}
+}
+
+func TestSharegraphHoopLimit(t *testing.T) {
+	code, out, _ := runSG(t, []string{"-hoops", "1", "-var", "x"}, hoopJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if got := strings.Count(out, "\n    ["); got != 1 {
+		t.Errorf("hoop limit ignored, got %d hoops:\n%s", got, out)
+	}
+}
+
+func TestSharegraphBadInput(t *testing.T) {
+	if code, _, _ := runSG(t, nil, `{oops`); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code, _, _ := runSG(t, []string{"a", "b"}, ""); code != 2 {
+		t.Fatal("two files must be rejected")
+	}
+	if code, _, _ := runSG(t, []string{"/no/such/file"}, ""); code != 2 {
+		t.Fatal("missing file must be rejected")
+	}
+	if code, _, _ := runSG(t, []string{"-bogus"}, ""); code != 2 {
+		t.Fatal("bad flag must be rejected")
+	}
+}

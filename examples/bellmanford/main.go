@@ -1,0 +1,67 @@
+// Bellman-Ford: the paper's §6 case study end to end. One application
+// process per packet-switching node computes least-cost routes by
+// reading and writing shared variables that are replicated only on the
+// graph neighbourhood — partial replication mirroring the network
+// topology, over PRAM consistency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"partialdsm"
+	"partialdsm/internal/bellmanford"
+)
+
+func main() {
+	// The paper's Figure 8 network (5 packet-switching nodes).
+	g := bellmanford.Figure8Graph()
+	placement := bellmanford.Placement(g)
+
+	fmt.Println("variable distribution (paper §6.1): X_i holds x_h, k_h for i and its predecessors")
+	for i, vars := range placement {
+		fmt.Printf("  X_%d = %v\n", i+1, vars) // print 1-based like the paper
+	}
+
+	cluster, err := partialdsm.New(partialdsm.Config{
+		Consistency: partialdsm.PRAM,
+		Placement:   placement,
+		Seed:        7,
+		MaxLatency:  200 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	nodes := make([]bellmanford.Node, cluster.NumNodes())
+	for i := range nodes {
+		nodes[i] = cluster.Node(i)
+	}
+	res, err := bellmanford.Run(nodes, g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := bellmanford.Shortest(g, 0)
+
+	fmt.Println("\nshortest paths from node 1:")
+	for v := range res.Dist {
+		fmt.Printf("  node %d: distributed %d, sequential oracle %d\n", v+1, res.Dist[v], oracle[v])
+		if res.Dist[v] != oracle[v] {
+			log.Fatalf("mismatch at node %d", v+1)
+		}
+	}
+
+	cluster.Quiesce()
+	if err := cluster.VerifyWitness(); err != nil {
+		log.Fatalf("PRAM witness violated: %v", err)
+	}
+	if err := cluster.VerifyEfficiency(); err != nil {
+		log.Fatalf("efficiency violated: %v", err)
+	}
+	st := cluster.Stats()
+	fmt.Printf("\nconverged in %d rounds; %d messages, %d control bytes\n",
+		res.Rounds, st.Msgs, st.CtrlBytes)
+	fmt.Println("execution PRAM-consistent and efficient: PRAM suffices for Bellman-Ford (paper §6)")
+}

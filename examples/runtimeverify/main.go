@@ -1,0 +1,85 @@
+// Runtime verification: attach an online consistency monitor to a
+// running cluster, inject a deterministic network partition with
+// PauseLink, and export the execution as a portable trace snapshot for
+// offline auditing with dsm-check -trace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"partialdsm"
+)
+
+func main() {
+	cluster, err := partialdsm.New(partialdsm.Config{
+		Consistency: partialdsm.PRAM,
+		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}},
+		Seed:        17,
+		LiveVerify:  true, // O(1)-per-event online PRAM witness
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	n0, n1, n2 := cluster.Node(0), cluster.Node(1), cluster.Node(2)
+
+	// Withhold the direct link 0→2 and push a dependency chain through
+	// node 1 — the adversarial schedule of the paper's Figure 3.
+	cluster.PauseLink(0, 2)
+	must(n0.Write("x", 1))
+	must(n0.Write("y", 2))
+	waitFor(n1, "y", 2)
+	must(n1.Write("y", 3))
+	waitFor(n2, "y", 3)
+
+	// Node 2 has seen node 1's y' but not node 0's x: stale under
+	// causal consistency, fine under PRAM.
+	v, err := n2.Read("x")
+	must(err)
+	fmt.Printf("node 2 read x = %v after observing y' (⊥ = %v)\n", v, v == partialdsm.Bottom)
+
+	cluster.ResumeLink(0, 2)
+	cluster.Quiesce()
+
+	// The online monitor saw every event live and found no PRAM
+	// violation — even across the partition.
+	if err := cluster.LiveError(); err != nil {
+		log.Fatalf("online monitor: %v", err)
+	}
+	fmt.Println("online PRAM monitor: no violation across the whole run")
+
+	// Post-hoc, the exact checkers prove the run was NOT causal:
+	verdicts, err := cluster.CheckHistory()
+	must(err)
+	fmt.Printf("exact checkers: pram=%v causal=%v (the protocols differ observably)\n",
+		verdicts["pram"], verdicts["causal"])
+
+	// Export the execution for offline auditing.
+	snapshot, err := cluster.ExportTrace()
+	must(err)
+	path := "trace.json"
+	must(os.WriteFile(path, snapshot, 0o644))
+	fmt.Printf("trace exported to %s (%d bytes) — verify with: go run ./cmd/dsm-check -trace %s\n",
+		path, len(snapshot), path)
+}
+
+func waitFor(n *partialdsm.NodeHandle, x string, want int64) {
+	for {
+		v, err := n.Read(x)
+		must(err)
+		if v == want {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Share-graph walkthrough: Theorem 1 on a concrete topology. Builds a
+// placement, enumerates hoops, computes the x-relevant sets, constructs
+// the canonical dependency-chain history of Figure 3, and shows how the
+// consistency checkers classify it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/model"
+	"partialdsm/internal/sharegraph"
+)
+
+func main() {
+	// Six processes. C(x) = {0, 5}; a chain of processes 1..4 connects
+	// them through link variables, and process 2 additionally dangles a
+	// pendant neighbour that is NOT on any hoop.
+	pl := sharegraph.NewPlacement(6).
+		Assign(0, "x", "a").
+		Assign(1, "a", "b").
+		Assign(2, "b", "c", "p").
+		Assign(3, "c", "x").
+		Assign(4, "p"). // pendant: single anchor, x-irrelevant
+		Assign(5, "x")
+	fmt.Println("placement:")
+	fmt.Print(pl)
+
+	fmt.Println("\nshare graph (DOT):")
+	fmt.Print(pl.DOT())
+
+	fmt.Printf("\nC(x) = %v\n", pl.Clique("x"))
+	fmt.Println("x-hoops:")
+	for _, h := range pl.Hoops("x", 0) {
+		fmt.Printf("  %v\n", h.Path)
+	}
+	rel := pl.XRelevant("x")
+	fmt.Printf("x-relevant processes (Theorem 1): %v\n", rel)
+	fmt.Println("  → processes 1 and 2 must carry x-information under causal consistency")
+	fmt.Println("  → process 4 (pendant) and nobody else stays clean")
+
+	// Build the Figure 3 dependency chain along the hoop [0,1,2,3] and
+	// classify the two endings.
+	hoop := sharegraph.Hoop{Var: "x", Path: []int{0, 1, 2, 3}}
+	fresh, err := pl.DependencyChainHistory(sharegraph.ChainSpec{Hoop: hoop})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stale, err := pl.DependencyChainHistory(sharegraph.ChainSpec{Hoop: hoop, FinalReadsStale: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncanonical dependency-chain history (final read returns the chained value):")
+	fmt.Print(fresh)
+	report(fresh)
+
+	fmt.Println("\nsame chain, but the final read returns ⊥ (the causally forbidden outcome):")
+	fmt.Print(stale)
+	report(stale)
+
+	fmt.Println("\nconclusion: causal consistency forces the chain's information through")
+	fmt.Println("processes 1 and 2; PRAM does not — hence PRAM admits efficient partial")
+	fmt.Println("replication (paper, Theorems 1 and 2).")
+}
+
+func report(h *model.History) {
+	verdicts, err := check.CheckAll(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range check.Criteria {
+		fmt.Printf("  %-18s %v\n", c, verdicts[c])
+	}
+}

@@ -1,0 +1,198 @@
+package bellmanford
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestShortestOracleFigure8(t *testing.T) {
+	g := Figure8Graph()
+	dist := Shortest(g, 0)
+	// With the documented weight assignment:
+	// d(0)=0, d(2)=1 (0→2), d(1)=2 (0→2→1), d(3)=3 (0→2→3), d(4)=4 (0→2→4).
+	want := []int64{0, 2, 1, 3, 4}
+	if !reflect.DeepEqual(dist, want) {
+		t.Fatalf("Shortest(figure8) = %v, want %v", dist, want)
+	}
+}
+
+func TestShortestUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	dist := Shortest(g, 0)
+	if dist[2] != Inf {
+		t.Errorf("unreachable vertex distance = %d, want Inf", dist[2])
+	}
+	if dist[0] != 0 || dist[1] != 5 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestShortestPicksCheaperLongPath(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 3, 100)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	if dist := Shortest(g, 0); dist[3] != 3 {
+		t.Errorf("dist[3] = %d, want 3", dist[3])
+	}
+}
+
+func TestPlacementMirrorsTopology(t *testing.T) {
+	g := Figure8Graph()
+	pl := Placement(g)
+	// Paper §6.1 (0-based): X_0={x0,k0}, X_1={x0,x1,x2,k0,k1,k2},
+	// X_2={x0,x1,x2,…}, X_3={x1,x2,x3,…}, X_4={x2,x3,x4,…}.
+	wantVars := map[int][]int{
+		0: {0},
+		1: {1, 0, 2},
+		2: {2, 0, 1},
+		3: {3, 1, 2},
+		4: {4, 2, 3},
+	}
+	for i, hs := range wantVars {
+		want := map[string]bool{}
+		for _, h := range hs {
+			want[XVar(h)] = true
+			want[KVar(h)] = true
+		}
+		if len(pl[i]) != len(want) {
+			t.Errorf("X_%d = %v, want vars of %v", i, pl[i], hs)
+			continue
+		}
+		for _, v := range pl[i] {
+			if !want[v] {
+				t.Errorf("X_%d contains unexpected %s", i, v)
+			}
+		}
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, f := range []func(){
+		func() { NewGraph(0) },
+		func() { g.AddEdge(0, 9, 1) },
+		func() { g.AddEdge(0, 1, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomGraphConnectedFromSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := RandomGraph(rng, 8, 5, 10)
+		dist := Shortest(g, 0)
+		for v, d := range dist {
+			if d == Inf {
+				t.Fatalf("trial %d: vertex %d unreachable from source", trial, v)
+			}
+		}
+	}
+}
+
+// fakeNode runs the algorithm against a plain map — a degenerate
+// single-address-space "memory" for unit-testing the vertex logic
+// without a cluster. Sequential execution is emulated by running
+// vertices round-robin via the scheduler; safe because fakeStore
+// serializes with a mutex and the barrier only waits on values that
+// will eventually be written.
+type fakeStore struct {
+	mu   chan struct{}
+	vals map[string]int64
+}
+
+func newFakeStore() *fakeStore {
+	s := &fakeStore{mu: make(chan struct{}, 1), vals: make(map[string]int64)}
+	s.mu <- struct{}{}
+	return s
+}
+
+type fakeNode struct{ s *fakeStore }
+
+func (n fakeNode) Write(x string, v int64) error {
+	<-n.s.mu
+	n.s.vals[x] = v
+	n.s.mu <- struct{}{}
+	return nil
+}
+
+func (n fakeNode) Read(x string) (int64, error) {
+	<-n.s.mu
+	v, ok := n.s.vals[x]
+	n.s.mu <- struct{}{}
+	if !ok {
+		// Match the DSM's ⊥ for never-written variables: a negative
+		// sentinel, so round barriers keep waiting (k ≥ 0) and estimate
+		// reads are clamped to Inf by the algorithm's defensive check.
+		return math.MinInt64, nil
+	}
+	return v, nil
+}
+
+func TestRunOnAtomicFake(t *testing.T) {
+	// The algorithm must of course also work on a stronger (atomic)
+	// memory; the PRAM cluster runs are exercised in the root package
+	// and cmd tests.
+	g := Figure8Graph()
+	store := newFakeStore()
+	nodes := make([]Node, g.N())
+	for i := range nodes {
+		nodes[i] = fakeNode{s: store}
+	}
+	res, err := Run(nodes, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Shortest(g, 0); !reflect.DeepEqual(res.Dist, want) {
+		t.Fatalf("distributed = %v, oracle = %v", res.Dist, want)
+	}
+	if res.Rounds != g.N() {
+		t.Errorf("rounds = %d, want %d", res.Rounds, g.N())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := Figure8Graph()
+	if _, err := Run(nil, g, 0); err == nil {
+		t.Error("node count mismatch must error")
+	}
+	nodes := make([]Node, g.N())
+	store := newFakeStore()
+	for i := range nodes {
+		nodes[i] = fakeNode{s: store}
+	}
+	if _, err := Run(nodes, g, 99); err == nil {
+		t.Error("bad source must error")
+	}
+}
+
+func TestRunRandomGraphsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := RandomGraph(rng, 6, 6, 9)
+		store := newFakeStore()
+		nodes := make([]Node, g.N())
+		for i := range nodes {
+			nodes[i] = fakeNode{s: store}
+		}
+		res, err := Run(nodes, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Shortest(g, 0); !reflect.DeepEqual(res.Dist, want) {
+			t.Fatalf("trial %d: distributed = %v, oracle = %v", trial, res.Dist, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"partialdsm/internal/model"
+	"partialdsm/internal/workload"
+)
+
+// BenchmarkCheckFigures measures the exact checkers on the paper's
+// figure histories (the workloads of experiments E4–E6).
+func BenchmarkCheckFigures(b *testing.B) {
+	histories := map[string]*model.History{
+		"fig4": model.Figure4History(),
+		"fig5": model.Figure5History(),
+		"fig6": model.Figure6History(),
+	}
+	for name, h := range histories {
+		for _, c := range []Criterion{Causal, LazyCausal, LazySemiCausal, PRAM} {
+			b.Run(fmt.Sprintf("%s/%s", name, c), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Check(h, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCheckRandom measures the exact checkers on random histories
+// of growing size (the exponential search with pruning/memoization).
+func BenchmarkCheckRandom(b *testing.B) {
+	for _, ops := range []int{3, 4, 5} {
+		for _, c := range []Criterion{Causal, PRAM, Sequential} {
+			b.Run(fmt.Sprintf("ops=%dx3/%s", ops, c), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				h := workload.SequentialHistory(rng, 3, 2, 3*ops)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Check(h, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWitnessPRAM measures the polynomial witness validator on
+// synthetic logs of growing size (what protocol verification costs).
+func BenchmarkWitnessPRAM(b *testing.B) {
+	for _, events := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			const procs = 8
+			logs := make([][]Event, procs)
+			for p := 0; p < procs; p++ {
+				for k := 0; k < events/procs; k++ {
+					writer := k % procs
+					logs[p] = append(logs[p], Event{
+						Writer: writer, WSeq: k / procs,
+						Var: "x", Val: int64(writer*1_000_000 + k/procs),
+					})
+					logs[p] = append(logs[p], Event{
+						IsRead: true, Var: "x", Val: int64(writer*1_000_000 + k/procs),
+					})
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := WitnessPRAM(procs, logs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCausalOrder measures the bitset transitive closure that
+// underlies causal checking and the causal witness.
+func BenchmarkCausalOrder(b *testing.B) {
+	for _, total := range []int{60, 240, 960} {
+		b.Run(fmt.Sprintf("ops=%d", total), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			h := workload.SequentialHistory(rng, 6, 4, total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.CausalOrder(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package check
+
+import (
+	"testing"
+
+	"partialdsm/internal/model"
+)
+
+func TestCacheAcceptsPerVariableSC(t *testing.T) {
+	// Per-variable projections are SC even though the global history is
+	// not sequentially consistent (cross-variable inversion).
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		Read(1, "y", 2).
+		ReadInit(1, "x"). // sees y's write but not x's: not SC, not PRAM
+		MustHistory()
+	got, err := CheckAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[Cache] {
+		t.Error("cache must accept cross-variable reordering")
+	}
+	if got[Sequential] || got[PRAM] {
+		t.Error("sequential and PRAM must reject this history")
+	}
+}
+
+func TestCacheRejectsPerVariableViolation(t *testing.T) {
+	// Two observers see two writes to the SAME variable in opposite
+	// orders: the per-variable projection is not SC.
+	h := model.NewBuilder(4).
+		Write(0, "x", 1).
+		Write(1, "x", 2).
+		Read(2, "x", 1).
+		Read(2, "x", 2).
+		Read(3, "x", 2).
+		Read(3, "x", 1).
+		MustHistory()
+	got, err := CheckAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[Cache] {
+		t.Error("cache must reject opposite observation orders on one variable")
+	}
+	// PRAM accepts it (different writers, no cross-writer order).
+	if !got[PRAM] {
+		t.Error("PRAM should accept it — cache and PRAM are incomparable")
+	}
+}
+
+func TestCacheIncomparableWithPRAM(t *testing.T) {
+	// Direction 1: PRAM yes, cache no — the history above.
+	// Direction 2: cache yes, PRAM no — the first test's history.
+	// Both covered; here assert the Implications DAG has no edge
+	// between them in either direction.
+	for _, imp := range Implications {
+		if (imp[0] == PRAM && imp[1] == Cache) || (imp[0] == Cache && imp[1] == PRAM) {
+			t.Errorf("implications must not relate PRAM and cache: %v", imp)
+		}
+	}
+}
+
+func TestCacheSerializationsReturned(t *testing.T) {
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		Write(1, "y", 2).
+		MustHistory()
+	res, err := Check(h, Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("simple history rejected")
+	}
+	// One serialization per variable (x and y).
+	if len(res.Serializations) != 2 {
+		t.Errorf("got %d per-variable serializations", len(res.Serializations))
+	}
+}
+
+func TestCacheRejectsOwnOrderViolationOnVariable(t *testing.T) {
+	// A reader sees one writer's x-writes out of program order.
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "x", 2).
+		Read(1, "x", 2).
+		Read(1, "x", 1).
+		MustHistory()
+	res, err := Check(h, Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent {
+		t.Error("cache must respect program order within one variable")
+	}
+}
+
+func TestWitnessCacheAccepts(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(1, 0, "x", 2), r("x", 2)},
+		{w(0, 0, "x", 1), w(1, 0, "x", 2)},
+	}
+	if err := WitnessCache(2, logs); err != nil {
+		t.Fatalf("valid logs rejected: %v", err)
+	}
+}
+
+func TestWitnessCacheRejectsDivergentOrders(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(1, 0, "x", 2)},
+		{w(1, 0, "x", 2), w(0, 0, "x", 1)},
+	}
+	if err := WitnessCache(2, logs); err == nil {
+		t.Fatal("divergent per-variable apply orders not detected")
+	}
+}
+
+func TestWitnessCacheAllowsCrossVariableDivergence(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "y", 2)},
+		{w(0, 1, "y", 2), w(0, 0, "x", 1)}, // different vars: fine
+	}
+	if err := WitnessCache(2, logs); err != nil {
+		t.Fatalf("cross-variable divergence wrongly rejected: %v", err)
+	}
+}
+
+func TestWitnessCacheRejectsWriterOrderInversion(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 1, "x", 2), w(0, 0, "x", 1)}, // writer 0's x-writes inverted
+	}
+	if err := WitnessCache(1, logs); err == nil {
+		t.Fatal("writer program-order inversion within a variable not detected")
+	}
+}
+
+func TestWitnessCacheReadLatest(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), r("x", 99)},
+	}
+	if err := WitnessCache(1, logs); err == nil {
+		t.Fatal("stale read not detected")
+	}
+	if err := WitnessCache(2, [][]Event{{}}); err == nil {
+		t.Fatal("shape mismatch not detected")
+	}
+}

@@ -1,0 +1,472 @@
+// Package check decides whether histories satisfy the consistency
+// criteria studied by Hélary & Milani: causal consistency, the paper's
+// lazy causal and lazy semi-causal weakenings, PRAM, sequential
+// consistency and slow memory.
+//
+// Two mechanisms are provided:
+//
+//   - exact checkers (Check, CheckAll) that search for the per-process
+//     serializations required by each criterion's definition, suitable
+//     for small histories such as the paper's figures and randomized
+//     tests; and
+//   - polynomial witness validators (witness.go) that validate the
+//     per-node apply orders recorded by the protocols in internal/mcs,
+//     suitable for traces with thousands of operations.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"partialdsm/internal/model"
+)
+
+// Criterion names a consistency criterion.
+type Criterion string
+
+// The criteria ordered from strongest to weakest (paper §1, §4, §5).
+const (
+	// Sequential requires a single serialization of the whole history
+	// respecting every process's program order (Lamport).
+	Sequential Criterion = "sequential"
+	// Causal requires, for each process i, a serialization of H_{i+w}
+	// respecting the causality order ↦co (Ahamad et al.; paper Def. 2).
+	Causal Criterion = "causal"
+	// LazyCausal weakens program order to lazy program order
+	// (paper Defs. 5–7).
+	LazyCausal Criterion = "lazy-causal"
+	// LazySemiCausal further weakens read-from to lazy writes-before
+	// (paper Defs. 8–10).
+	LazySemiCausal Criterion = "lazy-semi-causal"
+	// PRAM requires serializations respecting only program order and
+	// direct read-from, without transitivity (Lipton & Sandberg;
+	// paper Defs. 11–12).
+	PRAM Criterion = "pram"
+	// Slow requires only that each process sees another process's
+	// writes to a single variable in issue order (Hutto & Ahamad,
+	// mentioned in paper §5). Formalized here as the relation
+	// rf ∪ (program order restricted to same-variable pairs) ∪ (the
+	// observing process's own program order).
+	Slow Criterion = "slow"
+	// Cache is Goodman's cache consistency: for every variable x, the
+	// projection of the history onto operations on x is sequentially
+	// consistent. Not in the paper; included because it sharpens the
+	// paper's §7 open question — it is incomparable with PRAM yet
+	// admits an efficient partial-replication implementation (each
+	// variable's total order involves only C(x); see
+	// internal/mcs/cachepart).
+	Cache Criterion = "cache"
+)
+
+// Criteria lists all supported criteria, roughly from stronger to
+// weaker. The strength order is partial, not total: see Implications.
+var Criteria = []Criterion{Sequential, Causal, LazyCausal, LazySemiCausal, PRAM, Slow, Cache}
+
+// Implications lists the provable strength relations as (stronger,
+// weaker) pairs: a history satisfying the stronger criterion satisfies
+// the weaker one, because the weaker criterion's order relation is a
+// subset of the stronger one's.
+//
+// PRAM and the lazy criteria are incomparable: PRAM keeps the full
+// program order but drops transitivity, while the lazy criteria keep
+// transitivity but relate fewer same-process pairs. (A process that
+// reads x then reads y may see them "out of order" under lazy causal
+// consistency but never under PRAM, and vice versa for transitive
+// chains through intermediary processes.)
+var Implications = [][2]Criterion{
+	{Sequential, Causal},
+	{Causal, LazyCausal},
+	{LazyCausal, LazySemiCausal},
+	{Causal, PRAM},
+	{PRAM, Slow},
+	{Sequential, Cache},
+}
+
+// Result reports the outcome of a consistency check.
+type Result struct {
+	Criterion  Criterion
+	Consistent bool
+	// Serializations maps each process i to a legal serialization of
+	// H_{i+w} (op IDs in order) when Consistent. For Sequential the
+	// single global serialization is stored under key 0.
+	Serializations map[int][]int
+}
+
+// Check decides whether h satisfies the criterion. It returns an error
+// only for malformed histories (non-differentiated, reads of unwritten
+// values); an inconsistent history is not an error.
+func Check(h *model.History, c Criterion) (Result, error) {
+	res := Result{Criterion: c, Serializations: make(map[int][]int)}
+	if c == Cache {
+		return checkCache(h)
+	}
+	if c == Sequential {
+		all := make([]int, h.Len())
+		for i := range all {
+			all[i] = i
+		}
+		rf, err := model.ReadFrom(h) // validates the history
+		if err != nil {
+			return res, err
+		}
+		_ = rf
+		s, ok := SerializationExists(h, all, model.ProgramOrder(h))
+		res.Consistent = ok
+		if ok {
+			res.Serializations[0] = s
+		}
+		return res, nil
+	}
+
+	relFor, err := relationBuilder(h, c)
+	if err != nil {
+		return res, err
+	}
+	for i := 0; i < h.NumProcs(); i++ {
+		rel, err := relFor(i)
+		if err != nil {
+			return res, err
+		}
+		s, ok := SerializationExists(h, h.SubHistoryIPlusW(i), rel)
+		if !ok {
+			res.Consistent = false
+			res.Serializations = nil
+			return res, nil
+		}
+		res.Serializations[i] = s
+	}
+	res.Consistent = true
+	return res, nil
+}
+
+// relationBuilder returns a function producing, for observer process i,
+// the order relation that S_i must respect under criterion c. For all
+// criteria except Slow the relation is independent of i and computed
+// once.
+func relationBuilder(h *model.History, c Criterion) (func(i int) (*model.Relation, error), error) {
+	var shared *model.Relation
+	var err error
+	switch c {
+	case Causal:
+		shared, err = model.CausalOrder(h)
+	case LazyCausal:
+		shared, err = model.LazyCausalOrder(h)
+	case LazySemiCausal:
+		shared, err = model.LazySemiCausalOrder(h)
+	case PRAM:
+		shared, err = model.PRAMRelation(h)
+	case Slow:
+		return func(i int) (*model.Relation, error) { return slowRelation(h, i) }, nil
+	default:
+		return nil, fmt.Errorf("check: unknown criterion %q", c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return func(int) (*model.Relation, error) { return shared, nil }, nil
+}
+
+// checkCache decides cache consistency: one legal serialization per
+// variable, over the operations on that variable, respecting program
+// order restricted to those operations. Serializations are keyed by
+// the variable's position in h.Vars().
+func checkCache(h *model.History) (Result, error) {
+	res := Result{Criterion: Cache, Serializations: make(map[int][]int)}
+	if _, err := model.ReadFrom(h); err != nil { // validates the history
+		return res, err
+	}
+	po := model.ProgramOrder(h)
+	for vi, x := range h.Vars() {
+		var ids []int
+		for _, o := range h.Ops() {
+			if o.Var == x {
+				ids = append(ids, o.ID)
+			}
+		}
+		s, ok := SerializationExists(h, ids, po)
+		if !ok {
+			res.Consistent = false
+			res.Serializations = nil
+			return res, nil
+		}
+		res.Serializations[vi] = s
+	}
+	res.Consistent = true
+	return res, nil
+}
+
+// slowRelation builds the per-observer relation for slow memory: the
+// read-from pairs, program order between same-variable operations of
+// any process, and the observer's own full program order.
+func slowRelation(h *model.History, observer int) (*model.Relation, error) {
+	rf, err := model.ReadFrom(h)
+	if err != nil {
+		return nil, err
+	}
+	r := rf.Clone()
+	for p := 0; p < h.NumProcs(); p++ {
+		local := h.Local(p)
+		for i := 0; i < len(local); i++ {
+			o1 := h.Op(local[i])
+			for j := i + 1; j < len(local); j++ {
+				o2 := h.Op(local[j])
+				if p == observer || o1.Var == o2.Var {
+					r.Add(o1.ID, o2.ID)
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// CheckAll evaluates every supported criterion on h and returns the
+// verdicts keyed by criterion.
+func CheckAll(h *model.History) (map[Criterion]bool, error) {
+	out := make(map[Criterion]bool, len(Criteria))
+	for _, c := range Criteria {
+		res, err := Check(h, c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = res.Consistent
+	}
+	return out, nil
+}
+
+// SerializationExists searches for a legal serialization of the
+// operations in ids (a subset of h's op IDs) that respects rel
+// restricted to ids. A serialization is legal when every read of a
+// variable x returns the value written by the most recent preceding
+// write to x in the sequence, or ⊥ when no write precedes it
+// (paper Definition 1).
+//
+// The search is an exact backtracking topological enumeration with
+// read-feasibility pruning and memoization; it is exponential in the
+// worst case and intended for small histories (≲ 24 operations).
+func SerializationExists(h *model.History, ids []int, rel *model.Relation) ([]int, bool) {
+	n := len(ids)
+	if n == 0 {
+		return []int{}, true
+	}
+	// Local indexing 0..n-1 over the subset.
+	pos := make(map[int]int, n)
+	for li, id := range ids {
+		pos[id] = li
+	}
+	// rf writer local index per read, -1 for ⊥-reads, -2 for writes.
+	rfOf := make([]int, n)
+	type vv struct {
+		v   string
+		val int64
+	}
+	writerOf := make(map[vv]int)
+	for li, id := range ids {
+		o := h.Op(id)
+		if o.IsWrite() {
+			writerOf[vv{o.Var, o.Val}] = li
+		}
+	}
+	vars := make(map[string]int) // var → dense index
+	varOf := make([]int, n)
+	for li, id := range ids {
+		o := h.Op(id)
+		vi, ok := vars[o.Var]
+		if !ok {
+			vi = len(vars)
+			vars[o.Var] = vi
+		}
+		varOf[li] = vi
+		switch {
+		case o.IsWrite():
+			rfOf[li] = -2
+		case o.Val == model.Bottom:
+			rfOf[li] = -1
+		default:
+			w, ok := writerOf[vv{o.Var, o.Val}]
+			if !ok {
+				// The write is outside the subset: cannot be satisfied.
+				return nil, false
+			}
+			rfOf[li] = w
+		}
+	}
+	// Predecessor sets (within the subset) induced by rel.
+	preds := make([]model.Bitset, n)
+	for li := range preds {
+		preds[li] = model.NewBitset(n)
+	}
+	for ai, aid := range ids {
+		succ := rel.Succ(aid)
+		for bi, bid := range ids {
+			if ai != bi && succ.Has(bid) {
+				preds[bi].Set(ai)
+			}
+		}
+	}
+	// Unplaced reads per variable, for write-placement pruning.
+	readsOnVar := make([][]int, len(vars))
+	for li := range ids {
+		if rfOf[li] != -2 {
+			readsOnVar[varOf[li]] = append(readsOnVar[varOf[li]], li)
+		}
+	}
+
+	placed := model.NewBitset(n)
+	lastWrite := make([]int, len(vars))
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+	order := make([]int, 0, n)
+	memo := make(map[string]bool)
+
+	key := func() string {
+		// The feasibility of completing depends on the placed set and
+		// the current last write per variable.
+		b := make([]byte, 0, len(placed)*8+len(lastWrite)*2)
+		for _, w := range placed {
+			for s := 0; s < 64; s += 8 {
+				b = append(b, byte(w>>uint(s)))
+			}
+		}
+		for _, lw := range lastWrite {
+			b = append(b, byte(lw+1), byte((lw+1)>>8))
+		}
+		return string(b)
+	}
+
+	allPredsPlaced := func(li int) bool {
+		for wi, w := range preds[li] {
+			if w&^placed[wi] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var solve func() bool
+	solve = func() bool {
+		if len(order) == n {
+			return true
+		}
+		k := key()
+		if done, seen := memo[k]; seen {
+			return done
+		}
+		ok := false
+		for li := 0; li < n && !ok; li++ {
+			if placed.Has(li) || !allPredsPlaced(li) {
+				continue
+			}
+			vi := varOf[li]
+			if rfOf[li] == -2 {
+				// Placing a write to x makes every unplaced read that
+				// requires an earlier last-write on x unsatisfiable.
+				dead := false
+				for _, ri := range readsOnVar[vi] {
+					if placed.Has(ri) || ri == li {
+						continue
+					}
+					want := rfOf[ri]
+					if want == li {
+						continue // reads this very write later: fine
+					}
+					if want == -1 || placed.Has(want) {
+						// ⊥-read, or its writer already placed: placing
+						// another write to x now kills it.
+						dead = true
+						break
+					}
+				}
+				if dead {
+					continue
+				}
+				prev := lastWrite[vi]
+				lastWrite[vi] = li
+				placed.Set(li)
+				order = append(order, li)
+				if solve() {
+					ok = true
+				} else {
+					order = order[:len(order)-1]
+					placed.Clear(li)
+					lastWrite[vi] = prev
+				}
+			} else {
+				// A read is legal only if the current last write on its
+				// variable is exactly its read-from writer (or none for
+				// ⊥-reads).
+				if lastWrite[vi] != rfOf[li] && !(rfOf[li] == -1 && lastWrite[vi] == -1) {
+					continue
+				}
+				placed.Set(li)
+				order = append(order, li)
+				if solve() {
+					ok = true
+				} else {
+					order = order[:len(order)-1]
+					placed.Clear(li)
+				}
+			}
+		}
+		memo[k] = ok
+		return ok
+	}
+
+	if !solve() {
+		return nil, false
+	}
+	out := make([]int, n)
+	for i, li := range order {
+		out[i] = ids[li]
+	}
+	return out, true
+}
+
+// ValidateSerialization verifies that s is a legal serialization of
+// exactly the operations in ids that respects rel. It returns nil when
+// valid and a descriptive error otherwise. This is the polynomial
+// validator used to double-check search results and protocol witnesses.
+func ValidateSerialization(h *model.History, ids []int, s []int, rel *model.Relation) error {
+	if len(s) != len(ids) {
+		return fmt.Errorf("check: serialization has %d operations, want %d", len(s), len(ids))
+	}
+	want := append([]int(nil), ids...)
+	got := append([]int(nil), s...)
+	sort.Ints(want)
+	sort.Ints(got)
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("check: serialization is not a permutation of the operation set")
+		}
+	}
+	posIn := make(map[int]int, len(s))
+	for i, id := range s {
+		posIn[id] = i
+	}
+	// Order constraints.
+	for _, a := range ids {
+		succ := rel.Succ(a)
+		for _, b := range ids {
+			if a != b && succ.Has(b) && posIn[a] > posIn[b] {
+				return fmt.Errorf("check: serialization violates order: %v must precede %v", h.Op(a), h.Op(b))
+			}
+		}
+	}
+	// Read legality.
+	lastWrite := make(map[string]model.Op)
+	for _, id := range s {
+		o := h.Op(id)
+		if o.IsWrite() {
+			lastWrite[o.Var] = o
+			continue
+		}
+		lw, haveWrite := lastWrite[o.Var]
+		switch {
+		case !haveWrite && o.Val != model.Bottom:
+			return fmt.Errorf("check: read %v has no preceding write and must return ⊥", o)
+		case haveWrite && o.Val != lw.Val:
+			return fmt.Errorf("check: read %v does not return most recent write %v", o, lw)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package check
+
+import (
+	"testing"
+
+	"partialdsm/internal/model"
+)
+
+// verdicts asserts the exact verdict of every criterion on h.
+func verdicts(t *testing.T, h *model.History, want map[Criterion]bool) {
+	t.Helper()
+	got, err := CheckAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, w := range want {
+		if got[c] != w {
+			t.Errorf("%s = %v, want %v\nhistory:\n%s", c, got[c], w, h)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	// Paper Figure 4: lazy causal but not causal.
+	h := model.Figure4History()
+	verdicts(t, h, map[Criterion]bool{
+		Sequential:     false,
+		Causal:         false,
+		LazyCausal:     true,
+		LazySemiCausal: true,
+		PRAM:           true,
+		Slow:           true,
+	})
+}
+
+func TestFigure4PaperSerializationsAreValid(t *testing.T) {
+	h := model.Figure4History()
+	lco, err := model.LazyCausalOrder(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range model.Figure4PaperSerializations(h) {
+		if err := ValidateSerialization(h, h.SubHistoryIPlusW(p), s, lco); err != nil {
+			t.Errorf("paper serialization S%d rejected: %v", p+1, err)
+		}
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	// Paper Figure 5: not lazy causal (dependency chain along the hoop
+	// [p1,p2,p3]; p4 reads d before a). Still PRAM: w1 and w3 are
+	// different writers, so PRAM imposes no order between their writes.
+	h := model.Figure5History()
+	verdicts(t, h, map[Criterion]bool{
+		Sequential:     false,
+		Causal:         false,
+		LazyCausal:     false,
+		LazySemiCausal: false,
+		PRAM:           true,
+		Slow:           true,
+	})
+}
+
+func TestFigure6(t *testing.T) {
+	// Paper Figure 6: not lazy semi-causal (w1(x)a ↦lsc w3(x)d through
+	// lazy writes-before), but PRAM-consistent.
+	h := model.Figure6History()
+	verdicts(t, h, map[Criterion]bool{
+		Causal:         false,
+		LazyCausal:     false,
+		LazySemiCausal: false,
+		PRAM:           true,
+		Slow:           true,
+	})
+}
+
+func TestSequentialAccepts(t *testing.T) {
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		Write(1, "x", 2).
+		Read(0, "x", 2).
+		MustHistory()
+	res, err := Check(h, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("interleavable history rejected by sequential checker")
+	}
+	po := model.ProgramOrder(h)
+	all := []int{0, 1, 2, 3}
+	if err := ValidateSerialization(h, all, res.Serializations[0], po); err != nil {
+		t.Fatalf("returned serialization invalid: %v", err)
+	}
+}
+
+func TestSequentialRejectsNonSC(t *testing.T) {
+	// Classic non-SC (but causal) history: two concurrent writes read in
+	// opposite orders by two observers.
+	h := model.NewBuilder(4).
+		Write(0, "x", 1).
+		Write(1, "x", 2).
+		Read(2, "x", 1).
+		Read(2, "x", 2).
+		Read(3, "x", 2).
+		Read(3, "x", 1).
+		MustHistory()
+	verdicts(t, h, map[Criterion]bool{
+		Sequential: false,
+		Causal:     true,
+		PRAM:       true,
+	})
+}
+
+func TestCausalAcceptsConcurrentWrites(t *testing.T) {
+	// Concurrent writes may be observed in different orders under
+	// causal consistency but never under sequential consistency.
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Read(0, "x", 1).
+		Write(1, "x", 2).
+		Read(1, "x", 2).
+		MustHistory()
+	verdicts(t, h, map[Criterion]bool{
+		Sequential: true, // also SC here (reads happen before seeing the other write)
+		Causal:     true,
+	})
+}
+
+func TestCausalRejectsStaleReadAfterChain(t *testing.T) {
+	// w0(x)1 ↦po w0(y)2 ↦ro r1(y)2 ↦po r1(x)⊥: the final read must not
+	// return ⊥ under causal consistency.
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		Read(1, "y", 2).
+		ReadInit(1, "x").
+		MustHistory()
+	verdicts(t, h, map[Criterion]bool{
+		Causal: false,
+		// Lazy program order still orders r1(y)2 →li nothing toward
+		// r1(x)⊥ (read then read, different variables), so lazy causal
+		// admits it.
+		LazyCausal: true,
+		PRAM:       false, // pram contains po and ro; both reads are p1's, po forces the order
+	})
+}
+
+func TestPRAMRejectsOwnOrderViolation(t *testing.T) {
+	// A process must see its own writes in order.
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "x", 2).
+		Read(1, "x", 2).
+		Read(1, "x", 1).
+		MustHistory()
+	verdicts(t, h, map[Criterion]bool{
+		PRAM: false, // w(x)1 ↦po w(x)2 must be respected in S_1
+		Slow: false, // same variable, same writer: slow also forbids it
+	})
+}
+
+func TestSlowAcceptsCrossVariableReordering(t *testing.T) {
+	// p0 writes x then y; p1 sees y's new value then x's old one. PRAM
+	// forbids it (full program order of p0), slow memory allows it
+	// (different variables).
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		Read(1, "y", 2).
+		ReadInit(1, "x").
+		MustHistory()
+	res, err := Check(h, Slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("slow memory must allow cross-variable reordering of one sender's writes")
+	}
+	resPRAM, err := Check(h, PRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPRAM.Consistent {
+		t.Fatal("PRAM must reject cross-variable reordering of one sender's writes")
+	}
+}
+
+func TestHierarchyOnFigures(t *testing.T) {
+	// Acceptance must be monotone along every edge of the strength DAG.
+	for _, h := range []*model.History{
+		model.Figure4History(),
+		model.Figure5History(),
+		model.Figure6History(),
+	} {
+		got, err := CheckAll(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range Implications {
+			if got[imp[0]] && !got[imp[1]] {
+				t.Errorf("history satisfies %s but not weaker %s:\n%s", imp[0], imp[1], h)
+			}
+		}
+	}
+}
+
+func TestSerializationsReturnedAreValid(t *testing.T) {
+	h := model.Figure5History()
+	res, err := Check(h, PRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("figure 5 must be PRAM consistent")
+	}
+	pram, err := model.PRAMRelation(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range res.Serializations {
+		if err := ValidateSerialization(h, h.SubHistoryIPlusW(p), s, pram); err != nil {
+			t.Errorf("serialization for p%d invalid: %v", p, err)
+		}
+	}
+}
+
+func TestSerializationExistsEmptyAndTiny(t *testing.T) {
+	h := model.NewBuilder(1).Write(0, "x", 1).MustHistory()
+	if _, ok := SerializationExists(h, nil, model.NewRelation(1)); !ok {
+		t.Error("empty op set must trivially serialize")
+	}
+	if s, ok := SerializationExists(h, []int{0}, model.ProgramOrder(h)); !ok || len(s) != 1 {
+		t.Error("single write must serialize")
+	}
+}
+
+func TestSerializationRejectsReadOfMissingWrite(t *testing.T) {
+	// The read's writer is excluded from the subset: unsatisfiable.
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		MustHistory()
+	if _, ok := SerializationExists(h, []int{1}, model.NewRelation(2)); ok {
+		t.Error("read without its write in the subset must not serialize")
+	}
+}
+
+func TestValidateSerializationErrors(t *testing.T) {
+	h := model.NewBuilder(1).
+		Write(0, "x", 1).
+		Read(0, "x", 1).
+		MustHistory()
+	po := model.ProgramOrder(h)
+	ids := []int{0, 1}
+	if err := ValidateSerialization(h, ids, []int{0, 1}, po); err != nil {
+		t.Errorf("valid serialization rejected: %v", err)
+	}
+	if err := ValidateSerialization(h, ids, []int{1, 0}, po); err == nil {
+		t.Error("order violation not detected")
+	}
+	if err := ValidateSerialization(h, ids, []int{0}, po); err == nil {
+		t.Error("wrong length not detected")
+	}
+	if err := ValidateSerialization(h, ids, []int{0, 0}, po); err == nil {
+		t.Error("non-permutation not detected")
+	}
+}
+
+func TestValidateSerializationReadLegality(t *testing.T) {
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(1, "x", 2).
+		Read(0, "x", 1).
+		MustHistory()
+	none := model.NewRelation(3)
+	// r(x)1 placed after w(x)2: stale.
+	if err := ValidateSerialization(h, []int{0, 1, 2}, []int{0, 1, 2}, none); err == nil {
+		t.Error("stale read not detected")
+	}
+	if err := ValidateSerialization(h, []int{0, 1, 2}, []int{1, 0, 2}, none); err != nil {
+		t.Errorf("fresh read rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsMalformedHistory(t *testing.T) {
+	h := model.NewBuilder(1).Read(0, "x", 99).MustHistory()
+	if _, err := Check(h, Causal); err == nil {
+		t.Error("read of unwritten value must error")
+	}
+	if _, err := CheckAll(h); err == nil {
+		t.Error("CheckAll must propagate malformed-history errors")
+	}
+}
+
+func TestUnknownCriterion(t *testing.T) {
+	h := model.NewBuilder(1).Write(0, "x", 1).MustHistory()
+	if _, err := Check(h, Criterion("bogus")); err == nil {
+		t.Error("unknown criterion must error")
+	}
+}
+
+func TestWritesOnlyHistoryAlwaysConsistent(t *testing.T) {
+	h := model.NewBuilder(3).
+		Write(0, "x", 1).
+		Write(1, "x", 2).
+		Write(2, "y", 3).
+		MustHistory()
+	got, err := CheckAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, v := range got {
+		if !v {
+			t.Errorf("write-only history rejected by %s", c)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/model"
+)
+
+// Monitor is an online (incremental) witness validator: protocol events
+// are fed as they happen and the first consistency violation is
+// reported immediately, with O(1) work per event. Monitors implement
+// runtime verification for long-running systems where post-hoc trace
+// checking is impractical.
+//
+// Monitors exist for the criteria whose witnesses are naturally
+// prefix-closed: PRAM, slow memory and cache consistency. (The causal
+// witness needs the global history and is checked post-hoc.)
+type Monitor interface {
+	// Feed records one event observed at a node. It returns a non-nil
+	// error on the first event that violates the criterion; subsequent
+	// calls keep returning the same error.
+	Feed(node int, e Event) error
+	// Err returns the first recorded violation, nil if none.
+	Err() error
+}
+
+// monitorBase carries the shared sticky-error machinery.
+type monitorBase struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (m *monitorBase) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// failf records the sticky violation. Callers must hold m.mu.
+func (m *monitorBase) failf(format string, args ...any) error {
+	if m.err == nil {
+		m.err = fmt.Errorf(format, args...)
+	}
+	return m.err
+}
+
+// PRAMMonitor validates the PRAM witness online: per-(node, sender)
+// strictly increasing write sequence numbers and read-latest per node.
+type PRAMMonitor struct {
+	monitorBase
+	numProcs int
+	lastSeq  [][]int            // [node][writer] last applied WSeq
+	cur      []map[string]int64 // [node] replica view
+}
+
+// NewPRAMMonitor returns an online PRAM witness for numProcs nodes.
+func NewPRAMMonitor(numProcs int) *PRAMMonitor {
+	m := &PRAMMonitor{
+		numProcs: numProcs,
+		lastSeq:  make([][]int, numProcs),
+		cur:      make([]map[string]int64, numProcs),
+	}
+	for i := 0; i < numProcs; i++ {
+		m.lastSeq[i] = make([]int, numProcs)
+		for j := range m.lastSeq[i] {
+			m.lastSeq[i][j] = -1
+		}
+		m.cur[i] = make(map[string]int64)
+	}
+	return m
+}
+
+// Feed implements Monitor.
+func (m *PRAMMonitor) Feed(node int, e Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if node < 0 || node >= m.numProcs {
+		return m.failf("check: monitor: node %d out of range", node)
+	}
+	if e.IsRead {
+		want, ok := m.cur[node][e.Var]
+		if !ok {
+			want = model.Bottom
+		}
+		if e.Val != want {
+			return m.failf("check: node %d: %v returned %d, last applied write is %d", node, e, e.Val, want)
+		}
+		return nil
+	}
+	if e.Writer < 0 || e.Writer >= m.numProcs {
+		return m.failf("check: node %d: writer %d out of range", node, e.Writer)
+	}
+	if e.WSeq <= m.lastSeq[node][e.Writer] {
+		return m.failf("check: node %d: %v applied out of sender order (last applied #%d)",
+			node, e, m.lastSeq[node][e.Writer])
+	}
+	m.lastSeq[node][e.Writer] = e.WSeq
+	m.cur[node][e.Var] = e.Val
+	return nil
+}
+
+// SlowMonitor validates the slow-memory witness online: per-(node,
+// sender, variable) increasing sequence numbers and read-latest.
+type SlowMonitor struct {
+	monitorBase
+	numProcs int
+	lastSeq  []map[senderVar]int
+	cur      []map[string]int64
+}
+
+type senderVar struct {
+	sender int
+	v      string
+}
+
+// NewSlowMonitor returns an online slow-memory witness.
+func NewSlowMonitor(numProcs int) *SlowMonitor {
+	m := &SlowMonitor{
+		numProcs: numProcs,
+		lastSeq:  make([]map[senderVar]int, numProcs),
+		cur:      make([]map[string]int64, numProcs),
+	}
+	for i := 0; i < numProcs; i++ {
+		m.lastSeq[i] = make(map[senderVar]int)
+		m.cur[i] = make(map[string]int64)
+	}
+	return m
+}
+
+// Feed implements Monitor.
+func (m *SlowMonitor) Feed(node int, e Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if node < 0 || node >= m.numProcs {
+		return m.failf("check: monitor: node %d out of range", node)
+	}
+	if e.IsRead {
+		want, ok := m.cur[node][e.Var]
+		if !ok {
+			want = model.Bottom
+		}
+		if e.Val != want {
+			return m.failf("check: node %d: %v returned %d, last applied write is %d", node, e, e.Val, want)
+		}
+		return nil
+	}
+	key := senderVar{e.Writer, e.Var}
+	if last, seen := m.lastSeq[node][key]; seen && e.WSeq <= last {
+		return m.failf("check: node %d: %v applied out of per-variable sender order (last #%d)", node, e, last)
+	}
+	m.lastSeq[node][key] = e.WSeq
+	m.cur[node][e.Var] = e.Val
+	return nil
+}
+
+// CacheMonitor validates the cache-consistency witness online: all
+// nodes must apply each variable's writes in one global order. The
+// monitor maintains, per variable, the longest apply sequence seen so
+// far; every node's sequence must follow it (extending it when the
+// node runs ahead).
+type CacheMonitor struct {
+	monitorBase
+	numProcs int
+	global   map[string][]writeID // per variable: longest observed apply order
+	pos      []map[string]int     // [node][var] how far along the global order
+	cur      []map[string]int64
+	lastSeq  map[string]map[int]int // per variable, per writer: last sequenced WSeq
+}
+
+type writeID struct {
+	writer, wseq int
+	val          int64
+}
+
+// NewCacheMonitor returns an online cache-consistency witness.
+func NewCacheMonitor(numProcs int) *CacheMonitor {
+	m := &CacheMonitor{
+		numProcs: numProcs,
+		global:   make(map[string][]writeID),
+		pos:      make([]map[string]int, numProcs),
+		cur:      make([]map[string]int64, numProcs),
+		lastSeq:  make(map[string]map[int]int),
+	}
+	for i := 0; i < numProcs; i++ {
+		m.pos[i] = make(map[string]int)
+		m.cur[i] = make(map[string]int64)
+	}
+	return m
+}
+
+// Feed implements Monitor.
+func (m *CacheMonitor) Feed(node int, e Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if node < 0 || node >= m.numProcs {
+		return m.failf("check: monitor: node %d out of range", node)
+	}
+	if e.IsRead {
+		want, ok := m.cur[node][e.Var]
+		if !ok {
+			want = model.Bottom
+		}
+		if e.Val != want {
+			return m.failf("check: node %d: %v returned %d, last applied write is %d", node, e, e.Val, want)
+		}
+		return nil
+	}
+	w := writeID{e.Writer, e.WSeq, e.Val}
+	seq := m.global[e.Var]
+	p := m.pos[node][e.Var]
+	switch {
+	case p < len(seq):
+		if seq[p] != w {
+			return m.failf("check: node %d: variable %s apply order diverges at position %d: %v vs %v",
+				node, e.Var, p, w, seq[p])
+		}
+	default:
+		// The node runs ahead: extend the global order, checking the
+		// per-writer program order within the variable.
+		if m.lastSeq[e.Var] == nil {
+			m.lastSeq[e.Var] = make(map[int]int)
+		}
+		if last, seen := m.lastSeq[e.Var][e.Writer]; seen && e.WSeq <= last {
+			return m.failf("check: variable %s: writer %d sequenced out of program order (#%d after #%d)",
+				e.Var, e.Writer, e.WSeq, last)
+		}
+		m.lastSeq[e.Var][e.Writer] = e.WSeq
+		m.global[e.Var] = append(seq, w)
+	}
+	m.pos[node][e.Var] = p + 1
+	m.cur[node][e.Var] = e.Val
+	return nil
+}
+
+var (
+	_ Monitor = (*PRAMMonitor)(nil)
+	_ Monitor = (*SlowMonitor)(nil)
+	_ Monitor = (*CacheMonitor)(nil)
+)

@@ -1,0 +1,176 @@
+package check
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"partialdsm/internal/model"
+)
+
+func TestPRAMMonitorAcceptsValidStream(t *testing.T) {
+	m := NewPRAMMonitor(2)
+	events := []struct {
+		node int
+		e    Event
+	}{
+		{0, w(0, 0, "x", 1)},
+		{0, r("x", 1)},
+		{1, w(0, 0, "x", 1)},
+		{1, w(1, 0, "y", 2)},
+		{1, r("y", 2)},
+	}
+	for _, ev := range events {
+		if err := m.Feed(ev.node, ev.e); err != nil {
+			t.Fatalf("valid event rejected: %v", err)
+		}
+	}
+	if m.Err() != nil {
+		t.Fatal("spurious error")
+	}
+}
+
+func TestPRAMMonitorDetectsSenderOrderViolation(t *testing.T) {
+	m := NewPRAMMonitor(2)
+	if err := m.Feed(1, w(0, 1, "x", 2)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Feed(1, w(0, 0, "x", 1))
+	if err == nil || !strings.Contains(err.Error(), "sender order") {
+		t.Fatalf("violation not detected: %v", err)
+	}
+	// Sticky.
+	if err2 := m.Feed(0, r("x", model.Bottom)); err2 != err {
+		t.Error("error must be sticky")
+	}
+	if m.Err() != err {
+		t.Error("Err must return the first violation")
+	}
+}
+
+func TestPRAMMonitorDetectsStaleRead(t *testing.T) {
+	m := NewPRAMMonitor(1)
+	m.Feed(0, w(0, 0, "x", 1))
+	if err := m.Feed(0, r("x", 99)); err == nil {
+		t.Fatal("stale read not detected")
+	}
+}
+
+func TestPRAMMonitorBounds(t *testing.T) {
+	m := NewPRAMMonitor(1)
+	if err := m.Feed(5, r("x", model.Bottom)); err == nil {
+		t.Fatal("node out of range not detected")
+	}
+	m2 := NewPRAMMonitor(1)
+	if err := m2.Feed(0, w(7, 0, "x", 1)); err == nil {
+		t.Fatal("writer out of range not detected")
+	}
+}
+
+func TestSlowMonitorPerVariableOrder(t *testing.T) {
+	m := NewSlowMonitor(2)
+	// Cross-variable reordering of one sender is fine.
+	if err := m.Feed(1, w(0, 1, "y", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feed(1, w(0, 0, "x", 1)); err != nil {
+		t.Fatalf("cross-variable reorder wrongly rejected: %v", err)
+	}
+	// Same-variable reordering is not.
+	if err := m.Feed(1, w(0, 2, "x", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feed(1, w(0, 1, "x", 9)); err == nil {
+		t.Fatal("same-variable reorder not detected")
+	}
+}
+
+func TestSlowMonitorReadLatest(t *testing.T) {
+	m := NewSlowMonitor(1)
+	if err := m.Feed(0, r("x", model.Bottom)); err != nil {
+		t.Fatal(err)
+	}
+	m.Feed(0, w(0, 0, "x", 1))
+	if err := m.Feed(0, r("x", model.Bottom)); err == nil {
+		t.Fatal("⊥ after write not detected")
+	}
+	if err := m.Feed(5, r("x", 0)); err == nil {
+		t.Fatal("out-of-range node not detected")
+	}
+}
+
+func TestCacheMonitorOrderAgreement(t *testing.T) {
+	m := NewCacheMonitor(2)
+	// Node 0 establishes the global order [w0#0, w1#0].
+	if err := m.Feed(0, w(0, 0, "x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feed(0, w(1, 0, "x", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 follows it: fine.
+	if err := m.Feed(1, w(0, 0, "x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 diverging: violation.
+	if err := m.Feed(1, w(1, 1, "x", 3)); err == nil {
+		t.Fatal("divergent apply order not detected")
+	}
+}
+
+func TestCacheMonitorCrossVariableIndependent(t *testing.T) {
+	m := NewCacheMonitor(2)
+	if err := m.Feed(0, w(0, 0, "x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feed(0, w(0, 1, "y", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 sees y before x: allowed (different variables).
+	if err := m.Feed(1, w(0, 1, "y", 2)); err != nil {
+		t.Fatalf("cross-variable divergence wrongly rejected: %v", err)
+	}
+	if err := m.Feed(1, w(0, 0, "x", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheMonitorWriterOrderWithinVariable(t *testing.T) {
+	m := NewCacheMonitor(1)
+	m.Feed(0, w(0, 1, "x", 2))
+	if err := m.Feed(0, w(0, 0, "x", 1)); err == nil {
+		t.Fatal("writer order inversion within variable not detected")
+	}
+	m2 := NewCacheMonitor(1)
+	if err := m2.Feed(3, r("x", 0)); err == nil {
+		t.Fatal("out-of-range node not detected")
+	}
+	m3 := NewCacheMonitor(1)
+	m3.Feed(0, w(0, 0, "x", 1))
+	if err := m3.Feed(0, r("x", 9)); err == nil {
+		t.Fatal("stale read not detected")
+	}
+}
+
+func TestMonitorsConcurrent(t *testing.T) {
+	// Monitors are fed from network goroutines: hammer one from several
+	// goroutines with per-node disjoint valid streams.
+	m := NewPRAMMonitor(4)
+	var wg sync.WaitGroup
+	for node := 0; node < 4; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				if err := m.Feed(node, w(node, k, "x", int64(node*10000+k))); err != nil {
+					t.Errorf("node %d event %d: %v", node, k, err)
+					return
+				}
+			}
+		}(node)
+	}
+	wg.Wait()
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+}

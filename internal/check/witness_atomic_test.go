@@ -1,0 +1,79 @@
+package check
+
+import (
+	"testing"
+
+	"partialdsm/internal/model"
+)
+
+func primAt(p int) func(string) int { return func(string) int { return p } }
+
+func TestWitnessAtomicAccepts(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(1, 0, "x", 2), r("x", 2)}, // primary applies both, reads latest
+		{r("x", 1), r("x", 2)},                        // observes positions 0 then 1
+	}
+	if err := WitnessAtomic(2, logs, primAt(0)); err != nil {
+		t.Fatalf("valid atomic logs rejected: %v", err)
+	}
+}
+
+func TestWitnessAtomicRejectsBackwardRead(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(1, 0, "x", 2)},
+		{r("x", 2), r("x", 1)}, // register goes backward
+	}
+	if err := WitnessAtomic(2, logs, primAt(0)); err == nil {
+		t.Fatal("backward observation not detected")
+	}
+}
+
+func TestWitnessAtomicRejectsApplyAwayFromPrimary(t *testing.T) {
+	logs := [][]Event{
+		{},
+		{w(1, 0, "x", 1)}, // applied at node 1 but primary is 0
+	}
+	if err := WitnessAtomic(2, logs, primAt(0)); err == nil {
+		t.Fatal("apply away from primary not detected")
+	}
+}
+
+func TestWitnessAtomicRejectsPhantomValue(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1)},
+		{r("x", 99)},
+	}
+	if err := WitnessAtomic(2, logs, primAt(0)); err == nil {
+		t.Fatal("phantom value not detected")
+	}
+}
+
+func TestWitnessAtomicRejectsLateBottom(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1)},
+		{r("x", 1), r("x", model.Bottom)},
+	}
+	if err := WitnessAtomic(2, logs, primAt(0)); err == nil {
+		t.Fatal("⊥ after observing a written value not detected")
+	}
+}
+
+func TestWitnessAtomicRejectsDuplicateApply(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "x", 1)},
+	}
+	if err := WitnessAtomic(1, logs, primAt(0)); err == nil {
+		t.Fatal("duplicate applied value not detected")
+	}
+}
+
+func TestWitnessAtomicShape(t *testing.T) {
+	if err := WitnessAtomic(2, nil, primAt(0)); err == nil {
+		t.Fatal("log count mismatch not detected")
+	}
+	// Early ⊥-reads are fine.
+	logs := [][]Event{{r("x", model.Bottom)}}
+	if err := WitnessAtomic(1, logs, primAt(0)); err != nil {
+		t.Fatalf("initial ⊥ read rejected: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"partialdsm/internal/model"
+)
+
+func w(writer, wseq int, v string, val int64) Event {
+	return Event{Writer: writer, WSeq: wseq, Var: v, Val: val}
+}
+
+func r(v string, val int64) Event {
+	return Event{IsRead: true, Var: v, Val: val}
+}
+
+func TestWitnessPRAMAccepts(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), r("x", 1), w(1, 0, "y", 2)},
+		{w(1, 0, "y", 2), w(0, 0, "x", 1), r("y", 2), r("x", 1)},
+	}
+	if err := WitnessPRAM(2, logs); err != nil {
+		t.Fatalf("valid logs rejected: %v", err)
+	}
+}
+
+func TestWitnessPRAMRejectsSenderOrderViolation(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "x", 2)},
+		{w(0, 1, "x", 2), w(0, 0, "x", 1)}, // sender 0's writes inverted
+	}
+	err := WitnessPRAM(2, logs)
+	if err == nil || !strings.Contains(err.Error(), "sender order") {
+		t.Fatalf("inversion not detected: %v", err)
+	}
+}
+
+func TestWitnessPRAMRejectsStaleRead(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "x", 2), r("x", 1)},
+		{},
+	}
+	if err := WitnessPRAM(2, logs); err == nil {
+		t.Fatal("stale read not detected")
+	}
+}
+
+func TestWitnessPRAMRejectsBottomAfterWrite(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), r("x", model.Bottom)},
+	}
+	if err := WitnessPRAM(1, logs); err == nil {
+		t.Fatal("⊥-read after applied write not detected")
+	}
+}
+
+func TestWitnessPRAMInitReadOK(t *testing.T) {
+	logs := [][]Event{{r("x", model.Bottom)}}
+	if err := WitnessPRAM(1, logs); err != nil {
+		t.Fatalf("⊥-read before any write rejected: %v", err)
+	}
+}
+
+func TestWitnessPRAMShapeErrors(t *testing.T) {
+	if err := WitnessPRAM(2, [][]Event{{}}); err == nil {
+		t.Error("log count mismatch not detected")
+	}
+	if err := WitnessPRAM(1, [][]Event{{w(3, 0, "x", 1)}}); err == nil {
+		t.Error("out-of-range writer not detected")
+	}
+}
+
+func TestWitnessSlowAllowsCrossVariableReorder(t *testing.T) {
+	// Sender 0 wrote x#0 then y#1; receiver applies y first. Slow OK,
+	// PRAM not.
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "y", 2)},
+		{w(0, 1, "y", 2), w(0, 0, "x", 1), r("y", 2), r("x", 1)},
+	}
+	if err := WitnessSlow(2, logs); err != nil {
+		t.Fatalf("slow witness rejected cross-variable reorder: %v", err)
+	}
+	if err := WitnessPRAM(2, logs); err == nil {
+		t.Fatal("PRAM witness must reject cross-variable reorder")
+	}
+}
+
+func TestWitnessSlowRejectsSameVariableReorder(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "x", 2)},
+		{w(0, 1, "x", 2), w(0, 0, "x", 1)},
+	}
+	if err := WitnessSlow(2, logs); err == nil {
+		t.Fatal("same-variable sender-order violation not detected")
+	}
+}
+
+func TestWitnessSlowStaleRead(t *testing.T) {
+	logs := [][]Event{
+		{w(0, 0, "x", 1), r("x", 7)},
+	}
+	if err := WitnessSlow(1, logs); err == nil {
+		t.Fatal("wrong read value not detected")
+	}
+	if err := WitnessSlow(2, [][]Event{{}}); err == nil {
+		t.Error("log count mismatch not detected")
+	}
+}
+
+func TestWitnessCausalAccepts(t *testing.T) {
+	// p0: w(x)1 then w(y)2; p1 reads both. Apply orders respect co.
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		Read(1, "y", 2).
+		Read(1, "x", 1).
+		MustHistory()
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "y", 2)},
+		{w(0, 0, "x", 1), w(0, 1, "y", 2), r("y", 2), r("x", 1)},
+	}
+	if err := WitnessCausal(h, logs); err != nil {
+		t.Fatalf("valid causal logs rejected: %v", err)
+	}
+}
+
+func TestWitnessCausalRejectsInvertedApply(t *testing.T) {
+	h := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		MustHistory()
+	logs := [][]Event{
+		{w(0, 0, "x", 1), w(0, 1, "y", 2)},
+		{w(0, 1, "y", 2), w(0, 0, "x", 1)}, // inverts w(x) ↦co w(y)
+	}
+	err := WitnessCausal(h, logs)
+	if err == nil || !strings.Contains(err.Error(), "causal order") {
+		t.Fatalf("causal inversion not detected: %v", err)
+	}
+}
+
+func TestWitnessCausalCrossProcessDependency(t *testing.T) {
+	// w0(x)1 ↦ro r1(x)1 ↦po w1(y)2, so w0(x)1 ↦co w1(y)2: node 2 must
+	// not apply y before x.
+	h := model.NewBuilder(3).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		Write(1, "y", 2).
+		MustHistory()
+	bad := [][]Event{
+		{w(0, 0, "x", 1)},
+		{w(0, 0, "x", 1), r("x", 1), w(1, 0, "y", 2)},
+		{w(1, 0, "y", 2), w(0, 0, "x", 1)},
+	}
+	if err := WitnessCausal(h, bad); err == nil {
+		t.Fatal("cross-process causal inversion not detected")
+	}
+	good := [][]Event{
+		{w(0, 0, "x", 1)},
+		{w(0, 0, "x", 1), r("x", 1), w(1, 0, "y", 2)},
+		{w(0, 0, "x", 1), w(1, 0, "y", 2)},
+	}
+	if err := WitnessCausal(h, good); err != nil {
+		t.Fatalf("valid logs rejected: %v", err)
+	}
+}
+
+func TestWitnessCausalShapeErrors(t *testing.T) {
+	h := model.NewBuilder(1).Write(0, "x", 1).MustHistory()
+	if err := WitnessCausal(h, nil); err == nil {
+		t.Error("log count mismatch not detected")
+	}
+	if err := WitnessCausal(h, [][]Event{{w(0, 5, "x", 1)}}); err == nil {
+		t.Error("dangling write reference not detected")
+	}
+	if err := WitnessCausal(h, [][]Event{{w(0, 0, "x", 99)}}); err == nil {
+		t.Error("value mismatch with history not detected")
+	}
+	if err := WitnessCausal(h, [][]Event{{w(0, 0, "x", 1), w(0, 0, "x", 1)}}); err == nil {
+		t.Error("duplicate apply not detected")
+	}
+	if err := WitnessCausal(h, [][]Event{{w(0, 0, "x", 1), r("x", 2)}}); err == nil {
+		t.Error("stale read not detected")
+	}
+}

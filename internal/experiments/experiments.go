@@ -1,0 +1,886 @@
+// Package experiments regenerates every evaluation artifact of the
+// paper — Figures 1–9 and Theorems 1–2, plus the quantitative
+// experiments DESIGN.md derives from §3.3 — as self-checking reports.
+// cmd/dsm-experiments prints them; the test suite asserts that every
+// report passes. EXPERIMENTS.md records the outcomes next to the
+// paper's claims.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"partialdsm"
+	"partialdsm/internal/bellmanford"
+	"partialdsm/internal/check"
+	"partialdsm/internal/model"
+	"partialdsm/internal/sharegraph"
+	"partialdsm/internal/workload"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (E1…E15).
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Lines is the human-readable report body.
+	Lines []string
+	// Pass records whether every checked claim held.
+	Pass bool
+}
+
+// String renders the report.
+func (r Report) String() string {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "   %s\n", l)
+	}
+	return b.String()
+}
+
+type reporter struct {
+	r Report
+}
+
+func newReporter(id, title string) *reporter {
+	return &reporter{r: Report{ID: id, Title: title, Pass: true}}
+}
+
+func (rp *reporter) logf(format string, args ...any) {
+	rp.r.Lines = append(rp.r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (rp *reporter) checkf(ok bool, format string, args ...any) {
+	mark := "✓"
+	if !ok {
+		mark = "✗"
+		rp.r.Pass = false
+	}
+	rp.r.Lines = append(rp.r.Lines, fmt.Sprintf("%s %s", mark, fmt.Sprintf(format, args...)))
+}
+
+func (rp *reporter) done() Report { return rp.r }
+
+// Fig1 reproduces Figure 1: the three-process share graph with its two
+// cliques.
+func Fig1() Report {
+	rp := newReporter("E1", "Figure 1 — share graph, cliques C(x1), C(x2)")
+	pl := sharegraph.Figure1Placement()
+	rp.logf("placement:\n%s", indent(pl.String()))
+	rp.checkf(reflect.DeepEqual(pl.Clique("x1"), []int{0, 1}), "C(x1) = %v (paper: {p_i, p_j})", pl.Clique("x1"))
+	rp.checkf(reflect.DeepEqual(pl.Clique("x2"), []int{0, 2}), "C(x2) = %v (paper: {p_i, p_k})", pl.Clique("x2"))
+	rp.checkf(pl.Edge(0, 1) && pl.Edge(0, 2) && !pl.Edge(1, 2),
+		"edges: p0–p1 and p0–p2 only (SG = union of cliques)")
+	rp.checkf(len(pl.Hoops("x1", 0)) == 0 && len(pl.Hoops("x2", 0)) == 0,
+		"no hoops in Figure 1's topology")
+	return rp.done()
+}
+
+// Fig2 reproduces Figure 2's notion of x-hoop on a chain topology.
+func Fig2() Report {
+	rp := newReporter("E2", "Figure 2 — x-hoop through processes outside C(x)")
+	pl := sharegraph.NewPlacement(5).
+		Assign(0, "x", "x1").
+		Assign(1, "x1", "x2").
+		Assign(2, "x2", "x3").
+		Assign(3, "x3", "x4").
+		Assign(4, "x4", "x")
+	hoops := pl.Hoops("x", 0)
+	rp.logf("topology: C(x)={0,4}, chain 0–1–2–3–4 via x1…x4")
+	rp.checkf(len(hoops) == 1, "exactly one x-hoop enumerated: %v", hoops)
+	if len(hoops) == 1 {
+		rp.checkf(reflect.DeepEqual(hoops[0].Path, []int{0, 1, 2, 3, 4}),
+			"hoop path is the full chain %v", hoops[0].Path)
+	}
+	rel := pl.XRelevant("x")
+	rp.checkf(reflect.DeepEqual(rel, []int{0, 1, 2, 3, 4}),
+		"all five processes are x-relevant (Theorem 1): %v", rel)
+	return rp.done()
+}
+
+// Fig3 reproduces Figure 3: the canonical x-dependency chain along a
+// hoop, and its consequence for causal consistency.
+func Fig3() Report {
+	rp := newReporter("E3", "Figure 3 — x-dependency chain from w_a(x)v to o_b(x)")
+	pl := sharegraph.NewPlacement(4).
+		Assign(0, "x", "a").
+		Assign(1, "a", "b").
+		Assign(2, "b", "c").
+		Assign(3, "c", "x")
+	hoop := sharegraph.Hoop{Var: "x", Path: []int{0, 1, 2, 3}}
+	h, err := pl.DependencyChainHistory(sharegraph.ChainSpec{Hoop: hoop})
+	if err != nil {
+		rp.checkf(false, "building chain history: %v", err)
+		return rp.done()
+	}
+	rp.logf("history:\n%s", indent(h.String()))
+	if w, found := sharegraph.DetectDependencyChain(h, hoop); found {
+		rp.checkf(true, "chain detected: %v ↦co %v via %d links", w.Initial, w.Final, len(w.Links))
+	} else {
+		rp.checkf(false, "dependency chain not detected")
+	}
+	res, err := check.Check(h, check.Causal)
+	rp.checkf(err == nil && res.Consistent, "fresh final read is causally consistent")
+	hStale, err := pl.DependencyChainHistory(sharegraph.ChainSpec{Hoop: hoop, FinalReadsStale: true})
+	if err != nil {
+		rp.checkf(false, "building stale history: %v", err)
+		return rp.done()
+	}
+	resStale, err := check.Check(hStale, check.Causal)
+	rp.checkf(err == nil && !resStale.Consistent,
+		"⊥ final read violates causal consistency (the chain constrains o_b(x))")
+	resPRAM, err := check.Check(hStale, check.PRAM)
+	rp.checkf(err == nil && resPRAM.Consistent,
+		"the same ⊥ read is PRAM-consistent (no chain under ↦pram, Theorem 2)")
+	return rp.done()
+}
+
+// figVerdicts runs the exact checkers over a figure history and asserts
+// the paper's classification.
+func figVerdicts(rp *reporter, h *model.History, want map[check.Criterion]bool) {
+	rp.logf("history:\n%s", indent(h.String()))
+	got, err := check.CheckAll(h)
+	if err != nil {
+		rp.checkf(false, "checker error: %v", err)
+		return
+	}
+	keys := make([]string, 0, len(want))
+	for c := range want {
+		keys = append(keys, string(c))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := check.Criterion(k)
+		rp.checkf(got[c] == want[c], "%-18s = %-5v (paper: %v)", c, got[c], want[c])
+	}
+}
+
+// Fig4 reproduces Figure 4: lazy causal but not causal.
+func Fig4() Report {
+	rp := newReporter("E4", "Figure 4 — lazy causal but not causal history")
+	h := model.Figure4History()
+	figVerdicts(rp, h, map[check.Criterion]bool{
+		check.Causal:     false,
+		check.LazyCausal: true,
+		check.PRAM:       true,
+	})
+	// Validate the paper's own serializations S1–S3 under ↦lco.
+	lco, err := model.LazyCausalOrder(h)
+	if err != nil {
+		rp.checkf(false, "lazy causal order: %v", err)
+		return rp.done()
+	}
+	for p, s := range model.Figure4PaperSerializations(h) {
+		err := check.ValidateSerialization(h, h.SubHistoryIPlusW(p), s, lco)
+		rp.checkf(err == nil, "paper serialization S%d respects ↦lco and read legality", p+1)
+	}
+	return rp.done()
+}
+
+// Fig5 reproduces Figure 5: not lazy causal; the hoop chain and the
+// relevance of p2 ∉ C(x).
+func Fig5() Report {
+	rp := newReporter("E5", "Figure 5 — not lazy causal; p2 is x-relevant though p2 ∉ C(x)")
+	h := model.Figure5History()
+	figVerdicts(rp, h, map[check.Criterion]bool{
+		check.Causal:     false,
+		check.LazyCausal: false,
+		check.PRAM:       true,
+	})
+	hoop := sharegraph.Hoop{Var: "x", Path: []int{0, 1, 2}}
+	w, found := sharegraph.DetectDependencyChain(h, hoop)
+	rp.checkf(found, "x-dependency chain along hoop [p1,p2,p3] detected")
+	if found {
+		rp.logf("chain: %v … %v", w.Initial, w.Final)
+	}
+	pl := sharegraph.NewPlacement(4).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y").
+		Assign(3, "x")
+	rel := pl.XRelevant("x")
+	rp.checkf(contains(rel, 1), "p2 (our node 1) is x-relevant by Theorem 1: %v", rel)
+	return rp.done()
+}
+
+// Fig6 reproduces Figure 6: not lazy semi-causal.
+func Fig6() Report {
+	rp := newReporter("E6", "Figure 6 — not lazy semi-causal history")
+	h := model.Figure6History()
+	figVerdicts(rp, h, map[check.Criterion]bool{
+		check.Causal:         false,
+		check.LazyCausal:     false,
+		check.LazySemiCausal: false,
+		check.PRAM:           true,
+	})
+	lsc, err := model.LazySemiCausalOrder(h)
+	if err != nil {
+		rp.checkf(false, "lsc order: %v", err)
+		return rp.done()
+	}
+	// IDs 0 and 7: w1(x)a and w3(x)d.
+	rp.checkf(lsc.Has(0, 7), "w1(x)a ↦lsc w3(x)d (the paper's lwb chain)")
+	return rp.done()
+}
+
+// Thm1 demonstrates Theorem 1 operationally: topology analysis agrees
+// between the two algorithms, and under causal partial replication the
+// touch matrix reaches beyond C(x).
+func Thm1(seed int64) Report {
+	rp := newReporter("E7", "Theorem 1 — x-relevant = C(x) ∪ hoop members; causal cannot be efficient")
+	rng := rand.New(rand.NewSource(seed))
+	agree := true
+	for trial := 0; trial < 30; trial++ {
+		pl := workload.RandomPlacement(rng, 3+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(3))
+		for _, x := range pl.Vars() {
+			if !reflect.DeepEqual(pl.XRelevant(x), pl.XRelevantByEnumeration(x)) {
+				agree = false
+			}
+		}
+	}
+	rp.checkf(agree, "linear-time relevance == hoop enumeration on 30 random topologies")
+
+	// Protocol level: hoop topology, one write on x.
+	cluster, err := partialdsm.New(partialdsm.Config{
+		Consistency: partialdsm.CausalPartial,
+		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}},
+		Seed:        seed,
+	})
+	if err != nil {
+		rp.checkf(false, "cluster: %v", err)
+		return rp.done()
+	}
+	defer cluster.Close()
+	if err := cluster.Node(0).Write("x", 1); err != nil {
+		rp.checkf(false, "write: %v", err)
+		return rp.done()
+	}
+	cluster.Quiesce()
+	touch := cluster.Stats().Touch
+	rp.logf("touch matrix after one write on x (C(x) = {0,2}):")
+	for p := 0; p < 3; p++ {
+		rp.logf("  node %d: %v", p, touch[p])
+	}
+	rp.checkf(sliceContains(touch[1], "x"),
+		"node 1 ∉ C(x) handled information about x — causal partial replication is not efficient")
+	rp.checkf(cluster.VerifyEfficiency() != nil, "VerifyEfficiency rejects the causal run")
+	return rp.done()
+}
+
+// Thm2 demonstrates Theorem 2: the PRAM protocol under a concurrent
+// random workload keeps information about x inside C(x) and stays PRAM
+// consistent.
+func Thm2(seed int64) Report {
+	rp := newReporter("E8", "Theorem 2 — PRAM admits efficient partial replication")
+	for _, cons := range []partialdsm.Consistency{partialdsm.PRAM, partialdsm.Slow} {
+		cluster, err := partialdsm.New(partialdsm.Config{
+			Consistency: cons,
+			Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
+			Seed:        seed,
+			MaxLatency:  100 * time.Microsecond,
+		})
+		if err != nil {
+			rp.checkf(false, "cluster: %v", err)
+			return rp.done()
+		}
+		driveRandomWorkload(cluster, 40, seed)
+		cluster.Quiesce()
+		effErr := cluster.VerifyEfficiency()
+		rp.checkf(effErr == nil, "%s: touch(p,x) ⇒ p ∈ C(x) on random workload (err=%v)", cons, effErr)
+		witErr := cluster.VerifyWitness()
+		rp.checkf(witErr == nil, "%s: witness validation passed (err=%v)", cons, witErr)
+		cluster.Close()
+	}
+	return rp.done()
+}
+
+// ScalingPoint is one row of the E9 sweep.
+type ScalingPoint struct {
+	N         int
+	CtrlPerOp map[partialdsm.Consistency]float64
+	MsgsPerOp map[partialdsm.Consistency]float64
+}
+
+// ScalingProtocols lists the protocols compared by the E9 sweep.
+var ScalingProtocols = []partialdsm.Consistency{
+	partialdsm.CausalFull,
+	partialdsm.CausalPartial,
+	partialdsm.PRAM,
+	partialdsm.Slow,
+}
+
+// Scaling runs experiment E9: write-heavy workloads on a ring share
+// graph of increasing size; the control bytes per operation of the
+// causal protocols must grow with the system size while PRAM and Slow
+// stay flat.
+func Scaling(sizes []int, opsPerNode int, seed int64) (Report, []ScalingPoint) {
+	rp := newReporter("E9", "§3.3 — control information vs system size (ring share graph)")
+	var points []ScalingPoint
+	for _, n := range sizes {
+		pt := ScalingPoint{
+			N:         n,
+			CtrlPerOp: make(map[partialdsm.Consistency]float64),
+			MsgsPerOp: make(map[partialdsm.Consistency]float64),
+		}
+		for _, cons := range ScalingProtocols {
+			placement := ringPlacement(n)
+			cluster, err := partialdsm.New(partialdsm.Config{
+				Consistency:  cons,
+				Placement:    placement,
+				Seed:         seed,
+				DisableTrace: true,
+			})
+			if err != nil {
+				rp.checkf(false, "cluster %s/%d: %v", cons, n, err)
+				return rp.done(), nil
+			}
+			ops := driveRandomWorkload(cluster, opsPerNode, seed)
+			cluster.Quiesce()
+			st := cluster.Stats()
+			pt.CtrlPerOp[cons] = float64(st.CtrlBytes) / float64(ops)
+			pt.MsgsPerOp[cons] = float64(st.Msgs) / float64(ops)
+			cluster.Close()
+		}
+		points = append(points, pt)
+	}
+	rp.logf("%-6s %14s %14s %14s %14s   (ctrl bytes/op)", "N",
+		"causal-full", "causal-part", "pram", "slow")
+	for _, pt := range points {
+		rp.logf("%-6d %14.1f %14.1f %14.1f %14.1f", pt.N,
+			pt.CtrlPerOp[partialdsm.CausalFull],
+			pt.CtrlPerOp[partialdsm.CausalPartial],
+			pt.CtrlPerOp[partialdsm.PRAM],
+			pt.CtrlPerOp[partialdsm.Slow])
+	}
+	first, last := points[0], points[len(points)-1]
+	rp.checkf(last.CtrlPerOp[partialdsm.CausalFull] > 1.5*first.CtrlPerOp[partialdsm.CausalFull],
+		"causal-full control info grows with N (vector clocks)")
+	rp.checkf(last.CtrlPerOp[partialdsm.CausalPartial] > 1.5*first.CtrlPerOp[partialdsm.CausalPartial],
+		"causal-partial control info grows with N (dependency lists + global notifications)")
+	rp.checkf(last.CtrlPerOp[partialdsm.PRAM] < 1.25*first.CtrlPerOp[partialdsm.PRAM],
+		"PRAM control info stays flat (per-sender counters only)")
+	rp.checkf(last.CtrlPerOp[partialdsm.CausalPartial] > 3*last.CtrlPerOp[partialdsm.PRAM],
+		"at N=%d causal-partial pays ≥3× PRAM per op (%.1f vs %.1f bytes)",
+		last.N, last.CtrlPerOp[partialdsm.CausalPartial], last.CtrlPerOp[partialdsm.PRAM])
+	return rp.done(), points
+}
+
+// DegreeSweep runs experiment E9b: control bytes per op as the
+// replication degree k grows at fixed N, for causal partial replication
+// versus PRAM. The paper's §1 point — "partial replication loses its
+// meaning if … each MCS process has to consider information about
+// variables that the corresponding application process will never read
+// or write" — becomes measurable: under causal consistency the control
+// volume is already system-sized at k=2, so shrinking the replica sets
+// saves almost nothing, while under PRAM the traffic is proportional to
+// k alone.
+func DegreeSweep(n int, degrees []int, opsPerNode int, seed int64) Report {
+	rp := newReporter("E9b", "§1 — does shrinking replica sets help? control bytes vs replication degree")
+	rng := rand.New(rand.NewSource(seed))
+	type row struct {
+		k      int
+		causal float64
+		pram   float64
+	}
+	var rows []row
+	for _, k := range degrees {
+		pl := workload.RandomPlacement(rng, n, n, k)
+		placement := make([][]string, n)
+		for p := 0; p < n; p++ {
+			placement[p] = pl.VarsOf(p)
+		}
+		// Guard against processes with no variables (possible at low k).
+		for p := range placement {
+			if len(placement[p]) == 0 {
+				placement[p] = []string{workload.VarName(p % n)}
+			}
+		}
+		r := row{k: k}
+		for _, cons := range []partialdsm.Consistency{partialdsm.CausalPartial, partialdsm.PRAM} {
+			cluster, err := partialdsm.New(partialdsm.Config{
+				Consistency: cons, Placement: placement, Seed: seed, DisableTrace: true,
+			})
+			if err != nil {
+				rp.checkf(false, "cluster: %v", err)
+				return rp.done()
+			}
+			ops := driveRandomWorkload(cluster, opsPerNode, seed)
+			cluster.Quiesce()
+			st := cluster.Stats()
+			v := float64(st.CtrlBytes) / float64(ops)
+			cluster.Close()
+			if cons == partialdsm.PRAM {
+				r.pram = v
+			} else {
+				r.causal = v
+			}
+		}
+		rows = append(rows, r)
+	}
+	rp.logf("%-4s %16s %10s   (ctrl bytes/op, N=%d)", "k", "causal-partial", "pram", n)
+	for _, r := range rows {
+		rp.logf("%-4d %16.1f %10.1f", r.k, r.causal, r.pram)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	rp.checkf(last.pram/first.pram > 1.5,
+		"PRAM traffic scales with k (%.1f → %.1f): smaller replica sets genuinely save traffic", first.pram, last.pram)
+	rp.checkf(first.causal > 5*first.pram,
+		"causal pays a system-sized control floor even at k=%d (%.1f vs %.1f B/op)", first.k, first.causal, first.pram)
+	return rp.done()
+}
+
+// Latency runs experiment E18: the §3.3 latency argument. With a
+// simulated 1ms-max link latency, wait-free protocols answer reads and
+// writes from the local replica while the ordering protocols pay round
+// trips.
+func Latency(seed int64) Report {
+	rp := newReporter("E18", "§3.3 — wait-free accesses vs ordering round trips (1ms max link latency)")
+	placement := make([][]string, 4)
+	for i := range placement {
+		placement[i] = []string{"x"}
+	}
+	const perOp = 60
+	measure := func(cons partialdsm.Consistency) (writeMean, readMean time.Duration, err error) {
+		cluster, err := partialdsm.New(partialdsm.Config{
+			Consistency: cons, Placement: placement,
+			Seed: seed, MaxLatency: time.Millisecond, DisableTrace: true,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer cluster.Close()
+		h := cluster.Node(1) // not the sequencer/primary: must pay the trip
+		start := time.Now()
+		for k := 0; k < perOp; k++ {
+			if err := h.Write("x", int64(k)+1); err != nil {
+				return 0, 0, err
+			}
+		}
+		writeMean = time.Since(start) / perOp
+		cluster.Quiesce()
+		start = time.Now()
+		for k := 0; k < perOp; k++ {
+			if _, err := h.Read("x"); err != nil {
+				return 0, 0, err
+			}
+		}
+		readMean = time.Since(start) / perOp
+		return writeMean, readMean, nil
+	}
+	results := make(map[partialdsm.Consistency][2]time.Duration)
+	for _, cons := range []partialdsm.Consistency{
+		partialdsm.PRAM, partialdsm.CausalFull, partialdsm.Sequential, partialdsm.Atomic,
+	} {
+		w, r, err := measure(cons)
+		if err != nil {
+			rp.checkf(false, "%s: %v", cons, err)
+			return rp.done()
+		}
+		results[cons] = [2]time.Duration{w, r}
+		rp.logf("%-12s write %9v   read %9v", cons, w.Round(time.Microsecond), r.Round(time.Microsecond))
+	}
+	rp.checkf(results[partialdsm.PRAM][0] < results[partialdsm.Sequential][0]/5,
+		"PRAM writes are wait-free; sequential writes pay the ordering round trip")
+	rp.checkf(results[partialdsm.CausalFull][1] < results[partialdsm.Atomic][1]/5,
+		"causal reads are local; atomic reads pay the primary round trip")
+	return rp.done()
+}
+
+// BellmanFordFig8 runs experiments E10–E12: the §6 case study on the
+// Figure 8 network over PRAM partial replication.
+func BellmanFordFig8(seed int64) Report {
+	rp := newReporter("E10-E12", "§6 — Bellman-Ford on PRAM memory with partial replication (Figures 7–9)")
+	g := bellmanford.Figure8Graph()
+	cluster, err := partialdsm.New(partialdsm.Config{
+		Consistency: partialdsm.PRAM,
+		Placement:   bellmanford.Placement(g),
+		Seed:        seed,
+		MaxLatency:  100 * time.Microsecond,
+	})
+	if err != nil {
+		rp.checkf(false, "cluster: %v", err)
+		return rp.done()
+	}
+	defer cluster.Close()
+	nodes := make([]bellmanford.Node, cluster.NumNodes())
+	for i := range nodes {
+		nodes[i] = cluster.Node(i)
+	}
+	res, err := bellmanford.Run(nodes, g, 0)
+	if err != nil {
+		rp.checkf(false, "run: %v", err)
+		return rp.done()
+	}
+	oracle := bellmanford.Shortest(g, 0)
+	rp.logf("distances (source = node 1 of the paper): distributed %v", res.Dist)
+	rp.logf("sequential oracle:                                    %v", oracle)
+	rp.checkf(reflect.DeepEqual(res.Dist, oracle), "distributed == oracle in %d rounds", res.Rounds)
+	cluster.Quiesce()
+	rp.checkf(cluster.VerifyWitness() == nil, "execution is PRAM-consistent (witness)")
+	rp.checkf(cluster.VerifyEfficiency() == nil, "execution is efficient: no x_h/k_h info outside C")
+	st := cluster.Stats()
+	rp.logf("traffic: %d msgs, %d ctrl bytes, %d data bytes", st.Msgs, st.CtrlBytes, st.DataBytes)
+	return rp.done()
+}
+
+// Hierarchy runs experiment E13: acceptance monotonicity along the
+// criterion-strength DAG on random histories.
+func Hierarchy(seed int64, trials int) Report {
+	rp := newReporter("E13", "§1/§4/§5 — consistency-strength hierarchy on random histories")
+	rng := rand.New(rand.NewSource(seed))
+	violations := 0
+	accepted := make(map[check.Criterion]int)
+	for t := 0; t < trials; t++ {
+		h := workload.RandomHistory(rng, 2+rng.Intn(3), 1+rng.Intn(3), 2+rng.Intn(3))
+		got, err := check.CheckAll(h)
+		if err != nil {
+			continue
+		}
+		for c, v := range got {
+			if v {
+				accepted[c]++
+			}
+		}
+		for _, imp := range check.Implications {
+			if got[imp[0]] && !got[imp[1]] {
+				violations++
+			}
+		}
+	}
+	for _, c := range check.Criteria {
+		rp.logf("%-18s accepted %3d/%d random histories", c, accepted[c], trials)
+	}
+	rp.checkf(violations == 0, "no monotonicity violations along the strength DAG (%d trials)", trials)
+	weakOrder := accepted[check.Slow] >= accepted[check.PRAM] &&
+		accepted[check.PRAM] >= accepted[check.Causal] &&
+		accepted[check.Causal] >= accepted[check.Sequential]
+	rp.checkf(weakOrder, "acceptance counts grow toward weaker criteria")
+	return rp.done()
+}
+
+// Ablation runs experiment E15: hoop-aware vs broadcast causal control
+// traffic on a star topology (where most processes are x-irrelevant)
+// and on a ring (where every process is x-relevant, so hoop-awareness
+// cannot help).
+func Ablation(opsPerNode int, seed int64) Report {
+	rp := newReporter("E15", "§3.3 ablation — hoop-aware notification vs broadcast")
+	type cell struct {
+		ctrl float64
+		msgs float64
+	}
+	run := func(cons partialdsm.Consistency, placement [][]string) (cell, error) {
+		cluster, err := partialdsm.New(partialdsm.Config{
+			Consistency:  cons,
+			Placement:    placement,
+			Seed:         seed,
+			DisableTrace: true,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		defer cluster.Close()
+		ops := driveRandomWorkload(cluster, opsPerNode, seed)
+		cluster.Quiesce()
+		st := cluster.Stats()
+		return cell{
+			ctrl: float64(st.CtrlBytes) / float64(ops),
+			msgs: float64(st.Msgs) / float64(ops),
+		}, nil
+	}
+	topologies := []struct {
+		name string
+		pl   [][]string
+	}{
+		{"star(9)", starPlacement(9)},
+		{"ring(9)", ringPlacement(9)},
+	}
+	protos := []partialdsm.Consistency{
+		partialdsm.CausalPartial, partialdsm.CausalHoopAware, partialdsm.PRAM,
+	}
+	results := make(map[string]map[partialdsm.Consistency]cell)
+	for _, topo := range topologies {
+		results[topo.name] = make(map[partialdsm.Consistency]cell)
+		for _, cons := range protos {
+			c, err := run(cons, topo.pl)
+			if err != nil {
+				rp.checkf(false, "%s on %s: %v", cons, topo.name, err)
+				return rp.done()
+			}
+			results[topo.name][cons] = c
+		}
+	}
+	rp.logf("%-10s %18s %18s %12s   (msgs/op)", "topology", "causal-partial", "hoop-aware", "pram")
+	for _, topo := range topologies {
+		r := results[topo.name]
+		rp.logf("%-10s %18.2f %18.2f %12.2f", topo.name,
+			r[partialdsm.CausalPartial].msgs, r[partialdsm.CausalHoopAware].msgs, r[partialdsm.PRAM].msgs)
+	}
+	rp.logf("%-10s %18s %18s %12s   (ctrl bytes/op)", "topology", "causal-partial", "hoop-aware", "pram")
+	for _, topo := range topologies {
+		r := results[topo.name]
+		rp.logf("%-10s %18.1f %18.1f %12.1f", topo.name,
+			r[partialdsm.CausalPartial].ctrl, r[partialdsm.CausalHoopAware].ctrl, r[partialdsm.PRAM].ctrl)
+	}
+	star, ring := results["star(9)"], results["ring(9)"]
+	rp.checkf(star[partialdsm.CausalHoopAware].msgs < 0.6*star[partialdsm.CausalPartial].msgs,
+		"star: hoop-aware sends <60%% of broadcast's messages (leaves are x-irrelevant)")
+	rp.checkf(ring[partialdsm.CausalHoopAware].msgs > 0.9*ring[partialdsm.CausalPartial].msgs,
+		"ring: hoop-awareness cannot help (every process is on some x-hoop)")
+	rp.checkf(star[partialdsm.PRAM].ctrl < star[partialdsm.CausalHoopAware].ctrl,
+		"PRAM's control bytes beat even the optimal causal design (no dependency lists)")
+	return rp.done()
+}
+
+// OpenQuestion runs experiment E16, our exploration of the paper's §7
+// open question ("the existence of a consistency criterion stronger
+// than PRAM, and allowing efficient partial replication implementation,
+// remains open"): cache consistency is incomparable with PRAM — on the
+// per-variable axis it is strictly stronger (it totally orders each
+// variable's operations) — and it admits an efficient implementation,
+// showing the boundary of efficiency is not a single chain through
+// PRAM.
+func OpenQuestion(seed int64) Report {
+	rp := newReporter("E16", "§7 open question — cache consistency: incomparable with PRAM, yet efficient")
+	// Checker-level incomparability witnesses.
+	cacheNotPRAM := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		Read(1, "y", 2).
+		ReadInit(1, "x").
+		MustHistory()
+	got1, err := check.CheckAll(cacheNotPRAM)
+	if err != nil {
+		rp.checkf(false, "checker: %v", err)
+		return rp.done()
+	}
+	rp.checkf(got1[check.Cache] && !got1[check.PRAM],
+		"witness A: cache accepts, PRAM rejects (cross-variable reordering)")
+	pramNotCache := model.NewBuilder(4).
+		Write(0, "x", 1).
+		Write(1, "x", 2).
+		Read(2, "x", 1).
+		Read(2, "x", 2).
+		Read(3, "x", 2).
+		Read(3, "x", 1).
+		MustHistory()
+	got2, err := check.CheckAll(pramNotCache)
+	if err != nil {
+		rp.checkf(false, "checker: %v", err)
+		return rp.done()
+	}
+	rp.checkf(!got2[check.Cache] && got2[check.PRAM],
+		"witness B: PRAM accepts, cache rejects (divergent orders on one variable)")
+
+	// Protocol level: cachepart is efficient on the hoop topology.
+	cluster, err := partialdsm.New(partialdsm.Config{
+		Consistency: partialdsm.CacheConsistency,
+		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
+		Seed:        seed,
+		MaxLatency:  100 * time.Microsecond,
+	})
+	if err != nil {
+		rp.checkf(false, "cluster: %v", err)
+		return rp.done()
+	}
+	defer cluster.Close()
+	driveRandomWorkload(cluster, 40, seed)
+	cluster.Quiesce()
+	rp.checkf(cluster.VerifyEfficiency() == nil,
+		"cachepart keeps all x-information inside C(x) on random workloads")
+	rp.checkf(cluster.VerifyWitness() == nil, "cachepart executions pass the cache witness")
+	rp.logf("conclusion: efficiency does not single out PRAM — per-variable strengthening")
+	rp.logf("is compatible with efficiency, cross-variable (transitive) strengthening is not")
+	return rp.done()
+}
+
+// Separation runs experiment E17: a deterministic adversarial schedule
+// (link 0→2 withheld while a dependency chain flows through node 1)
+// that drives the live PRAM protocol into a history the exact checkers
+// prove non-causal — and shows the causal protocol buffering under the
+// same schedule. The operational counterpart of Figure 3 / Theorem 1.
+func Separation(seed int64) Report {
+	rp := newReporter("E17", "operational separation — a live PRAM run that is provably not causal")
+	placement := [][]string{{"x", "y"}, {"y"}, {"x", "y"}}
+
+	waitFor := func(c *partialdsm.Cluster, node int, x string, want int64) bool {
+		h := c.Node(node)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			v, err := h.Read(x)
+			if err != nil {
+				return false
+			}
+			if v == want {
+				return true
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	// PRAM: the stale read happens.
+	pramC, err := partialdsm.New(partialdsm.Config{
+		Consistency: partialdsm.PRAM, Placement: placement, Seed: seed,
+	})
+	if err != nil {
+		rp.checkf(false, "cluster: %v", err)
+		return rp.done()
+	}
+	pramC.PauseLink(0, 2)
+	pramC.Node(0).Write("x", 1)
+	pramC.Node(0).Write("y", 2)
+	rp.checkf(waitFor(pramC, 1, "y", 2), "node 1 observed y through the open link")
+	pramC.Node(1).Write("y", 3)
+	rp.checkf(waitFor(pramC, 2, "y", 3), "PRAM: node 2 observed node 1's y' despite the withheld x")
+	vx, _ := pramC.Node(2).Read("x")
+	rp.checkf(vx == partialdsm.Bottom, "PRAM: node 2 then read x = ⊥ — the causally forbidden outcome")
+	pramC.ResumeLink(0, 2)
+	pramC.Quiesce()
+	verdicts, err := pramC.CheckHistory()
+	if err != nil {
+		rp.checkf(false, "checker: %v", err)
+		pramC.Close()
+		return rp.done()
+	}
+	rp.checkf(verdicts["pram"] && !verdicts["causal"],
+		"exact checkers: the recorded history is PRAM-consistent and NOT causal (Figure 4's class)")
+	rp.checkf(pramC.VerifyWitness() == nil, "the PRAM witness still passes — the protocol kept its promise")
+	pramC.Close()
+
+	// Causal partial replication under the identical schedule: y' stays
+	// buffered at node 2 until x arrives.
+	causalC, err := partialdsm.New(partialdsm.Config{
+		Consistency: partialdsm.CausalPartial, Placement: placement, Seed: seed,
+	})
+	if err != nil {
+		rp.checkf(false, "cluster: %v", err)
+		return rp.done()
+	}
+	causalC.PauseLink(0, 2)
+	causalC.Node(0).Write("x", 1)
+	causalC.Node(0).Write("y", 2)
+	waitFor(causalC, 1, "y", 2)
+	causalC.Node(1).Write("y", 3)
+	time.Sleep(10 * time.Millisecond)
+	vy, _ := causalC.Node(2).Read("y")
+	rp.checkf(vy == partialdsm.Bottom,
+		"causal: node 2 still reads y = ⊥ — y' is buffered behind its withheld dependencies")
+	causalC.ResumeLink(0, 2)
+	causalC.Quiesce()
+	vy2, _ := causalC.Node(2).Read("y")
+	vx2, _ := causalC.Node(2).Read("x")
+	rp.checkf(vy2 == 3 && vx2 == 1, "causal: after the link resumes, both values appear in causal order")
+	rp.checkf(causalC.VerifyWitness() == nil, "causal witness passes")
+	causalC.Close()
+	return rp.done()
+}
+
+// All runs every experiment with default parameters.
+func All(seed int64) []Report {
+	scaling, _ := Scaling([]int{4, 8, 16, 24}, 30, seed)
+	return []Report{
+		Fig1(), Fig2(), Fig3(), Fig4(), Fig5(), Fig6(),
+		Thm1(seed), Thm2(seed),
+		scaling,
+		DegreeSweep(12, []int{2, 4, 8, 12}, 30, seed),
+		BellmanFordFig8(seed),
+		Hierarchy(seed, 150),
+		Ablation(30, seed),
+		OpenQuestion(seed),
+		Separation(seed),
+		Latency(seed),
+	}
+}
+
+// driveRandomWorkload performs a seeded random mix of reads and writes
+// on every node concurrently and returns the number of operations.
+func driveRandomWorkload(c *partialdsm.Cluster, opsPerNode int, seed int64) int {
+	done := make(chan int, c.NumNodes())
+	for i := 0; i < c.NumNodes(); i++ {
+		go func(i int) {
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			h := c.Node(i)
+			vars := c.VarsOf(i)
+			ops := 0
+			if len(vars) > 0 {
+				for k := 0; k < opsPerNode; k++ {
+					x := vars[rng.Intn(len(vars))]
+					if rng.Intn(3) != 0 { // write-heavy: control traffic dominates
+						if h.Write(x, int64(i)*1_000_000+int64(k)+1) == nil {
+							ops++
+						}
+					} else {
+						if _, err := h.Read(x); err == nil {
+							ops++
+						}
+					}
+				}
+			}
+			done <- ops
+		}(i)
+	}
+	total := 0
+	for range make([]struct{}, c.NumNodes()) {
+		total += <-done
+	}
+	return total
+}
+
+// ringPlacement gives node p the variables x_p and x_{p+1 mod n}.
+func ringPlacement(n int) [][]string {
+	out := make([][]string, n)
+	for p := 0; p < n; p++ {
+		out[p] = []string{workload.VarName(p), workload.VarName((p + 1) % n)}
+	}
+	return out
+}
+
+// starPlacement gives the hub (node 0) every variable and leaf i the
+// single variable x_i it shares with the hub: leaves are x_j-irrelevant
+// for every j ≠ i (pendants with a single anchor).
+func starPlacement(n int) [][]string {
+	out := make([][]string, n)
+	out[0] = workload.VarNames(n - 1)
+	for p := 1; p < n; p++ {
+		out[p] = []string{workload.VarName(p - 1)}
+	}
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sliceContains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "     " + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"partialdsm"
+)
+
+func TestFigureReportsPass(t *testing.T) {
+	for _, rep := range []Report{Fig1(), Fig2(), Fig3(), Fig4(), Fig5(), Fig6()} {
+		if !rep.Pass {
+			t.Errorf("%s failed:\n%s", rep.ID, rep)
+		}
+	}
+}
+
+func TestTheoremReportsPass(t *testing.T) {
+	if rep := Thm1(1); !rep.Pass {
+		t.Errorf("Theorem 1 report failed:\n%s", rep)
+	}
+	if rep := Thm2(2); !rep.Pass {
+		t.Errorf("Theorem 2 report failed:\n%s", rep)
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	rep, points := Scaling([]int{4, 8, 16}, 20, 3)
+	if !rep.Pass {
+		t.Fatalf("scaling report failed:\n%s", rep)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// The headline shape: causal control grows, PRAM stays flat.
+	if points[2].CtrlPerOp[partialdsm.CausalFull] <= points[0].CtrlPerOp[partialdsm.CausalFull] {
+		t.Error("causal-full control bytes should grow with N")
+	}
+	pramRatio := points[2].CtrlPerOp[partialdsm.PRAM] / points[0].CtrlPerOp[partialdsm.PRAM]
+	if pramRatio > 1.2 {
+		t.Errorf("PRAM control bytes grew %.2fx with N, should stay flat", pramRatio)
+	}
+}
+
+func TestBellmanFordReport(t *testing.T) {
+	if rep := BellmanFordFig8(4); !rep.Pass {
+		t.Errorf("Bellman-Ford report failed:\n%s", rep)
+	}
+}
+
+func TestHierarchyReport(t *testing.T) {
+	if rep := Hierarchy(5, 60); !rep.Pass {
+		t.Errorf("hierarchy report failed:\n%s", rep)
+	}
+}
+
+func TestOpenQuestionReport(t *testing.T) {
+	if rep := OpenQuestion(7); !rep.Pass {
+		t.Errorf("open-question report failed:\n%s", rep)
+	}
+}
+
+func TestAblationReport(t *testing.T) {
+	if rep := Ablation(25, 6); !rep.Pass {
+		t.Errorf("ablation report failed:\n%s", rep)
+	}
+}
+
+func TestSeparationReport(t *testing.T) {
+	if rep := Separation(8); !rep.Pass {
+		t.Errorf("separation report failed:\n%s", rep)
+	}
+}
+
+func TestDegreeSweepReport(t *testing.T) {
+	if rep := DegreeSweep(10, []int{2, 5, 10}, 20, 9); !rep.Pass {
+		t.Errorf("degree sweep failed:\n%s", rep)
+	}
+}
+
+func TestLatencyReport(t *testing.T) {
+	if rep := Latency(10); !rep.Pass {
+		t.Errorf("latency report failed:\n%s", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Fig1()
+	s := rep.String()
+	if !strings.Contains(s, "E1") || !strings.Contains(s, "PASS") {
+		t.Errorf("report rendering: %q", s)
+	}
+}

@@ -1,0 +1,200 @@
+// Package atomicreg implements atomic (linearizable) registers with a
+// per-variable primary — the strongest criterion on the paper's
+// spectrum (§1, citing Lamport). It exists as the comparison point
+// showing what the stronger criteria cost: every operation, reads
+// included, pays a round trip to the variable's primary, whereas the
+// causal/PRAM memories serve reads wait-free from the local replica.
+//
+// The primary of x is the lowest-numbered member of C(x); it holds the
+// single authoritative copy, so executions are trivially linearizable
+// (each operation takes effect atomically at the primary).
+package atomicreg
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+)
+
+// Message kinds.
+const (
+	KindWriteReq = "atomic.writereq"
+	KindWriteAck = "atomic.writeack"
+	KindReadReq  = "atomic.readreq"
+	KindReadResp = "atomic.readresp"
+)
+
+// Node is one atomic-register MCS process.
+type Node struct {
+	cfg mcs.Config
+	id  int
+
+	mu    sync.Mutex
+	store map[string]int64 // authoritative copies of vars this node is primary for
+	reply chan int64       // response slot for the single outstanding request
+	wseq  int
+}
+
+// New instantiates the nodes and installs handlers.
+func New(cfg mcs.Config) ([]*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Placement.NumProcs()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			cfg:   cfg,
+			id:    i,
+			store: make(map[string]int64),
+			reply: make(chan int64, 1),
+		}
+		nodes[i] = node
+		cfg.Net.SetHandler(i, node.handle)
+	}
+	return nodes, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// primary returns the primary node for x: the lowest member of C(x).
+func (n *Node) primary(x string) (int, error) {
+	cx := n.cfg.Placement.Clique(x)
+	if len(cx) == 0 {
+		return 0, fmt.Errorf("%w: variable %s has no replicas", mcs.ErrNotReplicated, x)
+	}
+	return cx[0], nil
+}
+
+// Write performs w_i(x)v with a round trip to x's primary.
+func (n *Node) Write(x string, v int64) error {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	prim, err := n.primary(x)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	wseq := n.wseq
+	n.wseq++
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordWrite(n.id, x, v)
+	}
+	n.mu.Unlock()
+
+	if prim == n.id {
+		n.applyPrimary(n.id, wseq, x, v)
+		return nil
+	}
+	var enc mcs.Enc
+	enc.U32(uint32(n.id)).U32(uint32(wseq)).Str(x).I64(v)
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From: n.id, To: prim, Kind: KindWriteReq,
+		Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
+		Vars: []string{x},
+	})
+	<-n.reply // wait for the ack: the write has taken effect atomically
+	return nil
+}
+
+// Read performs r_i(x) with a round trip to x's primary.
+func (n *Node) Read(x string) (int64, error) {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	prim, err := n.primary(x)
+	if err != nil {
+		return 0, err
+	}
+	var v int64
+	if prim == n.id {
+		n.mu.Lock()
+		var ok bool
+		if v, ok = n.store[x]; !ok {
+			v = model.Bottom
+		}
+		n.mu.Unlock()
+	} else {
+		var enc mcs.Enc
+		enc.U32(uint32(n.id)).Str(x)
+		payload := enc.Bytes()
+		n.cfg.Net.Send(netsim.Message{
+			From: n.id, To: prim, Kind: KindReadReq,
+			Payload: payload, CtrlBytes: len(payload),
+			Vars: []string{x},
+		})
+		v = <-n.reply
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordRead(n.id, x, v)
+	}
+	return v, nil
+}
+
+// applyPrimary installs the write at the authoritative copy.
+func (n *Node) applyPrimary(writer, wseq int, x string, v int64) {
+	n.mu.Lock()
+	n.store[x] = v
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordApply(n.id, writer, wseq, x, v)
+	}
+	n.mu.Unlock()
+}
+
+// handle dispatches primary-side requests and requester-side replies.
+func (n *Node) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case KindWriteReq:
+		d := mcs.NewDec(msg.Payload)
+		writer := int(d.U32())
+		wseq := int(d.U32())
+		x := d.Str()
+		v := d.I64()
+		if err := d.Err(); err != nil {
+			panic(fmt.Sprintf("atomicreg: node %d: malformed write request: %v", n.id, err))
+		}
+		n.applyPrimary(writer, wseq, x, v)
+		n.cfg.Net.Send(netsim.Message{
+			From: n.id, To: writer, Kind: KindWriteAck,
+			CtrlBytes: 1, Vars: []string{x},
+		})
+	case KindReadReq:
+		d := mcs.NewDec(msg.Payload)
+		reader := int(d.U32())
+		x := d.Str()
+		if err := d.Err(); err != nil {
+			panic(fmt.Sprintf("atomicreg: node %d: malformed read request: %v", n.id, err))
+		}
+		n.mu.Lock()
+		v, ok := n.store[x]
+		if !ok {
+			v = model.Bottom
+		}
+		n.mu.Unlock()
+		var enc mcs.Enc
+		enc.I64(v)
+		n.cfg.Net.Send(netsim.Message{
+			From: n.id, To: reader, Kind: KindReadResp,
+			Payload: enc.Bytes(), DataBytes: 8, Vars: []string{x},
+		})
+	case KindWriteAck:
+		n.reply <- 0
+	case KindReadResp:
+		d := mcs.NewDec(msg.Payload)
+		v := d.I64()
+		if err := d.Err(); err != nil {
+			panic(fmt.Sprintf("atomicreg: node %d: malformed read response: %v", n.id, err))
+		}
+		n.reply <- v
+	default:
+		panic(fmt.Sprintf("atomicreg: node %d: unknown message kind %q", n.id, msg.Kind))
+	}
+}
+
+var _ mcs.Node = (*Node)(nil)

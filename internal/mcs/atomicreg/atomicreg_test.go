@@ -1,0 +1,146 @@
+package atomicreg
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+func harness(t *testing.T) ([]*Node, *netsim.Network, *mcs.Recorder, *metrics.Collector) {
+	t.Helper()
+	pl := sharegraph.NewPlacement(3).
+		Assign(0, "x", "y").
+		Assign(1, "x").
+		Assign(2, "x", "y")
+	col := metrics.NewCollector()
+	net := netsim.NewNetwork(3, netsim.Options{
+		FIFO: true, MaxLatency: 100 * time.Microsecond, Seed: 1, Metrics: col,
+	})
+	t.Cleanup(net.Close)
+	rec := mcs.NewRecorder(3)
+	nodes, err := New(mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, net, rec, col
+}
+
+func TestWriteThenReadImmediatelyVisible(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	// Linearizability: once Write returns, every subsequent Read (from
+	// any node) must observe it — no quiesce needed.
+	if err := nodes[1].Write("x", 5); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		if v, _ := n.Read("x"); v != 5 {
+			t.Errorf("node %d read %d right after write ack", i, v)
+		}
+	}
+}
+
+func TestPrimaryIsLowestCliqueMember(t *testing.T) {
+	nodes, _, _, col := harness(t)
+	// y's clique is {0,2}: primary 0. A write by 2 must produce a round
+	// trip 2→0→2.
+	if err := nodes[2].Write("y", 1); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+	if s.PerKind[KindWriteReq] != 1 || s.PerKind[KindWriteAck] != 1 {
+		t.Errorf("per kind: %v", s.PerKind)
+	}
+	// A write by the primary itself is local: no messages.
+	before := col.Snapshot().Msgs
+	if err := nodes[0].Write("y", 2); err != nil {
+		t.Fatal(err)
+	}
+	if col.Snapshot().Msgs != before {
+		t.Error("primary write must not touch the network")
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	nodes, _, _, col := harness(t)
+	nodes[0].Write("y", 9)
+	before := col.Snapshot().Msgs
+	v, err := nodes[2].Read("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 {
+		t.Errorf("read %d", v)
+	}
+	if col.Snapshot().Msgs != before+2 {
+		t.Error("remote read must cost exactly one round trip")
+	}
+}
+
+func TestConcurrentWritersLinearizable(t *testing.T) {
+	nodes, net, rec, _ := harness(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 15; k++ {
+				if err := nodes[i].Write("x", int64(i*1000+k+1)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := nodes[i].Read("x"); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	net.Quiesce()
+	err := check.WitnessAtomic(3, rec.Logs(), func(x string) int {
+		if x == "x" {
+			return 0
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatalf("atomic witness: %v", err)
+	}
+}
+
+func TestAccessControlAndMissingVar(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	if err := nodes[1].Write("y", 1); !errors.Is(err, mcs.ErrNotReplicated) {
+		t.Errorf("write y by node 1: %v", err)
+	}
+	if _, err := nodes[1].Read("y"); !errors.Is(err, mcs.ErrNotReplicated) {
+		t.Errorf("read y by node 1: %v", err)
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: "bogus"})
+}
+
+func TestMalformedPayloadPanics(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed write request must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: KindWriteReq, Payload: []byte{1}})
+}

@@ -1,0 +1,236 @@
+// Package cachepart implements cache consistency (Goodman) — per-
+// variable sequential consistency — under partial replication, as an
+// exploration of the paper's §7 open question: whether criteria other
+// than (and in places stronger than) PRAM admit efficient partial-
+// replication implementations.
+//
+// Cache consistency is incomparable with PRAM: it totally orders all
+// operations on each single variable (stronger than PRAM's per-sender
+// guarantee on that axis) but imposes nothing across variables (weaker
+// than PRAM's program order). Crucially, its synchronization is
+// per-variable, so it *is* efficient in the paper's sense: every
+// message about x stays inside C(x).
+//
+// Protocol: the lowest-numbered member of C(x) acts as x's sequencer.
+// A write on x travels to the sequencer, receives a per-variable
+// sequence number and is multicast to C(x); replicas apply each
+// variable's updates in sequence order; the writer blocks until its
+// own update is applied locally (per-variable read-your-writes, which
+// makes each variable's projection sequentially consistent with local
+// wait-free reads). Reads are local.
+package cachepart
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+)
+
+// Message kinds.
+const (
+	KindRequest = "cache.request" // writer → variable sequencer
+	KindUpdate  = "cache.update"  // sequencer → C(x)
+)
+
+// bufferedUpd is an out-of-order per-variable update.
+type bufferedUpd struct {
+	writer int
+	wseq   int
+	v      int64
+}
+
+// Node is one cache-consistent MCS process.
+type Node struct {
+	cfg mcs.Config
+	id  int
+
+	mu       sync.Mutex
+	replicas map[string]int64
+	wseq     int
+	nextSeq  map[string]int // next per-variable sequence to apply
+	buffered map[string]map[int]bufferedUpd
+	ownDone  map[string]int // per variable: own writes applied locally
+	ownSent  map[string]int // per variable: own writes issued
+	applied  *sync.Cond
+
+	seqMu sync.Mutex
+	vseq  map[string]int // sequencer role: next sequence per owned variable
+}
+
+// New instantiates the nodes and installs handlers.
+func New(cfg mcs.Config) ([]*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Placement.NumProcs()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			cfg:      cfg,
+			id:       i,
+			replicas: make(map[string]int64),
+			nextSeq:  make(map[string]int),
+			buffered: make(map[string]map[int]bufferedUpd),
+			ownDone:  make(map[string]int),
+			ownSent:  make(map[string]int),
+			vseq:     make(map[string]int),
+		}
+		node.applied = sync.NewCond(&node.mu)
+		nodes[i] = node
+		cfg.Net.SetHandler(i, node.handle)
+	}
+	return nodes, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// primary returns x's sequencer: the lowest member of C(x).
+func (n *Node) primary(x string) (int, error) {
+	cx := n.cfg.Placement.Clique(x)
+	if len(cx) == 0 {
+		return 0, fmt.Errorf("%w: variable %s has no replicas", mcs.ErrNotReplicated, x)
+	}
+	return cx[0], nil
+}
+
+// Write performs w_i(x)v: route through x's sequencer, block until the
+// update is applied locally.
+func (n *Node) Write(x string, v int64) error {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	prim, err := n.primary(x)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	wseq := n.wseq
+	n.wseq++
+	myTurn := n.ownSent[x]
+	n.ownSent[x]++
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordWrite(n.id, x, v)
+	}
+	n.mu.Unlock()
+
+	var enc mcs.Enc
+	enc.U32(uint32(n.id)).U32(uint32(wseq)).Str(x).I64(v)
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From: n.id, To: prim, Kind: KindRequest,
+		Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
+		Vars: []string{x},
+	})
+
+	// Block until this write (the myTurn-th own write on x) is applied
+	// locally, so the process's operations on x serialize in program
+	// order.
+	n.mu.Lock()
+	for n.ownDone[x] <= myTurn {
+		n.applied.Wait()
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// Read performs r_i(x) wait-free on the local replica.
+func (n *Node) Read(x string) (int64, error) {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	v, ok := n.replicas[x]
+	if !ok {
+		v = model.Bottom
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordRead(n.id, x, v)
+	}
+	n.mu.Unlock()
+	return v, nil
+}
+
+// handle dispatches sequencing requests and replica updates.
+func (n *Node) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case KindRequest:
+		n.sequence(msg)
+	case KindUpdate:
+		n.applyUpdate(msg)
+	default:
+		panic(fmt.Sprintf("cachepart: node %d: unknown message kind %q", n.id, msg.Kind))
+	}
+}
+
+// sequence (sequencer role for the message's variable) assigns the
+// per-variable order and multicasts to C(x).
+func (n *Node) sequence(msg netsim.Message) {
+	d := mcs.NewDec(msg.Payload)
+	writer := int(d.U32())
+	wseq := int(d.U32())
+	x := d.Str()
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		panic(fmt.Sprintf("cachepart: node %d: malformed request from %d: %v", n.id, msg.From, err))
+	}
+	if prim, _ := n.primary(x); prim != n.id {
+		panic(fmt.Sprintf("cachepart: request for %s routed to non-sequencer node %d", x, n.id))
+	}
+	n.seqMu.Lock()
+	seq := n.vseq[x]
+	n.vseq[x]++
+	n.seqMu.Unlock()
+
+	var enc mcs.Enc
+	enc.U32(uint32(seq)).U32(uint32(writer)).U32(uint32(wseq)).Str(x).I64(v)
+	payload := enc.Bytes()
+	for _, p := range n.cfg.Placement.Clique(x) {
+		n.cfg.Net.Send(netsim.Message{
+			From: n.id, To: p, Kind: KindUpdate,
+			Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
+			Vars: []string{x},
+		})
+	}
+}
+
+// applyUpdate applies x's updates strictly in per-variable sequence
+// order.
+func (n *Node) applyUpdate(msg netsim.Message) {
+	d := mcs.NewDec(msg.Payload)
+	seq := int(d.U32())
+	writer := int(d.U32())
+	wseq := int(d.U32())
+	x := d.Str()
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		panic(fmt.Sprintf("cachepart: node %d: malformed update: %v", n.id, err))
+	}
+	n.mu.Lock()
+	if n.buffered[x] == nil {
+		n.buffered[x] = make(map[int]bufferedUpd)
+	}
+	n.buffered[x][seq] = bufferedUpd{writer: writer, wseq: wseq, v: v}
+	for {
+		u, ok := n.buffered[x][n.nextSeq[x]]
+		if !ok {
+			break
+		}
+		delete(n.buffered[x], n.nextSeq[x])
+		n.nextSeq[x]++
+		n.replicas[x] = u.v
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordApply(n.id, u.writer, u.wseq, x, u.v)
+		}
+		if u.writer == n.id {
+			n.ownDone[x]++
+		}
+	}
+	n.applied.Broadcast()
+	n.mu.Unlock()
+}
+
+var _ mcs.Node = (*Node)(nil)

@@ -1,0 +1,158 @@
+package cachepart
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+func harness(t *testing.T) ([]*Node, *netsim.Network, *mcs.Recorder, *metrics.Collector) {
+	t.Helper()
+	pl := sharegraph.NewPlacement(3).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y")
+	col := metrics.NewCollector()
+	net := netsim.NewNetwork(3, netsim.Options{
+		FIFO: true, MaxLatency: 100 * time.Microsecond, Seed: 2, Metrics: col,
+	})
+	t.Cleanup(net.Close)
+	rec := mcs.NewRecorder(3)
+	nodes, err := New(mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, net, rec, col
+}
+
+func TestReadYourWritesPerVariable(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	for k := int64(1); k <= 10; k++ {
+		if err := nodes[2].Write("x", k); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := nodes[2].Read("x"); v != k {
+			t.Fatalf("per-variable read-your-writes violated: wrote %d, read %d", k, v)
+		}
+	}
+}
+
+func TestEfficiencyInfoStaysInClique(t *testing.T) {
+	nodes, net, _, col := harness(t)
+	nodes[0].Write("x", 1)
+	nodes[2].Write("x", 2)
+	net.Quiesce()
+	if col.Touched(1, "x") {
+		t.Error("node 1 ∉ C(x) handled x information — cachepart must be efficient")
+	}
+}
+
+func TestPerVariableTotalOrderAgreement(t *testing.T) {
+	nodes, net, rec, _ := harness(t)
+	var wg sync.WaitGroup
+	for _, i := range []int{0, 2} {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				if err := nodes[i].Write("x", int64(i*1000+k+1)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	net.Quiesce()
+	v0, _ := nodes[0].Read("x")
+	v2, _ := nodes[2].Read("x")
+	if v0 != v2 {
+		t.Errorf("replicas diverge: %d vs %d", v0, v2)
+	}
+	if err := check.WitnessCache(3, rec.Logs()); err != nil {
+		t.Fatalf("cache witness: %v", err)
+	}
+}
+
+func TestCrossVariableReorderingAllowed(t *testing.T) {
+	// Cache consistency does NOT order operations across variables: a
+	// node may see y's new value while x is still in flight. This test
+	// just documents that nothing blocks across variables — both
+	// variables converge independently.
+	nodes, net, _, _ := harness(t)
+	nodes[0].Write("x", 1)
+	nodes[0].Write("y", 2)
+	net.Quiesce()
+	if v, _ := nodes[2].Read("x"); v != 1 {
+		t.Error("x lost")
+	}
+	if v, _ := nodes[2].Read("y"); v != 2 {
+		t.Error("y lost")
+	}
+}
+
+func TestSequencerIsLowestCliqueMember(t *testing.T) {
+	nodes, net, _, col := harness(t)
+	// y's sequencer is node 0: a write by node 1 produces request 1→0
+	// then updates 0→{0,1,2}.
+	if err := nodes[1].Write("y", 5); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	s := col.Snapshot()
+	if s.PerKind[KindRequest] != 1 {
+		t.Errorf("requests = %d", s.PerKind[KindRequest])
+	}
+	if s.PerKind[KindUpdate] != 3 {
+		t.Errorf("updates = %d, want 3 (all of C(y))", s.PerKind[KindUpdate])
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	if err := nodes[1].Write("x", 1); err == nil {
+		t.Error("write outside X_1 must fail")
+	}
+	if _, err := nodes[1].Read("x"); err == nil {
+		t.Error("read outside X_1 must fail")
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: "bogus"})
+}
+
+func TestMalformedPayloadPanics(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed request must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: KindRequest, Payload: []byte{5}})
+}
+
+func TestRequestToWrongSequencerPanics(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	var enc mcs.Enc
+	enc.U32(0).U32(0).Str("x").I64(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("request to non-sequencer must panic")
+		}
+	}()
+	// x's sequencer is node 0; deliver the request to node 2 instead.
+	nodes[2].handle(netsim.Message{From: 0, To: 2, Kind: KindRequest, Payload: enc.Bytes()})
+}

@@ -1,0 +1,182 @@
+// Package causalfull implements a causally consistent memory with
+// complete replication, in the style of Ahamad, Neiger, Burns, Kohli &
+// Hutto ("Causal Memory: Definitions, Implementation and Programming")
+// — the baseline the paper contrasts partial replication against (§1).
+//
+// Every node replicates every variable and timestamps its writes with a
+// vector clock counting writes per process. Updates are broadcast;
+// delivery is delayed until the causal-broadcast condition holds
+// (ts[w] = VC[w]+1 for the writer w and ts[k] ≤ VC[k] otherwise), and
+// applies follow delivery order, which is a linear extension of the
+// causality order. Reads are wait-free on the local replica.
+//
+// The control information is Θ(n) per message — the scalability cost
+// the paper's §3.3 argues is unavoidable for causal consistency under
+// general variable distributions.
+package causalfull
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+)
+
+// KindUpdate is the protocol's only message kind.
+const KindUpdate = "causal.update"
+
+// update is a buffered remote write.
+type update struct {
+	writer int
+	ts     []uint32
+	x      string
+	v      int64
+}
+
+// Node is one causal MCS process with a full replica set.
+type Node struct {
+	cfg mcs.Config
+	id  int
+
+	mu       sync.Mutex
+	vc       []uint32 // vc[p] = number of p's writes applied locally
+	replicas map[string]int64
+	pending  []update
+}
+
+// New instantiates the nodes and installs handlers. The protocol
+// replicates every variable everywhere; the placement scopes only the
+// application's access rights.
+func New(cfg mcs.Config) ([]*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Placement.NumProcs()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			cfg:      cfg,
+			id:       i,
+			vc:       make([]uint32, n),
+			replicas: make(map[string]int64),
+		}
+		nodes[i] = node
+		cfg.Net.SetHandler(i, node.handle)
+	}
+	return nodes, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Write performs w_i(x)v: stamp with the vector clock, apply locally,
+// broadcast. Although every node replicates every variable, the
+// placement still scopes which variables the *application* process may
+// access (the paper's X_i model).
+func (n *Node) Write(x string, v int64) error {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	n.vc[n.id]++
+	wseq := int(n.vc[n.id]) - 1
+	ts := append([]uint32(nil), n.vc...)
+	n.replicas[x] = v
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordWrite(n.id, x, v)
+		rec.RecordApply(n.id, n.id, wseq, x, v)
+	}
+	n.mu.Unlock()
+
+	var enc mcs.Enc
+	enc.U32(uint32(n.id)).U32Slice(ts).Str(x).I64(v)
+	payload := enc.Bytes()
+	for p := 0; p < n.cfg.Net.NumNodes(); p++ {
+		if p == n.id {
+			continue
+		}
+		n.cfg.Net.Send(netsim.Message{
+			From:      n.id,
+			To:        p,
+			Kind:      KindUpdate,
+			Payload:   payload,
+			CtrlBytes: len(payload) - 8,
+			DataBytes: 8,
+			Vars:      []string{x},
+		})
+	}
+	return nil
+}
+
+// Read performs r_i(x) wait-free on the local replica.
+func (n *Node) Read(x string) (int64, error) {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	v, ok := n.replicas[x]
+	if !ok {
+		v = model.Bottom
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordRead(n.id, x, v)
+	}
+	n.mu.Unlock()
+	return v, nil
+}
+
+// handle buffers the update and drains everything deliverable.
+func (n *Node) handle(msg netsim.Message) {
+	d := mcs.NewDec(msg.Payload)
+	writer := int(d.U32())
+	ts := d.U32Slice()
+	x := d.Str()
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		panic(fmt.Sprintf("causalfull: node %d: malformed update from %d: %v", n.id, msg.From, err))
+	}
+	n.mu.Lock()
+	n.pending = append(n.pending, update{writer: writer, ts: ts, x: x, v: v})
+	n.drainLocked()
+	n.mu.Unlock()
+}
+
+// deliverable implements the causal-broadcast condition.
+func (n *Node) deliverable(u update) bool {
+	for k, t := range u.ts {
+		switch {
+		case k == u.writer:
+			if t != n.vc[k]+1 {
+				return false
+			}
+		case t > n.vc[k]:
+			return false
+		}
+	}
+	return true
+}
+
+// drainLocked applies pending updates until a fixpoint.
+func (n *Node) drainLocked() {
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < len(n.pending); i++ {
+			u := n.pending[i]
+			if !n.deliverable(u) {
+				continue
+			}
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			n.vc[u.writer] = u.ts[u.writer]
+			n.replicas[u.x] = u.v
+			if rec := n.cfg.Recorder; rec != nil {
+				rec.RecordApply(n.id, u.writer, int(u.ts[u.writer])-1, u.x, u.v)
+			}
+			progress = true
+			i--
+		}
+	}
+}
+
+var _ mcs.Node = (*Node)(nil)

@@ -1,0 +1,130 @@
+package causalfull
+
+import (
+	"testing"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+func harness(t *testing.T, n int) ([]*Node, *netsim.Network, *mcs.Recorder) {
+	t.Helper()
+	pl := sharegraph.NewPlacement(n)
+	for p := 0; p < n; p++ {
+		pl.Assign(p, "x", "y", "z")
+	}
+	net := netsim.NewNetwork(n, netsim.Options{FIFO: true, Metrics: metrics.NewCollector()})
+	t.Cleanup(net.Close)
+	rec := mcs.NewRecorder(n)
+	nodes, err := New(mcs.Config{Net: net, Placement: pl, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, net, rec
+}
+
+func TestBroadcastReachesEveryone(t *testing.T) {
+	nodes, net, _ := harness(t, 4)
+	if err := nodes[0].Write("x", 9); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	for i, n := range nodes {
+		if v, _ := n.Read("x"); v != 9 {
+			t.Errorf("node %d x = %d", i, v)
+		}
+	}
+}
+
+// TestDelayedDelivery injects the classic causal anomaly at the
+// transport level: node 2 receives w1(y) (which causally follows
+// w0(x)) before w0(x). The vector-clock condition must buffer the y
+// update until x arrives.
+func TestDelayedDelivery(t *testing.T) {
+	nodes, _, _ := harness(t, 3)
+	// Hand-deliver messages to node 2 out of causal order by invoking
+	// its handler directly with crafted payloads.
+	// w0(x)=1 has ts [1,0,0]; suppose node 1 saw it and wrote y with
+	// ts [1,1,0].
+	mkPayload := func(writer int, ts []uint32, v string, val int64) []byte {
+		var enc mcs.Enc
+		enc.U32(uint32(writer)).U32Slice(ts).Str(v).I64(val)
+		return enc.Bytes()
+	}
+	n2 := nodes[2]
+	n2.handle(netsim.Message{From: 1, To: 2, Kind: KindUpdate,
+		Payload: mkPayload(1, []uint32{1, 1, 0}, "y", 20)})
+	if v, _ := n2.Read("y"); v != -9223372036854775808 {
+		t.Fatalf("y applied before its causal predecessor x: %d", v)
+	}
+	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate,
+		Payload: mkPayload(0, []uint32{1, 0, 0}, "x", 10)})
+	if v, _ := n2.Read("x"); v != 10 {
+		t.Fatalf("x not applied: %d", v)
+	}
+	if v, _ := n2.Read("y"); v != 20 {
+		t.Fatalf("buffered y not drained after x arrived: %d", v)
+	}
+}
+
+func TestCausalChainThroughReads(t *testing.T) {
+	nodes, net, rec := harness(t, 3)
+	nodes[0].Write("x", 1)
+	net.Quiesce()
+	if v, _ := nodes[1].Read("x"); v != 1 {
+		t.Fatal("node 1 missed x")
+	}
+	nodes[1].Write("y", 2) // causally after w0(x)1
+	net.Quiesce()
+	if v, _ := nodes[2].Read("y"); v != 2 {
+		t.Fatal("node 2 missed y")
+	}
+	if v, _ := nodes[2].Read("x"); v != 1 {
+		t.Fatal("causal order violated: y visible without x")
+	}
+	h, err := rec.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.WitnessCausal(h, rec.Logs()); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+}
+
+func TestVectorClockControlBytesGrowWithN(t *testing.T) {
+	sizes := []int{2, 8}
+	var ctrl [2]int64
+	for i, n := range sizes {
+		pl := sharegraph.NewPlacement(n)
+		for p := 0; p < n; p++ {
+			pl.Assign(p, "x")
+		}
+		col := metrics.NewCollector()
+		net := netsim.NewNetwork(n, netsim.Options{FIFO: true, Metrics: col})
+		nodes, err := New(mcs.Config{Net: net, Placement: pl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[0].Write("x", 1)
+		net.Quiesce()
+		s := col.Snapshot()
+		ctrl[i] = s.CtrlBytes / s.Msgs
+		net.Close()
+	}
+	if ctrl[1] <= ctrl[0] {
+		t.Errorf("per-message control bytes must grow with N: %d (n=2) vs %d (n=8)", ctrl[0], ctrl[1])
+	}
+}
+
+func TestMalformedPayloadPanics(t *testing.T) {
+	nodes, _, _ := harness(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed update must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: KindUpdate, Payload: []byte{9}})
+}

@@ -1,0 +1,184 @@
+package causalpart
+
+import (
+	"testing"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+// hoopPl is the minimal hoop topology: C(x)={0,2}, node 1 bridges via y.
+func hoopPl() *sharegraph.Placement {
+	return sharegraph.NewPlacement(3).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y")
+}
+
+func harness(t *testing.T, pl *sharegraph.Placement, mode Mode) ([]*Node, *netsim.Network, *mcs.Recorder, *metrics.Collector) {
+	t.Helper()
+	n := pl.NumProcs()
+	col := metrics.NewCollector()
+	net := netsim.NewNetwork(n, netsim.Options{FIFO: true, Metrics: col})
+	t.Cleanup(net.Close)
+	rec := mcs.NewRecorder(n)
+	nodes, err := New(mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec}, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, net, rec, col
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBroadcast.String() != "broadcast" || ModeHoopAware.String() != "hoop-aware" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestBroadcastNotifiesEveryone(t *testing.T) {
+	nodes, net, _, col := harness(t, hoopPl(), ModeBroadcast)
+	nodes[0].Write("x", 1)
+	net.Quiesce()
+	// Data to node 2 (C(x)) and a notification to node 1.
+	s := col.Snapshot()
+	if s.Msgs != 2 {
+		t.Errorf("msgs = %d, want 2 (1 update + 1 notify)", s.Msgs)
+	}
+	if s.PerKind[KindUpdate] != 1 || s.PerKind[KindNotify] != 1 {
+		t.Errorf("per kind: %v", s.PerKind)
+	}
+	if !col.Touched(1, "x") {
+		t.Error("node 1 must have been notified about x")
+	}
+	// The notification carries no value: node 1 cannot read x anyway.
+	if v, _ := nodes[2].Read("x"); v != 1 {
+		t.Error("node 2 missed the data update")
+	}
+}
+
+func TestHoopAwareSkipsIrrelevant(t *testing.T) {
+	// Node 3 is a pendant (single anchor): x-irrelevant.
+	pl := sharegraph.NewPlacement(4).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y", "z").
+		Assign(3, "z")
+	nodes, net, _, col := harness(t, pl, ModeHoopAware)
+	nodes[0].Write("x", 1)
+	net.Quiesce()
+	if col.Touched(3, "x") {
+		t.Error("x-irrelevant node 3 was notified about x")
+	}
+	if !col.Touched(1, "x") {
+		t.Error("x-relevant node 1 (hoop member) must be notified")
+	}
+}
+
+// TestDependencyChainOrdering drives the hoop scenario: a chain through
+// node 1 must not let node 2 apply a second x write before the first.
+func TestDependencyChainOrdering(t *testing.T) {
+	nodes, net, rec, _ := harness(t, hoopPl(), ModeBroadcast)
+	nodes[0].Write("x", 1)
+	nodes[0].Write("y", 2)
+	net.Quiesce()
+	if v, _ := nodes[1].Read("y"); v != 2 {
+		t.Fatal("node 1 missed y")
+	}
+	nodes[1].Write("y", 3)
+	net.Quiesce()
+	if v, _ := nodes[2].Read("y"); v != 3 {
+		t.Fatal("node 2 missed y'")
+	}
+	if v, _ := nodes[2].Read("x"); v != 1 {
+		t.Fatal("node 2 read y'=3 but stale x")
+	}
+	h, err := rec.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.WitnessCausal(h, rec.Logs()); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+}
+
+// TestBufferedOutOfOrderDelivery hand-crafts an out-of-causal-order
+// arrival and checks the dependency list buffers it.
+func TestBufferedOutOfOrderDelivery(t *testing.T) {
+	nodes, _, _, _ := harness(t, hoopPl(), ModeBroadcast)
+	n2 := nodes[2]
+	// Variable universe is sorted: x=0, y=1.
+	mk := func(writer, wseq, varIdx int, hasVal uint32, val int64, deps []depEntry) []byte {
+		var enc mcs.Enc
+		enc.U32(uint32(writer)).U32(uint32(wseq)).U32(uint32(varIdx))
+		if hasVal == 1 {
+			enc.U32(1).I64(val)
+		} else {
+			enc.U32(0)
+		}
+		encodeDeps(&enc, deps)
+		return enc.Bytes()
+	}
+	// w0 #1 on y depends on w0 #0 on x (own program order): deps list
+	// carries (0,x,1) and own stream entry (0,y,0).
+	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(
+		0, 1, 1, 1, 20,
+		[]depEntry{{writer: 0, varIdx: 0, count: 1}, {writer: 0, varIdx: 1, count: 0}},
+	)})
+	if v, _ := n2.Read("y"); v != -9223372036854775808 {
+		t.Fatalf("y applied before its dependency on x: %d", v)
+	}
+	// Now the x write arrives: own stream entry (0,x,0).
+	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(
+		0, 0, 0, 1, 10,
+		[]depEntry{{writer: 0, varIdx: 0, count: 0}},
+	)})
+	if v, _ := n2.Read("x"); v != 10 {
+		t.Fatalf("x not applied: %d", v)
+	}
+	if v, _ := n2.Read("y"); v != 20 {
+		t.Fatalf("buffered y not drained: %d", v)
+	}
+}
+
+func TestDepListPrunedToReceiverInterest(t *testing.T) {
+	// Hoop-aware: node 0 writes y after x; the y update to node 1 (who
+	// is x-relevant here!) carries the x dependency. Use the pendant
+	// topology instead: writes on z to node 3 must not mention x.
+	pl := sharegraph.NewPlacement(4).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y", "z").
+		Assign(3, "z")
+	nodes, net, _, col := harness(t, pl, ModeHoopAware)
+	nodes[2].Write("x", 1) // node 2 knows about x
+	nodes[2].Write("z", 2) // depends on its own x write
+	net.Quiesce()
+	if v, _ := nodes[3].Read("z"); v != 2 {
+		t.Fatal("node 3 missed z")
+	}
+	if col.Touched(3, "x") {
+		t.Error("dependency entry about x leaked to x-irrelevant node 3")
+	}
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	pl := hoopPl()
+	net := netsim.NewNetwork(3, netsim.Options{FIFO: true})
+	defer net.Close()
+	if _, err := New(mcs.Config{Net: net, Placement: pl}, Mode(99)); err == nil {
+		t.Error("unknown mode must be rejected")
+	}
+}
+
+func TestMalformedPayloadPanics(t *testing.T) {
+	nodes, _, _, _ := harness(t, hoopPl(), ModeBroadcast)
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed message must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: KindUpdate, Payload: []byte{3}})
+}

@@ -1,0 +1,39 @@
+package mcs
+
+import "testing"
+
+// FuzzDec checks that the wire decoder never panics on arbitrary
+// payloads — protocol handlers rely on Err() for malformed input, so
+// the accessors themselves must be total.
+func FuzzDec(f *testing.F) {
+	var e Enc
+	e.U32(3).I64(-9).Str("xyz").U32Slice([]uint32{1, 2})
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Add([]byte{0, 5, 'a'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDec(data)
+		_ = d.U32()
+		_ = d.Str()
+		_ = d.U32Slice()
+		_ = d.I64()
+		_ = d.Str()
+		if d.Err() == nil && d.Rest() < 0 {
+			t.Fatal("negative rest")
+		}
+	})
+}
+
+// FuzzDecSliceFirst decodes in a different field order to cover the
+// slice-length paths.
+func FuzzDecSliceFirst(f *testing.F) {
+	f.Add([]byte{0, 3, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDec(data)
+		s := d.U32Slice()
+		if d.Err() != nil && s != nil {
+			t.Fatal("slice returned despite decode error")
+		}
+	})
+}

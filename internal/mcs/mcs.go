@@ -1,0 +1,69 @@
+// Package mcs defines the framework shared by the memory consistency
+// system protocols: the node configuration, the protocol interface the
+// DSM facade drives, the wire-format encoding helpers used to account
+// control bytes honestly, and the trace recorder that captures global
+// histories and per-node apply logs for the consistency checkers.
+//
+// One MCS process runs per node (paper §1): the application process
+// invokes operations through its local MCS process, which propagates
+// variable updates to the replicas.
+package mcs
+
+import (
+	"errors"
+	"fmt"
+
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+// ErrNotReplicated is returned when an application process accesses a
+// variable its MCS process does not replicate. In the paper's model
+// (§3) process ap_i accesses only the variables of X_i.
+var ErrNotReplicated = errors.New("mcs: variable not replicated on this node")
+
+// Node is the per-node protocol interface the DSM facade drives. Reads
+// and writes may be invoked only from the node's single application
+// goroutine; the protocol's message handlers run on network goroutines
+// and synchronize internally.
+type Node interface {
+	// ID returns the node identifier (= application process id).
+	ID() int
+	// Write performs w_i(x)v. Wait-free protocols return after the
+	// local apply; ordering protocols may block until globally ordered.
+	Write(x string, v int64) error
+	// Read performs r_i(x) and returns the value, Bottom if x was never
+	// written.
+	Read(x string) (int64, error)
+}
+
+// Config carries everything a protocol needs to instantiate its nodes.
+type Config struct {
+	// Net is the message-passing substrate. Protocols install their
+	// handlers on it; the caller owns its lifecycle.
+	Net *netsim.Network
+	// Placement is the variable distribution (the X_i sets). Full
+	// replication is just a placement assigning everything everywhere.
+	Placement *sharegraph.Placement
+	// Metrics receives message accounting; may be nil.
+	Metrics *metrics.Collector
+	// Recorder captures the global history and per-node logs; may be
+	// nil to disable tracing (benchmarks).
+	Recorder *Recorder
+}
+
+// Validate checks structural agreement between network and placement.
+func (c Config) Validate() error {
+	if c.Net == nil {
+		return errors.New("mcs: config needs a network")
+	}
+	if c.Placement == nil {
+		return errors.New("mcs: config needs a placement")
+	}
+	if c.Net.NumNodes() != c.Placement.NumProcs() {
+		return fmt.Errorf("mcs: network has %d nodes but placement has %d processes",
+			c.Net.NumNodes(), c.Placement.NumProcs())
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Package prampart implements the paper's headline construction (§5):
+// a PRAM-consistent memory consistency system under partial replication
+// that is *efficient* in the paper's sense — for every variable x, only
+// the processes of C(x) ever send, receive or store information about
+// x (Theorem 2).
+//
+// The protocol is the natural one enabled by Theorem 2:
+//
+//   - every node numbers its own writes with a per-sender sequence
+//     counter;
+//   - a write on x is multicast only to the other members of C(x),
+//     carrying (writer, wseq, x, value);
+//   - channels are FIFO per ordered pair, so each node receives any
+//     given sender's updates in that sender's program order and applies
+//     them immediately on receipt;
+//   - reads are wait-free on the local replica.
+//
+// Per-sender FIFO application yields PRAM consistency: all processes
+// observe the writes of a given process in its program order, while no
+// cross-sender ordering is enforced. The control information is O(1)
+// per message and mentions no variable outside the replica set.
+package prampart
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+)
+
+// KindUpdate is the protocol's only message kind.
+const KindUpdate = "pram.update"
+
+// Node is one PRAM MCS process.
+type Node struct {
+	cfg mcs.Config
+	id  int
+
+	mu       sync.Mutex
+	replicas map[string]int64
+	wseq     int
+	peers    map[string][]int // C(x) minus self, cached
+}
+
+// New instantiates one node per process and installs the network
+// handlers. The caller drives node i's Read/Write from application
+// goroutine i only.
+func New(cfg mcs.Config) ([]*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Placement.NumProcs()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			cfg:      cfg,
+			id:       i,
+			replicas: make(map[string]int64),
+			peers:    make(map[string][]int),
+		}
+		for _, x := range cfg.Placement.VarsOf(i) {
+			for _, p := range cfg.Placement.Clique(x) {
+				if p != i {
+					node.peers[x] = append(node.peers[x], p)
+				}
+			}
+		}
+		nodes[i] = node
+		cfg.Net.SetHandler(i, node.handle)
+	}
+	return nodes, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Write performs w_i(x)v: local apply, then multicast to C(x).
+func (n *Node) Write(x string, v int64) error {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	wseq := n.wseq
+	n.wseq++
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordWrite(n.id, x, v)
+		rec.RecordApply(n.id, n.id, wseq, x, v)
+	}
+	n.replicas[x] = v
+	peers := n.peers[x]
+	n.mu.Unlock()
+
+	var enc mcs.Enc
+	enc.U32(uint32(n.id)).U32(uint32(wseq)).Str(x).I64(v)
+	payload := enc.Bytes()
+	for _, p := range peers {
+		n.cfg.Net.Send(netsim.Message{
+			From:      n.id,
+			To:        p,
+			Kind:      KindUpdate,
+			Payload:   payload,
+			CtrlBytes: len(payload) - 8,
+			DataBytes: 8,
+			Vars:      []string{x},
+		})
+	}
+	return nil
+}
+
+// Read performs r_i(x) wait-free on the local replica.
+func (n *Node) Read(x string) (int64, error) {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	v, ok := n.replicas[x]
+	if !ok {
+		v = model.Bottom
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordRead(n.id, x, v)
+	}
+	n.mu.Unlock()
+	return v, nil
+}
+
+// handle applies a remote update immediately: per-pair FIFO delivery
+// already presents each sender's writes in program order.
+func (n *Node) handle(msg netsim.Message) {
+	d := mcs.NewDec(msg.Payload)
+	writer := int(d.U32())
+	wseq := int(d.U32())
+	x := d.Str()
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		panic(fmt.Sprintf("prampart: node %d: malformed update from %d: %v", n.id, msg.From, err))
+	}
+	n.mu.Lock()
+	n.replicas[x] = v
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordApply(n.id, writer, wseq, x, v)
+	}
+	n.mu.Unlock()
+}
+
+var _ mcs.Node = (*Node)(nil)

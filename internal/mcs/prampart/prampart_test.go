@@ -1,0 +1,127 @@
+package prampart
+
+import (
+	"errors"
+	"testing"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+// harness builds a 3-node PRAM cluster over the hoop placement
+// C(x)={0,2}, y everywhere.
+func harness(t *testing.T) ([]*Node, *netsim.Network, *mcs.Recorder, *metrics.Collector) {
+	t.Helper()
+	pl := sharegraph.NewPlacement(3).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y")
+	col := metrics.NewCollector()
+	net := netsim.NewNetwork(3, netsim.Options{FIFO: true, Metrics: col})
+	t.Cleanup(net.Close)
+	rec := mcs.NewRecorder(3)
+	nodes, err := New(mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, net, rec, col
+}
+
+func TestWritePropagatesToCliqueOnly(t *testing.T) {
+	nodes, net, _, col := harness(t)
+	if err := nodes[0].Write("x", 5); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	if v, _ := nodes[2].Read("x"); v != 5 {
+		t.Errorf("node 2 x = %d", v)
+	}
+	// Exactly one message (to the single other C(x) member).
+	if s := col.Snapshot(); s.Msgs != 1 {
+		t.Errorf("msgs = %d, want 1", s.Msgs)
+	}
+	if col.Touched(1, "x") {
+		t.Error("node 1 must never handle x information")
+	}
+}
+
+func TestReadUnwrittenReturnsBottom(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	v, err := nodes[1].Read("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != model.Bottom {
+		t.Errorf("unwritten read = %d", v)
+	}
+}
+
+func TestAccessOutsidePlacement(t *testing.T) {
+	nodes, _, _, _ := harness(t)
+	if err := nodes[1].Write("x", 1); !errors.Is(err, mcs.ErrNotReplicated) {
+		t.Errorf("write: %v", err)
+	}
+	if _, err := nodes[1].Read("x"); !errors.Is(err, mcs.ErrNotReplicated) {
+		t.Errorf("read: %v", err)
+	}
+}
+
+func TestPerSenderOrderPreserved(t *testing.T) {
+	nodes, net, rec, _ := harness(t)
+	for k := int64(1); k <= 50; k++ {
+		if err := nodes[0].Write("y", k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Quiesce()
+	if v, _ := nodes[1].Read("y"); v != 50 {
+		t.Errorf("final y = %d", v)
+	}
+	if err := check.WitnessPRAM(3, rec.Logs()); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+}
+
+func TestWriteSeqNumbersIncrease(t *testing.T) {
+	nodes, net, rec, _ := harness(t)
+	nodes[0].Write("x", 1)
+	nodes[0].Write("y", 2)
+	nodes[0].Write("x", 3)
+	net.Quiesce()
+	logs := rec.Logs()
+	// Node 2 applied x#0 and x#2 (skipping the y write it also holds …
+	// it holds y too, so it sees all three).
+	var seqs []int
+	for _, e := range logs[2] {
+		if !e.IsRead && e.Writer == 0 {
+			seqs = append(seqs, e.WSeq)
+		}
+	}
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Errorf("applied wseqs at node 2: %v", seqs)
+	}
+}
+
+func TestMalformedPayloadPanics(t *testing.T) {
+	nodes, net, _, _ := harness(t)
+	_ = nodes
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed update must panic the handler")
+		}
+	}()
+	// Call the handler directly with garbage (the network would never
+	// truncate, so this is the defensive path).
+	nodes[0].handle(netsim.Message{From: 2, To: 0, Kind: KindUpdate, Payload: []byte{1, 2}})
+	net.Quiesce()
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(mcs.Config{}); err == nil {
+		t.Error("nil config must be rejected")
+	}
+}

@@ -1,0 +1,140 @@
+package mcs
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/model"
+)
+
+// Recorder captures, concurrently and race-free, the global history of
+// application operations (per-process program order) and the per-node
+// event logs (apply order of writes plus local reads) that the witness
+// validators in internal/check consume.
+type Recorder struct {
+	mu       sync.Mutex
+	numProcs int
+	// Per-process operation sequences forming the global history.
+	ops [][]recordedOp
+	// Per-node event logs.
+	logs [][]check.Event
+	// Per-process count of issued writes, to assign write sequence
+	// numbers (WSeq).
+	writeSeq []int
+	// observer, when set, receives every event as it is recorded (live
+	// runtime verification). Called with the recorder lock held; it
+	// must not call back into the recorder.
+	observer func(node int, e check.Event)
+}
+
+// SetObserver installs a live event observer (e.g. a check.Monitor).
+// Must be called before any operation is recorded.
+func (r *Recorder) SetObserver(f func(node int, e check.Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observer = f
+}
+
+type recordedOp struct {
+	isWrite bool
+	v       string
+	val     int64
+}
+
+// NewRecorder returns a recorder for numProcs processes/nodes.
+func NewRecorder(numProcs int) *Recorder {
+	return &Recorder{
+		numProcs: numProcs,
+		ops:      make([][]recordedOp, numProcs),
+		logs:     make([][]check.Event, numProcs),
+		writeSeq: make([]int, numProcs),
+	}
+}
+
+// NumProcs returns the number of processes the recorder tracks.
+func (r *Recorder) NumProcs() int { return r.numProcs }
+
+// RecordWrite records that process p issued a write of v to x and
+// returns the write's per-process sequence number. Protocols must call
+// this exactly once per write, from the issuing application goroutine.
+func (r *Recorder) RecordWrite(p int, x string, v int64) (wseq int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	wseq = r.writeSeq[p]
+	r.writeSeq[p]++
+	r.ops[p] = append(r.ops[p], recordedOp{isWrite: true, v: x, val: v})
+	return wseq
+}
+
+// RecordRead records that process p read v from x, both in the global
+// history and in node p's event log.
+func (r *Recorder) RecordRead(p int, x string, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops[p] = append(r.ops[p], recordedOp{v: x, val: v})
+	e := check.Event{IsRead: true, Var: x, Val: v}
+	r.logs[p] = append(r.logs[p], e)
+	if r.observer != nil {
+		r.observer(p, e)
+	}
+}
+
+// RecordApply records that node applied the wseq-th write of writer
+// (x := v) to its local replica. Protocols call this for local writes
+// too, at local-apply time.
+func (r *Recorder) RecordApply(node, writer, wseq int, x string, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := check.Event{Writer: writer, WSeq: wseq, Var: x, Val: v}
+	r.logs[node] = append(r.logs[node], e)
+	if r.observer != nil {
+		r.observer(node, e)
+	}
+}
+
+// History materializes the recorded global history.
+func (r *Recorder) History() (*model.History, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := model.NewBuilder(r.numProcs)
+	for p := 0; p < r.numProcs; p++ {
+		for _, o := range r.ops[p] {
+			if o.isWrite {
+				b.Write(p, o.v, o.val)
+			} else if o.val == model.Bottom {
+				b.ReadInit(p, o.v)
+			} else {
+				b.Read(p, o.v, o.val)
+			}
+		}
+	}
+	return b.History()
+}
+
+// Logs returns a deep copy of the per-node event logs.
+func (r *Recorder) Logs() [][]check.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]check.Event, r.numProcs)
+	for i := range r.logs {
+		out[i] = append([]check.Event(nil), r.logs[i]...)
+	}
+	return out
+}
+
+// OpCount returns the total number of recorded operations.
+func (r *Recorder) OpCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ops := range r.ops {
+		n += len(ops)
+	}
+	return n
+}
+
+// String summarizes the recorder state.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("recorder(%d procs, %d ops)", r.numProcs, r.OpCount())
+}

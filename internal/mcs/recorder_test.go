@@ -1,0 +1,109 @@
+package mcs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+func TestRecorderHistoryProgramOrder(t *testing.T) {
+	r := NewRecorder(2)
+	if seq := r.RecordWrite(0, "x", 1); seq != 0 {
+		t.Errorf("first write seq = %d", seq)
+	}
+	r.RecordRead(0, "x", 1)
+	if seq := r.RecordWrite(0, "y", 2); seq != 1 {
+		t.Errorf("second write seq = %d", seq)
+	}
+	r.RecordRead(1, "z", model.Bottom)
+	h, err := r.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 4 || h.NumProcs() != 2 {
+		t.Fatalf("history shape: %d ops, %d procs", h.Len(), h.NumProcs())
+	}
+	local0 := h.Local(0)
+	if len(local0) != 3 {
+		t.Fatalf("p0 has %d ops", len(local0))
+	}
+	if op := h.Op(local0[1]); !op.IsRead() || op.Var != "x" {
+		t.Errorf("p0 op 1 = %v", op)
+	}
+	if op := h.Op(h.Local(1)[0]); op.Val != model.Bottom {
+		t.Errorf("⊥-read lost: %v", op)
+	}
+}
+
+func TestRecorderLogs(t *testing.T) {
+	r := NewRecorder(2)
+	wseq := r.RecordWrite(0, "x", 5)
+	r.RecordApply(0, 0, wseq, "x", 5)
+	r.RecordApply(1, 0, wseq, "x", 5)
+	r.RecordRead(1, "x", 5)
+	logs := r.Logs()
+	if len(logs[0]) != 1 || len(logs[1]) != 2 {
+		t.Fatalf("log lengths: %d, %d", len(logs[0]), len(logs[1]))
+	}
+	if logs[1][0].IsRead || logs[1][0].Writer != 0 || logs[1][0].WSeq != 0 {
+		t.Errorf("apply event = %+v", logs[1][0])
+	}
+	if !logs[1][1].IsRead || logs[1][1].Val != 5 {
+		t.Errorf("read event = %+v", logs[1][1])
+	}
+	// Logs are a deep copy.
+	logs[0][0].Val = 99
+	if r.Logs()[0][0].Val == 99 {
+		t.Error("Logs aliases recorder state")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				seq := r.RecordWrite(p, "x", int64(p*1000+k))
+				if seq != k {
+					t.Errorf("p%d write %d got seq %d", p, k, seq)
+					return
+				}
+				r.RecordApply(p, p, seq, "x", int64(p*1000+k))
+			}
+		}(p)
+	}
+	wg.Wait()
+	if r.OpCount() != 800 {
+		t.Fatalf("OpCount = %d", r.OpCount())
+	}
+	if s := r.String(); !strings.Contains(s, "800 ops") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	pl := sharegraph.NewPlacement(2).Assign(0, "x").Assign(1, "x")
+	net := netsim.NewNetwork(2, netsim.Options{FIFO: true})
+	defer net.Close()
+	ok := Config{Net: net, Placement: pl}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{Placement: pl}).Validate(); err == nil {
+		t.Error("missing network not detected")
+	}
+	if err := (Config{Net: net}).Validate(); err == nil {
+		t.Error("missing placement not detected")
+	}
+	pl3 := sharegraph.NewPlacement(3)
+	if err := (Config{Net: net, Placement: pl3}).Validate(); err == nil {
+		t.Error("size mismatch not detected")
+	}
+}

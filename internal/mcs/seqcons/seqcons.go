@@ -1,0 +1,218 @@
+// Package seqcons implements sequential consistency (Lamport) with a
+// sequencer: the "stronger than causal" end of the paper's criterion
+// spectrum (§1), against which the latency and control-information
+// costs of the weaker criteria are compared.
+//
+// Node 0 acts as the sequencer. A write is sent to the sequencer,
+// which assigns a global sequence number and broadcasts the update to
+// every node; nodes apply updates strictly in global-sequence order,
+// and the writer blocks until its own update has been applied locally.
+// Reads are local ("fast reads, slow writes"). The resulting executions
+// admit a single serialization — the global sequence order with each
+// read inserted after the last write applied at its node — that
+// respects every process's program order.
+package seqcons
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+)
+
+// Message kinds.
+const (
+	KindRequest = "seq.request" // writer → sequencer
+	KindUpdate  = "seq.update"  // sequencer → everyone
+)
+
+// Node is one sequentially consistent MCS process.
+type Node struct {
+	cfg mcs.Config
+	id  int
+
+	mu         sync.Mutex
+	replicas   map[string]int64
+	wseq       int
+	nextGSeq   int                 // next global sequence number to apply
+	buffered   map[int]bufferedUpd // gseq → update
+	ownApplied int                 // how many of this node's writes are applied locally
+	applied    *sync.Cond          // signalled on every apply
+
+	// Sequencer state (node 0 only).
+	seqMu sync.Mutex
+	gseq  int
+}
+
+type bufferedUpd struct {
+	writer int
+	wseq   int
+	x      string
+	v      int64
+}
+
+// New instantiates the nodes; node 0 doubles as the sequencer.
+func New(cfg mcs.Config) ([]*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Placement.NumProcs()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			cfg:      cfg,
+			id:       i,
+			replicas: make(map[string]int64),
+			buffered: make(map[int]bufferedUpd),
+		}
+		node.applied = sync.NewCond(&node.mu)
+		nodes[i] = node
+		cfg.Net.SetHandler(i, node.handle)
+	}
+	return nodes, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Write performs w_i(x)v: route through the sequencer and block until
+// the update is applied locally, so a process's writes take effect in
+// program order before its subsequent reads.
+func (n *Node) Write(x string, v int64) error {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	wseq := n.wseq
+	n.wseq++
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordWrite(n.id, x, v)
+	}
+	n.mu.Unlock()
+
+	var enc mcs.Enc
+	enc.U32(uint32(n.id)).U32(uint32(wseq)).Str(x).I64(v)
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        0,
+		Kind:      KindRequest,
+		Payload:   payload,
+		CtrlBytes: len(payload) - 8,
+		DataBytes: 8,
+		Vars:      []string{x},
+	})
+
+	// Block until our own write has been applied locally.
+	n.mu.Lock()
+	for !n.appliedOwnLocked(wseq) {
+		n.applied.Wait()
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// appliedOwnLocked reports whether this node's write #wseq has been
+// applied locally (the apply loop counts own writes).
+func (n *Node) appliedOwnLocked(wseq int) bool {
+	return n.ownApplied > wseq
+}
+
+// Read performs r_i(x) on the local replica.
+func (n *Node) Read(x string) (int64, error) {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	v, ok := n.replicas[x]
+	if !ok {
+		v = model.Bottom
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordRead(n.id, x, v)
+	}
+	n.mu.Unlock()
+	return v, nil
+}
+
+// handle dispatches on message kind.
+func (n *Node) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case KindRequest:
+		n.sequence(msg)
+	case KindUpdate:
+		n.applyUpdate(msg)
+	default:
+		panic(fmt.Sprintf("seqcons: node %d: unknown message kind %q", n.id, msg.Kind))
+	}
+}
+
+// sequence (sequencer role) assigns the global order and broadcasts.
+func (n *Node) sequence(msg netsim.Message) {
+	if n.id != 0 {
+		panic(fmt.Sprintf("seqcons: request routed to non-sequencer node %d", n.id))
+	}
+	d := mcs.NewDec(msg.Payload)
+	writer := int(d.U32())
+	wseq := int(d.U32())
+	x := d.Str()
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		panic(fmt.Sprintf("seqcons: malformed request from %d: %v", msg.From, err))
+	}
+	n.seqMu.Lock()
+	g := n.gseq
+	n.gseq++
+	n.seqMu.Unlock()
+
+	var enc mcs.Enc
+	enc.U32(uint32(g)).U32(uint32(writer)).U32(uint32(wseq)).Str(x).I64(v)
+	payload := enc.Bytes()
+	for p := 0; p < n.cfg.Net.NumNodes(); p++ {
+		n.cfg.Net.Send(netsim.Message{
+			From:      n.id,
+			To:        p,
+			Kind:      KindUpdate,
+			Payload:   payload,
+			CtrlBytes: len(payload) - 8,
+			DataBytes: 8,
+			Vars:      []string{x},
+		})
+	}
+}
+
+// applyUpdate applies updates strictly in global sequence order.
+func (n *Node) applyUpdate(msg netsim.Message) {
+	d := mcs.NewDec(msg.Payload)
+	g := int(d.U32())
+	writer := int(d.U32())
+	wseq := int(d.U32())
+	x := d.Str()
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		panic(fmt.Sprintf("seqcons: node %d: malformed update: %v", n.id, err))
+	}
+	n.mu.Lock()
+	n.buffered[g] = bufferedUpd{writer: writer, wseq: wseq, x: x, v: v}
+	for {
+		u, ok := n.buffered[n.nextGSeq]
+		if !ok {
+			break
+		}
+		delete(n.buffered, n.nextGSeq)
+		n.nextGSeq++
+		n.replicas[u.x] = u.v
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordApply(n.id, u.writer, u.wseq, u.x, u.v)
+		}
+		if u.writer == n.id {
+			n.ownApplied++
+		}
+	}
+	n.applied.Broadcast()
+	n.mu.Unlock()
+}
+
+var _ mcs.Node = (*Node)(nil)

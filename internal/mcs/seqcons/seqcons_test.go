@@ -1,0 +1,139 @@
+package seqcons
+
+import (
+	"sync"
+	"testing"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+func harness(t *testing.T, n int) ([]*Node, *netsim.Network, *mcs.Recorder) {
+	t.Helper()
+	pl := sharegraph.NewPlacement(n)
+	for p := 0; p < n; p++ {
+		pl.Assign(p, "x", "y")
+	}
+	net := netsim.NewNetwork(n, netsim.Options{FIFO: true, Metrics: metrics.NewCollector()})
+	t.Cleanup(net.Close)
+	rec := mcs.NewRecorder(n)
+	nodes, err := New(mcs.Config{Net: net, Placement: pl, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, net, rec
+}
+
+func TestWriteBlocksUntilSelfApply(t *testing.T) {
+	nodes, _, _ := harness(t, 3)
+	// After Write returns, the writer's own replica must reflect it
+	// (read-your-writes), even without quiescing.
+	for k := int64(1); k <= 10; k++ {
+		if err := nodes[1].Write("x", k); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := nodes[1].Read("x"); v != k {
+			t.Fatalf("read-your-writes violated at %d: %d", k, v)
+		}
+	}
+}
+
+func TestTotalOrderAgreement(t *testing.T) {
+	nodes, net, rec := harness(t, 4)
+	// Concurrent writers to the same variable.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				if err := nodes[i].Write("x", int64(i*100+k+1)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	net.Quiesce()
+	// Every node converges to the same final value (same total order).
+	final, _ := nodes[0].Read("x")
+	for i := 1; i < 4; i++ {
+		if v, _ := nodes[i].Read("x"); v != final {
+			t.Errorf("node %d final = %d, node 0 = %d", i, v, final)
+		}
+	}
+	// Apply logs satisfy the PRAM witness (necessary for SC).
+	if err := check.WitnessPRAM(4, rec.Logs()); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	// And every node applied the writes in the SAME order.
+	logs := rec.Logs()
+	var ref []check.Event
+	for _, e := range logs[0] {
+		if !e.IsRead {
+			ref = append(ref, e)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		var got []check.Event
+		for _, e := range logs[i] {
+			if !e.IsRead {
+				got = append(got, e)
+			}
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("node %d applied %d writes, node 0 applied %d", i, len(got), len(ref))
+		}
+		for k := range ref {
+			if got[k] != ref[k] {
+				t.Fatalf("node %d apply order diverges at %d: %v vs %v", i, k, got[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestSmallRunIsSequentiallyConsistent(t *testing.T) {
+	nodes, net, rec := harness(t, 2)
+	nodes[0].Write("x", 1)
+	nodes[1].Write("y", 2)
+	nodes[0].Read("y")
+	nodes[1].Read("x")
+	net.Quiesce()
+	h, err := rec.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := check.Check(h, check.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("not sequentially consistent:\n%s", h)
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	nodes, _, _ := harness(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: "bogus"})
+}
+
+func TestRequestToNonSequencerPanics(t *testing.T) {
+	nodes, _, _ := harness(t, 2)
+	var enc mcs.Enc
+	enc.U32(0).U32(0).Str("x").I64(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("request to non-sequencer must panic")
+		}
+	}()
+	nodes[1].handle(netsim.Message{From: 0, To: 1, Kind: KindRequest, Payload: enc.Bytes()})
+}

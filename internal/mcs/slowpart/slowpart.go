@@ -1,0 +1,174 @@
+// Package slowpart implements slow memory (Hutto & Ahamad), the
+// criterion weaker than PRAM that the paper mentions in §5 via Sinha's
+// Mermera work: each process must observe another process's writes *to
+// a single variable* in issue order, while writes by one process to
+// different variables may be observed out of order.
+//
+// The protocol mirrors prampart but replaces the per-sender FIFO
+// requirement with per-(sender, variable) sequencing done at the
+// receiver, so it tolerates non-FIFO channels: each update carries a
+// per-(sender, variable) sequence number; out-of-order updates are
+// buffered per (sender, variable) and applied in sequence, while
+// updates of different variables from the same sender commute.
+// Like prampart it is efficient in the paper's sense: information about
+// x flows only within C(x).
+package slowpart
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+)
+
+// KindUpdate is the protocol's only message kind.
+const KindUpdate = "slow.update"
+
+// key identifies a per-(sender, variable) update stream.
+type key struct {
+	sender int
+	x      string
+}
+
+// update is a buffered out-of-order remote write.
+type update struct {
+	wseq int
+	v    int64
+}
+
+// Node is one slow-memory MCS process.
+type Node struct {
+	cfg mcs.Config
+	id  int
+
+	mu       sync.Mutex
+	replicas map[string]int64
+	wseq     int            // own global write counter (for the recorder)
+	vseq     map[string]int // per-variable own write counter (wire sequence)
+	next     map[key]int    // next expected per-(sender,variable) sequence
+	buffered map[key]map[int]update
+	peers    map[string][]int
+}
+
+// New instantiates one node per process and installs handlers.
+func New(cfg mcs.Config) ([]*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Placement.NumProcs()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			cfg:      cfg,
+			id:       i,
+			replicas: make(map[string]int64),
+			vseq:     make(map[string]int),
+			next:     make(map[key]int),
+			buffered: make(map[key]map[int]update),
+			peers:    make(map[string][]int),
+		}
+		for _, x := range cfg.Placement.VarsOf(i) {
+			for _, p := range cfg.Placement.Clique(x) {
+				if p != i {
+					node.peers[x] = append(node.peers[x], p)
+				}
+			}
+		}
+		nodes[i] = node
+		cfg.Net.SetHandler(i, node.handle)
+	}
+	return nodes, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Write performs w_i(x)v: local apply, multicast to C(x) with the
+// per-variable sequence number.
+func (n *Node) Write(x string, v int64) error {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	wseq := n.wseq
+	n.wseq++
+	vseq := n.vseq[x]
+	n.vseq[x]++
+	n.replicas[x] = v
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordWrite(n.id, x, v)
+		rec.RecordApply(n.id, n.id, wseq, x, v)
+	}
+	peers := n.peers[x]
+	n.mu.Unlock()
+
+	var enc mcs.Enc
+	enc.U32(uint32(n.id)).U32(uint32(wseq)).U32(uint32(vseq)).Str(x).I64(v)
+	payload := enc.Bytes()
+	for _, p := range peers {
+		n.cfg.Net.Send(netsim.Message{
+			From:      n.id,
+			To:        p,
+			Kind:      KindUpdate,
+			Payload:   payload,
+			CtrlBytes: len(payload) - 8,
+			DataBytes: 8,
+			Vars:      []string{x},
+		})
+	}
+	return nil
+}
+
+// Read performs r_i(x) wait-free on the local replica.
+func (n *Node) Read(x string) (int64, error) {
+	if !n.cfg.Placement.Holds(n.id, x) {
+		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	n.mu.Lock()
+	v, ok := n.replicas[x]
+	if !ok {
+		v = model.Bottom
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordRead(n.id, x, v)
+	}
+	n.mu.Unlock()
+	return v, nil
+}
+
+// handle applies the update if it is next in its (sender, variable)
+// stream, otherwise buffers it; then drains the stream.
+func (n *Node) handle(msg netsim.Message) {
+	d := mcs.NewDec(msg.Payload)
+	writer := int(d.U32())
+	wseq := int(d.U32())
+	vseq := int(d.U32())
+	x := d.Str()
+	v := d.I64()
+	if err := d.Err(); err != nil {
+		panic(fmt.Sprintf("slowpart: node %d: malformed update from %d: %v", n.id, msg.From, err))
+	}
+	k := key{sender: writer, x: x}
+	n.mu.Lock()
+	if n.buffered[k] == nil {
+		n.buffered[k] = make(map[int]update)
+	}
+	n.buffered[k][vseq] = update{wseq: wseq, v: v}
+	for {
+		u, ok := n.buffered[k][n.next[k]]
+		if !ok {
+			break
+		}
+		delete(n.buffered[k], n.next[k])
+		n.next[k]++
+		n.replicas[x] = u.v
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordApply(n.id, writer, u.wseq, x, u.v)
+		}
+	}
+	n.mu.Unlock()
+}
+
+var _ mcs.Node = (*Node)(nil)

@@ -1,0 +1,102 @@
+package slowpart
+
+import (
+	"testing"
+	"time"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+)
+
+func harness(t *testing.T, fifo bool) ([]*Node, *netsim.Network, *mcs.Recorder, *metrics.Collector) {
+	t.Helper()
+	pl := sharegraph.NewPlacement(3).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y")
+	col := metrics.NewCollector()
+	net := netsim.NewNetwork(3, netsim.Options{
+		FIFO: fifo, MaxLatency: 200 * time.Microsecond, Seed: 3, Metrics: col,
+	})
+	t.Cleanup(net.Close)
+	rec := mcs.NewRecorder(3)
+	nodes, err := New(mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, net, rec, col
+}
+
+func TestPropagationAndEfficiency(t *testing.T) {
+	nodes, net, _, col := harness(t, true)
+	nodes[0].Write("x", 7)
+	net.Quiesce()
+	if v, _ := nodes[2].Read("x"); v != 7 {
+		t.Errorf("node 2 x = %d", v)
+	}
+	if col.Touched(1, "x") {
+		t.Error("node 1 must never handle x")
+	}
+}
+
+func TestPerVariableOrderUnderNonFIFO(t *testing.T) {
+	nodes, net, rec, _ := harness(t, false)
+	// Interleaved writes to two variables; per-variable order must
+	// survive arbitrary reordering across variables.
+	for k := int64(1); k <= 30; k++ {
+		nodes[0].Write("x", k)
+		nodes[0].Write("y", 1000+k)
+	}
+	net.Quiesce()
+	if v, _ := nodes[2].Read("x"); v != 30 {
+		t.Errorf("final x = %d", v)
+	}
+	if v, _ := nodes[2].Read("y"); v != 1030 {
+		t.Errorf("final y = %d", v)
+	}
+	if err := check.WitnessSlow(3, rec.Logs()); err != nil {
+		t.Fatalf("slow witness: %v", err)
+	}
+}
+
+// TestOutOfOrderBuffering delivers vseq 1 before vseq 0 by hand.
+func TestOutOfOrderBuffering(t *testing.T) {
+	nodes, _, _, _ := harness(t, true)
+	n2 := nodes[2]
+	mk := func(writer, wseq, vseq int, v string, val int64) []byte {
+		var enc mcs.Enc
+		enc.U32(uint32(writer)).U32(uint32(wseq)).U32(uint32(vseq)).Str(v).I64(val)
+		return enc.Bytes()
+	}
+	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(0, 1, 1, "x", 2)})
+	if v, _ := n2.Read("x"); v != -9223372036854775808 {
+		t.Fatalf("out-of-order vseq applied: %d", v)
+	}
+	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(0, 0, 0, "x", 1)})
+	if v, _ := n2.Read("x"); v != 2 {
+		t.Fatalf("drain after gap fill failed: %d", v)
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	nodes, _, _, _ := harness(t, true)
+	if err := nodes[1].Write("x", 1); err == nil {
+		t.Error("write outside X_1 must fail")
+	}
+	if _, err := nodes[1].Read("x"); err == nil {
+		t.Error("read outside X_1 must fail")
+	}
+}
+
+func TestMalformedPayloadPanics(t *testing.T) {
+	nodes, _, _, _ := harness(t, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed update must panic")
+		}
+	}()
+	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: KindUpdate, Payload: []byte{1}})
+}

@@ -1,0 +1,130 @@
+package mcs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Enc builds a wire payload field by field. The byte layout is the
+// protocol's actual encoding, so payload lengths measure the real
+// control/data volume a deployment would ship.
+type Enc struct{ buf []byte }
+
+// U32 appends a big-endian uint32.
+func (e *Enc) U32(v uint32) *Enc {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+	return e
+}
+
+// I64 appends a big-endian int64.
+func (e *Enc) I64(v int64) *Enc {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(v))
+	return e
+}
+
+// Str appends a length-prefixed string (uint16 length).
+func (e *Enc) Str(s string) *Enc {
+	if len(s) > 0xffff {
+		panic(fmt.Sprintf("mcs: string too long to encode (%d bytes)", len(s)))
+	}
+	e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(s)))
+	e.buf = append(e.buf, s...)
+	return e
+}
+
+// U32Slice appends a length-prefixed []uint32 (uint16 count).
+func (e *Enc) U32Slice(vs []uint32) *Enc {
+	if len(vs) > 0xffff {
+		panic(fmt.Sprintf("mcs: slice too long to encode (%d entries)", len(vs)))
+	}
+	e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(vs)))
+	for _, v := range vs {
+		e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+	}
+	return e
+}
+
+// Len returns the number of bytes encoded so far.
+func (e *Enc) Len() int { return len(e.buf) }
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Dec consumes a wire payload field by field. Decoding errors are
+// sticky: after the first failure every accessor returns zero values
+// and Err reports the cause.
+type Dec struct {
+	buf []byte
+	err error
+}
+
+// NewDec returns a decoder over payload.
+func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("mcs: payload truncated: need %d bytes, have %d", n, len(d.buf))
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+// U32 consumes a big-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// I64 consumes a big-endian int64.
+func (d *Dec) I64() int64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// Str consumes a length-prefixed string.
+func (d *Dec) Str() string {
+	lb := d.take(2)
+	if lb == nil {
+		return ""
+	}
+	n := int(binary.BigEndian.Uint16(lb))
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// U32Slice consumes a length-prefixed []uint32.
+func (d *Dec) U32Slice() []uint32 {
+	lb := d.take(2)
+	if lb == nil {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint16(lb))
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.U32())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Err returns the first decoding error, nil if none.
+func (d *Dec) Err() error { return d.err }
+
+// Rest returns the number of unconsumed bytes.
+func (d *Dec) Rest() int { return len(d.buf) }

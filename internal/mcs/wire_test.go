@@ -1,0 +1,99 @@
+package mcs
+
+import (
+	"testing"
+)
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U32(7).I64(-42).Str("hello").U32Slice([]uint32{1, 2, 3}).Str("")
+	d := NewDec(e.Bytes())
+	if got := d.U32(); got != 7 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	got := d.U32Slice()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("U32Slice = %v", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Errorf("empty Str = %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Rest() != 0 {
+		t.Errorf("Rest = %d", d.Rest())
+	}
+}
+
+func TestEncLen(t *testing.T) {
+	var e Enc
+	e.U32(1)
+	if e.Len() != 4 {
+		t.Errorf("Len after U32 = %d", e.Len())
+	}
+	e.I64(1)
+	if e.Len() != 12 {
+		t.Errorf("Len after I64 = %d", e.Len())
+	}
+	e.Str("ab")
+	if e.Len() != 16 { // 2-byte prefix + 2 bytes
+		t.Errorf("Len after Str = %d", e.Len())
+	}
+}
+
+func TestDecTruncation(t *testing.T) {
+	var e Enc
+	e.U32(9)
+	d := NewDec(e.Bytes()[:2])
+	if d.U32() != 0 || d.Err() == nil {
+		t.Error("truncated U32 must error and return zero")
+	}
+	// Sticky error: further reads keep failing.
+	if d.I64() != 0 || d.Str() != "" || d.U32Slice() != nil {
+		t.Error("error must be sticky")
+	}
+}
+
+func TestDecTruncatedString(t *testing.T) {
+	var e Enc
+	e.Str("hello")
+	d := NewDec(e.Bytes()[:4])
+	if d.Str() != "" || d.Err() == nil {
+		t.Error("truncated string body must error")
+	}
+}
+
+func TestDecTruncatedSlice(t *testing.T) {
+	var e Enc
+	e.U32Slice([]uint32{1, 2, 3})
+	d := NewDec(e.Bytes()[:6])
+	if d.U32Slice() != nil || d.Err() == nil {
+		t.Error("truncated slice must error")
+	}
+}
+
+func TestEncStrTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized string must panic")
+		}
+	}()
+	var e Enc
+	e.Str(string(make([]byte, 70000)))
+}
+
+func TestI64NegativeValues(t *testing.T) {
+	var e Enc
+	e.I64(-9223372036854775808).I64(9223372036854775807)
+	d := NewDec(e.Bytes())
+	if d.I64() != -9223372036854775808 || d.I64() != 9223372036854775807 {
+		t.Error("extreme int64 values corrupted")
+	}
+}

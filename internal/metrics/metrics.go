@@ -1,0 +1,124 @@
+// Package metrics accounts for the control information that MCS
+// processes exchange — the quantity the paper's efficiency notion is
+// about. Every wire message is split into control bytes (identifiers,
+// sequence numbers, dependency vectors) and data bytes (the written
+// value); in addition, a touch matrix records which nodes ever send or
+// receive information mentioning which variables.
+//
+// The paper's "efficient partial replication" (§3) becomes the
+// checkable invariant: touch(p, x) ⇒ p ∈ C(x).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Collector accumulates message and byte counts plus the per-node
+// per-variable touch matrix. All methods are safe for concurrent use.
+type Collector struct {
+	mu        sync.Mutex
+	msgs      int64
+	ctrlBytes int64
+	dataBytes int64
+	touch     map[int]map[string]bool
+	perKind   map[string]int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		touch:   make(map[int]map[string]bool),
+		perKind: make(map[string]int64),
+	}
+}
+
+// RecordMessage accounts one message from node `from` to node `to`
+// with the given control/data byte split, carrying information about
+// the listed variables. Both endpoints are marked as touching the
+// variables.
+func (c *Collector) RecordMessage(kind string, from, to int, ctrlBytes, dataBytes int, vars []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs++
+	c.ctrlBytes += int64(ctrlBytes)
+	c.dataBytes += int64(dataBytes)
+	c.perKind[kind]++
+	for _, node := range []int{from, to} {
+		m := c.touch[node]
+		if m == nil {
+			m = make(map[string]bool)
+			c.touch[node] = m
+		}
+		for _, v := range vars {
+			m[v] = true
+		}
+	}
+}
+
+// Touched reports whether node ever sent or received information about
+// variable x.
+func (c *Collector) Touched(node int, x string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.touch[node][x]
+}
+
+// Stats is an immutable snapshot of a collector.
+type Stats struct {
+	Msgs      int64
+	CtrlBytes int64
+	DataBytes int64
+	PerKind   map[string]int64
+	// Touch maps node → sorted variables the node has information about.
+	Touch map[int][]string
+}
+
+// Snapshot returns a copy of the current counters.
+func (c *Collector) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Msgs:      c.msgs,
+		CtrlBytes: c.ctrlBytes,
+		DataBytes: c.dataBytes,
+		PerKind:   make(map[string]int64, len(c.perKind)),
+		Touch:     make(map[int][]string, len(c.touch)),
+	}
+	for k, v := range c.perKind {
+		s.PerKind[k] = v
+	}
+	for node, vars := range c.touch {
+		list := make([]string, 0, len(vars))
+		for v := range vars {
+			list = append(list, v)
+		}
+		sort.Strings(list)
+		s.Touch[node] = list
+	}
+	return s
+}
+
+// Reset clears all counters.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs, c.ctrlBytes, c.dataBytes = 0, 0, 0
+	c.touch = make(map[int]map[string]bool)
+	c.perKind = make(map[string]int64)
+}
+
+// String summarizes the snapshot.
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs=%d ctrlBytes=%d dataBytes=%d", s.Msgs, s.CtrlBytes, s.DataBytes)
+}
+
+// CtrlBytesPerMsg returns the mean control payload per message, 0 for
+// an empty collector.
+func (s Stats) CtrlBytesPerMsg() float64 {
+	if s.Msgs == 0 {
+		return 0
+	}
+	return float64(s.CtrlBytes) / float64(s.Msgs)
+}

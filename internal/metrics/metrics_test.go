@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.RecordMessage("upd", 0, 1, 12, 8, []string{"x", "y"})
+	c.RecordMessage("ntf", 1, 2, 4, 0, []string{"x"})
+	s := c.Snapshot()
+	if s.Msgs != 2 || s.CtrlBytes != 16 || s.DataBytes != 8 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if !reflect.DeepEqual(s.Touch[0], []string{"x", "y"}) {
+		t.Errorf("touch[0] = %v", s.Touch[0])
+	}
+	if !reflect.DeepEqual(s.Touch[2], []string{"x"}) {
+		t.Errorf("touch[2] = %v", s.Touch[2])
+	}
+	if got := s.CtrlBytesPerMsg(); got != 8 {
+		t.Errorf("CtrlBytesPerMsg = %v, want 8", got)
+	}
+}
+
+func TestTouched(t *testing.T) {
+	c := NewCollector()
+	c.RecordMessage("upd", 3, 4, 1, 1, []string{"z"})
+	if !c.Touched(3, "z") || !c.Touched(4, "z") {
+		t.Error("endpoints must both be touched")
+	}
+	if c.Touched(5, "z") || c.Touched(3, "w") {
+		t.Error("unexpected touch")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector()
+	c.RecordMessage("upd", 0, 1, 5, 5, []string{"x"})
+	c.Reset()
+	s := c.Snapshot()
+	if s.Msgs != 0 || s.CtrlBytes != 0 || s.DataBytes != 0 || len(s.Touch) != 0 {
+		t.Fatalf("reset left state: %+v", s)
+	}
+	if s.CtrlBytesPerMsg() != 0 {
+		t.Error("CtrlBytesPerMsg on empty must be 0")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	c := NewCollector()
+	c.RecordMessage("upd", 0, 1, 1, 1, []string{"x"})
+	s := c.Snapshot()
+	s.PerKind["upd"] = 99
+	s.Touch[0] = append(s.Touch[0], "mutated")
+	s2 := c.Snapshot()
+	if s2.PerKind["upd"] != 1 || len(s2.Touch[0]) != 1 {
+		t.Error("snapshot aliases collector state")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				c.RecordMessage("upd", g, (g+1)%8, 2, 3, []string{"x"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Msgs != 8000 || s.CtrlBytes != 16000 || s.DataBytes != 24000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := NewCollector()
+	c.RecordMessage("x", 0, 0, 1, 2, nil)
+	if got := c.Snapshot().String(); got != "msgs=1 ctrlBytes=1 dataBytes=2" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,96 @@
+package model
+
+// This file reconstructs the example histories of the paper's figures.
+// Symbolic values map to integers: a=1, b=2, c=3, d=4, e=5.
+
+// Symbolic values used by the paper's figures.
+const (
+	ValA int64 = 1
+	ValB int64 = 2
+	ValC int64 = 3
+	ValD int64 = 4
+	ValE int64 = 5
+)
+
+// Figure4History builds the history of Figure 4, which is lazy causal
+// but not causal:
+//
+//	p1: w1(x)a  r1(x)a  w1(y)b
+//	p2: r2(y)b  w2(y)c
+//	p3: r3(y)c  r3(x)⊥
+//
+// The read r3(x)⊥ violates causal consistency (w1(x)a ↦co r3(x)⊥ via
+// the chain through y), but under lazy program order r3(y)c and r3(x)⊥
+// are unrelated, so the reads may be serialized in either order.
+func Figure4History() *History {
+	return NewBuilder(3).
+		Write(0, "x", ValA).
+		Read(0, "x", ValA).
+		Write(0, "y", ValB).
+		Read(1, "y", ValB).
+		Write(1, "y", ValC).
+		Read(2, "y", ValC).
+		ReadInit(2, "x").
+		MustHistory()
+}
+
+// Figure4PaperSerializations returns the serializations S1, S2, S3
+// printed in the paper for Figure 4's history (op IDs of h in order),
+// keyed by process. They respect the lazy causal order.
+func Figure4PaperSerializations(h *History) map[int][]int {
+	// Op IDs by construction order in Figure4History:
+	// 0:w1(x)a 1:r1(x)a 2:w1(y)b 3:r2(y)b 4:w2(y)c 5:r3(y)c 6:r3(x)⊥
+	return map[int][]int{
+		0: {0, 1, 2, 4},    // S1 = w1(x)a r1(x)a w1(y)b w2(y)c
+		1: {0, 2, 3, 4},    // S2 = w1(x)a w1(y)b r2(y)b w2(y)c
+		2: {6, 0, 2, 4, 5}, // S3 = r3(x)⊥ w1(x)a w1(y)b w2(y)c r3(y)c
+	}
+}
+
+// Figure5History builds the history of Figure 5, which is not lazy
+// causal (an x-dependency chain forms along the x-hoop [p1,p2,p3] and
+// p4 reads d before a):
+//
+//	p1: w1(x)a  r1(x)a  w1(y)b
+//	p2: r2(y)b  w2(y)c
+//	p3: r3(y)c  w3(x)d
+//	p4: r4(x)d  r4(x)a
+func Figure5History() *History {
+	return NewBuilder(4).
+		Write(0, "x", ValA).
+		Read(0, "x", ValA).
+		Write(0, "y", ValB).
+		Read(1, "y", ValB).
+		Write(1, "y", ValC).
+		Read(2, "y", ValC).
+		Write(2, "x", ValD).
+		Read(3, "x", ValD).
+		Read(3, "x", ValA).
+		MustHistory()
+}
+
+// Figure6History builds the history of Figure 6, which is not lazy
+// semi-causal:
+//
+//	p1: w1(x)a  r1(x)a  w1(y)b
+//	p2: r2(y)b  w2(y)e  w2(z)c
+//	p3: r3(z)c  w3(x)d
+//	p4: r4(x)d  r4(x)a
+//
+// The chain w1(x)a ↦lsc w3(x)d forms through the lazy writes-before
+// pairs (the paper annotates w1(x)a →lwb r2(y)b because of w1(y)b, then
+// reaches r3(z)c via w2(z)c), so p4 reading d before a is inconsistent.
+func Figure6History() *History {
+	return NewBuilder(4).
+		Write(0, "x", ValA).
+		Read(0, "x", ValA).
+		Write(0, "y", ValB).
+		Read(1, "y", ValB).
+		Write(1, "y", ValE).
+		Write(1, "z", ValC).
+		Read(2, "z", ValC).
+		Write(2, "x", ValD).
+		Read(3, "x", ValD).
+		Read(3, "x", ValA).
+		MustHistory()
+}

@@ -1,0 +1,44 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseHistory checks that arbitrary input never panics the parser
+// and that every successfully parsed history round-trips through JSON.
+func FuzzParseHistory(f *testing.F) {
+	seeds := []string{
+		`{"processes": []}`,
+		`{"processes": [[{"op":"w","var":"x","val":1}]]}`,
+		`{"processes": [[{"op":"r","var":"x","init":true}],[{"op":"w","var":"x","val":-5}]]}`,
+		`{"processes": [[{"op":"q","var":"x"}]]}`,
+		`not json at all`,
+		`{"processes": [[{"op":"w","var":"","val":0}]]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHistory(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := h.MarshalJSON()
+		if err != nil {
+			t.Fatalf("parsed history failed to marshal: %v", err)
+		}
+		h2, err := ParseHistory(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, out)
+		}
+		if h2.Len() != h.Len() || h2.NumProcs() != h.NumProcs() {
+			t.Fatalf("round trip changed shape")
+		}
+		for i := 0; i < h.Len(); i++ {
+			if h.Op(i) != h2.Op(i) {
+				t.Fatalf("round trip changed op %d: %v vs %v", i, h.Op(i), h2.Op(i))
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonOp is the wire form of a single operation. Reads of the initial
+// value use "init": true instead of a value.
+type jsonOp struct {
+	Kind string `json:"op"`             // "r" or "w"
+	Var  string `json:"var"`            // variable name
+	Val  int64  `json:"val,omitempty"`  // value written / returned
+	Init bool   `json:"init,omitempty"` // read returned ⊥
+}
+
+// jsonHistory is the wire form of a history: one operation list per
+// process, in program order.
+type jsonHistory struct {
+	Processes [][]jsonOp `json:"processes"`
+}
+
+// MarshalJSON encodes the history as a per-process operation list.
+func (h *History) MarshalJSON() ([]byte, error) {
+	jh := jsonHistory{Processes: make([][]jsonOp, h.NumProcs())}
+	for p := 0; p < h.NumProcs(); p++ {
+		jh.Processes[p] = make([]jsonOp, 0, len(h.Local(p)))
+		for _, id := range h.Local(p) {
+			o := h.Op(id)
+			jo := jsonOp{Kind: o.Kind.String(), Var: o.Var}
+			if o.IsRead() && o.Val == Bottom {
+				jo.Init = true
+			} else {
+				jo.Val = o.Val
+			}
+			jh.Processes[p] = append(jh.Processes[p], jo)
+		}
+	}
+	return json.Marshal(jh)
+}
+
+// ParseHistory decodes a history from its JSON form.
+func ParseHistory(r io.Reader) (*History, error) {
+	var jh jsonHistory
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jh); err != nil {
+		return nil, fmt.Errorf("model: decoding history: %w", err)
+	}
+	if len(jh.Processes) == 0 {
+		return nil, fmt.Errorf("model: history has no processes")
+	}
+	b := NewBuilder(len(jh.Processes))
+	for p, ops := range jh.Processes {
+		for _, jo := range ops {
+			switch jo.Kind {
+			case "w":
+				if jo.Init {
+					return nil, fmt.Errorf("model: process %d: a write cannot be marked init", p)
+				}
+				b.Write(p, jo.Var, jo.Val)
+			case "r":
+				if jo.Init {
+					b.ReadInit(p, jo.Var)
+				} else {
+					b.Read(p, jo.Var, jo.Val)
+				}
+			default:
+				return nil, fmt.Errorf("model: process %d: unknown op kind %q (want \"r\" or \"w\")", p, jo.Kind)
+			}
+		}
+	}
+	return b.History()
+}

@@ -1,0 +1,256 @@
+// Package model implements the shared-memory execution model of
+// Hélary & Milani, "About the efficiency of partial replication to
+// implement Distributed Shared Memory" (IRISA PI-1727, ICPP 2006), §2.
+//
+// A history is a collection of local histories, one per application
+// process, where each local history is a sequence of read and write
+// operations on shared variables. The package provides the order
+// relations the paper builds on: program order, read-from order, causal
+// order (Ahamad et al.), and the weakened relations introduced by the
+// paper — lazy program order, lazy causal order, lazy writes-before,
+// lazy semi-causal order — together with the PRAM relation.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// OpKind distinguishes read and write operations.
+type OpKind uint8
+
+const (
+	// ReadOp is a read operation r_i(x)v returning value v.
+	ReadOp OpKind = iota
+	// WriteOp is a write operation w_i(x)v storing value v.
+	WriteOp
+)
+
+// String returns "r" or "w".
+func (k OpKind) String() string {
+	if k == WriteOp {
+		return "w"
+	}
+	return "r"
+}
+
+// Bottom is the initial value ⊥ of every shared variable. A read that is
+// not related to any write by read-from order must return Bottom.
+const Bottom int64 = math.MinInt64
+
+// Op is a single read or write operation in a history.
+type Op struct {
+	// ID is the operation's index in History.Ops. It is assigned by the
+	// builder and is stable for the lifetime of the history.
+	ID int
+	// Proc is the identifier of the invoking application process
+	// (0-based).
+	Proc int
+	// Seq is the operation's index within its process's local history
+	// (0-based program-order position).
+	Seq int
+	// Kind says whether the operation reads or writes.
+	Kind OpKind
+	// Var is the shared variable accessed.
+	Var string
+	// Val is the value written (writes) or returned (reads). Reads that
+	// return the initial value carry Bottom.
+	Val int64
+}
+
+// IsRead reports whether the operation is a read.
+func (o Op) IsRead() bool { return o.Kind == ReadOp }
+
+// IsWrite reports whether the operation is a write.
+func (o Op) IsWrite() bool { return o.Kind == WriteOp }
+
+// String renders the operation in the paper's notation, e.g. "w1(x)3".
+func (o Op) String() string {
+	val := fmt.Sprintf("%d", o.Val)
+	if o.Val == Bottom {
+		val = "⊥"
+	}
+	return fmt.Sprintf("%s%d(%s)%s", o.Kind, o.Proc, o.Var, val)
+}
+
+// History is a collection of local histories, one per application
+// process. Operations are identified by their index in Ops.
+type History struct {
+	numProcs int
+	ops      []Op
+	locals   [][]int // locals[p] lists op IDs of process p in program order
+}
+
+// NumProcs returns the number of application processes.
+func (h *History) NumProcs() int { return h.numProcs }
+
+// Len returns the total number of operations in the history.
+func (h *History) Len() int { return len(h.ops) }
+
+// Op returns the operation with the given ID.
+func (h *History) Op(id int) Op { return h.ops[id] }
+
+// Ops returns all operations. The returned slice must not be modified.
+func (h *History) Ops() []Op { return h.ops }
+
+// Local returns the op IDs of process p in program order. The returned
+// slice must not be modified.
+func (h *History) Local(p int) []int { return h.locals[p] }
+
+// Vars returns the sorted set of variables accessed in the history.
+func (h *History) Vars() []string {
+	seen := make(map[string]bool)
+	for _, o := range h.ops {
+		seen[o.Var] = true
+	}
+	vars := make([]string, 0, len(seen))
+	for v := range seen {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// WriteIDs returns the IDs of all write operations, in ID order.
+func (h *History) WriteIDs() []int {
+	ids := make([]int, 0, len(h.ops))
+	for _, o := range h.ops {
+		if o.IsWrite() {
+			ids = append(ids, o.ID)
+		}
+	}
+	return ids
+}
+
+// SubHistoryIPlusW returns the op IDs of H_{i+w}: all operations of
+// process i plus all write operations of the history (paper §2), in ID
+// order.
+func (h *History) SubHistoryIPlusW(i int) []int {
+	ids := make([]int, 0, len(h.ops))
+	for _, o := range h.ops {
+		if o.Proc == i || o.IsWrite() {
+			ids = append(ids, o.ID)
+		}
+	}
+	return ids
+}
+
+// CheckDifferentiated verifies that every write to a given variable
+// writes a distinct value and that no write stores Bottom. The paper's
+// examples implicitly assume this (values a, b, c, … are distinct); the
+// read-from relation is only well defined under it.
+func (h *History) CheckDifferentiated() error {
+	type vv struct {
+		v   string
+		val int64
+	}
+	seen := make(map[vv]int)
+	for _, o := range h.ops {
+		if !o.IsWrite() {
+			continue
+		}
+		if o.Val == Bottom {
+			return fmt.Errorf("model: operation %v writes the reserved initial value ⊥", o)
+		}
+		key := vv{o.Var, o.Val}
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("model: writes %v and %v store the same value to %s; histories must be differentiated",
+				h.ops[prev], o, o.Var)
+		}
+		seen[key] = o.ID
+	}
+	return nil
+}
+
+// String renders the history one process per line, in the paper's style.
+func (h *History) String() string {
+	var b strings.Builder
+	for p := 0; p < h.numProcs; p++ {
+		fmt.Fprintf(&b, "p%d:", p)
+		for _, id := range h.locals[p] {
+			fmt.Fprintf(&b, " %v", h.ops[id])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Builder constructs histories incrementally. The zero value is not
+// usable; create builders with NewBuilder.
+type Builder struct {
+	h   *History
+	err error
+}
+
+// NewBuilder returns a builder for a history over numProcs application
+// processes p0 … p(numProcs-1).
+func NewBuilder(numProcs int) *Builder {
+	if numProcs <= 0 {
+		return &Builder{err: fmt.Errorf("model: history needs at least one process, got %d", numProcs)}
+	}
+	return &Builder{h: &History{
+		numProcs: numProcs,
+		locals:   make([][]int, numProcs),
+	}}
+}
+
+func (b *Builder) add(p int, k OpKind, v string, val int64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if p < 0 || p >= b.h.numProcs {
+		b.err = fmt.Errorf("model: process %d out of range [0,%d)", p, b.h.numProcs)
+		return b
+	}
+	if v == "" {
+		b.err = fmt.Errorf("model: empty variable name")
+		return b
+	}
+	op := Op{
+		ID:   len(b.h.ops),
+		Proc: p,
+		Seq:  len(b.h.locals[p]),
+		Kind: k,
+		Var:  v,
+		Val:  val,
+	}
+	b.h.ops = append(b.h.ops, op)
+	b.h.locals[p] = append(b.h.locals[p], op.ID)
+	return b
+}
+
+// Write appends w_p(v)val to process p's local history.
+func (b *Builder) Write(p int, v string, val int64) *Builder {
+	return b.add(p, WriteOp, v, val)
+}
+
+// Read appends r_p(v)val to process p's local history.
+func (b *Builder) Read(p int, v string, val int64) *Builder {
+	return b.add(p, ReadOp, v, val)
+}
+
+// ReadInit appends a read of v returning the initial value ⊥.
+func (b *Builder) ReadInit(p int, v string) *Builder {
+	return b.add(p, ReadOp, v, Bottom)
+}
+
+// History returns the built history, or an error if any build step was
+// invalid.
+func (b *Builder) History() (*History, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.h, nil
+}
+
+// MustHistory is like History but panics on error. Intended for tests
+// and for the paper's hand-written example histories.
+func (b *Builder) MustHistory() *History {
+	h, err := b.History()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

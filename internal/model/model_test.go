@@ -1,0 +1,414 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuilderAssignsIDsAndSeqs(t *testing.T) {
+	h := NewBuilder(2).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		Write(0, "y", 2).
+		MustHistory()
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	if h.NumProcs() != 2 {
+		t.Fatalf("NumProcs = %d, want 2", h.NumProcs())
+	}
+	o := h.Op(2)
+	if o.Proc != 0 || o.Seq != 1 || o.Var != "y" || !o.IsWrite() {
+		t.Fatalf("op 2 = %+v, want w0(y)2 at seq 1", o)
+	}
+	if got := h.Local(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Local(0) = %v, want [0 2]", got)
+	}
+}
+
+func TestBuilderRejectsBadProcess(t *testing.T) {
+	if _, err := NewBuilder(2).Write(5, "x", 1).History(); err == nil {
+		t.Fatal("expected error for out-of-range process")
+	}
+	if _, err := NewBuilder(0).History(); err == nil {
+		t.Fatal("expected error for zero processes")
+	}
+	if _, err := NewBuilder(1).Write(0, "", 1).History(); err == nil {
+		t.Fatal("expected error for empty variable name")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	h := NewBuilder(1).Write(0, "x", 7).ReadInit(0, "y").MustHistory()
+	if got := h.Op(0).String(); got != "w0(x)7" {
+		t.Fatalf("write string = %q", got)
+	}
+	if got := h.Op(1).String(); got != "r0(y)⊥" {
+		t.Fatalf("init read string = %q", got)
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	h := NewBuilder(1).Write(0, "z", 1).Write(0, "a", 2).Write(0, "m", 3).MustHistory()
+	got := h.Vars()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubHistoryIPlusW(t *testing.T) {
+	h := NewBuilder(2).
+		Write(0, "x", 1). // 0: write, in both
+		Read(0, "x", 1).  // 1: p0 read, only in H_{0+w}
+		Write(1, "y", 2). // 2: write, in both
+		Read(1, "y", 2).  // 3: p1 read, only in H_{1+w}
+		MustHistory()
+	h0 := h.SubHistoryIPlusW(0)
+	if len(h0) != 3 || h0[0] != 0 || h0[1] != 1 || h0[2] != 2 {
+		t.Fatalf("H_{0+w} = %v, want [0 1 2]", h0)
+	}
+	h1 := h.SubHistoryIPlusW(1)
+	if len(h1) != 3 || h1[0] != 0 || h1[1] != 2 || h1[2] != 3 {
+		t.Fatalf("H_{1+w} = %v, want [0 2 3]", h1)
+	}
+}
+
+func TestCheckDifferentiated(t *testing.T) {
+	ok := NewBuilder(2).Write(0, "x", 1).Write(1, "x", 2).Write(0, "y", 1).MustHistory()
+	if err := ok.CheckDifferentiated(); err != nil {
+		t.Fatalf("differentiated history rejected: %v", err)
+	}
+	dup := NewBuilder(2).Write(0, "x", 1).Write(1, "x", 1).MustHistory()
+	if err := dup.CheckDifferentiated(); err == nil {
+		t.Fatal("duplicate write values not detected")
+	}
+	bot := NewBuilder(1).Write(0, "x", Bottom).MustHistory()
+	if err := bot.CheckDifferentiated(); err == nil {
+		t.Fatal("write of ⊥ not detected")
+	}
+}
+
+func TestProgramOrder(t *testing.T) {
+	h := NewBuilder(2).
+		Write(0, "x", 1).
+		Write(1, "y", 2).
+		Read(0, "x", 1).
+		MustHistory()
+	po := ProgramOrder(h)
+	if !po.Has(0, 2) {
+		t.Error("w0(x)1 should precede r0(x)1 in program order")
+	}
+	if po.Has(0, 1) || po.Has(1, 0) || po.Has(1, 2) || po.Has(2, 1) {
+		t.Error("operations of different processes must be unrelated by program order")
+	}
+}
+
+func TestReadFrom(t *testing.T) {
+	h := NewBuilder(2).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		ReadInit(1, "y").
+		MustHistory()
+	rf, err := ReadFrom(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rf.Has(0, 1) {
+		t.Error("read should be related from its write")
+	}
+	if rf.Succ(2).Count() != 0 {
+		t.Error("⊥-read must have no read-from predecessor edge outgoing")
+	}
+	// The ⊥-read must not be a read-from target either.
+	for a := 0; a < h.Len(); a++ {
+		if rf.Has(a, 2) {
+			t.Errorf("⊥-read has read-from predecessor %v", h.Op(a))
+		}
+	}
+}
+
+func TestReadFromRejectsUnwrittenValue(t *testing.T) {
+	h := NewBuilder(1).Read(0, "x", 42).MustHistory()
+	if _, err := ReadFrom(h); err == nil {
+		t.Fatal("read of never-written value must be rejected")
+	}
+}
+
+func TestCausalOrderTransitivity(t *testing.T) {
+	// w0(x)1 ↦po w0(y)2 ↦ro r1(y)2 ↦po w1(z)3 — transitively w0(x)1 ↦co w1(z)3.
+	h := NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		Read(1, "y", 2).
+		Write(1, "z", 3).
+		MustHistory()
+	co, err := CausalOrder(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !co.Has(0, 3) {
+		t.Error("causal order must be transitively closed across read-from")
+	}
+	if !co.Concurrent(0, 0) == false && co.Has(0, 0) {
+		t.Error("causal order must be irreflexive on consistent histories")
+	}
+}
+
+func TestLazyProgramOrderRules(t *testing.T) {
+	// p0: r(x) r(y) r(x) w(y) w(x) w(z)
+	h := NewBuilder(1).
+		ReadInit(0, "x"). // 0
+		ReadInit(0, "y"). // 1
+		ReadInit(0, "x"). // 2
+		Write(0, "y", 1). // 3
+		Write(0, "x", 2). // 4
+		Write(0, "z", 3). // 5
+		MustHistory()
+	lpo := LazyProgramOrder(h)
+	cases := []struct {
+		a, b int
+		want bool
+		why  string
+	}{
+		{0, 1, false, "read x then read y: unrelated"},
+		{0, 2, true, "read x then read x: same variable"},
+		{0, 3, true, "read then write any variable"},
+		{1, 3, true, "read then write"},
+		{3, 4, false, "write y then write x: different variables"},
+		{4, 5, false, "write x then write z: different variables"},
+		{3, 5, false, "write y then write z: different variables"},
+		{0, 4, true, "read x then write x, also read→write any"},
+		{2, 5, true, "read then write"},
+	}
+	for _, c := range cases {
+		if got := lpo.Has(c.a, c.b); got != c.want {
+			t.Errorf("lpo(%v,%v) = %v, want %v (%s)", h.Op(c.a), h.Op(c.b), got, c.want, c.why)
+		}
+	}
+}
+
+func TestLazyProgramOrderWriteReadSameVar(t *testing.T) {
+	h := NewBuilder(1).
+		Write(0, "x", 1). // 0
+		ReadInit(0, "y"). // 1 (⊥-read fine: different var)
+		Read(0, "x", 1).  // 2
+		Write(0, "x", 2). // 3
+		MustHistory()
+	lpo := LazyProgramOrder(h)
+	if !lpo.Has(0, 2) {
+		t.Error("write x then read x must be lazily ordered")
+	}
+	if !lpo.Has(0, 3) {
+		t.Error("write x then write x must be lazily ordered")
+	}
+	if lpo.Has(0, 1) {
+		t.Error("write x then read y must not be lazily ordered")
+	}
+	// Transitivity within the process: w(x) →li r(x) →li w(x).
+	if !lpo.Has(2, 3) || !lpo.Has(0, 3) {
+		t.Error("lazy program order must be transitively closed")
+	}
+}
+
+func TestLazyCausalWeakerThanCausal(t *testing.T) {
+	h := Figure4History()
+	co, err := CausalOrder(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lco, err := LazyCausalOrder(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lco ⊆ co.
+	for _, pair := range lco.Pairs() {
+		if !co.Has(pair[0], pair[1]) {
+			t.Errorf("lazy causal pair (%v,%v) missing from causal order",
+				h.Op(pair[0]), h.Op(pair[1]))
+		}
+	}
+	// Figure 4's key fact: r3(y)c ↦co r3(x)⊥ but r3(y)c ||lco r3(x)⊥.
+	const rYC, rXBot = 5, 6
+	if !co.Has(rYC, rXBot) {
+		t.Error("r3(y)c must causally precede r3(x)⊥ (program order)")
+	}
+	if !lco.Concurrent(rYC, rXBot) {
+		t.Error("r3(y)c and r3(x)⊥ must be concurrent under lazy causal order")
+	}
+}
+
+func TestLazyWritesBeforeIncludesReadFrom(t *testing.T) {
+	h := NewBuilder(2).Write(0, "x", 1).Read(1, "x", 1).MustHistory()
+	lwb, err := LazyWritesBefore(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lwb.Has(0, 1) {
+		t.Error("lazy writes-before must include direct read-from pairs")
+	}
+}
+
+func TestLazyWritesBeforeFigure6Pair(t *testing.T) {
+	h := Figure6History()
+	// IDs: 0:w1(x)a 1:r1(x)a 2:w1(y)b 3:r2(y)b 4:w2(y)e 5:w2(z)c 6:r3(z)c 7:w3(x)d 8:r4(x)d 9:r4(x)a
+	lwb, err := LazyWritesBefore(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper annotation: w1(x)a →lwb r2(y)b because of w1(y)b
+	// (w1(x)a →li r1(x)a →li w1(y)b).
+	if !lwb.Has(0, 3) {
+		t.Error("w1(x)a →lwb r2(y)b expected (because of w1(y)b)")
+	}
+	lsc, err := LazySemiCausalOrder(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's conclusion: w1(x)a ↦lsc w3(x)d.
+	if !lsc.Has(0, 7) {
+		t.Error("w1(x)a ↦lsc w3(x)d expected (Figure 6 chain)")
+	}
+}
+
+func TestLazySemiCausalWeakerThanLazyCausal(t *testing.T) {
+	for _, h := range []*History{Figure4History(), Figure5History(), Figure6History()} {
+		lco, err := LazyCausalOrder(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsc, err := LazySemiCausalOrder(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range lsc.Pairs() {
+			if !lco.Has(pair[0], pair[1]) {
+				t.Errorf("lsc pair (%v,%v) missing from lco", h.Op(pair[0]), h.Op(pair[1]))
+			}
+		}
+	}
+}
+
+func TestPRAMRelationNotTransitive(t *testing.T) {
+	// w0(x)1 ↦ro r1(x)1 ↦po w1(y)2: pram relates the pairs but not the ends.
+	h := NewBuilder(2).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		Write(1, "y", 2).
+		MustHistory()
+	pram, err := PRAMRelation(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pram.Has(0, 1) || !pram.Has(1, 2) {
+		t.Fatal("pram must contain program order and read-from pairs")
+	}
+	if pram.Has(0, 2) {
+		t.Error("pram must not be transitively closed")
+	}
+}
+
+func TestRelationAcyclicity(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if !r.IsAcyclic() {
+		t.Error("chain must be acyclic")
+	}
+	r.Add(2, 0)
+	if r.IsAcyclic() {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	s := NewBitset(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Fatal("set/has broken")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Fatal("clear broken")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	c := s.Clone()
+	c.Set(5)
+	if s.Has(5) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := NewRelation(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	tc := r.TransitiveClosure()
+	for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 3}} {
+		if !tc.Has(pair[0], pair[1]) {
+			t.Errorf("closure missing (%d,%d)", pair[0], pair[1])
+		}
+	}
+	if r.Has(0, 2) {
+		t.Error("TransitiveClosure must not mutate the receiver")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	h := Figure6History()
+	data, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ParseHistory(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != h.Len() || h2.NumProcs() != h.NumProcs() {
+		t.Fatalf("round trip changed shape: %d/%d ops, %d/%d procs",
+			h2.Len(), h.Len(), h2.NumProcs(), h.NumProcs())
+	}
+	for i := 0; i < h.Len(); i++ {
+		a, b := h.Op(i), h2.Op(i)
+		if a != b {
+			t.Fatalf("op %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseHistoryErrors(t *testing.T) {
+	cases := []string{
+		`{"processes": []}`,
+		`{"processes": [[{"op":"q","var":"x"}]]}`,
+		`{"processes": [[{"op":"w","var":"x","init":true}]]}`,
+		`{bogus`,
+	}
+	for _, c := range cases {
+		if _, err := ParseHistory(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseHistory(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	h := Figure4History()
+	s := h.String()
+	for _, want := range []string{"p0:", "w0(x)1", "r2(x)⊥"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("History.String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitset is a fixed-capacity set of small non-negative integers, used to
+// represent successor sets of order relations.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold values in [0,n).
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set adds i to the set.
+func (s Bitset) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes i from the set.
+func (s Bitset) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether i is in the set.
+func (s Bitset) Has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Or adds every element of t to s.
+func (s Bitset) Or(t Bitset) {
+	for i := range s {
+		s[i] |= t[i]
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s Bitset) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns a copy of the set.
+func (s Bitset) Clone() Bitset {
+	c := make(Bitset, len(s))
+	copy(c, s)
+	return c
+}
+
+// ForEach calls f for every element of the set in increasing order.
+func (s Bitset) ForEach(f func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Relation is a binary relation over the operations of a history,
+// represented as successor bitsets: Has(a,b) means a is related to b
+// (a precedes b). Relations need not be transitive (the PRAM relation is
+// not), but all relations produced by this package are irreflexive and
+// acyclic for consistent histories.
+type Relation struct {
+	n    int
+	succ []Bitset
+}
+
+// NewRelation returns an empty relation over n operations.
+func NewRelation(n int) *Relation {
+	r := &Relation{n: n, succ: make([]Bitset, n)}
+	for i := range r.succ {
+		r.succ[i] = NewBitset(n)
+	}
+	return r
+}
+
+// Size returns the number of operations the relation ranges over.
+func (r *Relation) Size() int { return r.n }
+
+// Add records a ≺ b.
+func (r *Relation) Add(a, b int) { r.succ[a].Set(b) }
+
+// Has reports whether a ≺ b.
+func (r *Relation) Has(a, b int) bool { return r.succ[a].Has(b) }
+
+// Succ returns the successor set of a. The returned bitset must not be
+// modified.
+func (r *Relation) Succ(a int) Bitset { return r.succ[a] }
+
+// Pairs returns all related pairs (a,b), in lexicographic order.
+func (r *Relation) Pairs() [][2]int {
+	var out [][2]int
+	for a := 0; a < r.n; a++ {
+		r.succ[a].ForEach(func(b int) { out = append(out, [2]int{a, b}) })
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.n)
+	for i := range r.succ {
+		copy(c.succ[i], r.succ[i])
+	}
+	return c
+}
+
+// Union returns a new relation containing every pair of r and s.
+func (r *Relation) Union(s *Relation) *Relation {
+	if r.n != s.n {
+		panic(fmt.Sprintf("model: union of relations over %d and %d operations", r.n, s.n))
+	}
+	u := r.Clone()
+	for i := range u.succ {
+		u.succ[i].Or(s.succ[i])
+	}
+	return u
+}
+
+// TransitiveClosure returns the transitive closure of r, computed with a
+// bitset Floyd–Warshall pass (O(n²·n/64)).
+func (r *Relation) TransitiveClosure() *Relation {
+	c := r.Clone()
+	for k := 0; k < c.n; k++ {
+		sk := c.succ[k]
+		for i := 0; i < c.n; i++ {
+			if c.succ[i].Has(k) {
+				c.succ[i].Or(sk)
+			}
+		}
+	}
+	return c
+}
+
+// IsAcyclic reports whether the relation (viewed as a directed graph)
+// has no cycle.
+func (r *Relation) IsAcyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, r.n)
+	// Iterative DFS with an explicit stack to avoid recursion limits on
+	// large protocol traces.
+	type frame struct {
+		node int
+		next int // next successor index candidate (scan position)
+	}
+	for start := 0; start < r.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for j := f.next; j < r.n; j++ {
+				if !r.succ[f.node].Has(j) {
+					continue
+				}
+				f.next = j + 1
+				if color[j] == gray {
+					return false
+				}
+				if color[j] == white {
+					color[j] = gray
+					stack = append(stack, frame{node: j})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether a and b are unrelated in both directions
+// (the paper's o1 || o2 with respect to the relation).
+func (r *Relation) Concurrent(a, b int) bool {
+	return !r.Has(a, b) && !r.Has(b, a)
+}
+
+// ProgramOrder returns the union of the per-process total orders ↦_i
+// (paper §2). Only consecutive-pair edges would suffice for reachability,
+// but the full order is materialized so Has(a,b) answers ↦_i directly.
+func ProgramOrder(h *History) *Relation {
+	r := NewRelation(h.Len())
+	for p := 0; p < h.NumProcs(); p++ {
+		local := h.Local(p)
+		for i := 0; i < len(local); i++ {
+			for j := i + 1; j < len(local); j++ {
+				r.Add(local[i], local[j])
+			}
+		}
+	}
+	return r
+}
+
+// ReadFrom computes the read-from order ↦_ro (paper §2): each read of a
+// value v on x is related from the unique write of v to x. Reads of ⊥
+// are related from no write. The history must be differentiated; an
+// error is returned if a read returns a value never written to its
+// variable.
+func ReadFrom(h *History) (*Relation, error) {
+	if err := h.CheckDifferentiated(); err != nil {
+		return nil, err
+	}
+	type vv struct {
+		v   string
+		val int64
+	}
+	writer := make(map[vv]int)
+	for _, o := range h.Ops() {
+		if o.IsWrite() {
+			writer[vv{o.Var, o.Val}] = o.ID
+		}
+	}
+	r := NewRelation(h.Len())
+	for _, o := range h.Ops() {
+		if !o.IsRead() || o.Val == Bottom {
+			continue
+		}
+		w, ok := writer[vv{o.Var, o.Val}]
+		if !ok {
+			return nil, fmt.Errorf("model: read %v returns a value never written to %s", o, o.Var)
+		}
+		r.Add(w, o.ID)
+	}
+	return r, nil
+}
+
+// CausalOrder returns ↦_co, the transitive closure of program order and
+// read-from order (paper §2, after Ahamad et al.).
+func CausalOrder(h *History) (*Relation, error) {
+	rf, err := ReadFrom(h)
+	if err != nil {
+		return nil, err
+	}
+	return ProgramOrder(h).Union(rf).TransitiveClosure(), nil
+}
+
+// LazyProgramOrder returns →_li (paper Definition 5): within each local
+// history, o1 →li o2 iff o1 is invoked before o2 and
+//
+//   - o1 is a read and o2 is a read on the same variable or a write on
+//     any variable, or
+//   - o1 is a write and o2 is an operation on the same variable,
+//
+// closed transitively within the process.
+func LazyProgramOrder(h *History) *Relation {
+	r := NewRelation(h.Len())
+	for p := 0; p < h.NumProcs(); p++ {
+		local := h.Local(p)
+		for i := 0; i < len(local); i++ {
+			o1 := h.Op(local[i])
+			for j := i + 1; j < len(local); j++ {
+				o2 := h.Op(local[j])
+				switch {
+				case o1.IsRead() && o2.IsRead() && o1.Var == o2.Var:
+					r.Add(o1.ID, o2.ID)
+				case o1.IsRead() && o2.IsWrite():
+					r.Add(o1.ID, o2.ID)
+				case o1.IsWrite() && o1.Var == o2.Var:
+					r.Add(o1.ID, o2.ID)
+				}
+			}
+		}
+	}
+	return r.TransitiveClosure()
+}
+
+// LazyCausalOrder returns ↦_lco (paper Definition 6): the transitive
+// closure of lazy program order and read-from order.
+func LazyCausalOrder(h *History) (*Relation, error) {
+	rf, err := ReadFrom(h)
+	if err != nil {
+		return nil, err
+	}
+	return LazyProgramOrder(h).Union(rf).TransitiveClosure(), nil
+}
+
+// LazyWritesBefore returns →_lwb (paper Definition 8): o1 →lwb o2 when
+// o1 = w_i(x)v, o2 = r_j(y)u, and there is a write o' = w_i(y)u with
+// o1 →li o' (or o' = o1 itself, which yields the plain read-from pairs —
+// following Ahamad et al.'s weak writes-before, of which this is the
+// lazy variant).
+func LazyWritesBefore(h *History) (*Relation, error) {
+	if err := h.CheckDifferentiated(); err != nil {
+		return nil, err
+	}
+	lpo := LazyProgramOrder(h)
+	r := NewRelation(h.Len())
+	// Index writes by (var, val) for read matching.
+	type vv struct {
+		v   string
+		val int64
+	}
+	writer := make(map[vv]int)
+	for _, o := range h.Ops() {
+		if o.IsWrite() {
+			writer[vv{o.Var, o.Val}] = o.ID
+		}
+	}
+	for _, o2 := range h.Ops() {
+		if !o2.IsRead() || o2.Val == Bottom {
+			continue
+		}
+		wID, ok := writer[vv{o2.Var, o2.Val}]
+		if !ok {
+			return nil, fmt.Errorf("model: read %v returns a value never written to %s", o2, o2.Var)
+		}
+		wPrime := h.Op(wID)
+		// Every write o1 of the same process with o1 →li o' (or o1 = o')
+		// lazily writes before o2.
+		for _, id := range h.Local(wPrime.Proc) {
+			o1 := h.Op(id)
+			if !o1.IsWrite() {
+				continue
+			}
+			if o1.ID == wPrime.ID || lpo.Has(o1.ID, wPrime.ID) {
+				r.Add(o1.ID, o2.ID)
+			}
+		}
+	}
+	return r, nil
+}
+
+// LazySemiCausalOrder returns ↦_lsc (paper Definition 9): the transitive
+// closure of lazy program order and lazy writes-before order.
+func LazySemiCausalOrder(h *History) (*Relation, error) {
+	lwb, err := LazyWritesBefore(h)
+	if err != nil {
+		return nil, err
+	}
+	return LazyProgramOrder(h).Union(lwb).TransitiveClosure(), nil
+}
+
+// PRAMRelation returns ↦_pram (paper Definition 11): the union of
+// program order and read-from order, without transitive closure.
+func PRAMRelation(h *History) (*Relation, error) {
+	rf, err := ReadFrom(h)
+	if err != nil {
+		return nil, err
+	}
+	return ProgramOrder(h).Union(rf), nil
+}

@@ -1,0 +1,314 @@
+// Package netsim simulates the asynchronous reliable message-passing
+// system that the paper's memory consistency systems run on (§1, §2):
+// a finite set of nodes exchanging messages over reliable channels.
+//
+// Channels are FIFO per ordered node pair by default (what the PRAM
+// protocol of §5 requires); a non-FIFO mode delivers every message
+// independently after a seeded random latency, exercising protocols —
+// such as slow memory — that tolerate reordering. The network counts
+// every message through a metrics.Collector and supports quiescence
+// detection (wait until no message is in flight), which gives tests
+// and experiments deterministic cut points.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"partialdsm/internal/metrics"
+)
+
+// Message is one unit of communication between MCS processes. The
+// payload is opaque to the network; the byte split and the variable
+// list feed the metrics collector.
+type Message struct {
+	From, To int
+	Kind     string // protocol message kind, for accounting
+	Payload  []byte
+	// CtrlBytes and DataBytes describe how the payload splits into
+	// control information and variable data.
+	CtrlBytes, DataBytes int
+	// Vars lists the shared variables this message carries information
+	// about (for the touch matrix).
+	Vars []string
+}
+
+// Handler processes a delivered message. Handlers run on network
+// goroutines and may call Send; they must be safe for concurrent use.
+type Handler func(Message)
+
+// Options configure a Network.
+type Options struct {
+	// FIFO preserves per-ordered-pair delivery order (default true via
+	// NewNetwork; the zero Options value means non-FIFO).
+	FIFO bool
+	// MaxLatency delays each delivery by a uniform random duration in
+	// [0, MaxLatency]. Zero means deliver as fast as scheduling allows.
+	MaxLatency time.Duration
+	// Seed feeds the latency generator; same seed, same latencies.
+	Seed int64
+	// Metrics receives per-message accounting; nil disables accounting.
+	Metrics *metrics.Collector
+}
+
+// Network connects n nodes. Create with NewNetwork, install handlers
+// with SetHandler, then exchange messages with Send. Close releases the
+// delivery goroutines.
+type Network struct {
+	n    int
+	opts Options
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	handlers []Handler
+	queues   []*pairQueue // FIFO mode: one per ordered pair, lazily started
+	inflight int
+	quiet    *sync.Cond
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// pairQueue is an unbounded FIFO queue served by one goroutine. The
+// latencies slice parallels items: each message carries the delivery
+// latency drawn for it at send time. A paused queue holds its messages
+// until resumed.
+type pairQueue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     []Message
+	latencies []time.Duration
+	paused    bool
+	closed    bool
+}
+
+// NewNetwork returns a network of n nodes with FIFO per-pair channels
+// and the given options. Handlers must be installed with SetHandler
+// before any message addressed to the node is sent.
+func NewNetwork(n int, opts Options) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: network needs at least one node, got %d", n))
+	}
+	nw := &Network{
+		n:        n,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		handlers: make([]Handler, n),
+	}
+	nw.quiet = sync.NewCond(&nw.mu)
+	if opts.FIFO {
+		nw.queues = make([]*pairQueue, n*n)
+	}
+	return nw
+}
+
+// NumNodes returns the number of nodes.
+func (nw *Network) NumNodes() int { return nw.n }
+
+// SetHandler installs the delivery handler for a node. It must be
+// called before any message is sent to the node and must not be called
+// concurrently with Send.
+func (nw *Network) SetHandler(node int, h Handler) {
+	if node < 0 || node >= nw.n {
+		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", node, nw.n))
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.handlers[node] = h
+}
+
+// Send enqueues a message for asynchronous delivery. It never blocks on
+// the receiver. Sending to an unknown node or on a closed network
+// panics (a programming error in the protocol layer).
+func (nw *Network) Send(msg Message) {
+	if msg.To < 0 || msg.To >= nw.n || msg.From < 0 || msg.From >= nw.n {
+		panic(fmt.Sprintf("netsim: message endpoints %d→%d out of range", msg.From, msg.To))
+	}
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		panic("netsim: send on closed network")
+	}
+	if nw.handlers[msg.To] == nil {
+		nw.mu.Unlock()
+		panic(fmt.Sprintf("netsim: node %d has no handler installed", msg.To))
+	}
+	nw.inflight++
+	var latency time.Duration
+	if nw.opts.MaxLatency > 0 {
+		latency = time.Duration(nw.rng.Int63n(int64(nw.opts.MaxLatency) + 1))
+	}
+	if nw.opts.Metrics != nil {
+		nw.opts.Metrics.RecordMessage(msg.Kind, msg.From, msg.To, msg.CtrlBytes, msg.DataBytes, msg.Vars)
+	}
+	if !nw.opts.FIFO {
+		nw.mu.Unlock()
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			if latency > 0 {
+				time.Sleep(latency)
+			}
+			nw.deliver(msg)
+		}()
+		return
+	}
+	q := nw.pairQueueLocked(msg.From, msg.To)
+	nw.mu.Unlock()
+	// The per-pair latency is applied by the queue goroutine before the
+	// handler runs, preserving FIFO order on the pair.
+	q.push(msg, latency)
+}
+
+func (nw *Network) pairQueueLocked(from, to int) *pairQueue {
+	idx := from*nw.n + to
+	if q := nw.queues[idx]; q != nil {
+		return q
+	}
+	q := &pairQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	nw.queues[idx] = q
+	nw.wg.Add(1)
+	go nw.servePair(q)
+	return q
+}
+
+func (q *pairQueue) push(msg Message, latency time.Duration) {
+	q.mu.Lock()
+	q.items = append(q.items, msg)
+	q.latencies = append(q.latencies, latency)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (nw *Network) servePair(q *pairQueue) {
+	defer nw.wg.Done()
+	for {
+		q.mu.Lock()
+		for (len(q.items) == 0 || q.paused) && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.items) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		msg := q.items[0]
+		latency := q.latencies[0]
+		q.items = q.items[1:]
+		q.latencies = q.latencies[1:]
+		q.mu.Unlock()
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		nw.deliver(msg)
+	}
+}
+
+// deliver runs the destination handler and settles in-flight
+// accounting.
+func (nw *Network) deliver(msg Message) {
+	nw.mu.Lock()
+	h := nw.handlers[msg.To]
+	nw.mu.Unlock()
+	if h != nil {
+		h(msg)
+	}
+	nw.mu.Lock()
+	nw.inflight--
+	if nw.inflight == 0 {
+		nw.quiet.Broadcast()
+	}
+	nw.mu.Unlock()
+}
+
+// PauseLink holds back delivery on the ordered link from → to:
+// messages sent on it queue up but are not delivered until ResumeLink.
+// Only supported on FIFO networks (the asynchronous model allows
+// arbitrary finite delays, so pausing preserves protocol correctness
+// while making adversarial schedules deterministic in tests and
+// experiments). Quiesce blocks while paused messages are pending;
+// Close resumes every paused link first.
+func (nw *Network) PauseLink(from, to int) {
+	if !nw.opts.FIFO {
+		panic("netsim: PauseLink requires a FIFO network")
+	}
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
+	}
+	nw.mu.Lock()
+	q := nw.pairQueueLocked(from, to)
+	nw.mu.Unlock()
+	q.mu.Lock()
+	q.paused = true
+	q.mu.Unlock()
+}
+
+// ResumeLink releases a link paused by PauseLink; held messages are
+// delivered in order.
+func (nw *Network) ResumeLink(from, to int) {
+	if !nw.opts.FIFO {
+		panic("netsim: ResumeLink requires a FIFO network")
+	}
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
+	}
+	nw.mu.Lock()
+	q := nw.pairQueueLocked(from, to)
+	nw.mu.Unlock()
+	q.mu.Lock()
+	q.paused = false
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// Quiesce blocks until no message is in flight: every sent message has
+// been delivered and its handler has returned, including messages sent
+// by handlers themselves. Application goroutines must be idle for the
+// result to be a global cut.
+func (nw *Network) Quiesce() {
+	nw.mu.Lock()
+	for nw.inflight != 0 {
+		nw.quiet.Wait()
+	}
+	nw.mu.Unlock()
+}
+
+// Close drains the network and stops the delivery goroutines. Messages
+// already sent are still delivered; paused links are resumed first.
+// Send after Close panics.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	queuesSnapshot := append([]*pairQueue(nil), nw.queues...)
+	nw.mu.Unlock()
+	for _, q := range queuesSnapshot {
+		if q == nil {
+			continue
+		}
+		q.mu.Lock()
+		if q.paused {
+			q.paused = false
+			q.cond.Signal()
+		}
+		q.mu.Unlock()
+	}
+	nw.Quiesce()
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	nw.closed = true
+	queues := nw.queues
+	nw.mu.Unlock()
+	for _, q := range queues {
+		if q == nil {
+			continue
+		}
+		q.mu.Lock()
+		q.closed = true
+		q.cond.Signal()
+		q.mu.Unlock()
+	}
+	nw.wg.Wait()
+}

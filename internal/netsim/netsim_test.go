@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partialdsm/internal/metrics"
+)
+
+func TestFIFOPerPair(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: true, MaxLatency: 100 * time.Microsecond, Seed: 42})
+	defer nw.Close()
+	var mu sync.Mutex
+	var got []byte
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(m Message) {
+		mu.Lock()
+		got = append(got, m.Payload[0])
+		mu.Unlock()
+	})
+	const n = 200
+	for i := 0; i < n; i++ {
+		nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+	}
+	nw.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != byte(i) {
+			t.Fatalf("position %d: got %d, want %d (FIFO violated)", i, got[i], i)
+		}
+	}
+}
+
+func TestNonFIFODeliversAll(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: false, MaxLatency: 200 * time.Microsecond, Seed: 7})
+	defer nw.Close()
+	var count int64
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(m Message) { atomic.AddInt64(&count, 1) })
+	const n = 300
+	for i := 0; i < n; i++ {
+		nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+	}
+	nw.Quiesce()
+	if got := atomic.LoadInt64(&count); got != n {
+		t.Fatalf("delivered %d of %d", got, n)
+	}
+}
+
+func TestQuiesceWaitsForHandlerCascade(t *testing.T) {
+	// Node 0 pings node 1 which pings back twice; Quiesce must wait for
+	// the whole cascade.
+	nw := NewNetwork(2, Options{FIFO: true})
+	defer nw.Close()
+	var count int64
+	nw.SetHandler(0, func(m Message) { atomic.AddInt64(&count, 1) })
+	nw.SetHandler(1, func(m Message) {
+		nw.Send(Message{From: 1, To: 0})
+		nw.Send(Message{From: 1, To: 0})
+	})
+	nw.Send(Message{From: 0, To: 1})
+	nw.Quiesce()
+	if got := atomic.LoadInt64(&count); got != 2 {
+		t.Fatalf("cascade incomplete at Quiesce: %d of 2 pongs", got)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	col := metrics.NewCollector()
+	nw := NewNetwork(2, Options{FIFO: true, Metrics: col})
+	defer nw.Close()
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(Message) {})
+	nw.Send(Message{From: 0, To: 1, Kind: "upd", CtrlBytes: 10, DataBytes: 8, Vars: []string{"x"}})
+	nw.Send(Message{From: 1, To: 0, Kind: "ntf", CtrlBytes: 4, Vars: []string{"y"}})
+	nw.Quiesce()
+	s := col.Snapshot()
+	if s.Msgs != 2 || s.CtrlBytes != 14 || s.DataBytes != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.PerKind["upd"] != 1 || s.PerKind["ntf"] != 1 {
+		t.Fatalf("per-kind = %v", s.PerKind)
+	}
+	if !col.Touched(0, "x") || !col.Touched(1, "x") || !col.Touched(0, "y") {
+		t.Error("touch matrix incomplete")
+	}
+	if col.Touched(0, "z") {
+		t.Error("phantom touch")
+	}
+}
+
+func TestSendPanicsAfterClose(t *testing.T) {
+	nw := NewNetwork(1, Options{FIFO: true})
+	nw.SetHandler(0, func(Message) {})
+	nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("send on closed network must panic")
+		}
+	}()
+	nw.Send(Message{From: 0, To: 0})
+}
+
+func TestSendPanicsWithoutHandler(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: true})
+	defer nw.Close()
+	nw.SetHandler(0, func(Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("send to handler-less node must panic")
+		}
+	}()
+	nw.Send(Message{From: 0, To: 1})
+}
+
+func TestSendPanicsOutOfRange(t *testing.T) {
+	nw := NewNetwork(1, Options{FIFO: true})
+	defer nw.Close()
+	nw.SetHandler(0, func(Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range destination must panic")
+		}
+	}()
+	nw.Send(Message{From: 0, To: 5})
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	nw := NewNetwork(1, Options{FIFO: true})
+	nw.SetHandler(0, func(Message) {})
+	nw.Close()
+	nw.Close() // must not panic or deadlock
+}
+
+func TestManyNodesCrossTraffic(t *testing.T) {
+	const n = 8
+	col := metrics.NewCollector()
+	nw := NewNetwork(n, Options{FIFO: true, MaxLatency: 50 * time.Microsecond, Seed: 1, Metrics: col})
+	defer nw.Close()
+	var count int64
+	for i := 0; i < n; i++ {
+		nw.SetHandler(i, func(Message) { atomic.AddInt64(&count, 1) })
+	}
+	var wg sync.WaitGroup
+	for from := 0; from < n; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for to := 0; to < n; to++ {
+				for k := 0; k < 10; k++ {
+					nw.Send(Message{From: from, To: to})
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	nw.Quiesce()
+	if got := atomic.LoadInt64(&count); got != n*n*10 {
+		t.Fatalf("delivered %d of %d", got, n*n*10)
+	}
+	if s := col.Snapshot(); s.Msgs != n*n*10 {
+		t.Fatalf("metrics counted %d messages", s.Msgs)
+	}
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPauseHoldsMessages(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: true})
+	defer nw.Close()
+	var count int64
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(Message) { atomic.AddInt64(&count, 1) })
+	nw.PauseLink(0, 1)
+	for i := 0; i < 5; i++ {
+		nw.Send(Message{From: 0, To: 1})
+	}
+	time.Sleep(5 * time.Millisecond)
+	if got := atomic.LoadInt64(&count); got != 0 {
+		t.Fatalf("paused link delivered %d messages", got)
+	}
+	nw.ResumeLink(0, 1)
+	nw.Quiesce()
+	if got := atomic.LoadInt64(&count); got != 5 {
+		t.Fatalf("resumed link delivered %d of 5", got)
+	}
+}
+
+func TestPauseOnlyAffectsOneDirection(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: true})
+	defer nw.Close()
+	var fwd, bwd int64
+	nw.SetHandler(0, func(Message) { atomic.AddInt64(&bwd, 1) })
+	nw.SetHandler(1, func(Message) { atomic.AddInt64(&fwd, 1) })
+	nw.PauseLink(0, 1)
+	nw.Send(Message{From: 1, To: 0}) // reverse direction unaffected
+	deadline := time.Now().Add(time.Second)
+	for atomic.LoadInt64(&bwd) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("reverse direction blocked by pause")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	nw.ResumeLink(0, 1)
+}
+
+func TestPausePreservesFIFO(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: true})
+	defer nw.Close()
+	var mu sync.Mutex
+	var got []byte
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(m Message) {
+		mu.Lock()
+		got = append(got, m.Payload[0])
+		mu.Unlock()
+	})
+	nw.Send(Message{From: 0, To: 1, Payload: []byte{0}})
+	nw.Quiesce()
+	nw.PauseLink(0, 1)
+	for i := 1; i <= 10; i++ {
+		nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+	}
+	nw.ResumeLink(0, 1)
+	nw.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 11 {
+		t.Fatalf("delivered %d of 11", len(got))
+	}
+	for i, b := range got {
+		if int(b) != i {
+			t.Fatalf("FIFO violated across pause: position %d = %d", i, b)
+		}
+	}
+}
+
+func TestCloseResumesPausedLinks(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: true})
+	var count int64
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(Message) { atomic.AddInt64(&count, 1) })
+	nw.PauseLink(0, 1)
+	nw.Send(Message{From: 0, To: 1})
+	done := make(chan struct{})
+	go func() {
+		nw.Close() // must not deadlock on the paused message
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on a paused link")
+	}
+	if atomic.LoadInt64(&count) != 1 {
+		t.Error("message lost across Close")
+	}
+}
+
+func TestPauseRequiresFIFO(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: false})
+	defer nw.Close()
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("PauseLink on non-FIFO network must panic")
+		}
+	}()
+	nw.PauseLink(0, 1)
+}
+
+func TestPauseOutOfRangePanics(t *testing.T) {
+	nw := NewNetwork(2, Options{FIFO: true})
+	defer nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range PauseLink must panic")
+		}
+	}()
+	nw.PauseLink(0, 7)
+}

@@ -1,0 +1,81 @@
+package sharegraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomPlacementLocal builds a placement without importing workload
+// (which would create an import cycle through the tests).
+func randomPlacementLocal(rng *rand.Rand, numProcs, numVars, degree int) *Placement {
+	pl := NewPlacement(numProcs)
+	for v := 0; v < numVars; v++ {
+		perm := rng.Perm(numProcs)
+		for _, p := range perm[:degree] {
+			pl.Assign(p, fmt.Sprintf("x%d", v))
+		}
+	}
+	return pl
+}
+
+// BenchmarkXRelevant measures the linear-time Theorem 1 computation —
+// the paper's §3.3 notes that enumeration "can be very long"; this is
+// the alternative.
+func BenchmarkXRelevant(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pl := randomPlacementLocal(rand.New(rand.NewSource(1)), n, n, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.XRelevant("x0")
+			}
+		})
+	}
+}
+
+// BenchmarkHoopEnumeration measures exhaustive hoop enumeration on
+// small dense topologies (exponential, bounded by the limit).
+func BenchmarkHoopEnumeration(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pl := randomPlacementLocal(rand.New(rand.NewSource(2)), n, n, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.Hoops("x0", 1000)
+			}
+		})
+	}
+}
+
+// BenchmarkDependencyChainDetection measures Definition 4 detection on
+// canonical chain histories of growing hoop length.
+func BenchmarkDependencyChainDetection(b *testing.B) {
+	for _, k := range []int{3, 6, 12} {
+		b.Run(fmt.Sprintf("hoop=%d", k), func(b *testing.B) {
+			pl := NewPlacement(k + 1)
+			path := make([]int, k+1)
+			for i := 0; i <= k; i++ {
+				path[i] = i
+				if i > 0 {
+					link := fmt.Sprintf("l%d", i)
+					pl.Assign(i-1, link)
+					pl.Assign(i, link)
+				}
+			}
+			pl.Assign(0, "x")
+			pl.Assign(k, "x")
+			hoop := Hoop{Var: "x", Path: path}
+			h, err := pl.DependencyChainHistory(ChainSpec{Hoop: hoop})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, found := DetectDependencyChain(h, hoop); !found {
+					b.Fatal("chain not detected")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package sharegraph
+
+import (
+	"fmt"
+
+	"partialdsm/internal/model"
+)
+
+// ChainSpec controls the canonical x-dependency-chain history built by
+// DependencyChainHistory.
+type ChainSpec struct {
+	// Hoop is the x-hoop along which the chain forms. Path endpoints
+	// must hold Var; interior vertices must not.
+	Hoop Hoop
+	// FinalIsWrite selects o_b(x): a write when true, a read otherwise.
+	FinalIsWrite bool
+	// FinalReadsStale makes the final read return ⊥ instead of the
+	// chained value — the causally forbidden outcome used to demonstrate
+	// Theorem 1 (ignored when FinalIsWrite).
+	FinalReadsStale bool
+}
+
+// DependencyChainHistory constructs the canonical history of Figure 3:
+// along the hoop [p_a = p_0, …, p_k = p_b],
+//
+//	p_0: w_a(x)v, w_a(x_1)v_1
+//	p_h: r_h(x_h)v_h, w_h(x_{h+1})v_{h+1}      (1 ≤ h ≤ k-1)
+//	p_b: r_b(x_k)v_k, o_b(x)
+//
+// where x_h is a variable shared by p_{h-1} and p_h other than x. The
+// resulting history includes an x-dependency chain from w_a(x)v to
+// o_b(x) (Definition 4). The placement supplies the intermediate
+// variables; an error is returned if the hoop is not valid for it.
+func (pl *Placement) DependencyChainHistory(spec ChainSpec) (*model.History, error) {
+	hoop := spec.Hoop
+	x := hoop.Var
+	if len(hoop.Path) < 2 {
+		return nil, fmt.Errorf("sharegraph: hoop path %v too short", hoop.Path)
+	}
+	a, b := hoop.Path[0], hoop.Path[len(hoop.Path)-1]
+	if !pl.Holds(a, x) || !pl.Holds(b, x) {
+		return nil, fmt.Errorf("sharegraph: hoop endpoints %d,%d must hold %s", a, b, x)
+	}
+	for _, p := range hoop.Path[1 : len(hoop.Path)-1] {
+		if pl.Holds(p, x) {
+			return nil, fmt.Errorf("sharegraph: interior vertex %d of hoop holds %s", p, x)
+		}
+	}
+	// Pick the intermediate variable of each hop.
+	links := make([]string, len(hoop.Path)-1)
+	for h := 1; h < len(hoop.Path); h++ {
+		var link string
+		for _, v := range pl.SharedVars(hoop.Path[h-1], hoop.Path[h]) {
+			if v != x {
+				link = v
+				break
+			}
+		}
+		if link == "" {
+			return nil, fmt.Errorf("sharegraph: vertices %d and %d share no variable other than %s",
+				hoop.Path[h-1], hoop.Path[h], x)
+		}
+		links[h-1] = link
+	}
+
+	bld := model.NewBuilder(pl.numProcs)
+	const v0 int64 = 100 // value v written to x
+	bld.Write(a, x, v0)
+	for h := 0; h < len(links); h++ {
+		val := int64(101 + h) // v_{h+1}
+		writer := hoop.Path[h]
+		bld.Write(writer, links[h], val)
+		reader := hoop.Path[h+1]
+		bld.Read(reader, links[h], val)
+	}
+	switch {
+	case spec.FinalIsWrite:
+		bld.Write(b, x, 999)
+	case spec.FinalReadsStale:
+		bld.ReadInit(b, x)
+	default:
+		bld.Read(b, x, v0)
+	}
+	return bld.History()
+}
+
+// ChainWitness records a detected x-dependency chain: the initial and
+// final operations and one linking operation per hoop process.
+type ChainWitness struct {
+	Hoop    Hoop
+	Initial model.Op // w_a(x)v
+	Final   model.Op // o_b(x)
+	Links   []model.Op
+}
+
+// DetectDependencyChain reports whether history h includes an
+// x-dependency chain along the given hoop (Definition 4): an initial
+// write w_a(x)v at the first hoop vertex, a final operation o_b(x) at
+// the last, and a read-from/program-order pattern visiting every hoop
+// process in order that implies w_a(x)v ↦co o_b(x).
+//
+// Detection walks the hoop with a dynamic program: at each hop the
+// frontier is the set of operations of the current process reachable
+// from the initial write through alternating program-order and direct
+// read-from steps confined to the hoop's processes.
+func DetectDependencyChain(h *model.History, hoop Hoop) (ChainWitness, bool) {
+	x := hoop.Var
+	if len(hoop.Path) < 2 {
+		return ChainWitness{}, false
+	}
+	rf, err := model.ReadFrom(h)
+	if err != nil {
+		return ChainWitness{}, false
+	}
+	a, b := hoop.Path[0], hoop.Path[len(hoop.Path)-1]
+
+	for _, startID := range h.Local(a) {
+		start := h.Op(startID)
+		if !start.IsWrite() || start.Var != x {
+			continue
+		}
+		// Frontier: ops of the current hoop process reachable from the
+		// initial write. At p_a that is the write and everything after
+		// it in program order.
+		frontier := map[int]int{} // op ID → predecessor link op ID (for witness)
+		link := map[int]int{startID: -1}
+		for _, id := range h.Local(a) {
+			if id >= startID { // same process: program order == builder order
+				frontier[id] = startID
+				if id != startID {
+					link[id] = startID
+				}
+			}
+		}
+		for hop := 1; hop < len(hoop.Path); hop++ {
+			next := hoop.Path[hop]
+			nextFrontier := map[int]int{}
+			for fid := range frontier {
+				fop := h.Op(fid)
+				if !fop.IsWrite() {
+					continue
+				}
+				// Reads of this write by the next hoop process.
+				rf.Succ(fid).ForEach(func(rid int) {
+					rop := h.Op(rid)
+					if rop.Proc != next {
+						return
+					}
+					for _, id := range h.Local(next) {
+						if id >= rid {
+							if _, seen := nextFrontier[id]; !seen {
+								nextFrontier[id] = fid
+								link[id] = fid
+							}
+						}
+					}
+				})
+			}
+			frontier = nextFrontier
+			if len(frontier) == 0 {
+				return ChainWitness{}, false
+			}
+		}
+		// Final operation on x at p_b, distinct from the initial write.
+		for fid := range frontier {
+			fop := h.Op(fid)
+			if fop.Var != x || fid == startID || fop.Proc != b {
+				continue
+			}
+			// Reconstruct one linking op per hop.
+			w := ChainWitness{Hoop: hoop, Initial: start, Final: fop}
+			for id := fid; link[id] >= 0; id = link[id] {
+				w.Links = append([]model.Op{h.Op(id)}, w.Links...)
+			}
+			return w, true
+		}
+	}
+	return ChainWitness{}, false
+}

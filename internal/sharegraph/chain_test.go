@@ -1,0 +1,176 @@
+package sharegraph
+
+import (
+	"testing"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/model"
+)
+
+func TestFigure3DependencyChain(t *testing.T) {
+	// Hoop [0,1,2,3] on x through link variables a,b,c.
+	pl := NewPlacement(4).
+		Assign(0, "x", "a").
+		Assign(1, "a", "b").
+		Assign(2, "b", "c").
+		Assign(3, "c", "x")
+	hoop := Hoop{Var: "x", Path: []int{0, 1, 2, 3}}
+
+	// Final read of the chained value: causally consistent.
+	h, err := pl.DependencyChainHistory(ChainSpec{Hoop: hoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := check.Check(h, check.Causal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Errorf("chain history reading the fresh value must be causal:\n%s", h)
+	}
+
+	// Final read of ⊥: the dependency chain makes it causally
+	// inconsistent — this is exactly why interior processes are
+	// x-relevant (Theorem 1, necessity).
+	hStale, err := pl.DependencyChainHistory(ChainSpec{Hoop: hoop, FinalReadsStale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStale, err := check.Check(hStale, check.Causal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resStale.Consistent {
+		t.Errorf("stale final read must violate causal consistency:\n%s", hStale)
+	}
+	// …but PRAM admits it: no dependency chain forms under ↦pram
+	// (Theorem 2).
+	resPRAM, err := check.Check(hStale, check.PRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resPRAM.Consistent {
+		t.Errorf("Theorem 2: the stale read must be PRAM-consistent:\n%s", hStale)
+	}
+}
+
+func TestDependencyChainFinalWrite(t *testing.T) {
+	pl := NewPlacement(3).
+		Assign(0, "x", "a").
+		Assign(1, "a", "b").
+		Assign(2, "b", "x")
+	hoop := Hoop{Var: "x", Path: []int{0, 1, 2}}
+	h, err := pl.DependencyChainHistory(ChainSpec{Hoop: hoop, FinalIsWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := model.CausalOrder(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The initial write on x must causally precede the final write on x.
+	var initial, final model.Op
+	for _, o := range h.Ops() {
+		if o.IsWrite() && o.Var == "x" {
+			if o.Proc == 0 {
+				initial = o
+			} else {
+				final = o
+			}
+		}
+	}
+	if !co.Has(initial.ID, final.ID) {
+		t.Errorf("w_a(x)v must causally precede w_b(x)v':\n%s", h)
+	}
+}
+
+func TestDetectDependencyChain(t *testing.T) {
+	pl := NewPlacement(4).
+		Assign(0, "x", "a").
+		Assign(1, "a", "b").
+		Assign(2, "b", "c").
+		Assign(3, "c", "x")
+	hoop := Hoop{Var: "x", Path: []int{0, 1, 2, 3}}
+	h, err := pl.DependencyChainHistory(ChainSpec{Hoop: hoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, found := DetectDependencyChain(h, hoop)
+	if !found {
+		t.Fatalf("constructed chain not detected:\n%s", h)
+	}
+	if w.Initial.Proc != 0 || !w.Initial.IsWrite() || w.Initial.Var != "x" {
+		t.Errorf("initial = %v, want a write on x by p0", w.Initial)
+	}
+	if w.Final.Proc != 3 || w.Final.Var != "x" {
+		t.Errorf("final = %v, want an op on x by p3", w.Final)
+	}
+}
+
+func TestDetectDependencyChainAbsent(t *testing.T) {
+	hoop := Hoop{Var: "x", Path: []int{0, 1, 2}}
+	// History where p1 never reads p0's link write: no chain.
+	h := model.NewBuilder(3).
+		Write(0, "x", 1).
+		Write(0, "a", 2).
+		Write(1, "b", 3). // p1 writes without reading a
+		Read(2, "b", 3).
+		Read(2, "x", 1).
+		MustHistory()
+	if _, found := DetectDependencyChain(h, hoop); found {
+		t.Error("chain detected although p1 never reads the link variable")
+	}
+}
+
+func TestDetectDependencyChainOnFigure5(t *testing.T) {
+	// The paper's Figure 5 history includes an x-dependency chain along
+	// the x-hoop [p1,p2,p3] (our 0,1,2): w1(x)a … w3(x)d.
+	h := model.Figure5History()
+	hoop := Hoop{Var: "x", Path: []int{0, 1, 2}}
+	w, found := DetectDependencyChain(h, hoop)
+	if !found {
+		t.Fatalf("figure 5 chain not detected:\n%s", h)
+	}
+	if w.Initial.String() != "w0(x)1" {
+		t.Errorf("initial = %v, want w0(x)1", w.Initial)
+	}
+	if w.Final.String() != "w2(x)4" {
+		t.Errorf("final = %v, want w2(x)4", w.Final)
+	}
+}
+
+func TestDetectDependencyChainOnFigure4(t *testing.T) {
+	// Figure 4: no x-dependency chain forms along [p1,p2,p3] — the last
+	// operation of p3 on x (the ⊥-read) is NOT lazily reachable …
+	// but under the *causal* notion used by Definition 4 the read r3(x)⊥
+	// IS the final operation of a chain (that is exactly why the history
+	// is not causal). DetectDependencyChain implements Definition 4's
+	// causal pattern, so it must find the chain ending at r3(x)⊥.
+	h := model.Figure4History()
+	hoop := Hoop{Var: "x", Path: []int{0, 1, 2}}
+	w, found := DetectDependencyChain(h, hoop)
+	if !found {
+		t.Fatalf("figure 4 causal chain not detected:\n%s", h)
+	}
+	if !w.Final.IsRead() || w.Final.Val != model.Bottom {
+		t.Errorf("final = %v, want the ⊥-read", w.Final)
+	}
+}
+
+func TestDependencyChainHistoryErrors(t *testing.T) {
+	pl := NewPlacement(3).
+		Assign(0, "x").
+		Assign(1, "y").
+		Assign(2, "x", "y")
+	cases := []ChainSpec{
+		{Hoop: Hoop{Var: "x", Path: []int{0}}},       // too short
+		{Hoop: Hoop{Var: "x", Path: []int{1, 2}}},    // endpoint 1 lacks x
+		{Hoop: Hoop{Var: "x", Path: []int{0, 2}}},    // 0 and 2 share only x
+		{Hoop: Hoop{Var: "y", Path: []int{1, 2, 1}}}, // 2 holds y: bad interior … endpoints also wrong
+	}
+	for i, spec := range cases {
+		if _, err := pl.DependencyChainHistory(spec); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

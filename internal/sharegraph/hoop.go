@@ -1,0 +1,251 @@
+package sharegraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hoop is an x-hoop (Definition 3): a path [p_a = p_0, …, p_k = p_b] in
+// the share graph with p_a ≠ p_b ∈ C(x), interior vertices outside
+// C(x), and each consecutive pair sharing a variable different from x.
+type Hoop struct {
+	Var  string
+	Path []int // vertices, endpoints in C(Var)
+}
+
+// String renders the hoop as "x-hoop [p0 p3 p7]".
+func (h Hoop) String() string {
+	return fmt.Sprintf("%s-hoop %v", h.Var, h.Path)
+}
+
+// Hoops enumerates all x-hoops of the placement's share graph, up to
+// the optional limit (0 means unlimited). Hoops are simple paths; each
+// is reported once in a canonical direction (smaller endpoint first).
+// Enumeration can be exponential in the graph size — the paper itself
+// notes that "enumerating all the hoops can be very long" (§3.3); use
+// XRelevant for the linear-time relevance decision.
+func (pl *Placement) Hoops(x string, limit int) []Hoop {
+	cx := pl.Clique(x)
+	inCx := make([]bool, pl.numProcs)
+	for _, p := range cx {
+		inCx[p] = true
+	}
+	var out []Hoop
+	var path []int
+	used := make([]bool, pl.numProcs)
+
+	var extend func(cur, start int) bool // returns false when limit hit
+	extend = func(cur, start int) bool {
+		for next := 0; next < pl.numProcs; next++ {
+			if used[next] || !pl.EdgeSharingOtherThan(cur, next, x) {
+				continue
+			}
+			if inCx[next] {
+				// A hoop endpoint; canonical direction: start < end, or
+				// equal-length reversal avoided by requiring start < next.
+				if next > start {
+					hoop := Hoop{Var: x, Path: append(append([]int{}, path...), next)}
+					out = append(out, hoop)
+					if limit > 0 && len(out) >= limit {
+						return false
+					}
+				}
+				continue // endpoints cannot be interior vertices
+			}
+			used[next] = true
+			path = append(path, next)
+			ok := extend(next, start)
+			path = path[:len(path)-1]
+			used[next] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, a := range cx {
+		path = append(path[:0], a)
+		used[a] = true
+		if !extend(a, a) {
+			used[a] = false
+			break
+		}
+		used[a] = false
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Path, out[j].Path
+		if len(pi) != len(pj) {
+			return len(pi) < len(pj)
+		}
+		for k := range pi {
+			if pi[k] != pj[k] {
+				return pi[k] < pj[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// XRelevant returns the sorted set of x-relevant processes per
+// Theorem 1: C(x) together with every process on some x-hoop. It runs
+// in O(V+E) via a biconnectivity argument: build the auxiliary graph H
+// containing the vertices outside C(x) (with their share-graph edges),
+// the members of C(x) adjacent to them (as path terminals, with their
+// edges into V∖C(x) only), and a virtual vertex T adjacent to every
+// such terminal. A vertex p ∉ C(x) lies on an x-hoop iff p and T lie in
+// a common biconnected block of H: a simple cycle through T and p
+// decomposes, at its anchor vertices, into segments whose interiors
+// avoid C(x) — each segment is a hoop — and conversely any hoop through
+// p closes into such a cycle via T.
+//
+// (Edges incident to a vertex outside C(x) automatically share a
+// variable ≠ x, since that vertex does not hold x. Hoops of length one
+// add no vertices beyond C(x) and need no special handling.)
+func (pl *Placement) XRelevant(x string) []int {
+	cx := pl.Clique(x)
+	inCx := make([]bool, pl.numProcs)
+	for _, p := range cx {
+		inCx[p] = true
+	}
+	// Auxiliary graph over vertices 0..numProcs (T = numProcs).
+	T := pl.numProcs
+	adj := make([][]int, pl.numProcs+1)
+	addEdge := func(u, v int) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for p := 0; p < pl.numProcs; p++ {
+		if inCx[p] {
+			continue
+		}
+		for q := p + 1; q < pl.numProcs; q++ {
+			if !inCx[q] && pl.Edge(p, q) {
+				addEdge(p, q)
+			}
+		}
+	}
+	for _, c := range cx {
+		anchored := false
+		for q := 0; q < pl.numProcs; q++ {
+			if !inCx[q] && pl.EdgeSharingOtherThan(c, q, x) {
+				addEdge(c, q)
+				anchored = true
+			}
+		}
+		if anchored {
+			addEdge(T, c)
+		}
+	}
+
+	// Hopcroft–Tarjan biconnected components (iterative DFS), collecting
+	// for each block its vertex set; mark vertices sharing a ≥2-edge
+	// block with T.
+	n := pl.numProcs + 1
+	num := make([]int, n) // DFS numbers, 0 = unvisited
+	low := make([]int, n)
+	iterIdx := make([]int, n)
+	parentOf := make([]int, n)
+	for i := range parentOf {
+		parentOf[i] = -1
+	}
+	type edge struct{ u, v int }
+	var estack []edge
+	counter := 0
+	withT := make([]bool, n)
+
+	popBlock := func(u, v int) {
+		// Pop edges up to and including (u,v); that edge set is a block.
+		var verts []int
+		seen := make(map[int]bool)
+		edges := 0
+		for len(estack) > 0 {
+			e := estack[len(estack)-1]
+			estack = estack[:len(estack)-1]
+			edges++
+			for _, w := range []int{e.u, e.v} {
+				if !seen[w] {
+					seen[w] = true
+					verts = append(verts, w)
+				}
+			}
+			if e.u == u && e.v == v {
+				break
+			}
+		}
+		if edges >= 2 && seen[T] {
+			for _, w := range verts {
+				withT[w] = true
+			}
+		}
+	}
+
+	for start := 0; start < n; start++ {
+		if num[start] != 0 || len(adj[start]) == 0 {
+			continue
+		}
+		counter++
+		num[start] = counter
+		low[start] = counter
+		stack := []int{start}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			if iterIdx[u] < len(adj[u]) {
+				v := adj[u][iterIdx[u]]
+				iterIdx[u]++
+				if num[v] == 0 {
+					estack = append(estack, edge{u, v})
+					parentOf[v] = u
+					counter++
+					num[v] = counter
+					low[v] = counter
+					stack = append(stack, v)
+				} else if v != parentOf[u] && num[v] < num[u] {
+					estack = append(estack, edge{u, v})
+					if num[v] < low[u] {
+						low[u] = num[v]
+					}
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if p := parentOf[u]; p != -1 {
+					if low[u] < low[p] {
+						low[p] = low[u]
+					}
+					if low[u] >= num[p] {
+						popBlock(p, u) // p is an articulation point (or root): block rooted here
+					}
+				}
+			}
+		}
+	}
+
+	var out []int
+	for p := 0; p < pl.numProcs; p++ {
+		if inCx[p] || withT[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// XRelevantByEnumeration computes the x-relevant set by enumerating all
+// x-hoops — exponential, used to cross-check XRelevant in tests.
+func (pl *Placement) XRelevantByEnumeration(x string) []int {
+	relevant := make(map[int]bool)
+	for _, p := range pl.Clique(x) {
+		relevant[p] = true
+	}
+	for _, h := range pl.Hoops(x, 0) {
+		for _, p := range h.Path {
+			relevant[p] = true
+		}
+	}
+	out := make([]int, 0, len(relevant))
+	for p := range relevant {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,44 @@
+package sharegraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonPlacement is the wire form: one variable list per process.
+type jsonPlacement struct {
+	Processes [][]string `json:"processes"`
+}
+
+// MarshalJSON encodes the placement as {"processes": [["x","y"], …]}.
+func (pl *Placement) MarshalJSON() ([]byte, error) {
+	jp := jsonPlacement{Processes: make([][]string, pl.numProcs)}
+	for p := 0; p < pl.numProcs; p++ {
+		jp.Processes[p] = pl.VarsOf(p)
+	}
+	return json.Marshal(jp)
+}
+
+// ParsePlacement decodes a placement from its JSON form.
+func ParsePlacement(r io.Reader) (*Placement, error) {
+	var jp jsonPlacement
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jp); err != nil {
+		return nil, fmt.Errorf("sharegraph: decoding placement: %w", err)
+	}
+	if len(jp.Processes) == 0 {
+		return nil, fmt.Errorf("sharegraph: placement has no processes")
+	}
+	pl := NewPlacement(len(jp.Processes))
+	for p, vars := range jp.Processes {
+		for _, v := range vars {
+			if v == "" {
+				return nil, fmt.Errorf("sharegraph: process %d has an empty variable name", p)
+			}
+		}
+		pl.Assign(p, vars...)
+	}
+	return pl, nil
+}

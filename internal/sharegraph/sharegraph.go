@@ -1,0 +1,203 @@
+// Package sharegraph models the distribution of shared variables over
+// MCS processes as the paper's share graph (§3.1): an undirected graph
+// whose vertices are processes, with an edge between two processes iff
+// some variable is replicated on both. The package computes the
+// per-variable replica cliques C(x), enumerates x-hoops, decides
+// x-relevance (Theorem 1) in linear time, and constructs/detects the
+// x-dependency chains of Definition 4.
+package sharegraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Placement records which processes replicate which variables: the
+// X_i sets of the paper. A Placement is the input from which the share
+// graph is derived.
+type Placement struct {
+	numProcs int
+	vars     []string          // sorted variable universe
+	varIdx   map[string]int    // variable → dense index
+	holds    []map[string]bool // holds[p][x]
+
+	mu     sync.Mutex       // guards clique (lazily filled cache)
+	clique map[string][]int // cached C(x), sorted
+}
+
+// NewPlacement returns an empty placement over numProcs processes.
+func NewPlacement(numProcs int) *Placement {
+	if numProcs <= 0 {
+		panic(fmt.Sprintf("sharegraph: placement needs at least one process, got %d", numProcs))
+	}
+	pl := &Placement{
+		numProcs: numProcs,
+		varIdx:   make(map[string]int),
+		holds:    make([]map[string]bool, numProcs),
+		clique:   make(map[string][]int),
+	}
+	for p := range pl.holds {
+		pl.holds[p] = make(map[string]bool)
+	}
+	return pl
+}
+
+// Assign adds the variables to X_p, the set process p replicates.
+func (pl *Placement) Assign(p int, vars ...string) *Placement {
+	if p < 0 || p >= pl.numProcs {
+		panic(fmt.Sprintf("sharegraph: process %d out of range [0,%d)", p, pl.numProcs))
+	}
+	for _, v := range vars {
+		if v == "" {
+			panic("sharegraph: empty variable name")
+		}
+		if !pl.holds[p][v] {
+			pl.holds[p][v] = true
+			pl.mu.Lock()
+			delete(pl.clique, v) // invalidate cache
+			pl.mu.Unlock()
+			if _, seen := pl.varIdx[v]; !seen {
+				pl.varIdx[v] = len(pl.vars)
+				pl.vars = append(pl.vars, v)
+				sort.Strings(pl.vars)
+				for i, name := range pl.vars {
+					pl.varIdx[name] = i
+				}
+			}
+		}
+	}
+	return pl
+}
+
+// NumProcs returns the number of processes.
+func (pl *Placement) NumProcs() int { return pl.numProcs }
+
+// Vars returns the sorted variable universe. The returned slice must
+// not be modified.
+func (pl *Placement) Vars() []string { return pl.vars }
+
+// Holds reports whether process p replicates variable x (x ∈ X_p).
+func (pl *Placement) Holds(p int, x string) bool { return pl.holds[p][x] }
+
+// VarsOf returns X_p sorted. The result is a fresh slice.
+func (pl *Placement) VarsOf(p int) []string {
+	out := make([]string, 0, len(pl.holds[p]))
+	for v := range pl.holds[p] {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clique returns C(x): the sorted processes on which x is replicated.
+// The returned slice must not be modified.
+func (pl *Placement) Clique(x string) []int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if c, ok := pl.clique[x]; ok {
+		return c
+	}
+	var c []int
+	for p := 0; p < pl.numProcs; p++ {
+		if pl.holds[p][x] {
+			c = append(c, p)
+		}
+	}
+	if c == nil {
+		c = []int{}
+	}
+	pl.clique[x] = c
+	return c
+}
+
+// SharedVars returns the sorted variables replicated on both p and q —
+// the label of edge (p,q) in the share graph; empty means no edge.
+func (pl *Placement) SharedVars(p, q int) []string {
+	var out []string
+	for v := range pl.holds[p] {
+		if pl.holds[q][v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edge reports whether (p,q) is an edge of the share graph.
+func (pl *Placement) Edge(p, q int) bool {
+	if p == q {
+		return false
+	}
+	for v := range pl.holds[p] {
+		if pl.holds[q][v] {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeSharingOtherThan reports whether p and q share some variable
+// different from x — the condition on consecutive hoop vertices
+// (Definition 3 ii).
+func (pl *Placement) EdgeSharingOtherThan(p, q int, x string) bool {
+	if p == q {
+		return false
+	}
+	for v := range pl.holds[p] {
+		if v != x && pl.holds[q][v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the sorted share-graph neighbors of p.
+func (pl *Placement) Neighbors(p int) []int {
+	var out []int
+	for q := 0; q < pl.numProcs; q++ {
+		if q != p && pl.Edge(p, q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// String renders the placement one process per line.
+func (pl *Placement) String() string {
+	var b strings.Builder
+	for p := 0; p < pl.numProcs; p++ {
+		fmt.Fprintf(&b, "X%d = {%s}\n", p, strings.Join(pl.VarsOf(p), ", "))
+	}
+	return b.String()
+}
+
+// DOT renders the share graph in Graphviz format with edges labelled by
+// the shared variables, as in the paper's Figure 1.
+func (pl *Placement) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph sharegraph {\n")
+	for p := 0; p < pl.numProcs; p++ {
+		fmt.Fprintf(&b, "  p%d [label=\"p%d\\n{%s}\"];\n", p, p, strings.Join(pl.VarsOf(p), ","))
+	}
+	for p := 0; p < pl.numProcs; p++ {
+		for q := p + 1; q < pl.numProcs; q++ {
+			if shared := pl.SharedVars(p, q); len(shared) > 0 {
+				fmt.Fprintf(&b, "  p%d -- p%d [label=\"%s\"];\n", p, q, strings.Join(shared, ","))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Figure1Placement builds the paper's Figure 1 example: three
+// processes p_i, p_j, p_k (here p0, p1, p2) with X_i = {x1,x2},
+// X_j = {x1}, X_k = {x2}.
+func Figure1Placement() *Placement {
+	return NewPlacement(3).
+		Assign(0, "x1", "x2").
+		Assign(1, "x1").
+		Assign(2, "x2")
+}

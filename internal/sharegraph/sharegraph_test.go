@@ -1,0 +1,230 @@
+package sharegraph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	// Paper Figure 1: X_i={x1,x2}, X_j={x1}, X_k={x2} with i,j,k = 0,1,2.
+	pl := Figure1Placement()
+	if got := pl.Clique("x1"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("C(x1) = %v, want [0 1]", got)
+	}
+	if got := pl.Clique("x2"); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("C(x2) = %v, want [0 2]", got)
+	}
+	if !pl.Edge(0, 1) || !pl.Edge(0, 2) || pl.Edge(1, 2) {
+		t.Error("share graph edges wrong: want 0-1 and 0-2 only")
+	}
+	if got := pl.SharedVars(0, 1); !reflect.DeepEqual(got, []string{"x1"}) {
+		t.Errorf("label(0,1) = %v, want [x1]", got)
+	}
+	// No hoops: C(x1)={0,1}, the only other vertex 2 connects only to 0.
+	if hoops := pl.Hoops("x1", 0); len(hoops) != 0 {
+		t.Errorf("Figure 1 has no x1-hoops, got %v", hoops)
+	}
+	if got := pl.XRelevant("x1"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("x1-relevant = %v, want C(x1) only", got)
+	}
+}
+
+// figure5Placement is the variable distribution implied by the paper's
+// Figures 4–6: C(x)={p1,p3,p4} (here 0,2,3), with p2 (here 1) on the
+// x-hoop [p1,p2,p3] through y.
+func figure5Placement() *Placement {
+	return NewPlacement(4).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y").
+		Assign(3, "x")
+}
+
+func TestFigure2HoopEnumeration(t *testing.T) {
+	pl := figure5Placement()
+	hoops := pl.Hoops("x", 0)
+	// Expected hoops with interior {1}: [0 1 2]; plus the direct hoop
+	// [0 2] (edge 0-2 shares y ≠ x).
+	var paths [][]int
+	for _, h := range hoops {
+		paths = append(paths, h.Path)
+	}
+	want := [][]int{{0, 2}, {0, 1, 2}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("x-hoops = %v, want %v", paths, want)
+	}
+}
+
+func TestHoopLimit(t *testing.T) {
+	pl := figure5Placement()
+	if hoops := pl.Hoops("x", 1); len(hoops) != 1 {
+		t.Errorf("limit=1 returned %d hoops", len(hoops))
+	}
+}
+
+func TestXRelevantTheorem1(t *testing.T) {
+	pl := figure5Placement()
+	// Theorem 1: p2 (vertex 1) is x-relevant because it lies on the
+	// x-hoop [0,1,2]; vertex 3 holds x so it is trivially relevant.
+	if got := pl.XRelevant("x"); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("x-relevant = %v, want all four", got)
+	}
+	// y is fully replicated on 0,1,2; vertex 3 shares only x with the
+	// others, and edges into C(y) sharing a variable ≠ y exist (x), but
+	// 3 alone cannot bridge two C(y) members … it can: 3 is adjacent to
+	// 0 and 2 via x. So 3 IS on a y-hoop [0,3,2].
+	if got := pl.XRelevant("y"); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("y-relevant = %v, want all four", got)
+	}
+}
+
+func TestXRelevantIsolatedComponent(t *testing.T) {
+	// A pendant vertex hanging off a single C(x) member is NOT on any
+	// x-hoop (its component touches only one C(x) anchor).
+	pl := NewPlacement(4).
+		Assign(0, "x", "a").
+		Assign(1, "x").
+		Assign(2, "a", "b"). // pendant chain 0-2-3, anchored only at 0
+		Assign(3, "b")
+	if got := pl.XRelevant("x"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("x-relevant = %v, want [0 1]", got)
+	}
+	if hoops := pl.Hoops("x", 0); len(hoops) != 0 {
+		t.Errorf("unexpected hoops %v", hoops)
+	}
+}
+
+func TestXRelevantLongHoop(t *testing.T) {
+	// C(x) = {0, 4}; chain 0-1-2-3-4 through distinct link variables.
+	pl := NewPlacement(5).
+		Assign(0, "x", "a").
+		Assign(1, "a", "b").
+		Assign(2, "b", "c").
+		Assign(3, "c", "d").
+		Assign(4, "d", "x")
+	got := pl.XRelevant("x")
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("x-relevant = %v, want all five", got)
+	}
+	hoops := pl.Hoops("x", 0)
+	if len(hoops) != 1 || !reflect.DeepEqual(hoops[0].Path, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("hoops = %v, want the single chain", hoops)
+	}
+}
+
+func TestEnumerationMatchesLinearRelevance(t *testing.T) {
+	// Cross-check Theorem 1's two computations on assorted topologies.
+	topologies := []*Placement{
+		Figure1Placement(),
+		figure5Placement(),
+		NewPlacement(6).
+			Assign(0, "x", "a").
+			Assign(1, "a", "b").
+			Assign(2, "b", "x").
+			Assign(3, "x", "c").
+			Assign(4, "c").
+			Assign(5, "d"), // isolated
+		NewPlacement(5).
+			Assign(0, "x", "u", "v").
+			Assign(1, "u", "w").
+			Assign(2, "v", "w", "x").
+			Assign(3, "w").
+			Assign(4, "x"),
+	}
+	for ti, pl := range topologies {
+		for _, x := range pl.Vars() {
+			fast := pl.XRelevant(x)
+			slow := pl.XRelevantByEnumeration(x)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("topology %d, var %s: linear %v != enumeration %v", ti, x, fast, slow)
+			}
+		}
+	}
+}
+
+func TestEdgeSharingOtherThan(t *testing.T) {
+	pl := NewPlacement(2).Assign(0, "x", "y").Assign(1, "x", "y")
+	if !pl.EdgeSharingOtherThan(0, 1, "x") {
+		t.Error("0 and 1 share y ≠ x")
+	}
+	pl2 := NewPlacement(2).Assign(0, "x").Assign(1, "x")
+	if pl2.EdgeSharingOtherThan(0, 1, "x") {
+		t.Error("0 and 1 share only x")
+	}
+	if pl.EdgeSharingOtherThan(0, 0, "x") {
+		t.Error("self loops are not edges")
+	}
+}
+
+func TestNeighborsAndVarsOf(t *testing.T) {
+	pl := figure5Placement()
+	if got := pl.Neighbors(1); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Neighbors(1) = %v, want [0 2]", got)
+	}
+	if got := pl.VarsOf(0); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("VarsOf(0) = %v", got)
+	}
+}
+
+func TestDOTAndString(t *testing.T) {
+	pl := Figure1Placement()
+	dot := pl.DOT()
+	for _, want := range []string{"graph sharegraph", "p0 -- p1", "x1", "p0 -- p2", "x2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if s := pl.String(); !strings.Contains(s, "X0 = {x1, x2}") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	pl := figure5Placement()
+	data, err := pl.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := ParsePlacement(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.NumProcs() != pl.NumProcs() {
+		t.Fatalf("proc count changed")
+	}
+	for p := 0; p < pl.NumProcs(); p++ {
+		if !reflect.DeepEqual(pl.VarsOf(p), pl2.VarsOf(p)) {
+			t.Errorf("process %d: %v != %v", p, pl.VarsOf(p), pl2.VarsOf(p))
+		}
+	}
+}
+
+func TestParsePlacementErrors(t *testing.T) {
+	for _, c := range []string{
+		`{"processes": []}`,
+		`{"processes": [[""]]}`,
+		`{nope`,
+	} {
+		if _, err := ParsePlacement(strings.NewReader(c)); err == nil {
+			t.Errorf("ParsePlacement(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestPlacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Assign out of range must panic")
+		}
+	}()
+	NewPlacement(1).Assign(3, "x")
+}
+
+func TestCliqueEmptyForUnknownVar(t *testing.T) {
+	pl := Figure1Placement()
+	if got := pl.Clique("zzz"); len(got) != 0 {
+		t.Errorf("C(zzz) = %v, want empty", got)
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace defines a portable JSON snapshot of a DSM execution —
+// the global history, the per-node apply/read event logs, the variable
+// placement and the consistency configuration — so executions can be
+// archived and verified offline (cmd/dsm-check -trace).
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/model"
+	"partialdsm/internal/sharegraph"
+)
+
+// eventJSON is the wire form of one check.Event.
+type eventJSON struct {
+	Read   bool   `json:"read,omitempty"`
+	Writer int    `json:"writer,omitempty"`
+	WSeq   int    `json:"wseq,omitempty"`
+	Var    string `json:"var"`
+	Val    int64  `json:"val,omitempty"`
+	Init   bool   `json:"init,omitempty"` // Val is ⊥
+}
+
+// Trace is a portable snapshot of one execution.
+type Trace struct {
+	// Consistency names the protocol that produced the execution (one
+	// of the partialdsm.Consistency values).
+	Consistency string `json:"consistency"`
+	// Placement lists the variables each node replicates.
+	Placement [][]string `json:"placement"`
+	// History is the global history in model JSON form.
+	History json.RawMessage `json:"history"`
+	// Logs holds one event log per node.
+	Logs [][]eventJSON `json:"logs"`
+}
+
+// Encode builds the JSON snapshot.
+func Encode(consistency string, placement [][]string, h *model.History, logs [][]check.Event) ([]byte, error) {
+	if len(placement) != h.NumProcs() || len(logs) != h.NumProcs() {
+		return nil, fmt.Errorf("trace: %d placement rows and %d logs for %d processes",
+			len(placement), len(logs), h.NumProcs())
+	}
+	hJSON, err := h.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	t := Trace{
+		Consistency: consistency,
+		Placement:   placement,
+		History:     hJSON,
+		Logs:        make([][]eventJSON, len(logs)),
+	}
+	for i, log := range logs {
+		t.Logs[i] = make([]eventJSON, 0, len(log))
+		for _, e := range log {
+			je := eventJSON{Read: e.IsRead, Var: e.Var}
+			if e.IsRead {
+				if e.Val == model.Bottom {
+					je.Init = true
+				} else {
+					je.Val = e.Val
+				}
+			} else {
+				je.Writer = e.Writer
+				je.WSeq = e.WSeq
+				je.Val = e.Val
+			}
+			t.Logs[i] = append(t.Logs[i], je)
+		}
+	}
+	return json.MarshalIndent(t, "", " ")
+}
+
+// Decode parses a snapshot.
+func Decode(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if len(t.Placement) == 0 {
+		return nil, fmt.Errorf("trace: no placement")
+	}
+	if len(t.Logs) != len(t.Placement) {
+		return nil, fmt.Errorf("trace: %d logs for %d nodes", len(t.Logs), len(t.Placement))
+	}
+	return &t, nil
+}
+
+// HistoryModel materializes the embedded global history.
+func (t *Trace) HistoryModel() (*model.History, error) {
+	return model.ParseHistory(bytes.NewReader(t.History))
+}
+
+// EventLogs reconstructs the per-node event logs.
+func (t *Trace) EventLogs() [][]check.Event {
+	out := make([][]check.Event, len(t.Logs))
+	for i, log := range t.Logs {
+		out[i] = make([]check.Event, 0, len(log))
+		for _, je := range log {
+			e := check.Event{IsRead: je.Read, Var: je.Var}
+			if je.Read {
+				if je.Init {
+					e.Val = model.Bottom
+				} else {
+					e.Val = je.Val
+				}
+			} else {
+				e.Writer = je.Writer
+				e.WSeq = je.WSeq
+				e.Val = je.Val
+			}
+			out[i] = append(out[i], e)
+		}
+	}
+	return out
+}
+
+// PlacementModel rebuilds the sharegraph placement.
+func (t *Trace) PlacementModel() (*sharegraph.Placement, error) {
+	pl := sharegraph.NewPlacement(len(t.Placement))
+	for p, vars := range t.Placement {
+		for _, v := range vars {
+			if v == "" {
+				return nil, fmt.Errorf("trace: node %d has an empty variable name", p)
+			}
+		}
+		pl.Assign(p, vars...)
+	}
+	return pl, nil
+}
+
+// Verify validates the snapshot against the witness conditions of its
+// consistency configuration, exactly as Cluster.VerifyWitness does for
+// a live cluster.
+func (t *Trace) Verify() error {
+	logs := t.EventLogs()
+	n := len(t.Placement)
+	switch t.Consistency {
+	case "pram", "sequential":
+		return check.WitnessPRAM(n, logs)
+	case "slow":
+		return check.WitnessSlow(n, logs)
+	case "cache":
+		return check.WitnessCache(n, logs)
+	case "atomic":
+		pl, err := t.PlacementModel()
+		if err != nil {
+			return err
+		}
+		return check.WitnessAtomic(n, logs, func(x string) int {
+			cx := pl.Clique(x)
+			if len(cx) == 0 {
+				return -1
+			}
+			return cx[0]
+		})
+	case "causal-full", "causal-partial", "causal-hoop-aware":
+		h, err := t.HistoryModel()
+		if err != nil {
+			return err
+		}
+		return check.WitnessCausal(h, logs)
+	default:
+		return fmt.Errorf("trace: no witness validator for consistency %q", t.Consistency)
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/model"
+)
+
+func sampleHistory(t *testing.T) *model.History {
+	t.Helper()
+	return model.NewBuilder(2).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		ReadInit(1, "y").
+		MustHistory()
+}
+
+func sampleLogs() [][]check.Event {
+	return [][]check.Event{
+		{{Writer: 0, WSeq: 0, Var: "x", Val: 1}},
+		{
+			{Writer: 0, WSeq: 0, Var: "x", Val: 1},
+			{IsRead: true, Var: "x", Val: 1},
+			{IsRead: true, Var: "y", Val: model.Bottom},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := sampleHistory(t)
+	placement := [][]string{{"x"}, {"x", "y"}}
+	data, err := Encode("pram", placement, h, sampleLogs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Consistency != "pram" || len(tr.Placement) != 2 {
+		t.Fatalf("metadata lost: %+v", tr)
+	}
+	h2, err := tr.HistoryModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != h.Len() {
+		t.Fatalf("history shape changed: %d vs %d", h2.Len(), h.Len())
+	}
+	logs := tr.EventLogs()
+	if len(logs) != 2 || len(logs[1]) != 3 {
+		t.Fatalf("logs shape changed: %v", logs)
+	}
+	if logs[1][2].Val != model.Bottom {
+		t.Error("⊥ read value lost in round trip")
+	}
+	if logs[0][0] != sampleLogs()[0][0] {
+		t.Errorf("apply event changed: %+v", logs[0][0])
+	}
+}
+
+func TestVerifyPRAMTrace(t *testing.T) {
+	h := sampleHistory(t)
+	data, err := Encode("pram", [][]string{{"x"}, {"x", "y"}}, h, sampleLogs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestVerifyDetectsViolation(t *testing.T) {
+	h := sampleHistory(t)
+	badLogs := sampleLogs()
+	badLogs[1][1].Val = 99 // read of a value never applied
+	data, err := Encode("pram", [][]string{{"x"}, {"x", "y"}}, h, badLogs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := Decode(bytes.NewReader(data))
+	if err := tr.Verify(); err == nil {
+		t.Fatal("stale read in trace not detected")
+	}
+}
+
+func TestVerifyCausalTrace(t *testing.T) {
+	h := sampleHistory(t)
+	data, err := Encode("causal-partial", [][]string{{"x"}, {"x", "y"}}, h, sampleLogs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := Decode(bytes.NewReader(data))
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("valid causal trace rejected: %v", err)
+	}
+}
+
+func TestVerifyUnknownConsistency(t *testing.T) {
+	h := sampleHistory(t)
+	data, err := Encode("bogus", [][]string{{"x"}, {"x", "y"}}, h, sampleLogs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := Decode(bytes.NewReader(data))
+	if err := tr.Verify(); err == nil {
+		t.Fatal("unknown consistency must fail verification")
+	}
+}
+
+func TestEncodeShapeMismatch(t *testing.T) {
+	h := sampleHistory(t)
+	if _, err := Encode("pram", [][]string{{"x"}}, h, sampleLogs()); err == nil {
+		t.Error("placement shape mismatch not detected")
+	}
+	if _, err := Encode("pram", [][]string{{"x"}, {"y"}}, h, nil); err == nil {
+		t.Error("log shape mismatch not detected")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, c := range []string{
+		`{nope`,
+		`{"consistency":"pram","placement":[],"history":{},"logs":[]}`,
+		`{"consistency":"pram","placement":[["x"]],"history":{},"logs":[[],[]]}`,
+	} {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", c)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+
+	"partialdsm/internal/sharegraph"
+)
+
+// This file provides the topology zoo used by experiments and tests:
+// placements whose share graphs have qualitatively different hoop
+// structure, from hoop-free stars to hoop-saturated rings.
+
+// StarPlacement gives the hub (process 0) every variable and leaf i
+// the single variable it shares with the hub. Leaves are x-irrelevant
+// for every variable they do not hold: the hoop-free extreme, where
+// even causal consistency could be implemented with narrowly scoped
+// control information (statically).
+func StarPlacement(numProcs int) *sharegraph.Placement {
+	if numProcs < 2 {
+		panic(fmt.Sprintf("workload: star needs at least 2 processes, got %d", numProcs))
+	}
+	pl := sharegraph.NewPlacement(numProcs)
+	for p := 1; p < numProcs; p++ {
+		v := VarName(p - 1)
+		pl.Assign(0, v)
+		pl.Assign(p, v)
+	}
+	return pl
+}
+
+// ChainPlacement links process p to p+1 through variable x_p: a path
+// share graph. Variables have degree 2 and the only x_p-hoops are the
+// trivial none — no cycle exists — so every variable's relevant set is
+// exactly its clique.
+func ChainPlacement(numProcs int) *sharegraph.Placement {
+	if numProcs < 2 {
+		panic(fmt.Sprintf("workload: chain needs at least 2 processes, got %d", numProcs))
+	}
+	pl := sharegraph.NewPlacement(numProcs)
+	for p := 0; p+1 < numProcs; p++ {
+		v := VarName(p)
+		pl.Assign(p, v)
+		pl.Assign(p+1, v)
+	}
+	return pl
+}
+
+// GridPlacement arranges rows×cols processes in a grid; each adjacent
+// pair (horizontally and vertically) shares a dedicated variable. Grids
+// are cycle-rich: every variable on a face of the grid has hoops around
+// the adjacent faces.
+func GridPlacement(rows, cols int) *sharegraph.Placement {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("workload: bad grid %dx%d", rows, cols))
+	}
+	pl := sharegraph.NewPlacement(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	next := 0
+	link := func(a, b int) {
+		v := fmt.Sprintf("e%d", next)
+		next++
+		pl.Assign(a, v)
+		pl.Assign(b, v)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				link(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				link(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return pl
+}
+
+// CliquesPlacement builds k disjoint fully replicated groups of size
+// groupSize, bridged by one shared variable between consecutive groups.
+// The bridge variables create hoops that span whole groups — the
+// "federated clusters" scenario.
+func CliquesPlacement(k, groupSize int) *sharegraph.Placement {
+	if k < 1 || groupSize < 1 {
+		panic(fmt.Sprintf("workload: bad cliques %d×%d", k, groupSize))
+	}
+	pl := sharegraph.NewPlacement(k * groupSize)
+	for g := 0; g < k; g++ {
+		v := fmt.Sprintf("g%d", g)
+		for m := 0; m < groupSize; m++ {
+			pl.Assign(g*groupSize+m, v)
+		}
+		if g+1 < k {
+			bridge := fmt.Sprintf("b%d", g)
+			pl.Assign(g*groupSize, bridge)
+			pl.Assign((g+1)*groupSize, bridge)
+		}
+	}
+	return pl
+}
+
+// PlacementToConfig converts a sharegraph placement into the facade's
+// [][]string form.
+func PlacementToConfig(pl *sharegraph.Placement) [][]string {
+	out := make([][]string, pl.NumProcs())
+	for p := range out {
+		out[p] = pl.VarsOf(p)
+	}
+	return out
+}

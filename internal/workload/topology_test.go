@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStarPlacementHoopFree(t *testing.T) {
+	pl := StarPlacement(6)
+	for _, x := range pl.Vars() {
+		if hoops := pl.Hoops(x, 0); len(hoops) != 0 {
+			t.Errorf("star has %s-hoops: %v", x, hoops)
+		}
+		if got, want := pl.XRelevant(x), pl.Clique(x); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s-relevant = %v, want C(x) = %v", x, got, want)
+		}
+	}
+	// Hub holds everything, leaves one variable each.
+	if len(pl.VarsOf(0)) != 5 {
+		t.Errorf("hub holds %d vars", len(pl.VarsOf(0)))
+	}
+	for p := 1; p < 6; p++ {
+		if len(pl.VarsOf(p)) != 1 {
+			t.Errorf("leaf %d holds %d vars", p, len(pl.VarsOf(p)))
+		}
+	}
+}
+
+func TestChainPlacementHoopFree(t *testing.T) {
+	pl := ChainPlacement(5)
+	for _, x := range pl.Vars() {
+		if got, want := pl.XRelevant(x), pl.Clique(x); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s-relevant = %v, want %v (a path has no cycles)", x, got, want)
+		}
+	}
+}
+
+func TestGridPlacementHasHoops(t *testing.T) {
+	pl := GridPlacement(2, 2)
+	// The 2×2 grid is a 4-cycle: every edge variable has a hoop around
+	// the other three vertices.
+	found := false
+	for _, x := range pl.Vars() {
+		if len(pl.Hoops(x, 0)) > 0 {
+			found = true
+			if len(pl.XRelevant(x)) <= len(pl.Clique(x)) {
+				t.Errorf("%s has hoops but no extra relevant processes", x)
+			}
+		}
+	}
+	if !found {
+		t.Error("2x2 grid must contain hoops")
+	}
+	if pl.NumProcs() != 4 {
+		t.Errorf("grid size = %d", pl.NumProcs())
+	}
+}
+
+func TestGridPlacementEdgeCount(t *testing.T) {
+	pl := GridPlacement(3, 4)
+	// 3 rows × 3 horizontal + 2×4 vertical = 9 + 8 = 17 edge variables.
+	if got := len(pl.Vars()); got != 17 {
+		t.Errorf("edge variables = %d, want 17", got)
+	}
+}
+
+func TestCliquesPlacementBridgeHoops(t *testing.T) {
+	pl := CliquesPlacement(3, 3)
+	if pl.NumProcs() != 9 {
+		t.Fatalf("procs = %d", pl.NumProcs())
+	}
+	// Each group variable is fully shared within the group.
+	if got := len(pl.Clique("g0")); got != 3 {
+		t.Errorf("C(g0) = %d members", got)
+	}
+	// Bridge variables connect group border processes.
+	if got := len(pl.Clique("b0")); got != 2 {
+		t.Errorf("C(b0) = %d members", got)
+	}
+	// b0 and b1 both touch process 3 (border of group 1): a b0-hoop
+	// cannot exist (bridges form a path, not a cycle), so relevance
+	// equals the clique.
+	if got, want := pl.XRelevant("b0"), pl.Clique("b0"); !reflect.DeepEqual(got, want) {
+		t.Errorf("b0-relevant = %v, want %v", got, want)
+	}
+}
+
+func TestPlacementToConfig(t *testing.T) {
+	pl := ChainPlacement(3)
+	cfg := PlacementToConfig(pl)
+	if len(cfg) != 3 {
+		t.Fatalf("rows = %d", len(cfg))
+	}
+	if !reflect.DeepEqual(cfg[1], []string{"x0", "x1"}) {
+		t.Errorf("middle node vars = %v", cfg[1])
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { StarPlacement(1) },
+		func() { ChainPlacement(1) },
+		func() { GridPlacement(0, 3) },
+		func() { CliquesPlacement(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

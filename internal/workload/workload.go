@@ -1,0 +1,161 @@
+// Package workload generates the synthetic inputs the experiments run
+// on: random variable placements (share-graph topologies), random
+// histories for checker fuzzing, and sequentially consistent histories
+// produced by simulating a single shared store.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partialdsm/internal/model"
+	"partialdsm/internal/sharegraph"
+)
+
+// VarName returns the canonical name of the i-th shared variable,
+// "x0", "x1", ….
+func VarName(i int) string { return fmt.Sprintf("x%d", i) }
+
+// VarNames returns the first m canonical variable names.
+func VarNames(m int) []string {
+	out := make([]string, m)
+	for i := range out {
+		out[i] = VarName(i)
+	}
+	return out
+}
+
+// RandomPlacement assigns each of numVars variables to `degree`
+// distinct processes chosen uniformly. degree is clamped to
+// [1, numProcs].
+func RandomPlacement(rng *rand.Rand, numProcs, numVars, degree int) *sharegraph.Placement {
+	if degree < 1 {
+		degree = 1
+	}
+	if degree > numProcs {
+		degree = numProcs
+	}
+	pl := sharegraph.NewPlacement(numProcs)
+	for v := 0; v < numVars; v++ {
+		perm := rng.Perm(numProcs)
+		for _, p := range perm[:degree] {
+			pl.Assign(p, VarName(v))
+		}
+	}
+	return pl
+}
+
+// FullPlacement replicates every variable on every process.
+func FullPlacement(numProcs, numVars int) *sharegraph.Placement {
+	pl := sharegraph.NewPlacement(numProcs)
+	for p := 0; p < numProcs; p++ {
+		pl.Assign(p, VarNames(numVars)...)
+	}
+	return pl
+}
+
+// RingPlacement builds a ring share graph: process p holds variables
+// x_p and x_{(p+1) mod n}, so consecutive processes share one variable.
+// Every variable has replication degree 2 and long hoops abound —
+// the adversarial topology for causal partial replication.
+func RingPlacement(numProcs int) *sharegraph.Placement {
+	pl := sharegraph.NewPlacement(numProcs)
+	for p := 0; p < numProcs; p++ {
+		pl.Assign(p, VarName(p), VarName((p+1)%numProcs))
+	}
+	return pl
+}
+
+// RandomHistory produces an arbitrary history: each process performs
+// opsPerProc operations on random variables; writes store fresh
+// distinct values; each read returns either ⊥ or the value of a
+// uniformly chosen write to the same variable appearing anywhere in
+// the history (so histories are well formed but usually inconsistent).
+func RandomHistory(rng *rand.Rand, numProcs, numVars, opsPerProc int) *model.History {
+	type wv struct {
+		v   string
+		val int64
+	}
+	b := model.NewBuilder(numProcs)
+	next := int64(1)
+	var writes []wv
+	// First pass: choose shapes; writes must exist before reads can
+	// reference them, so generate writes first with probability, then
+	// patch reads over the full write set in a second pass.
+	type slot struct {
+		p       int
+		isWrite bool
+		v       string
+	}
+	var slots []slot
+	for p := 0; p < numProcs; p++ {
+		for k := 0; k < opsPerProc; k++ {
+			s := slot{p: p, isWrite: rng.Intn(2) == 0, v: VarName(rng.Intn(numVars))}
+			slots = append(slots, s)
+			if s.isWrite {
+				writes = append(writes, wv{s.v, next})
+				next++
+			}
+		}
+	}
+	wIdx := 0
+	byVar := make(map[string][]int64)
+	for _, w := range writes {
+		byVar[w.v] = append(byVar[w.v], w.val)
+	}
+	for _, s := range slots {
+		if s.isWrite {
+			b.Write(s.p, s.v, writes[wIdx].val)
+			wIdx++
+			continue
+		}
+		cands := byVar[s.v]
+		if len(cands) == 0 || rng.Intn(4) == 0 {
+			b.ReadInit(s.p, s.v)
+		} else {
+			b.Read(s.p, s.v, cands[rng.Intn(len(cands))])
+		}
+	}
+	return b.MustHistory()
+}
+
+// SequentialHistory simulates a single atomic store: operations are
+// interleaved uniformly across processes and reads return the store's
+// current value. The result is sequentially consistent by construction
+// (hence consistent under every weaker criterion).
+func SequentialHistory(rng *rand.Rand, numProcs, numVars, totalOps int) *model.History {
+	b := model.NewBuilder(numProcs)
+	store := make(map[string]int64)
+	next := int64(1)
+	for k := 0; k < totalOps; k++ {
+		p := rng.Intn(numProcs)
+		v := VarName(rng.Intn(numVars))
+		if rng.Intn(2) == 0 {
+			store[v] = next
+			b.Write(p, v, next)
+			next++
+		} else if val, ok := store[v]; ok {
+			b.Read(p, v, val)
+		} else {
+			b.ReadInit(p, v)
+		}
+	}
+	return b.MustHistory()
+}
+
+// PRAMNotCausalHistory generates a history that is PRAM-consistent but
+// (for numProcs ≥ 4) violates causal consistency: two observers see a
+// causally ordered pair of writes by different writers in opposite
+// orders. Used to separate the criteria in tests.
+func PRAMNotCausalHistory() *model.History {
+	// w0(x)1 ↦co w1(x)2 via r1(x)1; observers p2, p3 disagree.
+	return model.NewBuilder(4).
+		Write(0, "x", 1).
+		Read(1, "x", 1).
+		Write(1, "x", 2).
+		Read(2, "x", 1).
+		Read(2, "x", 2).
+		Read(3, "x", 2).
+		Read(3, "x", 1).
+		MustHistory()
+}

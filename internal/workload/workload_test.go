@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/model"
+)
+
+func TestVarNames(t *testing.T) {
+	names := VarNames(3)
+	if len(names) != 3 || names[0] != "x0" || names[2] != "x2" {
+		t.Fatalf("VarNames(3) = %v", names)
+	}
+}
+
+func TestRandomPlacementDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pl := RandomPlacement(rng, 6, 10, 3)
+	for v := 0; v < 10; v++ {
+		if got := len(pl.Clique(VarName(v))); got != 3 {
+			t.Errorf("C(%s) has %d members, want 3", VarName(v), got)
+		}
+	}
+	// Degree clamping.
+	pl2 := RandomPlacement(rng, 2, 1, 99)
+	if got := len(pl2.Clique("x0")); got != 2 {
+		t.Errorf("clamped degree: %d members, want 2", got)
+	}
+	pl3 := RandomPlacement(rng, 2, 1, 0)
+	if got := len(pl3.Clique("x0")); got != 1 {
+		t.Errorf("clamped degree: %d members, want 1", got)
+	}
+}
+
+func TestFullPlacement(t *testing.T) {
+	pl := FullPlacement(4, 3)
+	for v := 0; v < 3; v++ {
+		if got := len(pl.Clique(VarName(v))); got != 4 {
+			t.Errorf("C(%s) = %d, want 4", VarName(v), got)
+		}
+	}
+}
+
+func TestRingPlacement(t *testing.T) {
+	pl := RingPlacement(5)
+	for p := 0; p < 5; p++ {
+		if !pl.Holds(p, VarName(p)) || !pl.Holds(p, VarName((p+1)%5)) {
+			t.Errorf("process %d misses its ring variables", p)
+		}
+	}
+	// Every variable has degree 2.
+	for v := 0; v < 5; v++ {
+		if got := len(pl.Clique(VarName(v))); got != 2 {
+			t.Errorf("C(%s) = %d, want 2", VarName(v), got)
+		}
+	}
+	// In a ring every process is on an x-hoop for every variable (the
+	// long way around the ring connects the two replicas).
+	for v := 0; v < 5; v++ {
+		if got := len(pl.XRelevant(VarName(v))); got != 5 {
+			t.Errorf("%s-relevant = %d processes, want all 5", VarName(v), got)
+		}
+	}
+}
+
+func TestRandomHistoryWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		h := RandomHistory(rng, 3, 2, 4)
+		if err := h.CheckDifferentiated(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, h)
+		}
+		if _, err := model.ReadFrom(h); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, h)
+		}
+	}
+}
+
+func TestSequentialHistoryIsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		h := SequentialHistory(rng, 3, 2, 10)
+		res, err := check.Check(h, check.Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Consistent {
+			t.Fatalf("trial %d: generated history not sequentially consistent:\n%s", trial, h)
+		}
+	}
+}
+
+func TestPRAMNotCausalHistory(t *testing.T) {
+	h := PRAMNotCausalHistory()
+	got, err := check.CheckAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[check.PRAM] || got[check.Causal] {
+		t.Fatalf("verdicts = %v, want PRAM yes / causal no", got)
+	}
+}
+
+// TestHierarchyMonotonicity is the property test for experiment E13:
+// on random histories, acceptance must be monotone along every edge of
+// the strength DAG (check.Implications). PRAM and the lazy criteria are
+// deliberately absent from each other's implications — they are
+// incomparable (see check.Implications).
+func TestHierarchyMonotonicity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120}
+	property := func(seed int64, procsRaw, varsRaw, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numProcs := 2 + int(procsRaw%3) // 2..4
+		numVars := 1 + int(varsRaw%3)   // 1..3
+		ops := 2 + int(opsRaw%3)        // 2..4 per process
+		h := RandomHistory(rng, numProcs, numVars, ops)
+		got, err := check.CheckAll(h)
+		if err != nil {
+			t.Logf("malformed history: %v", err)
+			return false
+		}
+		for _, imp := range check.Implications {
+			if got[imp[0]] && !got[imp[1]] {
+				t.Logf("violation: %s accepted but %s rejected\n%s", imp[0], imp[1], h)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyAndPRAMIncomparable pins down the incomparability with two
+// witnesses: a history that is lazy-causal but not PRAM, and one that
+// is PRAM but not lazy-semi-causal.
+func TestLazyAndPRAMIncomparable(t *testing.T) {
+	// Lazy-causal but not PRAM: p1 reads y's new value then x's old one
+	// written earlier by the same process p0 — PRAM's full program order
+	// of p0 plus p1's own program order forbids it; lazy program order
+	// does not relate r(y) to a later r(x).
+	h1 := model.NewBuilder(2).
+		Write(0, "x", 1).
+		Write(0, "y", 2).
+		Read(1, "y", 2).
+		ReadInit(1, "x").
+		MustHistory()
+	got1, err := check.CheckAll(h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1[check.LazyCausal] || got1[check.PRAM] {
+		t.Errorf("h1 verdicts = %v, want lazy-causal yes / pram no", got1)
+	}
+	// PRAM but not lazy-semi-causal: the paper's Figure 6.
+	got2, err := check.CheckAll(model.Figure6History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[check.LazySemiCausal] || !got2[check.PRAM] {
+		t.Errorf("figure 6 verdicts = %v, want lsc no / pram yes", got2)
+	}
+}
+
+// TestRelevanceAgreesOnRandomTopologies is the property test for
+// experiment E7: the linear-time Theorem 1 computation must agree with
+// hoop enumeration on random placements.
+func TestRelevanceAgreesOnRandomTopologies(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	property := func(seed int64, procsRaw, varsRaw, degRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numProcs := 3 + int(procsRaw%5) // 3..7
+		numVars := 1 + int(varsRaw%5)   // 1..5
+		degree := 1 + int(degRaw%3)     // 1..3
+		pl := RandomPlacement(rng, numProcs, numVars, degree)
+		for _, x := range pl.Vars() {
+			fast := pl.XRelevant(x)
+			slow := pl.XRelevantByEnumeration(x)
+			if len(fast) != len(slow) {
+				t.Logf("var %s: linear %v != enumeration %v\n%s", x, fast, slow, pl)
+				return false
+			}
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Logf("var %s: linear %v != enumeration %v\n%s", x, fast, slow, pl)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

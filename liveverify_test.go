@@ -1,0 +1,61 @@
+package partialdsm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLiveVerifyCleanRun(t *testing.T) {
+	for _, cons := range []Consistency{PRAM, Slow, CacheConsistency, Sequential} {
+		cons := cons
+		t.Run(string(cons), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, Config{
+				Consistency: cons,
+				Placement:   fullPlacement(3),
+				Seed:        21,
+				MaxLatency:  100 * time.Microsecond,
+				LiveVerify:  true,
+			})
+			runWorkload(t, c, 30, 5)
+			if err := c.LiveError(); err != nil {
+				t.Fatalf("live monitor reported a violation on a correct protocol: %v", err)
+			}
+		})
+	}
+}
+
+func TestLiveVerifyUnsupportedCriteria(t *testing.T) {
+	for _, cons := range []Consistency{CausalFull, CausalPartial, CausalHoopAware, Atomic} {
+		if _, err := New(Config{Consistency: cons, Placement: fullPlacement(2), LiveVerify: true}); err == nil {
+			t.Errorf("%s must reject LiveVerify", cons)
+		}
+	}
+}
+
+func TestLiveErrorWithoutMonitor(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2)})
+	if err := c.LiveError(); !errors.Is(err, ErrNoTrace) {
+		t.Errorf("LiveError without monitor = %v, want ErrNoTrace", err)
+	}
+}
+
+func TestLiveVerifyImpliesTracing(t *testing.T) {
+	// LiveVerify with DisableTrace still records (the monitor needs the
+	// event stream); history methods work.
+	c := newCluster(t, Config{
+		Consistency:  PRAM,
+		Placement:    fullPlacement(2),
+		DisableTrace: true,
+		LiveVerify:   true,
+	})
+	c.Node(0).Write("x", 1)
+	c.Quiesce()
+	if err := c.LiveError(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.History(); err != nil {
+		t.Fatalf("history unavailable despite LiveVerify: %v", err)
+	}
+}

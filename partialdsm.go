@@ -1,0 +1,494 @@
+// Package partialdsm is a distributed shared memory (DSM) toolkit
+// reproducing Hélary & Milani, "About the efficiency of partial
+// replication to implement Distributed Shared Memory" (IRISA PI-1727,
+// ICPP 2006).
+//
+// It provides a cluster of simulated nodes, each pairing an application
+// process with a memory consistency system (MCS) process, over a
+// message-passing network. Shared variables may be partially
+// replicated: each node holds only the variables its placement assigns
+// (the paper's X_i sets). Eight consistency configurations are
+// available, from atomic registers down to slow memory, including the
+// paper's headline construction — an *efficient* PRAM memory under
+// partial replication, in which information about a variable x never
+// reaches a process outside its replica clique C(x) (Theorem 2) — and
+// the causal configurations that provably cannot be efficient
+// (Theorem 1).
+//
+// Clusters record their execution history; the toolkit can then verify
+// protocol-specific consistency witnesses, run the exact checkers of
+// the underlying model on small runs, and report the control-byte and
+// variable-touch metrics that make the paper's efficiency notion
+// measurable.
+//
+// # Quick start
+//
+//	cluster, err := partialdsm.New(partialdsm.Config{
+//		Consistency: partialdsm.PRAM,
+//		Placement:   [][]string{{"x", "y"}, {"x"}, {"y"}},
+//	})
+//	// node 0 writes, node 1 reads after the network settles
+//	n0, n1 := cluster.Node(0), cluster.Node(1)
+//	n0.Write("x", 42)
+//	cluster.Quiesce()
+//	v, _ := n1.Read("x")
+package partialdsm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"partialdsm/internal/check"
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/mcs/atomicreg"
+	"partialdsm/internal/mcs/cachepart"
+	"partialdsm/internal/mcs/causalfull"
+	"partialdsm/internal/mcs/causalpart"
+	"partialdsm/internal/mcs/prampart"
+	"partialdsm/internal/mcs/seqcons"
+	"partialdsm/internal/mcs/slowpart"
+	"partialdsm/internal/metrics"
+	"partialdsm/internal/model"
+	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
+	"partialdsm/internal/trace"
+)
+
+// Bottom is the initial value ⊥ of every shared variable: reads of
+// never-written variables return it.
+const Bottom int64 = model.Bottom
+
+// Consistency selects a memory consistency protocol.
+type Consistency string
+
+// The available consistency configurations, strongest first.
+const (
+	// Atomic is a linearizable register per variable, served by a
+	// per-variable primary; every operation pays a network round trip.
+	Atomic Consistency = "atomic"
+	// Sequential is sequencer-based sequential consistency with
+	// blocking writes and local reads.
+	Sequential Consistency = "sequential"
+	// CausalFull is vector-clock causal broadcast with complete
+	// replication (Ahamad et al.) — the paper's baseline.
+	CausalFull Consistency = "causal-full"
+	// CausalPartial is causal consistency with partial replication of
+	// data and *broadcast* control notifications: correct, but
+	// information about every variable reaches every node (Theorem 1's
+	// unavoidable cost when the distribution is not known a priori).
+	CausalPartial Consistency = "causal-partial"
+	// CausalHoopAware is causal consistency with partial replication
+	// where control notifications for x reach exactly the x-relevant
+	// processes (C(x) plus x-hoop members), exploiting a statically
+	// known share graph (§3.3's "ad-hoc" design).
+	CausalHoopAware Consistency = "causal-hoop-aware"
+	// PRAM is the paper's efficient construction (§5, Theorem 2):
+	// per-sender FIFO updates multicast only to C(x).
+	PRAM Consistency = "pram"
+	// Slow is slow memory: per-(sender,variable) FIFO updates multicast
+	// only to C(x); tolerates non-FIFO channels.
+	Slow Consistency = "slow"
+	// CacheConsistency is Goodman's cache consistency: per-variable
+	// sequential consistency via a per-variable sequencer inside C(x).
+	// Incomparable with PRAM, yet efficient in the paper's sense —
+	// included as an exploration of the paper's §7 open question.
+	CacheConsistency Consistency = "cache"
+)
+
+// Consistencies lists every supported configuration, strongest first.
+var Consistencies = []Consistency{
+	Atomic, Sequential, CausalFull, CausalPartial, CausalHoopAware, PRAM, Slow, CacheConsistency,
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Consistency selects the protocol. Required.
+	Consistency Consistency
+	// Placement lists, per node, the variables the node replicates and
+	// its application may access (the X_i sets). Required, one entry
+	// per node.
+	Placement [][]string
+	// MaxLatency bounds the simulated per-message delivery latency
+	// (uniform in [0, MaxLatency]). Zero delivers as fast as scheduling
+	// allows.
+	MaxLatency time.Duration
+	// Seed makes the latency sequence reproducible.
+	Seed int64
+	// NonFIFO delivers messages independently instead of FIFO per node
+	// pair. Only Slow, CausalPartial, CausalHoopAware, Sequential and
+	// Atomic tolerate it; PRAM and CausalFull require FIFO and reject
+	// the combination.
+	NonFIFO bool
+	// DisableTrace turns off history and witness recording (for
+	// benchmarks). Traced verification methods then return ErrNoTrace.
+	DisableTrace bool
+	// LiveVerify attaches an online consistency monitor that validates
+	// every event as it happens (O(1) per event); the first violation
+	// is available from LiveError. Supported for PRAM, Slow,
+	// CacheConsistency and Sequential (criteria with prefix-closed
+	// witnesses); other configurations reject the flag. Implies
+	// tracing.
+	LiveVerify bool
+}
+
+// ErrNoTrace is returned by history-dependent methods when the cluster
+// was built with DisableTrace.
+var ErrNoTrace = errors.New("partialdsm: cluster was built with DisableTrace")
+
+// Cluster is a running DSM instance.
+type Cluster struct {
+	cfg     Config
+	pl      *sharegraph.Placement
+	net     *netsim.Network
+	col     *metrics.Collector
+	rec     *mcs.Recorder
+	nodes   []mcs.Node
+	monitor check.Monitor // nil unless LiveVerify
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Placement) == 0 {
+		return nil, errors.New("partialdsm: config needs a placement with at least one node")
+	}
+	pl := sharegraph.NewPlacement(len(cfg.Placement))
+	for p, vars := range cfg.Placement {
+		for _, v := range vars {
+			if v == "" {
+				return nil, fmt.Errorf("partialdsm: node %d has an empty variable name", p)
+			}
+		}
+		pl.Assign(p, vars...)
+	}
+	if cfg.NonFIFO && (cfg.Consistency == PRAM || cfg.Consistency == CausalFull) {
+		return nil, fmt.Errorf("partialdsm: %s requires FIFO channels", cfg.Consistency)
+	}
+
+	col := metrics.NewCollector()
+	net := netsim.NewNetwork(len(cfg.Placement), netsim.Options{
+		FIFO:       !cfg.NonFIFO,
+		MaxLatency: cfg.MaxLatency,
+		Seed:       cfg.Seed,
+		Metrics:    col,
+	})
+	var rec *mcs.Recorder
+	if !cfg.DisableTrace || cfg.LiveVerify {
+		rec = mcs.NewRecorder(len(cfg.Placement))
+	}
+	var monitor check.Monitor
+	if cfg.LiveVerify {
+		switch cfg.Consistency {
+		case PRAM, Sequential:
+			monitor = check.NewPRAMMonitor(len(cfg.Placement))
+		case Slow:
+			monitor = check.NewSlowMonitor(len(cfg.Placement))
+		case CacheConsistency:
+			monitor = check.NewCacheMonitor(len(cfg.Placement))
+		default:
+			net.Close()
+			return nil, fmt.Errorf("partialdsm: LiveVerify is not supported for %s (its witness is not prefix-closed)", cfg.Consistency)
+		}
+		rec.SetObserver(func(node int, e check.Event) { _ = monitor.Feed(node, e) })
+	}
+	mc := mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec}
+
+	var nodes []mcs.Node
+	var err error
+	switch cfg.Consistency {
+	case PRAM:
+		nodes, err = wrap(prampart.New(mc))
+	case CausalFull:
+		nodes, err = wrap(causalfull.New(mc))
+	case CausalPartial:
+		nodes, err = wrap(causalpart.New(mc, causalpart.ModeBroadcast))
+	case CausalHoopAware:
+		nodes, err = wrap(causalpart.New(mc, causalpart.ModeHoopAware))
+	case Sequential:
+		nodes, err = wrap(seqcons.New(mc))
+	case Atomic:
+		nodes, err = wrap(atomicreg.New(mc))
+	case Slow:
+		nodes, err = wrap(slowpart.New(mc))
+	case CacheConsistency:
+		nodes, err = wrap(cachepart.New(mc))
+	default:
+		err = fmt.Errorf("partialdsm: unknown consistency %q", cfg.Consistency)
+	}
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, pl: pl, net: net, col: col, rec: rec, nodes: nodes, monitor: monitor}, nil
+}
+
+// LiveError returns the first violation found by the live monitor
+// (Config.LiveVerify), nil while the execution is consistent, and
+// ErrNoTrace when live verification was not enabled.
+func (c *Cluster) LiveError() error {
+	if c.monitor == nil {
+		return ErrNoTrace
+	}
+	return c.monitor.Err()
+}
+
+// wrap converts a typed node slice into the interface slice.
+func wrap[T mcs.Node](nodes []T, err error) ([]mcs.Node, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mcs.Node, len(nodes))
+	for i, n := range nodes {
+		out[i] = n
+	}
+	return out, nil
+}
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns a handle bound to node i. Each handle must be driven by
+// a single application goroutine, matching the paper's model of one
+// sequential application process per node.
+func (c *Cluster) Node(i int) *NodeHandle {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("partialdsm: node %d out of range [0,%d)", i, len(c.nodes)))
+	}
+	return &NodeHandle{node: c.nodes[i]}
+}
+
+// Holds reports whether node i replicates variable x.
+func (c *Cluster) Holds(i int, x string) bool { return c.pl.Holds(i, x) }
+
+// Clique returns C(x), the nodes replicating x.
+func (c *Cluster) Clique(x string) []int {
+	return append([]int(nil), c.pl.Clique(x)...)
+}
+
+// XRelevant returns the x-relevant nodes per Theorem 1.
+func (c *Cluster) XRelevant(x string) []int { return c.pl.XRelevant(x) }
+
+// Vars returns the sorted variable universe.
+func (c *Cluster) Vars() []string {
+	return append([]string(nil), c.pl.Vars()...)
+}
+
+// VarsOf returns the sorted variables node i replicates (X_i).
+func (c *Cluster) VarsOf(i int) []string { return c.pl.VarsOf(i) }
+
+// Quiesce blocks until no message is in flight. With idle application
+// goroutines this is a consistent global cut: all issued updates have
+// been delivered everywhere they were addressed.
+func (c *Cluster) Quiesce() { c.net.Quiesce() }
+
+// PauseLink suspends delivery on the ordered link from → to (messages
+// queue, nothing is lost) — deterministic asynchrony injection for
+// tests and experiments. Requires a FIFO network (the default). Do not
+// Quiesce while links are paused and messages are pending.
+func (c *Cluster) PauseLink(from, to int) { c.net.PauseLink(from, to) }
+
+// ResumeLink releases a link paused by PauseLink; held messages are
+// delivered in order.
+func (c *Cluster) ResumeLink(from, to int) { c.net.ResumeLink(from, to) }
+
+// Close shuts the cluster down. The cluster must not be used afterward.
+func (c *Cluster) Close() { c.net.Close() }
+
+// NodeHandle exposes the operations of one application process.
+type NodeHandle struct {
+	node mcs.Node
+}
+
+// ID returns the node identifier.
+func (h *NodeHandle) ID() int { return h.node.ID() }
+
+// Write performs w_i(x)v.
+func (h *NodeHandle) Write(x string, v int64) error { return h.node.Write(x, v) }
+
+// Read performs r_i(x). Reads of never-written variables return Bottom.
+func (h *NodeHandle) Read(x string) (int64, error) { return h.node.Read(x) }
+
+// Stats is a snapshot of the cluster's communication metrics.
+type Stats struct {
+	// Msgs counts network messages sent.
+	Msgs int64
+	// CtrlBytes and DataBytes split the wire volume into control
+	// information and variable data.
+	CtrlBytes, DataBytes int64
+	// MsgsByKind counts messages per protocol message kind.
+	MsgsByKind map[string]int64
+	// Touch maps node → the sorted variables the node has sent or
+	// received information about.
+	Touch map[int][]string
+}
+
+// Stats returns a snapshot of the communication metrics.
+func (c *Cluster) Stats() Stats {
+	s := c.col.Snapshot()
+	return Stats{
+		Msgs:       s.Msgs,
+		CtrlBytes:  s.CtrlBytes,
+		DataBytes:  s.DataBytes,
+		MsgsByKind: s.PerKind,
+		Touch:      s.Touch,
+	}
+}
+
+// VerifyEfficiency checks the paper's efficiency property (§3): for
+// every variable x, only processes of C(x) have ever sent or received
+// information about x. It returns nil when the property holds and a
+// descriptive error naming the first violation otherwise.
+//
+// PRAM and Slow clusters satisfy it (Theorem 2); the causal
+// configurations do not in general (Theorem 1).
+func (c *Cluster) VerifyEfficiency() error {
+	for _, x := range c.pl.Vars() {
+		cx := make(map[int]bool)
+		for _, p := range c.pl.Clique(x) {
+			cx[p] = true
+		}
+		for p := 0; p < c.pl.NumProcs(); p++ {
+			if !cx[p] && c.col.Touched(p, x) {
+				return fmt.Errorf("partialdsm: node %d handled information about %s but is not in C(%s)=%v",
+					p, x, x, c.pl.Clique(x))
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyRelevanceBound checks the weaker Theorem 1 bound: information
+// about x reaches only x-relevant processes (C(x) plus x-hoop members).
+// CausalHoopAware satisfies this; CausalPartial and CausalFull do not
+// on topologies with x-irrelevant processes.
+func (c *Cluster) VerifyRelevanceBound() error {
+	for _, x := range c.pl.Vars() {
+		rel := make(map[int]bool)
+		for _, p := range c.pl.XRelevant(x) {
+			rel[p] = true
+		}
+		for p := 0; p < c.pl.NumProcs(); p++ {
+			if !rel[p] && c.col.Touched(p, x) {
+				return fmt.Errorf("partialdsm: node %d handled information about %s but is not %s-relevant (%v)",
+					p, x, x, c.pl.XRelevant(x))
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyWitness validates the recorded execution against the witness
+// conditions of the cluster's consistency criterion (polynomial-time,
+// suitable for large traces). Application goroutines must be idle and
+// the cluster quiesced.
+func (c *Cluster) VerifyWitness() error {
+	if c.rec == nil {
+		return ErrNoTrace
+	}
+	c.Quiesce()
+	logs := c.rec.Logs()
+	switch c.cfg.Consistency {
+	case PRAM, Sequential:
+		// Sequential executions satisfy the PRAM witness a fortiori;
+		// their full strength is checked by CheckHistory.
+		return check.WitnessPRAM(c.rec.NumProcs(), logs)
+	case Atomic:
+		return check.WitnessAtomic(c.rec.NumProcs(), logs, func(x string) int {
+			cx := c.pl.Clique(x)
+			if len(cx) == 0 {
+				return -1
+			}
+			return cx[0]
+		})
+	case Slow:
+		return check.WitnessSlow(c.rec.NumProcs(), logs)
+	case CacheConsistency:
+		return check.WitnessCache(c.rec.NumProcs(), logs)
+	case CausalFull, CausalPartial, CausalHoopAware:
+		h, err := c.rec.History()
+		if err != nil {
+			return err
+		}
+		return check.WitnessCausal(h, logs)
+	default:
+		return fmt.Errorf("partialdsm: no witness validator for %s", c.cfg.Consistency)
+	}
+}
+
+// CheckHistory runs the exact consistency checkers of the execution
+// model on the recorded history and returns the verdict per criterion
+// name ("sequential", "causal", "lazy-causal", "lazy-semi-causal",
+// "pram", "slow"). The exact checkers are exponential in the worst
+// case: use only on small runs (≲ 24 operations).
+func (c *Cluster) CheckHistory() (map[string]bool, error) {
+	if c.rec == nil {
+		return nil, ErrNoTrace
+	}
+	c.Quiesce()
+	h, err := c.rec.History()
+	if err != nil {
+		return nil, err
+	}
+	verdicts, err := check.CheckAll(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(verdicts))
+	for crit, v := range verdicts {
+		out[string(crit)] = v
+	}
+	return out, nil
+}
+
+// History materializes the recorded global history as a model.History
+// for in-module tooling (the cmd/ binaries and tests); external users
+// should prefer HistoryJSON.
+func (c *Cluster) History() (*model.History, error) {
+	if c.rec == nil {
+		return nil, ErrNoTrace
+	}
+	c.Quiesce()
+	return c.rec.History()
+}
+
+// HistoryJSON exports the recorded history in the JSON format consumed
+// by cmd/dsm-check.
+func (c *Cluster) HistoryJSON() ([]byte, error) {
+	if c.rec == nil {
+		return nil, ErrNoTrace
+	}
+	c.Quiesce()
+	h, err := c.rec.History()
+	if err != nil {
+		return nil, err
+	}
+	return h.MarshalJSON()
+}
+
+// ExportTrace serializes the execution — consistency configuration,
+// placement, global history and per-node event logs — as a portable
+// JSON snapshot that cmd/dsm-check (-trace) and internal/trace can
+// verify offline.
+func (c *Cluster) ExportTrace() ([]byte, error) {
+	if c.rec == nil {
+		return nil, ErrNoTrace
+	}
+	c.Quiesce()
+	h, err := c.rec.History()
+	if err != nil {
+		return nil, err
+	}
+	placement := make([][]string, c.pl.NumProcs())
+	for p := range placement {
+		placement[p] = c.pl.VarsOf(p)
+	}
+	return trace.Encode(string(c.cfg.Consistency), placement, h, c.rec.Logs())
+}
+
+// OpCount returns the number of recorded operations (0 without trace).
+func (c *Cluster) OpCount() int {
+	if c.rec == nil {
+		return 0
+	}
+	return c.rec.OpCount()
+}

@@ -1,0 +1,53 @@
+package partialdsm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"partialdsm/internal/trace"
+)
+
+func TestExportTraceRoundTrip(t *testing.T) {
+	for _, cons := range []Consistency{PRAM, Slow, CacheConsistency, CausalPartial, Atomic} {
+		cons := cons
+		t.Run(string(cons), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(3), Seed: 30})
+			runWorkload(t, c, 10, 11)
+			data, err := c.ExportTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := trace.Decode(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Consistency != string(cons) {
+				t.Errorf("consistency = %q", tr.Consistency)
+			}
+			if err := tr.Verify(); err != nil {
+				t.Fatalf("exported trace fails its own witness: %v", err)
+			}
+			// The embedded history must match the live one.
+			h1, err := c.History()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := tr.HistoryModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1.Len() != h2.Len() {
+				t.Errorf("history shape changed: %d vs %d ops", h1.Len(), h2.Len())
+			}
+		})
+	}
+}
+
+func TestExportTraceWithoutTrace(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), DisableTrace: true})
+	if _, err := c.ExportTrace(); !errors.Is(err, ErrNoTrace) {
+		t.Errorf("ExportTrace = %v, want ErrNoTrace", err)
+	}
+}
