@@ -48,11 +48,18 @@ func starPlacement(n int) [][]string {
 // benchCluster builds an untraced cluster or fails the benchmark.
 func benchCluster(b *testing.B, cons partialdsm.Consistency, placement [][]string) *partialdsm.Cluster {
 	b.Helper()
+	return benchClusterT(b, cons, placement, partialdsm.TransportClassic)
+}
+
+// benchClusterT is benchCluster with an explicit transport.
+func benchClusterT(b *testing.B, cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport) *partialdsm.Cluster {
+	b.Helper()
 	c, err := partialdsm.New(partialdsm.Config{
 		Consistency:  cons,
 		Placement:    placement,
 		Seed:         1,
 		DisableTrace: true,
+		Transport:    tr,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -182,31 +189,66 @@ func BenchmarkHoopAwareAblation(b *testing.B) {
 }
 
 // BenchmarkBellmanFord is experiment E10/E11 at growing graph sizes:
-// one full distributed shortest-path computation per iteration.
+// one full distributed shortest-path computation per iteration, on
+// each transport — the paper's broadcast-heavy case study is where the
+// sharded engine's batching shows.
 func BenchmarkBellmanFord(b *testing.B) {
 	for _, n := range []int{5, 10, 20} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			g := bellmanford.RandomGraph(rand.New(rand.NewSource(7)), n, 2*n, 9)
-			placement := bellmanford.Placement(g)
+		for _, tr := range partialdsm.Transports {
+			b.Run(fmt.Sprintf("n=%d/%s", n, tr), func(b *testing.B) {
+				g := bellmanford.RandomGraph(rand.New(rand.NewSource(7)), n, 2*n, 9)
+				placement := bellmanford.Placement(g)
+				for i := 0; i < b.N; i++ {
+					c, err := partialdsm.New(partialdsm.Config{
+						Consistency:  partialdsm.PRAM,
+						Placement:    placement,
+						Seed:         1,
+						DisableTrace: true,
+						Transport:    tr,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes := make([]bellmanford.Node, c.NumNodes())
+					for j := range nodes {
+						nodes[j] = c.Node(j)
+					}
+					if _, err := bellmanford.Run(nodes, g, 0); err != nil {
+						b.Fatal(err)
+					}
+					c.Close()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkUpdateStorm is the message-heaviest cluster workload: PRAM
+// over full replication on 16 nodes, so every write multicasts to 15
+// replicas; an iteration is a 64-write burst plus the quiescence that
+// waits out all 960 deliveries. The sharded transport's batched drains
+// are built for exactly this shape.
+func BenchmarkUpdateStorm(b *testing.B) {
+	const nodes, burst = 16, 64
+	placement := make([][]string, nodes)
+	for i := range placement {
+		placement[i] = []string{"x"}
+	}
+	for _, tr := range partialdsm.Transports {
+		b.Run(string(tr), func(b *testing.B) {
+			c := benchClusterT(b, partialdsm.PRAM, placement, tr)
+			h := c.Node(0)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c, err := partialdsm.New(partialdsm.Config{
-					Consistency:  partialdsm.PRAM,
-					Placement:    placement,
-					Seed:         1,
-					DisableTrace: true,
-				})
-				if err != nil {
-					b.Fatal(err)
+				for k := 0; k < burst; k++ {
+					if err := h.Write("x", int64(i*burst+k)+1); err != nil {
+						b.Fatal(err)
+					}
 				}
-				nodes := make([]bellmanford.Node, c.NumNodes())
-				for j := range nodes {
-					nodes[j] = c.Node(j)
-				}
-				if _, err := bellmanford.Run(nodes, g, 0); err != nil {
-					b.Fatal(err)
-				}
-				c.Close()
+				c.Quiesce()
 			}
+			b.StopTimer()
+			reportTraffic(b, c, b.N*burst)
 		})
 	}
 }

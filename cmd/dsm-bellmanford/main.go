@@ -5,7 +5,8 @@
 // Usage:
 //
 //	dsm-bellmanford [-figure8] [-n 12] [-extra 10] [-maxw 9] [-seed 1]
-//	                [-consistency pram] [-latency 100us] [-v]
+//	                [-consistency pram] [-transport classic|sharded]
+//	                [-latency 100us] [-v]
 //
 // By default a random graph is used; -figure8 runs the paper's example
 // network. Exits 1 if the distributed result disagrees with the oracle
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxw := fs.Int64("maxw", 9, "random graph: maximum edge weight")
 	seed := fs.Int64("seed", 1, "random seed (graph and network latency)")
 	consistency := fs.String("consistency", "pram", "memory consistency (pram, causal-partial, causal-hoop-aware, sequential, atomic)")
+	transport := fs.String("transport", "classic", "message transport (classic, sharded)")
 	latency := fs.Duration("latency", 100*time.Microsecond, "maximum simulated message latency")
 	verbose := fs.Bool("v", false, "print the placement and per-vertex distances")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Placement:   placement,
 		Seed:        *seed,
 		MaxLatency:  *latency,
+		Transport:   partialdsm.Transport(*transport),
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "dsm-bellmanford: %v\n", err)

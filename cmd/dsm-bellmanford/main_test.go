@@ -61,3 +61,22 @@ func TestBadArguments(t *testing.T) {
 		t.Error("bad flag must exit 2")
 	}
 }
+
+func TestShardedTransport(t *testing.T) {
+	code, out, errOut := runBF(t, "-figure8", "-transport", "sharded")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "RESULT: distributed distances match the sequential oracle") {
+		t.Errorf("sharded run missed the oracle match:\n%s", out)
+	}
+	if !strings.Contains(out, "efficiency (Theorem 2)") {
+		t.Errorf("sharded run must preserve the efficiency property:\n%s", out)
+	}
+}
+
+func TestUnknownTransport(t *testing.T) {
+	if code, _, _ := runBF(t, "-figure8", "-transport", "bogus"); code != 2 {
+		t.Error("unknown transport must exit 2")
+	}
+}

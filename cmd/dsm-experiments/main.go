@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dsm-experiments [-exp all|fig1…fig6|thm1|thm2|scaling|degree|bellmanford|hierarchy|ablation|openquestion|separation|latency] [-seed N]
+//	                [-transport classic|sharded]
 //
 // The process exits non-zero if any selected experiment fails its
 // checks.
@@ -32,9 +33,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "seed for randomized experiments")
 	sizes := fs.String("sizes", "4,8,16,24", "comma-separated ring sizes for the scaling sweep")
 	ops := fs.Int("ops", 30, "operations per node for workload-driven experiments")
+	transport := fs.String("transport", "classic", "message transport (classic, sharded)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	experiments.SetTransport(*transport)
 
 	var reports []experiments.Report
 	switch strings.ToLower(*exp) {

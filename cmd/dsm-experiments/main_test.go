@@ -71,3 +71,17 @@ func TestParseSizes(t *testing.T) {
 		t.Fatalf("parseSizes = %v, %v", got, err)
 	}
 }
+
+func TestTheoremsOnShardedTransport(t *testing.T) {
+	// No restore needed: every runExp parses -transport (default
+	// "classic") and sets the experiments transport before running.
+	for _, exp := range []string{"thm1", "thm2"} {
+		code, out, errOut := runExp(t, "-exp", exp, "-transport", "sharded")
+		if code != 0 {
+			t.Errorf("%s on sharded transport: exit = %d\n%s\n%s", exp, code, out, errOut)
+		}
+		if !strings.Contains(out, "[PASS]") {
+			t.Errorf("%s on sharded transport: no PASS marker:\n%s", exp, out)
+		}
+	}
+}

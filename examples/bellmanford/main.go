@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"partialdsm"
@@ -15,13 +17,21 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, partialdsm.TransportClassic); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run solves the paper's Figure 8 network on a PRAM cluster over the
+// given transport and verifies the distances, witness and efficiency.
+func run(w io.Writer, transport partialdsm.Transport) error {
 	// The paper's Figure 8 network (5 packet-switching nodes).
 	g := bellmanford.Figure8Graph()
 	placement := bellmanford.Placement(g)
 
-	fmt.Println("variable distribution (paper §6.1): X_i holds x_h, k_h for i and its predecessors")
+	fmt.Fprintln(w, "variable distribution (paper §6.1): X_i holds x_h, k_h for i and its predecessors")
 	for i, vars := range placement {
-		fmt.Printf("  X_%d = %v\n", i+1, vars) // print 1-based like the paper
+		fmt.Fprintf(w, "  X_%d = %v\n", i+1, vars) // print 1-based like the paper
 	}
 
 	cluster, err := partialdsm.New(partialdsm.Config{
@@ -29,9 +39,10 @@ func main() {
 		Placement:   placement,
 		Seed:        7,
 		MaxLatency:  200 * time.Microsecond,
+		Transport:   transport,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Close()
 
@@ -41,27 +52,28 @@ func main() {
 	}
 	res, err := bellmanford.Run(nodes, g, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	oracle := bellmanford.Shortest(g, 0)
 
-	fmt.Println("\nshortest paths from node 1:")
+	fmt.Fprintln(w, "\nshortest paths from node 1:")
 	for v := range res.Dist {
-		fmt.Printf("  node %d: distributed %d, sequential oracle %d\n", v+1, res.Dist[v], oracle[v])
+		fmt.Fprintf(w, "  node %d: distributed %d, sequential oracle %d\n", v+1, res.Dist[v], oracle[v])
 		if res.Dist[v] != oracle[v] {
-			log.Fatalf("mismatch at node %d", v+1)
+			return fmt.Errorf("distance mismatch at node %d: %d vs oracle %d", v+1, res.Dist[v], oracle[v])
 		}
 	}
 
 	cluster.Quiesce()
 	if err := cluster.VerifyWitness(); err != nil {
-		log.Fatalf("PRAM witness violated: %v", err)
+		return fmt.Errorf("PRAM witness violated: %w", err)
 	}
 	if err := cluster.VerifyEfficiency(); err != nil {
-		log.Fatalf("efficiency violated: %v", err)
+		return fmt.Errorf("efficiency violated: %w", err)
 	}
 	st := cluster.Stats()
-	fmt.Printf("\nconverged in %d rounds; %d messages, %d control bytes\n",
+	fmt.Fprintf(w, "\nconverged in %d rounds; %d messages, %d control bytes\n",
 		res.Rounds, st.Msgs, st.CtrlBytes)
-	fmt.Println("execution PRAM-consistent and efficient: PRAM suffices for Bellman-Ford (paper §6)")
+	fmt.Fprintln(w, "execution PRAM-consistent and efficient: PRAM suffices for Bellman-Ford (paper §6)")
+	return nil
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"partialdsm"
+)
+
+// TestBellmanFordFigure8 runs the example's core routine on both
+// transports under a deadline and checks the verification lines.
+func TestBellmanFordFigure8(t *testing.T) {
+	for _, tr := range []partialdsm.Transport{partialdsm.TransportClassic, partialdsm.TransportSharded} {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			var sb strings.Builder
+			done := make(chan error, 1)
+			go func() { done <- run(&sb, tr) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatal("bellman-ford example did not finish within the deadline")
+			}
+			if !strings.Contains(sb.String(), "PRAM suffices for Bellman-Ford") {
+				t.Errorf("missing verification line in output:\n%s", sb.String())
+			}
+		})
+	}
+}

@@ -13,15 +13,16 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"partialdsm"
 )
-
-const n = 4 // matrix dimension = number of workers
 
 func aVar(i, j int) string { return fmt.Sprintf("a_%d_%d", i, j) }
 func bVar(i, j int) string { return fmt.Sprintf("b_%d_%d", i, j) }
@@ -29,9 +30,17 @@ func cVar(i, j int) string { return fmt.Sprintf("c_%d_%d", i, j) }
 func fVar(i int) string    { return fmt.Sprintf("f_%d", i) }
 
 func main() {
+	if err := run(os.Stdout, 4, partialdsm.TransportClassic); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run multiplies two random n×n matrices with one PRAM worker per row
+// and verifies the product, the witness and the efficiency property.
+func run(w io.Writer, n int, transport partialdsm.Transport) error {
 	rng := rand.New(rand.NewSource(3))
-	A := randomMatrix(rng)
-	B := randomMatrix(rng)
+	A := randomMatrix(rng, n)
+	B := randomMatrix(rng, n)
 
 	// Placement: worker i holds its own A and C rows, all of B, and
 	// every flag.
@@ -53,77 +62,115 @@ func main() {
 		Placement:   placement,
 		Seed:        11,
 		MaxLatency:  100 * time.Microsecond,
+		Transport:   transport,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Close()
 
 	var wg sync.WaitGroup
+	var aborted atomic.Bool // set on first worker error so the barrier pollers bail out
+	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			w := cluster.Node(i)
-			// Publish own rows of A (private) and B (shared), then the flag.
-			for j := 0; j < n; j++ {
-				must(w.Write(aVar(i, j), A[i][j]))
-				must(w.Write(bVar(i, j), B[i][j]))
-			}
-			must(w.Write(fVar(i), 1))
-			// Barrier: wait until every worker has published its B row.
-			for h := 0; h < n; h++ {
-				for {
-					v, err := w.Read(fVar(h))
-					must(err)
-					if v >= 1 {
-						break
-					}
-					time.Sleep(20 * time.Microsecond)
-				}
-			}
-			// Compute row i of C.
-			for j := 0; j < n; j++ {
-				var sum int64
-				for k := 0; k < n; k++ {
-					a, err := w.Read(aVar(i, k))
-					must(err)
-					b, err := w.Read(bVar(k, j))
-					must(err)
-					sum += a * b
-				}
-				must(w.Write(cVar(i, j), sum))
+			if err := worker(cluster, i, n, A, B, &aborted); err != nil {
+				aborted.Store(true)
+				errs <- fmt.Errorf("worker %d: %w", i, err)
 			}
 		}(i)
 	}
 	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
 	cluster.Quiesce()
 
 	// Collect and verify against the sequential product.
 	want := matmul(A, B)
-	fmt.Println("C = A × B computed by 4 PRAM workers:")
+	fmt.Fprintf(w, "C = A × B computed by %d PRAM workers:\n", n)
 	for i := 0; i < n; i++ {
-		w := cluster.Node(i)
+		nd := cluster.Node(i)
 		for j := 0; j < n; j++ {
-			got, err := w.Read(cVar(i, j))
-			must(err)
-			if got != want[i][j] {
-				log.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want[i][j])
+			got, err := nd.Read(cVar(i, j))
+			if err != nil {
+				return err
 			}
-			fmt.Printf("%8d", got)
+			if got != want[i][j] {
+				return fmt.Errorf("C[%d][%d] = %d, want %d", i, j, got, want[i][j])
+			}
+			fmt.Fprintf(w, "%8d", got)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if err := cluster.VerifyWitness(); err != nil {
-		log.Fatalf("PRAM witness violated: %v", err)
+		return fmt.Errorf("PRAM witness violated: %w", err)
 	}
 	if err := cluster.VerifyEfficiency(); err != nil {
-		log.Fatalf("efficiency violated: %v", err)
+		return fmt.Errorf("efficiency violated: %w", err)
 	}
-	fmt.Println("verified: result matches sequential product; execution PRAM-consistent and efficient")
+	fmt.Fprintln(w, "verified: result matches sequential product; execution PRAM-consistent and efficient")
+	return nil
 }
 
-func randomMatrix(rng *rand.Rand) [][]int64 {
+// worker publishes its A and B rows, waits at the flag barrier, then
+// computes row i of C. A set aborted flag means another worker
+// failed; bail out instead of waiting at the barrier forever.
+func worker(cluster *partialdsm.Cluster, i, n int, A, B [][]int64, aborted *atomic.Bool) error {
+	nd := cluster.Node(i)
+	// Publish own rows of A (private) and B (shared), then the flag.
+	for j := 0; j < n; j++ {
+		if err := nd.Write(aVar(i, j), A[i][j]); err != nil {
+			return err
+		}
+		if err := nd.Write(bVar(i, j), B[i][j]); err != nil {
+			return err
+		}
+	}
+	if err := nd.Write(fVar(i), 1); err != nil {
+		return err
+	}
+	// Barrier: wait until every worker has published its B row.
+	for h := 0; h < n; h++ {
+		for {
+			if aborted.Load() {
+				return fmt.Errorf("aborting: another worker failed")
+			}
+			v, err := nd.Read(fVar(h))
+			if err != nil {
+				return err
+			}
+			if v >= 1 {
+				break
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	// Compute row i of C.
+	for j := 0; j < n; j++ {
+		var sum int64
+		for k := 0; k < n; k++ {
+			a, err := nd.Read(aVar(i, k))
+			if err != nil {
+				return err
+			}
+			b, err := nd.Read(bVar(k, j))
+			if err != nil {
+				return err
+			}
+			sum += a * b
+		}
+		if err := nd.Write(cVar(i, j), sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func randomMatrix(rng *rand.Rand, n int) [][]int64 {
 	m := make([][]int64, n)
 	for i := range m {
 		m[i] = make([]int64, n)
@@ -135,6 +182,7 @@ func randomMatrix(rng *rand.Rand) [][]int64 {
 }
 
 func matmul(a, b [][]int64) [][]int64 {
+	n := len(a)
 	c := make([][]int64, n)
 	for i := range c {
 		c[i] = make([]int64, n)
@@ -145,10 +193,4 @@ func matmul(a, b [][]int64) [][]int64 {
 		}
 	}
 	return c
-}
-
-func must(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
 }

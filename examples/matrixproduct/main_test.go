@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"partialdsm"
+)
+
+// TestMatrixProductTiny multiplies a 2×2 matrix under a deadline, on
+// both transports.
+func TestMatrixProductTiny(t *testing.T) {
+	for _, tr := range []partialdsm.Transport{partialdsm.TransportClassic, partialdsm.TransportSharded} {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() { done <- run(io.Discard, 2, tr) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatal("matrix product did not finish within the deadline")
+			}
+		})
+	}
+}
+
+func TestMatmulOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 3)
+	id := [][]int64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if got := matmul(a, id); !reflect.DeepEqual(got, a) {
+		t.Errorf("A × I = %v, want %v", got, a)
+	}
+}

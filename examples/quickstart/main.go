@@ -5,12 +5,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"partialdsm"
 )
 
 func main() {
+	if err := run(os.Stdout, partialdsm.TransportClassic); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable core: it drives the whole quickstart against the
+// given transport and reports the first failure.
+func run(w io.Writer, transport partialdsm.Transport) error {
 	// Three nodes; x lives on 0 and 2, y everywhere. Node 1 never
 	// handles x — that is the paper's "efficient partial replication".
 	cluster, err := partialdsm.New(partialdsm.Config{
@@ -20,10 +30,11 @@ func main() {
 			{"y"},      // node 1
 			{"x", "y"}, // node 2
 		},
-		Seed: 42,
+		Seed:      42,
+		Transport: transport,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Close()
 
@@ -32,38 +43,48 @@ func main() {
 	// Writes are wait-free: they return after the local apply and
 	// propagate asynchronously to the other replicas.
 	if err := n0.Write("x", 7); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := n1.Write("y", 9); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Quiesce waits until every in-flight update has been applied.
 	cluster.Quiesce()
 
-	x2, _ := n2.Read("x")
-	y0, _ := n0.Read("y")
-	fmt.Printf("node 2 reads x = %d (written by node 0)\n", x2)
-	fmt.Printf("node 0 reads y = %d (written by node 1)\n", y0)
+	x2, err := n2.Read("x")
+	if err != nil {
+		return err
+	}
+	y0, err := n0.Read("y")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "node 2 reads x = %d (written by node 0)\n", x2)
+	fmt.Fprintf(w, "node 0 reads y = %d (written by node 1)\n", y0)
+	if x2 != 7 || y0 != 9 {
+		return fmt.Errorf("reads after quiesce: x=%d y=%d, want 7 and 9", x2, y0)
+	}
 
 	// Reads of never-written variables return the initial value ⊥.
 	if v, _ := n2.Read("y"); v == 9 {
-		fmt.Println("node 2 also sees y = 9")
+		fmt.Fprintln(w, "node 2 also sees y = 9")
 	}
 
 	// The execution is PRAM-consistent …
 	if err := cluster.VerifyWitness(); err != nil {
-		log.Fatalf("consistency violated: %v", err)
+		return fmt.Errorf("consistency violated: %w", err)
 	}
-	fmt.Println("witness: execution is PRAM-consistent")
+	fmt.Fprintln(w, "witness: execution is PRAM-consistent")
 
 	// … and efficient: node 1 never handled any information about x
 	// (Theorem 2 of the paper).
 	if err := cluster.VerifyEfficiency(); err != nil {
-		log.Fatalf("efficiency violated: %v", err)
+		return fmt.Errorf("efficiency violated: %w", err)
 	}
 	st := cluster.Stats()
-	fmt.Printf("efficiency: touch matrix per node = %v\n", st.Touch)
-	fmt.Printf("traffic: %d messages, %d control bytes, %d data bytes\n",
+	fmt.Fprintf(w, "efficiency: touch matrix per node = %v\n", st.Touch)
+	fmt.Fprintf(w, "traffic: %d messages, %d control bytes, %d data bytes\n",
 		st.Msgs, st.CtrlBytes, st.DataBytes)
+	return nil
 }

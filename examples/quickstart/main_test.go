@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"partialdsm"
+)
+
+// TestQuickstart smoke-tests the example's core routine on both
+// transports under a deadline.
+func TestQuickstart(t *testing.T) {
+	for _, tr := range []string{"classic", "sharded"} {
+		tr := tr
+		t.Run(tr, func(t *testing.T) {
+			var sb strings.Builder
+			done := make(chan error, 1)
+			go func() { done <- run(&sb, partialdsm.Transport(tr)) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("quickstart did not finish within the deadline")
+			}
+			if !strings.Contains(sb.String(), "node 2 reads x = 7") {
+				t.Errorf("unexpected output:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestQuickstartRejectsUnknownTransport(t *testing.T) {
+	if err := run(io.Discard, "no-such-engine"); err == nil {
+		t.Fatal("unknown transport should error")
+	}
+}

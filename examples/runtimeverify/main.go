@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -14,14 +15,23 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, "trace.json", partialdsm.TransportClassic); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run drives the monitored partition scenario and exports the trace
+// snapshot to tracePath.
+func run(w io.Writer, tracePath string, transport partialdsm.Transport) error {
 	cluster, err := partialdsm.New(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
 		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}},
 		Seed:        17,
 		LiveVerify:  true, // O(1)-per-event online PRAM witness
+		Transport:   transport,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Close()
 
@@ -30,17 +40,29 @@ func main() {
 	// Withhold the direct link 0→2 and push a dependency chain through
 	// node 1 — the adversarial schedule of the paper's Figure 3.
 	cluster.PauseLink(0, 2)
-	must(n0.Write("x", 1))
-	must(n0.Write("y", 2))
-	waitFor(n1, "y", 2)
-	must(n1.Write("y", 3))
-	waitFor(n2, "y", 3)
+	if err := n0.Write("x", 1); err != nil {
+		return err
+	}
+	if err := n0.Write("y", 2); err != nil {
+		return err
+	}
+	if err := waitFor(n1, "y", 2); err != nil {
+		return err
+	}
+	if err := n1.Write("y", 3); err != nil {
+		return err
+	}
+	if err := waitFor(n2, "y", 3); err != nil {
+		return err
+	}
 
 	// Node 2 has seen node 1's y' but not node 0's x: stale under
 	// causal consistency, fine under PRAM.
 	v, err := n2.Read("x")
-	must(err)
-	fmt.Printf("node 2 read x = %v after observing y' (⊥ = %v)\n", v, v == partialdsm.Bottom)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "node 2 read x = %v after observing y' (⊥ = %v)\n", v, v == partialdsm.Bottom)
 
 	cluster.ResumeLink(0, 2)
 	cluster.Quiesce()
@@ -48,38 +70,49 @@ func main() {
 	// The online monitor saw every event live and found no PRAM
 	// violation — even across the partition.
 	if err := cluster.LiveError(); err != nil {
-		log.Fatalf("online monitor: %v", err)
+		return fmt.Errorf("online monitor: %w", err)
 	}
-	fmt.Println("online PRAM monitor: no violation across the whole run")
+	fmt.Fprintln(w, "online PRAM monitor: no violation across the whole run")
 
 	// Post-hoc, the exact checkers prove the run was NOT causal:
 	verdicts, err := cluster.CheckHistory()
-	must(err)
-	fmt.Printf("exact checkers: pram=%v causal=%v (the protocols differ observably)\n",
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exact checkers: pram=%v causal=%v (the protocols differ observably)\n",
 		verdicts["pram"], verdicts["causal"])
+	if !verdicts["pram"] {
+		return fmt.Errorf("execution unexpectedly not PRAM-consistent")
+	}
 
 	// Export the execution for offline auditing.
 	snapshot, err := cluster.ExportTrace()
-	must(err)
-	path := "trace.json"
-	must(os.WriteFile(path, snapshot, 0o644))
-	fmt.Printf("trace exported to %s (%d bytes) — verify with: go run ./cmd/dsm-check -trace %s\n",
-		path, len(snapshot), path)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(tracePath, snapshot, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace exported to %s (%d bytes) — verify with: go run ./cmd/dsm-check -trace %s\n",
+		tracePath, len(snapshot), tracePath)
+	return nil
 }
 
-func waitFor(n *partialdsm.NodeHandle, x string, want int64) {
+// waitFor polls until n reads want from x, giving up after a deadline
+// so a lost update surfaces as an error instead of a hang.
+func waitFor(n *partialdsm.NodeHandle, x string, want int64) error {
+	deadline := time.Now().Add(30 * time.Second)
 	for {
 		v, err := n.Read(x)
-		must(err)
+		if err != nil {
+			return err
+		}
 		if v == want {
-			return
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for %s = %d at node %d (last saw %d)", x, want, n.ID(), v)
 		}
 		time.Sleep(50 * time.Microsecond)
-	}
-}
-
-func must(err error) {
-	if err != nil {
-		log.Fatal(err)
 	}
 }

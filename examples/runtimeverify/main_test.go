@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"partialdsm"
+)
+
+// TestRuntimeVerifyPartitionScenario runs the monitored partition
+// scenario under a deadline on both transports and checks the exported
+// trace lands on disk.
+func TestRuntimeVerifyPartitionScenario(t *testing.T) {
+	for _, tr := range []partialdsm.Transport{partialdsm.TransportClassic, partialdsm.TransportSharded} {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			tracePath := filepath.Join(t.TempDir(), "trace.json")
+			var sb strings.Builder
+			done := make(chan error, 1)
+			go func() { done <- run(&sb, tracePath, tr) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatal("runtime-verify example did not finish within the deadline")
+			}
+			if !strings.Contains(sb.String(), "online PRAM monitor: no violation") {
+				t.Errorf("monitor line missing:\n%s", sb.String())
+			}
+			if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+				t.Errorf("trace snapshot not exported: %v", err)
+			}
+		})
+	}
+}

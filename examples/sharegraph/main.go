@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"partialdsm/internal/check"
 	"partialdsm/internal/model"
@@ -14,6 +16,13 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable core of the walkthrough.
+func run(w io.Writer) error {
 	// Six processes. C(x) = {0, 5}; a chain of processes 1..4 connects
 	// them through link variables, and process 2 additionally dangles a
 	// pendant neighbour that is NOT on any hoop.
@@ -24,53 +33,59 @@ func main() {
 		Assign(3, "c", "x").
 		Assign(4, "p"). // pendant: single anchor, x-irrelevant
 		Assign(5, "x")
-	fmt.Println("placement:")
-	fmt.Print(pl)
+	fmt.Fprintln(w, "placement:")
+	fmt.Fprint(w, pl)
 
-	fmt.Println("\nshare graph (DOT):")
-	fmt.Print(pl.DOT())
+	fmt.Fprintln(w, "\nshare graph (DOT):")
+	fmt.Fprint(w, pl.DOT())
 
-	fmt.Printf("\nC(x) = %v\n", pl.Clique("x"))
-	fmt.Println("x-hoops:")
+	fmt.Fprintf(w, "\nC(x) = %v\n", pl.Clique("x"))
+	fmt.Fprintln(w, "x-hoops:")
 	for _, h := range pl.Hoops("x", 0) {
-		fmt.Printf("  %v\n", h.Path)
+		fmt.Fprintf(w, "  %v\n", h.Path)
 	}
 	rel := pl.XRelevant("x")
-	fmt.Printf("x-relevant processes (Theorem 1): %v\n", rel)
-	fmt.Println("  → processes 1 and 2 must carry x-information under causal consistency")
-	fmt.Println("  → process 4 (pendant) and nobody else stays clean")
+	fmt.Fprintf(w, "x-relevant processes (Theorem 1): %v\n", rel)
+	fmt.Fprintln(w, "  → processes 1 and 2 must carry x-information under causal consistency")
+	fmt.Fprintln(w, "  → process 4 (pendant) and nobody else stays clean")
 
 	// Build the Figure 3 dependency chain along the hoop [0,1,2,3] and
 	// classify the two endings.
 	hoop := sharegraph.Hoop{Var: "x", Path: []int{0, 1, 2, 3}}
 	fresh, err := pl.DependencyChainHistory(sharegraph.ChainSpec{Hoop: hoop})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	stale, err := pl.DependencyChainHistory(sharegraph.ChainSpec{Hoop: hoop, FinalReadsStale: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("\ncanonical dependency-chain history (final read returns the chained value):")
-	fmt.Print(fresh)
-	report(fresh)
+	fmt.Fprintln(w, "\ncanonical dependency-chain history (final read returns the chained value):")
+	fmt.Fprint(w, fresh)
+	if err := report(w, fresh); err != nil {
+		return err
+	}
 
-	fmt.Println("\nsame chain, but the final read returns ⊥ (the causally forbidden outcome):")
-	fmt.Print(stale)
-	report(stale)
+	fmt.Fprintln(w, "\nsame chain, but the final read returns ⊥ (the causally forbidden outcome):")
+	fmt.Fprint(w, stale)
+	if err := report(w, stale); err != nil {
+		return err
+	}
 
-	fmt.Println("\nconclusion: causal consistency forces the chain's information through")
-	fmt.Println("processes 1 and 2; PRAM does not — hence PRAM admits efficient partial")
-	fmt.Println("replication (paper, Theorems 1 and 2).")
+	fmt.Fprintln(w, "\nconclusion: causal consistency forces the chain's information through")
+	fmt.Fprintln(w, "processes 1 and 2; PRAM does not — hence PRAM admits efficient partial")
+	fmt.Fprintln(w, "replication (paper, Theorems 1 and 2).")
+	return nil
 }
 
-func report(h *model.History) {
+func report(w io.Writer, h *model.History) error {
 	verdicts, err := check.CheckAll(h)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, c := range check.Criteria {
-		fmt.Printf("  %-18s %v\n", c, verdicts[c])
+		fmt.Fprintf(w, "  %-18s %v\n", c, verdicts[c])
 	}
+	return nil
 }

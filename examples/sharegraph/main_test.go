@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShareGraphWalkthrough runs the walkthrough under a deadline and
+// spot-checks the Theorem 1 conclusions in its output.
+func TestShareGraphWalkthrough(t *testing.T) {
+	var sb strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- run(&sb) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("walkthrough did not finish within the deadline")
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"C(x) = [0 3 5]",
+		"x-relevant processes (Theorem 1):",
+		"PRAM admits efficient partial",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,22 +12,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"partialdsm"
-)
-
-const (
-	sWord = "kitten"
-	tWord = "sitting"
 )
 
 func dVar(i, j int) string { return fmt.Sprintf("d_%d_%d", i, j) }
 func pVar(i int) string    { return fmt.Sprintf("prog_%d", i) }
 
 func main() {
+	if err := run(os.Stdout, "kitten", "sitting", partialdsm.TransportClassic); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run computes the edit distance between sWord and tWord on a
+// wavefront of PRAM workers (one per DP row) and verifies the result,
+// the PRAM witness and the efficiency property.
+func run(w io.Writer, sWord, tWord string, transport partialdsm.Transport) error {
 	rows := len(sWord) + 1 // one worker per DP row
 	cols := len(tWord) + 1
 
@@ -52,73 +59,108 @@ func main() {
 		Placement:   placement,
 		Seed:        5,
 		MaxLatency:  150 * time.Microsecond,
+		Transport:   transport,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Close()
 
 	var wg sync.WaitGroup
+	var aborted atomic.Bool // set on first worker error so pollers bail out
+	errs := make(chan error, rows)
 	for i := 0; i < rows; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			w := cluster.Node(i)
-			row := make([]int64, cols)
-			for j := 0; j < cols; j++ {
-				var val int64
-				switch {
-				case i == 0:
-					val = int64(j) // base row: distance from empty prefix
-				case j == 0:
-					val = int64(i)
-				default:
-					// Wait for the upper row to reach column j.
-					for {
-						p, err := w.Read(pVar(i - 1))
-						must(err)
-						if p > int64(j) {
-							break
-						}
-						time.Sleep(20 * time.Microsecond)
-					}
-					up, err := w.Read(dVar(i-1, j))
-					must(err)
-					diag, err := w.Read(dVar(i-1, j-1))
-					must(err)
-					left := row[j-1]
-					cost := int64(1)
-					if sWord[i-1] == tWord[j-1] {
-						cost = 0
-					}
-					val = min3(diag+cost, up+1, left+1)
-				}
-				row[j] = val
-				must(w.Write(dVar(i, j), val))
-				must(w.Write(pVar(i), int64(j+1)))
+			if err := worker(cluster, i, cols, sWord, tWord, &aborted); err != nil {
+				aborted.Store(true)
+				errs <- fmt.Errorf("worker %d: %w", i, err)
 			}
 		}(i)
 	}
 	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
 	cluster.Quiesce()
 
 	got, err := cluster.Node(rows - 1).Read(dVar(rows-1, cols-1))
-	must(err)
+	if err != nil {
+		return err
+	}
 	want := editDistance(sWord, tWord)
-	fmt.Printf("edit distance(%q, %q): wavefront %d, sequential oracle %d\n", sWord, tWord, got, want)
+	fmt.Fprintf(w, "edit distance(%q, %q): wavefront %d, sequential oracle %d\n", sWord, tWord, got, want)
 	if got != int64(want) {
-		log.Fatal("mismatch with sequential DP")
+		return fmt.Errorf("wavefront result %d disagrees with sequential DP %d", got, want)
 	}
 	if err := cluster.VerifyWitness(); err != nil {
-		log.Fatalf("PRAM witness violated: %v", err)
+		return fmt.Errorf("PRAM witness violated: %w", err)
 	}
 	if err := cluster.VerifyEfficiency(); err != nil {
-		log.Fatalf("efficiency violated: %v", err)
+		return fmt.Errorf("efficiency violated: %w", err)
 	}
 	st := cluster.Stats()
-	fmt.Printf("workers: %d (one per DP row); traffic: %d msgs, %d ctrl bytes\n",
+	fmt.Fprintf(w, "workers: %d (one per DP row); traffic: %d msgs, %d ctrl bytes\n",
 		rows, st.Msgs, st.CtrlBytes)
-	fmt.Println("verified: PRAM-consistent and efficient (row data never left its producer/consumer pair)")
+	fmt.Fprintln(w, "verified: PRAM-consistent and efficient (row data never left its producer/consumer pair)")
+	return nil
+}
+
+// worker computes DP row i left to right, waiting on row i-1's
+// progress counter for each cell's upper dependencies. A set aborted
+// flag means another worker failed; bail out instead of polling for
+// progress that will never come.
+func worker(cluster *partialdsm.Cluster, i, cols int, sWord, tWord string, aborted *atomic.Bool) error {
+	nd := cluster.Node(i)
+	row := make([]int64, cols)
+	for j := 0; j < cols; j++ {
+		var val int64
+		switch {
+		case i == 0:
+			val = int64(j) // base row: distance from empty prefix
+		case j == 0:
+			val = int64(i)
+		default:
+			// Wait for the upper row to reach column j.
+			for {
+				if aborted.Load() {
+					return fmt.Errorf("aborting: another worker failed")
+				}
+				p, err := nd.Read(pVar(i - 1))
+				if err != nil {
+					return err
+				}
+				if p > int64(j) {
+					break
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+			up, err := nd.Read(dVar(i-1, j))
+			if err != nil {
+				return err
+			}
+			diag, err := nd.Read(dVar(i-1, j-1))
+			if err != nil {
+				return err
+			}
+			left := row[j-1]
+			cost := int64(1)
+			if sWord[i-1] == tWord[j-1] {
+				cost = 0
+			}
+			val = min3(diag+cost, up+1, left+1)
+		}
+		row[j] = val
+		if err := nd.Write(dVar(i, j), val); err != nil {
+			return err
+		}
+		if err := nd.Write(pVar(i), int64(j+1)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func min3(a, b, c int64) int64 {
@@ -159,10 +201,4 @@ func min3int(a, b, c int) int {
 		a = c
 	}
 	return a
-}
-
-func must(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
 }

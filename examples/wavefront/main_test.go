@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"partialdsm"
+)
+
+// TestWavefrontTinyInput runs the wavefront on a tiny word pair under
+// a deadline, on both transports.
+func TestWavefrontTinyInput(t *testing.T) {
+	for _, tr := range []partialdsm.Transport{partialdsm.TransportClassic, partialdsm.TransportSharded} {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			var sb strings.Builder
+			done := make(chan error, 1)
+			go func() { done <- run(&sb, "ab", "b", tr) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatal("wavefront did not finish within the deadline")
+			}
+			if !strings.Contains(sb.String(), "wavefront 1, sequential oracle 1") {
+				t.Errorf("unexpected output:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestEditDistanceOracle(t *testing.T) {
+	for _, tc := range []struct {
+		s, t string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"kitten", "sitting", 3}, {"ab", "b", 1},
+	} {
+		if got := editDistance(tc.s, tc.t); got != tc.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", tc.s, tc.t, got, tc.want)
+		}
+	}
+}

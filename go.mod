@@ -1,0 +1,3 @@
+module partialdsm
+
+go 1.21

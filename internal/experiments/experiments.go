@@ -22,6 +22,19 @@ import (
 	"partialdsm/internal/workload"
 )
 
+// transport is the delivery engine every experiment cluster runs on;
+// SetTransport (driven by dsm-experiments' -transport flag) switches
+// it. The reports themselves are transport-independent — the paper's
+// claims are about which messages cross the network, not how delivery
+// is scheduled — so any conforming transport must reproduce them.
+var transport partialdsm.Transport
+
+// SetTransport selects the delivery engine for subsequently built
+// experiment clusters. The empty string selects the classic engine.
+func SetTransport(kind string) {
+	transport = partialdsm.Transport(kind)
+}
+
 // Report is the outcome of one experiment.
 type Report struct {
 	// ID is the experiment identifier from DESIGN.md (E1…E15).
@@ -252,6 +265,7 @@ func Thm1(seed int64) Report {
 
 	// Protocol level: hoop topology, one write on x.
 	cluster, err := partialdsm.New(partialdsm.Config{
+		Transport:   transport,
 		Consistency: partialdsm.CausalPartial,
 		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}},
 		Seed:        seed,
@@ -284,6 +298,7 @@ func Thm2(seed int64) Report {
 	rp := newReporter("E8", "Theorem 2 — PRAM admits efficient partial replication")
 	for _, cons := range []partialdsm.Consistency{partialdsm.PRAM, partialdsm.Slow} {
 		cluster, err := partialdsm.New(partialdsm.Config{
+			Transport:   transport,
 			Consistency: cons,
 			Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
 			Seed:        seed,
@@ -335,6 +350,7 @@ func Scaling(sizes []int, opsPerNode int, seed int64) (Report, []ScalingPoint) {
 		for _, cons := range ScalingProtocols {
 			placement := ringPlacement(n)
 			cluster, err := partialdsm.New(partialdsm.Config{
+				Transport:    transport,
 				Consistency:  cons,
 				Placement:    placement,
 				Seed:         seed,
@@ -408,6 +424,7 @@ func DegreeSweep(n int, degrees []int, opsPerNode int, seed int64) Report {
 		r := row{k: k}
 		for _, cons := range []partialdsm.Consistency{partialdsm.CausalPartial, partialdsm.PRAM} {
 			cluster, err := partialdsm.New(partialdsm.Config{
+				Transport:   transport,
 				Consistency: cons, Placement: placement, Seed: seed, DisableTrace: true,
 			})
 			if err != nil {
@@ -452,6 +469,7 @@ func Latency(seed int64) Report {
 	const perOp = 60
 	measure := func(cons partialdsm.Consistency) (writeMean, readMean time.Duration, err error) {
 		cluster, err := partialdsm.New(partialdsm.Config{
+			Transport:   transport,
 			Consistency: cons, Placement: placement,
 			Seed: seed, MaxLatency: time.Millisecond, DisableTrace: true,
 		})
@@ -502,6 +520,7 @@ func BellmanFordFig8(seed int64) Report {
 	rp := newReporter("E10-E12", "§6 — Bellman-Ford on PRAM memory with partial replication (Figures 7–9)")
 	g := bellmanford.Figure8Graph()
 	cluster, err := partialdsm.New(partialdsm.Config{
+		Transport:   transport,
 		Consistency: partialdsm.PRAM,
 		Placement:   bellmanford.Placement(g),
 		Seed:        seed,
@@ -580,6 +599,7 @@ func Ablation(opsPerNode int, seed int64) Report {
 	}
 	run := func(cons partialdsm.Consistency, placement [][]string) (cell, error) {
 		cluster, err := partialdsm.New(partialdsm.Config{
+			Transport:    transport,
 			Consistency:  cons,
 			Placement:    placement,
 			Seed:         seed,
@@ -683,6 +703,7 @@ func OpenQuestion(seed int64) Report {
 
 	// Protocol level: cachepart is efficient on the hoop topology.
 	cluster, err := partialdsm.New(partialdsm.Config{
+		Transport:   transport,
 		Consistency: partialdsm.CacheConsistency,
 		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
 		Seed:        seed,
@@ -732,6 +753,7 @@ func Separation(seed int64) Report {
 
 	// PRAM: the stale read happens.
 	pramC, err := partialdsm.New(partialdsm.Config{
+		Transport:   transport,
 		Consistency: partialdsm.PRAM, Placement: placement, Seed: seed,
 	})
 	if err != nil {
@@ -762,6 +784,7 @@ func Separation(seed int64) Report {
 	// Causal partial replication under the identical schedule: y' stays
 	// buffered at node 2 until x arrives.
 	causalC, err := partialdsm.New(partialdsm.Config{
+		Transport:   transport,
 		Consistency: partialdsm.CausalPartial, Placement: placement, Seed: seed,
 	})
 	if err != nil {

@@ -1,6 +1,9 @@
 package mcs
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzDec checks that the wire decoder never panics on arbitrary
 // payloads — protocol handlers rely on Err() for malformed input, so
@@ -34,6 +37,187 @@ func FuzzDecSliceFirst(f *testing.F) {
 		s := d.U32Slice()
 		if d.Err() != nil && s != nil {
 			t.Fatal("slice returned despite decode error")
+		}
+	})
+}
+
+// The round-trip fuzzers below cover the exact payload schema of every
+// protocol message kind in the repo, so a change to the Enc/Dec
+// helpers that silently corrupts any field is caught:
+//
+//   - pram.update, seqcons/cachepart requests, atomicreg write-req:
+//     (U32 writer, U32 wseq, Str x, I64 v)
+//   - slow.update: (U32 writer, U32 wseq, U32 vseq, Str x, I64 v)
+//   - seqcons/cachepart updates: (U32 seq, U32 writer, U32 wseq, Str x, I64 v)
+//   - causalfull.update: (U32 writer, U32Slice vc, Str x, I64 v)
+//   - causalpart update/notify: (U32 writer, U32 wseq, U32 varIdx,
+//     U32 hasValue, [I64 v], U32 nDeps, nDeps × (U32, U32, U32))
+//   - atomicreg read-req: (U32 reader, Str x); read-resp: (I64 v)
+//
+// clampStr keeps fuzzed variable names within the encoder's uint16
+// length prefix (longer names panic by design).
+func clampStr(s string) string {
+	if len(s) > 0xffff {
+		return s[:0xffff]
+	}
+	return s
+}
+
+// FuzzWireRoundTripUpdate covers the 4-field update schema shared by
+// pram.update, the seqcons/cachepart requests and atomicreg write-req.
+func FuzzWireRoundTripUpdate(f *testing.F) {
+	f.Add(uint32(0), uint32(0), "x", int64(-1))
+	f.Add(uint32(7), uint32(1<<31), "", int64(1)<<62)
+	f.Fuzz(func(t *testing.T, writer, wseq uint32, x string, v int64) {
+		x = clampStr(x)
+		var e Enc
+		e.U32(writer).U32(wseq).Str(x).I64(v)
+		d := NewDec(e.Bytes())
+		gw, gs, gx, gv := d.U32(), d.U32(), d.Str(), d.I64()
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode failed on encoder output: %v", err)
+		}
+		if gw != writer || gs != wseq || gx != x || gv != v {
+			t.Fatalf("round trip (%d,%d,%q,%d) → (%d,%d,%q,%d)", writer, wseq, x, v, gw, gs, gx, gv)
+		}
+		if d.Rest() != 0 {
+			t.Fatalf("%d trailing bytes after full decode", d.Rest())
+		}
+	})
+}
+
+// FuzzWireRoundTripSlow covers slow.update's 5-field schema with the
+// per-(sender,variable) sequence number.
+func FuzzWireRoundTripSlow(f *testing.F) {
+	f.Add(uint32(1), uint32(2), uint32(3), "y", int64(9))
+	f.Fuzz(func(t *testing.T, writer, wseq, vseq uint32, x string, v int64) {
+		x = clampStr(x)
+		var e Enc
+		e.U32(writer).U32(wseq).U32(vseq).Str(x).I64(v)
+		d := NewDec(e.Bytes())
+		if gw, gs, gq, gx, gv := d.U32(), d.U32(), d.U32(), d.Str(), d.I64(); d.Err() != nil ||
+			gw != writer || gs != wseq || gq != vseq || gx != x || gv != v || d.Rest() != 0 {
+			t.Fatalf("slow.update round trip corrupted (%v)", d.Err())
+		}
+	})
+}
+
+// FuzzWireRoundTripSequenced covers the sequencer-stamped updates of
+// seqcons and cachepart (a leading global/per-variable sequence).
+func FuzzWireRoundTripSequenced(f *testing.F) {
+	f.Add(uint32(0), uint32(1), uint32(2), "z", int64(-5))
+	f.Fuzz(func(t *testing.T, seq, writer, wseq uint32, x string, v int64) {
+		x = clampStr(x)
+		var e Enc
+		e.U32(seq).U32(writer).U32(wseq).Str(x).I64(v)
+		d := NewDec(e.Bytes())
+		if gg, gw, gs, gx, gv := d.U32(), d.U32(), d.U32(), d.Str(), d.I64(); d.Err() != nil ||
+			gg != seq || gw != writer || gs != wseq || gx != x || gv != v || d.Rest() != 0 {
+			t.Fatalf("sequenced update round trip corrupted (%v)", d.Err())
+		}
+	})
+}
+
+// FuzzWireRoundTripCausalFull covers causalfull.update's vector-clock
+// schema; the clock is derived from raw fuzz bytes.
+func FuzzWireRoundTripCausalFull(f *testing.F) {
+	f.Add(uint32(2), []byte{0, 1, 2, 3}, "x", int64(4))
+	f.Add(uint32(0), []byte{}, "", int64(0))
+	f.Fuzz(func(t *testing.T, writer uint32, clock []byte, x string, v int64) {
+		x = clampStr(x)
+		if len(clock) > 0xffff {
+			clock = clock[:0xffff]
+		}
+		vc := make([]uint32, len(clock))
+		for i, b := range clock {
+			vc[i] = uint32(b) << uint(i%24)
+		}
+		var e Enc
+		e.U32(writer).U32Slice(vc).Str(x).I64(v)
+		d := NewDec(e.Bytes())
+		gw, gvc, gx, gv := d.U32(), d.U32Slice(), d.Str(), d.I64()
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode failed on encoder output: %v", err)
+		}
+		if len(vc) == 0 {
+			if len(gvc) != 0 {
+				t.Fatalf("empty clock decoded as %v", gvc)
+			}
+		} else if !reflect.DeepEqual(gvc, vc) {
+			t.Fatalf("vector clock %v → %v", vc, gvc)
+		}
+		if gw != writer || gx != x || gv != v || d.Rest() != 0 {
+			t.Fatalf("causalfull.update round trip corrupted")
+		}
+	})
+}
+
+// FuzzWireRoundTripCausalPart covers the causal-partial update/notify
+// schema: optional value plus a variable-length dependency list.
+func FuzzWireRoundTripCausalPart(f *testing.F) {
+	f.Add(uint32(1), uint32(2), uint32(0), true, int64(7), []byte{1, 0, 3, 2, 1, 9})
+	f.Add(uint32(0), uint32(0), uint32(5), false, int64(0), []byte{})
+	f.Fuzz(func(t *testing.T, writer, wseq, varIdx uint32, hasValue bool, v int64, depBytes []byte) {
+		type dep struct{ writer, varIdx, count uint32 }
+		var deps []dep
+		for i := 0; i+2 < len(depBytes) && len(deps) < 1024; i += 3 {
+			deps = append(deps, dep{uint32(depBytes[i]), uint32(depBytes[i+1]), uint32(depBytes[i+2]) << 8})
+		}
+		var e Enc
+		e.U32(writer).U32(wseq).U32(varIdx)
+		if hasValue {
+			e.U32(1).I64(v)
+		} else {
+			e.U32(0)
+		}
+		e.U32(uint32(len(deps)))
+		for _, d := range deps {
+			e.U32(d.writer).U32(d.varIdx).U32(d.count)
+		}
+
+		d := NewDec(e.Bytes())
+		if gw, gs, gxi := d.U32(), d.U32(), d.U32(); gw != writer || gs != wseq || gxi != varIdx {
+			t.Fatalf("header corrupted: (%d,%d,%d)", gw, gs, gxi)
+		}
+		if has := d.U32() == 1; has != hasValue {
+			t.Fatalf("hasValue flag flipped")
+		} else if has {
+			if gv := d.I64(); gv != v {
+				t.Fatalf("value %d → %d", v, gv)
+			}
+		}
+		n := int(d.U32())
+		if n != len(deps) {
+			t.Fatalf("dep count %d → %d", len(deps), n)
+		}
+		for i := 0; i < n; i++ {
+			if gd := (dep{d.U32(), d.U32(), d.U32()}); gd != deps[i] {
+				t.Fatalf("dep %d: %+v → %+v", i, deps[i], gd)
+			}
+		}
+		if err := d.Err(); err != nil || d.Rest() != 0 {
+			t.Fatalf("causalpart round trip left err=%v rest=%d", err, d.Rest())
+		}
+	})
+}
+
+// FuzzWireRoundTripAtomicReadPath covers atomicreg's read request and
+// read response schemas.
+func FuzzWireRoundTripAtomicReadPath(f *testing.F) {
+	f.Add(uint32(3), "x", int64(42))
+	f.Fuzz(func(t *testing.T, reader uint32, x string, v int64) {
+		x = clampStr(x)
+		var req Enc
+		req.U32(reader).Str(x)
+		d := NewDec(req.Bytes())
+		if gr, gx := d.U32(), d.Str(); d.Err() != nil || gr != reader || gx != x || d.Rest() != 0 {
+			t.Fatalf("read-req round trip corrupted (%v)", d.Err())
+		}
+		var resp Enc
+		resp.I64(v)
+		d = NewDec(resp.Bytes())
+		if gv := d.I64(); d.Err() != nil || gv != v || d.Rest() != 0 {
+			t.Fatalf("read-resp round trip corrupted (%v)", d.Err())
 		}
 	})
 }

@@ -40,9 +40,10 @@ type Node interface {
 
 // Config carries everything a protocol needs to instantiate its nodes.
 type Config struct {
-	// Net is the message-passing substrate. Protocols install their
-	// handlers on it; the caller owns its lifecycle.
-	Net *netsim.Network
+	// Net is the message-passing substrate — any netsim.Transport
+	// (classic goroutine-per-pair, sharded worker pool, …). Protocols
+	// install their handlers on it; the caller owns its lifecycle.
+	Net netsim.Transport
 	// Placement is the variable distribution (the X_i sets). Full
 	// replication is just a placement assigning everything everywhere.
 	Placement *sharegraph.Placement

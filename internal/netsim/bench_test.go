@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// Benchmarks comparing the delivery engines on the message patterns
+// the protocol layer generates: single-pair streams (one writer, one
+// replica), multicast fan-out (one writer, many replicas), all-pairs
+// cross traffic (every node writing), and ping-pong (request/reply
+// protocols). The sharded engine's batch drains should win on the
+// stream-shaped workloads and match elsewhere.
+
+// benchTransports enumerates the engines under comparison.
+func benchTransports(b *testing.B) []struct {
+	name string
+	make func(n int) Transport
+} {
+	b.Helper()
+	return []struct {
+		name string
+		make func(n int) Transport
+	}{
+		{KindClassic, func(n int) Transport { return NewNetwork(n, Options{FIFO: true}) }},
+		{KindSharded, func(n int) Transport { return NewSharded(n, Options{FIFO: true}) }},
+	}
+}
+
+// BenchmarkStream floods one ordered pair and quiesces: the paper's
+// PRAM write stream from one producer to one replica.
+func BenchmarkStream(b *testing.B) {
+	for _, tr := range benchTransports(b) {
+		b.Run(tr.name, func(b *testing.B) {
+			nw := tr.make(2)
+			defer nw.Close()
+			var count int64
+			nw.SetHandler(0, func(Message) {})
+			nw.SetHandler(1, func(Message) { atomic.AddInt64(&count, 1) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.Send(Message{From: 0, To: 1})
+			}
+			nw.Quiesce()
+			b.StopTimer()
+			if got := atomic.LoadInt64(&count); got != int64(b.N) {
+				b.Fatalf("delivered %d of %d", got, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkFanout multicasts every message to 15 replicas — the
+// multicast a write on a fully replicated variable produces.
+func BenchmarkFanout(b *testing.B) {
+	const n = 16
+	for _, tr := range benchTransports(b) {
+		b.Run(tr.name, func(b *testing.B) {
+			nw := tr.make(n)
+			defer nw.Close()
+			var count int64
+			for i := 0; i < n; i++ {
+				nw.SetHandler(i, func(Message) { atomic.AddInt64(&count, 1) })
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for to := 1; to < n; to++ {
+					nw.Send(Message{From: 0, To: to})
+				}
+			}
+			nw.Quiesce()
+			b.StopTimer()
+			if got := atomic.LoadInt64(&count); got != int64(b.N)*(n-1) {
+				b.Fatalf("delivered %d of %d", got, int64(b.N)*(n-1))
+			}
+		})
+	}
+}
+
+// BenchmarkCrossTraffic has every node write to every other — the
+// ring/star experiment workloads at full load.
+func BenchmarkCrossTraffic(b *testing.B) {
+	for _, nodes := range []int{8, 32} {
+		for _, tr := range benchTransports(b) {
+			b.Run(fmt.Sprintf("n=%d/%s", nodes, tr.name), func(b *testing.B) {
+				nw := tr.make(nodes)
+				defer nw.Close()
+				var count int64
+				for i := 0; i < nodes; i++ {
+					nw.SetHandler(i, func(Message) { atomic.AddInt64(&count, 1) })
+				}
+				b.ResetTimer()
+				sent := 0
+				for i := 0; i < b.N; i++ {
+					from := i % nodes
+					for to := 0; to < nodes; to++ {
+						if to == from {
+							continue
+						}
+						nw.Send(Message{From: from, To: to})
+						sent++
+					}
+				}
+				nw.Quiesce()
+				b.StopTimer()
+				if got := atomic.LoadInt64(&count); got != int64(sent) {
+					b.Fatalf("delivered %d of %d", got, sent)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPingPong bounces one message back and forth — the
+// round-trip shape of the atomic/sequential protocols, where batches
+// degenerate to single messages and the classic engine should be
+// matched, not beaten.
+func BenchmarkPingPong(b *testing.B) {
+	for _, tr := range benchTransports(b) {
+		b.Run(tr.name, func(b *testing.B) {
+			nw := tr.make(2)
+			defer nw.Close()
+			done := make(chan struct{})
+			var remaining int64
+			bounce := func(self int) Handler {
+				return func(m Message) {
+					if atomic.AddInt64(&remaining, -1) <= 0 {
+						select {
+						case done <- struct{}{}:
+						default:
+						}
+						return
+					}
+					nw.Send(Message{From: self, To: 1 - self})
+				}
+			}
+			nw.SetHandler(0, bounce(0))
+			nw.SetHandler(1, bounce(1))
+			b.ResetTimer()
+			atomic.StoreInt64(&remaining, int64(b.N))
+			nw.Send(Message{From: 0, To: 1})
+			<-done
+			b.StopTimer()
+			nw.Quiesce()
+		})
+	}
+}

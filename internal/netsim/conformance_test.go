@@ -1,0 +1,619 @@
+package netsim
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partialdsm/internal/metrics"
+)
+
+// The conformance suite: every registered transport — plus stress
+// variants of the sharded engine — must satisfy the full semantic
+// contract documented on the Transport interface. A new transport only
+// needs netsim.Register (or an entry in extraVariants) to be held to
+// the same bar.
+
+// variant names one transport configuration under test.
+type variant struct {
+	name string
+	make func(t *testing.T, n int, opts Options) Transport
+	// serialDelivery marks variants whose non-FIFO mode still delivers
+	// through a single worker and therefore never reorders; the
+	// contract allows (not mandates) reordering, so the reorder probe
+	// skips them.
+	serialDelivery bool
+}
+
+// conformanceVariants enumerates every registered transport by name,
+// plus hand-picked stress configurations.
+func conformanceVariants() []variant {
+	var out []variant
+	for _, kind := range Kinds() {
+		kind := kind
+		out = append(out, variant{
+			name: kind,
+			make: func(t *testing.T, n int, opts Options) Transport {
+				tr, err := New(kind, n, opts)
+				if err != nil {
+					t.Fatalf("New(%q): %v", kind, err)
+				}
+				return tr
+			},
+		})
+	}
+	out = append(out,
+		variant{
+			name: "sharded-1worker",
+			make: func(t *testing.T, n int, opts Options) Transport {
+				opts.Workers = 1
+				return NewSharded(n, opts)
+			},
+			serialDelivery: true,
+		},
+		variant{
+			name: "sharded-16workers",
+			make: func(t *testing.T, n int, opts Options) Transport {
+				opts.Workers = 16
+				return NewSharded(n, opts)
+			},
+		},
+	)
+	return out
+}
+
+// forEachVariant runs fn as a subtest per transport configuration.
+func forEachVariant(t *testing.T, fn func(t *testing.T, v variant)) {
+	for _, v := range conformanceVariants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) { fn(t, v) })
+	}
+}
+
+// TestConformanceFIFOPerPair floods every ordered pair of a 3-node
+// network from concurrent senders and checks that each pair's delivery
+// order is its send order.
+func TestConformanceFIFOPerPair(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n, perPair = 3, 400
+		nw := v.make(t, n, Options{FIFO: true, MaxLatency: 20 * time.Microsecond, Seed: 9})
+		defer nw.Close()
+		var mu sync.Mutex
+		got := make(map[[2]int][]int)
+		for i := 0; i < n; i++ {
+			i := i
+			nw.SetHandler(i, func(m Message) {
+				mu.Lock()
+				k := [2]int{m.From, i}
+				got[k] = append(got[k], int(m.Payload[0])<<8|int(m.Payload[1]))
+				mu.Unlock()
+			})
+		}
+		var wg sync.WaitGroup
+		for from := 0; from < n; from++ {
+			wg.Add(1)
+			go func(from int) {
+				defer wg.Done()
+				for seq := 0; seq < perPair; seq++ {
+					for to := 0; to < n; to++ {
+						if to == from {
+							continue
+						}
+						nw.Send(Message{From: from, To: to, Payload: []byte{byte(seq >> 8), byte(seq)}})
+					}
+				}
+			}(from)
+		}
+		wg.Wait()
+		nw.Quiesce()
+		mu.Lock()
+		defer mu.Unlock()
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if to == from {
+					continue
+				}
+				seqs := got[[2]int{from, to}]
+				if len(seqs) != perPair {
+					t.Fatalf("pair %d→%d: delivered %d of %d", from, to, len(seqs), perPair)
+				}
+				for i, s := range seqs {
+					if s != i {
+						t.Fatalf("pair %d→%d: position %d holds seq %d (FIFO violated)", from, to, i, s)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestConformanceNonFIFODeliversAll checks exact-once delivery without
+// the FIFO guarantee.
+func TestConformanceNonFIFODeliversAll(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const msgs = 500
+		nw := v.make(t, 2, Options{FIFO: false, MaxLatency: 50 * time.Microsecond, Seed: 3})
+		defer nw.Close()
+		seen := make([]int32, msgs)
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(m Message) {
+			atomic.AddInt32(&seen[int(m.Payload[0])<<8|int(m.Payload[1])], 1)
+		})
+		for i := 0; i < msgs; i++ {
+			nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i >> 8), byte(i)}})
+		}
+		nw.Quiesce()
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("message %d delivered %d times", i, c)
+			}
+		}
+	})
+}
+
+// TestConformanceNonFIFOCanReorder sends a slow first message followed
+// by fast ones; a transport whose non-FIFO mode has any delivery
+// concurrency must let a later message overtake it.
+func TestConformanceNonFIFOCanReorder(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		if v.serialDelivery {
+			t.Skip("single-worker variant delivers serially; reordering is permitted, not required")
+		}
+		const msgs = 64
+		// The transport draws per-message latencies from a seeded rng;
+		// MaxLatency high enough that overtaking is overwhelmingly
+		// likely across msgs draws, with retries to keep flake-proof.
+		for attempt := 0; attempt < 5; attempt++ {
+			nw := v.make(t, 2, Options{FIFO: false, MaxLatency: 2 * time.Millisecond, Seed: int64(11 + attempt)})
+			var mu sync.Mutex
+			var order []int
+			nw.SetHandler(0, func(Message) {})
+			nw.SetHandler(1, func(m Message) {
+				mu.Lock()
+				order = append(order, int(m.Payload[0]))
+				mu.Unlock()
+			})
+			for i := 0; i < msgs; i++ {
+				nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+			}
+			nw.Quiesce()
+			nw.Close()
+			mu.Lock()
+			inOrder := true
+			for i, s := range order {
+				if s != i {
+					inOrder = false
+					break
+				}
+			}
+			mu.Unlock()
+			if !inOrder {
+				return // reordering observed — contract exercised
+			}
+		}
+		t.Fatal("non-FIFO mode delivered strictly in order across all attempts")
+	})
+}
+
+// TestConformanceQuiesceAfterBursts runs several burst/quiesce rounds
+// and checks each quiescence point is a true cut.
+func TestConformanceQuiesceAfterBursts(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n, rounds, perRound = 4, 5, 200
+		nw := v.make(t, n, Options{FIFO: true, Seed: 2})
+		defer nw.Close()
+		var count int64
+		for i := 0; i < n; i++ {
+			nw.SetHandler(i, func(Message) { atomic.AddInt64(&count, 1) })
+		}
+		for r := 1; r <= rounds; r++ {
+			for k := 0; k < perRound; k++ {
+				nw.Send(Message{From: k % n, To: (k + 1) % n})
+			}
+			nw.Quiesce()
+			if got := atomic.LoadInt64(&count); got != int64(r*perRound) {
+				t.Fatalf("round %d: %d delivered at quiescence, want %d", r, got, r*perRound)
+			}
+		}
+	})
+}
+
+// TestConformanceHandlerReentrancy drives a relay chain entirely from
+// inside handlers: node i forwards to node i+1 until the TTL runs out,
+// across every pair — so handlers Send on the very transport invoking
+// them. Quiesce must wait for the full cascade.
+func TestConformanceHandlerReentrancy(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n, ttl = 4, 64
+		nw := v.make(t, n, Options{FIFO: true, Seed: 5})
+		defer nw.Close()
+		var hops int64
+		for i := 0; i < n; i++ {
+			i := i
+			nw.SetHandler(i, func(m Message) {
+				atomic.AddInt64(&hops, 1)
+				if m.Payload[0] > 0 {
+					nw.Send(Message{From: i, To: (i + 1) % n, Payload: []byte{m.Payload[0] - 1}})
+				}
+			})
+		}
+		nw.Send(Message{From: 0, To: 1, Payload: []byte{ttl}})
+		nw.Quiesce()
+		if got := atomic.LoadInt64(&hops); got != ttl+1 {
+			t.Fatalf("cascade incomplete at quiescence: %d hops, want %d", got, ttl+1)
+		}
+	})
+}
+
+// TestConformancePingPongFlood bounces many balls between two nodes —
+// a wakeup-heavy re-entrant workload with single-message batches.
+func TestConformancePingPongFlood(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const balls, bounces = 8, 100
+		nw := v.make(t, 2, Options{FIFO: true, Seed: 6})
+		defer nw.Close()
+		var total int64
+		bounce := func(self int) Handler {
+			return func(m Message) {
+				atomic.AddInt64(&total, 1)
+				if m.Payload[0] > 0 {
+					nw.Send(Message{From: self, To: 1 - self, Payload: []byte{m.Payload[0] - 1}})
+				}
+			}
+		}
+		nw.SetHandler(0, bounce(0))
+		nw.SetHandler(1, bounce(1))
+		for b := 0; b < balls; b++ {
+			nw.Send(Message{From: 0, To: 1, Payload: []byte{bounces}})
+		}
+		nw.Quiesce()
+		if got := atomic.LoadInt64(&total); got != balls*(bounces+1) {
+			t.Fatalf("%d deliveries at quiescence, want %d", got, balls*(bounces+1))
+		}
+	})
+}
+
+// TestConformanceAccounting checks that the metrics collector sees
+// exactly one record per send with the right byte split, kind and
+// variable-touch marks.
+func TestConformanceAccounting(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		col := metrics.NewCollector()
+		nw := v.make(t, 3, Options{FIFO: true, Metrics: col, Seed: 4})
+		defer nw.Close()
+		for i := 0; i < 3; i++ {
+			nw.SetHandler(i, func(Message) {})
+		}
+		const updates = 50
+		for i := 0; i < updates; i++ {
+			nw.Send(Message{From: 0, To: 1, Kind: "upd", CtrlBytes: 10, DataBytes: 8, Vars: []string{"x"}})
+		}
+		nw.Send(Message{From: 1, To: 2, Kind: "ntf", CtrlBytes: 4, Vars: []string{"y"}})
+		nw.Quiesce()
+		s := col.Snapshot()
+		if s.Msgs != updates+1 {
+			t.Fatalf("msgs = %d, want %d", s.Msgs, updates+1)
+		}
+		if s.CtrlBytes != updates*10+4 || s.DataBytes != updates*8 {
+			t.Fatalf("bytes = ctrl %d / data %d, want %d / %d", s.CtrlBytes, s.DataBytes, updates*10+4, updates*8)
+		}
+		if s.PerKind["upd"] != updates || s.PerKind["ntf"] != 1 {
+			t.Fatalf("per-kind = %v", s.PerKind)
+		}
+		for _, probe := range []struct {
+			node int
+			x    string
+			want bool
+		}{
+			{0, "x", true}, {1, "x", true}, {2, "x", false},
+			{1, "y", true}, {2, "y", true}, {0, "y", false},
+		} {
+			if got := col.Touched(probe.node, probe.x); got != probe.want {
+				t.Errorf("touched(%d, %s) = %v, want %v", probe.node, probe.x, got, probe.want)
+			}
+		}
+	})
+}
+
+// TestConformanceCloseDuringFlight closes the transport while a large
+// burst is still in delivery: Close must drain everything first.
+func TestConformanceCloseDuringFlight(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n, msgs = 4, 2000
+		nw := v.make(t, n, Options{FIFO: true, Seed: 8})
+		var count int64
+		for i := 0; i < n; i++ {
+			nw.SetHandler(i, func(Message) { atomic.AddInt64(&count, 1) })
+		}
+		for i := 0; i < msgs; i++ {
+			nw.Send(Message{From: i % n, To: (i + 3) % n})
+		}
+		nw.Close() // no Quiesce first: Close itself must drain
+		if got := atomic.LoadInt64(&count); got != msgs {
+			t.Fatalf("Close returned with %d of %d delivered", got, msgs)
+		}
+	})
+}
+
+// TestConformanceCloseIdempotent double-closes.
+func TestConformanceCloseIdempotent(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 1, Options{FIFO: true})
+		nw.SetHandler(0, func(Message) {})
+		nw.Close()
+		nw.Close() // must not panic or deadlock
+	})
+}
+
+// TestConformanceSendAfterClosePanics checks Send on a closed
+// transport is a loud programming error.
+func TestConformanceSendAfterClosePanics(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 1, Options{FIFO: true})
+		nw.SetHandler(0, func(Message) {})
+		nw.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("send on closed transport must panic")
+			}
+		}()
+		nw.Send(Message{From: 0, To: 0})
+	})
+}
+
+// TestConformancePauseResume exercises the LinkController contract:
+// paused links hold messages (other links unaffected), Resume releases
+// them in order, and Close drains paused links.
+func TestConformancePauseResume(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 3, Options{FIFO: true, Seed: 12})
+		lc, ok := nw.(LinkController)
+		if !ok {
+			nw.Close()
+			t.Skipf("%T does not implement LinkController", nw)
+		}
+		var mu sync.Mutex
+		var toOne []int
+		var toTwo int
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(m Message) {
+			mu.Lock()
+			toOne = append(toOne, int(m.Payload[0]))
+			mu.Unlock()
+		})
+		nw.SetHandler(2, func(Message) {
+			mu.Lock()
+			toTwo++
+			mu.Unlock()
+		})
+
+		lc.PauseLink(0, 1)
+		const held = 20
+		for i := 0; i < held; i++ {
+			nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+		}
+		// The unpaused link keeps flowing while 0→1 is held.
+		for i := 0; i < 5; i++ {
+			nw.Send(Message{From: 0, To: 2, Payload: []byte{0}})
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			mu.Lock()
+			done := toTwo == 5
+			mu.Unlock()
+			if done || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond) // grace period for wrongly-released messages
+		mu.Lock()
+		if toTwo != 5 {
+			t.Fatalf("unpaused link delivered %d of 5 while 0→1 paused", toTwo)
+		}
+		if len(toOne) != 0 {
+			t.Fatalf("paused link delivered %d messages", len(toOne))
+		}
+		mu.Unlock()
+
+		lc.ResumeLink(0, 1)
+		nw.Quiesce()
+		mu.Lock()
+		if len(toOne) != held {
+			t.Fatalf("after resume: %d of %d delivered", len(toOne), held)
+		}
+		for i, s := range toOne {
+			if s != i {
+				t.Fatalf("after resume: position %d holds seq %d (order lost across pause)", i, s)
+			}
+		}
+		mu.Unlock()
+
+		// Close must drain a re-paused link rather than leak its queue.
+		lc.PauseLink(0, 1)
+		nw.Send(Message{From: 0, To: 1, Payload: []byte{held}})
+		nw.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(toOne) != held+1 {
+			t.Fatalf("Close left paused message undelivered (%d of %d)", len(toOne), held+1)
+		}
+	})
+}
+
+// TestConformancePauseResumeStorm hammers PauseLink/ResumeLink while
+// a stream is in flight with a slow handler, so pauses land mid-batch.
+// Every message must still be delivered in order and Quiesce must not
+// strand — the regression test for a resume racing a batched engine's
+// pushback path.
+func TestConformancePauseResumeStorm(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 2, Options{FIFO: true, Seed: 21})
+		defer nw.Close()
+		lc, ok := nw.(LinkController)
+		if !ok {
+			t.Skipf("%T does not implement LinkController", nw)
+		}
+		var mu sync.Mutex
+		var got []int
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(m Message) {
+			time.Sleep(50 * time.Microsecond) // keep batches mid-drain when pauses land
+			mu.Lock()
+			got = append(got, int(m.Payload[0])<<8|int(m.Payload[1]))
+			mu.Unlock()
+		})
+		const msgs = 300
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // pause/resume storm concurrent with the stream
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				lc.PauseLink(0, 1)
+				time.Sleep(20 * time.Microsecond)
+				lc.ResumeLink(0, 1)
+				time.Sleep(20 * time.Microsecond)
+			}
+		}()
+		for i := 0; i < msgs; i++ {
+			nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i >> 8), byte(i)}})
+		}
+		wg.Wait()
+		lc.ResumeLink(0, 1) // final state: link open
+		quiesced := make(chan struct{})
+		go func() { nw.Quiesce(); close(quiesced) }()
+		select {
+		case <-quiesced:
+		case <-time.After(30 * time.Second):
+			t.Fatal("Quiesce hung: messages stranded by the pause/resume storm")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) != msgs {
+			t.Fatalf("delivered %d of %d after pause/resume storm", len(got), msgs)
+		}
+		for i, s := range got {
+			if s != i {
+				t.Fatalf("position %d holds seq %d (FIFO lost across pause/resume)", i, s)
+			}
+		}
+	})
+}
+
+// TestConformanceConcurrentQuiesce runs Quiesce from several
+// goroutines while traffic flows; every call must return only at a
+// true cut (no message in flight at some instant during the call).
+func TestConformanceConcurrentQuiesce(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n = 3
+		nw := v.make(t, n, Options{FIFO: true, Seed: 13})
+		defer nw.Close()
+		var count int64
+		for i := 0; i < n; i++ {
+			nw.SetHandler(i, func(Message) { atomic.AddInt64(&count, 1) })
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < 100; k++ {
+					nw.Send(Message{From: g % n, To: (g + k) % n})
+					if k%10 == 0 {
+						nw.Quiesce()
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		nw.Quiesce()
+		if got := atomic.LoadInt64(&count); got != 400 {
+			t.Fatalf("delivered %d of 400", got)
+		}
+	})
+}
+
+// TestConformanceRegistry checks the registry surface: every built-in
+// kind resolves, the empty kind aliases classic, and unknown kinds
+// error out with the available list.
+func TestConformanceRegistry(t *testing.T) {
+	kinds := Kinds()
+	want := map[string]bool{KindClassic: false, KindSharded: false}
+	for _, k := range kinds {
+		if _, seen := want[k]; seen {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("built-in kind %q missing from Kinds() = %v", k, kinds)
+		}
+	}
+	tr, err := New("", 2, Options{FIFO: true})
+	if err != nil {
+		t.Fatalf("New(\"\") = %v", err)
+	}
+	if _, isClassic := tr.(*Network); !isClassic {
+		t.Errorf("empty kind built %T, want *Network", tr)
+	}
+	tr.Close()
+	if _, err := New("no-such-engine", 2, Options{}); err == nil {
+		t.Error("unknown kind must error")
+	} else if !strings.Contains(err.Error(), KindSharded) {
+		t.Errorf("error should list available kinds, got %q", err)
+	}
+}
+
+// TestShardedWorkerDefault pins the documented default pool size.
+func TestShardedWorkerDefault(t *testing.T) {
+	nw := NewSharded(2, Options{FIFO: true})
+	defer nw.Close()
+	if nw.NumWorkers() < 2 {
+		t.Fatalf("default pool = %d workers, want ≥ 2", nw.NumWorkers())
+	}
+	one := NewSharded(2, Options{FIFO: true, Workers: 1})
+	defer one.Close()
+	if one.NumWorkers() != 1 {
+		t.Fatalf("Workers: 1 honoured as %d", one.NumWorkers())
+	}
+}
+
+// TestShardedBatchesDrainAsOne sanity-checks the batching claim: with
+// one worker wedged on a slow handler, a backlog accumulates in the
+// mailbox and is then delivered in order by a single drain.
+func TestShardedBatchesDrainAsOne(t *testing.T) {
+	nw := NewSharded(2, Options{FIFO: true, Workers: 1})
+	defer nw.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var got []int
+	first := true
+	nw.SetHandler(0, func(Message) {})
+	nw.SetHandler(1, func(m Message) {
+		if first {
+			first = false
+			<-release // wedge the worker so the backlog builds
+		}
+		mu.Lock()
+		got = append(got, int(m.Payload[0]))
+		mu.Unlock()
+	})
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+	}
+	close(release)
+	nw.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d of %d", len(got), msgs)
+	}
+	for i, s := range got {
+		if s != i {
+			t.Fatalf("position %d holds seq %d after batched drain", i, s)
+		}
+	}
+}

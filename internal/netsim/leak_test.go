@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain fails the package loudly if any test leaks goroutines — a
+// transport that loses delivery workers on Close would otherwise pass
+// silently. Every transport's Close must leave the goroutine count
+// where it started.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if err := waitForGoroutines(baseline, 5*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// waitForGoroutines polls until the goroutine count returns to the
+// baseline (test-runner bookkeeping goroutines wind down on their own
+// schedule) and returns a stack dump on timeout.
+func waitForGoroutines(baseline int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("goroutine leak: %d live after tests, baseline %d; a transport lost workers on Close\n%s",
+				n, baseline, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -51,6 +51,10 @@ type Options struct {
 	Seed int64
 	// Metrics receives per-message accounting; nil disables accounting.
 	Metrics *metrics.Collector
+	// Workers sets the delivery worker-pool size for transports that
+	// use one (Sharded). Zero picks max(2, GOMAXPROCS); the classic
+	// Network ignores it.
+	Workers int
 }
 
 // Network connects n nodes. Create with NewNetwork, install handlers

@@ -1,0 +1,406 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sharded is the batched delivery engine. Instead of the classic
+// Network's goroutine per ordered node pair — one wakeup and two
+// global-lock round trips per message — it shards traffic into
+// per-pair mailboxes drained by a fixed pool of workers. A mailbox
+// with pending messages is scheduled once on the shared run queue; the
+// worker that picks it up drains the whole backlog in one pass,
+// fetching the destination handler once and settling the in-flight
+// count once per batch, so a burst of k messages on a pair costs one
+// wakeup instead of k. Per-pair FIFO order is preserved because a
+// mailbox is only ever drained by one worker at a time, and the run
+// queue is work-conserving: any idle worker can pick up any pair, so
+// no pair waits behind a busy worker while another sits idle. The hot
+// send path is lock-free except for the destination mailbox's own
+// mutex: in-flight accounting is an atomic counter and the handler
+// table is copy-on-write.
+//
+// In non-FIFO mode messages bypass the mailboxes and flow through the
+// run queue individually, so concurrent workers may reorder them,
+// matching the classic engine's contract.
+//
+// Simulated latency (Options.MaxLatency) is slept in-line by the
+// delivering worker, so with more concurrently active pairs than
+// workers the delays serialize onto the pool instead of overlapping
+// as they do with the classic engine's goroutine per pair. That keeps
+// the semantics valid (the asynchronous model allows arbitrary finite
+// delays) but makes the classic engine the better choice for
+// latency-model studies; the sharded engine targets throughput, where
+// MaxLatency is zero.
+//
+// Sharded implements Transport and LinkController; its semantics are
+// checked against the classic engine by the conformance suite.
+type Sharded struct {
+	n       int
+	opts    Options
+	workers int
+
+	handlers atomic.Value // []Handler, copy-on-write
+	hmu      sync.Mutex   // serializes SetHandler stores
+	closed   atomic.Bool
+	inflight atomic.Int64
+	qmu      sync.Mutex // guards quiet waiters
+	quiet    *sync.Cond
+
+	latMu sync.Mutex // guards rng; taken only when MaxLatency > 0
+	rng   *rand.Rand
+
+	bmu   sync.Mutex // serializes lazy mailbox creation
+	boxes []atomic.Pointer[mailbox]
+	run   runQueue
+	wg    sync.WaitGroup
+}
+
+// runQueue is the workers' shared input: a FIFO of scheduled mailboxes
+// (FIFO mode) and a FIFO of loose messages (non-FIFO mode).
+type runQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  []*mailbox
+	loose  []Message
+	lats   []time.Duration
+	closed bool
+}
+
+// mailbox holds one ordered pair's undelivered messages. scheduled is
+// true while the mailbox sits in the run queue or is being drained,
+// guaranteeing single-consumer FIFO.
+type mailbox struct {
+	to int
+
+	mu        sync.Mutex
+	items     []Message
+	latencies []time.Duration // nil when MaxLatency == 0
+	spare     []Message       // drained backing array, recycled for the next batch
+	spareLat  []time.Duration
+	scheduled bool
+	paused    atomic.Bool
+}
+
+// NewSharded returns a sharded transport over n nodes. Options.Workers
+// sets the pool size (0 = max(2, GOMAXPROCS)).
+func NewSharded(n int, opts Options) *Sharded {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: network needs at least one node, got %d", n))
+	}
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w < 2 {
+			w = 2
+		}
+	}
+	nw := &Sharded{
+		n:       n,
+		opts:    opts,
+		workers: w,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	nw.handlers.Store(make([]Handler, n))
+	nw.quiet = sync.NewCond(&nw.qmu)
+	nw.run.cond = sync.NewCond(&nw.run.mu)
+	if opts.FIFO {
+		nw.boxes = make([]atomic.Pointer[mailbox], n*n)
+	}
+	nw.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go nw.serve()
+	}
+	return nw
+}
+
+// NumNodes returns the number of nodes.
+func (nw *Sharded) NumNodes() int { return nw.n }
+
+// NumWorkers returns the delivery pool size.
+func (nw *Sharded) NumWorkers() int { return nw.workers }
+
+// SetHandler installs the delivery handler for a node. The table is
+// copy-on-write so the delivery workers read it without locking.
+func (nw *Sharded) SetHandler(node int, h Handler) {
+	if node < 0 || node >= nw.n {
+		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", node, nw.n))
+	}
+	nw.hmu.Lock()
+	defer nw.hmu.Unlock()
+	old := nw.handlers.Load().([]Handler)
+	next := make([]Handler, nw.n)
+	copy(next, old)
+	next[node] = h
+	nw.handlers.Store(next)
+}
+
+// Send enqueues a message for asynchronous delivery. It never blocks
+// on the receiver; sending to an unknown node or on a closed transport
+// panics.
+func (nw *Sharded) Send(msg Message) {
+	if msg.To < 0 || msg.To >= nw.n || msg.From < 0 || msg.From >= nw.n {
+		panic(fmt.Sprintf("netsim: message endpoints %d→%d out of range", msg.From, msg.To))
+	}
+	if nw.closed.Load() {
+		panic("netsim: send on closed network")
+	}
+	if nw.handlers.Load().([]Handler)[msg.To] == nil {
+		panic(fmt.Sprintf("netsim: node %d has no handler installed", msg.To))
+	}
+	nw.inflight.Add(1)
+	var latency time.Duration
+	if nw.opts.MaxLatency > 0 {
+		nw.latMu.Lock()
+		latency = time.Duration(nw.rng.Int63n(int64(nw.opts.MaxLatency) + 1))
+		nw.latMu.Unlock()
+	}
+	if nw.opts.Metrics != nil {
+		nw.opts.Metrics.RecordMessage(msg.Kind, msg.From, msg.To, msg.CtrlBytes, msg.DataBytes, msg.Vars)
+	}
+	if !nw.opts.FIFO {
+		// Loose delivery: messages go straight to the run queue, where
+		// concurrent workers may pick up and reorder them.
+		nw.run.mu.Lock()
+		nw.run.loose = append(nw.run.loose, msg)
+		nw.run.lats = append(nw.run.lats, latency)
+		nw.run.cond.Signal()
+		nw.run.mu.Unlock()
+		return
+	}
+	mb := nw.mailbox(msg.From, msg.To)
+	mb.mu.Lock()
+	mb.items = append(mb.items, msg)
+	if nw.opts.MaxLatency > 0 {
+		mb.latencies = append(mb.latencies, latency)
+	}
+	wake := !mb.scheduled && !mb.paused.Load()
+	if wake {
+		mb.scheduled = true
+	}
+	mb.mu.Unlock()
+	if wake {
+		nw.enqueue(mb)
+	}
+}
+
+// mailbox returns the pair's mailbox, creating it on first use.
+func (nw *Sharded) mailbox(from, to int) *mailbox {
+	idx := from*nw.n + to
+	if mb := nw.boxes[idx].Load(); mb != nil {
+		return mb
+	}
+	nw.bmu.Lock()
+	defer nw.bmu.Unlock()
+	if mb := nw.boxes[idx].Load(); mb != nil {
+		return mb
+	}
+	mb := &mailbox{to: to}
+	nw.boxes[idx].Store(mb)
+	return mb
+}
+
+// enqueue schedules a mailbox on the shared run queue.
+func (nw *Sharded) enqueue(mb *mailbox) {
+	nw.run.mu.Lock()
+	nw.run.ready = append(nw.run.ready, mb)
+	nw.run.cond.Signal()
+	nw.run.mu.Unlock()
+}
+
+// serve is one worker's loop: pop a loose message or a scheduled
+// mailbox and process it.
+func (nw *Sharded) serve() {
+	defer nw.wg.Done()
+	q := &nw.run
+	for {
+		q.mu.Lock()
+		for len(q.ready) == 0 && len(q.loose) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.loose) > 0 {
+			msg := q.loose[0]
+			latency := q.lats[0]
+			q.loose = q.loose[1:]
+			q.lats = q.lats[1:]
+			q.mu.Unlock()
+			if latency > 0 {
+				time.Sleep(latency)
+			}
+			h := nw.handlers.Load().([]Handler)[msg.To]
+			if h != nil {
+				h(msg)
+			}
+			nw.settle(1)
+			continue
+		}
+		if len(q.ready) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		mb := q.ready[0]
+		q.ready = q.ready[1:]
+		q.mu.Unlock()
+		nw.drain(mb)
+	}
+}
+
+// drain delivers one batch from the mailbox: the entire backlog is
+// claimed under one lock acquisition, the destination handler is
+// fetched once, and the in-flight count settles once at the end. If
+// more messages arrived meanwhile the mailbox re-enters the run queue
+// behind other pairs (fairness); if the pair was paused mid-batch the
+// undelivered tail is pushed back in order.
+func (nw *Sharded) drain(mb *mailbox) {
+	mb.mu.Lock()
+	if mb.paused.Load() || len(mb.items) == 0 {
+		mb.scheduled = false
+		mb.mu.Unlock()
+		return
+	}
+	batch := mb.items
+	lats := mb.latencies
+	mb.items = mb.spare[:0]
+	if mb.spareLat != nil {
+		mb.latencies = mb.spareLat[:0]
+	} else {
+		mb.latencies = nil
+	}
+	mb.spare, mb.spareLat = nil, nil
+	mb.mu.Unlock()
+
+	h := nw.handlers.Load().([]Handler)[mb.to]
+	delivered := 0
+	for i := range batch {
+		if mb.paused.Load() {
+			// Push the undelivered tail back to the front, keeping order.
+			mb.mu.Lock()
+			mb.items = append(append([]Message{}, batch[i:]...), mb.items...)
+			if lats != nil {
+				mb.latencies = append(append([]time.Duration{}, lats[i:]...), mb.latencies...)
+			}
+			// Re-check the pause under the lock: ResumeLink may have
+			// completed since the lockless load above, in which case it
+			// saw an empty mailbox and did not reschedule — the pushed-
+			// back tail would be stranded. Keep the scheduled claim and
+			// requeue ourselves instead.
+			if mb.paused.Load() {
+				mb.scheduled = false
+				mb.mu.Unlock()
+			} else {
+				mb.mu.Unlock()
+				nw.enqueue(mb)
+			}
+			nw.settle(delivered)
+			return
+		}
+		if lats != nil && lats[i] > 0 {
+			time.Sleep(lats[i])
+		}
+		if h != nil {
+			h(batch[i])
+		}
+		delivered++
+	}
+	nw.settle(delivered)
+
+	mb.mu.Lock()
+	// Hand the drained backing array back for the next batch.
+	mb.spare, mb.spareLat = batch[:0], lats[:0]
+	if len(mb.items) == 0 || mb.paused.Load() {
+		mb.scheduled = false
+		mb.mu.Unlock()
+		return
+	}
+	mb.mu.Unlock()
+	nw.enqueue(mb)
+}
+
+// settle retires k delivered messages from the in-flight count and
+// wakes quiescence waiters on the transition to zero.
+func (nw *Sharded) settle(k int) {
+	if k == 0 {
+		return
+	}
+	if nw.inflight.Add(-int64(k)) == 0 {
+		nw.qmu.Lock()
+		nw.quiet.Broadcast()
+		nw.qmu.Unlock()
+	}
+}
+
+// PauseLink holds back delivery on the ordered link from → to. Only
+// supported in FIFO mode, like the classic engine.
+func (nw *Sharded) PauseLink(from, to int) {
+	if !nw.opts.FIFO {
+		panic("netsim: PauseLink requires a FIFO network")
+	}
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
+	}
+	nw.mailbox(from, to).paused.Store(true)
+}
+
+// ResumeLink releases a link paused by PauseLink; held messages are
+// delivered in order.
+func (nw *Sharded) ResumeLink(from, to int) {
+	if !nw.opts.FIFO {
+		panic("netsim: ResumeLink requires a FIFO network")
+	}
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
+	}
+	nw.resume(nw.mailbox(from, to))
+}
+
+// resume clears a mailbox's pause flag and reschedules it if messages
+// are waiting.
+func (nw *Sharded) resume(mb *mailbox) {
+	mb.paused.Store(false)
+	mb.mu.Lock()
+	wake := len(mb.items) > 0 && !mb.scheduled
+	if wake {
+		mb.scheduled = true
+	}
+	mb.mu.Unlock()
+	if wake {
+		nw.enqueue(mb)
+	}
+}
+
+// Quiesce blocks until no message is in flight, including messages
+// sent by handlers during the wait.
+func (nw *Sharded) Quiesce() {
+	if nw.inflight.Load() == 0 {
+		return
+	}
+	nw.qmu.Lock()
+	for nw.inflight.Load() != 0 {
+		nw.quiet.Wait()
+	}
+	nw.qmu.Unlock()
+}
+
+// Close drains the transport and stops the worker pool. Messages
+// already sent are still delivered; paused links are resumed first.
+// Send after Close panics; Close is idempotent.
+func (nw *Sharded) Close() {
+	for i := range nw.boxes {
+		if mb := nw.boxes[i].Load(); mb != nil && mb.paused.Load() {
+			nw.resume(mb)
+		}
+	}
+	nw.Quiesce()
+	if !nw.closed.Swap(true) {
+		nw.run.mu.Lock()
+		nw.run.closed = true
+		nw.run.cond.Broadcast()
+		nw.run.mu.Unlock()
+	}
+	nw.wg.Wait()
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Transport is the message-delivery seam every protocol layer programs
+// against: an asynchronous reliable message-passing system connecting a
+// fixed set of nodes. Implementations differ in how delivery is
+// scheduled (one goroutine per channel, a sharded worker pool, …) but
+// must agree on the semantic contract below, which
+// conformance_test.go checks for every registered implementation:
+//
+//   - Send never blocks on the receiver and delivers each message to
+//     the destination handler exactly once.
+//   - With Options.FIFO, delivery order on each ordered node pair is
+//     the send order on that pair; without it, messages may be
+//     reordered arbitrarily.
+//   - Handlers may call Send (re-entrancy); messages sent from handlers
+//     are delivered like any other.
+//   - Quiesce returns only when every sent message — including messages
+//     sent by handlers during the wait — has been delivered and its
+//     handler has returned.
+//   - Close drains all in-flight messages, then releases every delivery
+//     worker; it is idempotent, and Send after Close panics.
+//   - Options.Metrics, when non-nil, receives exactly one RecordMessage
+//     per Send with the message's kind, endpoints, byte split and
+//     variable list.
+type Transport interface {
+	// NumNodes returns the number of nodes the transport connects.
+	NumNodes() int
+	// SetHandler installs the delivery handler for a node. It must be
+	// called before any message is sent to the node.
+	SetHandler(node int, h Handler)
+	// Send enqueues a message for asynchronous delivery.
+	Send(msg Message)
+	// Quiesce blocks until no message is in flight.
+	Quiesce()
+	// Close drains and shuts the transport down.
+	Close()
+}
+
+// LinkController is the optional link-level fault-injection interface.
+// Both built-in transports support it on FIFO networks. Callers that
+// need it must type-assert; invoking pause/resume against a transport
+// that lacks it is a programming error of the same class as pausing a
+// non-FIFO network, which the built-in engines answer with a panic —
+// the cluster facade does the same.
+type LinkController interface {
+	// PauseLink holds back delivery on the ordered link from → to.
+	PauseLink(from, to int)
+	// ResumeLink releases a paused link; held messages are delivered in
+	// order.
+	ResumeLink(from, to int)
+}
+
+// Factory builds a transport over n nodes with the given options.
+type Factory func(n int, opts Options) Transport
+
+// Built-in transport kinds.
+const (
+	// KindClassic is the original engine: one delivery goroutine per
+	// ordered node pair, one wakeup per message.
+	KindClassic = "classic"
+	// KindSharded is the batched engine: pair mailboxes are sharded
+	// across a fixed worker pool and drained a batch at a time.
+	KindSharded = "sharded"
+)
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Factory{
+		KindClassic: func(n int, opts Options) Transport { return NewNetwork(n, opts) },
+		KindSharded: func(n int, opts Options) Transport { return NewSharded(n, opts) },
+	}
+)
+
+// Register makes a transport constructor selectable by name through
+// New. Registering a duplicate name panics; the conformance suite runs
+// against every registered factory.
+func Register(kind string, f Factory) {
+	if kind == "" || f == nil {
+		panic("netsim: Register needs a non-empty kind and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("netsim: transport %q already registered", kind))
+	}
+	registry[kind] = f
+}
+
+// New builds the named transport. The empty name selects KindClassic,
+// keeping existing callers working unchanged.
+func New(kind string, n int, opts Options) (Transport, error) {
+	if kind == "" {
+		kind = KindClassic
+	}
+	registryMu.Lock()
+	f := registry[kind]
+	registryMu.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("netsim: unknown transport %q (have %v)", kind, Kinds())
+	}
+	return f(n, opts), nil
+}
+
+// Kinds returns the sorted names of all registered transports.
+func Kinds() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compile-time checks: both built-in engines satisfy the full contract.
+var (
+	_ Transport      = (*Network)(nil)
+	_ LinkController = (*Network)(nil)
+	_ Transport      = (*Sharded)(nil)
+	_ LinkController = (*Sharded)(nil)
+)

@@ -21,6 +21,19 @@
 // variable-touch metrics that make the paper's efficiency notion
 // measurable.
 //
+// # Transports
+//
+// The message-passing substrate is pluggable via Config.Transport.
+// Every engine implements the same semantic contract — per-pair FIFO
+// delivery (unless Config.NonFIFO), quiescence detection, exact-once
+// delivery and metrics accounting — verified by the conformance suite
+// in internal/netsim, so protocol behaviour and the paper's message
+// counts are identical across engines; only scheduling and therefore
+// throughput differ. TransportClassic (the default) runs one delivery
+// goroutine per ordered node pair; TransportSharded drains per-pair
+// mailboxes in batches on a fixed worker pool and is the better choice
+// for message-heavy workloads.
+//
 // # Quick start
 //
 //	cluster, err := partialdsm.New(partialdsm.Config{
@@ -101,6 +114,29 @@ var Consistencies = []Consistency{
 	Atomic, Sequential, CausalFull, CausalPartial, CausalHoopAware, PRAM, Slow, CacheConsistency,
 }
 
+// Transport selects the message-delivery engine a cluster runs on.
+// Every engine implements the same semantic contract (per-pair FIFO
+// unless Config.NonFIFO, quiescence, exact-once delivery, metrics
+// accounting), verified by the netsim conformance suite; they differ
+// only in scheduling and therefore throughput.
+type Transport string
+
+// The available transports.
+const (
+	// TransportClassic runs one delivery goroutine per ordered node
+	// pair: simple, and the reference for the conformance suite. The
+	// zero value of Config.Transport selects it.
+	TransportClassic Transport = Transport(netsim.KindClassic)
+	// TransportSharded shards pair mailboxes across a fixed worker
+	// pool and drains each pair's backlog in batches — one wakeup per
+	// burst instead of per message. Prefer it for message-heavy
+	// workloads.
+	TransportSharded Transport = Transport(netsim.KindSharded)
+)
+
+// Transports lists every supported transport.
+var Transports = []Transport{TransportClassic, TransportSharded}
+
 // Config describes a cluster.
 type Config struct {
 	// Consistency selects the protocol. Required.
@@ -120,6 +156,13 @@ type Config struct {
 	// Atomic tolerate it; PRAM and CausalFull require FIFO and reject
 	// the combination.
 	NonFIFO bool
+	// Transport selects the delivery engine (TransportClassic,
+	// TransportSharded, or any kind registered with netsim.Register).
+	// Empty selects TransportClassic.
+	Transport Transport
+	// TransportWorkers bounds the sharded transport's worker pool.
+	// Zero picks max(2, GOMAXPROCS); the classic transport ignores it.
+	TransportWorkers int
 	// DisableTrace turns off history and witness recording (for
 	// benchmarks). Traced verification methods then return ErrNoTrace.
 	DisableTrace bool
@@ -140,7 +183,7 @@ var ErrNoTrace = errors.New("partialdsm: cluster was built with DisableTrace")
 type Cluster struct {
 	cfg     Config
 	pl      *sharegraph.Placement
-	net     *netsim.Network
+	net     netsim.Transport
 	col     *metrics.Collector
 	rec     *mcs.Recorder
 	nodes   []mcs.Node
@@ -166,12 +209,16 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	col := metrics.NewCollector()
-	net := netsim.NewNetwork(len(cfg.Placement), netsim.Options{
+	net, err := netsim.New(string(cfg.Transport), len(cfg.Placement), netsim.Options{
 		FIFO:       !cfg.NonFIFO,
 		MaxLatency: cfg.MaxLatency,
 		Seed:       cfg.Seed,
 		Metrics:    col,
+		Workers:    cfg.TransportWorkers,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("partialdsm: %w", err)
+	}
 	var rec *mcs.Recorder
 	if !cfg.DisableTrace || cfg.LiveVerify {
 		rec = mcs.NewRecorder(len(cfg.Placement))
@@ -194,7 +241,6 @@ func New(cfg Config) (*Cluster, error) {
 	mc := mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec}
 
 	var nodes []mcs.Node
-	var err error
 	switch cfg.Consistency {
 	case PRAM:
 		nodes, err = wrap(prampart.New(mc))
@@ -283,13 +329,23 @@ func (c *Cluster) Quiesce() { c.net.Quiesce() }
 
 // PauseLink suspends delivery on the ordered link from → to (messages
 // queue, nothing is lost) — deterministic asynchrony injection for
-// tests and experiments. Requires a FIFO network (the default). Do not
-// Quiesce while links are paused and messages are pending.
-func (c *Cluster) PauseLink(from, to int) { c.net.PauseLink(from, to) }
+// tests and experiments. Requires a FIFO network (the default) and a
+// transport implementing netsim.LinkController (both built-in ones
+// do). Do not Quiesce while links are paused and messages are pending.
+func (c *Cluster) PauseLink(from, to int) { c.linkController().PauseLink(from, to) }
 
 // ResumeLink releases a link paused by PauseLink; held messages are
 // delivered in order.
-func (c *Cluster) ResumeLink(from, to int) { c.net.ResumeLink(from, to) }
+func (c *Cluster) ResumeLink(from, to int) { c.linkController().ResumeLink(from, to) }
+
+// linkController returns the transport's fault-injection interface.
+func (c *Cluster) linkController() netsim.LinkController {
+	lc, ok := c.net.(netsim.LinkController)
+	if !ok {
+		panic(fmt.Sprintf("partialdsm: transport %T does not support link pausing", c.net))
+	}
+	return lc
+}
 
 // Close shuts the cluster down. The cluster must not be used afterward.
 func (c *Cluster) Close() { c.net.Close() }

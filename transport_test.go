@@ -1,0 +1,125 @@
+package partialdsm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllProtocolsOnEveryTransport drives every consistency
+// configuration through a concurrent random workload on each
+// transport and validates the witness — the cluster-level counterpart
+// of the netsim conformance suite: no protocol may observe a semantic
+// difference between delivery engines.
+func TestAllProtocolsOnEveryTransport(t *testing.T) {
+	for _, tr := range Transports {
+		tr := tr
+		for _, cons := range Consistencies {
+			cons := cons
+			t.Run(string(tr)+"/"+string(cons), func(t *testing.T) {
+				c := newCluster(t, Config{
+					Consistency: cons,
+					Placement:   hoopPlacement(),
+					Seed:        3,
+					Transport:   tr,
+				})
+				runWorkload(t, c, 40, 7)
+				if err := c.VerifyWitness(); err != nil {
+					t.Fatalf("witness violated on %s transport: %v", tr, err)
+				}
+			})
+		}
+	}
+}
+
+// TestEfficiencyTheoremOnSharded re-checks Theorem 2 on the sharded
+// engine: the efficiency property is about which messages cross the
+// network, so it must be transport-independent.
+func TestEfficiencyTheoremOnSharded(t *testing.T) {
+	for _, cons := range []Consistency{PRAM, Slow} {
+		cons := cons
+		t.Run(string(cons), func(t *testing.T) {
+			cfg := Config{Consistency: cons, Placement: hoopPlacement(), Seed: 5, Transport: TransportSharded}
+			if cons == Slow {
+				cfg.NonFIFO = true
+			}
+			c := newCluster(t, cfg)
+			runWorkload(t, c, 60, 11)
+			if err := c.VerifyEfficiency(); err != nil {
+				t.Fatalf("Theorem 2 violated on sharded transport: %v", err)
+			}
+		})
+	}
+}
+
+// TestMessageCountsMatchAcrossTransports checks the paper-level
+// invariant directly: a deterministic workload produces byte-for-byte
+// identical traffic stats on both engines.
+func TestMessageCountsMatchAcrossTransports(t *testing.T) {
+	stats := make(map[Transport]Stats)
+	for _, tr := range Transports {
+		c := newCluster(t, Config{Consistency: PRAM, Placement: hoopPlacement(), Seed: 9, Transport: tr})
+		for k := 0; k < 25; k++ {
+			if err := c.Node(0).Write("x", int64(k)+1); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Node(1).Write("y", int64(k)+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Quiesce()
+		stats[tr] = c.Stats()
+	}
+	a, b := stats[TransportClassic], stats[TransportSharded]
+	if a.Msgs != b.Msgs || a.CtrlBytes != b.CtrlBytes || a.DataBytes != b.DataBytes {
+		t.Fatalf("traffic diverged: classic %+v, sharded %+v", a, b)
+	}
+}
+
+// TestTransportWorkersKnob pins the TransportWorkers plumbing.
+func TestTransportWorkersKnob(t *testing.T) {
+	c := newCluster(t, Config{
+		Consistency:      PRAM,
+		Placement:        hoopPlacement(),
+		Transport:        TransportSharded,
+		TransportWorkers: 1,
+	})
+	runWorkload(t, c, 20, 1)
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnknownTransportRejected checks the error path names the
+// available engines.
+func TestUnknownTransportRejected(t *testing.T) {
+	_, err := New(Config{Consistency: PRAM, Placement: hoopPlacement(), Transport: "carrier-pigeon"})
+	if err == nil {
+		t.Fatal("unknown transport must be rejected")
+	}
+	if !strings.Contains(err.Error(), "sharded") {
+		t.Errorf("error should list available transports, got %v", err)
+	}
+}
+
+// TestPauseLinkOnSharded checks the LinkController plumbing through
+// the cluster facade on the sharded engine.
+func TestPauseLinkOnSharded(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: hoopPlacement(), Seed: 2, Transport: TransportSharded})
+	c.PauseLink(0, 2)
+	if err := c.Node(0).Write("x", 41); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 is not on the paused link; its y updates still flow.
+	if err := c.Node(1).Write("y", 17); err != nil {
+		t.Fatal(err)
+	}
+	c.ResumeLink(0, 2)
+	c.Quiesce()
+	v, err := c.Node(2).Read("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 41 {
+		t.Fatalf("x = %d at node 2 after resume, want 41", v)
+	}
+}
