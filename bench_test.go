@@ -51,15 +51,21 @@ func benchCluster(b *testing.B, cons partialdsm.Consistency, placement [][]strin
 	return benchClusterT(b, cons, placement, partialdsm.TransportClassic)
 }
 
-// benchClusterT is benchCluster with an explicit transport.
-func benchClusterT(b *testing.B, cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport) *partialdsm.Cluster {
+// benchClusterT is benchCluster with an explicit transport and
+// coalescing batch size.
+func benchClusterT(b *testing.B, cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport, coalesce ...int) *partialdsm.Cluster {
 	b.Helper()
+	batch := 0
+	if len(coalesce) > 0 {
+		batch = coalesce[0]
+	}
 	c, err := partialdsm.New(partialdsm.Config{
-		Consistency:  cons,
-		Placement:    placement,
-		Seed:         1,
-		DisableTrace: true,
-		Transport:    tr,
+		Consistency:   cons,
+		Placement:     placement,
+		Seed:          1,
+		DisableTrace:  true,
+		Transport:     tr,
+		CoalesceBatch: batch,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -195,30 +201,33 @@ func BenchmarkHoopAwareAblation(b *testing.B) {
 func BenchmarkBellmanFord(b *testing.B) {
 	for _, n := range []int{5, 10, 20} {
 		for _, tr := range partialdsm.Transports {
-			b.Run(fmt.Sprintf("n=%d/%s", n, tr), func(b *testing.B) {
-				g := bellmanford.RandomGraph(rand.New(rand.NewSource(7)), n, 2*n, 9)
-				placement := bellmanford.Placement(g)
-				for i := 0; i < b.N; i++ {
-					c, err := partialdsm.New(partialdsm.Config{
-						Consistency:  partialdsm.PRAM,
-						Placement:    placement,
-						Seed:         1,
-						DisableTrace: true,
-						Transport:    tr,
-					})
-					if err != nil {
-						b.Fatal(err)
+			for _, batch := range []int{1, 16} {
+				b.Run(fmt.Sprintf("n=%d/%s/coalesce=%d", n, tr, batch), func(b *testing.B) {
+					g := bellmanford.RandomGraph(rand.New(rand.NewSource(7)), n, 2*n, 9)
+					placement := bellmanford.Placement(g)
+					for i := 0; i < b.N; i++ {
+						c, err := partialdsm.New(partialdsm.Config{
+							Consistency:   partialdsm.PRAM,
+							Placement:     placement,
+							Seed:          1,
+							DisableTrace:  true,
+							Transport:     tr,
+							CoalesceBatch: batch,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						nodes := make([]bellmanford.Node, c.NumNodes())
+						for j := range nodes {
+							nodes[j] = c.Node(j)
+						}
+						if _, err := bellmanford.Run(nodes, g, 0); err != nil {
+							b.Fatal(err)
+						}
+						c.Close()
 					}
-					nodes := make([]bellmanford.Node, c.NumNodes())
-					for j := range nodes {
-						nodes[j] = c.Node(j)
-					}
-					if _, err := bellmanford.Run(nodes, g, 0); err != nil {
-						b.Fatal(err)
-					}
-					c.Close()
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -235,21 +244,23 @@ func BenchmarkUpdateStorm(b *testing.B) {
 		placement[i] = []string{"x"}
 	}
 	for _, tr := range partialdsm.Transports {
-		b.Run(string(tr), func(b *testing.B) {
-			c := benchClusterT(b, partialdsm.PRAM, placement, tr)
-			h := c.Node(0)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				for k := 0; k < burst; k++ {
-					if err := h.Write("x", int64(i*burst+k)+1); err != nil {
-						b.Fatal(err)
+		for _, batch := range []int{1, 16} {
+			b.Run(fmt.Sprintf("%s/coalesce=%d", tr, batch), func(b *testing.B) {
+				c := benchClusterT(b, partialdsm.PRAM, placement, tr, batch)
+				h := c.Node(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k := 0; k < burst; k++ {
+						if err := h.Write("x", int64(i*burst+k)+1); err != nil {
+							b.Fatal(err)
+						}
 					}
+					c.Quiesce()
 				}
-				c.Quiesce()
-			}
-			b.StopTimer()
-			reportTraffic(b, c, b.N*burst)
-		})
+				b.StopTimer()
+				reportTraffic(b, c, b.N*burst)
+			})
+		}
 	}
 }
 

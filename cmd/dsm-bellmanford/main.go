@@ -6,7 +6,7 @@
 //
 //	dsm-bellmanford [-figure8] [-n 12] [-extra 10] [-maxw 9] [-seed 1]
 //	                [-consistency pram] [-transport classic|sharded]
-//	                [-latency 100us] [-v]
+//	                [-coalesce 1] [-latency 100us] [-v]
 //
 // By default a random graph is used; -figure8 runs the paper's example
 // network. Exits 1 if the distributed result disagrees with the oracle
@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed (graph and network latency)")
 	consistency := fs.String("consistency", "pram", "memory consistency (pram, causal-partial, causal-hoop-aware, sequential, atomic)")
 	transport := fs.String("transport", "classic", "message transport (classic, sharded)")
+	coalesce := fs.Int("coalesce", 1, "updates coalesced per destination before a flush (1 = off)")
 	latency := fs.Duration("latency", 100*time.Microsecond, "maximum simulated message latency")
 	verbose := fs.Bool("v", false, "print the placement and per-vertex distances")
 	if err := fs.Parse(args); err != nil {
@@ -65,11 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cluster, err := partialdsm.New(partialdsm.Config{
-		Consistency: partialdsm.Consistency(*consistency),
-		Placement:   placement,
-		Seed:        *seed,
-		MaxLatency:  *latency,
-		Transport:   partialdsm.Transport(*transport),
+		Consistency:   partialdsm.Consistency(*consistency),
+		Placement:     placement,
+		Seed:          *seed,
+		MaxLatency:    *latency,
+		Transport:     partialdsm.Transport(*transport),
+		CoalesceBatch: *coalesce,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "dsm-bellmanford: %v\n", err)

@@ -1,0 +1,256 @@
+// Command dsm-bench runs the repo's cluster-level performance suite
+// programmatically (via testing.Benchmark) and emits a trajectory file
+// BENCH_<pr>.json mapping benchmark name → ns/op, allocs/op, bytes/op,
+// so successive PRs can track performance without parsing `go test
+// -bench` output. The suite mirrors the hot-path benchmarks in
+// bench_test.go: the UpdateStorm multicast burst and the Bellman-Ford
+// case study across transports and coalescing settings, plus the
+// per-operation PRAM write/read costs.
+//
+// Usage:
+//
+//	dsm-bench [-out BENCH_2.json] [-pr 2] [-quick]
+//
+// -quick runs a two-benchmark subset (for CI smoke and tests); without
+// -out the JSON goes to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"partialdsm"
+	"partialdsm/internal/bellmanford"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	N           int     `json:"n"`
+}
+
+// Trajectory is the emitted file format. Baseline holds the previous
+// PR's numbers for the benchmarks that existed then, so the file reads
+// as a before/after table.
+type Trajectory struct {
+	PR         int               `json:"pr"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	Baseline   map[string]Result `json:"baseline,omitempty"`
+	Notes      string            `json:"notes,omitempty"`
+}
+
+// bench is one named benchmark.
+type bench struct {
+	name  string
+	quick bool // include in the -quick subset
+	fn    func(b *testing.B)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write the trajectory JSON to this file (default stdout)")
+	pr := fs.Int("pr", 2, "PR number recorded in the trajectory")
+	quick := fs.Bool("quick", false, "run the two-benchmark smoke subset")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	traj := Trajectory{
+		PR:         *pr,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: make(map[string]Result),
+	}
+	suite := benches()
+	names := make([]string, 0, len(suite))
+	for _, b := range suite {
+		if *quick && !b.quick {
+			continue
+		}
+		names = append(names, b.name)
+	}
+	sort.Strings(names)
+	byName := make(map[string]bench, len(suite))
+	for _, b := range suite {
+		byName[b.name] = b
+	}
+	for _, name := range names {
+		fmt.Fprintf(stderr, "running %s …\n", name)
+		r := testing.Benchmark(byName[name].fn)
+		traj.Benchmarks[name] = Result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+	}
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "dsm-bench: %v\n", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "dsm-bench: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "wrote %s (%d benchmarks)\n", *out, len(traj.Benchmarks))
+	return 0
+}
+
+// benches enumerates the suite.
+func benches() []bench {
+	var out []bench
+	// UpdateStorm: the message-heaviest cluster shape — PRAM over full
+	// replication on 16 nodes, 64-write bursts, quiesce per burst.
+	for _, tr := range partialdsm.Transports {
+		for _, batch := range []int{1, 16} {
+			tr, batch := tr, batch
+			out = append(out, bench{
+				name:  fmt.Sprintf("UpdateStorm/%s/coalesce=%d", tr, batch),
+				quick: tr == partialdsm.TransportSharded,
+				fn:    func(b *testing.B) { updateStorm(b, tr, batch) },
+			})
+		}
+	}
+	// Bellman-Ford at the largest benchmarked size.
+	for _, tr := range partialdsm.Transports {
+		for _, batch := range []int{1, 16} {
+			tr, batch := tr, batch
+			out = append(out, bench{
+				name: fmt.Sprintf("BellmanFord/n=20/%s/coalesce=%d", tr, batch),
+				fn:   func(b *testing.B) { bellmanFord(b, 20, tr, batch) },
+			})
+		}
+	}
+	// Per-operation costs of the headline protocol.
+	out = append(out,
+		bench{name: "PRAMWrite/8node-full", fn: func(b *testing.B) { pramWrite(b, 1) }},
+		bench{name: "PRAMWrite/8node-full/coalesce=16", fn: func(b *testing.B) { pramWrite(b, 16) }},
+		bench{name: "PRAMRead/8node-full", fn: pramRead},
+	)
+	return out
+}
+
+// cluster builds an untraced benchmark cluster.
+func cluster(b *testing.B, cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport, batch int) *partialdsm.Cluster {
+	b.Helper()
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:   cons,
+		Placement:     placement,
+		Seed:          1,
+		DisableTrace:  true,
+		Transport:     tr,
+		CoalesceBatch: batch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+// fullPlacement replicates x on every node.
+func fullPlacement(n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = []string{"x"}
+	}
+	return out
+}
+
+// updateStorm is one 64-write burst plus quiescence per iteration.
+func updateStorm(b *testing.B, tr partialdsm.Transport, batch int) {
+	const nodes, burst = 16, 64
+	c := cluster(b, partialdsm.PRAM, fullPlacement(nodes), tr, batch)
+	h := c.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < burst; k++ {
+			if err := h.Write("x", int64(i*burst+k)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Quiesce()
+	}
+}
+
+// bellmanFord is one full distributed shortest-path run per iteration.
+func bellmanFord(b *testing.B, n int, tr partialdsm.Transport, batch int) {
+	g := bellmanford.RandomGraph(rand.New(rand.NewSource(7)), n, 2*n, 9)
+	placement := bellmanford.Placement(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := partialdsm.New(partialdsm.Config{
+			Consistency:   partialdsm.PRAM,
+			Placement:     placement,
+			Seed:          1,
+			DisableTrace:  true,
+			Transport:     tr,
+			CoalesceBatch: batch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes := make([]bellmanford.Node, c.NumNodes())
+		for j := range nodes {
+			nodes[j] = c.Node(j)
+		}
+		if _, err := bellmanford.Run(nodes, g, 0); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+// pramWrite measures a single PRAM write on 8-node full replication.
+func pramWrite(b *testing.B, batch int) {
+	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, batch)
+	h := c.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Write("x", int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Quiesce()
+}
+
+// pramRead measures a wait-free local read.
+func pramRead(b *testing.B) {
+	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, 1)
+	h := c.Node(1)
+	if err := c.Node(0).Write("x", 42); err != nil {
+		b.Fatal(err)
+	}
+	c.Quiesce()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Read("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickRunEmitsTrajectory smoke-tests the tool end to end on the
+// -quick subset and validates the emitted JSON shape.
+func TestQuickRunEmitsTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-quick", "-pr", "99", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if traj.PR != 99 {
+		t.Errorf("pr = %d, want 99", traj.PR)
+	}
+	if len(traj.Benchmarks) == 0 {
+		t.Fatal("no benchmarks recorded")
+	}
+	for name, r := range traj.Benchmarks {
+		if r.NsPerOp <= 0 || r.N <= 0 {
+			t.Errorf("%s: implausible result %+v", name, r)
+		}
+	}
+}
+
+// TestBadFlags exercises the flag error path.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestCommittedTrajectoryParses guards the checked-in trajectory file:
+// it must stay valid JSON with the documented shape.
+func TestCommittedTrajectoryParses(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_2.json")
+	if err != nil {
+		t.Skipf("no committed trajectory: %v", err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("BENCH_2.json is not a valid trajectory: %v", err)
+	}
+	if traj.PR != 2 || len(traj.Benchmarks) == 0 || len(traj.Baseline) == 0 {
+		t.Errorf("BENCH_2.json incomplete: pr=%d, %d benchmarks, %d baseline entries",
+			traj.PR, len(traj.Benchmarks), len(traj.Baseline))
+	}
+}

@@ -189,6 +189,17 @@ func runVertex(node Node, g *Graph, src, i int) (int64, error) {
 	}
 	n := int64(g.n)
 	for k := int64(0); k < n; k++ {
+		// Under update coalescing (partialdsm.Config.CoalesceBatch), a
+		// node's buffered writes flush when it next operates. Vertices
+		// with predecessors read every round at the barrier below; a
+		// source-like vertex with none would never operate again and
+		// strand its estimates, so it reads its own round counter to
+		// keep them moving.
+		if len(g.preds[i]) == 0 {
+			if _, err := node.Read(KVar(i)); err != nil {
+				return 0, err
+			}
+		}
 		// Barrier: wait until every predecessor has reached round k.
 		for _, e := range g.preds[i] {
 			for {

@@ -8,6 +8,10 @@
 // The primary of x is the lowest-numbered member of C(x); it holds the
 // single authoritative copy, so executions are trivially linearizable
 // (each operation takes effect atomically at the primary).
+//
+// Every message is a single-destination request or reply, so each side
+// recycles the payload it received; combined with the interned-VarID
+// wire format the round trips run allocation-free in steady state.
 package atomicreg
 
 import (
@@ -15,11 +19,13 @@ import (
 	"sync"
 
 	"partialdsm/internal/mcs"
-	"partialdsm/internal/model"
 	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
 )
 
-// Message kinds.
+// Message kinds. A write request is (U32 wseq, U32 varID, I64 val), a
+// read request is (U32 varID); acks are empty and read responses are
+// (I64 val). Requesters are identified by the message source.
 const (
 	KindWriteReq = "atomic.writereq"
 	KindWriteAck = "atomic.writeack"
@@ -31,10 +37,11 @@ const (
 type Node struct {
 	cfg mcs.Config
 	id  int
+	ix  *sharegraph.Index
 
 	mu    sync.Mutex
-	store map[string]int64 // authoritative copies of vars this node is primary for
-	reply chan int64       // response slot for the single outstanding request
+	store []int64    // authoritative copies (by VarID) this node is primary for
+	reply chan int64 // response slot for the single outstanding request
 	wseq  int
 }
 
@@ -43,13 +50,15 @@ func New(cfg mcs.Config) ([]*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Placement.NumProcs()
+	ix := cfg.Placement.Index()
+	n := ix.NumProcs()
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
 			cfg:   cfg,
 			id:    i,
-			store: make(map[string]int64),
+			ix:    ix,
+			store: mcs.NewReplicas(ix.NumVars()),
 			reply: make(chan int64, 1),
 		}
 		nodes[i] = node
@@ -62,20 +71,21 @@ func New(cfg mcs.Config) ([]*Node, error) {
 func (n *Node) ID() int { return n.id }
 
 // primary returns the primary node for x: the lowest member of C(x).
-func (n *Node) primary(x string) (int, error) {
-	cx := n.cfg.Placement.Clique(x)
+func (n *Node) primary(xi int) (int, error) {
+	cx := n.ix.Clique(xi)
 	if len(cx) == 0 {
-		return 0, fmt.Errorf("%w: variable %s has no replicas", mcs.ErrNotReplicated, x)
+		return 0, fmt.Errorf("%w: variable %s has no replicas", mcs.ErrNotReplicated, n.ix.Name(xi))
 	}
 	return cx[0], nil
 }
 
 // Write performs w_i(x)v with a round trip to x's primary.
 func (n *Node) Write(x string, v int64) error {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	prim, err := n.primary(x)
+	prim, err := n.primary(xi)
 	if err != nil {
 		return err
 	}
@@ -83,21 +93,22 @@ func (n *Node) Write(x string, v int64) error {
 	wseq := n.wseq
 	n.wseq++
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordWrite(n.id, x, v)
+		rec.RecordWrite(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 
 	if prim == n.id {
-		n.applyPrimary(n.id, wseq, x, v)
+		n.applyPrimary(n.id, wseq, xi, v)
 		return nil
 	}
 	var enc mcs.Enc
-	enc.U32(uint32(n.id)).U32(uint32(wseq)).Str(x).I64(v)
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(uint32(wseq)).U32(uint32(xi)).I64(v)
 	payload := enc.Bytes()
 	n.cfg.Net.Send(netsim.Message{
 		From: n.id, To: prim, Kind: KindWriteReq,
 		Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
-		Vars: []string{x},
+		Vars: n.ix.MsgVars(xi),
 	})
 	<-n.reply // wait for the ack: the write has taken effect atomically
 	return nil
@@ -105,92 +116,101 @@ func (n *Node) Write(x string, v int64) error {
 
 // Read performs r_i(x) with a round trip to x's primary.
 func (n *Node) Read(x string) (int64, error) {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	prim, err := n.primary(x)
+	prim, err := n.primary(xi)
 	if err != nil {
 		return 0, err
 	}
 	var v int64
 	if prim == n.id {
 		n.mu.Lock()
-		var ok bool
-		if v, ok = n.store[x]; !ok {
-			v = model.Bottom
-		}
+		v = n.store[xi]
 		n.mu.Unlock()
 	} else {
 		var enc mcs.Enc
-		enc.U32(uint32(n.id)).Str(x)
+		enc.SetBuf(mcs.GetPayload())
+		enc.U32(uint32(xi))
 		payload := enc.Bytes()
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: prim, Kind: KindReadReq,
 			Payload: payload, CtrlBytes: len(payload),
-			Vars: []string{x},
+			Vars: n.ix.MsgVars(xi),
 		})
 		v = <-n.reply
 	}
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, x, v)
+		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	return v, nil
 }
 
 // applyPrimary installs the write at the authoritative copy.
-func (n *Node) applyPrimary(writer, wseq int, x string, v int64) {
+func (n *Node) applyPrimary(writer, wseq, xi int, v int64) {
 	n.mu.Lock()
-	n.store[x] = v
+	n.store[xi] = v
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordApply(n.id, writer, wseq, x, v)
+		rec.RecordApply(n.id, writer, wseq, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 }
 
+// varID decodes and bounds-checks a VarID field.
+func (n *Node) varID(d *mcs.Dec, what string, from int) int {
+	xi := int(d.U32())
+	if err := d.Err(); err == nil && (xi < 0 || xi >= n.ix.NumVars()) {
+		panic(fmt.Sprintf("atomicreg: node %d: %s from %d names unknown VarID %d", n.id, what, from, xi))
+	}
+	return xi
+}
+
 // handle dispatches primary-side requests and requester-side replies.
+// Every payload is single-destination, so the handler recycles it after
+// decoding.
 func (n *Node) handle(msg netsim.Message) {
 	switch msg.Kind {
 	case KindWriteReq:
-		d := mcs.NewDec(msg.Payload)
-		writer := int(d.U32())
+		d := mcs.DecOf(msg.Payload)
 		wseq := int(d.U32())
-		x := d.Str()
+		xi := n.varID(&d, "write request", msg.From)
 		v := d.I64()
 		if err := d.Err(); err != nil {
 			panic(fmt.Sprintf("atomicreg: node %d: malformed write request: %v", n.id, err))
 		}
-		n.applyPrimary(writer, wseq, x, v)
+		mcs.PutPayload(msg.Payload)
+		n.applyPrimary(msg.From, wseq, xi, v)
 		n.cfg.Net.Send(netsim.Message{
-			From: n.id, To: writer, Kind: KindWriteAck,
-			CtrlBytes: 1, Vars: []string{x},
+			From: n.id, To: msg.From, Kind: KindWriteAck,
+			CtrlBytes: 1, Vars: n.ix.MsgVars(xi),
 		})
 	case KindReadReq:
-		d := mcs.NewDec(msg.Payload)
-		reader := int(d.U32())
-		x := d.Str()
+		d := mcs.DecOf(msg.Payload)
+		xi := n.varID(&d, "read request", msg.From)
 		if err := d.Err(); err != nil {
 			panic(fmt.Sprintf("atomicreg: node %d: malformed read request: %v", n.id, err))
 		}
+		mcs.PutPayload(msg.Payload)
 		n.mu.Lock()
-		v, ok := n.store[x]
-		if !ok {
-			v = model.Bottom
-		}
+		v := n.store[xi]
 		n.mu.Unlock()
 		var enc mcs.Enc
+		enc.SetBuf(mcs.GetPayload())
 		enc.I64(v)
 		n.cfg.Net.Send(netsim.Message{
-			From: n.id, To: reader, Kind: KindReadResp,
-			Payload: enc.Bytes(), DataBytes: 8, Vars: []string{x},
+			From: n.id, To: msg.From, Kind: KindReadResp,
+			Payload: enc.Bytes(), DataBytes: 8, Vars: n.ix.MsgVars(xi),
 		})
 	case KindWriteAck:
 		n.reply <- 0
 	case KindReadResp:
-		d := mcs.NewDec(msg.Payload)
+		d := mcs.DecOf(msg.Payload)
 		v := d.I64()
 		if err := d.Err(); err != nil {
 			panic(fmt.Sprintf("atomicreg: node %d: malformed read response: %v", n.id, err))
 		}
+		mcs.PutPayload(msg.Payload)
 		n.reply <- v
 	default:
 		panic(fmt.Sprintf("atomicreg: node %d: unknown message kind %q", n.id, msg.Kind))

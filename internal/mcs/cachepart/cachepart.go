@@ -18,6 +18,11 @@
 // own update is applied locally (per-variable read-your-writes, which
 // makes each variable's projection sequentially consistent with local
 // wait-free reads). Reads are local.
+//
+// Writes block on a round trip, so updates are not coalesced; all
+// per-variable state lives in flat arrays indexed by interned VarIDs
+// and the single-destination request payload is recycled by the
+// sequencer.
 package cachepart
 
 import (
@@ -25,11 +30,13 @@ import (
 	"sync"
 
 	"partialdsm/internal/mcs"
-	"partialdsm/internal/model"
 	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
 )
 
-// Message kinds.
+// Message kinds. A request is (U32 wseq, U32 varID, I64 val) with the
+// writer identified by the message source; an update is
+// (U32 seq, U32 writer, U32 wseq, U32 varID, I64 val).
 const (
 	KindRequest = "cache.request" // writer → variable sequencer
 	KindUpdate  = "cache.update"  // sequencer → C(x)
@@ -46,18 +53,19 @@ type bufferedUpd struct {
 type Node struct {
 	cfg mcs.Config
 	id  int
+	ix  *sharegraph.Index
 
 	mu       sync.Mutex
-	replicas map[string]int64
+	replicas []int64 // by VarID
 	wseq     int
-	nextSeq  map[string]int // next per-variable sequence to apply
-	buffered map[string]map[int]bufferedUpd
-	ownDone  map[string]int // per variable: own writes applied locally
-	ownSent  map[string]int // per variable: own writes issued
+	nextSeq  []int                 // next per-variable sequence to apply, by VarID
+	buffered []map[int]bufferedUpd // by VarID; maps lazily allocated
+	ownDone  []int                 // per VarID: own writes applied locally
+	ownSent  []int                 // per VarID: own writes issued
 	applied  *sync.Cond
 
 	seqMu sync.Mutex
-	vseq  map[string]int // sequencer role: next sequence per owned variable
+	vseq  []int // sequencer role: next sequence per owned VarID
 }
 
 // New instantiates the nodes and installs handlers.
@@ -65,18 +73,20 @@ func New(cfg mcs.Config) ([]*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Placement.NumProcs()
+	ix := cfg.Placement.Index()
+	n := ix.NumProcs()
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
 			cfg:      cfg,
 			id:       i,
-			replicas: make(map[string]int64),
-			nextSeq:  make(map[string]int),
-			buffered: make(map[string]map[int]bufferedUpd),
-			ownDone:  make(map[string]int),
-			ownSent:  make(map[string]int),
-			vseq:     make(map[string]int),
+			ix:       ix,
+			replicas: mcs.NewReplicas(ix.NumVars()),
+			nextSeq:  make([]int, ix.NumVars()),
+			buffered: make([]map[int]bufferedUpd, ix.NumVars()),
+			ownDone:  make([]int, ix.NumVars()),
+			ownSent:  make([]int, ix.NumVars()),
+			vseq:     make([]int, ix.NumVars()),
 		}
 		node.applied = sync.NewCond(&node.mu)
 		nodes[i] = node
@@ -89,10 +99,10 @@ func New(cfg mcs.Config) ([]*Node, error) {
 func (n *Node) ID() int { return n.id }
 
 // primary returns x's sequencer: the lowest member of C(x).
-func (n *Node) primary(x string) (int, error) {
-	cx := n.cfg.Placement.Clique(x)
+func (n *Node) primary(xi int) (int, error) {
+	cx := n.ix.Clique(xi)
 	if len(cx) == 0 {
-		return 0, fmt.Errorf("%w: variable %s has no replicas", mcs.ErrNotReplicated, x)
+		return 0, fmt.Errorf("%w: variable %s has no replicas", mcs.ErrNotReplicated, n.ix.Name(xi))
 	}
 	return cx[0], nil
 }
@@ -100,37 +110,39 @@ func (n *Node) primary(x string) (int, error) {
 // Write performs w_i(x)v: route through x's sequencer, block until the
 // update is applied locally.
 func (n *Node) Write(x string, v int64) error {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	prim, err := n.primary(x)
+	prim, err := n.primary(xi)
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
-	myTurn := n.ownSent[x]
-	n.ownSent[x]++
+	myTurn := n.ownSent[xi]
+	n.ownSent[xi]++
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordWrite(n.id, x, v)
+		rec.RecordWrite(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 
 	var enc mcs.Enc
-	enc.U32(uint32(n.id)).U32(uint32(wseq)).Str(x).I64(v)
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(uint32(wseq)).U32(uint32(xi)).I64(v)
 	payload := enc.Bytes()
 	n.cfg.Net.Send(netsim.Message{
 		From: n.id, To: prim, Kind: KindRequest,
 		Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
-		Vars: []string{x},
+		Vars: n.ix.MsgVars(xi),
 	})
 
 	// Block until this write (the myTurn-th own write on x) is applied
 	// locally, so the process's operations on x serialize in program
 	// order.
 	n.mu.Lock()
-	for n.ownDone[x] <= myTurn {
+	for n.ownDone[xi] <= myTurn {
 		n.applied.Wait()
 	}
 	n.mu.Unlock()
@@ -139,16 +151,14 @@ func (n *Node) Write(x string, v int64) error {
 
 // Read performs r_i(x) wait-free on the local replica.
 func (n *Node) Read(x string) (int64, error) {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
-	v, ok := n.replicas[x]
-	if !ok {
-		v = model.Bottom
-	}
+	v := n.replicas[xi]
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, x, v)
+		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 	return v, nil
@@ -169,30 +179,37 @@ func (n *Node) handle(msg netsim.Message) {
 // sequence (sequencer role for the message's variable) assigns the
 // per-variable order and multicasts to C(x).
 func (n *Node) sequence(msg netsim.Message) {
-	d := mcs.NewDec(msg.Payload)
-	writer := int(d.U32())
+	d := mcs.DecOf(msg.Payload)
 	wseq := int(d.U32())
-	x := d.Str()
+	xi := int(d.U32())
 	v := d.I64()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("cachepart: node %d: malformed request from %d: %v", n.id, msg.From, err))
 	}
-	if prim, _ := n.primary(x); prim != n.id {
-		panic(fmt.Sprintf("cachepart: request for %s routed to non-sequencer node %d", x, n.id))
+	if xi < 0 || xi >= n.ix.NumVars() {
+		panic(fmt.Sprintf("cachepart: node %d: request from %d names unknown VarID %d", n.id, msg.From, xi))
 	}
+	if prim, _ := n.primary(xi); prim != n.id {
+		panic(fmt.Sprintf("cachepart: request for %s routed to non-sequencer node %d", n.ix.Name(xi), n.id))
+	}
+	mcs.PutPayload(msg.Payload) // single-destination request: sequencer owns it
 	n.seqMu.Lock()
-	seq := n.vseq[x]
-	n.vseq[x]++
+	seq := n.vseq[xi]
+	n.vseq[xi]++
 	n.seqMu.Unlock()
 
+	// The multicast payload is shared across C(x), so it cannot come
+	// from (or return to) the pool; pre-size it to encode in one
+	// allocation.
 	var enc mcs.Enc
-	enc.U32(uint32(seq)).U32(uint32(writer)).U32(uint32(wseq)).Str(x).I64(v)
+	enc.SetBuf(make([]byte, 0, 24))
+	enc.U32(uint32(seq)).U32(uint32(msg.From)).U32(uint32(wseq)).U32(uint32(xi)).I64(v)
 	payload := enc.Bytes()
-	for _, p := range n.cfg.Placement.Clique(x) {
+	for _, p := range n.ix.Clique(xi) {
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: p, Kind: KindUpdate,
 			Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
-			Vars: []string{x},
+			Vars: n.ix.MsgVars(xi),
 		})
 	}
 }
@@ -200,33 +217,36 @@ func (n *Node) sequence(msg netsim.Message) {
 // applyUpdate applies x's updates strictly in per-variable sequence
 // order.
 func (n *Node) applyUpdate(msg netsim.Message) {
-	d := mcs.NewDec(msg.Payload)
+	d := mcs.DecOf(msg.Payload)
 	seq := int(d.U32())
 	writer := int(d.U32())
 	wseq := int(d.U32())
-	x := d.Str()
+	xi := int(d.U32())
 	v := d.I64()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("cachepart: node %d: malformed update: %v", n.id, err))
 	}
-	n.mu.Lock()
-	if n.buffered[x] == nil {
-		n.buffered[x] = make(map[int]bufferedUpd)
+	if xi < 0 || xi >= n.ix.NumVars() {
+		panic(fmt.Sprintf("cachepart: node %d: update names unknown VarID %d", n.id, xi))
 	}
-	n.buffered[x][seq] = bufferedUpd{writer: writer, wseq: wseq, v: v}
+	n.mu.Lock()
+	if n.buffered[xi] == nil {
+		n.buffered[xi] = make(map[int]bufferedUpd)
+	}
+	n.buffered[xi][seq] = bufferedUpd{writer: writer, wseq: wseq, v: v}
 	for {
-		u, ok := n.buffered[x][n.nextSeq[x]]
+		u, ok := n.buffered[xi][n.nextSeq[xi]]
 		if !ok {
 			break
 		}
-		delete(n.buffered[x], n.nextSeq[x])
-		n.nextSeq[x]++
-		n.replicas[x] = u.v
+		delete(n.buffered[xi], n.nextSeq[xi])
+		n.nextSeq[xi]++
+		n.replicas[xi] = u.v
 		if rec := n.cfg.Recorder; rec != nil {
-			rec.RecordApply(n.id, u.writer, u.wseq, x, u.v)
+			rec.RecordApply(n.id, u.writer, u.wseq, n.ix.Name(xi), u.v)
 		}
 		if u.writer == n.id {
-			n.ownDone[x]++
+			n.ownDone[xi]++
 		}
 	}
 	n.applied.Broadcast()

@@ -146,8 +146,9 @@ func TestMalformedPayloadPanics(t *testing.T) {
 
 func TestRequestToWrongSequencerPanics(t *testing.T) {
 	nodes, _, _, _ := harness(t)
+	// A well-formed (wseq, varID, val) request for x (VarID 0).
 	var enc mcs.Enc
-	enc.U32(0).U32(0).Str("x").I64(1)
+	enc.U32(0).U32(0).I64(1)
 	defer func() {
 		if recover() == nil {
 			t.Error("request to non-sequencer must panic")

@@ -12,7 +12,13 @@
 //
 // The control information is Θ(n) per message — the scalability cost
 // the paper's §3.3 argues is unavoidable for causal consistency under
-// general variable distributions.
+// general variable distributions. The implementation keeps the
+// *allocation* cost per operation O(1) nonetheless: the vector clock is
+// encoded straight from the node's clock array into the coalescing
+// outbox (no per-write timestamp copy), replicas are a flat []int64
+// over interned VarIDs, and the receive path decodes each record's
+// clock into a per-node scratch slice, copying it only when the update
+// must wait in the pending buffer (the out-of-order cold path).
 package causalfull
 
 import (
@@ -20,18 +26,19 @@ import (
 	"sync"
 
 	"partialdsm/internal/mcs"
-	"partialdsm/internal/model"
 	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
 )
 
-// KindUpdate is the protocol's only message kind.
+// KindUpdate is the protocol's only message kind: a batched frame of
+// (U32Slice vc, U32 varID, I64 val) records.
 const KindUpdate = "causal.update"
 
-// update is a buffered remote write.
+// update is a buffered remote write (cold path: out-of-order arrival).
 type update struct {
 	writer int
 	ts     []uint32
-	x      string
+	varID  int
 	v      int64
 }
 
@@ -39,11 +46,16 @@ type update struct {
 type Node struct {
 	cfg mcs.Config
 	id  int
+	ix  *sharegraph.Index
+
+	peers []int // every node but this one (broadcast set)
 
 	mu       sync.Mutex
 	vc       []uint32 // vc[p] = number of p's writes applied locally
-	replicas map[string]int64
+	replicas []int64  // by VarID
 	pending  []update
+	tsTmp    []uint32 // decode scratch, reused per record
+	out      *mcs.Outbox
 }
 
 // New instantiates the nodes and installs handlers. The protocol
@@ -53,14 +65,23 @@ func New(cfg mcs.Config) ([]*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Placement.NumProcs()
+	ix := cfg.Placement.Index()
+	n := ix.NumProcs()
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
 			cfg:      cfg,
 			id:       i,
+			ix:       ix,
 			vc:       make([]uint32, n),
-			replicas: make(map[string]int64),
+			replicas: mcs.NewReplicas(ix.NumVars()),
+			tsTmp:    make([]uint32, 0, n),
+			out:      mcs.NewOutbox(cfg.Net, i, KindUpdate, cfg.CoalesceBatch),
+		}
+		for p := 0; p < n; p++ {
+			if p != i {
+				node.peers = append(node.peers, p)
+			}
 		}
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -72,82 +93,101 @@ func New(cfg mcs.Config) ([]*Node, error) {
 func (n *Node) ID() int { return n.id }
 
 // Write performs w_i(x)v: stamp with the vector clock, apply locally,
-// broadcast. Although every node replicates every variable, the
-// placement still scopes which variables the *application* process may
-// access (the paper's X_i model).
+// stage the broadcast. Although every node replicates every variable,
+// the placement still scopes which variables the *application* process
+// may access (the paper's X_i model).
 func (n *Node) Write(x string, v int64) error {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
+	name := n.ix.Name(xi)
 	n.mu.Lock()
 	n.vc[n.id]++
 	wseq := int(n.vc[n.id]) - 1
-	ts := append([]uint32(nil), n.vc...)
-	n.replicas[x] = v
+	n.replicas[xi] = v
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordWrite(n.id, x, v)
-		rec.RecordApply(n.id, n.id, wseq, x, v)
+		rec.RecordWrite(n.id, name, v)
+		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
+	enc := n.out.Stage()
+	enc.U32Slice(n.vc).U32(uint32(xi)).I64(v)
+	ctrl := enc.Len() - 8
+	n.out.Emit(n.peers, n.ix.MsgVars(xi), ctrl, 8)
 	n.mu.Unlock()
-
-	var enc mcs.Enc
-	enc.U32(uint32(n.id)).U32Slice(ts).Str(x).I64(v)
-	payload := enc.Bytes()
-	for p := 0; p < n.cfg.Net.NumNodes(); p++ {
-		if p == n.id {
-			continue
-		}
-		n.cfg.Net.Send(netsim.Message{
-			From:      n.id,
-			To:        p,
-			Kind:      KindUpdate,
-			Payload:   payload,
-			CtrlBytes: len(payload) - 8,
-			DataBytes: 8,
-			Vars:      []string{x},
-		})
-	}
 	return nil
 }
 
-// Read performs r_i(x) wait-free on the local replica.
+// Read performs r_i(x) wait-free on the local replica, flushing any
+// coalesced updates first.
 func (n *Node) Read(x string) (int64, error) {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
-	v, ok := n.replicas[x]
-	if !ok {
-		v = model.Bottom
+	if n.out.HasPending() {
+		n.out.Flush()
 	}
+	v := n.replicas[xi]
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, x, v)
+		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 	return v, nil
 }
 
-// handle buffers the update and drains everything deliverable.
-func (n *Node) handle(msg netsim.Message) {
-	d := mcs.NewDec(msg.Payload)
-	writer := int(d.U32())
-	ts := d.U32Slice()
-	x := d.Str()
-	v := d.I64()
-	if err := d.Err(); err != nil {
-		panic(fmt.Sprintf("causalfull: node %d: malformed update from %d: %v", n.id, msg.From, err))
-	}
+// FlushUpdates sends all buffered updates (mcs.Flusher).
+func (n *Node) FlushUpdates() {
 	n.mu.Lock()
-	n.pending = append(n.pending, update{writer: writer, ts: ts, x: x, v: v})
-	n.drainLocked()
+	n.out.Flush()
 	n.mu.Unlock()
 }
 
+// handle processes a batched frame: deliverable records apply
+// immediately off the decode scratch; the rest are copied into the
+// pending buffer and drained as their dependencies arrive.
+func (n *Node) handle(msg netsim.Message) {
+	d := mcs.DecOf(msg.Payload)
+	count := int(d.U32())
+	if d.Err() != nil {
+		panic(fmt.Sprintf("causalfull: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err()))
+	}
+	n.mu.Lock()
+	for k := 0; k < count; k++ {
+		n.tsTmp = d.U32SliceInto(n.tsTmp)
+		xi := int(d.U32())
+		v := d.I64()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("causalfull: node %d: malformed update from %d: %v", n.id, msg.From, err))
+		}
+		if xi < 0 || xi >= len(n.replicas) || len(n.tsTmp) != len(n.vc) || msg.From >= len(n.vc) {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("causalfull: node %d: update from %d has bad shape (varID %d, clock len %d)",
+				n.id, msg.From, xi, len(n.tsTmp)))
+		}
+		if n.deliverable(msg.From, n.tsTmp) {
+			n.applyLocked(msg.From, n.tsTmp[msg.From], xi, v)
+			n.drainLocked()
+		} else {
+			n.pending = append(n.pending, update{
+				writer: msg.From,
+				ts:     append([]uint32(nil), n.tsTmp...),
+				varID:  xi,
+				v:      v,
+			})
+		}
+	}
+	n.mu.Unlock()
+	mcs.RecycleFrame(msg)
+}
+
 // deliverable implements the causal-broadcast condition.
-func (n *Node) deliverable(u update) bool {
-	for k, t := range u.ts {
+func (n *Node) deliverable(writer int, ts []uint32) bool {
+	for k, t := range ts {
 		switch {
-		case k == u.writer:
+		case k == writer:
 			if t != n.vc[k]+1 {
 				return false
 			}
@@ -158,25 +198,34 @@ func (n *Node) deliverable(u update) bool {
 	return true
 }
 
+// applyLocked installs one deliverable update; tsWriter is the writer's
+// own clock entry (its wseq + 1).
+func (n *Node) applyLocked(writer int, tsWriter uint32, xi int, v int64) {
+	n.vc[writer] = tsWriter
+	n.replicas[xi] = v
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordApply(n.id, writer, int(tsWriter)-1, n.ix.Name(xi), v)
+	}
+}
+
 // drainLocked applies pending updates until a fixpoint.
 func (n *Node) drainLocked() {
 	for progress := true; progress; {
 		progress = false
 		for i := 0; i < len(n.pending); i++ {
 			u := n.pending[i]
-			if !n.deliverable(u) {
+			if !n.deliverable(u.writer, u.ts) {
 				continue
 			}
 			n.pending = append(n.pending[:i], n.pending[i+1:]...)
-			n.vc[u.writer] = u.ts[u.writer]
-			n.replicas[u.x] = u.v
-			if rec := n.cfg.Recorder; rec != nil {
-				rec.RecordApply(n.id, u.writer, int(u.ts[u.writer])-1, u.x, u.v)
-			}
+			n.applyLocked(u.writer, u.ts[u.writer], u.varID, u.v)
 			progress = true
 			i--
 		}
 	}
 }
 
-var _ mcs.Node = (*Node)(nil)
+var (
+	_ mcs.Node    = (*Node)(nil)
+	_ mcs.Flusher = (*Node)(nil)
+)

@@ -46,22 +46,24 @@ func TestBroadcastReachesEveryone(t *testing.T) {
 func TestDelayedDelivery(t *testing.T) {
 	nodes, _, _ := harness(t, 3)
 	// Hand-deliver messages to node 2 out of causal order by invoking
-	// its handler directly with crafted payloads.
+	// its handler directly with crafted one-record frames (the writer
+	// travels in the message source; x=0, y=1 in the sorted universe).
 	// w0(x)=1 has ts [1,0,0]; suppose node 1 saw it and wrote y with
 	// ts [1,1,0].
-	mkPayload := func(writer int, ts []uint32, v string, val int64) []byte {
+	mkPayload := func(ts []uint32, varID int, val int64) []byte {
 		var enc mcs.Enc
-		enc.U32(uint32(writer)).U32Slice(ts).Str(v).I64(val)
+		enc.U32(1) // record count
+		enc.U32Slice(ts).U32(uint32(varID)).I64(val)
 		return enc.Bytes()
 	}
 	n2 := nodes[2]
 	n2.handle(netsim.Message{From: 1, To: 2, Kind: KindUpdate,
-		Payload: mkPayload(1, []uint32{1, 1, 0}, "y", 20)})
+		Payload: mkPayload([]uint32{1, 1, 0}, 1, 20)})
 	if v, _ := n2.Read("y"); v != -9223372036854775808 {
 		t.Fatalf("y applied before its causal predecessor x: %d", v)
 	}
 	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate,
-		Payload: mkPayload(0, []uint32{1, 0, 0}, "x", 10)})
+		Payload: mkPayload([]uint32{1, 0, 0}, 0, 10)})
 	if v, _ := n2.Read("x"); v != 10 {
 		t.Fatalf("x not applied: %d", v)
 	}

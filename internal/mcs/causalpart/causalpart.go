@@ -43,20 +43,31 @@
 // implementation … optimally designed" the paper sketches in §3.3:
 // still causal, but information about x never reaches x-irrelevant
 // processes.
+//
+// # Hot path
+//
+// Variables are interned VarIDs throughout; the per-receiver dependency
+// list is encoded in a single pass straight into the coalescing
+// outboxes (one for value updates, one for notifications), and the
+// receive path checks dependency domination while decoding, copying a
+// record's raw bytes into the pending buffer only when it cannot be
+// delivered yet.
 package causalpart
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"partialdsm/internal/mcs"
-	"partialdsm/internal/model"
 	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
 )
 
 // Message kinds. Updates carry the written value (to C(x)),
-// notifications carry control information only (to N(x) ∖ C(x)).
+// notifications carry control information only (to N(x) ∖ C(x)). Both
+// are batched frames of records
+// (U32 wseq, U32 varID, U32 hasValue, [I64 val], U32 nDeps,
+// nDeps × (U32 writer, U32 varID, U32 count)).
 const (
 	KindUpdate = "causalpart.update"
 	KindNotify = "causalpart.notify"
@@ -81,22 +92,11 @@ func (m Mode) String() string {
 	return "broadcast"
 }
 
-// depEntry is one piggybacked dependency: "writer j has issued `count`
-// writes to variable y (by index) in my causal past".
-type depEntry struct {
+// pendingRec is a buffered undeliverable record: the raw wire bytes
+// (pool-backed) plus the sending writer.
+type pendingRec struct {
 	writer int
-	varIdx int
-	count  uint32
-}
-
-// pendingMsg is a buffered undeliverable message.
-type pendingMsg struct {
-	writer   int
-	wseq     int
-	varIdx   int
-	hasValue bool
-	v        int64
-	deps     []depEntry
+	raw    []byte
 }
 
 // Node is one causal partial-replication MCS process.
@@ -104,19 +104,20 @@ type Node struct {
 	cfg  mcs.Config
 	mode Mode
 	id   int
+	ix   *sharegraph.Index
 
-	vars     []string       // static variable universe, sorted
-	varIdx   map[string]int // name → index
-	interest []bool         // interest[y] — this node is in N(vars[y])
-	relOf    [][]bool       // relOf[y][p] — p is in N(vars[y])
-	cliques  map[int][]int  // varIdx → C(x)
-	notifies map[int][]int  // varIdx → N(x) minus self
+	interest []bool   // interest[y] — this node is in N(vars[y])
+	relOf    [][]bool // relOf[y][p] — p is in N(vars[y])
+	notifies [][]int  // VarID → N(x) minus self
 
 	mu       sync.Mutex
-	replicas map[string]int64
+	replicas []int64 // by VarID
 	wseq     int
 	cnt      [][]uint32 // cnt[j][y]: delivered writes of j to vars[y]
-	pending  []pendingMsg
+	pending  []pendingRec
+	names    []string // per-write scratch for the touch list
+	outUpd   *mcs.Outbox
+	outNtf   *mcs.Outbox
 }
 
 // New instantiates the nodes and installs handlers.
@@ -124,16 +125,12 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Placement.NumProcs()
-	vars := append([]string(nil), cfg.Placement.Vars()...)
-	sort.Strings(vars)
-	varIdx := make(map[string]int, len(vars))
-	for i, v := range vars {
-		varIdx[v] = i
-	}
+	ix := cfg.Placement.Index()
+	n := ix.NumProcs()
+	numVars := ix.NumVars()
 	// Notification sets per variable.
-	relOf := make([][]bool, len(vars))
-	for yi, y := range vars {
+	relOf := make([][]bool, numVars)
+	for yi := 0; yi < numVars; yi++ {
 		relOf[yi] = make([]bool, n)
 		switch mode {
 		case ModeBroadcast:
@@ -141,7 +138,7 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 				relOf[yi][p] = true
 			}
 		case ModeHoopAware:
-			for _, p := range cfg.Placement.XRelevant(y) {
+			for _, p := range cfg.Placement.XRelevant(ix.Name(yi)) {
 				relOf[yi][p] = true
 			}
 		default:
@@ -154,21 +151,20 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 			cfg:      cfg,
 			mode:     mode,
 			id:       i,
-			vars:     vars,
-			varIdx:   varIdx,
+			ix:       ix,
 			relOf:    relOf,
-			cliques:  make(map[int][]int),
-			notifies: make(map[int][]int),
-			replicas: make(map[string]int64),
+			interest: make([]bool, numVars),
+			notifies: make([][]int, numVars),
+			replicas: mcs.NewReplicas(numVars),
 			cnt:      make([][]uint32, n),
-			interest: make([]bool, len(vars)),
+			outUpd:   mcs.NewOutbox(cfg.Net, i, KindUpdate, cfg.CoalesceBatch),
+			outNtf:   mcs.NewOutbox(cfg.Net, i, KindNotify, cfg.CoalesceBatch),
 		}
 		for j := range node.cnt {
-			node.cnt[j] = make([]uint32, len(vars))
+			node.cnt[j] = make([]uint32, numVars)
 		}
-		for yi, y := range vars {
+		for yi := 0; yi < numVars; yi++ {
 			node.interest[yi] = relOf[yi][i]
-			node.cliques[yi] = cfg.Placement.Clique(y)
 			for p := 0; p < n; p++ {
 				if p != i && relOf[yi][p] {
 					node.notifies[yi] = append(node.notifies[yi], p)
@@ -184,89 +180,60 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 // ID returns the node identifier.
 func (n *Node) ID() int { return n.id }
 
-// Write performs w_i(x)v: apply locally, then fan out updates to C(x)
+// Write performs w_i(x)v: apply locally, then stage updates to C(x)
 // and notifications to the rest of N(x), each carrying the dependency
 // list pruned to the receiver's interest.
 func (n *Node) Write(x string, v int64) error {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	xi, ok := n.varIdx[x]
-	if !ok {
-		return fmt.Errorf("causalpart: node %d: variable %s not in the static universe", n.id, x)
-	}
-
-	type outMsg struct {
-		to      int
-		kind    string
-		payload []byte
-		ctrl    int
-		data    int
-		vars    []string
-	}
-	var outs []outMsg
-
+	name := n.ix.Name(xi)
 	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordWrite(n.id, x, v)
-		rec.RecordApply(n.id, n.id, wseq, x, v)
+		rec.RecordWrite(n.id, name, v)
+		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
-	n.replicas[x] = v
-	inClique := make(map[int]bool, len(n.cliques[xi]))
-	for _, p := range n.cliques[xi] {
-		inClique[p] = true
-	}
+	n.replicas[xi] = v
 	for _, r := range n.notifies[xi] {
-		deps, touched := n.depsForLocked(r, xi)
-		hasValue := inClique[r]
-		var enc mcs.Enc
-		enc.U32(uint32(n.id)).U32(uint32(wseq)).U32(uint32(xi))
+		hasValue := n.ix.Holds(r, xi)
+		out := n.outNtf
+		if hasValue {
+			out = n.outUpd
+		}
+		enc := out.Stage()
+		enc.U32(uint32(wseq)).U32(uint32(xi))
+		data := 0
 		if hasValue {
 			enc.U32(1).I64(v)
+			data = 8
 		} else {
 			enc.U32(0)
 		}
-		encodeDeps(&enc, deps)
-		payload := enc.Bytes()
-		data := 0
-		if hasValue {
-			data = 8
-		}
-		kind := KindNotify
-		if hasValue {
-			kind = KindUpdate
-		}
-		outs = append(outs, outMsg{
-			to: r, kind: kind, payload: payload,
-			ctrl: len(payload) - data, data: data,
-			vars: touched,
-		})
+		n.encodeDepsLocked(enc, r, xi)
+		ctrl := enc.Len() - data
+		out.AddToVars(r, n.names, ctrl, data)
 	}
-	// Count the new write after computing dependency lists: the lists
-	// describe its causal past, excluding itself.
+	// Count the new write after building the dependency lists: the
+	// lists describe its causal past, excluding itself.
 	n.cnt[n.id][xi]++
 	n.mu.Unlock()
-
-	for _, m := range outs {
-		n.cfg.Net.Send(netsim.Message{
-			From: n.id, To: m.to, Kind: m.kind,
-			Payload: m.payload, CtrlBytes: m.ctrl, DataBytes: m.data,
-			Vars: m.vars,
-		})
-	}
 	return nil
 }
 
-// depsForLocked builds the dependency list for receiver r of a write on
-// vars[xi]: every nonzero counter (j, y) with y in both endpoints'
-// interest, plus the writer's own (i, xi) stream entry (always present,
-// possibly zero — it sequences the stream). It also returns the list of
-// variable names the message mentions, for the touch matrix.
-func (n *Node) depsForLocked(r, xi int) ([]depEntry, []string) {
-	var deps []depEntry
-	varSet := map[int]bool{xi: true}
+// encodeDepsLocked appends receiver r's dependency list for a write on
+// vars[xi] to enc: every nonzero counter (j, y) with y in both
+// endpoints' interest, plus the writer's own (i, xi) stream entry
+// (always present, possibly zero — it sequences the stream). It leaves
+// the variables the record mentions in n.names (scratch, reused per
+// receiver).
+func (n *Node) encodeDepsLocked(enc *mcs.Enc, r, xi int) {
+	countPos := enc.Len()
+	enc.U32(0) // dependency count, patched below
+	n.names = append(n.names[:0], n.ix.Name(xi))
+	deps := 0
 	for j := range n.cnt {
 		for yi, c := range n.cnt[j] {
 			if j == n.id && yi == xi {
@@ -275,114 +242,147 @@ func (n *Node) depsForLocked(r, xi int) ([]depEntry, []string) {
 			if c == 0 || !n.interest[yi] || !n.relOf[yi][r] {
 				continue
 			}
-			deps = append(deps, depEntry{writer: j, varIdx: yi, count: c})
-			varSet[yi] = true
+			enc.U32(uint32(j)).U32(uint32(yi)).U32(c)
+			deps++
+			n.names = append(n.names, n.ix.Name(yi))
 		}
 	}
-	deps = append(deps, depEntry{writer: n.id, varIdx: xi, count: n.cnt[n.id][xi]})
-	names := make([]string, 0, len(varSet))
-	for yi := range varSet {
-		names = append(names, n.vars[yi])
-	}
-	sort.Strings(names)
-	return deps, names
+	enc.U32(uint32(n.id)).U32(uint32(xi)).U32(n.cnt[n.id][xi])
+	deps++
+	enc.PatchU32(countPos, uint32(deps))
 }
 
-// encodeDeps appends the dependency list to the payload.
-func encodeDeps(enc *mcs.Enc, deps []depEntry) {
-	enc.U32(uint32(len(deps)))
-	for _, d := range deps {
-		enc.U32(uint32(d.writer)).U32(uint32(d.varIdx)).U32(d.count)
-	}
-}
-
-// Read performs r_i(x) wait-free on the local replica.
+// Read performs r_i(x) wait-free on the local replica, flushing any
+// coalesced messages first.
 func (n *Node) Read(x string) (int64, error) {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
-	v, ok := n.replicas[x]
-	if !ok {
-		v = model.Bottom
+	if n.outUpd.HasPending() || n.outNtf.HasPending() {
+		n.outUpd.Flush()
+		n.outNtf.Flush()
 	}
+	v := n.replicas[xi]
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, x, v)
+		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 	return v, nil
 }
 
-// handle buffers the incoming write and drains the pending set.
-func (n *Node) handle(msg netsim.Message) {
-	d := mcs.NewDec(msg.Payload)
-	pm := pendingMsg{
-		writer: int(d.U32()),
-		wseq:   int(d.U32()),
-		varIdx: int(d.U32()),
-	}
-	if d.U32() == 1 {
-		pm.hasValue = true
-		pm.v = d.I64()
-	}
-	nDeps := int(d.U32())
-	pm.deps = make([]depEntry, 0, nDeps)
-	for k := 0; k < nDeps; k++ {
-		pm.deps = append(pm.deps, depEntry{
-			writer: int(d.U32()),
-			varIdx: int(d.U32()),
-			count:  d.U32(),
-		})
-	}
-	if err := d.Err(); err != nil {
-		panic(fmt.Sprintf("causalpart: node %d: malformed message from %d: %v", n.id, msg.From, err))
-	}
+// FlushUpdates sends all buffered messages (mcs.Flusher).
+func (n *Node) FlushUpdates() {
 	n.mu.Lock()
-	n.pending = append(n.pending, pm)
-	n.drainLocked()
+	n.outUpd.Flush()
+	n.outNtf.Flush()
 	n.mu.Unlock()
 }
 
-// deliverableLocked checks dependency domination: the writer's own
-// stream entry must match the local counter exactly (in-order delivery
-// per (writer, variable) stream); every other entry must already be
-// dominated.
-func (n *Node) deliverableLocked(pm pendingMsg) bool {
-	for _, dep := range pm.deps {
-		local := n.cnt[dep.writer][dep.varIdx]
-		if dep.writer == pm.writer && dep.varIdx == pm.varIdx {
-			if local != dep.count {
-				return false
-			}
-		} else if local < dep.count {
+// handle processes a batched frame: each record is checked for
+// dependency domination while it is decoded; deliverable records apply
+// immediately (then drain the pending set), the rest are copied into
+// the pending buffer.
+func (n *Node) handle(msg netsim.Message) {
+	d := mcs.DecOf(msg.Payload)
+	count := int(d.U32())
+	if d.Err() != nil {
+		panic(fmt.Sprintf("causalpart: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err()))
+	}
+	n.mu.Lock()
+	for k := 0; k < count; k++ {
+		start := len(msg.Payload) - d.Rest()
+		applied := n.tryRecordLocked(&d, msg.From)
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("causalpart: node %d: malformed record from %d: %v", n.id, msg.From, err))
+		}
+		if applied {
+			n.drainLocked()
+		} else {
+			end := len(msg.Payload) - d.Rest()
+			raw := append(mcs.GetPayload(), msg.Payload[start:end]...)
+			n.pending = append(n.pending, pendingRec{writer: msg.From, raw: raw})
+		}
+	}
+	n.mu.Unlock()
+	mcs.RecycleFrame(msg)
+}
+
+// tryRecordLocked decodes one record written by writer and applies it
+// when its dependency list is dominated by the local counters, bumping
+// cnt[writer][x]. It always consumes exactly one record from d; the
+// caller checks d.Err.
+func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) bool {
+	wseq := int(d.U32())
+	xi := int(d.U32())
+	hasValue := d.U32() == 1
+	var v int64
+	if hasValue {
+		v = d.I64()
+	}
+	nDeps := int(d.U32())
+	if d.Err() != nil {
+		return false
+	}
+	if writer < 0 || writer >= len(n.cnt) || xi < 0 || xi >= n.ix.NumVars() {
+		panic(fmt.Sprintf("causalpart: node %d: record from %d out of range (writer %d, VarID %d)",
+			n.id, writer, writer, xi))
+	}
+	ok := true
+	for k := 0; k < nDeps; k++ {
+		dw := int(d.U32())
+		dy := int(d.U32())
+		dc := d.U32()
+		if d.Err() != nil {
 			return false
+		}
+		if dw < 0 || dw >= len(n.cnt) || dy < 0 || dy >= n.ix.NumVars() {
+			panic(fmt.Sprintf("causalpart: node %d: dependency from %d out of range (%d, %d)",
+				n.id, writer, dw, dy))
+		}
+		local := n.cnt[dw][dy]
+		if dw == writer && dy == xi {
+			// In-order delivery per (writer, variable) stream.
+			if local != dc {
+				ok = false
+			}
+		} else if local < dc {
+			ok = false
+		}
+	}
+	if !ok {
+		return false
+	}
+	n.cnt[writer][xi]++
+	if hasValue {
+		n.replicas[xi] = v
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordApply(n.id, writer, wseq, n.ix.Name(xi), v)
 		}
 	}
 	return true
 }
 
-// drainLocked delivers pending writes until a fixpoint.
+// drainLocked delivers pending records until a fixpoint.
 func (n *Node) drainLocked() {
 	for progress := true; progress; {
 		progress = false
 		for i := 0; i < len(n.pending); i++ {
-			pm := n.pending[i]
-			if !n.deliverableLocked(pm) {
+			pd := mcs.DecOf(n.pending[i].raw)
+			if !n.tryRecordLocked(&pd, n.pending[i].writer) {
 				continue
 			}
+			mcs.PutPayload(n.pending[i].raw)
 			n.pending = append(n.pending[:i], n.pending[i+1:]...)
-			n.cnt[pm.writer][pm.varIdx]++
-			if pm.hasValue {
-				x := n.vars[pm.varIdx]
-				n.replicas[x] = pm.v
-				if rec := n.cfg.Recorder; rec != nil {
-					rec.RecordApply(n.id, pm.writer, pm.wseq, x, pm.v)
-				}
-			}
 			progress = true
 			i--
 		}
 	}
 }
 
-var _ mcs.Node = (*Node)(nil)
+var (
+	_ mcs.Node    = (*Node)(nil)
+	_ mcs.Flusher = (*Node)(nil)
+)

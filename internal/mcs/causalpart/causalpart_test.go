@@ -109,31 +109,37 @@ func TestDependencyChainOrdering(t *testing.T) {
 func TestBufferedOutOfOrderDelivery(t *testing.T) {
 	nodes, _, _, _ := harness(t, hoopPl(), ModeBroadcast)
 	n2 := nodes[2]
-	// Variable universe is sorted: x=0, y=1.
-	mk := func(writer, wseq, varIdx int, hasVal uint32, val int64, deps []depEntry) []byte {
+	// Variable universe is sorted: x=0, y=1. The writer travels in the
+	// message source; each payload is a one-record batched frame.
+	type dep struct{ writer, varIdx, count uint32 }
+	mk := func(wseq, varIdx int, hasVal uint32, val int64, deps []dep) []byte {
 		var enc mcs.Enc
-		enc.U32(uint32(writer)).U32(uint32(wseq)).U32(uint32(varIdx))
+		enc.U32(1) // record count
+		enc.U32(uint32(wseq)).U32(uint32(varIdx))
 		if hasVal == 1 {
 			enc.U32(1).I64(val)
 		} else {
 			enc.U32(0)
 		}
-		encodeDeps(&enc, deps)
+		enc.U32(uint32(len(deps)))
+		for _, d := range deps {
+			enc.U32(d.writer).U32(d.varIdx).U32(d.count)
+		}
 		return enc.Bytes()
 	}
 	// w0 #1 on y depends on w0 #0 on x (own program order): deps list
 	// carries (0,x,1) and own stream entry (0,y,0).
 	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(
-		0, 1, 1, 1, 20,
-		[]depEntry{{writer: 0, varIdx: 0, count: 1}, {writer: 0, varIdx: 1, count: 0}},
+		1, 1, 1, 20,
+		[]dep{{writer: 0, varIdx: 0, count: 1}, {writer: 0, varIdx: 1, count: 0}},
 	)})
 	if v, _ := n2.Read("y"); v != -9223372036854775808 {
 		t.Fatalf("y applied before its dependency on x: %d", v)
 	}
 	// Now the x write arrives: own stream entry (0,x,0).
 	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(
-		0, 0, 0, 1, 10,
-		[]depEntry{{writer: 0, varIdx: 0, count: 0}},
+		0, 0, 1, 10,
+		[]dep{{writer: 0, varIdx: 0, count: 0}},
 	)})
 	if v, _ := n2.Read("x"); v != 10 {
 		t.Fatalf("x not applied: %d", v)

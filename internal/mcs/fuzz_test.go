@@ -29,7 +29,7 @@ func FuzzDec(f *testing.F) {
 }
 
 // FuzzDecSliceFirst decodes in a different field order to cover the
-// slice-length paths.
+// slice-length paths, including the allocation-free U32SliceInto.
 func FuzzDecSliceFirst(f *testing.F) {
 	f.Add([]byte{0, 3, 0, 0, 0, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -38,93 +38,114 @@ func FuzzDecSliceFirst(f *testing.F) {
 		if d.Err() != nil && s != nil {
 			t.Fatal("slice returned despite decode error")
 		}
+		d2 := DecOf(data)
+		scratch := make([]uint32, 0, 8)
+		s2 := d2.U32SliceInto(scratch)
+		if (d.Err() == nil) != (d2.Err() == nil) {
+			t.Fatalf("U32Slice and U32SliceInto disagree on validity: %v vs %v", d.Err(), d2.Err())
+		}
+		if d.Err() == nil && !reflect.DeepEqual(append([]uint32{}, s...), append([]uint32{}, s2...)) {
+			t.Fatalf("U32Slice %v != U32SliceInto %v", s, s2)
+		}
 	})
 }
 
 // The round-trip fuzzers below cover the exact payload schema of every
 // protocol message kind in the repo, so a change to the Enc/Dec
-// helpers that silently corrupts any field is caught:
+// helpers that silently corrupts any field is caught. Since the
+// zero-allocation refactor, variables travel as dense VarIDs, writers
+// ride in the message source, and the fire-and-forget protocols pack
+// multiple records into one batched frame (U32 record count, then the
+// records back to back — see Outbox):
 //
-//   - pram.update, seqcons/cachepart requests, atomicreg write-req:
-//     (U32 writer, U32 wseq, Str x, I64 v)
-//   - slow.update: (U32 writer, U32 wseq, U32 vseq, Str x, I64 v)
-//   - seqcons/cachepart updates: (U32 seq, U32 writer, U32 wseq, Str x, I64 v)
-//   - causalfull.update: (U32 writer, U32Slice vc, Str x, I64 v)
-//   - causalpart update/notify: (U32 writer, U32 wseq, U32 varIdx,
+//   - pram.update frame record: (U32 wseq, U32 varID, I64 v)
+//   - slow.update frame record: (U32 wseq, U32 vseq, U32 varID, I64 v)
+//   - causal.update frame record: (U32Slice vc, U32 varID, I64 v)
+//   - causalpart update/notify frame record: (U32 wseq, U32 varID,
 //     U32 hasValue, [I64 v], U32 nDeps, nDeps × (U32, U32, U32))
-//   - atomicreg read-req: (U32 reader, Str x); read-resp: (I64 v)
-//
-// clampStr keeps fuzzed variable names within the encoder's uint16
-// length prefix (longer names panic by design).
-func clampStr(s string) string {
-	if len(s) > 0xffff {
-		return s[:0xffff]
-	}
-	return s
-}
+//   - seqcons/cachepart requests, atomicreg write-req:
+//     (U32 wseq, U32 varID, I64 v)
+//   - seqcons/cachepart updates: (U32 seq, U32 writer, U32 wseq,
+//     U32 varID, I64 v)
+//   - atomicreg read-req: (U32 varID); read-resp: (I64 v)
 
-// FuzzWireRoundTripUpdate covers the 4-field update schema shared by
-// pram.update, the seqcons/cachepart requests and atomicreg write-req.
-func FuzzWireRoundTripUpdate(f *testing.F) {
-	f.Add(uint32(0), uint32(0), "x", int64(-1))
-	f.Add(uint32(7), uint32(1<<31), "", int64(1)<<62)
-	f.Fuzz(func(t *testing.T, writer, wseq uint32, x string, v int64) {
-		x = clampStr(x)
+// FuzzWireRoundTripRequest covers the 3-field direct-send schema shared
+// by the seqcons/cachepart requests and atomicreg's write request.
+func FuzzWireRoundTripRequest(f *testing.F) {
+	f.Add(uint32(0), uint32(0), int64(-1))
+	f.Add(uint32(1<<31), uint32(7), int64(1)<<62)
+	f.Fuzz(func(t *testing.T, wseq, varID uint32, v int64) {
 		var e Enc
-		e.U32(writer).U32(wseq).Str(x).I64(v)
-		d := NewDec(e.Bytes())
-		gw, gs, gx, gv := d.U32(), d.U32(), d.Str(), d.I64()
+		e.U32(wseq).U32(varID).I64(v)
+		d := DecOf(e.Bytes())
+		gs, gx, gv := d.U32(), d.U32(), d.I64()
 		if err := d.Err(); err != nil {
 			t.Fatalf("decode failed on encoder output: %v", err)
 		}
-		if gw != writer || gs != wseq || gx != x || gv != v {
-			t.Fatalf("round trip (%d,%d,%q,%d) → (%d,%d,%q,%d)", writer, wseq, x, v, gw, gs, gx, gv)
-		}
-		if d.Rest() != 0 {
-			t.Fatalf("%d trailing bytes after full decode", d.Rest())
-		}
-	})
-}
-
-// FuzzWireRoundTripSlow covers slow.update's 5-field schema with the
-// per-(sender,variable) sequence number.
-func FuzzWireRoundTripSlow(f *testing.F) {
-	f.Add(uint32(1), uint32(2), uint32(3), "y", int64(9))
-	f.Fuzz(func(t *testing.T, writer, wseq, vseq uint32, x string, v int64) {
-		x = clampStr(x)
-		var e Enc
-		e.U32(writer).U32(wseq).U32(vseq).Str(x).I64(v)
-		d := NewDec(e.Bytes())
-		if gw, gs, gq, gx, gv := d.U32(), d.U32(), d.U32(), d.Str(), d.I64(); d.Err() != nil ||
-			gw != writer || gs != wseq || gq != vseq || gx != x || gv != v || d.Rest() != 0 {
-			t.Fatalf("slow.update round trip corrupted (%v)", d.Err())
+		if gs != wseq || gx != varID || gv != v || d.Rest() != 0 {
+			t.Fatalf("round trip (%d,%d,%d) → (%d,%d,%d), rest %d", wseq, varID, v, gs, gx, gv, d.Rest())
 		}
 	})
 }
 
 // FuzzWireRoundTripSequenced covers the sequencer-stamped updates of
-// seqcons and cachepart (a leading global/per-variable sequence).
+// seqcons and cachepart (a leading global/per-variable sequence and an
+// explicit writer).
 func FuzzWireRoundTripSequenced(f *testing.F) {
-	f.Add(uint32(0), uint32(1), uint32(2), "z", int64(-5))
-	f.Fuzz(func(t *testing.T, seq, writer, wseq uint32, x string, v int64) {
-		x = clampStr(x)
+	f.Add(uint32(0), uint32(1), uint32(2), uint32(0), int64(-5))
+	f.Fuzz(func(t *testing.T, seq, writer, wseq, varID uint32, v int64) {
 		var e Enc
-		e.U32(seq).U32(writer).U32(wseq).Str(x).I64(v)
-		d := NewDec(e.Bytes())
-		if gg, gw, gs, gx, gv := d.U32(), d.U32(), d.U32(), d.Str(), d.I64(); d.Err() != nil ||
-			gg != seq || gw != writer || gs != wseq || gx != x || gv != v || d.Rest() != 0 {
+		e.U32(seq).U32(writer).U32(wseq).U32(varID).I64(v)
+		d := DecOf(e.Bytes())
+		if gg, gw, gs, gx, gv := d.U32(), d.U32(), d.U32(), d.U32(), d.I64(); d.Err() != nil ||
+			gg != seq || gw != writer || gs != wseq || gx != varID || gv != v || d.Rest() != 0 {
 			t.Fatalf("sequenced update round trip corrupted (%v)", d.Err())
 		}
 	})
 }
 
+// FuzzWireRoundTripPRAMFrame covers the batched pram.update frame with
+// a fuzz-chosen record count; slow.update is the same shape with one
+// extra U32 per record, covered by the vseq derivation below.
+func FuzzWireRoundTripPRAMFrame(f *testing.F) {
+	f.Add(uint8(1), uint32(0), uint32(0), int64(7))
+	f.Add(uint8(16), uint32(3), uint32(9), int64(-2))
+	f.Add(uint8(0), uint32(0), uint32(0), int64(0))
+	f.Fuzz(func(t *testing.T, count uint8, wseq0, varID0 uint32, v0 int64) {
+		records := int(count)
+		var e Enc
+		e.U32(uint32(records))
+		for k := 0; k < records; k++ {
+			e.U32(wseq0 + uint32(k)).U32(wseq0 + uint32(k)). // slow-style vseq companion
+										U32(varID0 ^ uint32(k)).I64(v0 + int64(k))
+		}
+		d := DecOf(e.Bytes())
+		if got := int(d.U32()); got != records {
+			t.Fatalf("record count %d → %d", records, got)
+		}
+		for k := 0; k < records; k++ {
+			gs, gq, gx, gv := d.U32(), d.U32(), d.U32(), d.I64()
+			if d.Err() != nil {
+				t.Fatalf("record %d: decode failed: %v", k, d.Err())
+			}
+			if gs != wseq0+uint32(k) || gq != wseq0+uint32(k) || gx != varID0^uint32(k) || gv != v0+int64(k) {
+				t.Fatalf("record %d corrupted", k)
+			}
+		}
+		if d.Rest() != 0 {
+			t.Fatalf("%d trailing bytes after full frame decode", d.Rest())
+		}
+	})
+}
+
 // FuzzWireRoundTripCausalFull covers causalfull.update's vector-clock
-// schema; the clock is derived from raw fuzz bytes.
+// record inside a one-record frame; the clock is derived from raw fuzz
+// bytes and decoded through the allocation-free U32SliceInto path the
+// handler uses.
 func FuzzWireRoundTripCausalFull(f *testing.F) {
-	f.Add(uint32(2), []byte{0, 1, 2, 3}, "x", int64(4))
-	f.Add(uint32(0), []byte{}, "", int64(0))
-	f.Fuzz(func(t *testing.T, writer uint32, clock []byte, x string, v int64) {
-		x = clampStr(x)
+	f.Add([]byte{0, 1, 2, 3}, uint32(0), int64(4))
+	f.Add([]byte{}, uint32(2), int64(0))
+	f.Fuzz(func(t *testing.T, clock []byte, varID uint32, v int64) {
 		if len(clock) > 0xffff {
 			clock = clock[:0xffff]
 		}
@@ -133,9 +154,14 @@ func FuzzWireRoundTripCausalFull(f *testing.F) {
 			vc[i] = uint32(b) << uint(i%24)
 		}
 		var e Enc
-		e.U32(writer).U32Slice(vc).Str(x).I64(v)
-		d := NewDec(e.Bytes())
-		gw, gvc, gx, gv := d.U32(), d.U32Slice(), d.Str(), d.I64()
+		e.U32(1).U32Slice(vc).U32(varID).I64(v)
+		d := DecOf(e.Bytes())
+		if n := d.U32(); n != 1 {
+			t.Fatalf("frame count 1 → %d", n)
+		}
+		scratch := make([]uint32, 0, 4)
+		gvc := d.U32SliceInto(scratch)
+		gx, gv := d.U32(), d.I64()
 		if err := d.Err(); err != nil {
 			t.Fatalf("decode failed on encoder output: %v", err)
 		}
@@ -146,38 +172,41 @@ func FuzzWireRoundTripCausalFull(f *testing.F) {
 		} else if !reflect.DeepEqual(gvc, vc) {
 			t.Fatalf("vector clock %v → %v", vc, gvc)
 		}
-		if gw != writer || gx != x || gv != v || d.Rest() != 0 {
+		if gx != varID || gv != v || d.Rest() != 0 {
 			t.Fatalf("causalfull.update round trip corrupted")
 		}
 	})
 }
 
-// FuzzWireRoundTripCausalPart covers the causal-partial update/notify
-// schema: optional value plus a variable-length dependency list.
+// FuzzWireRoundTripCausalPart covers the causal-partial record schema:
+// optional value plus a variable-length dependency list whose count is
+// back-filled with PatchU32, exactly as the protocol encodes it.
 func FuzzWireRoundTripCausalPart(f *testing.F) {
-	f.Add(uint32(1), uint32(2), uint32(0), true, int64(7), []byte{1, 0, 3, 2, 1, 9})
-	f.Add(uint32(0), uint32(0), uint32(5), false, int64(0), []byte{})
-	f.Fuzz(func(t *testing.T, writer, wseq, varIdx uint32, hasValue bool, v int64, depBytes []byte) {
-		type dep struct{ writer, varIdx, count uint32 }
+	f.Add(uint32(2), uint32(0), true, int64(7), []byte{1, 0, 3, 2, 1, 9})
+	f.Add(uint32(0), uint32(5), false, int64(0), []byte{})
+	f.Fuzz(func(t *testing.T, wseq, varID uint32, hasValue bool, v int64, depBytes []byte) {
+		type dep struct{ writer, varID, count uint32 }
 		var deps []dep
 		for i := 0; i+2 < len(depBytes) && len(deps) < 1024; i += 3 {
 			deps = append(deps, dep{uint32(depBytes[i]), uint32(depBytes[i+1]), uint32(depBytes[i+2]) << 8})
 		}
 		var e Enc
-		e.U32(writer).U32(wseq).U32(varIdx)
+		e.U32(wseq).U32(varID)
 		if hasValue {
 			e.U32(1).I64(v)
 		} else {
 			e.U32(0)
 		}
-		e.U32(uint32(len(deps)))
+		countPos := e.Len()
+		e.U32(0)
 		for _, d := range deps {
-			e.U32(d.writer).U32(d.varIdx).U32(d.count)
+			e.U32(d.writer).U32(d.varID).U32(d.count)
 		}
+		e.PatchU32(countPos, uint32(len(deps)))
 
-		d := NewDec(e.Bytes())
-		if gw, gs, gxi := d.U32(), d.U32(), d.U32(); gw != writer || gs != wseq || gxi != varIdx {
-			t.Fatalf("header corrupted: (%d,%d,%d)", gw, gs, gxi)
+		d := DecOf(e.Bytes())
+		if gs, gxi := d.U32(), d.U32(); gs != wseq || gxi != varID {
+			t.Fatalf("header corrupted: (%d,%d)", gs, gxi)
 		}
 		if has := d.U32() == 1; has != hasValue {
 			t.Fatalf("hasValue flag flipped")
@@ -204,18 +233,17 @@ func FuzzWireRoundTripCausalPart(f *testing.F) {
 // FuzzWireRoundTripAtomicReadPath covers atomicreg's read request and
 // read response schemas.
 func FuzzWireRoundTripAtomicReadPath(f *testing.F) {
-	f.Add(uint32(3), "x", int64(42))
-	f.Fuzz(func(t *testing.T, reader uint32, x string, v int64) {
-		x = clampStr(x)
+	f.Add(uint32(3), int64(42))
+	f.Fuzz(func(t *testing.T, varID uint32, v int64) {
 		var req Enc
-		req.U32(reader).Str(x)
-		d := NewDec(req.Bytes())
-		if gr, gx := d.U32(), d.Str(); d.Err() != nil || gr != reader || gx != x || d.Rest() != 0 {
+		req.U32(varID)
+		d := DecOf(req.Bytes())
+		if gx := d.U32(); d.Err() != nil || gx != varID || d.Rest() != 0 {
 			t.Fatalf("read-req round trip corrupted (%v)", d.Err())
 		}
 		var resp Enc
 		resp.I64(v)
-		d = NewDec(resp.Bytes())
+		d = DecOf(resp.Bytes())
 		if gv := d.I64(); d.Err() != nil || gv != v || d.Rest() != 0 {
 			t.Fatalf("read-resp round trip corrupted (%v)", d.Err())
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"partialdsm/internal/metrics"
+	"partialdsm/internal/model"
 	"partialdsm/internal/netsim"
 	"partialdsm/internal/sharegraph"
 )
@@ -52,6 +53,24 @@ type Config struct {
 	// Recorder captures the global history and per-node logs; may be
 	// nil to disable tracing (benchmarks).
 	Recorder *Recorder
+	// CoalesceBatch bounds how many updates the fire-and-forget
+	// protocols (pram, slow, causalfull, causalpart) buffer per
+	// destination before flushing one batched frame. 0 or 1 sends every
+	// update immediately. Blocking protocols (seqcons, cachepart,
+	// atomicreg) ignore it: their writes wait on a round trip, so
+	// holding the request back would only add latency.
+	CoalesceBatch int
+}
+
+// NewReplicas returns a VarID-indexed replica array with every entry
+// initialized to the shared-variable initial value ⊥ — the common
+// starting state of every protocol's local store.
+func NewReplicas(numVars int) []int64 {
+	r := make([]int64, numVars)
+	for i := range r {
+		r[i] = model.Bottom
+	}
+	return r
 }
 
 // Validate checks structural agreement between network and placement.

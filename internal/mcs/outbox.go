@@ -1,0 +1,216 @@
+package mcs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"partialdsm/internal/netsim"
+)
+
+// Outbox coalesces a node's outgoing updates per destination: instead
+// of one netsim.Message per update per peer, up to `batch` staged
+// records ride together in a single batched frame per destination. The
+// paper's per-pair FIFO argument is preserved because a frame travels
+// on the same ordered pair its records would have used individually and
+// the receiver applies the records in frame order; only the
+// message-per-write constant changes, not what any node learns or in
+// what order (see README "Coalescing semantics").
+//
+// Frame layout: a big-endian uint32 record count followed by `count`
+// protocol-specific records, exactly as staged.
+//
+// Usage (all calls under the owning node's mutex — the Outbox itself is
+// not synchronized):
+//
+//	enc := out.Stage()            // reset the shared record encoder
+//	enc.U32(...).I64(...)         // encode one record
+//	out.AddTo(dst, name, ctrl, data) // append it to dst's frame
+//
+// A frame is flushed when it reaches the batch size, when the owning
+// protocol reads (Outbox owners flush on Read so a polling peer
+// eventually observes buffered writes), and when the cluster quiesces
+// (mcs.Flusher). Payload and variable-list buffers come from the
+// process-wide pools; the receiving handler recycles them with
+// RecycleFrame after decoding.
+type Outbox struct {
+	net   netsim.Transport
+	from  int
+	kind  string
+	batch int
+
+	enc     Enc // staging encoder, reused for every record
+	dests   []destFrame
+	pending int // records buffered across all destinations
+}
+
+// destFrame is one destination's frame under construction.
+type destFrame struct {
+	buf        []byte // nil while empty; starts with a 4-byte count slot
+	count      int
+	ctrl, data int
+	vars       []string
+}
+
+// frameHeaderLen is the size of the record-count prefix; it is
+// accounted as control bytes when the frame is flushed.
+const frameHeaderLen = 4
+
+// NewOutbox returns an outbox for node `from` sending messages of the
+// given kind. batch < 2 disables coalescing: every AddTo flushes
+// immediately, reproducing the one-message-per-update wire behaviour
+// (in the batched frame format, with count 1).
+func NewOutbox(net netsim.Transport, from int, kind string, batch int) *Outbox {
+	if batch < 1 {
+		batch = 1
+	}
+	return &Outbox{
+		net:   net,
+		from:  from,
+		kind:  kind,
+		batch: batch,
+		dests: make([]destFrame, net.NumNodes()),
+	}
+}
+
+// Stage resets and returns the record encoder. The staged bytes stay
+// valid until the next Stage call, so one record can be appended to any
+// number of destinations without re-encoding (the multicast fast path).
+func (o *Outbox) Stage() *Enc {
+	o.enc.Reset()
+	return &o.enc
+}
+
+// Emit sends the staged record to every destination. When coalescing
+// is off (batch ≤ 1) the whole multicast shares one exact-size frame —
+// a single allocation, marked SharedPayload so receivers leave it
+// alone; with coalescing on, the record is appended to each
+// destination's pooled frame (AddToVars), amortizing the buffer
+// traffic over the batch. vars is the record's variable list; callers
+// pass a shared static slice (sharegraph.Index.MsgVars) so the
+// uncoalesced fast path allocates nothing beyond the frame itself.
+func (o *Outbox) Emit(dests []int, vars []string, ctrl, data int) {
+	if len(dests) == 0 {
+		return
+	}
+	if o.batch > 1 {
+		for _, dst := range dests {
+			o.AddToVars(dst, vars, ctrl, data)
+		}
+		return
+	}
+	rec := o.enc.Bytes()
+	buf := make([]byte, 0, frameHeaderLen+len(rec))
+	buf = append(buf, 0, 0, 0, 1) // count = 1
+	buf = append(buf, rec...)
+	for _, dst := range dests {
+		o.net.Send(netsim.Message{
+			From:          o.from,
+			To:            dst,
+			Kind:          o.kind,
+			Payload:       buf,
+			CtrlBytes:     ctrl + frameHeaderLen,
+			DataBytes:     data,
+			Vars:          vars,
+			SharedPayload: true,
+		})
+	}
+}
+
+// AddTo appends the staged record to dst's pending frame, carrying
+// information about the single variable x with the given control/data
+// byte split. The frame is flushed when it reaches the batch size.
+func (o *Outbox) AddTo(dst int, x string, ctrl, data int) {
+	d := o.appendStaged(dst, ctrl, data)
+	d.addVar(x)
+	if d.count >= o.batch {
+		o.flushDest(dst)
+	}
+}
+
+// AddToVars is AddTo for records mentioning several variables (the
+// causal dependency lists). names may contain duplicates; the frame's
+// variable list is deduplicated.
+func (o *Outbox) AddToVars(dst int, names []string, ctrl, data int) {
+	d := o.appendStaged(dst, ctrl, data)
+	for _, x := range names {
+		d.addVar(x)
+	}
+	if d.count >= o.batch {
+		o.flushDest(dst)
+	}
+}
+
+// appendStaged copies the staged record into dst's frame.
+func (o *Outbox) appendStaged(dst int, ctrl, data int) *destFrame {
+	if dst < 0 || dst >= len(o.dests) {
+		panic(fmt.Sprintf("mcs: outbox destination %d out of range [0,%d)", dst, len(o.dests)))
+	}
+	d := &o.dests[dst]
+	if d.buf == nil {
+		d.buf = GetPayload()
+		d.buf = append(d.buf, 0, 0, 0, 0) // count slot
+		d.vars = getVars()
+	}
+	d.buf = append(d.buf, o.enc.Bytes()...)
+	d.count++
+	d.ctrl += ctrl
+	d.data += data
+	o.pending++
+	return d
+}
+
+// addVar records x in the frame's deduplicated variable list.
+func (d *destFrame) addVar(x string) {
+	for _, v := range d.vars {
+		if v == x {
+			return
+		}
+	}
+	d.vars = append(d.vars, x)
+}
+
+// HasPending reports whether any record is buffered. Protocols check it
+// on Read so an empty outbox costs one branch.
+func (o *Outbox) HasPending() bool { return o.pending > 0 }
+
+// Flush sends every destination's pending frame.
+func (o *Outbox) Flush() {
+	if o.pending == 0 {
+		return
+	}
+	for dst := range o.dests {
+		o.flushDest(dst)
+	}
+}
+
+// flushDest seals and sends dst's frame: the record count is patched
+// into the header and the buffers are handed off to the transport (the
+// receiving handler recycles them).
+func (o *Outbox) flushDest(dst int) {
+	d := &o.dests[dst]
+	if d.count == 0 {
+		return
+	}
+	binary.BigEndian.PutUint32(d.buf[:frameHeaderLen], uint32(d.count))
+	o.net.Send(netsim.Message{
+		From:      o.from,
+		To:        dst,
+		Kind:      o.kind,
+		Payload:   d.buf,
+		CtrlBytes: d.ctrl + frameHeaderLen,
+		DataBytes: d.data,
+		Vars:      d.vars,
+	})
+	o.pending -= d.count
+	*d = destFrame{}
+}
+
+// Flusher is implemented by protocol nodes that buffer outgoing updates
+// in an Outbox. The cluster facade flushes every node before waiting
+// for network quiescence, so Quiesce remains the global cut it was
+// without coalescing.
+type Flusher interface {
+	// FlushUpdates sends all buffered updates. Safe to call from any
+	// goroutine; the node synchronizes internally.
+	FlushUpdates()
+}

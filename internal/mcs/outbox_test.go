@@ -1,0 +1,175 @@
+package mcs
+
+import (
+	"reflect"
+	"testing"
+
+	"partialdsm/internal/netsim"
+)
+
+// captureNet is a minimal synchronous Transport that records every
+// Send, for exercising the Outbox without a real delivery engine.
+type captureNet struct {
+	n    int
+	sent []netsim.Message
+}
+
+func (c *captureNet) NumNodes() int                  { return c.n }
+func (c *captureNet) SetHandler(int, netsim.Handler) {}
+func (c *captureNet) Send(m netsim.Message)          { c.sent = append(c.sent, m) }
+func (c *captureNet) Quiesce()                       {}
+func (c *captureNet) Close()                         {}
+
+var _ netsim.Transport = (*captureNet)(nil)
+
+// record is a decoded test record: (U32 a, I64 b).
+type record struct {
+	a uint32
+	b int64
+}
+
+// stageRecord stages one test record.
+func stageRecord(o *Outbox, r record) *Enc {
+	enc := o.Stage()
+	enc.U32(r.a).I64(r.b)
+	return enc
+}
+
+// decodeFrame decodes a frame of test records.
+func decodeFrame(t *testing.T, payload []byte) []record {
+	t.Helper()
+	d := DecOf(payload)
+	count := int(d.U32())
+	out := make([]record, 0, count)
+	for k := 0; k < count; k++ {
+		out = append(out, record{a: d.U32(), b: d.I64()})
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("frame decode: %v", err)
+	}
+	if d.Rest() != 0 {
+		t.Fatalf("frame leaves %d trailing bytes", d.Rest())
+	}
+	return out
+}
+
+// TestOutboxFrameRoundTrip is the table-driven round-trip check for the
+// batched wire frame: records staged per destination come back out of
+// the frame exactly, in order, with the header and byte accounting the
+// coalescing policy implies.
+func TestOutboxFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		name      string
+		batch     int
+		records   []record // all staged for destination 1
+		wantSends []int    // record count per emitted message, in order
+	}{
+		{"single-immediate", 1, []record{{1, -1}}, []int{1}},
+		{"batch-disabled-each-flushes", 1, []record{{1, 10}, {2, 20}, {3, 30}}, []int{1, 1, 1}},
+		{"zero-batch-means-immediate", 0, []record{{1, 10}, {2, 20}}, []int{1, 1}},
+		{"under-batch-holds", 4, []record{{1, 10}, {2, 20}, {3, 30}}, nil},
+		{"exact-batch-flushes", 3, []record{{1, 10}, {2, 20}, {3, 30}}, []int{3}},
+		{"overflow-splits", 2, []record{{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}}, []int{2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := &captureNet{n: 3}
+			o := NewOutbox(net, 0, "test.update", tc.batch)
+			for _, r := range tc.records {
+				stageRecord(o, r)
+				o.AddTo(1, "x", 4, 8)
+			}
+			if got := len(net.sent); got != len(tc.wantSends) {
+				t.Fatalf("auto-flushed %d messages, want %d", got, len(tc.wantSends))
+			}
+			var decoded []record
+			for i, m := range net.sent {
+				if m.From != 0 || m.To != 1 || m.Kind != "test.update" {
+					t.Fatalf("message %d misaddressed: %+v", i, m)
+				}
+				recs := decodeFrame(t, m.Payload)
+				if len(recs) != tc.wantSends[i] {
+					t.Fatalf("message %d carries %d records, want %d", i, len(recs), tc.wantSends[i])
+				}
+				if wantCtrl := 4 + 4*len(recs); m.CtrlBytes != wantCtrl {
+					t.Errorf("message %d ctrl bytes = %d, want %d", i, m.CtrlBytes, wantCtrl)
+				}
+				if wantData := 8 * len(recs); m.DataBytes != wantData {
+					t.Errorf("message %d data bytes = %d, want %d", i, m.DataBytes, wantData)
+				}
+				if !reflect.DeepEqual(m.Vars, []string{"x"}) {
+					t.Errorf("message %d vars = %v", i, m.Vars)
+				}
+				decoded = append(decoded, recs...)
+			}
+			// Whatever did not auto-flush must come out on Flush, in order.
+			o.Flush()
+			for _, m := range net.sent[len(tc.wantSends):] {
+				decoded = append(decoded, decodeFrame(t, m.Payload)...)
+			}
+			if !reflect.DeepEqual(decoded, tc.records) {
+				t.Fatalf("round trip %v → %v", tc.records, decoded)
+			}
+			if o.HasPending() {
+				t.Error("outbox still pending after Flush")
+			}
+		})
+	}
+}
+
+// TestOutboxPerDestinationFrames checks that one staged record fans out
+// to several destinations without re-encoding and that each destination
+// gets its own private payload (the receiver is entitled to recycle it).
+func TestOutboxPerDestinationFrames(t *testing.T) {
+	net := &captureNet{n: 4}
+	o := NewOutbox(net, 0, "test.update", 8)
+	stageRecord(o, record{7, 77})
+	for _, dst := range []int{1, 2, 3} {
+		o.AddTo(dst, "x", 4, 8)
+	}
+	o.Flush()
+	if len(net.sent) != 3 {
+		t.Fatalf("sent %d messages, want 3", len(net.sent))
+	}
+	for i, m := range net.sent {
+		if got := decodeFrame(t, m.Payload); len(got) != 1 || got[0] != (record{7, 77}) {
+			t.Fatalf("destination %d decoded %v", m.To, got)
+		}
+		for j := i + 1; j < len(net.sent); j++ {
+			if &m.Payload[0] == &net.sent[j].Payload[0] {
+				t.Fatalf("messages %d and %d share a payload buffer", i, j)
+			}
+		}
+	}
+}
+
+// TestOutboxVarListDedup checks the frame's touch list: duplicates
+// collapse, distinct variables accumulate.
+func TestOutboxVarListDedup(t *testing.T) {
+	net := &captureNet{n: 2}
+	o := NewOutbox(net, 0, "test.update", 8)
+	stageRecord(o, record{1, 1})
+	o.AddTo(1, "x", 4, 8)
+	stageRecord(o, record{2, 2})
+	o.AddToVars(1, []string{"y", "x", "y"}, 4, 8)
+	o.Flush()
+	if len(net.sent) != 1 {
+		t.Fatalf("sent %d messages, want 1", len(net.sent))
+	}
+	if got := net.sent[0].Vars; !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("vars = %v, want [x y]", got)
+	}
+}
+
+// TestOutboxEmptyFlushSendsNothing checks Flush on an idle outbox.
+func TestOutboxEmptyFlushSendsNothing(t *testing.T) {
+	net := &captureNet{n: 2}
+	o := NewOutbox(net, 0, "test.update", 4)
+	o.Flush()
+	if len(net.sent) != 0 {
+		t.Fatalf("empty flush sent %d messages", len(net.sent))
+	}
+	if o.HasPending() {
+		t.Error("fresh outbox reports pending updates")
+	}
+}

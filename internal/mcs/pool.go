@@ -1,0 +1,85 @@
+package mcs
+
+import "partialdsm/internal/netsim"
+
+// Payload and variable-list recycling.
+//
+// The transport contract (netsim.Transport) hands payload ownership to
+// the destination handler: once the handler runs, the transport never
+// reads or writes the slice again. Protocol handlers exploit that by
+// returning fully decoded buffers to a process-wide free list, so in
+// steady state a node's writes encode into recycled memory and the
+// protocol hot path allocates nothing.
+//
+// The free lists are buffered channels rather than sync.Pool: putting a
+// []byte into a sync.Pool boxes the slice header into an interface and
+// allocates on every Put, which would defeat the purpose; channel sends
+// copy the header without boxing.
+const poolSlots = 1024
+
+var (
+	payloadPool = make(chan []byte, poolSlots)
+	varsPool    = make(chan []string, poolSlots)
+)
+
+// GetPayload returns a recycled payload buffer (length 0, arbitrary
+// capacity), or a fresh one when the pool is empty.
+func GetPayload() []byte {
+	select {
+	case b := <-payloadPool:
+		return b[:0]
+	default:
+		return make([]byte, 0, 128)
+	}
+}
+
+// PutPayload returns a payload buffer for reuse. Only the exclusive
+// owner may call it: a handler that received the payload (single
+// destination — multicast payloads shared across Sends must never be
+// recycled) and has finished decoding it.
+func PutPayload(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case payloadPool <- b:
+	default:
+	}
+}
+
+// getVars returns a recycled variable-name list for a batched frame.
+func getVars() []string {
+	select {
+	case v := <-varsPool:
+		return v[:0]
+	default:
+		return make([]string, 0, 4)
+	}
+}
+
+// putVars returns a frame's variable list for reuse. Never call it with
+// a shared list (sharegraph.Index.MsgVars slices are shared forever).
+func putVars(v []string) {
+	if cap(v) == 0 {
+		return
+	}
+	select {
+	case varsPool <- v:
+	default:
+	}
+}
+
+// RecycleFrame releases the buffers of a delivered Outbox frame. The
+// handler of a coalescing protocol calls it after the frame has been
+// fully decoded. Frames the Outbox multicast as one shared payload
+// (msg.SharedPayload, the uncoalesced fast path) are left alone — the
+// handler is not their sole owner, and their Vars list is a shared
+// static slice. Messages sent outside an Outbox must not be passed
+// here.
+func RecycleFrame(msg netsim.Message) {
+	if msg.SharedPayload {
+		return
+	}
+	PutPayload(msg.Payload)
+	putVars(msg.Vars)
+}

@@ -11,6 +11,11 @@
 // admit a single serialization — the global sequence order with each
 // read inserted after the last write applied at its node — that
 // respects every process's program order.
+//
+// Because every write blocks on a round trip, updates are not coalesced
+// (holding the request back would only add latency); the protocol still
+// rides the interned-VarID wire format and array replicas, and the
+// single-destination request payload is recycled by the sequencer.
 package seqcons
 
 import (
@@ -18,11 +23,13 @@ import (
 	"sync"
 
 	"partialdsm/internal/mcs"
-	"partialdsm/internal/model"
 	"partialdsm/internal/netsim"
+	"partialdsm/internal/sharegraph"
 )
 
-// Message kinds.
+// Message kinds. A request is (U32 wseq, U32 varID, I64 val) with the
+// writer identified by the message source; an update is
+// (U32 gseq, U32 writer, U32 wseq, U32 varID, I64 val).
 const (
 	KindRequest = "seq.request" // writer → sequencer
 	KindUpdate  = "seq.update"  // sequencer → everyone
@@ -32,9 +39,10 @@ const (
 type Node struct {
 	cfg mcs.Config
 	id  int
+	ix  *sharegraph.Index
 
 	mu         sync.Mutex
-	replicas   map[string]int64
+	replicas   []int64 // by VarID
 	wseq       int
 	nextGSeq   int                 // next global sequence number to apply
 	buffered   map[int]bufferedUpd // gseq → update
@@ -49,7 +57,7 @@ type Node struct {
 type bufferedUpd struct {
 	writer int
 	wseq   int
-	x      string
+	varID  int
 	v      int64
 }
 
@@ -58,13 +66,15 @@ func New(cfg mcs.Config) ([]*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Placement.NumProcs()
+	ix := cfg.Placement.Index()
+	n := ix.NumProcs()
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
 			cfg:      cfg,
 			id:       i,
-			replicas: make(map[string]int64),
+			ix:       ix,
+			replicas: mcs.NewReplicas(ix.NumVars()),
 			buffered: make(map[int]bufferedUpd),
 		}
 		node.applied = sync.NewCond(&node.mu)
@@ -81,19 +91,21 @@ func (n *Node) ID() int { return n.id }
 // the update is applied locally, so a process's writes take effect in
 // program order before its subsequent reads.
 func (n *Node) Write(x string, v int64) error {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordWrite(n.id, x, v)
+		rec.RecordWrite(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 
 	var enc mcs.Enc
-	enc.U32(uint32(n.id)).U32(uint32(wseq)).Str(x).I64(v)
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(uint32(wseq)).U32(uint32(xi)).I64(v)
 	payload := enc.Bytes()
 	n.cfg.Net.Send(netsim.Message{
 		From:      n.id,
@@ -102,7 +114,7 @@ func (n *Node) Write(x string, v int64) error {
 		Payload:   payload,
 		CtrlBytes: len(payload) - 8,
 		DataBytes: 8,
-		Vars:      []string{x},
+		Vars:      n.ix.MsgVars(xi),
 	})
 
 	// Block until our own write has been applied locally.
@@ -122,16 +134,14 @@ func (n *Node) appliedOwnLocked(wseq int) bool {
 
 // Read performs r_i(x) on the local replica.
 func (n *Node) Read(x string) (int64, error) {
-	if !n.cfg.Placement.Holds(n.id, x) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
 		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
-	v, ok := n.replicas[x]
-	if !ok {
-		v = model.Bottom
-	}
+	v := n.replicas[xi]
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, x, v)
+		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
 	return v, nil
@@ -154,21 +164,28 @@ func (n *Node) sequence(msg netsim.Message) {
 	if n.id != 0 {
 		panic(fmt.Sprintf("seqcons: request routed to non-sequencer node %d", n.id))
 	}
-	d := mcs.NewDec(msg.Payload)
-	writer := int(d.U32())
+	d := mcs.DecOf(msg.Payload)
 	wseq := int(d.U32())
-	x := d.Str()
+	xi := int(d.U32())
 	v := d.I64()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("seqcons: malformed request from %d: %v", msg.From, err))
 	}
+	if xi < 0 || xi >= n.ix.NumVars() {
+		panic(fmt.Sprintf("seqcons: request from %d names unknown VarID %d", msg.From, xi))
+	}
+	mcs.PutPayload(msg.Payload) // single-destination request: sequencer owns it
 	n.seqMu.Lock()
 	g := n.gseq
 	n.gseq++
 	n.seqMu.Unlock()
 
+	// The broadcast payload is shared across every Send, so it cannot
+	// come from (or return to) the pool; pre-size it to encode in one
+	// allocation.
 	var enc mcs.Enc
-	enc.U32(uint32(g)).U32(uint32(writer)).U32(uint32(wseq)).Str(x).I64(v)
+	enc.SetBuf(make([]byte, 0, 24))
+	enc.U32(uint32(g)).U32(uint32(msg.From)).U32(uint32(wseq)).U32(uint32(xi)).I64(v)
 	payload := enc.Bytes()
 	for p := 0; p < n.cfg.Net.NumNodes(); p++ {
 		n.cfg.Net.Send(netsim.Message{
@@ -178,24 +195,27 @@ func (n *Node) sequence(msg netsim.Message) {
 			Payload:   payload,
 			CtrlBytes: len(payload) - 8,
 			DataBytes: 8,
-			Vars:      []string{x},
+			Vars:      n.ix.MsgVars(xi),
 		})
 	}
 }
 
 // applyUpdate applies updates strictly in global sequence order.
 func (n *Node) applyUpdate(msg netsim.Message) {
-	d := mcs.NewDec(msg.Payload)
+	d := mcs.DecOf(msg.Payload)
 	g := int(d.U32())
 	writer := int(d.U32())
 	wseq := int(d.U32())
-	x := d.Str()
+	xi := int(d.U32())
 	v := d.I64()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("seqcons: node %d: malformed update: %v", n.id, err))
 	}
+	if xi < 0 || xi >= n.ix.NumVars() {
+		panic(fmt.Sprintf("seqcons: node %d: update names unknown VarID %d", n.id, xi))
+	}
 	n.mu.Lock()
-	n.buffered[g] = bufferedUpd{writer: writer, wseq: wseq, x: x, v: v}
+	n.buffered[g] = bufferedUpd{writer: writer, wseq: wseq, varID: xi, v: v}
 	for {
 		u, ok := n.buffered[n.nextGSeq]
 		if !ok {
@@ -203,9 +223,9 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		}
 		delete(n.buffered, n.nextGSeq)
 		n.nextGSeq++
-		n.replicas[u.x] = u.v
+		n.replicas[u.varID] = u.v
 		if rec := n.cfg.Recorder; rec != nil {
-			rec.RecordApply(n.id, u.writer, u.wseq, u.x, u.v)
+			rec.RecordApply(n.id, u.writer, u.wseq, n.ix.Name(u.varID), u.v)
 		}
 		if u.writer == n.id {
 			n.ownApplied++

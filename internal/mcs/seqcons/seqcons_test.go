@@ -128,8 +128,9 @@ func TestUnknownKindPanics(t *testing.T) {
 
 func TestRequestToNonSequencerPanics(t *testing.T) {
 	nodes, _, _ := harness(t, 2)
+	// A well-formed (wseq, varID, val) request for x (VarID 0).
 	var enc mcs.Enc
-	enc.U32(0).U32(0).Str("x").I64(1)
+	enc.U32(0).U32(0).I64(1)
 	defer func() {
 		if recover() == nil {
 			t.Error("request to non-sequencer must panic")

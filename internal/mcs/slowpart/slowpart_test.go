@@ -66,16 +66,19 @@ func TestPerVariableOrderUnderNonFIFO(t *testing.T) {
 func TestOutOfOrderBuffering(t *testing.T) {
 	nodes, _, _, _ := harness(t, true)
 	n2 := nodes[2]
-	mk := func(writer, wseq, vseq int, v string, val int64) []byte {
+	// One-record frames; the writer travels in the message source, and
+	// x interns to VarID 0 in the sorted universe.
+	mk := func(wseq, vseq, varID int, val int64) []byte {
 		var enc mcs.Enc
-		enc.U32(uint32(writer)).U32(uint32(wseq)).U32(uint32(vseq)).Str(v).I64(val)
+		enc.U32(1) // record count
+		enc.U32(uint32(wseq)).U32(uint32(vseq)).U32(uint32(varID)).I64(val)
 		return enc.Bytes()
 	}
-	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(0, 1, 1, "x", 2)})
+	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(1, 1, 0, 2)})
 	if v, _ := n2.Read("x"); v != -9223372036854775808 {
 		t.Fatalf("out-of-order vseq applied: %d", v)
 	}
-	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(0, 0, 0, "x", 1)})
+	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(0, 0, 0, 1)})
 	if v, _ := n2.Read("x"); v != 2 {
 		t.Fatalf("drain after gap fill failed: %d", v)
 	}

@@ -50,6 +50,25 @@ func (e *Enc) Len() int { return len(e.buf) }
 // Bytes returns the encoded payload.
 func (e *Enc) Bytes() []byte { return e.buf }
 
+// Reset truncates the encoder, keeping the backing array for reuse —
+// the hot paths stage every record through one resettable encoder so a
+// steady-state write encodes without allocating.
+func (e *Enc) Reset() { e.buf = e.buf[:0] }
+
+// SetBuf makes the encoder append to the given buffer (typically one
+// from the payload pool).
+func (e *Enc) SetBuf(buf []byte) { e.buf = buf }
+
+// PatchU32 overwrites the 4 bytes at offset pos with a big-endian
+// uint32 — used to back-fill counts that are only known after the
+// fields they prefix have been encoded (single-pass framing).
+func (e *Enc) PatchU32(pos int, v uint32) {
+	if pos < 0 || pos+4 > len(e.buf) {
+		panic(fmt.Sprintf("mcs: PatchU32 at %d outside encoded %d bytes", pos, len(e.buf)))
+	}
+	binary.BigEndian.PutUint32(e.buf[pos:], v)
+}
+
 // Dec consumes a wire payload field by field. Decoding errors are
 // sticky: after the first failure every accessor returns zero values
 // and Err reports the cause.
@@ -60,6 +79,11 @@ type Dec struct {
 
 // NewDec returns a decoder over payload.
 func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+// DecOf returns a decoder over payload by value. Handlers on the hot
+// path prefer it to NewDec: the decoder lives on the caller's stack, so
+// decoding a delivered message costs no heap allocation.
+func DecOf(payload []byte) Dec { return Dec{buf: payload} }
 
 func (d *Dec) take(n int) []byte {
 	if d.err != nil {
@@ -121,6 +145,26 @@ func (d *Dec) U32Slice() []uint32 {
 		return nil
 	}
 	return out
+}
+
+// U32SliceInto consumes a length-prefixed []uint32, appending into dst
+// (dst is truncated first). When dst has enough capacity the decode
+// does not allocate — protocol handlers keep one scratch slice per node
+// and pass it here for every record.
+func (d *Dec) U32SliceInto(dst []uint32) []uint32 {
+	dst = dst[:0]
+	lb := d.take(2)
+	if lb == nil {
+		return dst
+	}
+	n := int(binary.BigEndian.Uint16(lb))
+	for i := 0; i < n; i++ {
+		dst = append(dst, d.U32())
+	}
+	if d.err != nil {
+		return dst[:0]
+	}
+	return dst
 }
 
 // Err returns the first decoding error, nil if none.

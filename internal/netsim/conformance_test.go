@@ -617,3 +617,67 @@ func TestShardedBatchesDrainAsOne(t *testing.T) {
 		}
 	}
 }
+
+// TestConformancePayloadOwnership checks the payload-ownership clause
+// of the Transport contract: every payload must arrive exactly as sent
+// (no mutation in flight, no sharing across deliveries), and once the
+// destination handler has returned the transport must never read or
+// write the slice again — receivers that own a payload are entitled to
+// recycle it. The handler verifies each payload against the pattern its
+// sequence number implies and then scribbles over the buffer, so any
+// engine that re-reads or re-delivers a retained payload fails the
+// pattern check on a later message.
+func TestConformancePayloadOwnership(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		for _, fifo := range []bool{true, false} {
+			name := "fifo"
+			if !fifo {
+				name = "nonfifo"
+			}
+			t.Run(name, func(t *testing.T) {
+				const n, msgs, payloadLen = 3, 300, 24
+				nw := v.make(t, n, Options{FIFO: fifo, MaxLatency: 10 * time.Microsecond, Seed: 4})
+				defer nw.Close()
+
+				fill := func(buf []byte, seq int) {
+					for i := range buf {
+						buf[i] = byte(seq + 31*i)
+					}
+				}
+				var delivered, corrupt atomic.Int64
+				for i := 0; i < n; i++ {
+					nw.SetHandler(i, func(m Message) {
+						seq := int(m.CtrlBytes) // sequence smuggled through the accounting field
+						want := make([]byte, payloadLen)
+						fill(want, seq)
+						for j := range m.Payload {
+							if m.Payload[j] != want[j] {
+								corrupt.Add(1)
+								break
+							}
+						}
+						// Simulate receiver-side buffer recycling: after the
+						// handler returns, the transport must not look at
+						// these bytes again.
+						for j := range m.Payload {
+							m.Payload[j] = 0xAA
+						}
+						delivered.Add(1)
+					})
+				}
+				for seq := 0; seq < msgs; seq++ {
+					buf := make([]byte, payloadLen)
+					fill(buf, seq)
+					nw.Send(Message{From: seq % n, To: (seq + 1) % n, CtrlBytes: seq, Payload: buf})
+				}
+				nw.Quiesce()
+				if got := delivered.Load(); got != msgs {
+					t.Fatalf("delivered %d of %d payloads", got, msgs)
+				}
+				if c := corrupt.Load(); c != 0 {
+					t.Fatalf("%d payloads arrived mutated or shared across deliveries", c)
+				}
+			})
+		}
+	})
+}

@@ -33,6 +33,11 @@ type Message struct {
 	// Vars lists the shared variables this message carries information
 	// about (for the touch matrix).
 	Vars []string
+	// SharedPayload marks Payload (and Vars) as shared across several
+	// Sends — a multicast fanning one encoded frame out to its whole
+	// destination set. Receivers must not mutate or recycle a shared
+	// buffer; transports deliver it like any other payload.
+	SharedPayload bool
 }
 
 // Handler processes a delivered message. Handlers run on network

@@ -28,6 +28,15 @@ import (
 //   - Options.Metrics, when non-nil, receives exactly one RecordMessage
 //     per Send with the message's kind, endpoints, byte split and
 //     variable list.
+//   - Payload ownership: a message's payload is immutable from Send
+//     until the destination handler returns. The sender must not
+//     mutate the slice after Send (it may pass the same slice to
+//     several Sends — multicast); the transport must deliver exactly
+//     the bytes it was given and must never read or write the slice
+//     once the handler has returned, so a receiver that is the
+//     payload's sole owner may recycle the buffer from inside its
+//     handler (see mcs.RecycleFrame). Retaining a stale reference the
+//     transport never dereferences again is permitted.
 type Transport interface {
 	// NumNodes returns the number of nodes the transport connects.
 	NumNodes() int

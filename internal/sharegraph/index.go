@@ -1,0 +1,157 @@
+package sharegraph
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Index is the frozen, allocation-free view of a Placement that the
+// protocol hot paths run on. Variable names are interned into dense
+// VarIDs (0 … NumVars-1, in sorted-name order), and every per-variable
+// set the protocols consult — the replica clique C(x), the peer set
+// C(x)∖{p}, the X_p membership — is precomputed into int slices, so a
+// Read/Write resolves its variable with one map lookup and then never
+// touches a map or allocates again.
+//
+// An Index is immutable. Placement.Index returns the current one and
+// builds it lazily; a later Assign invalidates it, so callers must
+// capture the Index only after the placement is fully constructed.
+// Returned slices are shared — callers must not modify them.
+type Index struct {
+	numProcs int
+	vars     []string       // id → name, sorted
+	ids      map[string]int // name → id
+	holds    [][]bool       // holds[p][id]
+	cliques  [][]int        // cliques[id] = C(x), sorted
+	varsOf   [][]int        // varsOf[p] = X_p as sorted ids
+	peers    [][][]int      // peers[p][id] = C(x) ∖ {p}, sorted
+	msgVars  [][]string     // msgVars[id] = the canonical {name} slice
+}
+
+// NumProcs returns the number of processes.
+func (ix *Index) NumProcs() int { return ix.numProcs }
+
+// NumVars returns the size of the variable universe.
+func (ix *Index) NumVars() int { return len(ix.vars) }
+
+// ID returns the dense VarID of x, or -1 when x is not in the universe.
+func (ix *Index) ID(x string) int {
+	id, ok := ix.ids[x]
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// Name returns the variable name of a VarID.
+func (ix *Index) Name(id int) string { return ix.vars[id] }
+
+// Holds reports whether process p replicates the variable with VarID id.
+func (ix *Index) Holds(p, id int) bool {
+	return id >= 0 && id < len(ix.vars) && ix.holds[p][id]
+}
+
+// Clique returns C(x) for a VarID: the sorted processes replicating it.
+func (ix *Index) Clique(id int) []int { return ix.cliques[id] }
+
+// VarIDs returns X_p as sorted VarIDs.
+func (ix *Index) VarIDs(p int) []int { return ix.varsOf[p] }
+
+// Peers returns C(x) ∖ {p}: the processes a write by p on the variable
+// must be propagated to.
+func (ix *Index) Peers(p, id int) []int { return ix.peers[p][id] }
+
+// MsgVars returns the canonical one-element variable list for messages
+// carrying information about exactly this variable. The slice is shared
+// across every message ever sent about the variable: callers must
+// neither modify nor recycle it.
+func (ix *Index) MsgVars(id int) []string { return ix.msgVars[id] }
+
+// Index returns the placement's dense index, building it on first use.
+// Assign invalidates the index, so capture it only once the placement
+// is fully constructed (protocol constructors do).
+func (pl *Placement) Index() *Index {
+	if ix := pl.idx.Load(); ix != nil {
+		return ix
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if ix := pl.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := pl.buildIndex()
+	pl.idx.Store(ix)
+	return ix
+}
+
+// buildIndex materializes the dense tables. Called with pl.mu held.
+func (pl *Placement) buildIndex() *Index {
+	n := pl.numProcs
+	ix := &Index{
+		numProcs: n,
+		vars:     append([]string(nil), pl.vars...),
+		ids:      make(map[string]int, len(pl.vars)),
+		holds:    make([][]bool, n),
+		cliques:  make([][]int, len(pl.vars)),
+		varsOf:   make([][]int, n),
+		peers:    make([][][]int, n),
+		msgVars:  make([][]string, len(pl.vars)),
+	}
+	for id, name := range ix.vars {
+		ix.ids[name] = id
+		ix.msgVars[id] = []string{name}
+	}
+	for p := 0; p < n; p++ {
+		ix.holds[p] = make([]bool, len(ix.vars))
+		for id, name := range ix.vars {
+			if pl.holds[p][name] {
+				ix.holds[p][id] = true
+				ix.varsOf[p] = append(ix.varsOf[p], id)
+			}
+		}
+	}
+	for id := range ix.vars {
+		c := []int{}
+		for p := 0; p < n; p++ {
+			if ix.holds[p][id] {
+				c = append(c, p)
+			}
+		}
+		ix.cliques[id] = c
+	}
+	for p := 0; p < n; p++ {
+		ix.peers[p] = make([][]int, len(ix.vars))
+		for id := range ix.vars {
+			peers := []int{}
+			for _, q := range ix.cliques[id] {
+				if q != p {
+					peers = append(peers, q)
+				}
+			}
+			ix.peers[p][id] = peers
+		}
+	}
+	return ix
+}
+
+// idxPtr wraps atomic.Pointer so Placement's zero-value-unfriendly
+// construction keeps working (NewPlacement allocates the struct).
+type idxPtr = atomic.Pointer[Index]
+
+// NumVars returns the size of the variable universe.
+func (pl *Placement) NumVars() int { return pl.Index().NumVars() }
+
+// VarID returns the dense id of x, or -1 when x is unknown. IDs are
+// assigned in sorted-name order and are stable only until the next
+// Assign.
+func (pl *Placement) VarID(x string) int { return pl.Index().ID(x) }
+
+// VarName returns the variable name for a dense id. It panics when id
+// is out of range, mirroring a slice access.
+func (pl *Placement) VarName(id int) string {
+	ix := pl.Index()
+	if id < 0 || id >= ix.NumVars() {
+		panic(fmt.Sprintf("sharegraph: VarID %d out of range [0,%d)", id, ix.NumVars()))
+	}
+	return ix.Name(id)
+}

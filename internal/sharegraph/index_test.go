@@ -1,0 +1,83 @@
+package sharegraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestIndexDenseTables checks the interning and every precomputed
+// table against the string-keyed Placement API on the hoop topology.
+func TestIndexDenseTables(t *testing.T) {
+	pl := NewPlacement(3).
+		Assign(0, "x", "y").
+		Assign(1, "y").
+		Assign(2, "x", "y")
+	ix := pl.Index()
+
+	if ix.NumProcs() != 3 || ix.NumVars() != 2 || pl.NumVars() != 2 {
+		t.Fatalf("shape: %d procs, %d vars", ix.NumProcs(), ix.NumVars())
+	}
+	// IDs follow sorted-name order.
+	if ix.ID("x") != 0 || ix.ID("y") != 1 || ix.ID("zzz") != -1 || pl.VarID("x") != 0 {
+		t.Errorf("interning wrong: x=%d y=%d zzz=%d", ix.ID("x"), ix.ID("y"), ix.ID("zzz"))
+	}
+	if ix.Name(0) != "x" || ix.Name(1) != "y" || pl.VarName(1) != "y" {
+		t.Errorf("names wrong: %q %q", ix.Name(0), ix.Name(1))
+	}
+	for p := 0; p < 3; p++ {
+		for id := 0; id < 2; id++ {
+			if got, want := ix.Holds(p, id), pl.Holds(p, ix.Name(id)); got != want {
+				t.Errorf("Holds(%d,%d) = %v, placement says %v", p, id, got, want)
+			}
+		}
+	}
+	if !reflect.DeepEqual(ix.Clique(0), []int{0, 2}) || !reflect.DeepEqual(ix.Clique(1), []int{0, 1, 2}) {
+		t.Errorf("cliques: C(x)=%v C(y)=%v", ix.Clique(0), ix.Clique(1))
+	}
+	if !reflect.DeepEqual(ix.VarIDs(0), []int{0, 1}) || !reflect.DeepEqual(ix.VarIDs(1), []int{1}) {
+		t.Errorf("VarIDs: X_0=%v X_1=%v", ix.VarIDs(0), ix.VarIDs(1))
+	}
+	if !reflect.DeepEqual(ix.Peers(0, 0), []int{2}) || !reflect.DeepEqual(ix.Peers(1, 1), []int{0, 2}) {
+		t.Errorf("peers: %v %v", ix.Peers(0, 0), ix.Peers(1, 1))
+	}
+	if got := ix.MsgVars(0); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("MsgVars(0) = %v", got)
+	}
+	// Holds is total over out-of-range ids.
+	if ix.Holds(0, -1) || ix.Holds(0, 99) {
+		t.Error("Holds must reject out-of-range VarIDs")
+	}
+}
+
+// TestIndexInvalidatedByAssign checks that later Assign calls rebuild
+// the index (IDs may shift — sorted order is recomputed).
+func TestIndexInvalidatedByAssign(t *testing.T) {
+	pl := NewPlacement(2).Assign(0, "m")
+	ix1 := pl.Index()
+	if ix1.NumVars() != 1 || ix1.ID("m") != 0 {
+		t.Fatalf("initial index wrong")
+	}
+	pl.Assign(1, "a") // sorts before m: IDs shift
+	ix2 := pl.Index()
+	if ix2 == ix1 {
+		t.Fatal("Assign did not invalidate the index")
+	}
+	if ix2.ID("a") != 0 || ix2.ID("m") != 1 {
+		t.Errorf("rebuilt IDs wrong: a=%d m=%d", ix2.ID("a"), ix2.ID("m"))
+	}
+	// The old snapshot keeps its own consistent view.
+	if ix1.ID("m") != 0 || ix1.NumVars() != 1 {
+		t.Error("frozen index mutated by later Assign")
+	}
+}
+
+// TestIndexVarNamePanicsOutOfRange pins the documented panic.
+func TestIndexVarNamePanicsOutOfRange(t *testing.T) {
+	pl := NewPlacement(1).Assign(0, "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("VarName(99) must panic")
+		}
+	}()
+	pl.VarName(99)
+}

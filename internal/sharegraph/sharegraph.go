@@ -25,6 +25,7 @@ type Placement struct {
 
 	mu     sync.Mutex       // guards clique (lazily filled cache)
 	clique map[string][]int // cached C(x), sorted
+	idx    idxPtr           // lazily built dense index (see index.go)
 }
 
 // NewPlacement returns an empty placement over numProcs processes.
@@ -57,6 +58,7 @@ func (pl *Placement) Assign(p int, vars ...string) *Placement {
 			pl.holds[p][v] = true
 			pl.mu.Lock()
 			delete(pl.clique, v) // invalidate cache
+			pl.idx.Store(nil)    // invalidate the dense index
 			pl.mu.Unlock()
 			if _, seen := pl.varIdx[v]; !seen {
 				pl.varIdx[v] = len(pl.vars)

@@ -163,6 +163,26 @@ type Config struct {
 	// TransportWorkers bounds the sharded transport's worker pool.
 	// Zero picks max(2, GOMAXPROCS); the classic transport ignores it.
 	TransportWorkers int
+	// CoalesceBatch enables per-destination update coalescing for the
+	// wait-free protocols (PRAM, Slow, CausalFull, CausalPartial,
+	// CausalHoopAware): up to CoalesceBatch updates per destination
+	// ride in one batched network message, flushed when the batch
+	// fills, when the writing node next reads, and on Quiesce. 0 or 1
+	// sends every update immediately (the default). Coalescing changes
+	// only the message-per-write constant, never what any node learns
+	// or in what order — per-pair FIFO and each protocol's consistency
+	// argument are preserved (see README "Coalescing semantics").
+	// Blocking protocols (Sequential, Atomic, CacheConsistency) ignore
+	// it.
+	//
+	// Liveness caveat: a buffered update propagates only when its
+	// *writer* next operates (or the cluster quiesces). A workload that
+	// polls for a value whose writer has gone permanently silent will
+	// wait forever; synchronize such phases with Quiesce, or leave
+	// coalescing off. Self-driving workloads where every node keeps
+	// reading (Bellman-Ford's round barrier, the bench suites) are live
+	// unconditionally.
+	CoalesceBatch int
 	// DisableTrace turns off history and witness recording (for
 	// benchmarks). Traced verification methods then return ErrNoTrace.
 	DisableTrace bool
@@ -238,7 +258,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		rec.SetObserver(func(node int, e check.Event) { _ = monitor.Feed(node, e) })
 	}
-	mc := mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec}
+	mc := mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec, CoalesceBatch: cfg.CoalesceBatch}
 
 	var nodes []mcs.Node
 	switch cfg.Consistency {
@@ -324,8 +344,17 @@ func (c *Cluster) VarsOf(i int) []string { return c.pl.VarsOf(i) }
 
 // Quiesce blocks until no message is in flight. With idle application
 // goroutines this is a consistent global cut: all issued updates have
-// been delivered everywhere they were addressed.
-func (c *Cluster) Quiesce() { c.net.Quiesce() }
+// been delivered everywhere they were addressed. Updates still
+// coalesced in node outboxes (Config.CoalesceBatch) are flushed first,
+// so the cut covers every issued write.
+func (c *Cluster) Quiesce() {
+	for _, n := range c.nodes {
+		if f, ok := n.(mcs.Flusher); ok {
+			f.FlushUpdates()
+		}
+	}
+	c.net.Quiesce()
+}
 
 // PauseLink suspends delivery on the ordered link from → to (messages
 // queue, nothing is lost) — deterministic asynchrony injection for
