@@ -67,20 +67,26 @@ func TestWriteAllocBudget(t *testing.T) {
 		budget float64 // max allocs per write, amortized
 	}{
 		// Wait-free partial-replication protocols: the headline claim.
-		{PRAM, 1},
-		{Slow, 1},
+		// Steady state measures ~0.15 (occasional pool misses); the
+		// budget leaves room for scheduler-dependent pool churn.
+		{PRAM, 0.5},
+		{Slow, 0.5},
 		// Causal broadcast: vector clocks encode straight from the node
 		// clock, same budget.
-		{CausalFull, 1},
+		{CausalFull, 0.5},
 		// Causal partial replication pays Θ(n·v) dependency scanning but
 		// still streams into pooled frames.
 		{CausalPartial, 2},
 		{CausalHoopAware, 2},
-		// Blocking protocols: one non-poolable multicast payload per
-		// write plus sequencer bookkeeping.
-		{Sequential, 6},
-		{CacheConsistency, 6},
-		{Atomic, 4},
+		// Blocking protocols: the shared multicast frame is refcounted
+		// and recycled by its last receiver, so the remaining allocs are
+		// sequencer bookkeeping (buffered-update map entries) and the
+		// writer's blocking-wait machinery.
+		{Sequential, 4.5},
+		{CacheConsistency, 4.5},
+		// Atomic registers: every payload is single-destination and
+		// pooled on both sides of the round trip — zero steady state.
+		{Atomic, 1},
 	}
 	for _, tc := range budgets {
 		t.Run(string(tc.cons), func(t *testing.T) {
@@ -143,6 +149,38 @@ func TestWriteAllocBudgetPartialPlacement(t *testing.T) {
 	})
 	if perWrite := avg / 16; perWrite > 1 {
 		t.Errorf("PRAM Write on hoop placement allocates %.2f/op amortized, budget 1", perWrite)
+	}
+}
+
+// TestUncoalescedWriteAllocBudget locks in the refcounted shared-frame
+// path: with coalescing off, every multicast write shares one pooled
+// frame recycled by its last receiver, so even the uncoalesced
+// protocols amortize below one allocation per write.
+func TestUncoalescedWriteAllocBudget(t *testing.T) {
+	for _, cons := range []Consistency{PRAM, Slow, CausalFull} {
+		t.Run(string(cons), func(t *testing.T) {
+			c := allocCluster(t, cons, fullPlacement(4), 1)
+			h := c.Node(0)
+			for i := 0; i < 64; i++ {
+				if err := h.Write("x", int64(i)+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Quiesce()
+			v := int64(1000)
+			avg := testing.AllocsPerRun(50, func() {
+				for i := 0; i < 16; i++ {
+					v++
+					if err := h.Write("x", v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c.Quiesce()
+			})
+			if perWrite := avg / 16; perWrite > 0.5 {
+				t.Errorf("%s uncoalesced Write allocates %.2f/op amortized, budget 0.5", cons, perWrite)
+			}
+		})
 	}
 }
 

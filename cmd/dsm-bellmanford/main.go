@@ -6,7 +6,8 @@
 //
 //	dsm-bellmanford [-figure8] [-n 12] [-extra 10] [-maxw 9] [-seed 1]
 //	                [-consistency pram] [-transport classic|sharded]
-//	                [-coalesce 1] [-latency 100us] [-v]
+//	                [-coalesce 1] [-flush-ticks 0] [-adaptive]
+//	                [-latency 100us] [-v]
 //
 // By default a random graph is used; -figure8 runs the paper's example
 // network. Exits 1 if the distributed result disagrees with the oracle
@@ -41,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	consistency := fs.String("consistency", "pram", "memory consistency (pram, causal-partial, causal-hoop-aware, sequential, atomic)")
 	transport := fs.String("transport", "classic", "message transport (classic, sharded)")
 	coalesce := fs.Int("coalesce", 1, "updates coalesced per destination before a flush (1 = off)")
+	flushTicks := fs.Int("flush-ticks", 0, "virtual-time flush deadline for coalesced updates (0 = off; implies coalescing)")
+	adaptive := fs.Bool("adaptive", false, "flush a destination's coalesced frame as soon as it has no inbound traffic (implies coalescing)")
 	latency := fs.Duration("latency", 100*time.Microsecond, "maximum simulated message latency")
 	verbose := fs.Bool("v", false, "print the placement and per-vertex distances")
 	if err := fs.Parse(args); err != nil {
@@ -66,12 +69,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cluster, err := partialdsm.New(partialdsm.Config{
-		Consistency:   partialdsm.Consistency(*consistency),
-		Placement:     placement,
-		Seed:          *seed,
-		MaxLatency:    *latency,
-		Transport:     partialdsm.Transport(*transport),
-		CoalesceBatch: *coalesce,
+		Consistency:        partialdsm.Consistency(*consistency),
+		Placement:          placement,
+		Seed:               *seed,
+		MaxLatency:         *latency,
+		Transport:          partialdsm.Transport(*transport),
+		CoalesceBatch:      *coalesce,
+		CoalesceFlushTicks: *flushTicks,
+		CoalesceAdaptive:   *adaptive,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "dsm-bellmanford: %v\n", err)

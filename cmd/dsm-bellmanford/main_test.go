@@ -50,6 +50,34 @@ func TestStrongerConsistency(t *testing.T) {
 	}
 }
 
+// TestCoalescedModes runs the case study under each engine-driven
+// flush mode: the distributed result must still match the oracle and
+// pass witness + efficiency verification.
+func TestCoalescedModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-coalesce", "16"},
+		{"-coalesce", "16", "-flush-ticks", "8"},
+		{"-coalesce", "16", "-adaptive"},
+		{"-adaptive", "-transport", "sharded"},
+	} {
+		full := append([]string{"-n", "8", "-extra", "6", "-seed", "5", "-latency", "0"}, args...)
+		code, out, errOut := runBF(t, full...)
+		if code != 0 {
+			t.Errorf("%v: exit = %d\n%s\n%s", args, code, out, errOut)
+			continue
+		}
+		for _, want := range []string{
+			"RESULT: distributed distances match the sequential oracle",
+			"consistency witness: ok",
+			"efficiency (Theorem 2)",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v: output missing %q:\n%s", args, want, out)
+			}
+		}
+	}
+}
+
 func TestBadArguments(t *testing.T) {
 	if code, _, _ := runBF(t, "-consistency", "bogus"); code != 2 {
 		t.Error("unknown consistency must exit 2")

@@ -1,18 +1,32 @@
 // Command dsm-bench runs the repo's cluster-level performance suite
 // programmatically (via testing.Benchmark) and emits a trajectory file
-// BENCH_<pr>.json mapping benchmark name → ns/op, allocs/op, bytes/op,
-// so successive PRs can track performance without parsing `go test
-// -bench` output. The suite mirrors the hot-path benchmarks in
-// bench_test.go: the UpdateStorm multicast burst and the Bellman-Ford
-// case study across transports and coalescing settings, plus the
-// per-operation PRAM write/read costs.
+// BENCH_<pr>.json mapping benchmark name → ns/op, allocs/op, bytes/op
+// and msgs/op, so successive PRs can track performance without parsing
+// `go test -bench` output. The suite mirrors the hot-path benchmarks
+// in bench_test.go: the UpdateStorm multicast burst and the
+// Bellman-Ford case study across transports and coalescing modes
+// (plain batching, virtual-time flush deadlines, adaptive
+// destination-idle flushing), plus the per-operation PRAM write/read
+// costs.
 //
 // Usage:
 //
-//	dsm-bench [-out BENCH_2.json] [-pr 2] [-quick]
+//	dsm-bench [-out BENCH_3.json] [-pr 3] [-quick] [-repeat 1]
+//	          [-baseline BENCH_2.json] [-compare BENCH_2.json] [-tolerance 10]
 //
 // -quick runs a two-benchmark subset (for CI smoke and tests); without
-// -out the JSON goes to stdout.
+// -out the JSON goes to stdout. -baseline embeds a previous
+// trajectory's numbers so the file reads as a before/after table.
+// -repeat N measures every benchmark N times and records the
+// per-metric median, damping scheduler noise in the wall-time column
+// of committed trajectories.
+//
+// -compare is the CI regression gate: after the run, the fresh numbers
+// are diffed against the given trajectory on the deterministic metrics
+// only — allocs/op, bytes/op, msgs/op; never wall time, which shared
+// CI runners cannot measure reproducibly — and the process exits
+// non-zero if any metric regressed more than -tolerance percent beyond
+// a small absolute floor that absorbs pool jitter.
 package main
 
 import (
@@ -30,11 +44,14 @@ import (
 	"partialdsm/internal/bellmanford"
 )
 
-// Result is one benchmark's measurement.
+// Result is one benchmark's measurement. MsgsPerOp counts network
+// messages per operation — fully seed-deterministic, the metric the
+// coalescing work optimizes.
 type Result struct {
 	NsPerOp     float64 `json:"ns_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
 	BytesPerOp  int64   `json:"bytes_op"`
+	MsgsPerOp   float64 `json:"msgs_op,omitempty"`
 	N           int     `json:"n"`
 }
 
@@ -50,11 +67,30 @@ type Trajectory struct {
 	Notes      string            `json:"notes,omitempty"`
 }
 
-// bench is one named benchmark.
+// bench is one named benchmark; fn reports the deterministic msgs/op
+// through the out-parameter on every invocation.
 type bench struct {
 	name  string
 	quick bool // include in the -quick subset
-	fn    func(b *testing.B)
+	fn    func(b *testing.B, msgs *float64)
+}
+
+// mode is one coalescing configuration of the cluster under test.
+type mode struct {
+	label    string
+	batch    int
+	ticks    int
+	adaptive bool
+}
+
+// modes enumerates the coalescing axis: off, plain batching, batching
+// with a virtual-time flush deadline, and adaptive destination-idle
+// flushing.
+var modes = []mode{
+	{label: "coalesce=1", batch: 1},
+	{label: "coalesce=16", batch: 16},
+	{label: "coalesce=16+ticks=8", batch: 16, ticks: 8},
+	{label: "coalesce=adaptive", batch: 16, adaptive: true},
 }
 
 func main() {
@@ -66,8 +102,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "write the trajectory JSON to this file (default stdout)")
-	pr := fs.Int("pr", 2, "PR number recorded in the trajectory")
+	pr := fs.Int("pr", 3, "PR number recorded in the trajectory")
 	quick := fs.Bool("quick", false, "run the two-benchmark smoke subset")
+	repeat := fs.Int("repeat", 1, "measure each benchmark this many times and record per-metric medians")
+	baseline := fs.String("baseline", "", "embed this previous trajectory's numbers as the baseline table")
+	compare := fs.String("compare", "", "diff the fresh run against this trajectory and exit non-zero on regression")
+	tolerance := fs.Float64("tolerance", 10, "percent regression allowed per deterministic metric (-compare)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,28 +118,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: make(map[string]Result),
 	}
+	if *baseline != "" {
+		prev, err := readTrajectory(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "dsm-bench: -baseline: %v\n", err)
+			return 2
+		}
+		traj.Baseline = prev.Benchmarks
+	}
 	suite := benches()
 	names := make([]string, 0, len(suite))
+	byName := make(map[string]bench, len(suite))
 	for _, b := range suite {
+		byName[b.name] = b
 		if *quick && !b.quick {
 			continue
 		}
 		names = append(names, b.name)
 	}
 	sort.Strings(names)
-	byName := make(map[string]bench, len(suite))
-	for _, b := range suite {
-		byName[b.name] = b
+	if *repeat < 1 {
+		*repeat = 1
 	}
 	for _, name := range names {
 		fmt.Fprintf(stderr, "running %s …\n", name)
-		r := testing.Benchmark(byName[name].fn)
-		traj.Benchmarks[name] = Result{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			N:           r.N,
+		fn := byName[name].fn
+		reps := make([]Result, 0, *repeat)
+		for i := 0; i < *repeat; i++ {
+			var msgs float64
+			r := testing.Benchmark(func(b *testing.B) { fn(b, &msgs) })
+			reps = append(reps, Result{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				MsgsPerOp:   msgs,
+				N:           r.N,
+			})
 		}
+		traj.Benchmarks[name] = medianResult(reps)
 	}
 
 	data, err := json.MarshalIndent(traj, "", "  ")
@@ -110,66 +166,208 @@ func run(args []string, stdout, stderr io.Writer) int {
 	data = append(data, '\n')
 	if *out == "" {
 		stdout.Write(data)
-		return 0
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "dsm-bench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d benchmarks)\n", *out, len(traj.Benchmarks))
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(stderr, "dsm-bench: %v\n", err)
-		return 2
+
+	if *compare != "" {
+		base, err := readTrajectory(*compare)
+		if err != nil {
+			fmt.Fprintf(stderr, "dsm-bench: -compare: %v\n", err)
+			return 2
+		}
+		if !compareTrajectories(base, traj, *tolerance, stdout) {
+			fmt.Fprintf(stderr, "dsm-bench: regression gate FAILED against %s (tolerance %.0f%%)\n", *compare, *tolerance)
+			return 1
+		}
+		fmt.Fprintf(stdout, "regression gate passed against %s (tolerance %.0f%%)\n", *compare, *tolerance)
 	}
-	fmt.Fprintf(stderr, "wrote %s (%d benchmarks)\n", *out, len(traj.Benchmarks))
 	return 0
+}
+
+// medianResult combines repeated measurements into one Result, taking
+// the median of each metric independently (the deterministic metrics
+// agree across reps anyway; the median tames wall-time outliers).
+func medianResult(reps []Result) Result {
+	if len(reps) == 1 {
+		return reps[0]
+	}
+	med := func(get func(Result) float64) float64 {
+		vals := make([]float64, len(reps))
+		for i, r := range reps {
+			vals[i] = get(r)
+		}
+		sort.Float64s(vals)
+		if n := len(vals); n%2 == 1 {
+			return vals[n/2]
+		} else {
+			return (vals[n/2-1] + vals[n/2]) / 2
+		}
+	}
+	return Result{
+		NsPerOp:     med(func(r Result) float64 { return r.NsPerOp }),
+		AllocsPerOp: int64(med(func(r Result) float64 { return float64(r.AllocsPerOp) })),
+		BytesPerOp:  int64(med(func(r Result) float64 { return float64(r.BytesPerOp) })),
+		MsgsPerOp:   med(func(r Result) float64 { return r.MsgsPerOp }),
+		N:           int(med(func(r Result) float64 { return float64(r.N) })),
+	}
+}
+
+// readTrajectory loads a committed trajectory file.
+func readTrajectory(path string) (Trajectory, error) {
+	var t Trajectory
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(t.Benchmarks) == 0 {
+		return t, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return t, nil
+}
+
+// metricFloor is the absolute slack per metric that absorbs pool and
+// scheduler jitter on small counts; a regression must exceed both the
+// percentage tolerance and the floor to fail the gate.
+var metricFloors = map[string]float64{
+	"allocs/op": 4,
+	"bytes/op":  2048,
+	"msgs/op":   0.5,
+}
+
+// compareTrajectories diffs every benchmark present in both runs on
+// the deterministic metrics and reports regressions; it returns true
+// when the gate passes. Wall time is printed for context but never
+// gated.
+func compareTrajectories(base, cand Trajectory, tolPct float64, w io.Writer) bool {
+	names := make([]string, 0, len(cand.Benchmarks))
+	for name := range cand.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	// Baseline rows the fresh run no longer produces are not gated —
+	// say so loudly, or a regression could hide behind a rename.
+	var missing []string
+	for name := range base.Benchmarks {
+		if _, ok := cand.Benchmarks[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "WARNING: baseline benchmark %q is not in the candidate run and was not gated\n", name)
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(w, "compare: no overlapping benchmarks")
+		return false
+	}
+	ok := true
+	fmt.Fprintf(w, "%-44s %-10s %14s %14s %8s\n", "benchmark", "metric", "baseline", "candidate", "delta")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cand.Benchmarks[name]
+		metrics := []struct {
+			metric     string
+			base, cand float64
+		}{
+			{"allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp)},
+			{"bytes/op", float64(b.BytesPerOp), float64(c.BytesPerOp)},
+			{"msgs/op", b.MsgsPerOp, c.MsgsPerOp},
+		}
+		for _, m := range metrics {
+			if m.metric == "msgs/op" && m.base == 0 {
+				continue // older trajectories did not record message counts
+			}
+			deltaPct := 0.0
+			if m.base != 0 {
+				deltaPct = (m.cand - m.base) / m.base * 100
+			} else if m.cand != 0 {
+				deltaPct = 100
+			}
+			mark := ""
+			if m.cand > m.base*(1+tolPct/100) && m.cand-m.base > metricFloors[m.metric] {
+				mark = "  << REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "%-44s %-10s %14.1f %14.1f %+7.1f%%%s\n", name, m.metric, m.base, m.cand, deltaPct, mark)
+		}
+	}
+	return ok
 }
 
 // benches enumerates the suite.
 func benches() []bench {
 	var out []bench
 	// UpdateStorm: the message-heaviest cluster shape — PRAM over full
-	// replication on 16 nodes, 64-write bursts, quiesce per burst.
+	// replication on 16 nodes, 64-write bursts, quiesce per burst. The
+	// classic engine runs the legacy modes; the sharded engine runs the
+	// full coalescing axis.
 	for _, tr := range partialdsm.Transports {
-		for _, batch := range []int{1, 16} {
-			tr, batch := tr, batch
+		for _, m := range modes {
+			if tr == partialdsm.TransportClassic && (m.ticks > 0 || m.adaptive) {
+				continue
+			}
+			tr, m := tr, m
 			out = append(out, bench{
-				name:  fmt.Sprintf("UpdateStorm/%s/coalesce=%d", tr, batch),
-				quick: tr == partialdsm.TransportSharded,
-				fn:    func(b *testing.B) { updateStorm(b, tr, batch) },
+				name:  fmt.Sprintf("UpdateStorm/%s/%s", tr, m.label),
+				quick: tr == partialdsm.TransportSharded && m.ticks == 0 && !m.adaptive,
+				fn:    func(b *testing.B, msgs *float64) { updateStorm(b, tr, m, msgs) },
 			})
 		}
 	}
-	// Bellman-Ford at the largest benchmarked size.
+	// Bellman-Ford at the largest benchmarked size, across the full
+	// coalescing axis on both engines — the workload the adaptive mode
+	// exists for.
 	for _, tr := range partialdsm.Transports {
-		for _, batch := range []int{1, 16} {
-			tr, batch := tr, batch
+		for _, m := range modes {
+			tr, m := tr, m
 			out = append(out, bench{
-				name: fmt.Sprintf("BellmanFord/n=20/%s/coalesce=%d", tr, batch),
-				fn:   func(b *testing.B) { bellmanFord(b, 20, tr, batch) },
+				name: fmt.Sprintf("BellmanFord/n=20/%s/%s", tr, m.label),
+				fn:   func(b *testing.B, msgs *float64) { bellmanFord(b, 20, tr, m, msgs) },
 			})
 		}
 	}
 	// Per-operation costs of the headline protocol.
 	out = append(out,
-		bench{name: "PRAMWrite/8node-full", fn: func(b *testing.B) { pramWrite(b, 1) }},
-		bench{name: "PRAMWrite/8node-full/coalesce=16", fn: func(b *testing.B) { pramWrite(b, 16) }},
+		bench{name: "PRAMWrite/8node-full", fn: func(b *testing.B, msgs *float64) { pramWrite(b, modes[0], msgs) }},
+		bench{name: "PRAMWrite/8node-full/coalesce=16", fn: func(b *testing.B, msgs *float64) { pramWrite(b, modes[1], msgs) }},
 		bench{name: "PRAMRead/8node-full", fn: pramRead},
 	)
 	return out
 }
 
 // cluster builds an untraced benchmark cluster.
-func cluster(b *testing.B, cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport, batch int) *partialdsm.Cluster {
+func cluster(b *testing.B, cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport, m mode) *partialdsm.Cluster {
 	b.Helper()
-	c, err := partialdsm.New(partialdsm.Config{
-		Consistency:   cons,
-		Placement:     placement,
-		Seed:          1,
-		DisableTrace:  true,
-		Transport:     tr,
-		CoalesceBatch: batch,
-	})
+	c, err := partialdsm.New(clusterConfig(cons, placement, tr, m))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(c.Close)
 	return c
+}
+
+// clusterConfig builds the benchmark cluster configuration for a
+// coalescing mode.
+func clusterConfig(cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport, m mode) partialdsm.Config {
+	return partialdsm.Config{
+		Consistency:        cons,
+		Placement:          placement,
+		Seed:               1,
+		DisableTrace:       true,
+		Transport:          tr,
+		CoalesceBatch:      m.batch,
+		CoalesceFlushTicks: m.ticks,
+		CoalesceAdaptive:   m.adaptive,
+	}
 }
 
 // fullPlacement replicates x on every node.
@@ -182,9 +380,9 @@ func fullPlacement(n int) [][]string {
 }
 
 // updateStorm is one 64-write burst plus quiescence per iteration.
-func updateStorm(b *testing.B, tr partialdsm.Transport, batch int) {
+func updateStorm(b *testing.B, tr partialdsm.Transport, m mode, msgs *float64) {
 	const nodes, burst = 16, 64
-	c := cluster(b, partialdsm.PRAM, fullPlacement(nodes), tr, batch)
+	c := cluster(b, partialdsm.PRAM, fullPlacement(nodes), tr, m)
 	h := c.Node(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -195,22 +393,18 @@ func updateStorm(b *testing.B, tr partialdsm.Transport, batch int) {
 		}
 		c.Quiesce()
 	}
+	b.StopTimer()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
 }
 
 // bellmanFord is one full distributed shortest-path run per iteration.
-func bellmanFord(b *testing.B, n int, tr partialdsm.Transport, batch int) {
+func bellmanFord(b *testing.B, n int, tr partialdsm.Transport, m mode, msgs *float64) {
 	g := bellmanford.RandomGraph(rand.New(rand.NewSource(7)), n, 2*n, 9)
 	placement := bellmanford.Placement(g)
+	var totalMsgs int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := partialdsm.New(partialdsm.Config{
-			Consistency:   partialdsm.PRAM,
-			Placement:     placement,
-			Seed:          1,
-			DisableTrace:  true,
-			Transport:     tr,
-			CoalesceBatch: batch,
-		})
+		c, err := partialdsm.New(clusterConfig(partialdsm.PRAM, placement, tr, m))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,13 +415,17 @@ func bellmanFord(b *testing.B, n int, tr partialdsm.Transport, batch int) {
 		if _, err := bellmanford.Run(nodes, g, 0); err != nil {
 			b.Fatal(err)
 		}
+		c.Quiesce()
+		totalMsgs += c.Stats().Msgs
 		c.Close()
 	}
+	b.StopTimer()
+	*msgs = float64(totalMsgs) / float64(b.N)
 }
 
 // pramWrite measures a single PRAM write on 8-node full replication.
-func pramWrite(b *testing.B, batch int) {
-	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, batch)
+func pramWrite(b *testing.B, m mode, msgs *float64) {
+	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, m)
 	h := c.Node(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -237,11 +435,12 @@ func pramWrite(b *testing.B, batch int) {
 	}
 	b.StopTimer()
 	c.Quiesce()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
 }
 
 // pramRead measures a wait-free local read.
-func pramRead(b *testing.B) {
-	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, 1)
+func pramRead(b *testing.B, msgs *float64) {
+	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, modes[0])
 	h := c.Node(1)
 	if err := c.Node(0).Write("x", 42); err != nil {
 		b.Fatal(err)
@@ -253,4 +452,6 @@ func pramRead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
 }

@@ -40,6 +40,120 @@ func TestQuickRunEmitsTrajectory(t *testing.T) {
 	}
 }
 
+// TestCompareGate unit-tests the regression gate: identical numbers
+// pass, improvements pass, wall-time changes are ignored, and a
+// doctored regression beyond tolerance + floor fails.
+func TestCompareGate(t *testing.T) {
+	base := Trajectory{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 1000, AllocsPerOp: 90, BytesPerOp: 10000, MsgsPerOp: 48, N: 100},
+		"B": {NsPerOp: 500, AllocsPerOp: 3, BytesPerOp: 241, MsgsPerOp: 15, N: 100},
+	}}
+	clone := func(mutate func(m map[string]Result)) Trajectory {
+		out := Trajectory{Benchmarks: make(map[string]Result)}
+		for k, v := range base.Benchmarks {
+			out.Benchmarks[k] = v
+		}
+		mutate(out.Benchmarks)
+		return out
+	}
+	cases := []struct {
+		name string
+		cand Trajectory
+		want bool
+	}{
+		{"identical", clone(func(map[string]Result) {}), true},
+		{"improvement", clone(func(m map[string]Result) {
+			m["A"] = Result{AllocsPerOp: 40, BytesPerOp: 5000, MsgsPerOp: 20}
+		}), true},
+		{"walltime-ignored", clone(func(m map[string]Result) {
+			r := m["A"]
+			r.NsPerOp *= 10
+			m["A"] = r
+		}), true},
+		{"within-tolerance", clone(func(m map[string]Result) {
+			r := m["A"]
+			r.AllocsPerOp = 97 // +7.8%
+			m["A"] = r
+		}), true},
+		{"small-jitter-under-floor", clone(func(m map[string]Result) {
+			r := m["B"]
+			r.AllocsPerOp = 6 // +100% but within the absolute floor
+			m["B"] = r
+		}), true},
+		{"alloc-regression", clone(func(m map[string]Result) {
+			r := m["A"]
+			r.AllocsPerOp = 130 // +44%
+			m["A"] = r
+		}), false},
+		{"msgs-regression", clone(func(m map[string]Result) {
+			r := m["A"]
+			r.MsgsPerOp = 96 // coalescing broke: 2× messages
+			m["A"] = r
+		}), false},
+		{"bytes-regression", clone(func(m map[string]Result) {
+			r := m["A"]
+			r.BytesPerOp = 20000
+			m["A"] = r
+		}), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if got := compareTrajectories(base, tc.cand, 10, &buf); got != tc.want {
+				t.Errorf("gate = %v, want %v\n%s", got, tc.want, buf.String())
+			}
+		})
+	}
+}
+
+// TestCompareFlagEndToEnd runs the -quick suite with -compare against
+// a doctored baseline twice: once matching (exit 0) and once with an
+// impossible-to-meet baseline (exit 1), exercising the CI gate's
+// process-level contract.
+func TestCompareFlagEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cand.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-quick", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("seed run failed: %d\n%s", code, stderr.String())
+	}
+	// Comparing a run against its own numbers must pass.
+	if code := run([]string{"-quick", "-compare", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare failed: %d\n%s\n%s", code, stdout.String(), stderr.String())
+	}
+	// Doctor the baseline so the fresh run regresses on allocs and msgs.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doctored Trajectory
+	if err := json.Unmarshal(data, &doctored); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range doctored.Benchmarks {
+		r.AllocsPerOp = r.AllocsPerOp/4 - 10
+		if r.AllocsPerOp < 0 {
+			r.AllocsPerOp = 0
+		}
+		r.MsgsPerOp /= 4
+		r.BytesPerOp /= 4
+		doctored.Benchmarks[name] = r
+	}
+	doctoredPath := filepath.Join(dir, "doctored.json")
+	raw, _ := json.Marshal(doctored)
+	if err := os.WriteFile(doctoredPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-quick", "-compare", doctoredPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("doctored compare exited %d, want 1\n%s", code, stdout.String())
+	}
+}
+
 // TestBadFlags exercises the flag error path.
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -48,19 +162,23 @@ func TestBadFlags(t *testing.T) {
 	}
 }
 
-// TestCommittedTrajectoryParses guards the checked-in trajectory file:
-// it must stay valid JSON with the documented shape.
-func TestCommittedTrajectoryParses(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_2.json")
-	if err != nil {
-		t.Skipf("no committed trajectory: %v", err)
+// TestCommittedTrajectoriesParse guards every checked-in trajectory
+// file: valid JSON with the documented shape, loadable by the same
+// reader the -compare gate uses.
+func TestCommittedTrajectoriesParse(t *testing.T) {
+	paths, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(paths) == 0 {
+		t.Skipf("no committed trajectories: %v", err)
 	}
-	var traj Trajectory
-	if err := json.Unmarshal(data, &traj); err != nil {
-		t.Fatalf("BENCH_2.json is not a valid trajectory: %v", err)
-	}
-	if traj.PR != 2 || len(traj.Benchmarks) == 0 || len(traj.Baseline) == 0 {
-		t.Errorf("BENCH_2.json incomplete: pr=%d, %d benchmarks, %d baseline entries",
-			traj.PR, len(traj.Benchmarks), len(traj.Baseline))
+	for _, path := range paths {
+		traj, err := readTrajectory(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if traj.PR <= 0 || len(traj.Benchmarks) == 0 || len(traj.Baseline) == 0 {
+			t.Errorf("%s incomplete: pr=%d, %d benchmarks, %d baseline entries",
+				path, traj.PR, len(traj.Benchmarks), len(traj.Baseline))
+		}
 	}
 }

@@ -6,6 +6,14 @@
 //
 //	dsm-experiments [-exp all|fig1…fig6|thm1|thm2|scaling|degree|bellmanford|hierarchy|ablation|openquestion|separation|latency] [-seed N]
 //	                [-transport classic|sharded]
+//	                [-coalesce 1] [-flush-ticks 4] [-adaptive]
+//
+// Coalescing is safe here even for the poll-style experiment schedules
+// because buffered updates flush on an engine-driven trigger: a
+// virtual-time deadline (-flush-ticks, on by default whenever
+// -coalesce enables batching) or destination-idle detection
+// (-adaptive). Every report must produce the same verdicts coalesced
+// or uncoalesced.
 //
 // The process exits non-zero if any selected experiment fails its
 // checks.
@@ -34,10 +42,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sizes := fs.String("sizes", "4,8,16,24", "comma-separated ring sizes for the scaling sweep")
 	ops := fs.Int("ops", 30, "operations per node for workload-driven experiments")
 	transport := fs.String("transport", "classic", "message transport (classic, sharded)")
+	coalesce := fs.Int("coalesce", 1, "updates coalesced per destination before a flush (1 = off)")
+	flushTicks := fs.Int("flush-ticks", 4, "virtual-time flush deadline for coalesced updates (0 = operation-driven flushing only)")
+	adaptive := fs.Bool("adaptive", false, "flush a destination's coalesced frame as soon as it has no inbound traffic")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	experiments.SetTransport(*transport)
+	// An explicit -flush-ticks implies coalescing, matching the
+	// partialdsm.Config contract and dsm-bellmanford's flag; the flag's
+	// *default* only applies once batching or adaptive mode enables
+	// coalescing.
+	ticksSet := false
+	fs.Visit(func(f *flag.Flag) { ticksSet = ticksSet || f.Name == "flush-ticks" })
+	if *coalesce > 1 || *adaptive || (ticksSet && *flushTicks > 0) {
+		experiments.SetCoalescing(*coalesce, *flushTicks, *adaptive)
+	} else {
+		experiments.SetCoalescing(0, 0, false) // reset: package state persists across runs
+	}
 
 	var reports []experiments.Report
 	switch strings.ToLower(*exp) {

@@ -44,6 +44,30 @@ func TestScalingWithCustomSizes(t *testing.T) {
 	}
 }
 
+// TestCoalescedExperiments re-runs the workload-driven experiments
+// with coalescing on, in timer and adaptive mode: every report must
+// reach the same verdicts as the uncoalesced run — coalescing changes
+// the message-per-write constant, never what any node learns or in
+// what order. Separation (E17) is the hard case: its poll-style
+// adversarial schedule would deadlock under PR-2-style plain batching.
+func TestCoalescedExperiments(t *testing.T) {
+	for _, modeArgs := range [][]string{
+		{"-coalesce", "16", "-flush-ticks", "4"},
+		{"-coalesce", "16", "-adaptive", "-flush-ticks", "0"},
+	} {
+		for _, exp := range []string{"thm2", "separation", "bellmanford"} {
+			args := append([]string{"-exp", exp}, modeArgs...)
+			code, out, errOut := runExp(t, args...)
+			if code != 0 {
+				t.Errorf("%v: exit = %d\n%s\n%s", args, code, out, errOut)
+			}
+			if !strings.Contains(out, "[PASS]") {
+				t.Errorf("%v: no PASS marker:\n%s", args, out)
+			}
+		}
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if code, _, _ := runExp(t, "-exp", "nope"); code != 2 {
 		t.Error("unknown experiment must exit 2")

@@ -29,10 +29,41 @@ import (
 // is scheduled — so any conforming transport must reproduce them.
 var transport partialdsm.Transport
 
+// coalesce is the update-coalescing mode every experiment cluster runs
+// with (SetCoalescing; dsm-experiments' -coalesce/-flush-ticks/
+// -adaptive flags). The engine-driven flush modes keep even the
+// poll-style experiment schedules live, and the reports — consistency
+// verdicts, witnesses, Theorem 1/2 checks — must come out the same
+// coalesced or not: batching changes the message-per-write constant,
+// never what any node learns or in what order.
+var coalesce struct {
+	batch    int
+	ticks    int
+	adaptive bool
+}
+
 // SetTransport selects the delivery engine for subsequently built
 // experiment clusters. The empty string selects the classic engine.
 func SetTransport(kind string) {
 	transport = partialdsm.Transport(kind)
+}
+
+// SetCoalescing selects the coalescing mode for subsequently built
+// experiment clusters: per-destination batch size, virtual-time flush
+// deadline, and adaptive destination-idle flushing. Zero values run
+// uncoalesced (the default).
+func SetCoalescing(batch, flushTicks int, adaptive bool) {
+	coalesce.batch, coalesce.ticks, coalesce.adaptive = batch, flushTicks, adaptive
+}
+
+// newCluster builds an experiment cluster on the configured transport
+// and coalescing mode.
+func newCluster(cfg partialdsm.Config) (*partialdsm.Cluster, error) {
+	cfg.Transport = transport
+	cfg.CoalesceBatch = coalesce.batch
+	cfg.CoalesceFlushTicks = coalesce.ticks
+	cfg.CoalesceAdaptive = coalesce.adaptive
+	return partialdsm.New(cfg)
 }
 
 // Report is the outcome of one experiment.
@@ -264,8 +295,7 @@ func Thm1(seed int64) Report {
 	rp.checkf(agree, "linear-time relevance == hoop enumeration on 30 random topologies")
 
 	// Protocol level: hoop topology, one write on x.
-	cluster, err := partialdsm.New(partialdsm.Config{
-		Transport:   transport,
+	cluster, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.CausalPartial,
 		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}},
 		Seed:        seed,
@@ -297,8 +327,7 @@ func Thm1(seed int64) Report {
 func Thm2(seed int64) Report {
 	rp := newReporter("E8", "Theorem 2 — PRAM admits efficient partial replication")
 	for _, cons := range []partialdsm.Consistency{partialdsm.PRAM, partialdsm.Slow} {
-		cluster, err := partialdsm.New(partialdsm.Config{
-			Transport:   transport,
+		cluster, err := newCluster(partialdsm.Config{
 			Consistency: cons,
 			Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
 			Seed:        seed,
@@ -349,8 +378,7 @@ func Scaling(sizes []int, opsPerNode int, seed int64) (Report, []ScalingPoint) {
 		}
 		for _, cons := range ScalingProtocols {
 			placement := ringPlacement(n)
-			cluster, err := partialdsm.New(partialdsm.Config{
-				Transport:    transport,
+			cluster, err := newCluster(partialdsm.Config{
 				Consistency:  cons,
 				Placement:    placement,
 				Seed:         seed,
@@ -423,8 +451,7 @@ func DegreeSweep(n int, degrees []int, opsPerNode int, seed int64) Report {
 		}
 		r := row{k: k}
 		for _, cons := range []partialdsm.Consistency{partialdsm.CausalPartial, partialdsm.PRAM} {
-			cluster, err := partialdsm.New(partialdsm.Config{
-				Transport:   transport,
+			cluster, err := newCluster(partialdsm.Config{
 				Consistency: cons, Placement: placement, Seed: seed, DisableTrace: true,
 			})
 			if err != nil {
@@ -468,8 +495,7 @@ func Latency(seed int64) Report {
 	}
 	const perOp = 60
 	measure := func(cons partialdsm.Consistency) (writeMean, readMean time.Duration, err error) {
-		cluster, err := partialdsm.New(partialdsm.Config{
-			Transport:   transport,
+		cluster, err := newCluster(partialdsm.Config{
 			Consistency: cons, Placement: placement,
 			Seed: seed, MaxLatency: time.Millisecond, DisableTrace: true,
 		})
@@ -519,8 +545,7 @@ func Latency(seed int64) Report {
 func BellmanFordFig8(seed int64) Report {
 	rp := newReporter("E10-E12", "§6 — Bellman-Ford on PRAM memory with partial replication (Figures 7–9)")
 	g := bellmanford.Figure8Graph()
-	cluster, err := partialdsm.New(partialdsm.Config{
-		Transport:   transport,
+	cluster, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
 		Placement:   bellmanford.Placement(g),
 		Seed:        seed,
@@ -598,8 +623,7 @@ func Ablation(opsPerNode int, seed int64) Report {
 		msgs float64
 	}
 	run := func(cons partialdsm.Consistency, placement [][]string) (cell, error) {
-		cluster, err := partialdsm.New(partialdsm.Config{
-			Transport:    transport,
+		cluster, err := newCluster(partialdsm.Config{
 			Consistency:  cons,
 			Placement:    placement,
 			Seed:         seed,
@@ -702,8 +726,7 @@ func OpenQuestion(seed int64) Report {
 		"witness B: PRAM accepts, cache rejects (divergent orders on one variable)")
 
 	// Protocol level: cachepart is efficient on the hoop topology.
-	cluster, err := partialdsm.New(partialdsm.Config{
-		Transport:   transport,
+	cluster, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.CacheConsistency,
 		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
 		Seed:        seed,
@@ -752,8 +775,7 @@ func Separation(seed int64) Report {
 	}
 
 	// PRAM: the stale read happens.
-	pramC, err := partialdsm.New(partialdsm.Config{
-		Transport:   transport,
+	pramC, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.PRAM, Placement: placement, Seed: seed,
 	})
 	if err != nil {
@@ -783,8 +805,7 @@ func Separation(seed int64) Report {
 
 	// Causal partial replication under the identical schedule: y' stays
 	// buffered at node 2 until x arrives.
-	causalC, err := partialdsm.New(partialdsm.Config{
-		Transport:   transport,
+	causalC, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.CausalPartial, Placement: placement, Seed: seed,
 	})
 	if err != nil {

@@ -198,18 +198,19 @@ func (n *Node) sequence(msg netsim.Message) {
 	n.vseq[xi]++
 	n.seqMu.Unlock()
 
-	// The multicast payload is shared across C(x), so it cannot come
-	// from (or return to) the pool; pre-size it to encode in one
-	// allocation.
+	// The multicast payload is shared across C(x): a refcounted pooled
+	// frame that the last receiver recycles.
+	clique := n.ix.Clique(xi)
+	buf, refs := mcs.GetSharedPayload(len(clique))
 	var enc mcs.Enc
-	enc.SetBuf(make([]byte, 0, 24))
+	enc.SetBuf(buf)
 	enc.U32(uint32(seq)).U32(uint32(msg.From)).U32(uint32(wseq)).U32(uint32(xi)).I64(v)
 	payload := enc.Bytes()
-	for _, p := range n.ix.Clique(xi) {
+	for _, p := range clique {
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: p, Kind: KindUpdate,
 			Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
-			Vars: n.ix.MsgVars(xi),
+			Vars: n.ix.MsgVars(xi), SharedPayload: true, SharedRefs: refs,
 		})
 	}
 }
@@ -251,6 +252,7 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 	}
 	n.applied.Broadcast()
 	n.mu.Unlock()
+	mcs.RecycleFrame(msg) // last receiver of the shared multicast recycles it
 }
 
 var _ mcs.Node = (*Node)(nil)

@@ -171,6 +171,7 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 				}
 			}
 		}
+		cfg.ApplyFlushPolicy(&node.mu, node.outUpd, node.outNtf)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -269,6 +270,9 @@ func (n *Node) Read(x string) (int64, error) {
 		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
+	// A polling reader drives buffered writers' flush deadlines (one
+	// nudge covers both outboxes — they share the transport clock).
+	n.outUpd.Nudge()
 	return v, nil
 }
 

@@ -12,6 +12,7 @@ package mcs
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"partialdsm/internal/metrics"
 	"partialdsm/internal/model"
@@ -60,6 +61,26 @@ type Config struct {
 	// atomicreg) ignore it: their writes wait on a round trip, so
 	// holding the request back would only add latency.
 	CoalesceBatch int
+	// CoalesceFlushTicks, when > 0 with coalescing on, flushes buffered
+	// updates once the transport's virtual clock (netsim.Clock) has
+	// advanced that many ticks past the first buffered record — so many
+	// message deliveries later, or as soon as the network goes idle —
+	// bounding how long a silent writer's tail can sit unsent.
+	CoalesceFlushTicks int
+	// CoalesceAdaptive, with coalescing on, flushes a destination's
+	// frame as soon as that destination has no inbound traffic in
+	// flight (netsim.PairMonitor): latency-bound workloads keep the
+	// message reduction without waiting out a batch or deadline.
+	CoalesceAdaptive bool
+}
+
+// ApplyFlushPolicy wires the Config's CoalesceFlushTicks /
+// CoalesceAdaptive settings into the given outboxes, all guarded by
+// the same node mutex; protocols call it right after NewOutbox.
+func (c Config) ApplyFlushPolicy(mu *sync.Mutex, outs ...*Outbox) {
+	for _, o := range outs {
+		o.SetFlushPolicy(mu, c.CoalesceFlushTicks, c.CoalesceAdaptive)
+	}
 }
 
 // NewReplicas returns a VarID-indexed replica array with every entry

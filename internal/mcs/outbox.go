@@ -3,6 +3,7 @@ package mcs
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"partialdsm/internal/netsim"
 )
@@ -32,6 +33,25 @@ import (
 // (mcs.Flusher). Payload and variable-list buffers come from the
 // process-wide pools; the receiving handler recycles them with
 // RecycleFrame after decoding.
+//
+// Two engine-driven flush policies ride on top (SetFlushPolicy), both
+// keyed to the transport's deterministic virtual clock so the flush
+// schedule is reproducible across engines and machines:
+//
+//   - Timer: a frame staged into an empty outbox arms a virtual-time
+//     deadline; when the clock reaches it (so many deliveries later, or
+//     immediately once the network goes idle) every pending frame
+//     flushes. This bounds how long a silent writer's tail can sit
+//     buffered, making coalescing safe for poll-style workloads.
+//   - Adaptive: each destination's frame flushes as soon as that
+//     destination has no inbound traffic in flight — a busy receiver
+//     lets records pile into one frame, an idle one gets them at once,
+//     so latency-bound workloads keep the message reduction without a
+//     round-trip stretch.
+//
+// Policy callbacks run on transport goroutines and take the owning
+// node's mutex, so they serialize with the node's operations like any
+// message handler.
 type Outbox struct {
 	net   netsim.Transport
 	from  int
@@ -41,6 +61,20 @@ type Outbox struct {
 	enc     Enc // staging encoder, reused for every record
 	dests   []destFrame
 	pending int // records buffered across all destinations
+
+	// Engine-driven flush policies (nil/zero when disabled). fmu is the
+	// owning node's mutex; every callback takes it before touching the
+	// outbox.
+	fmu       *sync.Mutex
+	clk       netsim.Clock
+	pm        netsim.PairMonitor
+	ticks     uint64
+	adaptive  bool
+	armed     bool     // a timer deadline is outstanding
+	staleArm  bool     // the outstanding deadline belongs to an already-flushed batch
+	timerFn   func()   // pre-built timer callback (no per-arm closure)
+	destFns   []func() // pre-built per-destination adaptive callbacks
+	destArmed []bool   // an adaptive hook is outstanding per destination
 }
 
 // destFrame is one destination's frame under construction.
@@ -72,6 +106,70 @@ func NewOutbox(net netsim.Transport, from int, kind string, batch int) *Outbox {
 	}
 }
 
+// SetFlushPolicy enables the engine-driven flush modes: flushTicks > 0
+// arms a virtual-time deadline whenever records are buffered, and
+// adaptive flushes a destination's frame as soon as the destination
+// has no inbound traffic pending. mu must be the mutex the owning node
+// guards the outbox with; policy callbacks take it before flushing. A
+// no-op when coalescing is off (batch < 2), when both policies are
+// disabled, or when the transport has no clock (test fakes).
+func (o *Outbox) SetFlushPolicy(mu *sync.Mutex, flushTicks int, adaptive bool) {
+	if o.batch < 2 || (flushTicks <= 0 && !adaptive) {
+		return
+	}
+	clk := o.net.Clock()
+	if clk == nil {
+		return
+	}
+	o.fmu = mu
+	o.clk = clk
+	if flushTicks > 0 {
+		o.ticks = uint64(flushTicks)
+		o.timerFn = func() {
+			o.fmu.Lock()
+			o.armed = false
+			if o.staleArm {
+				// The batch this deadline was armed for already flushed
+				// (batch-full/read/quiesce). Records staged since then get
+				// a fresh full window instead of a near-zero one.
+				o.staleArm = false
+				if o.pending > 0 {
+					o.armed = true
+					o.clk.After(o.ticks, o.timerFn)
+				}
+			} else if o.pending > 0 {
+				o.Flush()
+			}
+			o.fmu.Unlock()
+		}
+	}
+	if adaptive {
+		o.adaptive = true
+		o.pm, _ = o.net.(netsim.PairMonitor)
+		o.destFns = make([]func(), len(o.dests))
+		o.destArmed = make([]bool, len(o.dests))
+		for dst := range o.destFns {
+			dst := dst
+			o.destFns[dst] = func() {
+				o.fmu.Lock()
+				o.destArmed[dst] = false
+				o.flushDest(dst)
+				o.fmu.Unlock()
+			}
+		}
+	}
+}
+
+// Nudge gives the transport's clock an idle-advance opportunity.
+// Protocol reads call it (outside the node mutex) when a flush policy
+// is active, so a polling reader drives buffered writers' deadlines
+// even when no message is in flight.
+func (o *Outbox) Nudge() {
+	if o.clk != nil {
+		o.clk.AdvanceIdle()
+	}
+}
+
 // Stage resets and returns the record encoder. The staged bytes stay
 // valid until the next Stage call, so one record can be appended to any
 // number of destinations without re-encoding (the multicast fast path).
@@ -81,13 +179,13 @@ func (o *Outbox) Stage() *Enc {
 }
 
 // Emit sends the staged record to every destination. When coalescing
-// is off (batch ≤ 1) the whole multicast shares one exact-size frame —
-// a single allocation, marked SharedPayload so receivers leave it
-// alone; with coalescing on, the record is appended to each
-// destination's pooled frame (AddToVars), amortizing the buffer
-// traffic over the batch. vars is the record's variable list; callers
-// pass a shared static slice (sharegraph.Index.MsgVars) so the
-// uncoalesced fast path allocates nothing beyond the frame itself.
+// is off (batch ≤ 1) the whole multicast shares one refcounted pooled
+// frame, recycled by the last receiver (RecycleFrame); with coalescing
+// on, the record is appended to each destination's pooled frame
+// (AddToVars), amortizing the buffer traffic over the batch. vars is
+// the record's variable list; callers pass a shared static slice
+// (sharegraph.Index.MsgVars) so the uncoalesced fast path allocates
+// nothing in steady state.
 func (o *Outbox) Emit(dests []int, vars []string, ctrl, data int) {
 	if len(dests) == 0 {
 		return
@@ -99,7 +197,7 @@ func (o *Outbox) Emit(dests []int, vars []string, ctrl, data int) {
 		return
 	}
 	rec := o.enc.Bytes()
-	buf := make([]byte, 0, frameHeaderLen+len(rec))
+	buf, refs := GetSharedPayload(len(dests))
 	buf = append(buf, 0, 0, 0, 1) // count = 1
 	buf = append(buf, rec...)
 	for _, dst := range dests {
@@ -112,6 +210,7 @@ func (o *Outbox) Emit(dests []int, vars []string, ctrl, data int) {
 			DataBytes:     data,
 			Vars:          vars,
 			SharedPayload: true,
+			SharedRefs:    refs,
 		})
 	}
 }
@@ -150,6 +249,24 @@ func (o *Outbox) appendStaged(dst int, ctrl, data int) *destFrame {
 		d.buf = GetPayload()
 		d.buf = append(d.buf, 0, 0, 0, 0) // count slot
 		d.vars = getVars()
+		if o.adaptive && !o.destArmed[dst] {
+			// Adaptive: flush this frame once dst has no inbound traffic.
+			// The pair monitor fires the hook on dst's drain transition,
+			// or at the next clock advance if dst is already quiet. At
+			// most one hook per destination is outstanding; a hook that
+			// outlives its frame (another path flushed first) covers the
+			// next frame instead.
+			o.destArmed[dst] = true
+			if o.pm != nil {
+				o.pm.OnInboundIdle(dst, o.destFns[dst])
+			} else {
+				o.clk.Schedule(o.clk.Now(), o.destFns[dst])
+			}
+		}
+	}
+	if o.ticks > 0 && !o.armed {
+		o.armed = true
+		o.clk.After(o.ticks, o.timerFn)
 	}
 	d.buf = append(d.buf, o.enc.Bytes()...)
 	d.count++
@@ -202,6 +319,9 @@ func (o *Outbox) flushDest(dst int) {
 		Vars:      d.vars,
 	})
 	o.pending -= d.count
+	if o.pending == 0 && o.armed {
+		o.staleArm = true // the outstanding deadline no longer covers live records
+	}
 	*d = destFrame{}
 }
 

@@ -2,6 +2,7 @@ package mcs
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"partialdsm/internal/netsim"
@@ -12,6 +13,7 @@ import (
 type captureNet struct {
 	n    int
 	sent []netsim.Message
+	clk  netsim.Clock // nil unless a test installs a manual clock
 }
 
 func (c *captureNet) NumNodes() int                  { return c.n }
@@ -19,6 +21,7 @@ func (c *captureNet) SetHandler(int, netsim.Handler) {}
 func (c *captureNet) Send(m netsim.Message)          { c.sent = append(c.sent, m) }
 func (c *captureNet) Quiesce()                       {}
 func (c *captureNet) Close()                         {}
+func (c *captureNet) Clock() netsim.Clock            { return c.clk }
 
 var _ netsim.Transport = (*captureNet)(nil)
 
@@ -158,6 +161,130 @@ func TestOutboxVarListDedup(t *testing.T) {
 	}
 	if got := net.sent[0].Vars; !reflect.DeepEqual(got, []string{"x", "y"}) {
 		t.Fatalf("vars = %v, want [x y]", got)
+	}
+}
+
+// manualClock is a hand-cranked netsim.Clock for policy tests: timers
+// fire only when the test advances it.
+type manualClock struct {
+	now    uint64
+	timers []struct {
+		tick uint64
+		fn   func()
+	}
+}
+
+func (c *manualClock) Now() uint64 { return c.now }
+func (c *manualClock) After(d uint64, fn func()) uint64 {
+	t := c.now + d
+	c.Schedule(t, fn)
+	return t
+}
+func (c *manualClock) Schedule(tick uint64, fn func()) {
+	c.timers = append(c.timers, struct {
+		tick uint64
+		fn   func()
+	}{tick, fn})
+}
+func (c *manualClock) AdvanceIdle() { c.advanceTo(c.now) }
+
+// advanceTo cranks virtual time forward, firing due timers in
+// registration order.
+func (c *manualClock) advanceTo(t uint64) {
+	if t > c.now {
+		c.now = t
+	}
+	for i := 0; i < len(c.timers); i++ {
+		if c.timers[i].tick <= c.now {
+			fn := c.timers[i].fn
+			c.timers = append(c.timers[:i], c.timers[i+1:]...)
+			i--
+			fn()
+		}
+	}
+}
+
+// TestOutboxTimerFlush checks the virtual-time flush policy: a record
+// staged into an empty outbox arms a deadline flushTicks ahead, the
+// deadline flushes every pending frame, and the next stage re-arms.
+func TestOutboxTimerFlush(t *testing.T) {
+	clk := &manualClock{}
+	net := &captureNet{n: 3, clk: clk}
+	o := NewOutbox(net, 0, "test.update", 8)
+	var mu sync.Mutex
+	o.SetFlushPolicy(&mu, 4, false)
+
+	stageRecord(o, record{1, 10})
+	o.AddTo(1, "x", 4, 8)
+	stageRecord(o, record{2, 20})
+	o.AddTo(2, "x", 4, 8)
+	if len(net.sent) != 0 {
+		t.Fatalf("flushed %d frames before the deadline", len(net.sent))
+	}
+	clk.advanceTo(3) // not due yet
+	if len(net.sent) != 0 {
+		t.Fatalf("flushed %d frames one tick early", len(net.sent))
+	}
+	clk.advanceTo(4) // deadline: both destinations flush
+	if len(net.sent) != 2 {
+		t.Fatalf("deadline flushed %d frames, want 2", len(net.sent))
+	}
+	if o.HasPending() {
+		t.Fatal("records still pending after the deadline flush")
+	}
+	// The next staged record re-arms relative to the current tick.
+	stageRecord(o, record{3, 30})
+	o.AddTo(1, "x", 4, 8)
+	clk.advanceTo(7) // 4 + 3 < 8: not due
+	if len(net.sent) != 2 {
+		t.Fatal("re-armed deadline fired early")
+	}
+	clk.advanceTo(8)
+	if len(net.sent) != 3 {
+		t.Fatalf("re-armed deadline flushed %d frames total, want 3", len(net.sent))
+	}
+}
+
+// TestOutboxAdaptiveFallbackFlush checks the adaptive policy against a
+// transport without a PairMonitor: the frame flushes at the next clock
+// advance, and records staged before the advance ride together.
+func TestOutboxAdaptiveFallbackFlush(t *testing.T) {
+	clk := &manualClock{}
+	net := &captureNet{n: 2, clk: clk}
+	o := NewOutbox(net, 0, "test.update", 8)
+	var mu sync.Mutex
+	o.SetFlushPolicy(&mu, 0, true)
+
+	stageRecord(o, record{1, 10})
+	o.AddTo(1, "x", 4, 8)
+	stageRecord(o, record{2, 20})
+	o.AddTo(1, "x", 4, 8)
+	if len(net.sent) != 0 {
+		t.Fatal("adaptive flushed before any clock advance")
+	}
+	clk.AdvanceIdle()
+	if len(net.sent) != 1 {
+		t.Fatalf("adaptive flushed %d frames, want 1", len(net.sent))
+	}
+	if recs := decodeFrame(t, net.sent[0].Payload); len(recs) != 2 {
+		t.Fatalf("adaptive frame carries %d records, want 2 (staged records must ride together)", len(recs))
+	}
+}
+
+// TestOutboxPolicyDisabledWithoutClock checks that SetFlushPolicy is a
+// no-op against a clockless transport and on batch < 2.
+func TestOutboxPolicyDisabledWithoutClock(t *testing.T) {
+	var mu sync.Mutex
+	o := NewOutbox(&captureNet{n: 2}, 0, "test.update", 8)
+	o.SetFlushPolicy(&mu, 4, true) // Clock() returns nil: must not panic later
+	stageRecord(o, record{1, 1})
+	o.AddTo(1, "x", 4, 8)
+	o.Nudge()
+
+	small := NewOutbox(&captureNet{n: 2, clk: &manualClock{}}, 0, "test.update", 1)
+	small.SetFlushPolicy(&mu, 4, true) // batch < 2: coalescing off, policy off
+	if small.clk != nil {
+		t.Fatal("flush policy armed on an uncoalesced outbox")
 	}
 }
 

@@ -1,6 +1,10 @@
 package mcs
 
-import "partialdsm/internal/netsim"
+import (
+	"sync/atomic"
+
+	"partialdsm/internal/netsim"
+)
 
 // Payload and variable-list recycling.
 //
@@ -20,6 +24,7 @@ const poolSlots = 1024
 var (
 	payloadPool = make(chan []byte, poolSlots)
 	varsPool    = make(chan []string, poolSlots)
+	refsPool    = make(chan *atomic.Int32, poolSlots)
 )
 
 // GetPayload returns a recycled payload buffer (length 0, arbitrary
@@ -69,15 +74,47 @@ func putVars(v []string) {
 	}
 }
 
+// GetSharedPayload returns a pooled payload buffer for a frame
+// multicast to n destinations, paired with its delivery refcount. The
+// sender attaches both to every copy of the message
+// (Message.SharedPayload + Message.SharedRefs); the receiver that
+// RecycleFrame observes decrementing the count to zero is the sole
+// remaining owner and returns the buffer to the pool. The Vars list of
+// a shared frame is a static slice and is never recycled.
+func GetSharedPayload(n int) ([]byte, *atomic.Int32) {
+	var refs *atomic.Int32
+	select {
+	case refs = <-refsPool:
+	default:
+		refs = new(atomic.Int32)
+	}
+	refs.Store(int32(n))
+	return GetPayload(), refs
+}
+
+// putRefs returns a spent refcount for reuse.
+func putRefs(r *atomic.Int32) {
+	select {
+	case refsPool <- r:
+	default:
+	}
+}
+
 // RecycleFrame releases the buffers of a delivered Outbox frame. The
-// handler of a coalescing protocol calls it after the frame has been
-// fully decoded. Frames the Outbox multicast as one shared payload
-// (msg.SharedPayload, the uncoalesced fast path) are left alone — the
-// handler is not their sole owner, and their Vars list is a shared
-// static slice. Messages sent outside an Outbox must not be passed
-// here.
+// handler of a protocol calls it after the frame has been fully
+// decoded. Refcounted multicast frames (msg.SharedPayload with
+// msg.SharedRefs) are recycled by whichever receiver turns out to be
+// the last: earlier receivers only decrement. Shared frames without a
+// refcount are left alone — the handler cannot know who else holds
+// them — and a shared frame's Vars list is a static slice, never
+// recycled. Messages sent outside this buffer discipline must not be
+// passed here.
 func RecycleFrame(msg netsim.Message) {
 	if msg.SharedPayload {
+		if msg.SharedRefs != nil && msg.SharedRefs.Add(-1) == 0 {
+			PutPayload(msg.Payload)
+			putRefs(msg.SharedRefs)
+		}
 		return
 	}
 	PutPayload(msg.Payload)

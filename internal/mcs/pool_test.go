@@ -1,0 +1,62 @@
+package mcs
+
+import (
+	"testing"
+
+	"partialdsm/internal/netsim"
+)
+
+// drainPayloadPool empties the process-wide payload free list so a
+// test can observe exactly which buffers come back.
+func drainPayloadPool() {
+	for {
+		select {
+		case <-payloadPool:
+		default:
+			return
+		}
+	}
+}
+
+// TestSharedPayloadRefcountRecycling checks the refcounted multicast
+// discipline: n receivers release a shared frame, only the last one
+// returns the buffer to the pool, and the buffer really is reusable
+// afterward.
+func TestSharedPayloadRefcountRecycling(t *testing.T) {
+	const fanout = 3
+	drainPayloadPool()
+	buf, refs := GetSharedPayload(fanout)
+	buf = append(buf, 1, 2, 3, 4)
+	msg := netsim.Message{Payload: buf, SharedPayload: true, SharedRefs: refs}
+
+	for i := 0; i < fanout-1; i++ {
+		RecycleFrame(msg)
+		select {
+		case b := <-payloadPool:
+			t.Fatalf("buffer recycled after %d of %d releases (got %v)", i+1, fanout, b)
+		default:
+		}
+	}
+	RecycleFrame(msg)
+	select {
+	case b := <-payloadPool:
+		if cap(b) == 0 {
+			t.Fatal("recycled buffer has no capacity")
+		}
+	default:
+		t.Fatal("last release did not return the shared buffer to the pool")
+	}
+}
+
+// TestSharedPayloadWithoutRefsIsLeftAlone pins the legacy shared-frame
+// behaviour: no refcount means no receiver may recycle.
+func TestSharedPayloadWithoutRefsIsLeftAlone(t *testing.T) {
+	drainPayloadPool()
+	msg := netsim.Message{Payload: []byte{9, 9}, SharedPayload: true}
+	RecycleFrame(msg)
+	select {
+	case <-payloadPool:
+		t.Fatal("refcount-less shared payload was recycled")
+	default:
+	}
+}

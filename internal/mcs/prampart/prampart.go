@@ -73,6 +73,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 			replicas: mcs.NewReplicas(ix.NumVars()),
 			out:      mcs.NewOutbox(cfg.Net, i, KindUpdate, cfg.CoalesceBatch),
 		}
+		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -122,6 +123,8 @@ func (n *Node) Read(x string) (int64, error) {
 		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
+	// A polling reader drives buffered writers' flush deadlines.
+	n.out.Nudge()
 	return v, nil
 }
 

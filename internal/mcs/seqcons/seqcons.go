@@ -180,22 +180,25 @@ func (n *Node) sequence(msg netsim.Message) {
 	n.gseq++
 	n.seqMu.Unlock()
 
-	// The broadcast payload is shared across every Send, so it cannot
-	// come from (or return to) the pool; pre-size it to encode in one
-	// allocation.
+	// The broadcast payload is shared across every Send: a refcounted
+	// pooled frame that the last receiver recycles.
+	numNodes := n.cfg.Net.NumNodes()
+	buf, refs := mcs.GetSharedPayload(numNodes)
 	var enc mcs.Enc
-	enc.SetBuf(make([]byte, 0, 24))
+	enc.SetBuf(buf)
 	enc.U32(uint32(g)).U32(uint32(msg.From)).U32(uint32(wseq)).U32(uint32(xi)).I64(v)
 	payload := enc.Bytes()
-	for p := 0; p < n.cfg.Net.NumNodes(); p++ {
+	for p := 0; p < numNodes; p++ {
 		n.cfg.Net.Send(netsim.Message{
-			From:      n.id,
-			To:        p,
-			Kind:      KindUpdate,
-			Payload:   payload,
-			CtrlBytes: len(payload) - 8,
-			DataBytes: 8,
-			Vars:      n.ix.MsgVars(xi),
+			From:          n.id,
+			To:            p,
+			Kind:          KindUpdate,
+			Payload:       payload,
+			CtrlBytes:     len(payload) - 8,
+			DataBytes:     8,
+			Vars:          n.ix.MsgVars(xi),
+			SharedPayload: true,
+			SharedRefs:    refs,
 		})
 	}
 }
@@ -233,6 +236,7 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 	}
 	n.applied.Broadcast()
 	n.mu.Unlock()
+	mcs.RecycleFrame(msg) // last receiver of the shared broadcast recycles it
 }
 
 var _ mcs.Node = (*Node)(nil)

@@ -84,6 +84,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 		for j := range node.next {
 			node.next[j] = make([]int, ix.NumVars())
 		}
+		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -134,6 +135,8 @@ func (n *Node) Read(x string) (int64, error) {
 		rec.RecordRead(n.id, n.ix.Name(xi), v)
 	}
 	n.mu.Unlock()
+	// A polling reader drives buffered writers' flush deadlines.
+	n.out.Nudge()
 	return v, nil
 }
 

@@ -1,0 +1,396 @@
+package netsim
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// Virtual time. Every transport carries a deterministic logical clock
+// (Transport.Clock) that protocols use to schedule work — most notably
+// the coalescing outbox's flush deadlines — without reference to wall
+// time, so the same seed yields the same schedule on every engine and
+// every machine.
+//
+// The clock counts message deliveries: each delivered message advances
+// Now by one tick. When the network goes idle (no message in flight)
+// the engine jumps the clock forward to the earliest pending deadline,
+// so a callback never waits on traffic that is not coming. Idle points
+// are observed after the delivery that settles the in-flight count to
+// zero, inside Quiesce, and whenever a caller nudges the clock with
+// AdvanceIdle (the coalescing protocols nudge on reads, which makes
+// poll-style workloads self-advancing). Simulated link latency
+// (Options.MaxLatency) is real-time machinery and does not advance
+// virtual time.
+//
+// Callbacks run on whichever goroutine observes the deadline — a
+// delivery worker, a quiescer, or an AdvanceIdle caller — one at a
+// time, in (deadline, registration order): two callbacks never run
+// concurrently, and callbacks due at the same advance always run in
+// the order they were scheduled. A callback may Send and may schedule
+// further callbacks; it must not block on network progress.
+//
+// Close cancels all pending callbacks before draining; Quiesce runs
+// every pending callback (advancing virtual time as far as needed) and
+// returns only when no message is in flight and no callback is
+// pending, so a quiesced network is silent in virtual time too. A
+// callback that unconditionally reschedules itself therefore makes
+// Quiesce diverge — reschedule only while there is work left.
+
+// Clock is the virtual-time facility of a transport. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current virtual tick.
+	Now() uint64
+	// After schedules fn to run when virtual time reaches Now()+d and
+	// returns that deadline. fn runs exactly once, on a transport or
+	// caller goroutine, serialized with all other clock callbacks.
+	After(d uint64, fn func()) uint64
+	// Schedule schedules fn for an absolute tick. A tick at or before
+	// Now() fires at the next advance opportunity.
+	Schedule(tick uint64, fn func())
+	// AdvanceIdle gives the clock an advance opportunity: if no message
+	// is in flight, virtual time jumps to the earliest pending deadline
+	// and the due callbacks run before AdvanceIdle returns (unless
+	// another goroutine is already firing, in which case it returns
+	// immediately and that goroutine picks the callbacks up).
+	AdvanceIdle()
+}
+
+// PairMonitor is the per-destination traffic observer both built-in
+// engines implement; the adaptive coalescing mode uses it to flush a
+// destination's frame as soon as the destination has no inbound
+// traffic pending. Callers that need it type-assert, like
+// LinkController.
+type PairMonitor interface {
+	// InboundIdle reports whether no message is currently in flight to
+	// node `to` (from any sender).
+	InboundIdle(to int) bool
+	// OnInboundIdle registers fn to run once when inbound traffic to
+	// `to` next drains. If `to` is already idle, fn runs at the next
+	// clock advance opportunity instead of immediately, so the caller
+	// may register from under its own locks. Hooks for the same
+	// destination run in registration order.
+	OnInboundIdle(to int, fn func())
+}
+
+// maxTick marks "no pending deadline".
+const maxTick = ^uint64(0)
+
+// timer is one scheduled callback.
+type timer struct {
+	tick uint64
+	seq  uint64
+	fn   func()
+}
+
+// timerHeap orders timers by (deadline, registration sequence).
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].tick != h[j].tick {
+		return h[i].tick < h[j].tick
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// vclock is the engine-shared Clock implementation. The hot path — one
+// tick per delivery — is an atomic increment plus an atomic compare
+// against the cached earliest deadline; the heap lock is taken only
+// when a deadline is actually due or being registered.
+type vclock struct {
+	now  atomic.Uint64
+	next atomic.Uint64 // earliest pending deadline, maxTick when none
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when a firing pass completes
+	heap    timerHeap
+	seq     uint64
+	firing  bool
+	jumpReq bool // an idle-jump request deferred to the active firing pass
+	dropped bool
+
+	idle      func() bool // true when no message can still make progress
+	anyPaused func() bool // true while any link is held by PauseLink
+	pairs     *pairWatch  // may be nil (no PairMonitor)
+}
+
+// newVClock builds a clock over the given idleness probes. idle is
+// called without the clock lock ordering any engine lock above it:
+// engines must never invoke clock methods while holding a lock idle
+// needs. anyPaused must be cheap (an atomic load); it gates the
+// expensive idle probe on the pair-hook path.
+func newVClock(idle, anyPaused func() bool, pairs *pairWatch) *vclock {
+	c := &vclock{idle: idle, anyPaused: anyPaused, pairs: pairs}
+	c.next.Store(maxTick)
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the current virtual tick.
+func (c *vclock) Now() uint64 { return c.now.Load() }
+
+// After schedules fn at Now()+d.
+func (c *vclock) After(d uint64, fn func()) uint64 {
+	t := c.now.Load() + d
+	c.Schedule(t, fn)
+	return t
+}
+
+// Schedule registers fn at an absolute tick. Scheduling never runs fn
+// inline — even a past deadline waits for the next advance opportunity
+// — so callers may schedule while holding their own locks. After Close
+// the clock is dropped and Schedule is a no-op.
+func (c *vclock) Schedule(tick uint64, fn func()) {
+	c.mu.Lock()
+	if c.dropped {
+		c.mu.Unlock()
+		return
+	}
+	heap.Push(&c.heap, timer{tick: tick, seq: c.seq, fn: fn})
+	c.seq++
+	if tick < c.next.Load() {
+		c.next.Store(tick)
+	}
+	c.mu.Unlock()
+}
+
+// tick advances virtual time by one delivered message and fires any
+// callback whose deadline was reached.
+func (c *vclock) tick() {
+	if c.now.Add(1) >= c.next.Load() {
+		c.fire(false, false)
+	}
+}
+
+// AdvanceIdle fires due callbacks and, while the network is idle,
+// jumps virtual time to pending deadlines. While traffic is in flight
+// the nudge is a no-op without taking the clock lock: an idle jump is
+// impossible, and in-flight deliveries guarantee future ticks that
+// fire any due callbacks — so poll-heavy readers do not serialize on
+// the clock while the network is busy.
+func (c *vclock) AdvanceIdle() {
+	c.runPairHooks()
+	if c.next.Load() == maxTick {
+		return
+	}
+	if c.idle != nil && !c.idle() {
+		return
+	}
+	c.fire(true, false)
+}
+
+// advanceWait is AdvanceIdle for quiescers: it waits out a concurrent
+// firing pass instead of skipping, so Quiesce cannot miss work.
+func (c *vclock) advanceWait() {
+	c.runPairHooks()
+	c.fire(true, true)
+}
+
+// runPairHooks fires pair drain hooks at an advance point. When the
+// whole network is idle (in the paused-links-discounted sense) every
+// hook fires — no inbound traffic can still make progress toward any
+// destination, so waiting on a drain that cannot come would strand the
+// hook; otherwise only hooks of destinations with no inbound traffic
+// fire. A destination can only be busy at an idle point when a paused
+// link holds traffic to it, so the idleness probe — which takes engine
+// locks — is consulted only while a link is actually paused.
+func (c *vclock) runPairHooks() {
+	if c.pairs == nil || c.pairs.hookCount.Load() == 0 {
+		return
+	}
+	all := false
+	if c.anyPaused != nil && c.anyPaused() {
+		all = c.idle != nil && c.idle()
+	}
+	c.pairs.runIdleHooks(all)
+}
+
+// pendingWork reports whether any callback or pair hook is still
+// registered.
+func (c *vclock) pendingWork() bool {
+	if c.next.Load() != maxTick {
+		return true
+	}
+	return c.pairs != nil && c.pairs.hookCount.Load() > 0
+}
+
+// fire runs due callbacks in (deadline, seq) order. With jump set it
+// also advances virtual time to future deadlines while the network is
+// idle. Only one goroutine fires at a time; with wait set the caller
+// blocks until it can fire (quiescers). A jump request that collides
+// with an active non-jump pass is handed to that pass via jumpReq
+// rather than dropped — otherwise an idle-advance racing a tick-driven
+// pass would strand a pending deadline on an idle network until the
+// next external nudge.
+func (c *vclock) fire(jump, wait bool) {
+	c.mu.Lock()
+	if c.firing {
+		if jump {
+			c.jumpReq = true
+		}
+		if !wait {
+			c.mu.Unlock()
+			return
+		}
+		for c.firing {
+			c.cond.Wait()
+		}
+	}
+	c.firing = true
+	for {
+		for len(c.heap) > 0 {
+			if c.jumpReq {
+				c.jumpReq = false
+				jump = true
+			}
+			min := c.heap[0]
+			if min.tick > c.now.Load() {
+				if !jump || c.idle == nil || !c.idle() {
+					break
+				}
+				// Idle: jump virtual time forward to the deadline. CAS
+				// keeps the clock monotonic against concurrent ticks.
+				for {
+					cur := c.now.Load()
+					if cur >= min.tick || c.now.CompareAndSwap(cur, min.tick) {
+						break
+					}
+				}
+			}
+			heap.Pop(&c.heap)
+			c.mu.Unlock()
+			min.fn()
+			c.mu.Lock()
+		}
+		// Publish the new earliest deadline, release the firing claim,
+		// and catch any timer that came due — or any jump request that
+		// arrived — while we were finishing.
+		if len(c.heap) == 0 {
+			c.next.Store(maxTick)
+		} else {
+			c.next.Store(c.heap[0].tick)
+		}
+		if len(c.heap) > 0 && (c.heap[0].tick <= c.now.Load() || c.jumpReq) {
+			continue
+		}
+		c.jumpReq = false // nothing left to jump to
+		c.firing = false
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+}
+
+// drop cancels every pending callback (waiting out a firing pass
+// first) and makes future Schedule calls no-ops. Close calls it before
+// draining.
+func (c *vclock) drop() {
+	c.mu.Lock()
+	for c.firing {
+		c.cond.Wait()
+	}
+	c.heap = nil
+	c.dropped = true
+	c.next.Store(maxTick)
+	c.mu.Unlock()
+	if c.pairs != nil {
+		c.pairs.drop()
+	}
+}
+
+// pairWatch tracks per-destination inbound in-flight counts and the
+// one-shot drain hooks of the PairMonitor contract. The per-
+// destination hook counters keep the no-hook case lock-free: the
+// delivery hot path and the idle-advance walk pay one atomic load per
+// probe and take the mutex only when a hook is actually registered.
+type pairWatch struct {
+	load      []atomic.Int32
+	hookN     []atomic.Int32 // registered hooks per destination
+	hookCount atomic.Int32   // total registered hooks
+	mu        sync.Mutex
+	hooks     [][]func()
+	dropped   bool
+}
+
+func newPairWatch(n int) *pairWatch {
+	return &pairWatch{
+		load:  make([]atomic.Int32, n),
+		hookN: make([]atomic.Int32, n),
+		hooks: make([][]func(), n),
+	}
+}
+
+// sent records a message bound for `to`.
+func (w *pairWatch) sent(to int) { w.load[to].Add(1) }
+
+// delivered retires a message bound for `to` and runs the
+// destination's drain hooks when its inbound traffic hits zero.
+func (w *pairWatch) delivered(to int) {
+	if w.load[to].Add(-1) == 0 && w.hookN[to].Load() > 0 {
+		w.runHooks(to)
+	}
+}
+
+// InboundIdle reports whether no message is in flight to `to`.
+func (w *pairWatch) InboundIdle(to int) bool { return w.load[to].Load() == 0 }
+
+// OnInboundIdle registers a one-shot drain hook for `to`.
+func (w *pairWatch) OnInboundIdle(to int, fn func()) {
+	w.mu.Lock()
+	if w.dropped {
+		w.mu.Unlock()
+		return
+	}
+	w.hooks[to] = append(w.hooks[to], fn)
+	w.hookN[to].Add(1)
+	w.hookCount.Add(1)
+	w.mu.Unlock()
+}
+
+// runHooks fires and clears `to`'s hooks in registration order.
+func (w *pairWatch) runHooks(to int) {
+	w.mu.Lock()
+	fns := w.hooks[to]
+	w.hooks[to] = nil
+	w.hookN[to].Add(-int32(len(fns)))
+	w.hookCount.Add(-int32(len(fns)))
+	w.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// runIdleHooks fires the hooks of every currently idle destination, in
+// destination order — the clock calls it at idle-advance points so a
+// hook registered against an already-idle destination still runs. With
+// all set (the network as a whole is idle), every hook fires: traffic
+// held on paused links keeps a destination's load positive without any
+// prospect of draining, and the frame behind the hook must still reach
+// the link's queue.
+func (w *pairWatch) runIdleHooks(all bool) {
+	if w.hookCount.Load() == 0 {
+		return
+	}
+	for to := range w.hooks {
+		if w.hookN[to].Load() > 0 && (all || w.load[to].Load() == 0) {
+			w.runHooks(to)
+		}
+	}
+}
+
+// drop discards all registered hooks (Close).
+func (w *pairWatch) drop() {
+	w.mu.Lock()
+	for to := range w.hooks {
+		w.hookN[to].Add(-int32(len(w.hooks[to])))
+		w.hookCount.Add(-int32(len(w.hooks[to])))
+		w.hooks[to] = nil
+	}
+	w.dropped = true
+	w.mu.Unlock()
+}

@@ -1,0 +1,231 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Conformance cases for the virtual-time Clock and the PairMonitor,
+// run against every registered transport plus the stress variants —
+// the clock is part of the Transport contract, so every engine must
+// agree on ordering, Quiesce and Close semantics.
+
+// TestConformanceClockTicksPerDelivery checks that Now advances by one
+// per delivered message.
+func TestConformanceClockTicksPerDelivery(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const msgs = 120
+		nw := v.make(t, 2, Options{FIFO: true, Seed: 1})
+		defer nw.Close()
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(Message) {})
+		if got := nw.Clock().Now(); got != 0 {
+			t.Fatalf("fresh clock at tick %d, want 0", got)
+		}
+		for i := 0; i < msgs; i++ {
+			nw.Send(Message{From: 0, To: 1})
+		}
+		nw.Quiesce()
+		if got := nw.Clock().Now(); got != msgs {
+			t.Fatalf("clock at tick %d after %d deliveries, want %d", got, msgs, msgs)
+		}
+	})
+}
+
+// TestConformanceClockDeterministicOrder registers callbacks out of
+// deadline order — with ties — and checks they fire in (deadline,
+// registration) order on an idle advance.
+func TestConformanceClockDeterministicOrder(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 2, Options{FIFO: true, Seed: 1})
+		defer nw.Close()
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(Message) {})
+		clk := nw.Clock()
+		var mu sync.Mutex
+		var order []int
+		log := func(id int) func() {
+			return func() { mu.Lock(); order = append(order, id); mu.Unlock() }
+		}
+		clk.Schedule(30, log(0))
+		clk.Schedule(10, log(1))
+		clk.Schedule(20, log(2))
+		clk.Schedule(10, log(3)) // same deadline as id 1: registration order breaks the tie
+		clk.After(5, log(4))     // deadline 5: earliest of all
+		clk.AdvanceIdle()        // network idle: jump through every deadline
+		mu.Lock()
+		defer mu.Unlock()
+		want := []int{4, 1, 3, 2, 0}
+		if len(order) != len(want) {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("fired %v, want %v", order, want)
+			}
+		}
+	})
+}
+
+// TestConformanceClockCallbackSends has a callback send messages;
+// Quiesce must cover both the callback and its sends, and the
+// callback's sends must advance the clock further.
+func TestConformanceClockCallbackSends(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 2, Options{FIFO: true, Seed: 1})
+		defer nw.Close()
+		var delivered atomic.Int64
+		nw.SetHandler(0, func(Message) { delivered.Add(1) })
+		nw.SetHandler(1, func(Message) { delivered.Add(1) })
+		clk := nw.Clock()
+		clk.After(3, func() {
+			for i := 0; i < 5; i++ {
+				nw.Send(Message{From: 0, To: 1})
+			}
+		})
+		nw.Quiesce() // must run the callback and drain its sends
+		if got := delivered.Load(); got != 5 {
+			t.Fatalf("%d deliveries after Quiesce, want 5", got)
+		}
+		if got := clk.Now(); got < 5 {
+			t.Fatalf("clock at %d after callback sends, want ≥ 5", got)
+		}
+	})
+}
+
+// TestConformanceClockScheduleDuringDrain schedules from inside a
+// firing callback: the chained callback must run in the same advance
+// (its deadline is due) and in order.
+func TestConformanceClockScheduleDuringDrain(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 1, Options{FIFO: true, Seed: 1})
+		defer nw.Close()
+		nw.SetHandler(0, func(Message) {})
+		clk := nw.Clock()
+		var mu sync.Mutex
+		var order []string
+		clk.After(1, func() {
+			mu.Lock()
+			order = append(order, "first")
+			mu.Unlock()
+			clk.Schedule(clk.Now(), func() {
+				mu.Lock()
+				order = append(order, "chained")
+				mu.Unlock()
+			})
+		})
+		nw.Quiesce()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != 2 || order[0] != "first" || order[1] != "chained" {
+			t.Fatalf("order = %v, want [first chained]", order)
+		}
+	})
+}
+
+// TestConformanceClockCloseWithPendingTimers closes a transport with
+// callbacks still registered: they must never fire, Close must not
+// hang, and (via the package TestMain) no goroutine may leak.
+func TestConformanceClockCloseWithPendingTimers(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 2, Options{FIFO: true, Seed: 1})
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(Message) {})
+		var fired atomic.Int64
+		nw.Clock().After(1_000_000, func() { fired.Add(1) })
+		nw.Clock().Schedule(1, func() { fired.Add(1) })
+		nw.Send(Message{From: 0, To: 1}) // in-flight work Close must still drain
+		nw.Close()
+		if got := fired.Load(); got != 0 {
+			t.Fatalf("%d cancelled callbacks fired during Close", got)
+		}
+		// Scheduling after Close is a silent no-op, not a panic.
+		nw.Clock().After(1, func() { fired.Add(1) })
+	})
+}
+
+// TestConformanceClockIdleJump checks AdvanceIdle against a pending
+// far deadline: with no traffic at all, the clock must jump straight
+// to it rather than wait for ticks that are not coming.
+func TestConformanceClockIdleJump(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 1, Options{FIFO: true, Seed: 1})
+		defer nw.Close()
+		nw.SetHandler(0, func(Message) {})
+		clk := nw.Clock()
+		fired := make(chan struct{})
+		clk.After(1_000, func() { close(fired) })
+		clk.AdvanceIdle()
+		select {
+		case <-fired:
+		default:
+			t.Fatal("AdvanceIdle did not jump to the pending deadline on an idle network")
+		}
+		if got := clk.Now(); got != 1_000 {
+			t.Fatalf("clock at %d after jump, want 1000", got)
+		}
+	})
+}
+
+// TestConformancePairMonitor checks the per-destination traffic
+// observer: idleness tracking across a wedged handler, drain hooks in
+// registration order, and hook delivery for already-idle destinations
+// at the next advance.
+func TestConformancePairMonitor(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		nw := v.make(t, 3, Options{FIFO: true, Seed: 1})
+		defer nw.Close()
+		pm, ok := nw.(PairMonitor)
+		if !ok {
+			t.Skipf("%T does not implement PairMonitor", nw)
+		}
+		release := make(chan struct{})
+		var wedged sync.Once
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(Message) { wedged.Do(func() { <-release }) })
+		nw.SetHandler(2, func(Message) {})
+
+		if !pm.InboundIdle(1) || !pm.InboundIdle(2) {
+			t.Fatal("fresh transport reports inbound traffic")
+		}
+		// Wedge node 1's handler so traffic to it is observably in flight.
+		nw.Send(Message{From: 0, To: 1})
+		deadline := time.Now().Add(2 * time.Second)
+		for pm.InboundIdle(1) {
+			if time.Now().After(deadline) {
+				t.Fatal("in-flight message never observed by InboundIdle")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		var mu sync.Mutex
+		var order []int
+		pm.OnInboundIdle(1, func() { mu.Lock(); order = append(order, 1); mu.Unlock() })
+		pm.OnInboundIdle(1, func() { mu.Lock(); order = append(order, 2); mu.Unlock() })
+		close(release)
+		nw.Quiesce()
+		mu.Lock()
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			mu.Unlock()
+			t.Fatalf("drain hooks fired as %v, want [1 2]", order)
+		}
+		mu.Unlock()
+
+		// A hook on an already-idle destination runs at the next advance
+		// opportunity, not inline.
+		ran := make(chan struct{})
+		pm.OnInboundIdle(2, func() { close(ran) })
+		select {
+		case <-ran:
+			t.Fatal("idle-destination hook ran inline from OnInboundIdle")
+		default:
+		}
+		nw.Clock().AdvanceIdle()
+		select {
+		case <-ran:
+		default:
+			t.Fatal("idle-destination hook did not run at the advance point")
+		}
+	})
+}

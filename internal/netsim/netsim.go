@@ -9,12 +9,18 @@
 // every message through a metrics.Collector and supports quiescence
 // detection (wait until no message is in flight), which gives tests
 // and experiments deterministic cut points.
+//
+// Every transport also carries a deterministic virtual-time Clock —
+// logical ticks advanced per delivered message and jumped forward at
+// idle points — that the protocol layer uses to schedule flush
+// deadlines reproducibly; see clock.go.
 package netsim
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"partialdsm/internal/metrics"
@@ -35,9 +41,14 @@ type Message struct {
 	Vars []string
 	// SharedPayload marks Payload (and Vars) as shared across several
 	// Sends — a multicast fanning one encoded frame out to its whole
-	// destination set. Receivers must not mutate or recycle a shared
-	// buffer; transports deliver it like any other payload.
+	// destination set. Receivers must not mutate a shared buffer;
+	// transports deliver it like any other payload.
 	SharedPayload bool
+	// SharedRefs, when non-nil on a SharedPayload message, counts the
+	// multicast's outstanding deliveries. The receiver that decrements
+	// it to zero becomes the payload's sole owner and may recycle the
+	// buffer (mcs.RecycleFrame does). Transports never touch it.
+	SharedRefs *atomic.Int32
 }
 
 // Handler processes a delivered message. Handlers run on network
@@ -68,6 +79,11 @@ type Options struct {
 type Network struct {
 	n    int
 	opts Options
+
+	clk         *vclock
+	pairs       *pairWatch
+	pausedLinks atomic.Int32 // links currently held by PauseLink
+	inflightA   atomic.Int64 // lock-free mirror of inflight for the idle fast path
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -104,7 +120,9 @@ func NewNetwork(n int, opts Options) *Network {
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		handlers: make([]Handler, n),
+		pairs:    newPairWatch(n),
 	}
+	nw.clk = newVClock(nw.idle, func() bool { return nw.pausedLinks.Load() > 0 }, nw.pairs)
 	nw.quiet = sync.NewCond(&nw.mu)
 	if opts.FIFO {
 		nw.queues = make([]*pairQueue, n*n)
@@ -114,6 +132,51 @@ func NewNetwork(n int, opts Options) *Network {
 
 // NumNodes returns the number of nodes.
 func (nw *Network) NumNodes() int { return nw.n }
+
+// Clock returns the network's virtual-time clock.
+func (nw *Network) Clock() Clock { return nw.clk }
+
+// InboundIdle reports whether no message is in flight to `to`
+// (PairMonitor).
+func (nw *Network) InboundIdle(to int) bool { return nw.pairs.InboundIdle(to) }
+
+// OnInboundIdle registers a one-shot hook for when inbound traffic to
+// `to` next drains (PairMonitor).
+func (nw *Network) OnInboundIdle(to int, fn func()) { nw.pairs.OnInboundIdle(to, fn) }
+
+// idle reports whether no message can still make progress — the
+// clock's idleness probe. Messages held on paused links do not count:
+// a paused link models an arbitrarily slow channel, and virtual time
+// must keep advancing for the rest of the network while it is held
+// (the deterministic-asynchrony experiments pause a link and then poll
+// for traffic that flows around it). The busy case answers from the
+// lock-free in-flight mirror; the walk touches the per-pair queues
+// only when something is in flight while a link is paused.
+func (nw *Network) idle() bool {
+	if nw.inflightA.Load() != 0 && nw.pausedLinks.Load() == 0 {
+		return false // definitely busy: messages in flight, none of them held
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.inflight == 0 {
+		return true
+	}
+	if nw.pausedLinks.Load() == 0 {
+		return false
+	}
+	held := 0
+	for _, q := range nw.queues {
+		if q == nil {
+			continue
+		}
+		q.mu.Lock()
+		if q.paused {
+			held += len(q.items)
+		}
+		q.mu.Unlock()
+	}
+	return nw.inflight == held
+}
 
 // SetHandler installs the delivery handler for a node. It must be
 // called before any message is sent to the node and must not be called
@@ -144,6 +207,8 @@ func (nw *Network) Send(msg Message) {
 		panic(fmt.Sprintf("netsim: node %d has no handler installed", msg.To))
 	}
 	nw.inflight++
+	nw.inflightA.Add(1)
+	nw.pairs.sent(msg.To)
 	var latency time.Duration
 	if nw.opts.MaxLatency > 0 {
 		latency = time.Duration(nw.rng.Int63n(int64(nw.opts.MaxLatency) + 1))
@@ -214,8 +279,9 @@ func (nw *Network) servePair(q *pairQueue) {
 	}
 }
 
-// deliver runs the destination handler and settles in-flight
-// accounting.
+// deliver runs the destination handler, advances virtual time by one
+// tick, and settles in-flight accounting; the delivery that empties the
+// network gives the clock an idle-advance opportunity.
 func (nw *Network) deliver(msg Message) {
 	nw.mu.Lock()
 	h := nw.handlers[msg.To]
@@ -223,12 +289,21 @@ func (nw *Network) deliver(msg Message) {
 	if h != nil {
 		h(msg)
 	}
+	// Pair hooks and due timers fire while this message still counts as
+	// in flight, so their sends cannot race a spurious idle point.
+	nw.pairs.delivered(msg.To)
+	nw.clk.tick()
 	nw.mu.Lock()
 	nw.inflight--
-	if nw.inflight == 0 {
+	nw.inflightA.Add(-1)
+	idle := nw.inflight == 0
+	if idle {
 		nw.quiet.Broadcast()
 	}
 	nw.mu.Unlock()
+	if idle {
+		nw.clk.AdvanceIdle()
+	}
 }
 
 // PauseLink holds back delivery on the ordered link from → to:
@@ -249,7 +324,10 @@ func (nw *Network) PauseLink(from, to int) {
 	q := nw.pairQueueLocked(from, to)
 	nw.mu.Unlock()
 	q.mu.Lock()
-	q.paused = true
+	if !q.paused {
+		q.paused = true
+		nw.pausedLinks.Add(1)
+	}
 	q.mu.Unlock()
 }
 
@@ -266,27 +344,46 @@ func (nw *Network) ResumeLink(from, to int) {
 	q := nw.pairQueueLocked(from, to)
 	nw.mu.Unlock()
 	q.mu.Lock()
-	q.paused = false
+	if q.paused {
+		q.paused = false
+		nw.pausedLinks.Add(-1)
+	}
 	q.cond.Signal()
 	q.mu.Unlock()
+	// Released messages may satisfy pending deadlines' idle condition
+	// only after they drain; the deliveries themselves re-advance the
+	// clock, so nothing to do here.
 }
 
-// Quiesce blocks until no message is in flight: every sent message has
-// been delivered and its handler has returned, including messages sent
-// by handlers themselves. Application goroutines must be idle for the
-// result to be a global cut.
+// Quiesce blocks until no message is in flight and no virtual-time
+// callback is pending: every sent message has been delivered and its
+// handler has returned, including messages sent by handlers and by
+// clock callbacks, which Quiesce runs (advancing virtual time as far
+// as needed). Application goroutines must be idle for the result to be
+// a global cut.
 func (nw *Network) Quiesce() {
-	nw.mu.Lock()
-	for nw.inflight != 0 {
-		nw.quiet.Wait()
+	for {
+		nw.mu.Lock()
+		for nw.inflight != 0 {
+			nw.quiet.Wait()
+		}
+		nw.mu.Unlock()
+		nw.clk.advanceWait()
+		nw.mu.Lock()
+		done := nw.inflight == 0 && !nw.clk.pendingWork()
+		nw.mu.Unlock()
+		if done {
+			return
+		}
 	}
-	nw.mu.Unlock()
 }
 
 // Close drains the network and stops the delivery goroutines. Messages
-// already sent are still delivered; paused links are resumed first.
-// Send after Close panics.
+// already sent are still delivered; pending clock callbacks and pair
+// hooks are cancelled first, then paused links are resumed. Send after
+// Close panics.
 func (nw *Network) Close() {
+	nw.clk.drop()
 	nw.mu.Lock()
 	queuesSnapshot := append([]*pairQueue(nil), nw.queues...)
 	nw.mu.Unlock()
@@ -297,6 +394,7 @@ func (nw *Network) Close() {
 		q.mu.Lock()
 		if q.paused {
 			q.paused = false
+			nw.pausedLinks.Add(-1)
 			q.cond.Signal()
 		}
 		q.mu.Unlock()

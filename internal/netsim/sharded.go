@@ -45,6 +45,10 @@ type Sharded struct {
 	opts    Options
 	workers int
 
+	clk         *vclock
+	pairs       *pairWatch
+	pausedLinks atomic.Int32 // links currently held by PauseLink
+
 	handlers atomic.Value // []Handler, copy-on-write
 	hmu      sync.Mutex   // serializes SetHandler stores
 	closed   atomic.Bool
@@ -105,7 +109,9 @@ func NewSharded(n int, opts Options) *Sharded {
 		opts:    opts,
 		workers: w,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
+		pairs:   newPairWatch(n),
 	}
+	nw.clk = newVClock(nw.idle, func() bool { return nw.pausedLinks.Load() > 0 }, nw.pairs)
 	nw.handlers.Store(make([]Handler, n))
 	nw.quiet = sync.NewCond(&nw.qmu)
 	nw.run.cond = sync.NewCond(&nw.run.mu)
@@ -124,6 +130,17 @@ func (nw *Sharded) NumNodes() int { return nw.n }
 
 // NumWorkers returns the delivery pool size.
 func (nw *Sharded) NumWorkers() int { return nw.workers }
+
+// Clock returns the transport's virtual-time clock.
+func (nw *Sharded) Clock() Clock { return nw.clk }
+
+// InboundIdle reports whether no message is in flight to `to`
+// (PairMonitor).
+func (nw *Sharded) InboundIdle(to int) bool { return nw.pairs.InboundIdle(to) }
+
+// OnInboundIdle registers a one-shot hook for when inbound traffic to
+// `to` next drains (PairMonitor).
+func (nw *Sharded) OnInboundIdle(to int, fn func()) { nw.pairs.OnInboundIdle(to, fn) }
 
 // SetHandler installs the delivery handler for a node. The table is
 // copy-on-write so the delivery workers read it without locking.
@@ -154,6 +171,7 @@ func (nw *Sharded) Send(msg Message) {
 		panic(fmt.Sprintf("netsim: node %d has no handler installed", msg.To))
 	}
 	nw.inflight.Add(1)
+	nw.pairs.sent(msg.To)
 	var latency time.Duration
 	if nw.opts.MaxLatency > 0 {
 		nw.latMu.Lock()
@@ -187,6 +205,32 @@ func (nw *Sharded) Send(msg Message) {
 	if wake {
 		nw.enqueue(mb)
 	}
+}
+
+// idle reports whether no message can still make progress — the
+// clock's idleness probe. Messages held in paused mailboxes do not
+// count (a paused link is an arbitrarily slow channel; virtual time
+// keeps advancing around it). The mailbox walk runs only when traffic
+// is in flight while a clock deadline is pending.
+func (nw *Sharded) idle() bool {
+	in := nw.inflight.Load()
+	if in == 0 {
+		return true
+	}
+	if nw.pausedLinks.Load() == 0 || nw.boxes == nil {
+		return false
+	}
+	var held int64
+	for i := range nw.boxes {
+		mb := nw.boxes[i].Load()
+		if mb == nil || !mb.paused.Load() {
+			continue
+		}
+		mb.mu.Lock()
+		held += int64(len(mb.items))
+		mb.mu.Unlock()
+	}
+	return held == in && nw.inflight.Load() == in
 }
 
 // mailbox returns the pair's mailbox, creating it on first use.
@@ -236,6 +280,8 @@ func (nw *Sharded) serve() {
 			if h != nil {
 				h(msg)
 			}
+			nw.pairs.delivered(msg.To)
+			nw.clk.tick()
 			nw.settle(1)
 			continue
 		}
@@ -305,6 +351,8 @@ func (nw *Sharded) drain(mb *mailbox) {
 		if h != nil {
 			h(batch[i])
 		}
+		nw.pairs.delivered(mb.to)
+		nw.clk.tick()
 		delivered++
 	}
 	nw.settle(delivered)
@@ -322,7 +370,8 @@ func (nw *Sharded) drain(mb *mailbox) {
 }
 
 // settle retires k delivered messages from the in-flight count and
-// wakes quiescence waiters on the transition to zero.
+// wakes quiescence waiters on the transition to zero, which is also an
+// idle-advance opportunity for the virtual clock.
 func (nw *Sharded) settle(k int) {
 	if k == 0 {
 		return
@@ -331,6 +380,7 @@ func (nw *Sharded) settle(k int) {
 		nw.qmu.Lock()
 		nw.quiet.Broadcast()
 		nw.qmu.Unlock()
+		nw.clk.AdvanceIdle()
 	}
 }
 
@@ -343,7 +393,9 @@ func (nw *Sharded) PauseLink(from, to int) {
 	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
 		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
 	}
-	nw.mailbox(from, to).paused.Store(true)
+	if !nw.mailbox(from, to).paused.Swap(true) {
+		nw.pausedLinks.Add(1)
+	}
 }
 
 // ResumeLink releases a link paused by PauseLink; held messages are
@@ -361,7 +413,9 @@ func (nw *Sharded) ResumeLink(from, to int) {
 // resume clears a mailbox's pause flag and reschedules it if messages
 // are waiting.
 func (nw *Sharded) resume(mb *mailbox) {
-	mb.paused.Store(false)
+	if mb.paused.Swap(false) {
+		nw.pausedLinks.Add(-1)
+	}
 	mb.mu.Lock()
 	wake := len(mb.items) > 0 && !mb.scheduled
 	if wake {
@@ -373,23 +427,31 @@ func (nw *Sharded) resume(mb *mailbox) {
 	}
 }
 
-// Quiesce blocks until no message is in flight, including messages
-// sent by handlers during the wait.
+// Quiesce blocks until no message is in flight and no virtual-time
+// callback is pending; pending callbacks are run (advancing virtual
+// time as far as needed), including any sends they make.
 func (nw *Sharded) Quiesce() {
-	if nw.inflight.Load() == 0 {
-		return
+	for {
+		if nw.inflight.Load() != 0 {
+			nw.qmu.Lock()
+			for nw.inflight.Load() != 0 {
+				nw.quiet.Wait()
+			}
+			nw.qmu.Unlock()
+		}
+		nw.clk.advanceWait()
+		if nw.inflight.Load() == 0 && !nw.clk.pendingWork() {
+			return
+		}
 	}
-	nw.qmu.Lock()
-	for nw.inflight.Load() != 0 {
-		nw.quiet.Wait()
-	}
-	nw.qmu.Unlock()
 }
 
 // Close drains the transport and stops the worker pool. Messages
-// already sent are still delivered; paused links are resumed first.
-// Send after Close panics; Close is idempotent.
+// already sent are still delivered; pending clock callbacks and pair
+// hooks are cancelled first, then paused links are resumed. Send after
+// Close panics; Close is idempotent.
 func (nw *Sharded) Close() {
+	nw.clk.drop()
 	for i := range nw.boxes {
 		if mb := nw.boxes[i].Load(); mb != nil && mb.paused.Load() {
 			nw.resume(mb)

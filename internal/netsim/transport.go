@@ -34,9 +34,18 @@ import (
 //     several Sends — multicast); the transport must deliver exactly
 //     the bytes it was given and must never read or write the slice
 //     once the handler has returned, so a receiver that is the
-//     payload's sole owner may recycle the buffer from inside its
-//     handler (see mcs.RecycleFrame). Retaining a stale reference the
-//     transport never dereferences again is permitted.
+//     payload's sole owner — including the last receiver of a
+//     refcounted multicast (Message.SharedRefs) — may recycle the
+//     buffer from inside its handler (see mcs.RecycleFrame). Retaining
+//     a stale reference the transport never dereferences again is
+//     permitted.
+//   - Clock exposes the transport's deterministic virtual-time clock:
+//     Now advances by one tick per delivered message and jumps to the
+//     earliest pending deadline when the network goes idle; callbacks
+//     registered with After/Schedule run exactly once, serialized, in
+//     (deadline, registration) order. Quiesce runs every pending
+//     callback before returning; Close cancels pending callbacks
+//     before draining. See the package documentation in clock.go.
 type Transport interface {
 	// NumNodes returns the number of nodes the transport connects.
 	NumNodes() int
@@ -45,10 +54,14 @@ type Transport interface {
 	SetHandler(node int, h Handler)
 	// Send enqueues a message for asynchronous delivery.
 	Send(msg Message)
-	// Quiesce blocks until no message is in flight.
+	// Quiesce blocks until no message is in flight and no virtual-time
+	// callback is pending (due callbacks are run during the wait).
 	Quiesce()
-	// Close drains and shuts the transport down.
+	// Close cancels pending virtual-time callbacks, drains in-flight
+	// messages, and shuts the transport down.
 	Close()
+	// Clock returns the transport's virtual-time clock.
+	Clock() Clock
 }
 
 // LinkController is the optional link-level fault-injection interface.
@@ -132,6 +145,8 @@ func Kinds() []string {
 var (
 	_ Transport      = (*Network)(nil)
 	_ LinkController = (*Network)(nil)
+	_ PairMonitor    = (*Network)(nil)
 	_ Transport      = (*Sharded)(nil)
 	_ LinkController = (*Sharded)(nil)
+	_ PairMonitor    = (*Sharded)(nil)
 )

@@ -175,14 +175,32 @@ type Config struct {
 	// Blocking protocols (Sequential, Atomic, CacheConsistency) ignore
 	// it.
 	//
-	// Liveness caveat: a buffered update propagates only when its
-	// *writer* next operates (or the cluster quiesces). A workload that
-	// polls for a value whose writer has gone permanently silent will
-	// wait forever; synchronize such phases with Quiesce, or leave
-	// coalescing off. Self-driving workloads where every node keeps
-	// reading (Bellman-Ford's round barrier, the bench suites) are live
-	// unconditionally.
+	// Liveness caveat (plain batching only): a buffered update
+	// propagates only when its *writer* next operates (or the cluster
+	// quiesces). A workload that polls for a value whose writer has
+	// gone permanently silent would wait forever; set
+	// CoalesceFlushTicks or CoalesceAdaptive — which make the *engine*
+	// flush buffered tails — and any workload is live.
 	CoalesceBatch int
+	// CoalesceFlushTicks > 0 flushes buffered updates on a virtual-time
+	// deadline: a record staged into an empty outbox is sent at most
+	// that many clock ticks later. The transport clock ticks once per
+	// delivered message and jumps to the earliest pending deadline when
+	// the network goes idle, so the schedule is deterministic rather
+	// than wall-clock-driven: a phase-structured driver (each burst
+	// synchronized before the next) gets byte-identical message traces
+	// for the same seed on every transport, and a silent writer's tail
+	// never strands (poll-style workloads run coalesced safely).
+	// Implies coalescing: if CoalesceBatch < 2 it defaults to 16.
+	CoalesceFlushTicks int
+	// CoalesceAdaptive flushes a destination's buffered frame as soon
+	// as that destination has no inbound traffic in flight: a busy
+	// receiver lets updates pile into one frame, an idle one gets them
+	// immediately. Latency-bound workloads (Bellman-Ford) keep the
+	// message reduction without the round-trip stretch of pure
+	// batching. May be combined with CoalesceFlushTicks; implies
+	// coalescing like it.
+	CoalesceAdaptive bool
 	// DisableTrace turns off history and witness recording (for
 	// benchmarks). Traced verification methods then return ErrNoTrace.
 	DisableTrace bool
@@ -258,7 +276,16 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		rec.SetObserver(func(node int, e check.Event) { _ = monitor.Feed(node, e) })
 	}
-	mc := mcs.Config{Net: net, Placement: pl, Metrics: col, Recorder: rec, CoalesceBatch: cfg.CoalesceBatch}
+	batch := cfg.CoalesceBatch
+	if (cfg.CoalesceFlushTicks > 0 || cfg.CoalesceAdaptive) && batch < 2 {
+		batch = 16 // engine-driven flushing implies coalescing
+	}
+	mc := mcs.Config{
+		Net: net, Placement: pl, Metrics: col, Recorder: rec,
+		CoalesceBatch:      batch,
+		CoalesceFlushTicks: cfg.CoalesceFlushTicks,
+		CoalesceAdaptive:   cfg.CoalesceAdaptive,
+	}
 
 	var nodes []mcs.Node
 	switch cfg.Consistency {
