@@ -184,6 +184,66 @@ func TestUncoalescedWriteAllocBudget(t *testing.T) {
 	}
 }
 
+// TestPutGetSmallValueAllocs locks the v2 byte-value surface to the
+// same budgets as the int64 shim: a small-value (≤ 8 B) Put on the
+// wait-free protocols amortizes within the PR-3 write budgets (the
+// byte path is the same staged-encoder path), GetInto with a
+// pre-sized buffer is 0 allocs/op, and Get costs exactly the one
+// defensive copy.
+func TestPutGetSmallValueAllocs(t *testing.T) {
+	const batch = 16
+	for _, tc := range []struct {
+		cons   Consistency
+		budget float64 // max allocs per Put, amortized (PR-3 Write budgets)
+	}{
+		{PRAM, 0.5},
+		{Slow, 0.5},
+		{CausalFull, 0.5},
+	} {
+		t.Run(string(tc.cons), func(t *testing.T) {
+			c := allocCluster(t, tc.cons, fullPlacement(4), batch)
+			h := c.Node(0)
+			val := make([]byte, 8)
+			for i := 0; i < 4*batch; i++ {
+				val[7] = byte(i)
+				if err := h.Put("x", val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Quiesce()
+			avg := testing.AllocsPerRun(50, func() {
+				for i := 0; i < batch; i++ {
+					val[6]++
+					if err := h.Put("x", val); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c.Quiesce()
+			})
+			if perPut := avg / batch; perPut > tc.budget {
+				t.Errorf("%s Put allocates %.2f/op amortized, budget %.1f", tc.cons, perPut, tc.budget)
+			}
+			dst := make([]byte, 0, 16)
+			if avg := testing.AllocsPerRun(1000, func() {
+				var err error
+				dst, err = h.GetInto("x", dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("%s GetInto allocates %.2f/op, want 0", tc.cons, avg)
+			}
+			if avg := testing.AllocsPerRun(1000, func() {
+				if _, err := h.Get("x"); err != nil {
+					t.Fatal(err)
+				}
+			}); avg > 1 {
+				t.Errorf("%s Get allocates %.2f/op, budget 1 (the defensive copy)", tc.cons, avg)
+			}
+		})
+	}
+}
+
 // TestCoalescingCutsMessages pins down the message-count effect the
 // outbox exists for: a burst of B writes to k peers is k messages, not
 // k·B.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"partialdsm/internal/bellmanford"
+	"partialdsm/internal/model"
 )
 
 // bfNodes binds cluster node handles to the algorithm's Node interface.
@@ -155,13 +156,17 @@ func verifyMonotoneKReads(t *testing.T, c *Cluster, g *bellmanford.Graph) {
 			if !op.IsRead() || len(op.Var) == 0 || op.Var[0] != 'k' {
 				continue
 			}
-			if op.Val == Bottom {
+			if op.Val == model.Bottom {
 				continue
 			}
-			if prev, seen := last[op.Var]; seen && op.Val < prev {
-				t.Fatalf("process %d observed %s going backward: %d after %d", p, op.Var, op.Val, prev)
+			val, ok := op.Val.Int64()
+			if !ok {
+				t.Fatalf("process %d read non-word value %v from %s", p, op.Val, op.Var)
 			}
-			last[op.Var] = op.Val
+			if prev, seen := last[op.Var]; seen && val < prev {
+				t.Fatalf("process %d observed %s going backward: %d after %d", p, op.Var, val, prev)
+			}
+			last[op.Var] = val
 		}
 	}
 }

@@ -102,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "write the trajectory JSON to this file (default stdout)")
-	pr := fs.Int("pr", 3, "PR number recorded in the trajectory")
+	pr := fs.Int("pr", 4, "PR number recorded in the trajectory")
 	quick := fs.Bool("quick", false, "run the two-benchmark smoke subset")
 	repeat := fs.Int("repeat", 1, "measure each benchmark this many times and record per-metric medians")
 	baseline := fs.String("baseline", "", "embed this previous trajectory's numbers as the baseline table")
@@ -341,7 +341,34 @@ func benches() []bench {
 		bench{name: "PRAMWrite/8node-full/coalesce=16", fn: func(b *testing.B, msgs *float64) { pramWrite(b, modes[1], msgs) }},
 		bench{name: "PRAMRead/8node-full", fn: pramRead},
 	)
+	// Value-size sweep over the v2 byte-value API: the payload-scaling
+	// axis the paper's cost model is really about. 8 B is the legacy
+	// word (byte-identical on the wire), 256 B exercises the
+	// explicit-length framing, 4 KiB the buffer-pool growth path.
+	for _, size := range []int{8, 256, 4096} {
+		for _, m := range []mode{modes[0], modes[1]} {
+			size, m := size, m
+			out = append(out, bench{
+				name:  fmt.Sprintf("PRAMPut/8node-full/%s/val=%s", m.label, sizeLabel(size)),
+				quick: size == 256 && m.batch == 16,
+				fn:    func(b *testing.B, msgs *float64) { pramPut(b, m, size, msgs) },
+			})
+		}
+		size := size
+		out = append(out, bench{
+			name: fmt.Sprintf("PRAMGetInto/8node-full/val=%s", sizeLabel(size)),
+			fn:   func(b *testing.B, msgs *float64) { pramGetInto(b, size, msgs) },
+		})
+	}
 	return out
+}
+
+// sizeLabel renders a value size for benchmark names.
+func sizeLabel(n int) string {
+	if n >= 1024 {
+		return fmt.Sprintf("%dKiB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 // cluster builds an untraced benchmark cluster.
@@ -435,6 +462,50 @@ func pramWrite(b *testing.B, m mode, msgs *float64) {
 	}
 	b.StopTimer()
 	c.Quiesce()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
+}
+
+// pramPut measures a single byte-value Put of the given size on 8-node
+// full replication. The value buffer is reused and varied per
+// iteration (a fresh per-write payload, as a KV workload would send).
+func pramPut(b *testing.B, m mode, size int, msgs *float64) {
+	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, m)
+	h := c.Node(0)
+	val := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val[0], val[size/2] = byte(i), byte(i>>8)
+		if err := h.Put("x", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Quiesce()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
+}
+
+// pramGetInto measures the allocation-free read path at the given
+// value size.
+func pramGetInto(b *testing.B, size int, msgs *float64) {
+	c := cluster(b, partialdsm.PRAM, fullPlacement(8), partialdsm.TransportSharded, modes[0])
+	val := make([]byte, size)
+	if err := c.Node(0).Put("x", val); err != nil {
+		b.Fatal(err)
+	}
+	c.Quiesce()
+	h := c.Node(1)
+	dst := make([]byte, 0, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = h.GetInto("x", dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
 	*msgs = float64(c.Stats().Msgs) / float64(b.N)
 }
 

@@ -61,10 +61,10 @@ func BenchmarkWitnessPRAM(b *testing.B) {
 					writer := k % procs
 					logs[p] = append(logs[p], Event{
 						Writer: writer, WSeq: k / procs,
-						Var: "x", Val: int64(writer*1_000_000 + k/procs),
+						Var: "x", Val: model.IntValue(int64(writer*1_000_000 + k/procs)),
 					})
 					logs[p] = append(logs[p], Event{
-						IsRead: true, Var: "x", Val: int64(writer*1_000_000 + k/procs),
+						IsRead: true, Var: "x", Val: model.IntValue(int64(writer*1_000_000 + k/procs)),
 					})
 				}
 			}

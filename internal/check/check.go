@@ -257,7 +257,7 @@ func SerializationExists(h *model.History, ids []int, rel *model.Relation) ([]in
 	rfOf := make([]int, n)
 	type vv struct {
 		v   string
-		val int64
+		val model.Value
 	}
 	writerOf := make(map[vv]int)
 	for li, id := range ids {

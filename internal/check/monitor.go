@@ -50,8 +50,8 @@ func (m *monitorBase) failf(format string, args ...any) error {
 type PRAMMonitor struct {
 	monitorBase
 	numProcs int
-	lastSeq  [][]int            // [node][writer] last applied WSeq
-	cur      []map[string]int64 // [node] replica view
+	lastSeq  [][]int                  // [node][writer] last applied WSeq
+	cur      []map[string]model.Value // [node] replica view
 }
 
 // NewPRAMMonitor returns an online PRAM witness for numProcs nodes.
@@ -59,14 +59,14 @@ func NewPRAMMonitor(numProcs int) *PRAMMonitor {
 	m := &PRAMMonitor{
 		numProcs: numProcs,
 		lastSeq:  make([][]int, numProcs),
-		cur:      make([]map[string]int64, numProcs),
+		cur:      make([]map[string]model.Value, numProcs),
 	}
 	for i := 0; i < numProcs; i++ {
 		m.lastSeq[i] = make([]int, numProcs)
 		for j := range m.lastSeq[i] {
 			m.lastSeq[i][j] = -1
 		}
-		m.cur[i] = make(map[string]int64)
+		m.cur[i] = make(map[string]model.Value)
 	}
 	return m
 }
@@ -87,7 +87,7 @@ func (m *PRAMMonitor) Feed(node int, e Event) error {
 			want = model.Bottom
 		}
 		if e.Val != want {
-			return m.failf("check: node %d: %v returned %d, last applied write is %d", node, e, e.Val, want)
+			return m.failf("check: node %d: %v returned %v, last applied write is %v", node, e, e.Val, want)
 		}
 		return nil
 	}
@@ -109,7 +109,7 @@ type SlowMonitor struct {
 	monitorBase
 	numProcs int
 	lastSeq  []map[senderVar]int
-	cur      []map[string]int64
+	cur      []map[string]model.Value
 }
 
 type senderVar struct {
@@ -122,11 +122,11 @@ func NewSlowMonitor(numProcs int) *SlowMonitor {
 	m := &SlowMonitor{
 		numProcs: numProcs,
 		lastSeq:  make([]map[senderVar]int, numProcs),
-		cur:      make([]map[string]int64, numProcs),
+		cur:      make([]map[string]model.Value, numProcs),
 	}
 	for i := 0; i < numProcs; i++ {
 		m.lastSeq[i] = make(map[senderVar]int)
-		m.cur[i] = make(map[string]int64)
+		m.cur[i] = make(map[string]model.Value)
 	}
 	return m
 }
@@ -147,7 +147,7 @@ func (m *SlowMonitor) Feed(node int, e Event) error {
 			want = model.Bottom
 		}
 		if e.Val != want {
-			return m.failf("check: node %d: %v returned %d, last applied write is %d", node, e, e.Val, want)
+			return m.failf("check: node %d: %v returned %v, last applied write is %v", node, e, e.Val, want)
 		}
 		return nil
 	}
@@ -170,13 +170,13 @@ type CacheMonitor struct {
 	numProcs int
 	global   map[string][]writeID // per variable: longest observed apply order
 	pos      []map[string]int     // [node][var] how far along the global order
-	cur      []map[string]int64
+	cur      []map[string]model.Value
 	lastSeq  map[string]map[int]int // per variable, per writer: last sequenced WSeq
 }
 
 type writeID struct {
 	writer, wseq int
-	val          int64
+	val          model.Value
 }
 
 // NewCacheMonitor returns an online cache-consistency witness.
@@ -185,12 +185,12 @@ func NewCacheMonitor(numProcs int) *CacheMonitor {
 		numProcs: numProcs,
 		global:   make(map[string][]writeID),
 		pos:      make([]map[string]int, numProcs),
-		cur:      make([]map[string]int64, numProcs),
+		cur:      make([]map[string]model.Value, numProcs),
 		lastSeq:  make(map[string]map[int]int),
 	}
 	for i := 0; i < numProcs; i++ {
 		m.pos[i] = make(map[string]int)
-		m.cur[i] = make(map[string]int64)
+		m.cur[i] = make(map[string]model.Value)
 	}
 	return m
 }
@@ -211,7 +211,7 @@ func (m *CacheMonitor) Feed(node int, e Event) error {
 			want = model.Bottom
 		}
 		if e.Val != want {
-			return m.failf("check: node %d: %v returned %d, last applied write is %d", node, e, e.Val, want)
+			return m.failf("check: node %d: %v returned %v, last applied write is %v", node, e, e.Val, want)
 		}
 		return nil
 	}

@@ -40,7 +40,7 @@ func TestPRAMMonitorDetectsSenderOrderViolation(t *testing.T) {
 		t.Fatalf("violation not detected: %v", err)
 	}
 	// Sticky.
-	if err2 := m.Feed(0, r("x", model.Bottom)); err2 != err {
+	if err2 := m.Feed(0, r("x", model.BottomInt64)); err2 != err {
 		t.Error("error must be sticky")
 	}
 	if m.Err() != err {
@@ -58,7 +58,7 @@ func TestPRAMMonitorDetectsStaleRead(t *testing.T) {
 
 func TestPRAMMonitorBounds(t *testing.T) {
 	m := NewPRAMMonitor(1)
-	if err := m.Feed(5, r("x", model.Bottom)); err == nil {
+	if err := m.Feed(5, r("x", model.BottomInt64)); err == nil {
 		t.Fatal("node out of range not detected")
 	}
 	m2 := NewPRAMMonitor(1)
@@ -87,11 +87,11 @@ func TestSlowMonitorPerVariableOrder(t *testing.T) {
 
 func TestSlowMonitorReadLatest(t *testing.T) {
 	m := NewSlowMonitor(1)
-	if err := m.Feed(0, r("x", model.Bottom)); err != nil {
+	if err := m.Feed(0, r("x", model.BottomInt64)); err != nil {
 		t.Fatal(err)
 	}
 	m.Feed(0, w(0, 0, "x", 1))
-	if err := m.Feed(0, r("x", model.Bottom)); err == nil {
+	if err := m.Feed(0, r("x", model.BottomInt64)); err == nil {
 		t.Fatal("⊥ after write not detected")
 	}
 	if err := m.Feed(5, r("x", 0)); err == nil {

@@ -16,7 +16,7 @@ type Event struct {
 	Writer int // write events: issuing application process
 	WSeq   int // write events: per-writer program-order index
 	Var    string
-	Val    int64
+	Val    model.Value
 }
 
 // String renders the event compactly for error messages.
@@ -25,9 +25,9 @@ func (e Event) String() string {
 		if e.Val == model.Bottom {
 			return fmt.Sprintf("read(%s)⊥", e.Var)
 		}
-		return fmt.Sprintf("read(%s)%d", e.Var, e.Val)
+		return fmt.Sprintf("read(%s)%v", e.Var, e.Val)
 	}
-	return fmt.Sprintf("apply(w%d#%d %s=%d)", e.Writer, e.WSeq, e.Var, e.Val)
+	return fmt.Sprintf("apply(w%d#%d %s=%v)", e.Writer, e.WSeq, e.Var, e.Val)
 }
 
 // WitnessPRAM validates per-node event logs against PRAM consistency.
@@ -58,7 +58,7 @@ func WitnessPRAM(numProcs int, logs [][]Event) error {
 		for j := range lastSeq {
 			lastSeq[j] = -1
 		}
-		cur := make(map[string]int64)
+		cur := make(map[string]model.Value)
 		for k, e := range log {
 			if e.IsRead {
 				want, ok := cur[e.Var]
@@ -66,7 +66,7 @@ func WitnessPRAM(numProcs int, logs [][]Event) error {
 					want = model.Bottom
 				}
 				if e.Val != want {
-					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+					return fmt.Errorf("check: node %d event %d: %v returned %v, last applied write is %v",
 						i, k, e, e.Val, want)
 				}
 				continue
@@ -99,7 +99,7 @@ func WitnessSlow(numProcs int, logs [][]Event) error {
 	}
 	for i, log := range logs {
 		lastSeq := make(map[sv]int)
-		cur := make(map[string]int64)
+		cur := make(map[string]model.Value)
 		for k, e := range log {
 			if e.IsRead {
 				want, ok := cur[e.Var]
@@ -107,7 +107,7 @@ func WitnessSlow(numProcs int, logs [][]Event) error {
 					want = model.Bottom
 				}
 				if e.Val != want {
-					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+					return fmt.Errorf("check: node %d event %d: %v returned %v, last applied write is %v",
 						i, k, e, e.Val, want)
 				}
 				continue
@@ -145,7 +145,7 @@ func WitnessCache(numProcs int, logs [][]Event) error {
 	}
 	perVar := make(map[string][][]wid) // variable → one apply sequence per node (nonempty only)
 	for i, log := range logs {
-		cur := make(map[string]int64)
+		cur := make(map[string]model.Value)
 		seqs := make(map[string][]wid)
 		for k, e := range log {
 			if e.IsRead {
@@ -154,7 +154,7 @@ func WitnessCache(numProcs int, logs [][]Event) error {
 					want = model.Bottom
 				}
 				if e.Val != want {
-					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+					return fmt.Errorf("check: node %d event %d: %v returned %v, last applied write is %v",
 						i, k, e, e.Val, want)
 				}
 				continue
@@ -212,7 +212,7 @@ func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) err
 		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
 	}
 	// Primary apply sequences.
-	pos := make(map[string]map[int64]int)
+	pos := make(map[string]map[model.Value]int)
 	for i, log := range logs {
 		for k, e := range log {
 			if e.IsRead {
@@ -222,10 +222,10 @@ func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) err
 				return fmt.Errorf("check: node %d event %d: %v applied away from primary %d", i, k, e, p)
 			}
 			if pos[e.Var] == nil {
-				pos[e.Var] = make(map[int64]int)
+				pos[e.Var] = make(map[model.Value]int)
 			}
 			if _, dup := pos[e.Var][e.Val]; dup {
-				return fmt.Errorf("check: node %d event %d: value %d applied twice to %s", i, k, e.Val, e.Var)
+				return fmt.Errorf("check: node %d event %d: value %v applied twice to %s", i, k, e.Val, e.Var)
 			}
 			pos[e.Var][e.Val] = len(pos[e.Var])
 		}
@@ -291,7 +291,7 @@ func WitnessCausal(h *model.History, logs [][]Event) error {
 		}
 	}
 	for i, log := range logs {
-		cur := make(map[string]int64)
+		cur := make(map[string]model.Value)
 		var appliedIDs []int
 		for k, e := range log {
 			if e.IsRead {
@@ -300,7 +300,7 @@ func WitnessCausal(h *model.History, logs [][]Event) error {
 					want = model.Bottom
 				}
 				if e.Val != want {
-					return fmt.Errorf("check: node %d event %d: %v returned %d, last applied write is %d",
+					return fmt.Errorf("check: node %d event %d: %v returned %v, last applied write is %v",
 						i, k, e, e.Val, want)
 				}
 				continue

@@ -51,7 +51,7 @@ func TestWitnessAtomicRejectsPhantomValue(t *testing.T) {
 func TestWitnessAtomicRejectsLateBottom(t *testing.T) {
 	logs := [][]Event{
 		{w(0, 0, "x", 1)},
-		{r("x", 1), r("x", model.Bottom)},
+		{r("x", 1), r("x", model.BottomInt64)},
 	}
 	if err := WitnessAtomic(2, logs, primAt(0)); err == nil {
 		t.Fatal("⊥ after observing a written value not detected")
@@ -72,7 +72,7 @@ func TestWitnessAtomicShape(t *testing.T) {
 		t.Fatal("log count mismatch not detected")
 	}
 	// Early ⊥-reads are fine.
-	logs := [][]Event{{r("x", model.Bottom)}}
+	logs := [][]Event{{r("x", model.BottomInt64)}}
 	if err := WitnessAtomic(1, logs, primAt(0)); err != nil {
 		t.Fatalf("initial ⊥ read rejected: %v", err)
 	}

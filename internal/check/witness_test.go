@@ -8,11 +8,11 @@ import (
 )
 
 func w(writer, wseq int, v string, val int64) Event {
-	return Event{Writer: writer, WSeq: wseq, Var: v, Val: val}
+	return Event{Writer: writer, WSeq: wseq, Var: v, Val: model.IntValue(val)}
 }
 
 func r(v string, val int64) Event {
-	return Event{IsRead: true, Var: v, Val: val}
+	return Event{IsRead: true, Var: v, Val: model.IntValue(val)}
 }
 
 func TestWitnessPRAMAccepts(t *testing.T) {
@@ -48,7 +48,7 @@ func TestWitnessPRAMRejectsStaleRead(t *testing.T) {
 
 func TestWitnessPRAMRejectsBottomAfterWrite(t *testing.T) {
 	logs := [][]Event{
-		{w(0, 0, "x", 1), r("x", model.Bottom)},
+		{w(0, 0, "x", 1), r("x", model.BottomInt64)},
 	}
 	if err := WitnessPRAM(1, logs); err == nil {
 		t.Fatal("⊥-read after applied write not detected")
@@ -56,7 +56,7 @@ func TestWitnessPRAMRejectsBottomAfterWrite(t *testing.T) {
 }
 
 func TestWitnessPRAMInitReadOK(t *testing.T) {
-	logs := [][]Event{{r("x", model.Bottom)}}
+	logs := [][]Event{{r("x", model.BottomInt64)}}
 	if err := WitnessPRAM(1, logs); err != nil {
 		t.Fatalf("⊥-read before any write rejected: %v", err)
 	}

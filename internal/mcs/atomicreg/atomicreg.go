@@ -23,9 +23,10 @@ import (
 	"partialdsm/internal/sharegraph"
 )
 
-// Message kinds. A write request is (U32 wseq, U32 varID, I64 val), a
-// read request is (U32 varID); acks are empty and read responses are
-// (I64 val). Requesters are identified by the message source.
+// Message kinds. A write request is (U32 wseq, VarVal varID/value), a
+// read request is (U32 varID); acks are empty and read responses carry
+// the raw value bytes (the whole payload). Requesters are identified
+// by the message source.
 const (
 	KindWriteReq = "atomic.writereq"
 	KindWriteAck = "atomic.writeack"
@@ -40,9 +41,22 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu    sync.Mutex
-	store []int64    // authoritative copies (by VarID) this node is primary for
-	reply chan int64 // response slot for the single outstanding request
+	store mcs.Replicas // authoritative copies (by VarID) this node is primary for
 	wseq  int
+
+	// Write-completion accounting: per-pair FIFO delivers each
+	// primary's acks in request order, so the k-th request this node
+	// sent to primary p is complete once p's (k+1)-th ack arrives —
+	// which lets any number of asynchronous writes stay outstanding
+	// without widening the wire format.
+	ackMu   sync.Mutex
+	ackCond *sync.Cond
+	acks    []int // acks received, per primary
+	sent    []int // write requests sent, per primary (app goroutine only)
+
+	// readResp hands the single outstanding read's response payload
+	// from the handler to the reading application goroutine.
+	readResp chan []byte
 }
 
 // New instantiates the nodes and installs handlers.
@@ -55,12 +69,15 @@ func New(cfg mcs.Config) ([]*Node, error) {
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
-			cfg:   cfg,
-			id:    i,
-			ix:    ix,
-			store: mcs.NewReplicas(ix.NumVars()),
-			reply: make(chan int64, 1),
+			cfg:      cfg,
+			id:       i,
+			ix:       ix,
+			store:    mcs.NewReplicas(ix.NumVars()),
+			acks:     make([]int, n),
+			sent:     make([]int, n),
+			readResp: make(chan []byte, 1),
 		}
+		node.ackCond = sync.NewCond(&node.ackMu)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -79,16 +96,10 @@ func (n *Node) primary(xi int) (int, error) {
 	return cx[0], nil
 }
 
-// Write performs w_i(x)v with a round trip to x's primary.
-func (n *Node) Write(x string, v int64) error {
-	xi := n.ix.ID(x)
-	if !n.ix.Holds(n.id, xi) {
-		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
-	}
-	prim, err := n.primary(xi)
-	if err != nil {
-		return err
-	}
+// issue records one write and, for a remote primary, sends the
+// request; it returns the request's completion index on that primary
+// (-1 when the write was applied locally).
+func (n *Node) issue(xi, prim int, v []byte) (seq int) {
 	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
@@ -99,35 +110,102 @@ func (n *Node) Write(x string, v int64) error {
 
 	if prim == n.id {
 		n.applyPrimary(n.id, wseq, xi, v)
-		return nil
+		return -1
 	}
+	seq = n.sent[prim]
+	n.sent[prim]++
 	var enc mcs.Enc
 	enc.SetBuf(mcs.GetPayload())
-	enc.U32(uint32(wseq)).U32(uint32(xi)).I64(v)
+	enc.U32(uint32(wseq)).VarVal(xi, v)
 	payload := enc.Bytes()
 	n.cfg.Net.Send(netsim.Message{
 		From: n.id, To: prim, Kind: KindWriteReq,
-		Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
+		Payload: payload, CtrlBytes: len(payload) - len(v), DataBytes: len(v),
 		Vars: n.ix.MsgVars(xi),
 	})
-	<-n.reply // wait for the ack: the write has taken effect atomically
-	return nil
+	return seq
 }
 
-// Read performs r_i(x) with a round trip to x's primary.
-func (n *Node) Read(x string) (int64, error) {
+// waitAck blocks until the seq-th request sent to prim is acked.
+func (n *Node) waitAck(prim, seq int) {
+	n.ackMu.Lock()
+	for n.acks[prim] <= seq {
+		n.ackCond.Wait()
+	}
+	n.ackMu.Unlock()
+}
+
+// Put performs w_i(x)v with a round trip to x's primary.
+func (n *Node) Put(x string, v []byte) error {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
-		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	prim, err := n.primary(xi)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	var v int64
+	if seq := n.issue(xi, prim, v); seq >= 0 {
+		n.waitAck(prim, seq) // the write has taken effect atomically
+	}
+	return nil
+}
+
+// pending is an outstanding asynchronous write: it completes when its
+// primary's ack arrives (seq < 0 means it was applied locally and is
+// already complete).
+type pending struct {
+	n         *Node
+	prim, seq int
+}
+
+// Wait blocks until the write has taken effect at its primary.
+func (p *pending) Wait() error {
+	if p.seq >= 0 {
+		p.n.waitAck(p.prim, p.seq)
+	}
+	return nil
+}
+
+// PutAsync performs w_i(x)v without waiting for the primary's ack;
+// Wait blocks until the write has taken effect atomically. Operations
+// issued before Wait returns are not linearized after the write. The
+// ack accounting matches requests to acks through per-pair FIFO
+// order, so on a NonFIFO network PutAsync degrades to the synchronous
+// Put (one outstanding request, the v1 discipline).
+func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
+	if n.cfg.NonFIFO {
+		return mcs.Done, n.Put(x, v)
+	}
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	prim, err := n.primary(xi)
+	if err != nil {
+		return nil, err
+	}
+	seq := n.issue(xi, prim, v)
+	if seq < 0 {
+		return mcs.Done, nil
+	}
+	return &pending{n: n, prim: prim, seq: seq}, nil
+}
+
+// Get performs r_i(x) with a round trip to x's primary, appending the
+// value to dst[:0].
+func (n *Node) Get(x string, dst []byte) ([]byte, error) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	prim, err := n.primary(xi)
+	if err != nil {
+		return nil, err
+	}
 	if prim == n.id {
 		n.mu.Lock()
-		v = n.store[xi]
+		dst = append(dst[:0], n.store.Get(xi)...)
 		n.mu.Unlock()
 	} else {
 		var enc mcs.Enc
@@ -139,18 +217,20 @@ func (n *Node) Read(x string) (int64, error) {
 			Payload: payload, CtrlBytes: len(payload),
 			Vars: n.ix.MsgVars(xi),
 		})
-		v = <-n.reply
+		resp := <-n.readResp
+		dst = append(dst[:0], resp...)
+		mcs.PutPayload(resp)
 	}
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, n.ix.Name(xi), v)
+		rec.RecordRead(n.id, n.ix.Name(xi), dst)
 	}
-	return v, nil
+	return dst, nil
 }
 
 // applyPrimary installs the write at the authoritative copy.
-func (n *Node) applyPrimary(writer, wseq, xi int, v int64) {
+func (n *Node) applyPrimary(writer, wseq, xi int, v []byte) {
 	n.mu.Lock()
-	n.store[xi] = v
+	n.store.Set(xi, v)
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordApply(n.id, writer, wseq, n.ix.Name(xi), v)
 	}
@@ -174,13 +254,15 @@ func (n *Node) handle(msg netsim.Message) {
 	case KindWriteReq:
 		d := mcs.DecOf(msg.Payload)
 		wseq := int(d.U32())
-		xi := n.varID(&d, "write request", msg.From)
-		v := d.I64()
+		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
 			panic(fmt.Sprintf("atomicreg: node %d: malformed write request: %v", n.id, err))
 		}
+		if xi < 0 || xi >= n.ix.NumVars() {
+			panic(fmt.Sprintf("atomicreg: node %d: write request from %d names unknown VarID %d", n.id, msg.From, xi))
+		}
+		n.applyPrimary(msg.From, wseq, xi, v) // copies v before the recycle below
 		mcs.PutPayload(msg.Payload)
-		n.applyPrimary(msg.From, wseq, xi, v)
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: msg.From, Kind: KindWriteAck,
 			CtrlBytes: 1, Vars: n.ix.MsgVars(xi),
@@ -193,25 +275,23 @@ func (n *Node) handle(msg netsim.Message) {
 		}
 		mcs.PutPayload(msg.Payload)
 		n.mu.Lock()
-		v := n.store[xi]
-		n.mu.Unlock()
 		var enc mcs.Enc
 		enc.SetBuf(mcs.GetPayload())
-		enc.I64(v)
+		enc.Raw(n.store.Get(xi))
+		n.mu.Unlock()
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: msg.From, Kind: KindReadResp,
-			Payload: enc.Bytes(), DataBytes: 8, Vars: n.ix.MsgVars(xi),
+			Payload: enc.Bytes(), DataBytes: enc.Len(), Vars: n.ix.MsgVars(xi),
 		})
 	case KindWriteAck:
-		n.reply <- 0
+		n.ackMu.Lock()
+		n.acks[msg.From]++
+		n.ackCond.Broadcast()
+		n.ackMu.Unlock()
 	case KindReadResp:
-		d := mcs.DecOf(msg.Payload)
-		v := d.I64()
-		if err := d.Err(); err != nil {
-			panic(fmt.Sprintf("atomicreg: node %d: malformed read response: %v", n.id, err))
-		}
-		mcs.PutPayload(msg.Payload)
-		n.reply <- v
+		// The whole payload is the value; the reading goroutine copies
+		// it out and recycles the buffer.
+		n.readResp <- msg.Payload
 	default:
 		panic(fmt.Sprintf("atomicreg: node %d: unknown message kind %q", n.id, msg.Kind))
 	}

@@ -36,11 +36,11 @@ func TestWriteThenReadImmediatelyVisible(t *testing.T) {
 	nodes, _, _, _ := harness(t)
 	// Linearizability: once Write returns, every subsequent Read (from
 	// any node) must observe it — no quiesce needed.
-	if err := nodes[1].Write("x", 5); err != nil {
+	if err := mcs.WriteInt(nodes[1], "x", 5); err != nil {
 		t.Fatal(err)
 	}
 	for i, n := range nodes {
-		if v, _ := n.Read("x"); v != 5 {
+		if v, _ := mcs.ReadInt(n, "x"); v != 5 {
 			t.Errorf("node %d read %d right after write ack", i, v)
 		}
 	}
@@ -50,7 +50,7 @@ func TestPrimaryIsLowestCliqueMember(t *testing.T) {
 	nodes, _, _, col := harness(t)
 	// y's clique is {0,2}: primary 0. A write by 2 must produce a round
 	// trip 2→0→2.
-	if err := nodes[2].Write("y", 1); err != nil {
+	if err := mcs.WriteInt(nodes[2], "y", 1); err != nil {
 		t.Fatal(err)
 	}
 	s := col.Snapshot()
@@ -59,7 +59,7 @@ func TestPrimaryIsLowestCliqueMember(t *testing.T) {
 	}
 	// A write by the primary itself is local: no messages.
 	before := col.Snapshot().Msgs
-	if err := nodes[0].Write("y", 2); err != nil {
+	if err := mcs.WriteInt(nodes[0], "y", 2); err != nil {
 		t.Fatal(err)
 	}
 	if col.Snapshot().Msgs != before {
@@ -69,9 +69,9 @@ func TestPrimaryIsLowestCliqueMember(t *testing.T) {
 
 func TestReadRoundTrip(t *testing.T) {
 	nodes, _, _, col := harness(t)
-	nodes[0].Write("y", 9)
+	mcs.WriteInt(nodes[0], "y", 9)
 	before := col.Snapshot().Msgs
-	v, err := nodes[2].Read("y")
+	v, err := mcs.ReadInt(nodes[2], "y")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +91,11 @@ func TestConcurrentWritersLinearizable(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for k := 0; k < 15; k++ {
-				if err := nodes[i].Write("x", int64(i*1000+k+1)); err != nil {
+				if err := mcs.WriteInt(nodes[i], "x", int64(i*1000+k+1)); err != nil {
 					t.Errorf("write: %v", err)
 					return
 				}
-				if _, err := nodes[i].Read("x"); err != nil {
+				if _, err := mcs.ReadInt(nodes[i], "x"); err != nil {
 					t.Errorf("read: %v", err)
 					return
 				}
@@ -117,10 +117,10 @@ func TestConcurrentWritersLinearizable(t *testing.T) {
 
 func TestAccessControlAndMissingVar(t *testing.T) {
 	nodes, _, _, _ := harness(t)
-	if err := nodes[1].Write("y", 1); !errors.Is(err, mcs.ErrNotReplicated) {
+	if err := mcs.WriteInt(nodes[1], "y", 1); !errors.Is(err, mcs.ErrNotReplicated) {
 		t.Errorf("write y by node 1: %v", err)
 	}
-	if _, err := nodes[1].Read("y"); !errors.Is(err, mcs.ErrNotReplicated) {
+	if _, err := mcs.ReadInt(nodes[1], "y"); !errors.Is(err, mcs.ErrNotReplicated) {
 		t.Errorf("read y by node 1: %v", err)
 	}
 }

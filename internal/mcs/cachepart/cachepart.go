@@ -34,19 +34,20 @@ import (
 	"partialdsm/internal/sharegraph"
 )
 
-// Message kinds. A request is (U32 wseq, U32 varID, I64 val) with the
+// Message kinds. A request is (U32 wseq, VarVal varID/value) with the
 // writer identified by the message source; an update is
-// (U32 seq, U32 writer, U32 wseq, U32 varID, I64 val).
+// (U32 seq, U32 writer, U32 wseq, VarVal varID/value).
 const (
 	KindRequest = "cache.request" // writer → variable sequencer
 	KindUpdate  = "cache.update"  // sequencer → C(x)
 )
 
-// bufferedUpd is an out-of-order per-variable update.
+// bufferedUpd is an out-of-order per-variable update; v is a pooled
+// copy of the value bytes, recycled at apply.
 type bufferedUpd struct {
 	writer int
 	wseq   int
-	v      int64
+	v      []byte
 }
 
 // Node is one cache-consistent MCS process.
@@ -56,7 +57,7 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu       sync.Mutex
-	replicas []int64 // by VarID
+	replicas mcs.Replicas // by VarID
 	wseq     int
 	nextSeq  []int                 // next per-variable sequence to apply, by VarID
 	buffered []map[int]bufferedUpd // by VarID; maps lazily allocated
@@ -107,21 +108,13 @@ func (n *Node) primary(xi int) (int, error) {
 	return cx[0], nil
 }
 
-// Write performs w_i(x)v: route through x's sequencer, block until the
-// update is applied locally.
-func (n *Node) Write(x string, v int64) error {
-	xi := n.ix.ID(x)
-	if !n.ix.Holds(n.id, xi) {
-		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
-	}
-	prim, err := n.primary(xi)
-	if err != nil {
-		return err
-	}
+// issue records and sends one write request to x's sequencer,
+// returning this node's per-variable turn number.
+func (n *Node) issue(xi, prim int, v []byte) (myTurn int) {
 	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
-	myTurn := n.ownSent[xi]
+	myTurn = n.ownSent[xi]
 	n.ownSent[xi]++
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, n.ix.Name(xi), v)
@@ -130,14 +123,28 @@ func (n *Node) Write(x string, v int64) error {
 
 	var enc mcs.Enc
 	enc.SetBuf(mcs.GetPayload())
-	enc.U32(uint32(wseq)).U32(uint32(xi)).I64(v)
+	enc.U32(uint32(wseq)).VarVal(xi, v)
 	payload := enc.Bytes()
 	n.cfg.Net.Send(netsim.Message{
 		From: n.id, To: prim, Kind: KindRequest,
-		Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
+		Payload: payload, CtrlBytes: len(payload) - len(v), DataBytes: len(v),
 		Vars: n.ix.MsgVars(xi),
 	})
+	return myTurn
+}
 
+// Put performs w_i(x)v: route through x's sequencer, block until the
+// update is applied locally.
+func (n *Node) Put(x string, v []byte) error {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	prim, err := n.primary(xi)
+	if err != nil {
+		return err
+	}
+	myTurn := n.issue(xi, prim, v)
 	// Block until this write (the myTurn-th own write on x) is applied
 	// locally, so the process's operations on x serialize in program
 	// order.
@@ -149,19 +156,60 @@ func (n *Node) Write(x string, v int64) error {
 	return nil
 }
 
-// Read performs r_i(x) wait-free on the local replica.
-func (n *Node) Read(x string) (int64, error) {
+// pending is an outstanding asynchronous write on one variable: it
+// completes when the node's myTurn-th own write on the variable has
+// been applied locally. Requests reach x's sequencer in issue order
+// (per-pair FIFO), so outstanding writes on one variable complete in
+// issue order.
+type pending struct {
+	n      *Node
+	varID  int
+	myTurn int
+}
+
+// Wait blocks until the write is applied locally.
+func (p *pending) Wait() error {
+	p.n.mu.Lock()
+	for p.n.ownDone[p.varID] <= p.myTurn {
+		p.n.applied.Wait()
+	}
+	p.n.mu.Unlock()
+	return nil
+}
+
+// PutAsync performs w_i(x)v without waiting for the sequencer round
+// trip; Wait blocks until the update is applied locally. Outstanding
+// writes reach x's sequencer in issue order only on FIFO channels, so
+// on a NonFIFO network PutAsync degrades to the synchronous Put.
+func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
+	if n.cfg.NonFIFO {
+		return mcs.Done, n.Put(x, v)
+	}
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
-		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	prim, err := n.primary(xi)
+	if err != nil {
+		return nil, err
+	}
+	return &pending{n: n, varID: xi, myTurn: n.issue(xi, prim, v)}, nil
+}
+
+// Get performs r_i(x) wait-free on the local replica, appending the
+// value to dst[:0].
+func (n *Node) Get(x string, dst []byte) ([]byte, error) {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
-	v := n.replicas[xi]
+	dst = append(dst[:0], n.replicas.Get(xi)...)
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, n.ix.Name(xi), v)
+		rec.RecordRead(n.id, n.ix.Name(xi), dst)
 	}
 	n.mu.Unlock()
-	return v, nil
+	return dst, nil
 }
 
 // handle dispatches sequencing requests and replica updates.
@@ -181,8 +229,7 @@ func (n *Node) handle(msg netsim.Message) {
 func (n *Node) sequence(msg netsim.Message) {
 	d := mcs.DecOf(msg.Payload)
 	wseq := int(d.U32())
-	xi := int(d.U32())
-	v := d.I64()
+	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("cachepart: node %d: malformed request from %d: %v", n.id, msg.From, err))
 	}
@@ -192,24 +239,25 @@ func (n *Node) sequence(msg netsim.Message) {
 	if prim, _ := n.primary(xi); prim != n.id {
 		panic(fmt.Sprintf("cachepart: request for %s routed to non-sequencer node %d", n.ix.Name(xi), n.id))
 	}
-	mcs.PutPayload(msg.Payload) // single-destination request: sequencer owns it
 	n.seqMu.Lock()
 	seq := n.vseq[xi]
 	n.vseq[xi]++
 	n.seqMu.Unlock()
 
 	// The multicast payload is shared across C(x): a refcounted pooled
-	// frame that the last receiver recycles.
+	// frame that the last receiver recycles. v still aliases the
+	// request payload, which is recycled only after the re-encode.
 	clique := n.ix.Clique(xi)
 	buf, refs := mcs.GetSharedPayload(len(clique))
 	var enc mcs.Enc
 	enc.SetBuf(buf)
-	enc.U32(uint32(seq)).U32(uint32(msg.From)).U32(uint32(wseq)).U32(uint32(xi)).I64(v)
+	enc.U32(uint32(seq)).U32(uint32(msg.From)).U32(uint32(wseq)).VarVal(xi, v)
 	payload := enc.Bytes()
+	mcs.PutPayload(msg.Payload) // single-destination request: sequencer owns it
 	for _, p := range clique {
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: p, Kind: KindUpdate,
-			Payload: payload, CtrlBytes: len(payload) - 8, DataBytes: 8,
+			Payload: payload, CtrlBytes: len(payload) - len(v), DataBytes: len(v),
 			Vars: n.ix.MsgVars(xi), SharedPayload: true, SharedRefs: refs,
 		})
 	}
@@ -222,8 +270,7 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 	seq := int(d.U32())
 	writer := int(d.U32())
 	wseq := int(d.U32())
-	xi := int(d.U32())
-	v := d.I64()
+	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("cachepart: node %d: malformed update: %v", n.id, err))
 	}
@@ -234,7 +281,9 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 	if n.buffered[xi] == nil {
 		n.buffered[xi] = make(map[int]bufferedUpd)
 	}
-	n.buffered[xi][seq] = bufferedUpd{writer: writer, wseq: wseq, v: v}
+	// The value must outlive the shared multicast frame: copy it into a
+	// pooled buffer, recycled when the update applies.
+	n.buffered[xi][seq] = bufferedUpd{writer: writer, wseq: wseq, v: append(mcs.GetPayload(), v...)}
 	for {
 		u, ok := n.buffered[xi][n.nextSeq[xi]]
 		if !ok {
@@ -242,13 +291,14 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		}
 		delete(n.buffered[xi], n.nextSeq[xi])
 		n.nextSeq[xi]++
-		n.replicas[xi] = u.v
+		n.replicas.Set(xi, u.v)
 		if rec := n.cfg.Recorder; rec != nil {
 			rec.RecordApply(n.id, u.writer, u.wseq, n.ix.Name(xi), u.v)
 		}
 		if u.writer == n.id {
 			n.ownDone[xi]++
 		}
+		mcs.PutPayload(u.v)
 	}
 	n.applied.Broadcast()
 	n.mu.Unlock()

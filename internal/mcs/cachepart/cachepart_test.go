@@ -34,10 +34,10 @@ func harness(t *testing.T) ([]*Node, *netsim.Network, *mcs.Recorder, *metrics.Co
 func TestReadYourWritesPerVariable(t *testing.T) {
 	nodes, _, _, _ := harness(t)
 	for k := int64(1); k <= 10; k++ {
-		if err := nodes[2].Write("x", k); err != nil {
+		if err := mcs.WriteInt(nodes[2], "x", k); err != nil {
 			t.Fatal(err)
 		}
-		if v, _ := nodes[2].Read("x"); v != k {
+		if v, _ := mcs.ReadInt(nodes[2], "x"); v != k {
 			t.Fatalf("per-variable read-your-writes violated: wrote %d, read %d", k, v)
 		}
 	}
@@ -45,8 +45,8 @@ func TestReadYourWritesPerVariable(t *testing.T) {
 
 func TestEfficiencyInfoStaysInClique(t *testing.T) {
 	nodes, net, _, col := harness(t)
-	nodes[0].Write("x", 1)
-	nodes[2].Write("x", 2)
+	mcs.WriteInt(nodes[0], "x", 1)
+	mcs.WriteInt(nodes[2], "x", 2)
 	net.Quiesce()
 	if col.Touched(1, "x") {
 		t.Error("node 1 ∉ C(x) handled x information — cachepart must be efficient")
@@ -61,7 +61,7 @@ func TestPerVariableTotalOrderAgreement(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for k := 0; k < 20; k++ {
-				if err := nodes[i].Write("x", int64(i*1000+k+1)); err != nil {
+				if err := mcs.WriteInt(nodes[i], "x", int64(i*1000+k+1)); err != nil {
 					t.Errorf("write: %v", err)
 					return
 				}
@@ -70,8 +70,8 @@ func TestPerVariableTotalOrderAgreement(t *testing.T) {
 	}
 	wg.Wait()
 	net.Quiesce()
-	v0, _ := nodes[0].Read("x")
-	v2, _ := nodes[2].Read("x")
+	v0, _ := mcs.ReadInt(nodes[0], "x")
+	v2, _ := mcs.ReadInt(nodes[2], "x")
 	if v0 != v2 {
 		t.Errorf("replicas diverge: %d vs %d", v0, v2)
 	}
@@ -86,13 +86,13 @@ func TestCrossVariableReorderingAllowed(t *testing.T) {
 	// just documents that nothing blocks across variables — both
 	// variables converge independently.
 	nodes, net, _, _ := harness(t)
-	nodes[0].Write("x", 1)
-	nodes[0].Write("y", 2)
+	mcs.WriteInt(nodes[0], "x", 1)
+	mcs.WriteInt(nodes[0], "y", 2)
 	net.Quiesce()
-	if v, _ := nodes[2].Read("x"); v != 1 {
+	if v, _ := mcs.ReadInt(nodes[2], "x"); v != 1 {
 		t.Error("x lost")
 	}
-	if v, _ := nodes[2].Read("y"); v != 2 {
+	if v, _ := mcs.ReadInt(nodes[2], "y"); v != 2 {
 		t.Error("y lost")
 	}
 }
@@ -101,7 +101,7 @@ func TestSequencerIsLowestCliqueMember(t *testing.T) {
 	nodes, net, _, col := harness(t)
 	// y's sequencer is node 0: a write by node 1 produces request 1→0
 	// then updates 0→{0,1,2}.
-	if err := nodes[1].Write("y", 5); err != nil {
+	if err := mcs.WriteInt(nodes[1], "y", 5); err != nil {
 		t.Fatal(err)
 	}
 	net.Quiesce()
@@ -116,10 +116,10 @@ func TestSequencerIsLowestCliqueMember(t *testing.T) {
 
 func TestAccessControl(t *testing.T) {
 	nodes, _, _, _ := harness(t)
-	if err := nodes[1].Write("x", 1); err == nil {
+	if err := mcs.WriteInt(nodes[1], "x", 1); err == nil {
 		t.Error("write outside X_1 must fail")
 	}
-	if _, err := nodes[1].Read("x"); err == nil {
+	if _, err := mcs.ReadInt(nodes[1], "x"); err == nil {
 		t.Error("read outside X_1 must fail")
 	}
 }

@@ -15,8 +15,9 @@
 // general variable distributions. The implementation keeps the
 // *allocation* cost per operation O(1) nonetheless: the vector clock is
 // encoded straight from the node's clock array into the coalescing
-// outbox (no per-write timestamp copy), replicas are a flat []int64
-// over interned VarIDs, and the receive path decodes each record's
+// outbox (no per-write timestamp copy), replicas are a flat
+// mcs.Replicas byte-value store over interned VarIDs, and the receive
+// path decodes each record's
 // clock into a per-node scratch slice, copying it only when the update
 // must wait in the pending buffer (the out-of-order cold path).
 package causalfull
@@ -31,15 +32,16 @@ import (
 )
 
 // KindUpdate is the protocol's only message kind: a batched frame of
-// (U32Slice vc, U32 varID, I64 val) records.
+// (U32Slice vc, VarVal varID/value) records.
 const KindUpdate = "causal.update"
 
-// update is a buffered remote write (cold path: out-of-order arrival).
+// update is a buffered remote write (cold path: out-of-order arrival);
+// v is a pooled copy of the value bytes, recycled at delivery.
 type update struct {
 	writer int
 	ts     []uint32
 	varID  int
-	v      int64
+	v      []byte
 }
 
 // Node is one causal MCS process with a full replica set.
@@ -51,8 +53,8 @@ type Node struct {
 	peers []int // every node but this one (broadcast set)
 
 	mu       sync.Mutex
-	vc       []uint32 // vc[p] = number of p's writes applied locally
-	replicas []int64  // by VarID
+	vc       []uint32     // vc[p] = number of p's writes applied locally
+	replicas mcs.Replicas // by VarID
 	pending  []update
 	tsTmp    []uint32 // decode scratch, reused per record
 	out      *mcs.Outbox
@@ -97,7 +99,7 @@ func (n *Node) ID() int { return n.id }
 // stage the broadcast. Although every node replicates every variable,
 // the placement still scopes which variables the *application* process
 // may access (the paper's X_i model).
-func (n *Node) Write(x string, v int64) error {
+func (n *Node) Put(x string, v []byte) error {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
@@ -106,38 +108,57 @@ func (n *Node) Write(x string, v int64) error {
 	n.mu.Lock()
 	n.vc[n.id]++
 	wseq := int(n.vc[n.id]) - 1
-	n.replicas[xi] = v
+	n.replicas.Set(xi, v)
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, name, v)
 		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
 	enc := n.out.Stage()
-	enc.U32Slice(n.vc).U32(uint32(xi)).I64(v)
-	ctrl := enc.Len() - 8
-	n.out.Emit(n.peers, n.ix.MsgVars(xi), ctrl, 8)
+	enc.U32Slice(n.vc).VarVal(xi, v)
+	ctrl := enc.Len() - len(v)
+	n.out.Emit(n.peers, n.ix.MsgVars(xi), ctrl, len(v))
 	n.mu.Unlock()
 	return nil
 }
 
-// Read performs r_i(x) wait-free on the local replica, flushing any
+// PutAsync is Put: causal-broadcast writes are wait-free.
+func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
+	return mcs.Done, n.Put(x, v)
+}
+
+// Get performs r_i(x) wait-free on the local replica, flushing any
 // coalesced updates first.
-func (n *Node) Read(x string) (int64, error) {
+func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
-		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
 	if n.out.HasPending() {
 		n.out.Flush()
 	}
-	v := n.replicas[xi]
+	dst = append(dst[:0], n.replicas.Get(xi)...)
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, n.ix.Name(xi), v)
+		rec.RecordRead(n.id, n.ix.Name(xi), dst)
 	}
 	n.mu.Unlock()
 	// A polling reader drives buffered writers' flush deadlines.
 	n.out.Nudge()
-	return v, nil
+	return dst, nil
+}
+
+// BeginBatch suspends update flushing (mcs.Batcher).
+func (n *Node) BeginBatch() {
+	n.mu.Lock()
+	n.out.Hold()
+	n.mu.Unlock()
+}
+
+// EndBatch flushes everything staged since BeginBatch (mcs.Batcher).
+func (n *Node) EndBatch() {
+	n.mu.Lock()
+	n.out.Release()
+	n.mu.Unlock()
 }
 
 // FlushUpdates sends all buffered updates (mcs.Flusher).
@@ -159,8 +180,7 @@ func (n *Node) handle(msg netsim.Message) {
 	n.mu.Lock()
 	for k := 0; k < count; k++ {
 		n.tsTmp = d.U32SliceInto(n.tsTmp)
-		xi := int(d.U32())
-		v := d.I64()
+		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
 			n.mu.Unlock()
 			panic(fmt.Sprintf("causalfull: node %d: malformed update from %d: %v", n.id, msg.From, err))
@@ -178,7 +198,7 @@ func (n *Node) handle(msg netsim.Message) {
 				writer: msg.From,
 				ts:     append([]uint32(nil), n.tsTmp...),
 				varID:  xi,
-				v:      v,
+				v:      append(mcs.GetPayload(), v...),
 			})
 		}
 	}
@@ -203,9 +223,9 @@ func (n *Node) deliverable(writer int, ts []uint32) bool {
 
 // applyLocked installs one deliverable update; tsWriter is the writer's
 // own clock entry (its wseq + 1).
-func (n *Node) applyLocked(writer int, tsWriter uint32, xi int, v int64) {
+func (n *Node) applyLocked(writer int, tsWriter uint32, xi int, v []byte) {
 	n.vc[writer] = tsWriter
-	n.replicas[xi] = v
+	n.replicas.Set(xi, v)
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordApply(n.id, writer, int(tsWriter)-1, n.ix.Name(xi), v)
 	}
@@ -222,6 +242,7 @@ func (n *Node) drainLocked() {
 			}
 			n.pending = append(n.pending[:i], n.pending[i+1:]...)
 			n.applyLocked(u.writer, u.ts[u.writer], u.varID, u.v)
+			mcs.PutPayload(u.v)
 			progress = true
 			i--
 		}
@@ -231,4 +252,5 @@ func (n *Node) drainLocked() {
 var (
 	_ mcs.Node    = (*Node)(nil)
 	_ mcs.Flusher = (*Node)(nil)
+	_ mcs.Batcher = (*Node)(nil)
 )

@@ -28,12 +28,12 @@ func harness(t *testing.T, n int) ([]*Node, *netsim.Network, *mcs.Recorder) {
 
 func TestBroadcastReachesEveryone(t *testing.T) {
 	nodes, net, _ := harness(t, 4)
-	if err := nodes[0].Write("x", 9); err != nil {
+	if err := mcs.WriteInt(nodes[0], "x", 9); err != nil {
 		t.Fatal(err)
 	}
 	net.Quiesce()
 	for i, n := range nodes {
-		if v, _ := n.Read("x"); v != 9 {
+		if v, _ := mcs.ReadInt(n, "x"); v != 9 {
 			t.Errorf("node %d x = %d", i, v)
 		}
 	}
@@ -59,32 +59,32 @@ func TestDelayedDelivery(t *testing.T) {
 	n2 := nodes[2]
 	n2.handle(netsim.Message{From: 1, To: 2, Kind: KindUpdate,
 		Payload: mkPayload([]uint32{1, 1, 0}, 1, 20)})
-	if v, _ := n2.Read("y"); v != -9223372036854775808 {
+	if v, _ := mcs.ReadInt(n2, "y"); v != -9223372036854775808 {
 		t.Fatalf("y applied before its causal predecessor x: %d", v)
 	}
 	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate,
 		Payload: mkPayload([]uint32{1, 0, 0}, 0, 10)})
-	if v, _ := n2.Read("x"); v != 10 {
+	if v, _ := mcs.ReadInt(n2, "x"); v != 10 {
 		t.Fatalf("x not applied: %d", v)
 	}
-	if v, _ := n2.Read("y"); v != 20 {
+	if v, _ := mcs.ReadInt(n2, "y"); v != 20 {
 		t.Fatalf("buffered y not drained after x arrived: %d", v)
 	}
 }
 
 func TestCausalChainThroughReads(t *testing.T) {
 	nodes, net, rec := harness(t, 3)
-	nodes[0].Write("x", 1)
+	mcs.WriteInt(nodes[0], "x", 1)
 	net.Quiesce()
-	if v, _ := nodes[1].Read("x"); v != 1 {
+	if v, _ := mcs.ReadInt(nodes[1], "x"); v != 1 {
 		t.Fatal("node 1 missed x")
 	}
-	nodes[1].Write("y", 2) // causally after w0(x)1
+	mcs.WriteInt(nodes[1], "y", 2) // causally after w0(x)1
 	net.Quiesce()
-	if v, _ := nodes[2].Read("y"); v != 2 {
+	if v, _ := mcs.ReadInt(nodes[2], "y"); v != 2 {
 		t.Fatal("node 2 missed y")
 	}
-	if v, _ := nodes[2].Read("x"); v != 1 {
+	if v, _ := mcs.ReadInt(nodes[2], "x"); v != 1 {
 		t.Fatal("causal order violated: y visible without x")
 	}
 	h, err := rec.History()
@@ -110,7 +110,7 @@ func TestVectorClockControlBytesGrowWithN(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		nodes[0].Write("x", 1)
+		mcs.WriteInt(nodes[0], "x", 1)
 		net.Quiesce()
 		s := col.Snapshot()
 		ctrl[i] = s.CtrlBytes / s.Msgs

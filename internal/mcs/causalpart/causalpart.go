@@ -66,7 +66,7 @@ import (
 // Message kinds. Updates carry the written value (to C(x)),
 // notifications carry control information only (to N(x) ∖ C(x)). Both
 // are batched frames of records
-// (U32 wseq, U32 varID, U32 hasValue, [I64 val], U32 nDeps,
+// (U32 wseq, U32 varID, OptVal value, U32 nDeps,
 // nDeps × (U32 writer, U32 varID, U32 count)).
 const (
 	KindUpdate = "causalpart.update"
@@ -111,7 +111,7 @@ type Node struct {
 	notifies [][]int  // VarID → N(x) minus self
 
 	mu       sync.Mutex
-	replicas []int64 // by VarID
+	replicas mcs.Replicas // by VarID
 	wseq     int
 	cnt      [][]uint32 // cnt[j][y]: delivered writes of j to vars[y]
 	pending  []pendingRec
@@ -184,7 +184,7 @@ func (n *Node) ID() int { return n.id }
 // Write performs w_i(x)v: apply locally, then stage updates to C(x)
 // and notifications to the rest of N(x), each carrying the dependency
 // list pruned to the receiver's interest.
-func (n *Node) Write(x string, v int64) error {
+func (n *Node) Put(x string, v []byte) error {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
@@ -197,7 +197,7 @@ func (n *Node) Write(x string, v int64) error {
 		rec.RecordWrite(n.id, name, v)
 		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
-	n.replicas[xi] = v
+	n.replicas.Set(xi, v)
 	for _, r := range n.notifies[xi] {
 		hasValue := n.ix.Holds(r, xi)
 		out := n.outNtf
@@ -208,10 +208,10 @@ func (n *Node) Write(x string, v int64) error {
 		enc.U32(uint32(wseq)).U32(uint32(xi))
 		data := 0
 		if hasValue {
-			enc.U32(1).I64(v)
-			data = 8
+			enc.OptVal(v, true)
+			data = len(v)
 		} else {
-			enc.U32(0)
+			enc.OptVal(nil, false)
 		}
 		n.encodeDepsLocked(enc, r, xi)
 		ctrl := enc.Len() - data
@@ -222,6 +222,11 @@ func (n *Node) Write(x string, v int64) error {
 	n.cnt[n.id][xi]++
 	n.mu.Unlock()
 	return nil
+}
+
+// PutAsync is Put: causal partial-replication writes are wait-free.
+func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
+	return mcs.Done, n.Put(x, v)
 }
 
 // encodeDepsLocked appends receiver r's dependency list for a write on
@@ -253,27 +258,43 @@ func (n *Node) encodeDepsLocked(enc *mcs.Enc, r, xi int) {
 	enc.PatchU32(countPos, uint32(deps))
 }
 
-// Read performs r_i(x) wait-free on the local replica, flushing any
+// Get performs r_i(x) wait-free on the local replica, flushing any
 // coalesced messages first.
-func (n *Node) Read(x string) (int64, error) {
+func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
-		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
 	if n.outUpd.HasPending() || n.outNtf.HasPending() {
 		n.outUpd.Flush()
 		n.outNtf.Flush()
 	}
-	v := n.replicas[xi]
+	dst = append(dst[:0], n.replicas.Get(xi)...)
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, n.ix.Name(xi), v)
+		rec.RecordRead(n.id, n.ix.Name(xi), dst)
 	}
 	n.mu.Unlock()
 	// A polling reader drives buffered writers' flush deadlines (one
 	// nudge covers both outboxes — they share the transport clock).
 	n.outUpd.Nudge()
-	return v, nil
+	return dst, nil
+}
+
+// BeginBatch suspends flushing on both outboxes (mcs.Batcher).
+func (n *Node) BeginBatch() {
+	n.mu.Lock()
+	n.outUpd.Hold()
+	n.outNtf.Hold()
+	n.mu.Unlock()
+}
+
+// EndBatch flushes everything staged since BeginBatch (mcs.Batcher).
+func (n *Node) EndBatch() {
+	n.mu.Lock()
+	n.outUpd.Release()
+	n.outNtf.Release()
+	n.mu.Unlock()
 }
 
 // FlushUpdates sends all buffered messages (mcs.Flusher).
@@ -321,11 +342,7 @@ func (n *Node) handle(msg netsim.Message) {
 func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) bool {
 	wseq := int(d.U32())
 	xi := int(d.U32())
-	hasValue := d.U32() == 1
-	var v int64
-	if hasValue {
-		v = d.I64()
-	}
+	v, hasValue := d.OptVal()
 	nDeps := int(d.U32())
 	if d.Err() != nil {
 		return false
@@ -361,7 +378,7 @@ func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) bool {
 	}
 	n.cnt[writer][xi]++
 	if hasValue {
-		n.replicas[xi] = v
+		n.replicas.Set(xi, v)
 		if rec := n.cfg.Recorder; rec != nil {
 			rec.RecordApply(n.id, writer, wseq, n.ix.Name(xi), v)
 		}
@@ -389,4 +406,5 @@ func (n *Node) drainLocked() {
 var (
 	_ mcs.Node    = (*Node)(nil)
 	_ mcs.Flusher = (*Node)(nil)
+	_ mcs.Batcher = (*Node)(nil)
 )

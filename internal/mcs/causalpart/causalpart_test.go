@@ -40,7 +40,7 @@ func TestModeString(t *testing.T) {
 
 func TestBroadcastNotifiesEveryone(t *testing.T) {
 	nodes, net, _, col := harness(t, hoopPl(), ModeBroadcast)
-	nodes[0].Write("x", 1)
+	mcs.WriteInt(nodes[0], "x", 1)
 	net.Quiesce()
 	// Data to node 2 (C(x)) and a notification to node 1.
 	s := col.Snapshot()
@@ -54,7 +54,7 @@ func TestBroadcastNotifiesEveryone(t *testing.T) {
 		t.Error("node 1 must have been notified about x")
 	}
 	// The notification carries no value: node 1 cannot read x anyway.
-	if v, _ := nodes[2].Read("x"); v != 1 {
+	if v, _ := mcs.ReadInt(nodes[2], "x"); v != 1 {
 		t.Error("node 2 missed the data update")
 	}
 }
@@ -67,7 +67,7 @@ func TestHoopAwareSkipsIrrelevant(t *testing.T) {
 		Assign(2, "x", "y", "z").
 		Assign(3, "z")
 	nodes, net, _, col := harness(t, pl, ModeHoopAware)
-	nodes[0].Write("x", 1)
+	mcs.WriteInt(nodes[0], "x", 1)
 	net.Quiesce()
 	if col.Touched(3, "x") {
 		t.Error("x-irrelevant node 3 was notified about x")
@@ -81,18 +81,18 @@ func TestHoopAwareSkipsIrrelevant(t *testing.T) {
 // node 1 must not let node 2 apply a second x write before the first.
 func TestDependencyChainOrdering(t *testing.T) {
 	nodes, net, rec, _ := harness(t, hoopPl(), ModeBroadcast)
-	nodes[0].Write("x", 1)
-	nodes[0].Write("y", 2)
+	mcs.WriteInt(nodes[0], "x", 1)
+	mcs.WriteInt(nodes[0], "y", 2)
 	net.Quiesce()
-	if v, _ := nodes[1].Read("y"); v != 2 {
+	if v, _ := mcs.ReadInt(nodes[1], "y"); v != 2 {
 		t.Fatal("node 1 missed y")
 	}
-	nodes[1].Write("y", 3)
+	mcs.WriteInt(nodes[1], "y", 3)
 	net.Quiesce()
-	if v, _ := nodes[2].Read("y"); v != 3 {
+	if v, _ := mcs.ReadInt(nodes[2], "y"); v != 3 {
 		t.Fatal("node 2 missed y'")
 	}
-	if v, _ := nodes[2].Read("x"); v != 1 {
+	if v, _ := mcs.ReadInt(nodes[2], "x"); v != 1 {
 		t.Fatal("node 2 read y'=3 but stale x")
 	}
 	h, err := rec.History()
@@ -133,7 +133,7 @@ func TestBufferedOutOfOrderDelivery(t *testing.T) {
 		1, 1, 1, 20,
 		[]dep{{writer: 0, varIdx: 0, count: 1}, {writer: 0, varIdx: 1, count: 0}},
 	)})
-	if v, _ := n2.Read("y"); v != -9223372036854775808 {
+	if v, _ := mcs.ReadInt(n2, "y"); v != -9223372036854775808 {
 		t.Fatalf("y applied before its dependency on x: %d", v)
 	}
 	// Now the x write arrives: own stream entry (0,x,0).
@@ -141,10 +141,10 @@ func TestBufferedOutOfOrderDelivery(t *testing.T) {
 		0, 0, 1, 10,
 		[]dep{{writer: 0, varIdx: 0, count: 0}},
 	)})
-	if v, _ := n2.Read("x"); v != 10 {
+	if v, _ := mcs.ReadInt(n2, "x"); v != 10 {
 		t.Fatalf("x not applied: %d", v)
 	}
-	if v, _ := n2.Read("y"); v != 20 {
+	if v, _ := mcs.ReadInt(n2, "y"); v != 20 {
 		t.Fatalf("buffered y not drained: %d", v)
 	}
 }
@@ -159,10 +159,10 @@ func TestDepListPrunedToReceiverInterest(t *testing.T) {
 		Assign(2, "x", "y", "z").
 		Assign(3, "z")
 	nodes, net, _, col := harness(t, pl, ModeHoopAware)
-	nodes[2].Write("x", 1) // node 2 knows about x
-	nodes[2].Write("z", 2) // depends on its own x write
+	mcs.WriteInt(nodes[2], "x", 1) // node 2 knows about x
+	mcs.WriteInt(nodes[2], "z", 2) // depends on its own x write
 	net.Quiesce()
-	if v, _ := nodes[3].Read("z"); v != 2 {
+	if v, _ := mcs.ReadInt(nodes[3], "z"); v != 2 {
 		t.Fatal("node 3 missed z")
 	}
 	if col.Touched(3, "x") {

@@ -1,6 +1,7 @@
 package mcs
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 )
@@ -52,83 +53,193 @@ func FuzzDecSliceFirst(f *testing.F) {
 
 // The round-trip fuzzers below cover the exact payload schema of every
 // protocol message kind in the repo, so a change to the Enc/Dec
-// helpers that silently corrupts any field is caught. Since the
-// zero-allocation refactor, variables travel as dense VarIDs, writers
-// ride in the message source, and the fire-and-forget protocols pack
-// multiple records into one batched frame (U32 record count, then the
-// records back to back — see Outbox):
+// helpers that silently corrupts any field is caught. Since the v2
+// byte-value redesign, every value travels with v1-compatible framing:
+// VarVal packs the value-length tag into the VarID word (8-byte values
+// are byte-identical to the old U32 varID + I64 val pair), OptVal is
+// the optional-value field of the causalpart records, and atomicreg's
+// read response carries the raw value as its whole payload:
 //
-//   - pram.update frame record: (U32 wseq, U32 varID, I64 v)
-//   - slow.update frame record: (U32 wseq, U32 vseq, U32 varID, I64 v)
-//   - causal.update frame record: (U32Slice vc, U32 varID, I64 v)
+//   - pram.update frame record: (U32 wseq, VarVal)
+//   - slow.update frame record: (U32 wseq, U32 vseq, VarVal)
+//   - causal.update frame record: (U32Slice vc, VarVal)
 //   - causalpart update/notify frame record: (U32 wseq, U32 varID,
-//     U32 hasValue, [I64 v], U32 nDeps, nDeps × (U32, U32, U32))
+//     OptVal, U32 nDeps, nDeps × (U32, U32, U32))
 //   - seqcons/cachepart requests, atomicreg write-req:
-//     (U32 wseq, U32 varID, I64 v)
+//     (U32 wseq, VarVal)
 //   - seqcons/cachepart updates: (U32 seq, U32 writer, U32 wseq,
-//     U32 varID, I64 v)
-//   - atomicreg read-req: (U32 varID); read-resp: (I64 v)
+//     VarVal)
+//   - atomicreg read-req: (U32 varID); read-resp: (Raw value)
 
-// FuzzWireRoundTripRequest covers the 3-field direct-send schema shared
-// by the seqcons/cachepart requests and atomicreg's write request.
-func FuzzWireRoundTripRequest(f *testing.F) {
-	f.Add(uint32(0), uint32(0), int64(-1))
-	f.Add(uint32(1<<31), uint32(7), int64(1)<<62)
-	f.Fuzz(func(t *testing.T, wseq, varID uint32, v int64) {
+// clampVal trims fuzz-chosen values and VarIDs into the encodable
+// ranges (tests cap values at 64 KiB to stay fast).
+func clampVal(varID uint32, val []byte) (int, []byte) {
+	if len(val) > 1<<16 {
+		val = val[:1<<16]
+	}
+	return int(varID % (MaxEncodableVarID + 1)), val
+}
+
+// FuzzVarValRoundTrip pins the packed (VarID, value) field pair: any
+// VarID in range and any value length round-trip exactly, and the
+// 8-byte case is byte-identical to the v1 (U32 varID, I64 val) layout.
+func FuzzVarValRoundTrip(f *testing.F) {
+	f.Add(uint32(0), []byte{})
+	f.Add(uint32(7), []byte("12345678"))
+	f.Add(uint32(MaxEncodableVarID), bytes.Repeat([]byte{0xAB}, 253))
+	f.Add(uint32(9), bytes.Repeat([]byte{0xCD}, 254))
+	f.Add(uint32(3), bytes.Repeat([]byte{0xEF}, 5000))
+	f.Fuzz(func(t *testing.T, rawID uint32, val []byte) {
+		varID, val := clampVal(rawID, val)
 		var e Enc
-		e.U32(wseq).U32(varID).I64(v)
+		e.VarVal(varID, val)
 		d := DecOf(e.Bytes())
-		gs, gx, gv := d.U32(), d.U32(), d.I64()
+		gx, gv := d.VarVal()
 		if err := d.Err(); err != nil {
 			t.Fatalf("decode failed on encoder output: %v", err)
 		}
-		if gs != wseq || gx != varID || gv != v || d.Rest() != 0 {
-			t.Fatalf("round trip (%d,%d,%d) → (%d,%d,%d), rest %d", wseq, varID, v, gs, gx, gv, d.Rest())
+		if gx != varID || !bytes.Equal(gv, val) || d.Rest() != 0 {
+			t.Fatalf("VarVal (%d, %d bytes) → (%d, %d bytes), rest %d", varID, len(val), gx, len(gv), d.Rest())
+		}
+		if len(val) == 8 {
+			var v1 Enc
+			v1.U32(uint32(varID))
+			v1.buf = append(v1.buf, val...)
+			if !bytes.Equal(e.Bytes(), v1.Bytes()) {
+				t.Fatalf("8-byte VarVal not byte-identical to v1 layout:\n got  % x\n want % x", e.Bytes(), v1.Bytes())
+			}
+		}
+	})
+}
+
+// FuzzOptValRoundTrip pins the optional-value field, including the
+// v1-identical absent (U32 0) and 8-byte (U32 1 + raw) layouts.
+func FuzzOptValRoundTrip(f *testing.F) {
+	f.Add(true, []byte{})
+	f.Add(true, []byte("12345678"))
+	f.Add(false, []byte("ignored"))
+	f.Add(true, bytes.Repeat([]byte{1}, 4096))
+	f.Fuzz(func(t *testing.T, present bool, val []byte) {
+		_, val = clampVal(0, val)
+		var e Enc
+		e.OptVal(val, present)
+		d := DecOf(e.Bytes())
+		gv, gp := d.OptVal()
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode failed on encoder output: %v", err)
+		}
+		if gp != present || (present && !bytes.Equal(gv, val)) || d.Rest() != 0 {
+			t.Fatalf("OptVal (%v, %d bytes) → (%v, %d bytes)", present, len(val), gp, len(gv))
+		}
+	})
+}
+
+// FuzzDecValFields checks the value-field decoders never panic on
+// arbitrary payloads — truncation and absurd length tags must surface
+// through Err, exactly like the scalar accessors.
+func FuzzDecValFields(f *testing.F) {
+	var e Enc
+	e.VarVal(3, []byte("abc")).OptVal([]byte("12345678"), true)
+	f.Add(e.Bytes())
+	f.Add([]byte{0xFF, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDec(data)
+		_, v1 := d.VarVal()
+		v2, ok := d.OptVal()
+		rest := d.TakeRest()
+		if d.Err() != nil && (len(v1) > 0 || ok && len(v2) > 0 || len(rest) > 0) {
+			// Sticky errors must yield zero values from then on — but a
+			// field decoded *before* the failure may be non-empty; just
+			// ensure no slice escapes past the payload.
+		}
+		for _, b := range [][]byte{v1, v2, rest} {
+			if len(b) > len(data) {
+				t.Fatalf("decoded slice longer than payload")
+			}
+		}
+	})
+}
+
+// FuzzWireRoundTripRequest covers the direct-send request schema
+// shared by the seqcons/cachepart requests and atomicreg's write
+// request, with a byte value of fuzz-chosen length.
+func FuzzWireRoundTripRequest(f *testing.F) {
+	f.Add(uint32(0), uint32(0), []byte("12345678"))
+	f.Add(uint32(1<<31), uint32(7), []byte{})
+	f.Add(uint32(2), uint32(9), bytes.Repeat([]byte{7}, 300))
+	f.Fuzz(func(t *testing.T, wseq, rawID uint32, val []byte) {
+		varID, val := clampVal(rawID, val)
+		var e Enc
+		e.U32(wseq).VarVal(varID, val)
+		d := DecOf(e.Bytes())
+		gs := d.U32()
+		gx, gv := d.VarVal()
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode failed on encoder output: %v", err)
+		}
+		if gs != wseq || gx != varID || !bytes.Equal(gv, val) || d.Rest() != 0 {
+			t.Fatalf("round trip (%d,%d,%d bytes) → (%d,%d,%d bytes), rest %d",
+				wseq, varID, len(val), gs, gx, len(gv), d.Rest())
 		}
 	})
 }
 
 // FuzzWireRoundTripSequenced covers the sequencer-stamped updates of
 // seqcons and cachepart (a leading global/per-variable sequence and an
-// explicit writer).
+// explicit writer) with a byte value.
 func FuzzWireRoundTripSequenced(f *testing.F) {
-	f.Add(uint32(0), uint32(1), uint32(2), uint32(0), int64(-5))
-	f.Fuzz(func(t *testing.T, seq, writer, wseq, varID uint32, v int64) {
+	f.Add(uint32(0), uint32(1), uint32(2), uint32(0), []byte("12345678"))
+	f.Add(uint32(1), uint32(0), uint32(3), uint32(4), []byte("v"))
+	f.Fuzz(func(t *testing.T, seq, writer, wseq, rawID uint32, val []byte) {
+		varID, val := clampVal(rawID, val)
 		var e Enc
-		e.U32(seq).U32(writer).U32(wseq).U32(varID).I64(v)
+		e.U32(seq).U32(writer).U32(wseq).VarVal(varID, val)
 		d := DecOf(e.Bytes())
-		if gg, gw, gs, gx, gv := d.U32(), d.U32(), d.U32(), d.U32(), d.I64(); d.Err() != nil ||
-			gg != seq || gw != writer || gs != wseq || gx != varID || gv != v || d.Rest() != 0 {
+		gg, gw, gs := d.U32(), d.U32(), d.U32()
+		gx, gv := d.VarVal()
+		if d.Err() != nil ||
+			gg != seq || gw != writer || gs != wseq || gx != varID || !bytes.Equal(gv, val) || d.Rest() != 0 {
 			t.Fatalf("sequenced update round trip corrupted (%v)", d.Err())
 		}
 	})
 }
 
 // FuzzWireRoundTripPRAMFrame covers the batched pram.update frame with
-// a fuzz-chosen record count; slow.update is the same shape with one
-// extra U32 per record, covered by the vseq derivation below.
+// a fuzz-chosen record count and per-record value lengths; slow.update
+// is the same shape with one extra U32 per record, covered by the vseq
+// companion.
 func FuzzWireRoundTripPRAMFrame(f *testing.F) {
-	f.Add(uint8(1), uint32(0), uint32(0), int64(7))
-	f.Add(uint8(16), uint32(3), uint32(9), int64(-2))
-	f.Add(uint8(0), uint32(0), uint32(0), int64(0))
-	f.Fuzz(func(t *testing.T, count uint8, wseq0, varID0 uint32, v0 int64) {
+	f.Add(uint8(1), uint32(0), uint32(0), []byte("12345678"))
+	f.Add(uint8(16), uint32(3), uint32(9), []byte("xy"))
+	f.Add(uint8(0), uint32(0), uint32(0), []byte{})
+	f.Fuzz(func(t *testing.T, count uint8, wseq0, rawID uint32, val0 []byte) {
 		records := int(count)
+		varID0, val0 := clampVal(rawID, val0)
+		val := func(k int) []byte {
+			// Vary the length per record so mixed-size frames are covered.
+			if len(val0) == 0 {
+				return val0
+			}
+			return val0[:1+(k%len(val0))]
+		}
 		var e Enc
 		e.U32(uint32(records))
 		for k := 0; k < records; k++ {
-			e.U32(wseq0 + uint32(k)).U32(wseq0 + uint32(k)). // slow-style vseq companion
-										U32(varID0 ^ uint32(k)).I64(v0 + int64(k))
+			e.U32(wseq0+uint32(k)).U32(wseq0+uint32(k)). // slow-style vseq companion
+									VarVal(varID0^(k&1), val(k))
 		}
 		d := DecOf(e.Bytes())
 		if got := int(d.U32()); got != records {
 			t.Fatalf("record count %d → %d", records, got)
 		}
 		for k := 0; k < records; k++ {
-			gs, gq, gx, gv := d.U32(), d.U32(), d.U32(), d.I64()
+			gs, gq := d.U32(), d.U32()
+			gx, gv := d.VarVal()
 			if d.Err() != nil {
 				t.Fatalf("record %d: decode failed: %v", k, d.Err())
 			}
-			if gs != wseq0+uint32(k) || gq != wseq0+uint32(k) || gx != varID0^uint32(k) || gv != v0+int64(k) {
+			if gs != wseq0+uint32(k) || gq != wseq0+uint32(k) || gx != varID0^(k&1) || !bytes.Equal(gv, val(k)) {
 				t.Fatalf("record %d corrupted", k)
 			}
 		}
@@ -143,25 +254,26 @@ func FuzzWireRoundTripPRAMFrame(f *testing.F) {
 // bytes and decoded through the allocation-free U32SliceInto path the
 // handler uses.
 func FuzzWireRoundTripCausalFull(f *testing.F) {
-	f.Add([]byte{0, 1, 2, 3}, uint32(0), int64(4))
-	f.Add([]byte{}, uint32(2), int64(0))
-	f.Fuzz(func(t *testing.T, clock []byte, varID uint32, v int64) {
+	f.Add([]byte{0, 1, 2, 3}, uint32(0), []byte("12345678"))
+	f.Add([]byte{}, uint32(2), []byte{})
+	f.Fuzz(func(t *testing.T, clock []byte, varID uint32, val []byte) {
 		if len(clock) > 0xffff {
 			clock = clock[:0xffff]
 		}
+		_, val = clampVal(0, val)
 		vc := make([]uint32, len(clock))
 		for i, b := range clock {
 			vc[i] = uint32(b) << uint(i%24)
 		}
 		var e Enc
-		e.U32(1).U32Slice(vc).U32(varID).I64(v)
+		e.U32(1).U32Slice(vc).VarVal(int(varID%(MaxEncodableVarID+1)), val)
 		d := DecOf(e.Bytes())
 		if n := d.U32(); n != 1 {
 			t.Fatalf("frame count 1 → %d", n)
 		}
 		scratch := make([]uint32, 0, 4)
 		gvc := d.U32SliceInto(scratch)
-		gx, gv := d.U32(), d.I64()
+		gx, gv := d.VarVal()
 		if err := d.Err(); err != nil {
 			t.Fatalf("decode failed on encoder output: %v", err)
 		}
@@ -172,7 +284,7 @@ func FuzzWireRoundTripCausalFull(f *testing.F) {
 		} else if !reflect.DeepEqual(gvc, vc) {
 			t.Fatalf("vector clock %v → %v", vc, gvc)
 		}
-		if gx != varID || gv != v || d.Rest() != 0 {
+		if gx != int(varID%(MaxEncodableVarID+1)) || !bytes.Equal(gv, val) || d.Rest() != 0 {
 			t.Fatalf("causalfull.update round trip corrupted")
 		}
 	})
@@ -182,9 +294,10 @@ func FuzzWireRoundTripCausalFull(f *testing.F) {
 // optional value plus a variable-length dependency list whose count is
 // back-filled with PatchU32, exactly as the protocol encodes it.
 func FuzzWireRoundTripCausalPart(f *testing.F) {
-	f.Add(uint32(2), uint32(0), true, int64(7), []byte{1, 0, 3, 2, 1, 9})
-	f.Add(uint32(0), uint32(5), false, int64(0), []byte{})
-	f.Fuzz(func(t *testing.T, wseq, varID uint32, hasValue bool, v int64, depBytes []byte) {
+	f.Add(uint32(2), uint32(0), true, []byte("12345678"), []byte{1, 0, 3, 2, 1, 9})
+	f.Add(uint32(0), uint32(5), false, []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, wseq, varID uint32, hasValue bool, v []byte, depBytes []byte) {
+		_, v = clampVal(0, v)
 		type dep struct{ writer, varID, count uint32 }
 		var deps []dep
 		for i := 0; i+2 < len(depBytes) && len(deps) < 1024; i += 3 {
@@ -192,11 +305,7 @@ func FuzzWireRoundTripCausalPart(f *testing.F) {
 		}
 		var e Enc
 		e.U32(wseq).U32(varID)
-		if hasValue {
-			e.U32(1).I64(v)
-		} else {
-			e.U32(0)
-		}
+		e.OptVal(v, hasValue)
 		countPos := e.Len()
 		e.U32(0)
 		for _, d := range deps {
@@ -208,12 +317,10 @@ func FuzzWireRoundTripCausalPart(f *testing.F) {
 		if gs, gxi := d.U32(), d.U32(); gs != wseq || gxi != varID {
 			t.Fatalf("header corrupted: (%d,%d)", gs, gxi)
 		}
-		if has := d.U32() == 1; has != hasValue {
+		if gv, has := d.OptVal(); has != hasValue {
 			t.Fatalf("hasValue flag flipped")
-		} else if has {
-			if gv := d.I64(); gv != v {
-				t.Fatalf("value %d → %d", v, gv)
-			}
+		} else if has && !bytes.Equal(gv, v) {
+			t.Fatalf("value %d bytes → %d bytes", len(v), len(gv))
 		}
 		n := int(d.U32())
 		if n != len(deps) {
@@ -231,10 +338,13 @@ func FuzzWireRoundTripCausalPart(f *testing.F) {
 }
 
 // FuzzWireRoundTripAtomicReadPath covers atomicreg's read request and
-// read response schemas.
+// read response schemas: the response is the raw value, consumed with
+// TakeRest.
 func FuzzWireRoundTripAtomicReadPath(f *testing.F) {
-	f.Add(uint32(3), int64(42))
-	f.Fuzz(func(t *testing.T, varID uint32, v int64) {
+	f.Add(uint32(3), []byte("12345678"))
+	f.Add(uint32(0), []byte{})
+	f.Fuzz(func(t *testing.T, varID uint32, v []byte) {
+		_, v = clampVal(0, v)
 		var req Enc
 		req.U32(varID)
 		d := DecOf(req.Bytes())
@@ -242,9 +352,9 @@ func FuzzWireRoundTripAtomicReadPath(f *testing.F) {
 			t.Fatalf("read-req round trip corrupted (%v)", d.Err())
 		}
 		var resp Enc
-		resp.I64(v)
+		resp.Raw(v)
 		d = DecOf(resp.Bytes())
-		if gv := d.I64(); d.Err() != nil || gv != v || d.Rest() != 0 {
+		if gv := d.TakeRest(); d.Err() != nil || !bytes.Equal(gv, v) || d.Rest() != 0 {
 			t.Fatalf("read-resp round trip corrupted (%v)", d.Err())
 		}
 	})

@@ -10,6 +10,7 @@
 package mcs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,19 +26,87 @@ import (
 // (§3) process ap_i accesses only the variables of X_i.
 var ErrNotReplicated = errors.New("mcs: variable not replicated on this node")
 
-// Node is the per-node protocol interface the DSM facade drives. Reads
-// and writes may be invoked only from the node's single application
-// goroutine; the protocol's message handlers run on network goroutines
-// and synchronize internally.
+// Node is the per-node protocol interface the DSM facade drives.
+// Values are opaque byte strings; the legacy int64 Write/Read API is a
+// facade-level shim encoding words as 8 big-endian bytes. Operations
+// may be invoked only from the node's single application goroutine;
+// the protocol's message handlers run on network goroutines and
+// synchronize internally.
 type Node interface {
 	// ID returns the node identifier (= application process id).
 	ID() int
-	// Write performs w_i(x)v. Wait-free protocols return after the
-	// local apply; ordering protocols may block until globally ordered.
-	Write(x string, v int64) error
-	// Read performs r_i(x) and returns the value, Bottom if x was never
-	// written.
-	Read(x string) (int64, error)
+	// Put performs w_i(x)v. The value is fully consumed before Put
+	// returns (staged, encoded, recorded); the caller may reuse v.
+	// Wait-free protocols return after the local apply; ordering
+	// protocols block until the write is ordered/acknowledged.
+	Put(x string, v []byte) error
+	// PutAsync performs w_i(x)v without blocking on the protocol's
+	// ordering round trip: the update is staged/sent before PutAsync
+	// returns, and the returned Pending completes when the protocol's
+	// Put would have returned. Wait-free protocols complete
+	// immediately (they return Done).
+	PutAsync(x string, v []byte) (Pending, error)
+	// Get performs r_i(x) and returns the value appended to dst[:0]
+	// (pass nil to allocate). Reads of never-written variables return
+	// the ⊥ bytes (mcs.BottomValue).
+	Get(x string, dst []byte) ([]byte, error)
+}
+
+// Pending is an asynchronous write completion handle.
+type Pending interface {
+	// Wait blocks until the write has completed per the protocol's
+	// semantics (a no-op for wait-free protocols).
+	Wait() error
+}
+
+// donePending is the already-complete Pending of wait-free writes.
+type donePending struct{}
+
+func (donePending) Wait() error { return nil }
+
+// Done is the completed Pending: wait-free protocols return it from
+// PutAsync, so the async fast path allocates nothing.
+var Done Pending = donePending{}
+
+// Batcher is implemented by nodes that can hold their outgoing updates
+// across several operations and flush them as one frame per
+// destination (the wait-free, outbox-based protocols). The facade's
+// Batch API brackets its operations with BeginBatch/EndBatch; the
+// blocking protocols don't implement it and pipeline via PutAsync
+// instead.
+type Batcher interface {
+	// BeginBatch suspends update flushing for the node.
+	BeginBatch()
+	// EndBatch resumes flushing and sends everything buffered.
+	EndBatch()
+}
+
+// MaxValueLen bounds a single value's size (64 MiB): large enough for
+// any realistic register object, small enough that the u32 wire
+// arithmetic and the payload pools stay comfortable.
+const MaxValueLen = 64 << 20
+
+// WriteInt performs n.Put(x, v) through the legacy int64
+// representation (8 big-endian bytes) — the word-sized convenience the
+// facade's Write shim and the protocol tests drive nodes with.
+func WriteInt(n Node, x string, v int64) error {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return n.Put(x, b[:])
+}
+
+// ReadInt performs n.Get(x) and decodes the legacy 8-byte word. Reads
+// of never-written variables return model.BottomInt64.
+func ReadInt(n Node, x string) (int64, error) {
+	var b [8]byte
+	v, err := n.Get(x, b[:0])
+	if err != nil {
+		return 0, err
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("mcs: value of %s is %d bytes, not an int64 word", x, len(v))
+	}
+	return int64(binary.BigEndian.Uint64(v)), nil
 }
 
 // Config carries everything a protocol needs to instantiate its nodes.
@@ -54,6 +123,13 @@ type Config struct {
 	// Recorder captures the global history and per-node logs; may be
 	// nil to disable tracing (benchmarks).
 	Recorder *Recorder
+	// NonFIFO records that the transport delivers without per-pair
+	// FIFO order. The blocking protocols' asynchronous writes infer
+	// completion and preserve program order from per-pair FIFO, so
+	// with NonFIFO set their PutAsync degrades to the synchronous Put
+	// (single outstanding request — the v1 discipline, correct on
+	// reordering channels).
+	NonFIFO bool
 	// CoalesceBatch bounds how many updates the fire-and-forget
 	// protocols (pram, slow, causalfull, causalpart) buffer per
 	// destination before flushing one batched frame. 0 or 1 sends every
@@ -83,16 +159,37 @@ func (c Config) ApplyFlushPolicy(mu *sync.Mutex, outs ...*Outbox) {
 	}
 }
 
-// NewReplicas returns a VarID-indexed replica array with every entry
-// initialized to the shared-variable initial value ⊥ — the common
-// starting state of every protocol's local store.
-func NewReplicas(numVars int) []int64 {
-	r := make([]int64, numVars)
+// BottomValue is the byte representation of the shared-variable
+// initial value ⊥ — 8 big-endian bytes encoding model.BottomInt64, so
+// the legacy int64 shim observes exactly the v1 initial value. Do not
+// mutate.
+var BottomValue = []byte(model.Bottom)
+
+// Replicas is a VarID-indexed local store of byte-string values. Each
+// entry keeps its backing array across overwrites, so a steady-state
+// Set of a value no larger than the entry's capacity allocates
+// nothing — the byte-value analogue of the v1 flat []int64 store.
+type Replicas [][]byte
+
+// NewReplicas returns a replica store with every entry initialized to
+// ⊥ — the common starting state of every protocol's local store.
+func NewReplicas(numVars int) Replicas {
+	r := make(Replicas, numVars)
 	for i := range r {
-		r[i] = model.Bottom
+		r[i] = append(make([]byte, 0, 16), BottomValue...)
 	}
 	return r
 }
+
+// Set overwrites entry xi with a copy of v, reusing the entry's
+// backing array when it is large enough.
+func (r Replicas) Set(xi int, v []byte) {
+	r[xi] = append(r[xi][:0], v...)
+}
+
+// Get returns entry xi. The result aliases the store: callers must
+// copy before releasing the node lock.
+func (r Replicas) Get(xi int) []byte { return r[xi] }
 
 // Validate checks structural agreement between network and placement.
 func (c Config) Validate() error {

@@ -60,7 +60,8 @@ type Outbox struct {
 
 	enc     Enc // staging encoder, reused for every record
 	dests   []destFrame
-	pending int // records buffered across all destinations
+	pending int  // records buffered across all destinations
+	hold    bool // batch bracket open: suppress every flush until Release
 
 	// Engine-driven flush policies (nil/zero when disabled). fmu is the
 	// owning node's mutex; every callback takes it before touching the
@@ -190,7 +191,7 @@ func (o *Outbox) Emit(dests []int, vars []string, ctrl, data int) {
 	if len(dests) == 0 {
 		return
 	}
-	if o.batch > 1 {
+	if o.batch > 1 || o.hold {
 		for _, dst := range dests {
 			o.AddToVars(dst, vars, ctrl, data)
 		}
@@ -300,12 +301,25 @@ func (o *Outbox) Flush() {
 	}
 }
 
+// Hold opens a batch bracket: every flush trigger (batch-full, read,
+// timer, adaptive hook, quiesce) is suppressed until Release, so all
+// records staged inside the bracket leave as one frame per
+// destination. Called under the owning node's mutex.
+func (o *Outbox) Hold() { o.hold = true }
+
+// Release closes the batch bracket and flushes everything buffered.
+// Called under the owning node's mutex.
+func (o *Outbox) Release() {
+	o.hold = false
+	o.Flush()
+}
+
 // flushDest seals and sends dst's frame: the record count is patched
 // into the header and the buffers are handed off to the transport (the
 // receiving handler recycles them).
 func (o *Outbox) flushDest(dst int) {
 	d := &o.dests[dst]
-	if d.count == 0 {
+	if d.count == 0 || o.hold {
 		return
 	}
 	binary.BigEndian.PutUint32(d.buf[:frameHeaderLen], uint32(d.count))

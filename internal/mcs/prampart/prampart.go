@@ -23,11 +23,13 @@
 //
 // The implementation makes the paper's O(1) control-bit claim concrete
 // at the allocation level: variable names are interned into dense
-// VarIDs at placement-index time, replicas live in a flat []int64, and
-// updates travel through a per-destination coalescing mcs.Outbox whose
-// buffers are recycled by the receiving handler — a steady-state Read
-// is 0 allocs/op and a Write amortizes to well under one allocation
-// (enforced by the allocation regression tests at the cluster level).
+// VarIDs at placement-index time, replicas live in a flat
+// arena-backed mcs.Replicas store of byte-string values, and updates
+// travel through a per-destination coalescing mcs.Outbox whose buffers
+// are recycled by the receiving handler — a steady-state Get is
+// 0 allocs/op (GetInto) and a small-value Put amortizes to well under
+// one allocation (enforced by the allocation regression tests at the
+// cluster level).
 package prampart
 
 import (
@@ -40,7 +42,7 @@ import (
 )
 
 // KindUpdate is the protocol's only message kind: a batched frame of
-// (U32 wseq, U32 varID, I64 val) records.
+// (U32 wseq, VarVal varID/value) records.
 const KindUpdate = "pram.update"
 
 // Node is one PRAM MCS process.
@@ -50,7 +52,7 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu       sync.Mutex
-	replicas []int64 // by VarID, model.Bottom until written
+	replicas mcs.Replicas // by VarID, ⊥ until written
 	wseq     int
 	out      *mcs.Outbox
 }
@@ -83,9 +85,10 @@ func New(cfg mcs.Config) ([]*Node, error) {
 // ID returns the node identifier.
 func (n *Node) ID() int { return n.id }
 
-// Write performs w_i(x)v: local apply, then stage the update for every
-// other member of C(x) (flushed per the coalescing policy).
-func (n *Node) Write(x string, v int64) error {
+// Put performs w_i(x)v: local apply, then stage the update for every
+// other member of C(x) (flushed per the coalescing policy). The value
+// is fully staged before Put returns; the caller may reuse v.
+func (n *Node) Put(x string, v []byte) error {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
@@ -98,34 +101,55 @@ func (n *Node) Write(x string, v int64) error {
 		rec.RecordWrite(n.id, name, v)
 		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
-	n.replicas[xi] = v
+	n.replicas.Set(xi, v)
 	enc := n.out.Stage()
-	enc.U32(uint32(wseq)).U32(uint32(xi)).I64(v)
-	n.out.Emit(n.ix.Peers(n.id, xi), n.ix.MsgVars(xi), 8, 8)
+	enc.U32(uint32(wseq)).VarVal(xi, v)
+	n.out.Emit(n.ix.Peers(n.id, xi), n.ix.MsgVars(xi), enc.Len()-len(v), len(v))
 	n.mu.Unlock()
 	return nil
 }
 
-// Read performs r_i(x) wait-free on the local replica. Pending
-// coalesced updates are flushed first, so a peer polling for this
-// node's writes observes them after this node's next operation.
-func (n *Node) Read(x string) (int64, error) {
+// PutAsync is Put: PRAM writes are wait-free, so completion is
+// immediate.
+func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
+	return mcs.Done, n.Put(x, v)
+}
+
+// Get performs r_i(x) wait-free on the local replica, appending the
+// value to dst[:0]. Pending coalesced updates are flushed first, so a
+// peer polling for this node's writes observes them after this node's
+// next operation.
+func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
-		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
 	if n.out.HasPending() {
 		n.out.Flush()
 	}
-	v := n.replicas[xi]
+	dst = append(dst[:0], n.replicas.Get(xi)...)
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, n.ix.Name(xi), v)
+		rec.RecordRead(n.id, n.ix.Name(xi), dst)
 	}
 	n.mu.Unlock()
 	// A polling reader drives buffered writers' flush deadlines.
 	n.out.Nudge()
-	return v, nil
+	return dst, nil
+}
+
+// BeginBatch suspends update flushing (mcs.Batcher).
+func (n *Node) BeginBatch() {
+	n.mu.Lock()
+	n.out.Hold()
+	n.mu.Unlock()
+}
+
+// EndBatch flushes everything staged since BeginBatch (mcs.Batcher).
+func (n *Node) EndBatch() {
+	n.mu.Lock()
+	n.out.Release()
+	n.mu.Unlock()
 }
 
 // FlushUpdates sends all buffered updates (mcs.Flusher).
@@ -146,8 +170,7 @@ func (n *Node) handle(msg netsim.Message) {
 	n.mu.Lock()
 	for k := 0; k < count; k++ {
 		wseq := int(d.U32())
-		xi := int(d.U32())
-		v := d.I64()
+		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
 			n.mu.Unlock()
 			panic(fmt.Sprintf("prampart: node %d: malformed update from %d: %v", n.id, msg.From, err))
@@ -156,7 +179,7 @@ func (n *Node) handle(msg netsim.Message) {
 			n.mu.Unlock()
 			panic(fmt.Sprintf("prampart: node %d: update from %d names unknown VarID %d", n.id, msg.From, xi))
 		}
-		n.replicas[xi] = v
+		n.replicas.Set(xi, v)
 		if rec := n.cfg.Recorder; rec != nil {
 			rec.RecordApply(n.id, msg.From, wseq, n.ix.Name(xi), v)
 		}
@@ -168,4 +191,5 @@ func (n *Node) handle(msg netsim.Message) {
 var (
 	_ mcs.Node    = (*Node)(nil)
 	_ mcs.Flusher = (*Node)(nil)
+	_ mcs.Batcher = (*Node)(nil)
 )

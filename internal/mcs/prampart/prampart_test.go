@@ -33,11 +33,11 @@ func harness(t *testing.T) ([]*Node, *netsim.Network, *mcs.Recorder, *metrics.Co
 
 func TestWritePropagatesToCliqueOnly(t *testing.T) {
 	nodes, net, _, col := harness(t)
-	if err := nodes[0].Write("x", 5); err != nil {
+	if err := mcs.WriteInt(nodes[0], "x", 5); err != nil {
 		t.Fatal(err)
 	}
 	net.Quiesce()
-	if v, _ := nodes[2].Read("x"); v != 5 {
+	if v, _ := mcs.ReadInt(nodes[2], "x"); v != 5 {
 		t.Errorf("node 2 x = %d", v)
 	}
 	// Exactly one message (to the single other C(x) member).
@@ -51,21 +51,21 @@ func TestWritePropagatesToCliqueOnly(t *testing.T) {
 
 func TestReadUnwrittenReturnsBottom(t *testing.T) {
 	nodes, _, _, _ := harness(t)
-	v, err := nodes[1].Read("y")
+	v, err := mcs.ReadInt(nodes[1], "y")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != model.Bottom {
+	if v != model.BottomInt64 {
 		t.Errorf("unwritten read = %d", v)
 	}
 }
 
 func TestAccessOutsidePlacement(t *testing.T) {
 	nodes, _, _, _ := harness(t)
-	if err := nodes[1].Write("x", 1); !errors.Is(err, mcs.ErrNotReplicated) {
+	if err := mcs.WriteInt(nodes[1], "x", 1); !errors.Is(err, mcs.ErrNotReplicated) {
 		t.Errorf("write: %v", err)
 	}
-	if _, err := nodes[1].Read("x"); !errors.Is(err, mcs.ErrNotReplicated) {
+	if _, err := mcs.ReadInt(nodes[1], "x"); !errors.Is(err, mcs.ErrNotReplicated) {
 		t.Errorf("read: %v", err)
 	}
 }
@@ -73,12 +73,12 @@ func TestAccessOutsidePlacement(t *testing.T) {
 func TestPerSenderOrderPreserved(t *testing.T) {
 	nodes, net, rec, _ := harness(t)
 	for k := int64(1); k <= 50; k++ {
-		if err := nodes[0].Write("y", k); err != nil {
+		if err := mcs.WriteInt(nodes[0], "y", k); err != nil {
 			t.Fatal(err)
 		}
 	}
 	net.Quiesce()
-	if v, _ := nodes[1].Read("y"); v != 50 {
+	if v, _ := mcs.ReadInt(nodes[1], "y"); v != 50 {
 		t.Errorf("final y = %d", v)
 	}
 	if err := check.WitnessPRAM(3, rec.Logs()); err != nil {
@@ -88,9 +88,9 @@ func TestPerSenderOrderPreserved(t *testing.T) {
 
 func TestWriteSeqNumbersIncrease(t *testing.T) {
 	nodes, net, rec, _ := harness(t)
-	nodes[0].Write("x", 1)
-	nodes[0].Write("y", 2)
-	nodes[0].Write("x", 3)
+	mcs.WriteInt(nodes[0], "x", 1)
+	mcs.WriteInt(nodes[0], "y", 2)
+	mcs.WriteInt(nodes[0], "x", 3)
 	net.Quiesce()
 	logs := rec.Logs()
 	// Node 2 applied x#0 and x#2 (skipping the y write it also holds …

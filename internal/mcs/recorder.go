@@ -39,7 +39,7 @@ func (r *Recorder) SetObserver(f func(node int, e check.Event)) {
 type recordedOp struct {
 	isWrite bool
 	v       string
-	val     int64
+	val     model.Value
 }
 
 // NewRecorder returns a recorder for numProcs processes/nodes.
@@ -58,22 +58,24 @@ func (r *Recorder) NumProcs() int { return r.numProcs }
 // RecordWrite records that process p issued a write of v to x and
 // returns the write's per-process sequence number. Protocols must call
 // this exactly once per write, from the issuing application goroutine.
-func (r *Recorder) RecordWrite(p int, x string, v int64) (wseq int) {
+// The value bytes are copied; the caller keeps ownership of v.
+func (r *Recorder) RecordWrite(p int, x string, v []byte) (wseq int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	wseq = r.writeSeq[p]
 	r.writeSeq[p]++
-	r.ops[p] = append(r.ops[p], recordedOp{isWrite: true, v: x, val: v})
+	r.ops[p] = append(r.ops[p], recordedOp{isWrite: true, v: x, val: model.ValueOf(v)})
 	return wseq
 }
 
 // RecordRead records that process p read v from x, both in the global
-// history and in node p's event log.
-func (r *Recorder) RecordRead(p int, x string, v int64) {
+// history and in node p's event log. The value bytes are copied.
+func (r *Recorder) RecordRead(p int, x string, v []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.ops[p] = append(r.ops[p], recordedOp{v: x, val: v})
-	e := check.Event{IsRead: true, Var: x, Val: v}
+	val := model.ValueOf(v)
+	r.ops[p] = append(r.ops[p], recordedOp{v: x, val: val})
+	e := check.Event{IsRead: true, Var: x, Val: val}
 	r.logs[p] = append(r.logs[p], e)
 	if r.observer != nil {
 		r.observer(p, e)
@@ -83,10 +85,11 @@ func (r *Recorder) RecordRead(p int, x string, v int64) {
 // RecordApply records that node applied the wseq-th write of writer
 // (x := v) to its local replica. Protocols call this for local writes
 // too, at local-apply time.
-func (r *Recorder) RecordApply(node, writer, wseq int, x string, v int64) {
+// The value bytes are copied.
+func (r *Recorder) RecordApply(node, writer, wseq int, x string, v []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e := check.Event{Writer: writer, WSeq: wseq, Var: x, Val: v}
+	e := check.Event{Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v)}
 	r.logs[node] = append(r.logs[node], e)
 	if r.observer != nil {
 		r.observer(node, e)
@@ -101,11 +104,11 @@ func (r *Recorder) History() (*model.History, error) {
 	for p := 0; p < r.numProcs; p++ {
 		for _, o := range r.ops[p] {
 			if o.isWrite {
-				b.Write(p, o.v, o.val)
+				b.WriteVal(p, o.v, o.val)
 			} else if o.val == model.Bottom {
 				b.ReadInit(p, o.v)
 			} else {
-				b.Read(p, o.v, o.val)
+				b.ReadVal(p, o.v, o.val)
 			}
 		}
 	}

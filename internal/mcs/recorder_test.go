@@ -10,16 +10,19 @@ import (
 	"partialdsm/internal/sharegraph"
 )
 
+// iv encodes an int64 test value as its 8-byte wire representation.
+func iv(v int64) []byte { return []byte(model.IntValue(v)) }
+
 func TestRecorderHistoryProgramOrder(t *testing.T) {
 	r := NewRecorder(2)
-	if seq := r.RecordWrite(0, "x", 1); seq != 0 {
+	if seq := r.RecordWrite(0, "x", iv(1)); seq != 0 {
 		t.Errorf("first write seq = %d", seq)
 	}
-	r.RecordRead(0, "x", 1)
-	if seq := r.RecordWrite(0, "y", 2); seq != 1 {
+	r.RecordRead(0, "x", iv(1))
+	if seq := r.RecordWrite(0, "y", iv(2)); seq != 1 {
 		t.Errorf("second write seq = %d", seq)
 	}
-	r.RecordRead(1, "z", model.Bottom)
+	r.RecordRead(1, "z", []byte(model.Bottom))
 	h, err := r.History()
 	if err != nil {
 		t.Fatal(err)
@@ -41,10 +44,10 @@ func TestRecorderHistoryProgramOrder(t *testing.T) {
 
 func TestRecorderLogs(t *testing.T) {
 	r := NewRecorder(2)
-	wseq := r.RecordWrite(0, "x", 5)
-	r.RecordApply(0, 0, wseq, "x", 5)
-	r.RecordApply(1, 0, wseq, "x", 5)
-	r.RecordRead(1, "x", 5)
+	wseq := r.RecordWrite(0, "x", iv(5))
+	r.RecordApply(0, 0, wseq, "x", iv(5))
+	r.RecordApply(1, 0, wseq, "x", iv(5))
+	r.RecordRead(1, "x", iv(5))
 	logs := r.Logs()
 	if len(logs[0]) != 1 || len(logs[1]) != 2 {
 		t.Fatalf("log lengths: %d, %d", len(logs[0]), len(logs[1]))
@@ -52,12 +55,12 @@ func TestRecorderLogs(t *testing.T) {
 	if logs[1][0].IsRead || logs[1][0].Writer != 0 || logs[1][0].WSeq != 0 {
 		t.Errorf("apply event = %+v", logs[1][0])
 	}
-	if !logs[1][1].IsRead || logs[1][1].Val != 5 {
+	if !logs[1][1].IsRead || logs[1][1].Val != model.IntValue(5) {
 		t.Errorf("read event = %+v", logs[1][1])
 	}
 	// Logs are a deep copy.
-	logs[0][0].Val = 99
-	if r.Logs()[0][0].Val == 99 {
+	logs[0][0].Val = model.IntValue(99)
+	if r.Logs()[0][0].Val == model.IntValue(99) {
 		t.Error("Logs aliases recorder state")
 	}
 }
@@ -70,12 +73,12 @@ func TestRecorderConcurrent(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for k := 0; k < 200; k++ {
-				seq := r.RecordWrite(p, "x", int64(p*1000+k))
+				seq := r.RecordWrite(p, "x", iv(int64(p*1000+k)))
 				if seq != k {
 					t.Errorf("p%d write %d got seq %d", p, k, seq)
 					return
 				}
-				r.RecordApply(p, p, seq, "x", int64(p*1000+k))
+				r.RecordApply(p, p, seq, "x", iv(int64(p*1000+k)))
 			}
 		}(p)
 	}

@@ -27,9 +27,9 @@ import (
 	"partialdsm/internal/sharegraph"
 )
 
-// Message kinds. A request is (U32 wseq, U32 varID, I64 val) with the
+// Message kinds. A request is (U32 wseq, VarVal varID/value) with the
 // writer identified by the message source; an update is
-// (U32 gseq, U32 writer, U32 wseq, U32 varID, I64 val).
+// (U32 gseq, U32 writer, U32 wseq, VarVal varID/value).
 const (
 	KindRequest = "seq.request" // writer → sequencer
 	KindUpdate  = "seq.update"  // sequencer → everyone
@@ -42,7 +42,7 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu         sync.Mutex
-	replicas   []int64 // by VarID
+	replicas   mcs.Replicas // by VarID
 	wseq       int
 	nextGSeq   int                 // next global sequence number to apply
 	buffered   map[int]bufferedUpd // gseq → update
@@ -54,11 +54,13 @@ type Node struct {
 	gseq  int
 }
 
+// bufferedUpd is one globally sequenced update awaiting in-order
+// apply; v is a pooled copy of the value bytes, recycled at apply.
 type bufferedUpd struct {
 	writer int
 	wseq   int
 	varID  int
-	v      int64
+	v      []byte
 }
 
 // New instantiates the nodes; node 0 doubles as the sequencer.
@@ -87,16 +89,11 @@ func New(cfg mcs.Config) ([]*Node, error) {
 // ID returns the node identifier.
 func (n *Node) ID() int { return n.id }
 
-// Write performs w_i(x)v: route through the sequencer and block until
-// the update is applied locally, so a process's writes take effect in
-// program order before its subsequent reads.
-func (n *Node) Write(x string, v int64) error {
-	xi := n.ix.ID(x)
-	if !n.ix.Holds(n.id, xi) {
-		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
-	}
+// issue records and sends one write request to the sequencer,
+// returning its per-process sequence number.
+func (n *Node) issue(xi int, v []byte) (wseq int) {
 	n.mu.Lock()
-	wseq := n.wseq
+	wseq = n.wseq
 	n.wseq++
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, n.ix.Name(xi), v)
@@ -105,18 +102,29 @@ func (n *Node) Write(x string, v int64) error {
 
 	var enc mcs.Enc
 	enc.SetBuf(mcs.GetPayload())
-	enc.U32(uint32(wseq)).U32(uint32(xi)).I64(v)
+	enc.U32(uint32(wseq)).VarVal(xi, v)
 	payload := enc.Bytes()
 	n.cfg.Net.Send(netsim.Message{
 		From:      n.id,
 		To:        0,
 		Kind:      KindRequest,
 		Payload:   payload,
-		CtrlBytes: len(payload) - 8,
-		DataBytes: 8,
+		CtrlBytes: len(payload) - len(v),
+		DataBytes: len(v),
 		Vars:      n.ix.MsgVars(xi),
 	})
+	return wseq
+}
 
+// Put performs w_i(x)v: route through the sequencer and block until
+// the update is applied locally, so a process's writes take effect in
+// program order before its subsequent reads.
+func (n *Node) Put(x string, v []byte) error {
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
+		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	wseq := n.issue(xi, v)
 	// Block until our own write has been applied locally.
 	n.mu.Lock()
 	for !n.appliedOwnLocked(wseq) {
@@ -126,25 +134,64 @@ func (n *Node) Write(x string, v int64) error {
 	return nil
 }
 
+// pending is an outstanding asynchronous write: it completes when the
+// node's wseq-th own write has been applied locally — exactly where
+// the synchronous Put would have returned. The sequencer receives
+// requests from this node in issue order (per-pair FIFO), so multiple
+// outstanding writes complete in issue order.
+type pending struct {
+	n    *Node
+	wseq int
+}
+
+// Wait blocks until the write is applied locally.
+func (p *pending) Wait() error {
+	p.n.mu.Lock()
+	for !p.n.appliedOwnLocked(p.wseq) {
+		p.n.applied.Wait()
+	}
+	p.n.mu.Unlock()
+	return nil
+}
+
+// PutAsync performs w_i(x)v without waiting for the sequencer round
+// trip. The update is on the wire when PutAsync returns; Wait blocks
+// until it is applied locally. A read issued before Wait may miss the
+// write — the caller trades read-your-writes for pipelining. Multiple
+// outstanding writes reach the sequencer in issue order only on FIFO
+// channels, so on a NonFIFO network PutAsync degrades to the
+// synchronous Put (one outstanding request, the v1 discipline).
+func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
+	if n.cfg.NonFIFO {
+		return mcs.Done, n.Put(x, v)
+	}
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	return &pending{n: n, wseq: n.issue(xi, v)}, nil
+}
+
 // appliedOwnLocked reports whether this node's write #wseq has been
 // applied locally (the apply loop counts own writes).
 func (n *Node) appliedOwnLocked(wseq int) bool {
 	return n.ownApplied > wseq
 }
 
-// Read performs r_i(x) on the local replica.
-func (n *Node) Read(x string) (int64, error) {
+// Get performs r_i(x) on the local replica, appending the value to
+// dst[:0].
+func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
-		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
-	v := n.replicas[xi]
+	dst = append(dst[:0], n.replicas.Get(xi)...)
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, n.ix.Name(xi), v)
+		rec.RecordRead(n.id, n.ix.Name(xi), dst)
 	}
 	n.mu.Unlock()
-	return v, nil
+	return dst, nil
 }
 
 // handle dispatches on message kind.
@@ -166,36 +213,36 @@ func (n *Node) sequence(msg netsim.Message) {
 	}
 	d := mcs.DecOf(msg.Payload)
 	wseq := int(d.U32())
-	xi := int(d.U32())
-	v := d.I64()
+	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("seqcons: malformed request from %d: %v", msg.From, err))
 	}
 	if xi < 0 || xi >= n.ix.NumVars() {
 		panic(fmt.Sprintf("seqcons: request from %d names unknown VarID %d", msg.From, xi))
 	}
-	mcs.PutPayload(msg.Payload) // single-destination request: sequencer owns it
 	n.seqMu.Lock()
 	g := n.gseq
 	n.gseq++
 	n.seqMu.Unlock()
 
 	// The broadcast payload is shared across every Send: a refcounted
-	// pooled frame that the last receiver recycles.
+	// pooled frame that the last receiver recycles. v still aliases the
+	// request payload, which is recycled only after the re-encode.
 	numNodes := n.cfg.Net.NumNodes()
 	buf, refs := mcs.GetSharedPayload(numNodes)
 	var enc mcs.Enc
 	enc.SetBuf(buf)
-	enc.U32(uint32(g)).U32(uint32(msg.From)).U32(uint32(wseq)).U32(uint32(xi)).I64(v)
+	enc.U32(uint32(g)).U32(uint32(msg.From)).U32(uint32(wseq)).VarVal(xi, v)
 	payload := enc.Bytes()
+	mcs.PutPayload(msg.Payload) // single-destination request: sequencer owns it
 	for p := 0; p < numNodes; p++ {
 		n.cfg.Net.Send(netsim.Message{
 			From:          n.id,
 			To:            p,
 			Kind:          KindUpdate,
 			Payload:       payload,
-			CtrlBytes:     len(payload) - 8,
-			DataBytes:     8,
+			CtrlBytes:     len(payload) - len(v),
+			DataBytes:     len(v),
 			Vars:          n.ix.MsgVars(xi),
 			SharedPayload: true,
 			SharedRefs:    refs,
@@ -209,8 +256,7 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 	g := int(d.U32())
 	writer := int(d.U32())
 	wseq := int(d.U32())
-	xi := int(d.U32())
-	v := d.I64()
+	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
 		panic(fmt.Sprintf("seqcons: node %d: malformed update: %v", n.id, err))
 	}
@@ -218,7 +264,9 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		panic(fmt.Sprintf("seqcons: node %d: update names unknown VarID %d", n.id, xi))
 	}
 	n.mu.Lock()
-	n.buffered[g] = bufferedUpd{writer: writer, wseq: wseq, varID: xi, v: v}
+	// The value must outlive the shared broadcast frame: copy it into a
+	// pooled buffer, recycled when the update applies.
+	n.buffered[g] = bufferedUpd{writer: writer, wseq: wseq, varID: xi, v: append(mcs.GetPayload(), v...)}
 	for {
 		u, ok := n.buffered[n.nextGSeq]
 		if !ok {
@@ -226,13 +274,14 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		}
 		delete(n.buffered, n.nextGSeq)
 		n.nextGSeq++
-		n.replicas[u.varID] = u.v
+		n.replicas.Set(u.varID, u.v)
 		if rec := n.cfg.Recorder; rec != nil {
 			rec.RecordApply(n.id, u.writer, u.wseq, n.ix.Name(u.varID), u.v)
 		}
 		if u.writer == n.id {
 			n.ownApplied++
 		}
+		mcs.PutPayload(u.v)
 	}
 	n.applied.Broadcast()
 	n.mu.Unlock()

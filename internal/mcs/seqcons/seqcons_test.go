@@ -32,10 +32,10 @@ func TestWriteBlocksUntilSelfApply(t *testing.T) {
 	// After Write returns, the writer's own replica must reflect it
 	// (read-your-writes), even without quiescing.
 	for k := int64(1); k <= 10; k++ {
-		if err := nodes[1].Write("x", k); err != nil {
+		if err := mcs.WriteInt(nodes[1], "x", k); err != nil {
 			t.Fatal(err)
 		}
-		if v, _ := nodes[1].Read("x"); v != k {
+		if v, _ := mcs.ReadInt(nodes[1], "x"); v != k {
 			t.Fatalf("read-your-writes violated at %d: %d", k, v)
 		}
 	}
@@ -50,7 +50,7 @@ func TestTotalOrderAgreement(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for k := 0; k < 10; k++ {
-				if err := nodes[i].Write("x", int64(i*100+k+1)); err != nil {
+				if err := mcs.WriteInt(nodes[i], "x", int64(i*100+k+1)); err != nil {
 					t.Errorf("write: %v", err)
 					return
 				}
@@ -60,9 +60,9 @@ func TestTotalOrderAgreement(t *testing.T) {
 	wg.Wait()
 	net.Quiesce()
 	// Every node converges to the same final value (same total order).
-	final, _ := nodes[0].Read("x")
+	final, _ := mcs.ReadInt(nodes[0], "x")
 	for i := 1; i < 4; i++ {
-		if v, _ := nodes[i].Read("x"); v != final {
+		if v, _ := mcs.ReadInt(nodes[i], "x"); v != final {
 			t.Errorf("node %d final = %d, node 0 = %d", i, v, final)
 		}
 	}
@@ -98,10 +98,10 @@ func TestTotalOrderAgreement(t *testing.T) {
 
 func TestSmallRunIsSequentiallyConsistent(t *testing.T) {
 	nodes, net, rec := harness(t, 2)
-	nodes[0].Write("x", 1)
-	nodes[1].Write("y", 2)
-	nodes[0].Read("y")
-	nodes[1].Read("x")
+	mcs.WriteInt(nodes[0], "x", 1)
+	mcs.WriteInt(nodes[1], "y", 2)
+	mcs.ReadInt(nodes[0], "y")
+	mcs.ReadInt(nodes[1], "x")
 	net.Quiesce()
 	h, err := rec.History()
 	if err != nil {

@@ -30,13 +30,14 @@ import (
 )
 
 // KindUpdate is the protocol's only message kind: a batched frame of
-// (U32 wseq, U32 vseq, U32 varID, I64 val) records.
+// (U32 wseq, U32 vseq, VarVal varID/value) records.
 const KindUpdate = "slow.update"
 
-// update is a buffered out-of-order remote write.
+// update is a buffered out-of-order remote write; v is a pooled copy
+// of the value bytes, recycled at delivery.
 type update struct {
 	wseq int
-	v    int64
+	v    []byte
 }
 
 // Node is one slow-memory MCS process.
@@ -46,10 +47,10 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu       sync.Mutex
-	replicas []int64 // by VarID
-	wseq     int     // own global write counter (for the recorder)
-	vseq     []int   // per-VarID own write counter (wire sequence)
-	next     [][]int // next[sender][VarID]: next expected sequence
+	replicas mcs.Replicas // by VarID
+	wseq     int          // own global write counter (for the recorder)
+	vseq     []int        // per-VarID own write counter (wire sequence)
+	next     [][]int      // next[sender][VarID]: next expected sequence
 	// buffered holds out-of-order updates per (sender, VarID) — the
 	// cold path; FIFO transports never populate it.
 	buffered map[senderVar]map[int]update
@@ -94,9 +95,9 @@ func New(cfg mcs.Config) ([]*Node, error) {
 // ID returns the node identifier.
 func (n *Node) ID() int { return n.id }
 
-// Write performs w_i(x)v: local apply, then stage the update for C(x)
+// Put performs w_i(x)v: local apply, then stage the update for C(x)
 // with the per-variable sequence number.
-func (n *Node) Write(x string, v int64) error {
+func (n *Node) Put(x string, v []byte) error {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
@@ -107,37 +108,56 @@ func (n *Node) Write(x string, v int64) error {
 	n.wseq++
 	vseq := n.vseq[xi]
 	n.vseq[xi]++
-	n.replicas[xi] = v
+	n.replicas.Set(xi, v)
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, name, v)
 		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
 	enc := n.out.Stage()
-	enc.U32(uint32(wseq)).U32(uint32(vseq)).U32(uint32(xi)).I64(v)
-	n.out.Emit(n.ix.Peers(n.id, xi), n.ix.MsgVars(xi), 12, 8)
+	enc.U32(uint32(wseq)).U32(uint32(vseq)).VarVal(xi, v)
+	n.out.Emit(n.ix.Peers(n.id, xi), n.ix.MsgVars(xi), enc.Len()-len(v), len(v))
 	n.mu.Unlock()
 	return nil
 }
 
-// Read performs r_i(x) wait-free on the local replica, flushing any
+// PutAsync is Put: slow-memory writes are wait-free.
+func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
+	return mcs.Done, n.Put(x, v)
+}
+
+// Get performs r_i(x) wait-free on the local replica, flushing any
 // coalesced updates first.
-func (n *Node) Read(x string) (int64, error) {
+func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
-		return 0, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	n.mu.Lock()
 	if n.out.HasPending() {
 		n.out.Flush()
 	}
-	v := n.replicas[xi]
+	dst = append(dst[:0], n.replicas.Get(xi)...)
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordRead(n.id, n.ix.Name(xi), v)
+		rec.RecordRead(n.id, n.ix.Name(xi), dst)
 	}
 	n.mu.Unlock()
 	// A polling reader drives buffered writers' flush deadlines.
 	n.out.Nudge()
-	return v, nil
+	return dst, nil
+}
+
+// BeginBatch suspends update flushing (mcs.Batcher).
+func (n *Node) BeginBatch() {
+	n.mu.Lock()
+	n.out.Hold()
+	n.mu.Unlock()
+}
+
+// EndBatch flushes everything staged since BeginBatch (mcs.Batcher).
+func (n *Node) EndBatch() {
+	n.mu.Lock()
+	n.out.Release()
+	n.mu.Unlock()
 }
 
 // FlushUpdates sends all buffered updates (mcs.Flusher).
@@ -160,8 +180,7 @@ func (n *Node) handle(msg netsim.Message) {
 	for k := 0; k < count; k++ {
 		wseq := int(d.U32())
 		vseq := int(d.U32())
-		xi := int(d.U32())
-		v := d.I64()
+		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
 			n.mu.Unlock()
 			panic(fmt.Sprintf("slowpart: node %d: malformed update from %d: %v", n.id, msg.From, err))
@@ -177,14 +196,16 @@ func (n *Node) handle(msg netsim.Message) {
 }
 
 // applyLocked applies the update in (sender, variable) sequence order,
-// buffering it when it arrived early and draining successors.
-func (n *Node) applyLocked(sender, wseq, vseq, xi int, v int64) {
+// buffering it when it arrived early and draining successors. v
+// aliases the delivered frame: the buffer path copies it into a pooled
+// buffer that outlives the frame.
+func (n *Node) applyLocked(sender, wseq, vseq, xi int, v []byte) {
 	if vseq != n.next[sender][xi] {
 		k := senderVar{sender: sender, varID: xi}
 		if n.buffered[k] == nil {
 			n.buffered[k] = make(map[int]update)
 		}
-		n.buffered[k][vseq] = update{wseq: wseq, v: v}
+		n.buffered[k][vseq] = update{wseq: wseq, v: append(mcs.GetPayload(), v...)}
 		return
 	}
 	n.deliverLocked(sender, wseq, xi, v)
@@ -200,13 +221,14 @@ func (n *Node) applyLocked(sender, wseq, vseq, xi int, v int64) {
 		}
 		delete(n.buffered[k], n.next[sender][xi])
 		n.deliverLocked(sender, u.wseq, xi, u.v)
+		mcs.PutPayload(u.v)
 	}
 }
 
 // deliverLocked installs one in-sequence update.
-func (n *Node) deliverLocked(sender, wseq, xi int, v int64) {
+func (n *Node) deliverLocked(sender, wseq, xi int, v []byte) {
 	n.next[sender][xi]++
-	n.replicas[xi] = v
+	n.replicas.Set(xi, v)
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordApply(n.id, sender, wseq, n.ix.Name(xi), v)
 	}
@@ -215,4 +237,5 @@ func (n *Node) deliverLocked(sender, wseq, xi int, v int64) {
 var (
 	_ mcs.Node    = (*Node)(nil)
 	_ mcs.Flusher = (*Node)(nil)
+	_ mcs.Batcher = (*Node)(nil)
 )

@@ -32,9 +32,9 @@ func harness(t *testing.T, fifo bool) ([]*Node, *netsim.Network, *mcs.Recorder, 
 
 func TestPropagationAndEfficiency(t *testing.T) {
 	nodes, net, _, col := harness(t, true)
-	nodes[0].Write("x", 7)
+	mcs.WriteInt(nodes[0], "x", 7)
 	net.Quiesce()
-	if v, _ := nodes[2].Read("x"); v != 7 {
+	if v, _ := mcs.ReadInt(nodes[2], "x"); v != 7 {
 		t.Errorf("node 2 x = %d", v)
 	}
 	if col.Touched(1, "x") {
@@ -47,14 +47,14 @@ func TestPerVariableOrderUnderNonFIFO(t *testing.T) {
 	// Interleaved writes to two variables; per-variable order must
 	// survive arbitrary reordering across variables.
 	for k := int64(1); k <= 30; k++ {
-		nodes[0].Write("x", k)
-		nodes[0].Write("y", 1000+k)
+		mcs.WriteInt(nodes[0], "x", k)
+		mcs.WriteInt(nodes[0], "y", 1000+k)
 	}
 	net.Quiesce()
-	if v, _ := nodes[2].Read("x"); v != 30 {
+	if v, _ := mcs.ReadInt(nodes[2], "x"); v != 30 {
 		t.Errorf("final x = %d", v)
 	}
-	if v, _ := nodes[2].Read("y"); v != 1030 {
+	if v, _ := mcs.ReadInt(nodes[2], "y"); v != 1030 {
 		t.Errorf("final y = %d", v)
 	}
 	if err := check.WitnessSlow(3, rec.Logs()); err != nil {
@@ -75,21 +75,21 @@ func TestOutOfOrderBuffering(t *testing.T) {
 		return enc.Bytes()
 	}
 	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(1, 1, 0, 2)})
-	if v, _ := n2.Read("x"); v != -9223372036854775808 {
+	if v, _ := mcs.ReadInt(n2, "x"); v != -9223372036854775808 {
 		t.Fatalf("out-of-order vseq applied: %d", v)
 	}
 	n2.handle(netsim.Message{From: 0, To: 2, Kind: KindUpdate, Payload: mk(0, 0, 0, 1)})
-	if v, _ := n2.Read("x"); v != 2 {
+	if v, _ := mcs.ReadInt(n2, "x"); v != 2 {
 		t.Fatalf("drain after gap fill failed: %d", v)
 	}
 }
 
 func TestAccessControl(t *testing.T) {
 	nodes, _, _, _ := harness(t, true)
-	if err := nodes[1].Write("x", 1); err == nil {
+	if err := mcs.WriteInt(nodes[1], "x", 1); err == nil {
 		t.Error("write outside X_1 must fail")
 	}
-	if _, err := nodes[1].Read("x"); err == nil {
+	if _, err := mcs.ReadInt(nodes[1], "x"); err == nil {
 		t.Error("read outside X_1 must fail")
 	}
 }

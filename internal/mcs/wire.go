@@ -44,6 +44,118 @@ func (e *Enc) U32Slice(vs []uint32) *Enc {
 	return e
 }
 
+// Value wire format
+//
+// Protocol records carry variable-size byte values with v1-compatible
+// framing: the length tag of a value is packed into the spare high
+// byte of an adjacent u32 field instead of a standalone length prefix,
+// so the common case — an 8-byte value, which is everything the legacy
+// int64 API produces — is encoded in exactly the bytes the v1 (int64)
+// wire format used. Three layouts exist:
+//
+//   - VarVal packs the tag into the VarID word that precedes the value
+//     in every update/request schema: tag 0 means "8 bytes follow"
+//     (v1-identical), tags 1..254 mean "tag-1 bytes follow" (0..253),
+//     and tag 255 means an explicit u32 length follows the word.
+//   - OptVal is the optional-value field of the causalpart schemas:
+//     0 = absent, 1 = 8 bytes follow (v1-identical), t ≥ 2 = t-2 bytes
+//     follow.
+//   - Raw appends the value with no framing at all — only valid as the
+//     final field of a payload, where its length is the remainder
+//     (TakeRest); v1-identical for every length.
+//
+// Packing the tag into the VarID word caps VarIDs at 2^24-1
+// (MaxEncodableVarID); sharegraph.Index enforces the cap at interning
+// time.
+const (
+	varIDBits = 24
+	// MaxEncodableVarID is the largest VarID the packed VarVal word can
+	// carry.
+	MaxEncodableVarID = 1<<varIDBits - 1
+	valTagBig         = 0xFF // explicit u32 length follows the word
+	maxInlineValLen   = valTagBig - 2
+)
+
+// VarVal appends a (VarID, value) field pair: the packed VarID word,
+// the explicit length when the value is large, then the value bytes.
+func (e *Enc) VarVal(varID int, v []byte) *Enc {
+	if varID < 0 || varID > MaxEncodableVarID {
+		panic(fmt.Sprintf("mcs: VarID %d outside encodable range [0,%d]", varID, MaxEncodableVarID))
+	}
+	switch {
+	case len(v) == 8:
+		e.U32(uint32(varID))
+	case len(v) <= maxInlineValLen:
+		e.U32(uint32(varID) | uint32(len(v)+1)<<varIDBits)
+	default:
+		e.U32(uint32(varID) | valTagBig<<varIDBits)
+		e.U32(uint32(len(v)))
+	}
+	e.buf = append(e.buf, v...)
+	return e
+}
+
+// VarVal consumes a (VarID, value) field pair. The returned value
+// aliases the payload — copy it before the frame is recycled.
+func (d *Dec) VarVal() (varID int, v []byte) {
+	w := d.U32()
+	varID = int(w & MaxEncodableVarID)
+	var n int
+	switch tag := w >> varIDBits; {
+	case tag == 0:
+		n = 8
+	case tag == valTagBig:
+		n = int(d.U32())
+	default:
+		n = int(tag) - 1
+	}
+	return varID, d.take(n)
+}
+
+// OptVal appends an optional value field: a u32 presence/length tag
+// followed by the value bytes when present.
+func (e *Enc) OptVal(v []byte, present bool) *Enc {
+	if !present {
+		return e.U32(0)
+	}
+	if len(v) == 8 {
+		e.U32(1)
+	} else {
+		if uint64(len(v))+2 > 0xFFFFFFFF {
+			panic(fmt.Sprintf("mcs: value too long to encode (%d bytes)", len(v)))
+		}
+		e.U32(uint32(len(v)) + 2)
+	}
+	e.buf = append(e.buf, v...)
+	return e
+}
+
+// OptVal consumes an optional value field. The returned value aliases
+// the payload.
+func (d *Dec) OptVal() (v []byte, present bool) {
+	switch tag := d.U32(); tag {
+	case 0:
+		return nil, false
+	case 1:
+		return d.take(8), true
+	default:
+		return d.take(int(tag) - 2), true
+	}
+}
+
+// Raw appends bytes with no framing. Only valid as the final field of
+// a payload; decode with TakeRest.
+func (e *Enc) Raw(v []byte) *Enc {
+	e.buf = append(e.buf, v...)
+	return e
+}
+
+// TakeRest consumes and returns every remaining byte. The returned
+// slice aliases the payload.
+func (d *Dec) TakeRest() []byte {
+	return d.take(len(d.buf))
+}
+
 // Len returns the number of bytes encoded so far.
 func (e *Enc) Len() int { return len(e.buf) }
 

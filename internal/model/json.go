@@ -7,12 +7,51 @@ import (
 )
 
 // jsonOp is the wire form of a single operation. Reads of the initial
-// value use "init": true instead of a value.
+// value use "init": true instead of a value; the value columns are the
+// shared scheme of JSONValue.
 type jsonOp struct {
 	Kind string `json:"op"`             // "r" or "w"
 	Var  string `json:"var"`            // variable name
-	Val  int64  `json:"val,omitempty"`  // value written / returned
+	Val  int64  `json:"val,omitempty"`  // 8-byte value, as its int64
+	ValB []byte `json:"valb,omitempty"` // non-8-byte value, base64
+	Val0 bool   `json:"val0,omitempty"` // zero-length value
 	Init bool   `json:"init,omitempty"` // read returned ⊥
+}
+
+// JSONValue splits a value into the JSON columns shared by the
+// history (jsonOp) and trace (eventJSON) formats: 8-byte values —
+// everything the legacy int64 API produces — encode as their int64
+// number ("val"), keeping the format byte-compatible with pre-v2
+// files; zero-length values set the "val0" flag (omitempty would
+// silently drop an empty "valb"); any other length travels
+// base64-encoded in "valb".
+func JSONValue(v Value) (val int64, valb []byte, val0 bool) {
+	if len(v) == 0 {
+		return 0, nil, true
+	}
+	if n, ok := v.Int64(); ok {
+		return n, nil, false
+	}
+	return 0, v.Bytes(), false
+}
+
+// ValueFromJSON reconstructs a Value from its JSON columns, rejecting
+// rows that set more than one column.
+func ValueFromJSON(val int64, valb []byte, val0 bool) (Value, error) {
+	switch {
+	case val0:
+		if val != 0 || len(valb) != 0 {
+			return "", fmt.Errorf("model: value carries val0 together with val/valb")
+		}
+		return "", nil
+	case valb != nil:
+		if val != 0 {
+			return "", fmt.Errorf("model: value carries both val and valb")
+		}
+		return ValueOf(valb), nil
+	default:
+		return IntValue(val), nil
+	}
 }
 
 // jsonHistory is the wire form of a history: one operation list per
@@ -32,7 +71,7 @@ func (h *History) MarshalJSON() ([]byte, error) {
 			if o.IsRead() && o.Val == Bottom {
 				jo.Init = true
 			} else {
-				jo.Val = o.Val
+				jo.Val, jo.ValB, jo.Val0 = JSONValue(o.Val)
 			}
 			jh.Processes[p] = append(jh.Processes[p], jo)
 		}
@@ -59,12 +98,20 @@ func ParseHistory(r io.Reader) (*History, error) {
 				if jo.Init {
 					return nil, fmt.Errorf("model: process %d: a write cannot be marked init", p)
 				}
-				b.Write(p, jo.Var, jo.Val)
+				v, err := ValueFromJSON(jo.Val, jo.ValB, jo.Val0)
+				if err != nil {
+					return nil, fmt.Errorf("%w (process %d, variable %s)", err, p, jo.Var)
+				}
+				b.WriteVal(p, jo.Var, v)
 			case "r":
 				if jo.Init {
 					b.ReadInit(p, jo.Var)
 				} else {
-					b.Read(p, jo.Var, jo.Val)
+					v, err := ValueFromJSON(jo.Val, jo.ValB, jo.Val0)
+					if err != nil {
+						return nil, fmt.Errorf("%w (process %d, variable %s)", err, p, jo.Var)
+					}
+					b.ReadVal(p, jo.Var, v)
 				}
 			default:
 				return nil, fmt.Errorf("model: process %d: unknown op kind %q (want \"r\" or \"w\")", p, jo.Kind)

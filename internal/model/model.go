@@ -13,7 +13,6 @@ package model
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 )
@@ -36,10 +35,6 @@ func (k OpKind) String() string {
 	return "r"
 }
 
-// Bottom is the initial value ⊥ of every shared variable. A read that is
-// not related to any write by read-from order must return Bottom.
-const Bottom int64 = math.MinInt64
-
 // Op is a single read or write operation in a history.
 type Op struct {
 	// ID is the operation's index in History.Ops. It is assigned by the
@@ -55,9 +50,9 @@ type Op struct {
 	Kind OpKind
 	// Var is the shared variable accessed.
 	Var string
-	// Val is the value written (writes) or returned (reads). Reads that
-	// return the initial value carry Bottom.
-	Val int64
+	// Val is the opaque value written (writes) or returned (reads).
+	// Reads that return the initial value carry Bottom.
+	Val Value
 }
 
 // IsRead reports whether the operation is a read.
@@ -68,11 +63,7 @@ func (o Op) IsWrite() bool { return o.Kind == WriteOp }
 
 // String renders the operation in the paper's notation, e.g. "w1(x)3".
 func (o Op) String() string {
-	val := fmt.Sprintf("%d", o.Val)
-	if o.Val == Bottom {
-		val = "⊥"
-	}
-	return fmt.Sprintf("%s%d(%s)%s", o.Kind, o.Proc, o.Var, val)
+	return fmt.Sprintf("%s%d(%s)%s", o.Kind, o.Proc, o.Var, o.Val)
 }
 
 // History is a collection of local histories, one per application
@@ -144,7 +135,7 @@ func (h *History) SubHistoryIPlusW(i int) []int {
 func (h *History) CheckDifferentiated() error {
 	type vv struct {
 		v   string
-		val int64
+		val Value
 	}
 	seen := make(map[vv]int)
 	for _, o := range h.ops {
@@ -196,7 +187,7 @@ func NewBuilder(numProcs int) *Builder {
 	}}
 }
 
-func (b *Builder) add(p int, k OpKind, v string, val int64) *Builder {
+func (b *Builder) add(p int, k OpKind, v string, val Value) *Builder {
 	if b.err != nil {
 		return b
 	}
@@ -221,13 +212,25 @@ func (b *Builder) add(p int, k OpKind, v string, val int64) *Builder {
 	return b
 }
 
-// Write appends w_p(v)val to process p's local history.
+// Write appends w_p(v)val to process p's local history, through the
+// legacy int64 value representation (8 big-endian bytes).
 func (b *Builder) Write(p int, v string, val int64) *Builder {
+	return b.add(p, WriteOp, v, IntValue(val))
+}
+
+// WriteVal appends w_p(v)val with an opaque byte-string value.
+func (b *Builder) WriteVal(p int, v string, val Value) *Builder {
 	return b.add(p, WriteOp, v, val)
 }
 
-// Read appends r_p(v)val to process p's local history.
+// Read appends r_p(v)val to process p's local history, through the
+// legacy int64 value representation (8 big-endian bytes).
 func (b *Builder) Read(p int, v string, val int64) *Builder {
+	return b.add(p, ReadOp, v, IntValue(val))
+}
+
+// ReadVal appends r_p(v)val with an opaque byte-string value.
+func (b *Builder) ReadVal(p int, v string, val Value) *Builder {
 	return b.add(p, ReadOp, v, val)
 }
 

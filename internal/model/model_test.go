@@ -86,7 +86,7 @@ func TestCheckDifferentiated(t *testing.T) {
 	if err := dup.CheckDifferentiated(); err == nil {
 		t.Fatal("duplicate write values not detected")
 	}
-	bot := NewBuilder(1).Write(0, "x", Bottom).MustHistory()
+	bot := NewBuilder(1).Write(0, "x", BottomInt64).MustHistory()
 	if err := bot.CheckDifferentiated(); err == nil {
 		t.Fatal("write of ⊥ not detected")
 	}

@@ -213,7 +213,7 @@ func ReadFrom(h *History) (*Relation, error) {
 	}
 	type vv struct {
 		v   string
-		val int64
+		val Value
 	}
 	writer := make(map[vv]int)
 	for _, o := range h.Ops() {
@@ -299,7 +299,7 @@ func LazyWritesBefore(h *History) (*Relation, error) {
 	// Index writes by (var, val) for read matching.
 	type vv struct {
 		v   string
-		val int64
+		val Value
 	}
 	writer := make(map[vv]int)
 	for _, o := range h.Ops() {

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Value is the opaque value of a shared variable: an immutable byte
+// string. The execution model never interprets values — the order
+// relations and consistency checkers only compare them for equality —
+// so registers may hold arbitrary-size objects, matching the cost
+// models of storage-efficient shared-memory emulation where payload
+// size, not word width, drives the communication volume.
+//
+// Value is a string type so it is comparable and usable as a map key;
+// construct one with ValueOf (from bytes) or IntValue (from the legacy
+// int64 word), never by casting user strings.
+type Value string
+
+// Bottom is the initial value ⊥ of every shared variable: a read that
+// is not related to any write by read-from order must return it. It is
+// the 8-byte big-endian encoding of BottomInt64, so the legacy int64
+// API's ⊥ maps onto it exactly: IntValue(BottomInt64) == Bottom.
+// Differentiated histories must not write it (CheckDifferentiated).
+const Bottom Value = "\x80\x00\x00\x00\x00\x00\x00\x00"
+
+// BottomInt64 is ⊥ seen through the legacy int64 value API.
+const BottomInt64 int64 = math.MinInt64
+
+// ValueOf returns the Value holding a copy of b.
+func ValueOf(b []byte) Value { return Value(b) }
+
+// IntValue returns the Value encoding v as 8 big-endian bytes — the
+// representation the legacy Write/Read int64 API shims through.
+func IntValue(v int64) Value {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return Value(b[:])
+}
+
+// Bytes returns a fresh copy of the value's bytes.
+func (v Value) Bytes() []byte { return []byte(v) }
+
+// Len returns the value's size in bytes.
+func (v Value) Len() int { return len(v) }
+
+// Int64 decodes the value as a legacy 8-byte word. ok is false when
+// the value's length is not 8.
+func (v Value) Int64() (val int64, ok bool) {
+	if len(v) != 8 {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint64([]byte(v))), true
+}
+
+// IsBottom reports whether the value is ⊥.
+func (v Value) IsBottom() bool { return v == Bottom }
+
+// String renders the value as the paper's notation expects: ⊥ for the
+// initial value, the decimal int64 for 8-byte words (so histories over
+// the legacy API read exactly as before), and a hex dump (truncated
+// past 16 bytes) otherwise.
+func (v Value) String() string {
+	if v == Bottom {
+		return "⊥"
+	}
+	if n, ok := v.Int64(); ok {
+		return fmt.Sprintf("%d", n)
+	}
+	if len(v) > 16 {
+		return fmt.Sprintf("0x%x…(%dB)", string(v[:16]), len(v))
+	}
+	return fmt.Sprintf("0x%x", string(v))
+}

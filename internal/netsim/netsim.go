@@ -355,6 +355,28 @@ func (nw *Network) ResumeLink(from, to int) {
 	// clock, so nothing to do here.
 }
 
+// PausedBacklog lists every paused link currently holding messages
+// (BacklogInspector).
+func (nw *Network) PausedBacklog() []PausedLink {
+	if nw.pausedLinks.Load() == 0 {
+		return nil
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	var out []PausedLink
+	for idx, q := range nw.queues {
+		if q == nil {
+			continue
+		}
+		q.mu.Lock()
+		if q.paused && len(q.items) > 0 {
+			out = append(out, PausedLink{From: idx / nw.n, To: idx % nw.n, Held: len(q.items)})
+		}
+		q.mu.Unlock()
+	}
+	return out
+}
+
 // Quiesce blocks until no message is in flight and no virtual-time
 // callback is pending: every sent message has been delivered and its
 // handler has returned, including messages sent by handlers and by

@@ -233,6 +233,28 @@ func (nw *Sharded) idle() bool {
 	return held == in && nw.inflight.Load() == in
 }
 
+// PausedBacklog lists every paused link currently holding messages
+// (BacklogInspector).
+func (nw *Sharded) PausedBacklog() []PausedLink {
+	if nw.pausedLinks.Load() == 0 || nw.boxes == nil {
+		return nil
+	}
+	var out []PausedLink
+	for i := range nw.boxes {
+		mb := nw.boxes[i].Load()
+		if mb == nil || !mb.paused.Load() {
+			continue
+		}
+		mb.mu.Lock()
+		held := len(mb.items)
+		mb.mu.Unlock()
+		if held > 0 {
+			out = append(out, PausedLink{From: i / nw.n, To: i % nw.n, Held: held})
+		}
+	}
+	return out
+}
+
 // mailbox returns the pair's mailbox, creating it on first use.
 func (nw *Sharded) mailbox(from, to int) *mailbox {
 	idx := from*nw.n + to

@@ -78,6 +78,25 @@ type LinkController interface {
 	ResumeLink(from, to int)
 }
 
+// PausedLink describes one paused ordered link together with the
+// number of messages it is currently holding back.
+type PausedLink struct {
+	From, To int
+	Held     int
+}
+
+// BacklogInspector is the optional introspection interface over paused
+// links: PausedBacklog lists every paused link that currently holds
+// undelivered messages. The cluster facade uses it to fail Quiesce
+// fast instead of blocking forever on a backlog that cannot drain.
+// Both built-in transports implement it.
+type BacklogInspector interface {
+	// PausedBacklog returns the paused links holding messages, in
+	// (from, to) order. A paused link with an empty queue is not
+	// reported — it cannot stall quiescence.
+	PausedBacklog() []PausedLink
+}
+
 // Factory builds a transport over n nodes with the given options.
 type Factory func(n int, opts Options) Transport
 
@@ -143,10 +162,12 @@ func Kinds() []string {
 
 // Compile-time checks: both built-in engines satisfy the full contract.
 var (
-	_ Transport      = (*Network)(nil)
-	_ LinkController = (*Network)(nil)
-	_ PairMonitor    = (*Network)(nil)
-	_ Transport      = (*Sharded)(nil)
-	_ LinkController = (*Sharded)(nil)
-	_ PairMonitor    = (*Sharded)(nil)
+	_ Transport        = (*Network)(nil)
+	_ LinkController   = (*Network)(nil)
+	_ PairMonitor      = (*Network)(nil)
+	_ BacklogInspector = (*Network)(nil)
+	_ Transport        = (*Sharded)(nil)
+	_ LinkController   = (*Sharded)(nil)
+	_ PairMonitor      = (*Sharded)(nil)
+	_ BacklogInspector = (*Sharded)(nil)
 )

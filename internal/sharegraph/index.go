@@ -84,9 +84,16 @@ func (pl *Placement) Index() *Index {
 	return ix
 }
 
+// MaxVars caps the variable universe at 2^24: the wire format packs
+// VarIDs into the low 24 bits of the value-tag word (mcs.Enc.VarVal).
+const MaxVars = 1 << 24
+
 // buildIndex materializes the dense tables. Called with pl.mu held.
 func (pl *Placement) buildIndex() *Index {
 	n := pl.numProcs
+	if len(pl.vars) > MaxVars {
+		panic(fmt.Sprintf("sharegraph: %d variables exceed the wire format's %d-variable universe", len(pl.vars), MaxVars))
+	}
 	ix := &Index{
 		numProcs: n,
 		vars:     append([]string(nil), pl.vars...),

@@ -15,14 +15,37 @@ import (
 	"partialdsm/internal/sharegraph"
 )
 
-// eventJSON is the wire form of one check.Event.
+// eventJSON is the wire form of one check.Event. The value columns
+// are the shared scheme of model.JSONValue: 8-byte values (all the
+// legacy int64 API produces) encode as their int64 number in "val",
+// keeping pre-v2 snapshots readable and new snapshots of int64-valued
+// runs byte-compatible; zero-length values set "val0"; other lengths
+// travel base64-encoded in "valb".
 type eventJSON struct {
 	Read   bool   `json:"read,omitempty"`
 	Writer int    `json:"writer,omitempty"`
 	WSeq   int    `json:"wseq,omitempty"`
 	Var    string `json:"var"`
-	Val    int64  `json:"val,omitempty"`
+	Val    int64  `json:"val,omitempty"`  // 8-byte value, as its int64
+	ValB   []byte `json:"valb,omitempty"` // non-8-byte value, base64
+	Val0   bool   `json:"val0,omitempty"` // zero-length value
 	Init   bool   `json:"init,omitempty"` // Val is ⊥
+}
+
+// encodeVal fills the value columns.
+func (je *eventJSON) encodeVal(v model.Value) {
+	je.Val, je.ValB, je.Val0 = model.JSONValue(v)
+}
+
+// decodeVal reconstructs the event value (Init already handled);
+// malformed rows decode as the legacy word so EventLogs stays
+// total — Decode validates shape, witness validation catches the rest.
+func (je *eventJSON) decodeVal() model.Value {
+	v, err := model.ValueFromJSON(je.Val, je.ValB, je.Val0)
+	if err != nil {
+		return model.IntValue(je.Val)
+	}
+	return v
 }
 
 // Trace is a portable snapshot of one execution.
@@ -62,12 +85,12 @@ func Encode(consistency string, placement [][]string, h *model.History, logs [][
 				if e.Val == model.Bottom {
 					je.Init = true
 				} else {
-					je.Val = e.Val
+					je.encodeVal(e.Val)
 				}
 			} else {
 				je.Writer = e.Writer
 				je.WSeq = e.WSeq
-				je.Val = e.Val
+				je.encodeVal(e.Val)
 			}
 			t.Logs[i] = append(t.Logs[i], je)
 		}
@@ -108,12 +131,12 @@ func (t *Trace) EventLogs() [][]check.Event {
 				if je.Init {
 					e.Val = model.Bottom
 				} else {
-					e.Val = je.Val
+					e.Val = je.decodeVal()
 				}
 			} else {
 				e.Writer = je.Writer
 				e.WSeq = je.WSeq
-				e.Val = je.Val
+				e.Val = je.decodeVal()
 			}
 			out[i] = append(out[i], e)
 		}

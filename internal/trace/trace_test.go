@@ -20,10 +20,10 @@ func sampleHistory(t *testing.T) *model.History {
 
 func sampleLogs() [][]check.Event {
 	return [][]check.Event{
-		{{Writer: 0, WSeq: 0, Var: "x", Val: 1}},
+		{{Writer: 0, WSeq: 0, Var: "x", Val: model.IntValue(1)}},
 		{
-			{Writer: 0, WSeq: 0, Var: "x", Val: 1},
-			{IsRead: true, Var: "x", Val: 1},
+			{Writer: 0, WSeq: 0, Var: "x", Val: model.IntValue(1)},
+			{IsRead: true, Var: "x", Val: model.IntValue(1)},
 			{IsRead: true, Var: "y", Val: model.Bottom},
 		},
 	}
@@ -80,7 +80,7 @@ func TestVerifyPRAMTrace(t *testing.T) {
 func TestVerifyDetectsViolation(t *testing.T) {
 	h := sampleHistory(t)
 	badLogs := sampleLogs()
-	badLogs[1][1].Val = 99 // read of a value never applied
+	badLogs[1][1].Val = model.IntValue(99) // read of a value never applied
 	data, err := Encode("pram", [][]string{{"x"}, {"x", "y"}}, h, badLogs)
 	if err != nil {
 		t.Fatal(err)

@@ -34,6 +34,18 @@
 // mailboxes in batches on a fixed worker pool and is the better choice
 // for message-heavy workloads.
 //
+// # Values and the v2 operation API
+//
+// Shared variables hold opaque byte-string values of any size: Put and
+// Get move []byte payloads, PutAsync overlaps a blocking protocol's
+// ordering round trip with the caller's next operations, and Batch
+// applies a group of operations in one call, riding the
+// per-destination coalescing outbox so a burst of writes to one
+// replica clique leaves as one frame per destination. The original
+// Write/Read int64 API remains as a thin shim — an int64 is exactly an
+// 8-byte value — and produces byte-identical message traces to the
+// pre-v2 wire format.
+//
 // # Quick start
 //
 //	cluster, err := partialdsm.New(partialdsm.Config{
@@ -42,12 +54,17 @@
 //	})
 //	// node 0 writes, node 1 reads after the network settles
 //	n0, n1 := cluster.Node(0), cluster.Node(1)
-//	n0.Write("x", 42)
+//	n0.Put("x", []byte("hello"))   // or n0.Write("x", 42)
 //	cluster.Quiesce()
-//	v, _ := n1.Read("x")
+//	v, _ := n1.Get("x")            // or n1.Read("x")
+//
+//	// batch: one frame per destination for the whole burst
+//	res, _ := n0.Apply(partialdsm.Batch{}.
+//		Put("x", []byte("a")).Put("y", []byte("b")).Get("x"))
 package partialdsm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -68,9 +85,16 @@ import (
 	"partialdsm/internal/trace"
 )
 
-// Bottom is the initial value ⊥ of every shared variable: reads of
-// never-written variables return it.
-const Bottom int64 = model.Bottom
+// Bottom is the initial value ⊥ of every shared variable seen through
+// the legacy int64 API: Read of a never-written variable returns it.
+const Bottom int64 = model.BottomInt64
+
+// BottomValue returns ⊥ as Get observes it: the 8 big-endian bytes
+// encoding Bottom.
+func BottomValue() []byte { return model.Bottom.Bytes() }
+
+// MaxValueLen bounds a single value's size in bytes.
+const MaxValueLen = mcs.MaxValueLen
 
 // Consistency selects a memory consistency protocol.
 type Consistency string
@@ -235,10 +259,15 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	pl := sharegraph.NewPlacement(len(cfg.Placement))
 	for p, vars := range cfg.Placement {
+		seen := make(map[string]bool, len(vars))
 		for _, v := range vars {
 			if v == "" {
 				return nil, fmt.Errorf("partialdsm: node %d has an empty variable name", p)
 			}
+			if seen[v] {
+				return nil, fmt.Errorf("partialdsm: node %d lists variable %q more than once in its placement entry", p, v)
+			}
+			seen[v] = true
 		}
 		pl.Assign(p, vars...)
 	}
@@ -282,6 +311,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	mc := mcs.Config{
 		Net: net, Placement: pl, Metrics: col, Recorder: rec,
+		NonFIFO:            cfg.NonFIFO,
 		CoalesceBatch:      batch,
 		CoalesceFlushTicks: cfg.CoalesceFlushTicks,
 		CoalesceAdaptive:   cfg.CoalesceAdaptive,
@@ -374,20 +404,39 @@ func (c *Cluster) VarsOf(i int) []string { return c.pl.VarsOf(i) }
 // been delivered everywhere they were addressed. Updates still
 // coalesced in node outboxes (Config.CoalesceBatch) are flushed first,
 // so the cut covers every issued write.
-func (c *Cluster) Quiesce() {
+//
+// Quiescing while a paused link (PauseLink) holds undelivered messages
+// can never complete — the backlog cannot drain. Instead of hanging,
+// Quiesce detects that state and returns a descriptive error without
+// waiting; ResumeLink the named links and quiesce again. The check is
+// a snapshot: a message that reaches a paused link only after Quiesce
+// has begun waiting still blocks it, as before.
+func (c *Cluster) Quiesce() error {
 	for _, n := range c.nodes {
 		if f, ok := n.(mcs.Flusher); ok {
 			f.FlushUpdates()
 		}
 	}
+	if bi, ok := c.net.(netsim.BacklogInspector); ok {
+		if held := bi.PausedBacklog(); len(held) > 0 {
+			total := 0
+			for _, l := range held {
+				total += l.Held
+			}
+			return fmt.Errorf("partialdsm: Quiesce cannot complete: %d messages held on %d paused links (first: link %d→%d holding %d); ResumeLink before quiescing",
+				total, len(held), held[0].From, held[0].To, held[0].Held)
+		}
+	}
 	c.net.Quiesce()
+	return nil
 }
 
 // PauseLink suspends delivery on the ordered link from → to (messages
 // queue, nothing is lost) — deterministic asynchrony injection for
 // tests and experiments. Requires a FIFO network (the default) and a
 // transport implementing netsim.LinkController (both built-in ones
-// do). Do not Quiesce while links are paused and messages are pending.
+// do). Quiesce while a paused link holds messages fails fast with a
+// descriptive error instead of hanging.
 func (c *Cluster) PauseLink(from, to int) { c.linkController().PauseLink(from, to) }
 
 // ResumeLink releases a link paused by PauseLink; held messages are
@@ -406,19 +455,225 @@ func (c *Cluster) linkController() netsim.LinkController {
 // Close shuts the cluster down. The cluster must not be used afterward.
 func (c *Cluster) Close() { c.net.Close() }
 
-// NodeHandle exposes the operations of one application process.
+// NodeHandle exposes the operations of one application process. A
+// handle (like the node itself) must be driven by a single application
+// goroutine, matching the paper's model of one sequential application
+// process per node.
 type NodeHandle struct {
-	node mcs.Node
+	node    mcs.Node
+	scratch [8]byte // per-handle buffer for the int64 shim, no per-op alloc
 }
 
 // ID returns the node identifier.
 func (h *NodeHandle) ID() int { return h.node.ID() }
 
-// Write performs w_i(x)v.
-func (h *NodeHandle) Write(x string, v int64) error { return h.node.Write(x, v) }
+// Put performs w_i(x)v with an opaque byte-string value (at most
+// MaxValueLen bytes). The value is fully consumed before Put returns;
+// the caller may reuse v. Wait-free protocols return after the local
+// apply; ordering protocols block until the write is ordered.
+func (h *NodeHandle) Put(x string, v []byte) error {
+	if len(v) > MaxValueLen {
+		return fmt.Errorf("partialdsm: value for %s is %d bytes, max %d", x, len(v), MaxValueLen)
+	}
+	return h.node.Put(x, v)
+}
 
-// Read performs r_i(x). Reads of never-written variables return Bottom.
-func (h *NodeHandle) Read(x string) (int64, error) { return h.node.Read(x) }
+// PutAsync performs w_i(x)v without blocking on the protocol's
+// ordering round trip: the update is staged/sent (per that protocol's
+// semantics) before PutAsync returns, and the returned Pending
+// completes when a synchronous Put would have returned. For the
+// wait-free protocols (PRAM, Slow, the causal family) completion is
+// immediate; for the blocking protocols (Sequential, Atomic,
+// CacheConsistency) Pending.Wait blocks until the write's ack. Any
+// number of writes may be outstanding; they complete in issue order
+// per destination. An operation issued before Wait returns is not
+// ordered after the pending write. The blocking protocols' pipelining
+// relies on per-pair FIFO order: on a Config.NonFIFO network their
+// PutAsync degrades to the synchronous Put.
+func (h *NodeHandle) PutAsync(x string, v []byte) (Pending, error) {
+	if len(v) > MaxValueLen {
+		return nil, fmt.Errorf("partialdsm: value for %s is %d bytes, max %d", x, len(v), MaxValueLen)
+	}
+	return h.node.PutAsync(x, v)
+}
+
+// Get performs r_i(x) and returns the value as a fresh slice. Reads of
+// never-written variables return BottomValue().
+func (h *NodeHandle) Get(x string) ([]byte, error) { return h.node.Get(x, nil) }
+
+// GetInto performs r_i(x), appending the value to dst[:0] and
+// returning the result — the allocation-free read path: with enough
+// capacity in dst, a wait-free protocol's GetInto is 0 allocs/op.
+func (h *NodeHandle) GetInto(x string, dst []byte) ([]byte, error) {
+	return h.node.Get(x, dst)
+}
+
+// Write performs w_i(x)v through the legacy int64 API: a thin shim
+// over Put with the 8-byte big-endian encoding of v, byte-identical on
+// the wire to the pre-v2 format.
+func (h *NodeHandle) Write(x string, v int64) error {
+	binary.BigEndian.PutUint64(h.scratch[:], uint64(v))
+	return h.node.Put(x, h.scratch[:])
+}
+
+// Read performs r_i(x) through the legacy int64 API. Reads of
+// never-written variables return Bottom; reading a variable whose
+// current value is not 8 bytes is an error (use Get).
+func (h *NodeHandle) Read(x string) (int64, error) {
+	v, err := h.node.Get(x, h.scratch[:0])
+	if err != nil {
+		return 0, err
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("partialdsm: value of %s is %d bytes, not an int64 word; use Get", x, len(v))
+	}
+	return int64(binary.BigEndian.Uint64(v)), nil
+}
+
+// Pending is the completion handle of an asynchronous write
+// (PutAsync). Wait blocks until the write has completed per the
+// protocol's semantics and may be called from any goroutine, once or
+// many times.
+type Pending interface {
+	Wait() error
+}
+
+// Batch is an immutable builder of a group of operations applied in
+// one Apply call. The zero value is an empty batch; Put and Get return
+// extended copies, so batches compose like slices:
+//
+//	res, err := h.Apply(partialdsm.Batch{}.
+//		Put("x", []byte("a")).
+//		Put("y", []byte("b")).
+//		Get("x"))
+//
+// On the wait-free protocols a batch rides the per-destination
+// coalescing outbox: every update staged by the batch leaves as one
+// frame per destination when Apply returns — k writes to one clique
+// are one message per member, not k — regardless of the cluster's
+// coalescing configuration. On the blocking protocols the writes are
+// pipelined with PutAsync and settled before any Get and at the end of
+// the batch. A batch is a convenience and a batching hint, not a
+// transaction: operations apply in order with exactly the cluster's
+// consistency semantics, and an error leaves earlier operations
+// applied.
+type Batch struct {
+	ops []batchOp
+}
+
+// batchOp is one operation of a Batch.
+type batchOp struct {
+	get bool
+	x   string
+	v   []byte
+}
+
+// Put appends w(x)v to the batch. The value slice is retained until
+// Apply; do not mutate it in between.
+func (b Batch) Put(x string, v []byte) Batch {
+	b.ops = append(b.ops[:len(b.ops):len(b.ops)], batchOp{x: x, v: v})
+	return b
+}
+
+// PutInt64 appends w(x)v through the legacy int64 representation.
+func (b Batch) PutInt64(x string, v int64) Batch {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(v))
+	return b.Put(x, buf)
+}
+
+// Get appends r(x) to the batch; its value lands in the BatchResult,
+// in Get order.
+func (b Batch) Get(x string) Batch {
+	b.ops = append(b.ops[:len(b.ops):len(b.ops)], batchOp{get: true, x: x})
+	return b
+}
+
+// Len returns the number of operations in the batch.
+func (b Batch) Len() int { return len(b.ops) }
+
+// BatchResult holds the values read by a batch's Gets.
+type BatchResult struct {
+	vals [][]byte
+}
+
+// Len returns the number of completed Gets.
+func (r *BatchResult) Len() int { return len(r.vals) }
+
+// Bytes returns the value of the i-th Get of the batch.
+func (r *BatchResult) Bytes(i int) []byte { return r.vals[i] }
+
+// Int64 returns the i-th Get's value through the legacy int64
+// representation.
+func (r *BatchResult) Int64(i int) (int64, error) {
+	v := r.vals[i]
+	if len(v) != 8 {
+		return 0, fmt.Errorf("partialdsm: batch value %d is %d bytes, not an int64 word", i, len(v))
+	}
+	return int64(binary.BigEndian.Uint64(v)), nil
+}
+
+// Apply executes the batch on this node. Operations run in batch
+// order; the returned BatchResult collects the Gets' values. On error
+// the batch stops, already-issued operations stay applied, and every
+// staged update is still flushed.
+func (h *NodeHandle) Apply(b Batch) (*BatchResult, error) {
+	for _, op := range b.ops {
+		if !op.get && len(op.v) > MaxValueLen {
+			return nil, fmt.Errorf("partialdsm: value for %s is %d bytes, max %d", op.x, len(op.v), MaxValueLen)
+		}
+	}
+	res := &BatchResult{}
+	if bt, ok := h.node.(mcs.Batcher); ok {
+		// Wait-free protocol: hold the outbox open across the batch so
+		// everything staged leaves as one frame per destination.
+		bt.BeginBatch()
+		defer bt.EndBatch()
+		for _, op := range b.ops {
+			if op.get {
+				v, err := h.node.Get(op.x, nil)
+				if err != nil {
+					return res, err
+				}
+				res.vals = append(res.vals, v)
+			} else if err := h.node.Put(op.x, op.v); err != nil {
+				return res, err
+			}
+		}
+		return res, nil
+	}
+	// Blocking protocol: pipeline the writes, settle them before any
+	// read (preserving read-your-writes in batch order) and at the end.
+	var outstanding []mcs.Pending
+	settle := func() error {
+		for _, p := range outstanding {
+			if err := p.Wait(); err != nil {
+				return err
+			}
+		}
+		outstanding = outstanding[:0]
+		return nil
+	}
+	for _, op := range b.ops {
+		if op.get {
+			if err := settle(); err != nil {
+				return res, err
+			}
+			v, err := h.node.Get(op.x, nil)
+			if err != nil {
+				return res, err
+			}
+			res.vals = append(res.vals, v)
+		} else {
+			p, err := h.node.PutAsync(op.x, op.v)
+			if err != nil {
+				return res, err
+			}
+			outstanding = append(outstanding, p)
+		}
+	}
+	return res, settle()
+}
 
 // Stats is a snapshot of the cluster's communication metrics.
 type Stats struct {
@@ -497,7 +752,9 @@ func (c *Cluster) VerifyWitness() error {
 	if c.rec == nil {
 		return ErrNoTrace
 	}
-	c.Quiesce()
+	if err := c.Quiesce(); err != nil {
+		return err
+	}
 	logs := c.rec.Logs()
 	switch c.cfg.Consistency {
 	case PRAM, Sequential:
@@ -536,7 +793,9 @@ func (c *Cluster) CheckHistory() (map[string]bool, error) {
 	if c.rec == nil {
 		return nil, ErrNoTrace
 	}
-	c.Quiesce()
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
 	h, err := c.rec.History()
 	if err != nil {
 		return nil, err
@@ -559,7 +818,9 @@ func (c *Cluster) History() (*model.History, error) {
 	if c.rec == nil {
 		return nil, ErrNoTrace
 	}
-	c.Quiesce()
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
 	return c.rec.History()
 }
 
@@ -569,7 +830,9 @@ func (c *Cluster) HistoryJSON() ([]byte, error) {
 	if c.rec == nil {
 		return nil, ErrNoTrace
 	}
-	c.Quiesce()
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
 	h, err := c.rec.History()
 	if err != nil {
 		return nil, err
@@ -585,7 +848,9 @@ func (c *Cluster) ExportTrace() ([]byte, error) {
 	if c.rec == nil {
 		return nil, ErrNoTrace
 	}
-	c.Quiesce()
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
 	h, err := c.rec.History()
 	if err != nil {
 		return nil, err
