@@ -7,11 +7,15 @@
 //	dsm-bellmanford [-figure8] [-n 12] [-extra 10] [-maxw 9] [-seed 1]
 //	                [-consistency pram] [-transport classic|sharded]
 //	                [-coalesce 1] [-flush-ticks 0] [-adaptive]
-//	                [-latency 100us] [-v]
+//	                [-latency 100us] [-virtual-latency] [-latency-dist uniform] [-v]
 //
 // By default a random graph is used; -figure8 runs the paper's example
-// network. Exits 1 if the distributed result disagrees with the oracle
-// or the execution fails verification.
+// network. -virtual-latency simulates -latency as deterministic
+// virtual-time delivery deadlines (distribution per -latency-dist)
+// instead of real sleeps: every message's delay is derived from the
+// seed alone, a per-message delivery-delay summary is reported, and
+// the latency costs no wall time. Exits 1 if the distributed result
+// disagrees with the oracle or the execution fails verification.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"partialdsm"
 	"partialdsm/internal/bellmanford"
+	"partialdsm/internal/cmdutil"
 )
 
 func main() {
@@ -45,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flushTicks := fs.Int("flush-ticks", 0, "virtual-time flush deadline for coalesced updates (0 = off; implies coalescing)")
 	adaptive := fs.Bool("adaptive", false, "flush a destination's coalesced frame as soon as it has no inbound traffic (implies coalescing)")
 	latency := fs.Duration("latency", 100*time.Microsecond, "maximum simulated message latency")
+	virtualLat := fs.Bool("virtual-latency", false, "simulate -latency in deterministic virtual time instead of real sleeps")
+	latencyDist := fs.String("latency-dist", "uniform", "virtual-latency delay distribution (uniform, fixed, heavytail)")
 	verbose := fs.Bool("v", false, "print the placement and per-vertex distances")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +68,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		g = bellmanford.RandomGraph(rand.New(rand.NewSource(*seed)), *n, *extra, *maxw)
 	}
 	placement := bellmanford.Placement(g)
+	// Resolve the latency-dist/virtual-latency flag pair up front: a
+	// typo, the flag-unusable per-link "matrix" distribution, or an
+	// explicit distribution without -virtual-latency (which would
+	// silently run the real-sleep uniform mode) must not surface as a
+	// confusing cluster-construction error — or worse, not at all.
+	dist, err := cmdutil.ResolveLatencyDist(fs, "latency-dist", *virtualLat, *latencyDist)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsm-bellmanford: %v\n", err)
+		return 2
+	}
 	if *verbose {
 		fmt.Fprintln(stdout, "variable distribution (X_i = own vars + predecessors'):")
 		for i, vars := range placement {
@@ -73,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Placement:          placement,
 		Seed:               *seed,
 		MaxLatency:         *latency,
+		VirtualLatency:     *virtualLat,
+		LatencyDist:        dist,
 		Transport:          partialdsm.Transport(*transport),
 		CoalesceBatch:      *coalesce,
 		CoalesceFlushTicks: *flushTicks,
@@ -111,6 +130,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "graph: %d vertices, %d edges; consistency: %s\n", g.N(), g.NumEdges(), *consistency)
 	fmt.Fprintf(stdout, "rounds: %d, wall time: %v\n", res.Rounds, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "traffic: %d msgs, %d ctrl bytes, %d data bytes\n", st.Msgs, st.CtrlBytes, st.DataBytes)
+	if st.DelaySamples > 0 {
+		fmt.Fprintf(stdout, "virtual delivery delay: mean %v, p99 %v, max %v over %d msgs\n",
+			st.DelayMean.Round(time.Microsecond), st.DelayP99.Round(time.Microsecond),
+			st.DelayMax.Round(time.Microsecond), st.DelaySamples)
+	}
 	if !ok {
 		fmt.Fprintln(stdout, "RESULT: MISMATCH with sequential oracle")
 		return 1

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func runBF(t *testing.T, args ...string) (int, string, string) {
@@ -75,6 +76,48 @@ func TestCoalescedModes(t *testing.T) {
 				t.Errorf("%v: output missing %q:\n%s", args, want, out)
 			}
 		}
+	}
+}
+
+// TestVirtualLatencyRun runs the case study with 5ms virtual latency:
+// the oracle match and verifications must hold, the delay summary must
+// be printed, and the run must not pay the latency in wall time.
+func TestVirtualLatencyRun(t *testing.T) {
+	start := time.Now()
+	code, out, errOut := runBF(t, "-figure8", "-latency", "5ms", "-virtual-latency")
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s\n%s", code, out, errOut)
+	}
+	for _, want := range []string{
+		"RESULT: distributed distances match the sequential oracle",
+		"consistency witness: ok",
+		"virtual delivery delay: mean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The figure-8 run pays dozens of 5ms round trips when really
+	// sleeping; a second of wall time means virtual mode regressed.
+	if elapsed > time.Second {
+		t.Errorf("virtual-latency run took %v wall time", elapsed)
+	}
+	for _, dist := range []string{"fixed", "heavytail"} {
+		if code, out, errOut := runBF(t, "-figure8", "-virtual-latency", "-latency-dist", dist, "-transport", "sharded"); code != 0 {
+			t.Errorf("dist %s: exit = %d\n%s\n%s", dist, code, out, errOut)
+		}
+	}
+	if code, _, _ := runBF(t, "-figure8", "-virtual-latency", "-latency-dist", "zipf"); code != 2 {
+		t.Error("unknown -latency-dist must exit 2")
+	}
+	if code, _, _ := runBF(t, "-figure8", "-latency-dist", "heavytail"); code != 2 {
+		t.Error("-latency-dist without -virtual-latency must exit 2")
+	}
+	// The per-link matrix distribution cannot be supplied via flags;
+	// the refusal must say why, not call the documented name unknown.
+	if code, _, errOut := runBF(t, "-figure8", "-virtual-latency", "-latency-dist", "matrix"); code != 2 || !strings.Contains(errOut, "Config.LatencyMatrix") {
+		t.Errorf("flag-unusable matrix dist must exit 2 with a clear message, got %d: %s", code, errOut)
 	}
 }
 

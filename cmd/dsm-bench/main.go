@@ -14,6 +14,12 @@
 //	dsm-bench [-out BENCH_3.json] [-pr 3] [-quick] [-repeat 1]
 //	          [-baseline BENCH_2.json] [-compare BENCH_2.json] [-tolerance 10]
 //
+// The suite includes a virtual-latency sweep (LatencySweep/*): the
+// UpdateStorm burst under 1ms simulated latency in virtual-time mode,
+// across the uniform / fixed / heavy-tail distributions on both
+// engines — the whole sweep costs no latency wall time and its msgs/op
+// column is fully seed-deterministic.
+//
 // -quick runs a two-benchmark subset (for CI smoke and tests); without
 // -out the JSON goes to stdout. -baseline embeds a previous
 // trajectory's numbers so the file reads as a before/after table.
@@ -39,6 +45,7 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"partialdsm"
 	"partialdsm/internal/bellmanford"
@@ -102,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "write the trajectory JSON to this file (default stdout)")
-	pr := fs.Int("pr", 4, "PR number recorded in the trajectory")
+	pr := fs.Int("pr", 5, "PR number recorded in the trajectory")
 	quick := fs.Bool("quick", false, "run the two-benchmark smoke subset")
 	repeat := fs.Int("repeat", 1, "measure each benchmark this many times and record per-metric medians")
 	baseline := fs.String("baseline", "", "embed this previous trajectory's numbers as the baseline table")
@@ -335,6 +342,21 @@ func benches() []bench {
 			})
 		}
 	}
+	// Virtual-latency sweep: the UpdateStorm burst under 1ms simulated
+	// latency across distributions and engines. Real-sleep latency
+	// cannot be benchmarked (each iteration would sleep for real); the
+	// virtual mode makes the latency axis measurable at full speed.
+	for _, tr := range partialdsm.Transports {
+		for _, dist := range []partialdsm.LatencyDist{
+			partialdsm.LatencyUniform, partialdsm.LatencyFixed, partialdsm.LatencyHeavyTail,
+		} {
+			tr, dist := tr, dist
+			out = append(out, bench{
+				name: fmt.Sprintf("LatencySweep/%s/dist=%s", tr, dist),
+				fn:   func(b *testing.B, msgs *float64) { latencySweep(b, tr, dist, msgs) },
+			})
+		}
+	}
 	// Per-operation costs of the headline protocol.
 	out = append(out,
 		bench{name: "PRAMWrite/8node-full", fn: func(b *testing.B, msgs *float64) { pramWrite(b, modes[0], msgs) }},
@@ -419,6 +441,36 @@ func updateStorm(b *testing.B, tr partialdsm.Transport, m mode, msgs *float64) {
 			}
 		}
 		c.Quiesce()
+	}
+	b.StopTimer()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
+}
+
+// latencySweep is one 64-write burst plus quiescence per iteration
+// under 1ms virtual latency — the cluster drains through clock jumps,
+// so the measured time is scheduling cost, not simulated delay.
+func latencySweep(b *testing.B, tr partialdsm.Transport, dist partialdsm.LatencyDist, msgs *float64) {
+	const nodes, burst = 8, 64
+	cfg := clusterConfig(partialdsm.PRAM, fullPlacement(nodes), tr, modes[0])
+	cfg.MaxLatency = time.Millisecond
+	cfg.VirtualLatency = true
+	cfg.LatencyDist = dist
+	c, err := partialdsm.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	h := c.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < burst; k++ {
+			if err := h.Write("x", int64(i*burst+k)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Quiesce(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	*msgs = float64(c.Stats().Msgs) / float64(b.N)

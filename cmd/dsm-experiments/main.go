@@ -7,6 +7,7 @@
 //	dsm-experiments [-exp all|fig1…fig6|thm1|thm2|scaling|degree|bellmanford|hierarchy|ablation|openquestion|separation|latency] [-seed N]
 //	                [-transport classic|sharded]
 //	                [-coalesce 1] [-flush-ticks 4] [-adaptive]
+//	                [-virtual-latency] [-latency-dist uniform|fixed|heavytail]
 //
 // Coalescing is safe here even for the poll-style experiment schedules
 // because buffered updates flush on an engine-driven trigger: a
@@ -14,6 +15,11 @@
 // -coalesce enables batching) or destination-idle detection
 // (-adaptive). Every report must produce the same verdicts coalesced
 // or uncoalesced.
+//
+// -virtual-latency switches the experiments that simulate link latency
+// (E10–E12, E18, the hierarchy run) to deterministic virtual-time
+// delivery deadlines drawn from -latency-dist: the same verdicts, an
+// order of magnitude less wall time, and a seed-reproducible schedule.
 //
 // The process exits non-zero if any selected experiment fails its
 // checks.
@@ -26,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"partialdsm/internal/cmdutil"
 	"partialdsm/internal/experiments"
 )
 
@@ -45,10 +52,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	coalesce := fs.Int("coalesce", 1, "updates coalesced per destination before a flush (1 = off)")
 	flushTicks := fs.Int("flush-ticks", 4, "virtual-time flush deadline for coalesced updates (0 = operation-driven flushing only)")
 	adaptive := fs.Bool("adaptive", false, "flush a destination's coalesced frame as soon as it has no inbound traffic")
+	virtualLat := fs.Bool("virtual-latency", false, "simulate link latency in deterministic virtual time instead of real sleeps")
+	latencyDist := fs.String("latency-dist", "uniform", "virtual-latency delay distribution (uniform, fixed, heavytail)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	experiments.SetTransport(*transport)
+	// Resolve the latency-dist/virtual-latency flag pair up front:
+	// cluster construction only checks the distribution for experiments
+	// that actually simulate latency, and a typo — or an explicit
+	// distribution without -virtual-latency, which would silently run
+	// the real-sleep uniform mode — must not slip through an all-PASS
+	// run of the others.
+	dist, err := cmdutil.ResolveLatencyDist(fs, "latency-dist", *virtualLat, *latencyDist)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsm-experiments: %v\n", err)
+		return 2
+	}
+	experiments.SetVirtualLatency(*virtualLat, string(dist))
 	// An explicit -flush-ticks implies coalescing, matching the
 	// partialdsm.Config contract and dsm-bellmanford's flag; the flag's
 	// *default* only applies once batching or adaptive mode enables

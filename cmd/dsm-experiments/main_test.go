@@ -68,6 +68,43 @@ func TestCoalescedExperiments(t *testing.T) {
 	}
 }
 
+// TestVirtualLatencyExperiments runs the latency-simulating
+// experiments under -virtual-latency (every distribution, both
+// transports): same verdicts, no real sleeps. E18 prints the virtual
+// delivery-delay histogram in this mode.
+func TestVirtualLatencyExperiments(t *testing.T) {
+	for _, dist := range []string{"uniform", "fixed", "heavytail"} {
+		for _, exp := range []string{"latency", "thm2", "bellmanford"} {
+			code, out, errOut := runExp(t, "-exp", exp, "-virtual-latency", "-latency-dist", dist)
+			if code != 0 {
+				t.Errorf("%s/%s: exit = %d\n%s\n%s", exp, dist, code, out, errOut)
+			}
+			if !strings.Contains(out, "[PASS]") {
+				t.Errorf("%s/%s: no PASS marker:\n%s", exp, dist, out)
+			}
+		}
+	}
+	code, out, _ := runExp(t, "-exp", "latency", "-virtual-latency", "-transport", "sharded")
+	if code != 0 {
+		t.Fatalf("latency on sharded virtual: exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "virtual delay over") {
+		t.Errorf("E18 under -virtual-latency must report the delay histogram:\n%s", out)
+	}
+	// A typoed distribution must be rejected up front — even for
+	// experiments that simulate no latency and would otherwise PASS.
+	for _, exp := range []string{"latency", "fig1"} {
+		if code, _, _ := runExp(t, "-exp", exp, "-virtual-latency", "-latency-dist", "zipf"); code != 2 {
+			t.Errorf("%s: unknown -latency-dist must exit 2, got %d", exp, code)
+		}
+	}
+	// ...and an explicit distribution without -virtual-latency would
+	// silently run real-sleep uniform, so it must be refused too.
+	if code, _, errOut := runExp(t, "-exp", "fig1", "-latency-dist", "heavytail"); code != 2 {
+		t.Errorf("-latency-dist without -virtual-latency must exit 2, got %d (%s)", code, errOut)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if code, _, _ := runExp(t, "-exp", "nope"); code != 2 {
 		t.Error("unknown experiment must exit 2")

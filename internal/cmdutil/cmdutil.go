@@ -1,0 +1,32 @@
+// Package cmdutil holds small helpers shared by the cmd tools —
+// command-line policy that does not belong in the partialdsm library
+// surface.
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+
+	"partialdsm"
+)
+
+// ResolveLatencyDist resolves the -virtual-latency / -latency-dist
+// flag pair the cmd tools share. distFlag names the distribution flag
+// on fs: setting it explicitly without virtual latency is refused (the
+// run would silently use the real-sleep uniform mode), and with
+// virtual latency the value is validated via
+// partialdsm.ParseLatencyDistFlag — up front, so a typo or the
+// flag-unusable per-link "matrix" distribution never surfaces as a
+// confusing cluster-construction error. Without virtual latency the
+// zero LatencyDist is returned, matching Config's real-sleep contract.
+func ResolveLatencyDist(fs *flag.FlagSet, distFlag string, virtual bool, dist string) (partialdsm.LatencyDist, error) {
+	if !virtual {
+		set := false
+		fs.Visit(func(f *flag.Flag) { set = set || f.Name == distFlag })
+		if set {
+			return "", fmt.Errorf("-%s requires -virtual-latency", distFlag)
+		}
+		return "", nil
+	}
+	return partialdsm.ParseLatencyDistFlag(dist)
+}

@@ -1,0 +1,42 @@
+package cmdutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"partialdsm"
+)
+
+func TestResolveLatencyDist(t *testing.T) {
+	parse := func(args ...string) *flag.FlagSet {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		fs.String("latency-dist", "uniform", "")
+		fs.Bool("virtual-latency", false, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	// Default flag value, no virtual latency: silently no distribution.
+	if d, err := ResolveLatencyDist(parse(), "latency-dist", false, "uniform"); err != nil || d != "" {
+		t.Errorf("default without virtual = %q, %v; want zero dist", d, err)
+	}
+	// Explicit flag without virtual latency: refused.
+	if _, err := ResolveLatencyDist(parse("-latency-dist", "heavytail"), "latency-dist", false, "heavytail"); err == nil ||
+		!strings.Contains(err.Error(), "requires -virtual-latency") {
+		t.Errorf("explicit dist without virtual = %v, want refusal", err)
+	}
+	// Virtual latency: names validated, matrix and typos rejected.
+	if d, err := ResolveLatencyDist(parse(), "latency-dist", true, "heavytail"); err != nil || d != partialdsm.LatencyHeavyTail {
+		t.Errorf("heavytail = %q, %v", d, err)
+	}
+	for _, bad := range []string{"matrix", "zipf"} {
+		if _, err := ResolveLatencyDist(parse(), "latency-dist", true, bad); err == nil {
+			t.Errorf("%s accepted under virtual latency", bad)
+		}
+	}
+}

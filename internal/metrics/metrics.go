@@ -11,12 +11,17 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"sync"
 )
 
 // Collector accumulates message and byte counts plus the per-node
-// per-variable touch matrix. All methods are safe for concurrent use.
+// per-variable touch matrix, and — when the transport simulates
+// latency in virtual time — a histogram of per-message delivery
+// delays, the quantity the paper's delay/efficiency trade-off is
+// about. All methods are safe for concurrent use.
 type Collector struct {
 	mu        sync.Mutex
 	msgs      int64
@@ -24,6 +29,11 @@ type Collector struct {
 	dataBytes int64
 	touch     map[int]map[string]bool
 	perKind   map[string]int64
+
+	delayN       int64
+	delaySum     float64 // float accumulator: uint64 would wrap after a handful of MaxInt64-scale delays
+	delayMax     uint64
+	delayBuckets [65]int64 // bucket i counts delays of bit-length i: [2^(i-1), 2^i)
 }
 
 // NewCollector returns an empty collector.
@@ -57,6 +67,23 @@ func (c *Collector) RecordMessage(kind string, from, to int, ctrlBytes, dataByte
 	}
 }
 
+// RecordDelay accounts one message's drawn virtual delivery delay, in
+// clock ticks. Transports call it once per message in virtual-latency
+// mode with the seed-derived draw (not the effective wait, which also
+// folds in FIFO queueing and is scheduling-dependent); the real-sleep
+// mode records nothing (wall delays are not part of the deterministic
+// surface).
+func (c *Collector) RecordDelay(ticks uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delayN++
+	c.delaySum += float64(ticks)
+	if ticks > c.delayMax {
+		c.delayMax = ticks
+	}
+	c.delayBuckets[bits.Len64(ticks)]++
+}
+
 // Touched reports whether node ever sent or received information about
 // variable x.
 func (c *Collector) Touched(node int, x string) bool {
@@ -73,6 +100,56 @@ type Stats struct {
 	PerKind   map[string]int64
 	// Touch maps node → sorted variables the node has information about.
 	Touch map[int][]string
+	// Delay summarizes the recorded virtual delivery delays; the zero
+	// value (Count == 0) means the transport recorded none (real-sleep
+	// or zero-latency mode).
+	Delay DelayStats
+}
+
+// DelayStats summarizes a delivery-delay histogram, in virtual clock
+// ticks (one tick per nanosecond of configured latency).
+type DelayStats struct {
+	// Count is the number of recorded delays (one per message).
+	Count int64
+	// MeanTicks is the arithmetic mean delay.
+	MeanTicks float64
+	// MaxTicks is the largest recorded delay.
+	MaxTicks uint64
+	// Buckets is the log₂ histogram: Buckets[i] counts delays of
+	// bit-length i, i.e. in [2^(i-1), 2^i) (bucket 0 counts exact
+	// zeros). Trailing empty buckets are trimmed.
+	Buckets []int64
+}
+
+// QuantileTicks returns an upper-bound estimate of the q-quantile
+// (0 < q ≤ 1) from the log₂ histogram: the upper edge of the bucket
+// the quantile falls in, clamped to MaxTicks. Returns 0 for an empty
+// histogram.
+func (d DelayStats) QuantileTicks(q float64) uint64 {
+	if d.Count == 0 {
+		return 0
+	}
+	// Nearest-rank: the smallest rank covering a q fraction of the
+	// samples (ceil, so the top samples are never excluded).
+	rank := int64(math.Ceil(q * float64(d.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range d.Buckets {
+		seen += n
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			edge := uint64(1) << uint(i)
+			if edge-1 > d.MaxTicks {
+				return d.MaxTicks
+			}
+			return edge - 1
+		}
+	}
+	return d.MaxTicks
 }
 
 // Snapshot returns a copy of the current counters.
@@ -85,6 +162,20 @@ func (c *Collector) Snapshot() Stats {
 		DataBytes: c.dataBytes,
 		PerKind:   make(map[string]int64, len(c.perKind)),
 		Touch:     make(map[int][]string, len(c.touch)),
+	}
+	if c.delayN > 0 {
+		s.Delay = DelayStats{
+			Count:     c.delayN,
+			MeanTicks: c.delaySum / float64(c.delayN),
+			MaxTicks:  c.delayMax,
+		}
+		top := 0
+		for i, n := range c.delayBuckets {
+			if n > 0 {
+				top = i
+			}
+		}
+		s.Delay.Buckets = append([]int64(nil), c.delayBuckets[:top+1]...)
 	}
 	for k, v := range c.perKind {
 		s.PerKind[k] = v
@@ -107,6 +198,8 @@ func (c *Collector) Reset() {
 	c.msgs, c.ctrlBytes, c.dataBytes = 0, 0, 0
 	c.touch = make(map[int]map[string]bool)
 	c.perKind = make(map[string]int64)
+	c.delayN, c.delaySum, c.delayMax = 0, 0, 0
+	c.delayBuckets = [65]int64{}
 }
 
 // String summarizes the snapshot.

@@ -87,3 +87,57 @@ func TestStatsString(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+func TestDelayHistogram(t *testing.T) {
+	c := NewCollector()
+	if d := c.Snapshot().Delay; d.Count != 0 || d.Buckets != nil {
+		t.Fatalf("fresh collector has delay stats: %+v", d)
+	}
+	for _, ticks := range []uint64{0, 1, 1, 3, 1000, 1_000_000} {
+		c.RecordDelay(ticks)
+	}
+	d := c.Snapshot().Delay
+	if d.Count != 6 {
+		t.Fatalf("count = %d, want 6", d.Count)
+	}
+	if want := float64(0+1+1+3+1000+1_000_000) / 6; d.MeanTicks != want {
+		t.Errorf("mean = %f, want %f", d.MeanTicks, want)
+	}
+	if d.MaxTicks != 1_000_000 {
+		t.Errorf("max = %d, want 1000000", d.MaxTicks)
+	}
+	// Bucket layout: 0 → bucket 0; 1,1 → bucket 1; 3 → bucket 2;
+	// 1000 → bucket 10; 1e6 → bucket 20 (and trailing trim).
+	if len(d.Buckets) != 21 || d.Buckets[0] != 1 || d.Buckets[1] != 2 || d.Buckets[2] != 1 ||
+		d.Buckets[10] != 1 || d.Buckets[20] != 1 {
+		t.Errorf("buckets = %v", d.Buckets)
+	}
+	// Quantiles: rank 3 of {0,1,1,3,1000,1e6} lands in the [1,2)
+	// bucket (upper edge 1); the max quantile clamps to MaxTicks.
+	if q := d.QuantileTicks(0.5); q != 1 {
+		t.Errorf("p50 = %d, want 1", q)
+	}
+	if q := d.QuantileTicks(0.6); q != 3 {
+		t.Errorf("p60 = %d, want 3 (nearest rank ceil(3.6)=4 lands in the [2,4) bucket)", q)
+	}
+	// Nearest-rank must include the top sample at high quantiles even
+	// for small counts: 49 fast samples + 1 slow one, p99 → the slow.
+	var many Collector
+	for i := 0; i < 49; i++ {
+		many.RecordDelay(1)
+	}
+	many.RecordDelay(1_000_000)
+	if q := many.Snapshot().Delay.QuantileTicks(0.99); q != 1_000_000 {
+		t.Errorf("p99 of 49×1+1×1e6 = %d, want 1000000", q)
+	}
+	if q := d.QuantileTicks(1.0); q != 1_000_000 {
+		t.Errorf("p100 = %d, want 1000000", q)
+	}
+	if q := (DelayStats{}).QuantileTicks(0.99); q != 0 {
+		t.Errorf("empty histogram p99 = %d", q)
+	}
+	c.Reset()
+	if d := c.Snapshot().Delay; d.Count != 0 {
+		t.Fatalf("Reset kept delay stats: %+v", d)
+	}
+}

@@ -77,11 +77,15 @@ type PairMonitor interface {
 // maxTick marks "no pending deadline".
 const maxTick = ^uint64(0)
 
-// timer is one scheduled callback.
+// timer is one scheduled callback. System timers (sys) carry transport
+// machinery — virtual-latency message deliveries and pair drains — and
+// survive drop: Close cancels protocol callbacks but must still
+// deliver every sent message.
 type timer struct {
 	tick uint64
 	seq  uint64
 	fn   func()
+	sys  bool
 }
 
 // timerHeap orders timers by (deadline, registration sequence).
@@ -114,7 +118,8 @@ type vclock struct {
 	jumpReq bool // an idle-jump request deferred to the active firing pass
 	dropped bool
 
-	idle      func() bool // true when no message can still make progress
+	idle      func() bool // true when no message can still make progress without a jump
+	stalled   func() bool // true when no message can progress even with jumps (all held on paused links)
 	anyPaused func() bool // true while any link is held by PauseLink
 	pairs     *pairWatch  // may be nil (no PairMonitor)
 }
@@ -122,10 +127,14 @@ type vclock struct {
 // newVClock builds a clock over the given idleness probes. idle is
 // called without the clock lock ordering any engine lock above it:
 // engines must never invoke clock methods while holding a lock idle
-// needs. anyPaused must be cheap (an atomic load); it gates the
-// expensive idle probe on the pair-hook path.
-func newVClock(idle, anyPaused func() bool, pairs *pairWatch) *vclock {
-	c := &vclock{idle: idle, anyPaused: anyPaused, pairs: pairs}
+// needs. stalled is the stricter probe used for pair drain hooks: it
+// must only report true when every in-flight message sits behind a
+// paused link (for the real-sleep engines the two probes coincide; the
+// virtual-latency path distinguishes messages a clock jump can still
+// deliver). anyPaused must be cheap (an atomic load); it gates the
+// expensive probes on the pair-hook path.
+func newVClock(idle, stalled, anyPaused func() bool, pairs *pairWatch) *vclock {
+	c := &vclock{idle: idle, stalled: stalled, anyPaused: anyPaused, pairs: pairs}
 	c.next.Store(maxTick)
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -145,13 +154,23 @@ func (c *vclock) After(d uint64, fn func()) uint64 {
 // inline — even a past deadline waits for the next advance opportunity
 // — so callers may schedule while holding their own locks. After Close
 // the clock is dropped and Schedule is a no-op.
-func (c *vclock) Schedule(tick uint64, fn func()) {
+func (c *vclock) Schedule(tick uint64, fn func()) { c.schedule(tick, fn, false) }
+
+// scheduleSystem registers a transport-machinery callback (a
+// virtual-latency delivery or pair drain). Unlike user timers, system
+// timers survive drop and may still be registered afterwards: Close
+// cancels protocol callbacks first and then drains, and every message
+// already sent — including messages sent by handlers during the drain
+// — must still be delivered.
+func (c *vclock) scheduleSystem(tick uint64, fn func()) { c.schedule(tick, fn, true) }
+
+func (c *vclock) schedule(tick uint64, fn func(), sys bool) {
 	c.mu.Lock()
-	if c.dropped {
+	if c.dropped && !sys {
 		c.mu.Unlock()
 		return
 	}
-	heap.Push(&c.heap, timer{tick: tick, seq: c.seq, fn: fn})
+	heap.Push(&c.heap, timer{tick: tick, seq: c.seq, fn: fn, sys: sys})
 	c.seq++
 	if tick < c.next.Load() {
 		c.next.Store(tick)
@@ -205,7 +224,7 @@ func (c *vclock) runPairHooks() {
 	}
 	all := false
 	if c.anyPaused != nil && c.anyPaused() {
-		all = c.idle != nil && c.idle()
+		all = c.stalled != nil && c.stalled()
 	}
 	c.pairs.runIdleHooks(all)
 }
@@ -286,17 +305,29 @@ func (c *vclock) fire(jump, wait bool) {
 	}
 }
 
-// drop cancels every pending callback (waiting out a firing pass
-// first) and makes future Schedule calls no-ops. Close calls it before
-// draining.
+// drop cancels every pending user callback (waiting out a firing pass
+// first) and makes future Schedule calls no-ops. System timers —
+// virtual-latency deliveries and drains — are kept: Close calls drop
+// before draining, and dropping them would lose sent messages.
 func (c *vclock) drop() {
 	c.mu.Lock()
 	for c.firing {
 		c.cond.Wait()
 	}
-	c.heap = nil
+	var keep timerHeap
+	for _, t := range c.heap {
+		if t.sys {
+			keep = append(keep, t)
+		}
+	}
+	heap.Init(&keep)
+	c.heap = keep
 	c.dropped = true
-	c.next.Store(maxTick)
+	if len(keep) == 0 {
+		c.next.Store(maxTick)
+	} else {
+		c.next.Store(keep[0].tick)
+	}
 	c.mu.Unlock()
 	if c.pairs != nil {
 		c.pairs.drop()

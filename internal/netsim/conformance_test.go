@@ -45,6 +45,24 @@ func conformanceVariants() []variant {
 		})
 	}
 	out = append(out,
+		// Virtual-latency mode on both engines: every conformance
+		// property must hold when deliveries run as serialized
+		// virtual-time callbacks instead of real-sleep goroutines
+		// (MaxLatency set by a test becomes the virtual delay bound).
+		variant{
+			name: "classic-virtual",
+			make: func(t *testing.T, n int, opts Options) Transport {
+				opts.VirtualLatency = true
+				return NewNetwork(n, opts)
+			},
+		},
+		variant{
+			name: "sharded-virtual",
+			make: func(t *testing.T, n int, opts Options) Transport {
+				opts.VirtualLatency = true
+				return NewSharded(n, opts)
+			},
+		},
 		variant{
 			name: "sharded-1worker",
 			make: func(t *testing.T, n int, opts Options) Transport {

@@ -14,6 +14,16 @@
 // logical ticks advanced per delivered message and jumped forward at
 // idle points — that the protocol layer uses to schedule flush
 // deadlines reproducibly; see clock.go.
+//
+// Simulated latency comes in two modes. The real-sleep mode
+// (Options.MaxLatency alone) delays each delivery by a seeded uniform
+// random wall-clock sleep. The virtual mode (Options.VirtualLatency)
+// turns the same knob into virtual-time delivery deadlines on the
+// clock: delays are drawn from a pluggable seeded distribution
+// (Options.LatencyDist), deliveries run serialized on one totally
+// ordered timeline shared with flush timers and idle jumps, and the
+// seed fully determines the message trace on every engine — latency
+// studies become deterministic and cost no wall time; see vlat.go.
 package netsim
 
 import (
@@ -60,12 +70,34 @@ type Options struct {
 	// FIFO preserves per-ordered-pair delivery order (default true via
 	// NewNetwork; the zero Options value means non-FIFO).
 	FIFO bool
-	// MaxLatency delays each delivery by a uniform random duration in
-	// [0, MaxLatency]. Zero means deliver as fast as scheduling allows.
+	// MaxLatency bounds the simulated per-message delivery latency.
+	// Without VirtualLatency each delivery really sleeps a uniform
+	// random duration in [0, MaxLatency]; with it, MaxLatency scales
+	// the virtual-time delay distribution instead (LatencyDist) and no
+	// wall time is spent. Zero means deliver as fast as scheduling
+	// allows. Negative values are rejected.
 	MaxLatency time.Duration
-	// Seed feeds the latency generator; same seed, same latencies.
+	// Seed feeds the latency generator; same seed, same latencies. In
+	// virtual mode the seed fully determines the delivery schedule —
+	// and therefore the message trace — on every engine.
 	Seed int64
+	// VirtualLatency simulates MaxLatency as deterministic virtual-time
+	// delivery deadlines on the transport clock instead of real sleeps:
+	// each message's delay is derived from (Seed, src, dst, per-pair
+	// sequence), deliveries run serialized on the clock's totally
+	// ordered timeline, and Quiesce/Close drain via clock jumps in
+	// microseconds of wall time. See vlat.go.
+	VirtualLatency bool
+	// LatencyDist selects the virtual-mode delay distribution; the
+	// empty string means LatencyUniform. Requires VirtualLatency.
+	LatencyDist LatencyDist
+	// LatencyMatrix gives per-ordered-link maximum delays for the
+	// LatencyMatrix distribution; must be NumNodes×NumNodes (zero
+	// entries deliver with zero delay), with MaxLatency left zero.
+	LatencyMatrix [][]time.Duration
 	// Metrics receives per-message accounting; nil disables accounting.
+	// In virtual mode it also receives each message's delivery delay
+	// (RecordDelay), making delay histograms measurable.
 	Metrics *metrics.Collector
 	// Workers sets the delivery worker-pool size for transports that
 	// use one (Sharded). Zero picks max(2, GOMAXPROCS); the classic
@@ -82,6 +114,7 @@ type Network struct {
 
 	clk         *vclock
 	pairs       *pairWatch
+	vlat        *vnet        // non-nil in virtual-latency mode; owns the delivery schedule
 	pausedLinks atomic.Int32 // links currently held by PauseLink
 	inflightA   atomic.Int64 // lock-free mirror of inflight for the idle fast path
 
@@ -115,6 +148,9 @@ func NewNetwork(n int, opts Options) *Network {
 	if n <= 0 {
 		panic(fmt.Sprintf("netsim: network needs at least one node, got %d", n))
 	}
+	if err := opts.validate(n); err != nil {
+		panic("netsim: " + err.Error())
+	}
 	nw := &Network{
 		n:        n,
 		opts:     opts,
@@ -122,9 +158,18 @@ func NewNetwork(n int, opts Options) *Network {
 		handlers: make([]Handler, n),
 		pairs:    newPairWatch(n),
 	}
-	nw.clk = newVClock(nw.idle, func() bool { return nw.pausedLinks.Load() > 0 }, nw.pairs)
+	stalled := nw.idle
+	if opts.VirtualLatency {
+		nw.vlat = newVNet(n, opts)
+		stalled = func() bool { return nw.inflightA.Load() == nw.vlat.parkedCount() }
+	}
+	nw.clk = newVClock(nw.idle, stalled, func() bool { return nw.pausedLinks.Load() > 0 }, nw.pairs)
 	nw.quiet = sync.NewCond(&nw.mu)
-	if opts.FIFO {
+	if nw.vlat != nil {
+		nw.vlat.clk = nw.clk
+		nw.vlat.deliver = nw.deliver
+		nw.vlat.start()
+	} else if opts.FIFO {
 		nw.queues = make([]*pairQueue, n*n)
 	}
 	return nw
@@ -153,6 +198,11 @@ func (nw *Network) OnInboundIdle(to int, fn func()) { nw.pairs.OnInboundIdle(to,
 // lock-free in-flight mirror; the walk touches the per-pair queues
 // only when something is in flight while a link is paused.
 func (nw *Network) idle() bool {
+	if nw.vlat != nil {
+		// Virtual mode: a message counts as idle-able while it sits in
+		// the clock (a jump delivers it) or parked behind a paused pair.
+		return nw.inflightA.Load() == nw.vlat.pending()
+	}
 	if nw.inflightA.Load() != 0 && nw.pausedLinks.Load() == 0 {
 		return false // definitely busy: messages in flight, none of them held
 	}
@@ -210,11 +260,16 @@ func (nw *Network) Send(msg Message) {
 	nw.inflightA.Add(1)
 	nw.pairs.sent(msg.To)
 	var latency time.Duration
-	if nw.opts.MaxLatency > 0 {
-		latency = time.Duration(nw.rng.Int63n(int64(nw.opts.MaxLatency) + 1))
+	if nw.vlat == nil && nw.opts.MaxLatency > 0 {
+		latency = drawRealLatency(nw.rng, nw.opts.MaxLatency)
 	}
 	if nw.opts.Metrics != nil {
 		nw.opts.Metrics.RecordMessage(msg.Kind, msg.From, msg.To, msg.CtrlBytes, msg.DataBytes, msg.Vars)
+	}
+	if nw.vlat != nil {
+		nw.mu.Unlock()
+		nw.vlat.send(msg)
+		return
 	}
 	if !nw.opts.FIFO {
 		nw.mu.Unlock()
@@ -320,6 +375,12 @@ func (nw *Network) PauseLink(from, to int) {
 	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
 		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
 	}
+	if nw.vlat != nil {
+		if nw.vlat.pause(from, to) {
+			nw.pausedLinks.Add(1)
+		}
+		return
+	}
 	nw.mu.Lock()
 	q := nw.pairQueueLocked(from, to)
 	nw.mu.Unlock()
@@ -339,6 +400,12 @@ func (nw *Network) ResumeLink(from, to int) {
 	}
 	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
 		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
+	}
+	if nw.vlat != nil {
+		if nw.vlat.resume(from, to) {
+			nw.pausedLinks.Add(-1)
+		}
+		return
 	}
 	nw.mu.Lock()
 	q := nw.pairQueueLocked(from, to)
@@ -360,6 +427,9 @@ func (nw *Network) ResumeLink(from, to int) {
 func (nw *Network) PausedBacklog() []PausedLink {
 	if nw.pausedLinks.Load() == 0 {
 		return nil
+	}
+	if nw.vlat != nil {
+		return nw.vlat.pausedBacklog()
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -406,6 +476,28 @@ func (nw *Network) Quiesce() {
 // Close panics.
 func (nw *Network) Close() {
 	nw.clk.drop()
+	if nw.vlat != nil {
+		// Virtual mode: deliveries are system timers that survived drop;
+		// release paused pairs and drain everything through the clock.
+		nw.vlat.resumeAll(&nw.pausedLinks)
+		nw.Quiesce()
+		nw.mu.Lock()
+		if nw.closed {
+			nw.mu.Unlock()
+			return
+		}
+		nw.closed = true
+		nw.mu.Unlock()
+		// A send that passed the closed check before the flag flipped
+		// has already incremented inflight (under nw.mu), so one more
+		// drain delivers any such straggler before the pump stops.
+		nw.Quiesce()
+		// No queue goroutines exist in virtual mode (nw.wg is never
+		// used); the pump is the only delivery goroutine and stopPump
+		// joins it.
+		nw.vlat.stopPump()
+		return
+	}
 	nw.mu.Lock()
 	queuesSnapshot := append([]*pairQueue(nil), nw.queues...)
 	nw.mu.Unlock()

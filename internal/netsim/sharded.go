@@ -29,14 +29,17 @@ import (
 // run queue individually, so concurrent workers may reorder them,
 // matching the classic engine's contract.
 //
-// Simulated latency (Options.MaxLatency) is slept in-line by the
-// delivering worker, so with more concurrently active pairs than
-// workers the delays serialize onto the pool instead of overlapping
-// as they do with the classic engine's goroutine per pair. That keeps
-// the semantics valid (the asynchronous model allows arbitrary finite
-// delays) but makes the classic engine the better choice for
-// latency-model studies; the sharded engine targets throughput, where
-// MaxLatency is zero.
+// Simulated latency in the real-sleep mode (Options.MaxLatency without
+// VirtualLatency) is slept in-line by the delivering worker, so with
+// more concurrently active pairs than workers the delays serialize
+// onto the pool instead of overlapping as they do with the classic
+// engine's goroutine per pair. That keeps the semantics valid (the
+// asynchronous model allows arbitrary finite delays) but makes the
+// classic engine the better choice for real-sleep latency studies; the
+// sharded engine targets throughput, where MaxLatency is zero. With
+// Options.VirtualLatency both engines route every delivery through the
+// shared virtual-time schedule (vlat.go) — the mailboxes and worker
+// pool sit idle and the engines become trace-identical.
 //
 // Sharded implements Transport and LinkController; its semantics are
 // checked against the classic engine by the conformance suite.
@@ -47,6 +50,7 @@ type Sharded struct {
 
 	clk         *vclock
 	pairs       *pairWatch
+	vlat        *vnet        // non-nil in virtual-latency mode; owns the delivery schedule
 	pausedLinks atomic.Int32 // links currently held by PauseLink
 
 	handlers atomic.Value // []Handler, copy-on-write
@@ -97,6 +101,9 @@ func NewSharded(n int, opts Options) *Sharded {
 	if n <= 0 {
 		panic(fmt.Sprintf("netsim: network needs at least one node, got %d", n))
 	}
+	if err := opts.validate(n); err != nil {
+		panic("netsim: " + err.Error())
+	}
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -111,10 +118,24 @@ func NewSharded(n int, opts Options) *Sharded {
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		pairs:   newPairWatch(n),
 	}
-	nw.clk = newVClock(nw.idle, func() bool { return nw.pausedLinks.Load() > 0 }, nw.pairs)
+	stalled := nw.idle
+	if opts.VirtualLatency {
+		nw.vlat = newVNet(n, opts)
+		stalled = func() bool { return nw.inflight.Load() == nw.vlat.parkedCount() }
+	}
+	nw.clk = newVClock(nw.idle, stalled, func() bool { return nw.pausedLinks.Load() > 0 }, nw.pairs)
 	nw.handlers.Store(make([]Handler, n))
 	nw.quiet = sync.NewCond(&nw.qmu)
 	nw.run.cond = sync.NewCond(&nw.run.mu)
+	if nw.vlat != nil {
+		// Virtual mode: every delivery runs on the clock's serialized
+		// timeline; the mailboxes and worker pool would sit idle, so
+		// they are not started at all.
+		nw.vlat.clk = nw.clk
+		nw.vlat.deliver = nw.deliverVirtual
+		nw.vlat.start()
+		return nw
+	}
 	if opts.FIFO {
 		nw.boxes = make([]atomic.Pointer[mailbox], n*n)
 	}
@@ -123,6 +144,19 @@ func NewSharded(n int, opts Options) *Sharded {
 		go nw.serve()
 	}
 	return nw
+}
+
+// deliverVirtual is the virtual-latency delivery hook: handler
+// dispatch plus the per-message clock tick and in-flight settling,
+// invoked from serialized clock callbacks.
+func (nw *Sharded) deliverVirtual(msg Message) {
+	h := nw.handlers.Load().([]Handler)[msg.To]
+	if h != nil {
+		h(msg)
+	}
+	nw.pairs.delivered(msg.To)
+	nw.clk.tick()
+	nw.settle(1)
 }
 
 // NumNodes returns the number of nodes.
@@ -173,13 +207,17 @@ func (nw *Sharded) Send(msg Message) {
 	nw.inflight.Add(1)
 	nw.pairs.sent(msg.To)
 	var latency time.Duration
-	if nw.opts.MaxLatency > 0 {
+	if nw.vlat == nil && nw.opts.MaxLatency > 0 {
 		nw.latMu.Lock()
-		latency = time.Duration(nw.rng.Int63n(int64(nw.opts.MaxLatency) + 1))
+		latency = drawRealLatency(nw.rng, nw.opts.MaxLatency)
 		nw.latMu.Unlock()
 	}
 	if nw.opts.Metrics != nil {
 		nw.opts.Metrics.RecordMessage(msg.Kind, msg.From, msg.To, msg.CtrlBytes, msg.DataBytes, msg.Vars)
+	}
+	if nw.vlat != nil {
+		nw.vlat.send(msg)
+		return
 	}
 	if !nw.opts.FIFO {
 		// Loose delivery: messages go straight to the run queue, where
@@ -217,6 +255,9 @@ func (nw *Sharded) idle() bool {
 	if in == 0 {
 		return true
 	}
+	if nw.vlat != nil {
+		return in == nw.vlat.pending() && nw.inflight.Load() == in
+	}
 	if nw.pausedLinks.Load() == 0 || nw.boxes == nil {
 		return false
 	}
@@ -236,7 +277,13 @@ func (nw *Sharded) idle() bool {
 // PausedBacklog lists every paused link currently holding messages
 // (BacklogInspector).
 func (nw *Sharded) PausedBacklog() []PausedLink {
-	if nw.pausedLinks.Load() == 0 || nw.boxes == nil {
+	if nw.pausedLinks.Load() == 0 {
+		return nil
+	}
+	if nw.vlat != nil {
+		return nw.vlat.pausedBacklog()
+	}
+	if nw.boxes == nil {
 		return nil
 	}
 	var out []PausedLink
@@ -415,6 +462,12 @@ func (nw *Sharded) PauseLink(from, to int) {
 	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
 		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
 	}
+	if nw.vlat != nil {
+		if nw.vlat.pause(from, to) {
+			nw.pausedLinks.Add(1)
+		}
+		return
+	}
 	if !nw.mailbox(from, to).paused.Swap(true) {
 		nw.pausedLinks.Add(1)
 	}
@@ -428,6 +481,12 @@ func (nw *Sharded) ResumeLink(from, to int) {
 	}
 	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
 		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
+	}
+	if nw.vlat != nil {
+		if nw.vlat.resume(from, to) {
+			nw.pausedLinks.Add(-1)
+		}
+		return
 	}
 	nw.resume(nw.mailbox(from, to))
 }
@@ -474,6 +533,20 @@ func (nw *Sharded) Quiesce() {
 // Close panics; Close is idempotent.
 func (nw *Sharded) Close() {
 	nw.clk.drop()
+	if nw.vlat != nil {
+		// Virtual mode: deliveries are system timers that survived drop;
+		// release paused pairs and drain everything through the clock.
+		nw.vlat.resumeAll(&nw.pausedLinks)
+		nw.Quiesce()
+		if !nw.closed.Swap(true) {
+			// Drain once more after the flag flips: a send that raced
+			// the closed check may have scheduled a delivery after the
+			// first Quiesce, and the pump must still be alive to run it.
+			nw.Quiesce()
+			nw.vlat.stopPump()
+		}
+		return
+	}
 	for i := range nw.boxes {
 		if mb := nw.boxes[i].Load(); mb != nil && mb.paused.Load() {
 			nw.resume(mb)

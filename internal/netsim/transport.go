@@ -134,8 +134,14 @@ func Register(kind string, f Factory) {
 }
 
 // New builds the named transport. The empty name selects KindClassic,
-// keeping existing callers working unchanged.
+// keeping existing callers working unchanged. Invalid latency options
+// — a negative MaxLatency, an unknown LatencyDist, a mis-shaped
+// LatencyMatrix — are reported as errors here (the direct constructors
+// panic on them, like on a non-positive node count).
 func New(kind string, n int, opts Options) (Transport, error) {
+	if err := opts.validate(n); err != nil {
+		return nil, fmt.Errorf("netsim: %s", err)
+	}
 	if kind == "" {
 		kind = KindClassic
 	}

@@ -1,0 +1,508 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partialdsm/internal/metrics"
+)
+
+// Virtual-time latency simulation. With Options.VirtualLatency, the
+// latency knob (Options.MaxLatency) stops being a real time.Sleep and
+// becomes a virtual-time delivery deadline: every message draws a
+// delay from a seeded distribution (Options.LatencyDist) and is
+// delivered by a clock callback when virtual time reaches
+// send-time + delay. Deliveries, coalescing flush timers and idle
+// jumps then share one totally ordered virtual timeline — callbacks
+// run serialized in (deadline, registration) order — so the same seed
+// yields byte-identical message traces on every engine and every
+// machine, and latency studies run at full speed: quiescing a
+// 50ms-latency cluster is a few clock jumps, not 50ms of wall time.
+//
+// The delay of a message is derived purely from (seed, src, dst,
+// per-pair sequence number) through a splitmix64-style hash, never
+// from a shared rng stream, so the classic and sharded engines — and
+// any number of repeated runs — see the same delay for the same
+// message regardless of how sends interleave across pairs.
+//
+// On FIFO networks the drawn deadlines are ratcheted per ordered pair
+// to be nondecreasing — a short draw behind a long one is lifted to
+// its predecessor's deadline, and equal deadlines fire in registration
+// (= send) order — which preserves per-pair FIFO on the shared
+// timeline without perturbing zero-delay deadlines; non-FIFO networks
+// deliver purely in deadline order, so a short-delay message overtakes
+// a long-delay one exactly as the asynchronous model allows.
+//
+// Both engines delegate to the same vnet core below, differing only in
+// the engine-specific delivery hook (handler dispatch + in-flight
+// accounting). A per-transport pump goroutine gives the clock an
+// advance opportunity whenever messages are scheduled, so blocking
+// protocol round trips complete without any caller having to nudge
+// the clock.
+
+// LatencyDist names a virtual-latency delay distribution
+// (Options.LatencyDist).
+type LatencyDist string
+
+const (
+	// LatencyUniform draws each delay uniformly from [0, MaxLatency]
+	// (the virtual-time analogue of the real-sleep mode, and the
+	// default for the empty string).
+	LatencyUniform LatencyDist = "uniform"
+	// LatencyFixed delays every message by exactly MaxLatency.
+	LatencyFixed LatencyDist = "fixed"
+	// LatencyHeavyTail draws from a bounded Pareto-like distribution:
+	// most delays are well under MaxLatency/4, a small fraction stretch
+	// up to 8×MaxLatency — stragglers, as real networks have them.
+	LatencyHeavyTail LatencyDist = "heavytail"
+	// LatencyMatrix bounds each ordered link's delay by the
+	// corresponding Options.LatencyMatrix entry (uniform per link);
+	// the matrix must be NumNodes×NumNodes, and zero entries deliver
+	// with zero delay. MaxLatency is unused and must stay zero.
+	LatencyMatrix LatencyDist = "matrix"
+)
+
+// LatencyDists lists the supported virtual-latency distributions.
+func LatencyDists() []LatencyDist {
+	return []LatencyDist{LatencyUniform, LatencyFixed, LatencyHeavyTail, LatencyMatrix}
+}
+
+// validate checks the latency options against the node count. New
+// returns its error; the direct constructors panic on it (a
+// programming error of the same class as a non-positive node count).
+func (o Options) validate(n int) error {
+	if o.MaxLatency < 0 {
+		return fmt.Errorf("MaxLatency is negative (%v)", o.MaxLatency)
+	}
+	if !o.VirtualLatency {
+		if o.LatencyDist != "" {
+			return fmt.Errorf("LatencyDist %q requires VirtualLatency", o.LatencyDist)
+		}
+		if o.LatencyMatrix != nil {
+			return fmt.Errorf("LatencyMatrix requires VirtualLatency")
+		}
+		return nil
+	}
+	switch o.LatencyDist {
+	case "", LatencyUniform, LatencyFixed, LatencyHeavyTail:
+		if o.LatencyMatrix != nil {
+			return fmt.Errorf("LatencyMatrix is only used by the %q distribution, not %q", LatencyMatrix, o.LatencyDist)
+		}
+	case LatencyMatrix:
+		if o.MaxLatency != 0 {
+			// The matrix alone defines the delays; silently ignoring a
+			// set MaxLatency would hide a misconfiguration.
+			return fmt.Errorf("MaxLatency (%v) is unused by the %q distribution; the matrix bounds each link", o.MaxLatency, LatencyMatrix)
+		}
+		if len(o.LatencyMatrix) != n {
+			return fmt.Errorf("LatencyMatrix has %d rows, need one per node (%d)", len(o.LatencyMatrix), n)
+		}
+		for i, row := range o.LatencyMatrix {
+			if len(row) != n {
+				return fmt.Errorf("LatencyMatrix row %d has %d entries, need one per node (%d)", i, len(row), n)
+			}
+			for j, d := range row {
+				if d < 0 {
+					return fmt.Errorf("LatencyMatrix[%d][%d] is negative (%v)", i, j, d)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("unknown LatencyDist %q (have %v)", o.LatencyDist, LatencyDists())
+	}
+	return nil
+}
+
+// drawRealLatency draws the real-sleep mode's delay, guarding the
+// Int63n overflow at MaxLatency == math.MaxInt64 (where max+1 wraps
+// negative and Int63n would panic).
+func drawRealLatency(rng *rand.Rand, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	if int64(max) == math.MaxInt64 {
+		return time.Duration(rng.Int63())
+	}
+	return time.Duration(rng.Int63n(int64(max) + 1))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit
+// avalanche, identical on every platform.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// delayHash derives the raw 64-bit randomness of one message's delay
+// from (seed, src, dst, per-pair sequence) — no shared rng stream, so
+// the value is independent of how sends interleave across pairs and
+// identical across engines.
+func delayHash(seed int64, from, to int, seq uint64) uint64 {
+	h := mix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (uint64(from)<<32 | uint64(uint32(to))))
+	return mix64(h + seq*0x9e3779b97f4a7c15)
+}
+
+// delayFn builds the per-message delay function (in virtual ticks; one
+// tick per nanosecond of MaxLatency) for the configured distribution.
+func delayFn(opts Options) func(from, to int, seq uint64) uint64 {
+	seed := opts.Seed
+	max := uint64(opts.MaxLatency)
+	switch opts.LatencyDist {
+	case "", LatencyUniform:
+		return func(from, to int, seq uint64) uint64 {
+			if max == 0 {
+				return 0
+			}
+			return delayHash(seed, from, to, seq) % (max + 1)
+		}
+	case LatencyFixed:
+		return func(from, to int, seq uint64) uint64 { return max }
+	case LatencyHeavyTail:
+		// Discrete bounded Pareto built from hash bits only — float
+		// math (Pow/Exp) is not bit-identical across architectures and
+		// would break the cross-machine trace guarantee. The octave
+		// index g has P(g=k) = 2^-(k+1); the delay is uniform within
+		// octave [scale·2^(g-1), scale·2^g] with scale = max/8, so 3/4
+		// of draws land at or below max/4, ~6% beyond max, hard cap
+		// 8·max (saturating at MaxInt64 for extreme MaxLatency).
+		return func(from, to int, seq uint64) uint64 {
+			if max == 0 {
+				return 0
+			}
+			scale := max / 8
+			if scale == 0 {
+				scale = 1
+			}
+			h := delayHash(seed, from, to, seq)
+			g := bits.LeadingZeros64(h | 1)
+			if g > 6 {
+				g = 6
+			}
+			oct := scale
+			for i := 0; i < g; i++ {
+				if oct > math.MaxInt64/2 {
+					oct = math.MaxInt64
+					break
+				}
+				oct *= 2
+			}
+			var lo uint64
+			if g > 0 {
+				lo = oct / 2
+			}
+			d := lo + mix64(h)%(oct-lo+1)
+			// The documented hard cap is 8·max; the scale→1 clamp for
+			// sub-8-tick bounds would otherwise let the top octave
+			// exceed it. Saturating like the octave walk above.
+			cap8 := uint64(math.MaxInt64)
+			if max <= math.MaxInt64/8 {
+				cap8 = 8 * max
+			}
+			if d > cap8 {
+				d = cap8
+			}
+			return d
+		}
+	case LatencyMatrix:
+		m := opts.LatencyMatrix
+		return func(from, to int, seq uint64) uint64 {
+			linkMax := uint64(m[from][to])
+			if linkMax == 0 {
+				return 0
+			}
+			return delayHash(seed, from, to, seq) % (linkMax + 1)
+		}
+	default:
+		panic(fmt.Sprintf("netsim: unvalidated LatencyDist %q", opts.LatencyDist))
+	}
+}
+
+// vpair is one ordered pair's virtual delivery state.
+type vpair struct {
+	seq      uint64 // messages sent on the pair (delay derivation + FIFO delivery sequence)
+	floor    uint64 // last assigned deadline; FIFO deadlines strictly increase past it
+	nextDel  uint64 // next sequence number to deliver (FIFO gate)
+	inFlight int    // undelivered messages on the pair (paused-backlog reporting)
+	paused   bool
+	parked   map[uint64]Message // fired but undeliverable messages, keyed by sequence
+}
+
+// vnet is the engine-shared virtual-latency delivery core. All
+// deliveries run as serialized clock callbacks; vnet adds the delay
+// draw, the per-pair FIFO gate, pause/resume parking, and the pump.
+type vnet struct {
+	n       int
+	fifo    bool
+	clk     *vclock
+	col     *metrics.Collector
+	delay   func(from, to int, seq uint64) uint64
+	deliver func(Message) // engine hook: handler dispatch + accounting
+
+	// scheduled counts messages registered in the clock and not yet
+	// handed to a delivery; parkedN counts fired-but-parked messages;
+	// stalledN counts the subset of parked messages sitting on a
+	// currently-paused pair — the only ones that truly cannot progress
+	// without a resume (a parked message on a resumed pair is drained
+	// by a pending clock callback). All feed the engines' lock-free
+	// idleness probes.
+	scheduled atomic.Int64
+	parkedN   atomic.Int64
+	stalledN  atomic.Int64
+
+	mu      sync.Mutex
+	pairs   []vpair
+	work    bool // pump wakeup pending
+	stopped bool
+	cond    *sync.Cond
+	wg      sync.WaitGroup
+}
+
+// newVNet builds the virtual delivery core; the caller must set clk
+// and deliver, then call start.
+func newVNet(n int, opts Options) *vnet {
+	v := &vnet{
+		n:     n,
+		fifo:  opts.FIFO,
+		col:   opts.Metrics,
+		delay: delayFn(opts),
+		pairs: make([]vpair, n*n),
+	}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// start launches the pump goroutine; stop (via stopPump) must be
+// called exactly once after the transport has drained.
+func (v *vnet) start() {
+	v.wg.Add(1)
+	go v.pump()
+}
+
+// send assigns the message its virtual delivery deadline and registers
+// the delivery callback. The engine has already done its send-path
+// accounting (in-flight count, pair watch, metrics). Deadline
+// assignment and clock registration happen atomically under v.mu, so a
+// pair's registration order is its send order and equal deadlines —
+// zero delays most of all — keep FIFO through the clock's (deadline,
+// registration) ordering; a zero-delay message is due immediately and
+// never forces a jump.
+func (v *vnet) send(msg Message) {
+	idx := msg.From*v.n + msg.To
+	now := v.clk.Now()
+	v.mu.Lock()
+	p := &v.pairs[idx]
+	dseq := p.seq
+	p.seq++
+	d := v.delay(msg.From, msg.To, dseq)
+	deadline := now + d
+	if v.fifo && deadline < p.floor {
+		// The pair's deadlines never decrease: a short draw behind a
+		// long one waits for its predecessor, preserving FIFO.
+		deadline = p.floor
+	}
+	p.floor = deadline
+	p.inFlight++
+	v.scheduled.Add(1)
+	v.clk.scheduleSystem(deadline, func() { v.run(idx, dseq, msg) })
+	v.work = true
+	v.cond.Signal()
+	stopped := v.stopped
+	v.mu.Unlock()
+	if v.col != nil {
+		// The histogram records the *drawn* delay — a pure function of
+		// (seed, src, dst, pair sequence), identical on every run and
+		// engine. The effective wait (deadline − send-time Now) also
+		// folds in the FIFO ratchet and the racy send-time clock
+		// reading, which vary with goroutine scheduling; the drawn
+		// delay is the simulated link property the paper's
+		// delay/efficiency trade-off is about.
+		v.col.RecordDelay(d)
+	}
+	if stopped {
+		// A send that raced Close past the pump's shutdown drives its
+		// own delivery: losing the message (and leaving the in-flight
+		// count stuck) would be worse than delivering on the sender's
+		// goroutine. (Sends this late are already a caller race with
+		// Close; this keeps the exactly-once guarantee anyway.)
+		v.clk.advanceWait()
+	}
+}
+
+// run is the delivery callback: serialized with every other clock
+// callback. A message whose pair is paused — or whose predecessor was
+// parked by a pause and not yet redelivered — parks; otherwise it is
+// delivered, followed by any parked successors that became deliverable.
+func (v *vnet) run(idx int, dseq uint64, msg Message) {
+	v.mu.Lock()
+	p := &v.pairs[idx]
+	v.scheduled.Add(-1)
+	if v.fifo && (p.paused || dseq != p.nextDel) {
+		if p.parked == nil {
+			p.parked = make(map[uint64]Message)
+		}
+		p.parked[dseq] = msg
+		v.parkedN.Add(1)
+		if p.paused {
+			v.stalledN.Add(1)
+		}
+		v.mu.Unlock()
+		return
+	}
+	v.mu.Unlock()
+	v.deliver(msg)
+	v.mu.Lock()
+	p.inFlight--
+	if v.fifo {
+		p.nextDel = dseq + 1
+		v.drainLocked(p)
+	}
+	v.mu.Unlock()
+}
+
+// drainLocked delivers the pair's parked messages in sequence order
+// while the pair stays unpaused. Called with v.mu held; releases and
+// reacquires it around each delivery.
+func (v *vnet) drainLocked(p *vpair) {
+	for !p.paused {
+		m, ok := p.parked[p.nextDel]
+		if !ok {
+			return
+		}
+		delete(p.parked, p.nextDel)
+		v.parkedN.Add(-1)
+		v.mu.Unlock()
+		v.deliver(m)
+		v.mu.Lock()
+		p.nextDel++
+		p.inFlight--
+	}
+}
+
+// pause holds the ordered pair; reports whether it was newly paused.
+func (v *vnet) pause(from, to int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p := &v.pairs[from*v.n+to]
+	if p.paused {
+		return false
+	}
+	p.paused = true
+	v.stalledN.Add(int64(len(p.parked)))
+	return true
+}
+
+// resume releases the ordered pair and, if messages were parked,
+// schedules a drain callback (serialized with deliveries) to redeliver
+// them in order. Reports whether the pair was paused.
+func (v *vnet) resume(from, to int) bool {
+	idx := from*v.n + to
+	v.mu.Lock()
+	p := &v.pairs[idx]
+	if !p.paused {
+		v.mu.Unlock()
+		return false
+	}
+	p.paused = false
+	v.stalledN.Add(-int64(len(p.parked)))
+	drain := len(p.parked) > 0
+	v.mu.Unlock()
+	if drain {
+		v.clk.scheduleSystem(v.clk.Now(), func() {
+			v.mu.Lock()
+			v.drainLocked(&v.pairs[idx])
+			v.mu.Unlock()
+		})
+		v.wake()
+	}
+	return true
+}
+
+// resumeAll releases every paused pair (Close), keeping the engine's
+// paused-link counter in step.
+func (v *vnet) resumeAll(pausedLinks *atomic.Int32) {
+	for idx := range v.pairs {
+		if v.resume(idx/v.n, idx%v.n) {
+			pausedLinks.Add(-1)
+		}
+	}
+}
+
+// pausedBacklog lists paused pairs holding undelivered messages
+// (parked or still scheduled), mirroring the real engines'
+// BacklogInspector semantics.
+func (v *vnet) pausedBacklog() []PausedLink {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var out []PausedLink
+	for idx := range v.pairs {
+		p := &v.pairs[idx]
+		if p.paused && p.inFlight > 0 {
+			out = append(out, PausedLink{From: idx / v.n, To: idx % v.n, Held: p.inFlight})
+		}
+	}
+	return out
+}
+
+// pending counts in-flight messages that cannot progress without a
+// clock jump (scheduled) or a resume (parked): when the engine's
+// in-flight count equals it, the network is idle in the jump sense.
+func (v *vnet) pending() int64 { return v.scheduled.Load() + v.parkedN.Load() }
+
+// parkedCount feeds the stricter "stalled" probe: in-flight messages
+// that only a resume can move — parked messages on pairs that are
+// still paused, not post-resume stragglers a pending drain covers.
+func (v *vnet) parkedCount() int64 { return v.stalledN.Load() }
+
+// wake gives the pump a pass: some scheduled work may now be jumpable.
+func (v *vnet) wake() {
+	v.mu.Lock()
+	v.work = true
+	v.cond.Signal()
+	v.mu.Unlock()
+}
+
+// pump is the transport's progress guarantee: whenever messages are
+// scheduled, it gives the clock an advance opportunity, so a blocked
+// protocol round trip (a writer waiting on its ack) completes without
+// any other goroutine nudging the clock. advanceWait serializes with
+// all other firing passes.
+func (v *vnet) pump() {
+	defer v.wg.Done()
+	v.mu.Lock()
+	for {
+		for !v.work && !v.stopped {
+			v.cond.Wait()
+		}
+		if v.work {
+			// Drain before honouring stop, so a wakeup that arrived
+			// just ahead of stopPump's broadcast is never abandoned.
+			v.work = false
+			v.mu.Unlock()
+			v.clk.advanceWait()
+			v.mu.Lock()
+			continue
+		}
+		v.mu.Unlock()
+		return
+	}
+}
+
+// stopPump terminates the pump and waits for it to exit. Idempotent;
+// call only after the transport has drained.
+func (v *vnet) stopPump() {
+	v.mu.Lock()
+	v.stopped = true
+	v.cond.Broadcast()
+	v.mu.Unlock()
+	v.wg.Wait()
+}
