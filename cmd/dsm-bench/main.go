@@ -20,6 +20,11 @@
 // engines — the whole sweep costs no latency wall time and its msgs/op
 // column is fully seed-deterministic.
 //
+// The fault sweep (FaultSweep/*) runs the same burst under seeded
+// drop+dup injection, raw and behind the ack/retransmit layer, on both
+// engines: the msgs/op column prices the faults (duplicates add sends)
+// and the recovery (acks and retransmissions roughly double them).
+//
 // -quick runs a two-benchmark subset (for CI smoke and tests); without
 // -out the JSON goes to stdout. -baseline embeds a previous
 // trajectory's numbers so the file reads as a before/after table.
@@ -109,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "write the trajectory JSON to this file (default stdout)")
-	pr := fs.Int("pr", 5, "PR number recorded in the trajectory")
+	pr := fs.Int("pr", 6, "PR number recorded in the trajectory")
 	quick := fs.Bool("quick", false, "run the two-benchmark smoke subset")
 	repeat := fs.Int("repeat", 1, "measure each benchmark this many times and record per-metric medians")
 	baseline := fs.String("baseline", "", "embed this previous trajectory's numbers as the baseline table")
@@ -357,6 +362,21 @@ func benches() []bench {
 			})
 		}
 	}
+	// Fault sweep: the burst under seeded loss and duplication, raw and
+	// with the retransmit layer restoring reliable FIFO delivery.
+	for _, tr := range partialdsm.Transports {
+		for _, reliable := range []bool{false, true} {
+			tr, reliable := tr, reliable
+			label := "raw"
+			if reliable {
+				label = "retransmit"
+			}
+			out = append(out, bench{
+				name: fmt.Sprintf("FaultSweep/%s/drop=0.1+dup=0.1/%s", tr, label),
+				fn:   func(b *testing.B, msgs *float64) { faultSweep(b, tr, reliable, msgs) },
+			})
+		}
+	}
 	// Per-operation costs of the headline protocol.
 	out = append(out,
 		bench{name: "PRAMWrite/8node-full", fn: func(b *testing.B, msgs *float64) { pramWrite(b, modes[0], msgs) }},
@@ -455,6 +475,41 @@ func latencySweep(b *testing.B, tr partialdsm.Transport, dist partialdsm.Latency
 	cfg.MaxLatency = time.Millisecond
 	cfg.VirtualLatency = true
 	cfg.LatencyDist = dist
+	c, err := partialdsm.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	h := c.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < burst; k++ {
+			if err := h.Write("x", int64(i*burst+k)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Quiesce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
+}
+
+// faultSweep is one 64-write burst plus quiescence per iteration under
+// seeded drop+dup fault injection (virtual latency, so the retransmit
+// timeouts cost clock jumps, not wall time). PRAM is wait-free, so the
+// raw-fault leg stays live; the retransmit leg adds the recovery
+// traffic to the bill.
+func faultSweep(b *testing.B, tr partialdsm.Transport, reliable bool, msgs *float64) {
+	const nodes, burst = 8, 64
+	cfg := clusterConfig(partialdsm.PRAM, fullPlacement(nodes), tr, modes[0])
+	cfg.MaxLatency = time.Millisecond
+	cfg.VirtualLatency = true
+	cfg.FaultDrop = 0.1
+	cfg.FaultDup = 0.1
+	cfg.FaultSeed = 7
+	cfg.Reliable = reliable
 	c, err := partialdsm.New(cfg)
 	if err != nil {
 		b.Fatal(err)

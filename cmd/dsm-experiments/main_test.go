@@ -105,6 +105,21 @@ func TestVirtualLatencyExperiments(t *testing.T) {
 	}
 }
 
+// TestFaultsExperiment runs the fault-injection suite through the CLI:
+// the verdict table must be engine-identical (checked inside E19) and
+// every acceptance mark must hold.
+func TestFaultsExperiment(t *testing.T) {
+	code, out, errOut := runExp(t, "-exp", "faults", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s\n%s", code, out, errOut)
+	}
+	for _, want := range []string{"[PASS]", "BROKEN", "retransmit", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faults report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if code, _, _ := runExp(t, "-exp", "nope"); code != 2 {
 		t.Error("unknown experiment must exit 2")

@@ -1,0 +1,191 @@
+package partialdsm
+
+import (
+	"strings"
+	"testing"
+
+	"partialdsm/internal/netsim"
+)
+
+// TestClusterFaultDropStatsAndQuiesce exercises the facade's seeded
+// loss injection on a wait-free protocol: with every message dropped,
+// Quiesce must still complete (losses are accounted, not parked) and
+// Stats must report the drops.
+func TestClusterFaultDropStatsAndQuiesce(t *testing.T) {
+	c := newCluster(t, Config{
+		Consistency: PRAM, Placement: fullPlacement(3),
+		VirtualLatency: true, FaultDrop: 1, FaultSeed: 5,
+	})
+	for k := int64(1); k <= 10; k++ {
+		if err := c.Node(0).Write("x", k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatalf("Quiesce under total loss: %v", err)
+	}
+	if v, err := c.Node(1).Read("x"); err != nil || v != Bottom {
+		t.Fatalf("node 1 read %d, %v; want Bottom (all updates dropped)", v, err)
+	}
+	if got := c.Stats().Faults["drop"]; got == 0 {
+		t.Fatalf("Stats.Faults[drop] = %d, want > 0", got)
+	}
+}
+
+// TestClusterReliableRestoresBlockingProtocolUnderFaults runs a
+// blocking protocol — which hangs on a lossy network, its ordering
+// round trips never completing — over the ack/retransmit layer and
+// verifies both liveness and its consistency witness.
+func TestClusterReliableRestoresBlockingProtocolUnderFaults(t *testing.T) {
+	c := newCluster(t, Config{
+		Consistency: Sequential, Placement: fullPlacement(3),
+		VirtualLatency: true,
+		FaultDrop:      0.2, FaultDup: 0.2, FaultSeed: 7,
+		Reliable: true,
+	})
+	for k := int64(1); k <= 30; k++ {
+		for i := 0; i < c.NumNodes(); i++ {
+			if err := c.Node(i).Write("x", int64(i)*100+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatalf("witness under recovered faults: %v", err)
+	}
+	s := c.Stats()
+	if s.Faults["drop"] == 0 || s.Faults["dup"] == 0 {
+		t.Fatalf("faults not injected: %v", s.Faults)
+	}
+	if s.Retransmits == 0 || s.DupsSuppressed == 0 || s.AcksSent == 0 {
+		t.Fatalf("no recovery work recorded: %+v", s)
+	}
+	if s.Abandoned != 0 {
+		t.Fatalf("Abandoned = %d on a partition-free run, want 0", s.Abandoned)
+	}
+}
+
+// TestClusterAtomicDupSafe pins the atomicreg duplication fix: with
+// every message duplicated, write requests must not be applied twice
+// and acks must not double-count, so the run stays atomic and no node
+// reports a dropped frame.
+func TestClusterAtomicDupSafe(t *testing.T) {
+	c := newCluster(t, Config{
+		Consistency: Atomic, Placement: fullPlacement(3),
+		VirtualLatency: true, FaultDup: 1, FaultSeed: 3,
+	})
+	for k := int64(1); k <= 5; k++ {
+		if err := c.Node(0).Write("x", k); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := c.Node(1).Read("x"); err != nil || v != k {
+			t.Fatalf("node 1 read %d, %v after write %d", v, err, k)
+		}
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatalf("Quiesce (a dropped-frame fault would surface here): %v", err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil: duplicated frames must be absorbed", err)
+	}
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatalf("atomic witness under duplication: %v", err)
+	}
+	if got := c.Stats().Faults["dup"]; got == 0 {
+		t.Fatalf("Stats.Faults[dup] = %d, want > 0", got)
+	}
+}
+
+// TestClusterErrReportsDroppedFrame verifies the per-node fail-fast
+// path: a frame the protocol cannot process is reported through
+// Cluster.Err and fails the next Quiesce instead of panicking the
+// delivery goroutine.
+func TestClusterErrReportsDroppedFrame(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), VirtualLatency: true})
+	c.net.Send(netsim.Message{From: 0, To: 1, Kind: "bogus.kind", Payload: []byte{1, 2, 3}})
+	c.net.Quiesce()
+	err := c.Err()
+	if err == nil {
+		t.Fatal("Err() = nil after an unprocessable frame")
+	}
+	if !strings.Contains(err.Error(), "node 1 dropped a frame") {
+		t.Fatalf("Err() = %v, want the dropping node named", err)
+	}
+	if qerr := c.Quiesce(); qerr == nil {
+		t.Fatal("Quiesce = nil, want fail-fast with the recorded fault")
+	}
+}
+
+// TestClusterCutHealCrashRestart walks the hard-fault surface on PRAM:
+// a cut link loses (not parks) messages, healing restores flow without
+// replay, and a crash/restart cycle wipes the node's replicas back to
+// ⊥ while the network state rejoins cleanly.
+func TestClusterCutHealCrashRestart(t *testing.T) {
+	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(3), VirtualLatency: true})
+	read := func(node int, want int64, what string) {
+		t.Helper()
+		if v, err := c.Node(node).Read("x"); err != nil || v != want {
+			t.Fatalf("%s: node %d read %d, %v; want %d", what, node, v, err, want)
+		}
+	}
+
+	c.CutLink(0, 1)
+	if err := c.Node(0).Write("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	read(1, Bottom, "across cut link")
+	read(2, 1, "unaffected link")
+
+	c.HealLink(0, 1)
+	if err := c.Node(0).Write("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	read(1, 2, "after heal (no replay of the lost write)")
+
+	if err := c.CrashNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(0).Write("x", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	read(1, Bottom, "replica wiped by restart")
+	if err := c.Node(0).Write("x", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	read(1, 4, "rejoined after restart")
+
+	s := c.Stats()
+	if s.Faults["partition"] == 0 || s.Faults["crash"] == 0 {
+		t.Fatalf("hard faults not recorded: %v", s.Faults)
+	}
+}
+
+// TestClusterCrashUnsupportedProtocols pins the error contract: only
+// protocols implementing crash-recovery state loss accept CrashNode.
+func TestClusterCrashUnsupportedProtocols(t *testing.T) {
+	c := newCluster(t, Config{Consistency: Sequential, Placement: fullPlacement(2), VirtualLatency: true})
+	if err := c.CrashNode(0); err == nil || !strings.Contains(err.Error(), "crash/restart") {
+		t.Fatalf("CrashNode on Sequential: %v, want unsupported error", err)
+	}
+	if err := c.RestartNode(0); err == nil {
+		t.Fatal("RestartNode on Sequential: nil, want unsupported error")
+	}
+}

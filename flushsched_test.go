@@ -209,6 +209,96 @@ func TestFlushScheduleDeterministicAcrossTransports(t *testing.T) {
 	}
 }
 
+// driveOverlappingWorkload interleaves bursts from three writers with
+// mid-burst poll reads and no phase barriers: deliveries of earlier
+// writes are still in flight (in virtual time) while later writes
+// stage, so adaptive drain hooks fire between deliveries of an ongoing
+// burst — the regime the phase-structured driver above deliberately
+// avoids.
+func driveOverlappingWorkload(t *testing.T, c *Cluster) {
+	t.Helper()
+	for k := int64(1); k <= 12; k++ {
+		if err := c.Node(0).Write("x", k); err != nil {
+			t.Fatal(err)
+		}
+		if k%2 == 0 {
+			if err := c.Node(1).Write("y", k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if k%3 == 0 {
+			// A poll read nudges the clock while both bursts are open.
+			if _, err := c.Node(2).Read("x"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if k%4 == 0 {
+			if err := c.Node(3).Write("x", 100+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Quiesce()
+}
+
+// TestFlushScheduleOverlappingPhasesVirtual extends the determinism
+// golden to overlapping, non-phase-structured drivers: with virtual
+// latency, deliveries and adaptive drain hooks run serialized on the
+// clock's totally ordered timeline (hooks fire inside the firing
+// claim, right after the delivery that drained the destination), so
+// the recorded message trace must be byte-identical across engines and
+// runs even when bursts overlap in-flight deliveries. Before hook
+// firing was deferred to the virtual clock this held only for
+// phase-structured workloads.
+func TestFlushScheduleOverlappingPhasesVirtual(t *testing.T) {
+	registerRecordingTransports()
+	placement := [][]string{{"x", "y"}, {"x", "y"}, {"x", "y"}, {"x", "y"}}
+	for _, mode := range flushModes {
+		t.Run(mode.name, func(t *testing.T) {
+			traces := make(map[string][]sentMsg)
+			for _, kind := range []string{"rec-classic", "rec-sharded"} {
+				for rep := 0; rep < 3; rep++ {
+					cfg := Config{
+						Consistency:    PRAM,
+						Placement:      placement,
+						Seed:           13,
+						Transport:      Transport(kind),
+						VirtualLatency: true,
+						MaxLatency:     500 * time.Microsecond,
+					}
+					mode.cfg(&cfg)
+					c := newCluster(t, cfg)
+					rt := lastRecording()
+					driveOverlappingWorkload(t, c)
+					trace := rt.snapshot()
+					if err := c.VerifyWitness(); err != nil {
+						t.Fatalf("%s rep %d: witness: %v", kind, rep, err)
+					}
+					traces[fmt.Sprintf("%s/%d", kind, rep)] = trace
+				}
+			}
+			ref := traces["rec-classic/0"]
+			if len(ref) == 0 {
+				t.Fatal("no messages recorded")
+			}
+			for key, trace := range traces {
+				if len(trace) != len(ref) {
+					t.Fatalf("%s: %d messages, reference has %d", key, len(trace), len(ref))
+				}
+				for i := range ref {
+					if trace[i].from != ref[i].from || trace[i].to != ref[i].to || trace[i].kind != ref[i].kind ||
+						!bytes.Equal(trace[i].payload, ref[i].payload) {
+						t.Fatalf("%s: message %d diverges from reference:\n got %d→%d %s % x\nwant %d→%d %s % x",
+							key, i,
+							trace[i].from, trace[i].to, trace[i].kind, trace[i].payload,
+							ref[i].from, ref[i].to, ref[i].kind, ref[i].payload)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestCoalescingPreservesVerdictsAndWitnesses checks the acceptance
 // property the experiments rely on: for the same seeded deterministic
 // workload, a coalesced cluster (any flush mode) produces the same

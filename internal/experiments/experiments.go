@@ -902,6 +902,7 @@ func All(seed int64) []Report {
 		OpenQuestion(seed),
 		Separation(seed),
 		Latency(seed),
+		Faults(seed),
 	}
 }
 

@@ -84,6 +84,12 @@ func TestLatencyReport(t *testing.T) {
 	}
 }
 
+func TestFaultsReport(t *testing.T) {
+	if rep := Faults(11); !rep.Pass {
+		t.Errorf("faults report failed:\n%s", rep)
+	}
+}
+
 func TestReportString(t *testing.T) {
 	rep := Fig1()
 	s := rep.String()

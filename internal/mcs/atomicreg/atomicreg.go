@@ -9,6 +9,16 @@
 // single authoritative copy, so executions are trivially linearizable
 // (each operation takes effect atomically at the primary).
 //
+// The wire protocol is idempotent against duplicated traffic: write
+// requests carry a per-(requester, primary) request sequence the
+// primary dedups on (a duplicate is re-acked, not re-applied), write
+// acks carry that sequence back cumulatively (the requester takes the
+// max, so a duplicated ack can never complete a later write early),
+// and read responses carry the request's id (a stale duplicate is
+// discarded by the reader). v1 of the protocol counted bare acks and
+// applied every request — correct on reliable FIFO channels, silently
+// wrong the moment the transport can duplicate.
+//
 // Every message is a single-destination request or reply, so each side
 // recycles the payload it received; combined with the interned-VarID
 // wire format the round trips run allocation-free in steady state.
@@ -23,16 +33,31 @@ import (
 	"partialdsm/internal/sharegraph"
 )
 
-// Message kinds. A write request is (U32 wseq, VarVal varID/value), a
-// read request is (U32 varID); acks are empty and read responses carry
-// the raw value bytes (the whole payload). Requesters are identified
-// by the message source.
+// Message kinds. A write request is (U32 wseq, U32 rseq, VarVal
+// varID/value) where rseq numbers this requester's requests to this
+// primary; a write ack echoes (U32 rseq) cumulatively. A read request
+// is (U32 rid, U32 varID) and its response (U32 rid, raw value bytes).
+// Requesters are identified by the message source.
 const (
 	KindWriteReq = "atomic.writereq"
 	KindWriteAck = "atomic.writeack"
 	KindReadReq  = "atomic.readreq"
 	KindReadResp = "atomic.readresp"
 )
+
+// readRespCap bounds the requester-side read-response buffer. Under
+// duplication a read can observe stale responses of earlier reads;
+// they queue here until the matching loop discards them, and the
+// oldest is evicted if a flood of duplicates ever fills the buffer.
+const readRespCap = 16
+
+// readReply is one read response in flight from the handler to the
+// reading application goroutine: the request id and the whole received
+// payload (value bytes after the 4-byte id), recycled by the reader.
+type readReply struct {
+	rid uint32
+	buf []byte
+}
 
 // Node is one atomic-register MCS process.
 type Node struct {
@@ -43,20 +68,25 @@ type Node struct {
 	mu    sync.Mutex
 	store mcs.Replicas // authoritative copies (by VarID) this node is primary for
 	wseq  int
+	// expected[r] is the next request sequence this primary expects
+	// from requester r: anything below was already applied and is
+	// re-acked without re-applying (duplicate suppression).
+	expected []uint32
 
-	// Write-completion accounting: per-pair FIFO delivers each
-	// primary's acks in request order, so the k-th request this node
-	// sent to primary p is complete once p's (k+1)-th ack arrives —
-	// which lets any number of asynchronous writes stay outstanding
-	// without widening the wire format.
+	// Write-completion accounting: every ack carries its request's
+	// rseq, and the requester keeps the cumulative maximum — the k-th
+	// request to primary p is complete once acks[p] > k. Duplicated or
+	// re-sent acks are absorbed by the max; on FIFO channels the
+	// accounting coincides with v1's per-pair ack counting.
 	ackMu   sync.Mutex
 	ackCond *sync.Cond
-	acks    []int // acks received, per primary
+	acks    []int // next-unacked request sequence, per primary (cumulative)
 	sent    []int // write requests sent, per primary (app goroutine only)
 
-	// readResp hands the single outstanding read's response payload
-	// from the handler to the reading application goroutine.
-	readResp chan []byte
+	// readResp hands read responses from the handler to the reading
+	// application goroutine; rid matching discards stale duplicates.
+	readResp chan readReply
+	rid      uint32 // read-request id counter (app goroutine only)
 }
 
 // New instantiates the nodes and installs handlers.
@@ -73,9 +103,10 @@ func New(cfg mcs.Config) ([]*Node, error) {
 			id:       i,
 			ix:       ix,
 			store:    mcs.NewReplicas(ix.NumVars()),
+			expected: make([]uint32, n),
 			acks:     make([]int, n),
 			sent:     make([]int, n),
-			readResp: make(chan []byte, 1),
+			readResp: make(chan readReply, readRespCap),
 		}
 		node.ackCond = sync.NewCond(&node.ackMu)
 		nodes[i] = node
@@ -116,7 +147,7 @@ func (n *Node) issue(xi, prim int, v []byte) (seq int) {
 	n.sent[prim]++
 	var enc mcs.Enc
 	enc.SetBuf(mcs.GetPayload())
-	enc.U32(uint32(wseq)).VarVal(xi, v)
+	enc.U32(uint32(wseq)).U32(uint32(seq)).VarVal(xi, v)
 	payload := enc.Bytes()
 	n.cfg.Net.Send(netsim.Message{
 		From: n.id, To: prim, Kind: KindWriteReq,
@@ -208,18 +239,29 @@ func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 		dst = append(dst[:0], n.store.Get(xi)...)
 		n.mu.Unlock()
 	} else {
+		rid := n.rid
+		n.rid++
 		var enc mcs.Enc
 		enc.SetBuf(mcs.GetPayload())
-		enc.U32(uint32(xi))
+		enc.U32(rid).U32(uint32(xi))
 		payload := enc.Bytes()
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: prim, Kind: KindReadReq,
 			Payload: payload, CtrlBytes: len(payload),
 			Vars: n.ix.MsgVars(xi),
 		})
-		resp := <-n.readResp
-		dst = append(dst[:0], resp...)
-		mcs.PutPayload(resp)
+		// Wait for this read's response; stale replies of duplicated
+		// earlier reads are discarded by the id match.
+		for {
+			rep := <-n.readResp
+			if rep.rid != rid {
+				mcs.PutPayload(rep.buf)
+				continue
+			}
+			dst = append(dst[:0], rep.buf[4:]...)
+			mcs.PutPayload(rep.buf)
+			break
+		}
 	}
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordRead(n.id, n.ix.Name(xi), dst)
@@ -237,63 +279,121 @@ func (n *Node) applyPrimary(writer, wseq, xi int, v []byte) {
 	n.mu.Unlock()
 }
 
-// varID decodes and bounds-checks a VarID field.
-func (n *Node) varID(d *mcs.Dec, what string, from int) int {
-	xi := int(d.U32())
-	if err := d.Err(); err == nil && (xi < 0 || xi >= n.ix.NumVars()) {
-		panic(fmt.Sprintf("atomicreg: node %d: %s from %d names unknown VarID %d", n.id, what, from, xi))
-	}
-	return xi
+// sendWriteAck acks request rseq from the requester (also sent for
+// suppressed duplicates: the original ack may have been lost).
+func (n *Node) sendWriteAck(requester, xi int, rseq uint32) {
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(rseq)
+	n.cfg.Net.Send(netsim.Message{
+		From: n.id, To: requester, Kind: KindWriteAck,
+		Payload: enc.Bytes(), CtrlBytes: enc.Len(), Vars: n.ix.MsgVars(xi),
+	})
 }
 
 // handle dispatches primary-side requests and requester-side replies.
-// Every payload is single-destination, so the handler recycles it after
-// decoding.
+// Every payload is single-destination, so the handler recycles it
+// after decoding. Malformed frames are reported through Config.Faultf
+// and dropped (a panic on a reliable network, survivable input under
+// fault injection).
 func (n *Node) handle(msg netsim.Message) {
 	switch msg.Kind {
 	case KindWriteReq:
 		d := mcs.DecOf(msg.Payload)
 		wseq := int(d.U32())
+		rseq := d.U32()
 		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
-			panic(fmt.Sprintf("atomicreg: node %d: malformed write request: %v", n.id, err))
+			n.cfg.Faultf(n.id, "atomicreg: node %d: malformed write request: %v", n.id, err)
+			mcs.RecycleFrame(msg)
+			return
 		}
 		if xi < 0 || xi >= n.ix.NumVars() {
-			panic(fmt.Sprintf("atomicreg: node %d: write request from %d names unknown VarID %d", n.id, msg.From, xi))
+			n.cfg.Faultf(n.id, "atomicreg: node %d: write request from %d names unknown VarID %d", n.id, msg.From, xi)
+			mcs.RecycleFrame(msg)
+			return
 		}
-		n.applyPrimary(msg.From, wseq, xi, v) // copies v before the recycle below
+		n.mu.Lock()
+		fresh := rseq >= n.expected[msg.From]
+		if fresh {
+			n.expected[msg.From] = rseq + 1
+			n.store.Set(xi, v)
+			if rec := n.cfg.Recorder; rec != nil {
+				rec.RecordApply(n.id, msg.From, wseq, n.ix.Name(xi), v)
+			}
+		}
+		n.mu.Unlock()
 		mcs.PutPayload(msg.Payload)
-		n.cfg.Net.Send(netsim.Message{
-			From: n.id, To: msg.From, Kind: KindWriteAck,
-			CtrlBytes: 1, Vars: n.ix.MsgVars(xi),
-		})
+		// Duplicates are re-acked without re-applying: the requester's
+		// cumulative accounting absorbs the extra ack, and a lost
+		// original ack is recovered.
+		n.sendWriteAck(msg.From, xi, rseq)
 	case KindReadReq:
 		d := mcs.DecOf(msg.Payload)
-		xi := n.varID(&d, "read request", msg.From)
+		rid := d.U32()
+		xi := int(d.U32())
 		if err := d.Err(); err != nil {
-			panic(fmt.Sprintf("atomicreg: node %d: malformed read request: %v", n.id, err))
+			n.cfg.Faultf(n.id, "atomicreg: node %d: malformed read request: %v", n.id, err)
+			mcs.RecycleFrame(msg)
+			return
+		}
+		if xi < 0 || xi >= n.ix.NumVars() {
+			n.cfg.Faultf(n.id, "atomicreg: node %d: read request from %d names unknown VarID %d", n.id, msg.From, xi)
+			mcs.RecycleFrame(msg)
+			return
 		}
 		mcs.PutPayload(msg.Payload)
 		n.mu.Lock()
 		var enc mcs.Enc
 		enc.SetBuf(mcs.GetPayload())
-		enc.Raw(n.store.Get(xi))
+		enc.U32(rid).Raw(n.store.Get(xi))
 		n.mu.Unlock()
 		n.cfg.Net.Send(netsim.Message{
 			From: n.id, To: msg.From, Kind: KindReadResp,
-			Payload: enc.Bytes(), DataBytes: enc.Len(), Vars: n.ix.MsgVars(xi),
+			Payload: enc.Bytes(), CtrlBytes: 4, DataBytes: enc.Len() - 4,
+			Vars: n.ix.MsgVars(xi),
 		})
 	case KindWriteAck:
+		d := mcs.DecOf(msg.Payload)
+		rseq := d.U32()
+		if err := d.Err(); err != nil {
+			n.cfg.Faultf(n.id, "atomicreg: node %d: malformed write ack: %v", n.id, err)
+			mcs.RecycleFrame(msg)
+			return
+		}
+		mcs.PutPayload(msg.Payload)
 		n.ackMu.Lock()
-		n.acks[msg.From]++
-		n.ackCond.Broadcast()
+		if int(rseq)+1 > n.acks[msg.From] {
+			n.acks[msg.From] = int(rseq) + 1
+			n.ackCond.Broadcast()
+		}
 		n.ackMu.Unlock()
 	case KindReadResp:
-		// The whole payload is the value; the reading goroutine copies
-		// it out and recycles the buffer.
-		n.readResp <- msg.Payload
+		if len(msg.Payload) < 4 {
+			n.cfg.Faultf(n.id, "atomicreg: node %d: malformed read response (%d bytes)", n.id, len(msg.Payload))
+			mcs.RecycleFrame(msg)
+			return
+		}
+		d := mcs.DecOf(msg.Payload)
+		rep := readReply{rid: d.U32(), buf: msg.Payload}
+		// Hand off without blocking the network goroutine: under a
+		// duplicate flood the oldest undelivered reply is evicted (it
+		// can only be a stale duplicate of a completed read).
+		for {
+			select {
+			case n.readResp <- rep:
+				return
+			default:
+			}
+			select {
+			case old := <-n.readResp:
+				mcs.PutPayload(old.buf)
+			default:
+			}
+		}
 	default:
-		panic(fmt.Sprintf("atomicreg: node %d: unknown message kind %q", n.id, msg.Kind))
+		n.cfg.Faultf(n.id, "atomicreg: node %d: unknown message kind %q", n.id, msg.Kind)
+		mcs.RecycleFrame(msg)
 	}
 }
 

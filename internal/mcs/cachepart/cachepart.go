@@ -220,24 +220,33 @@ func (n *Node) handle(msg netsim.Message) {
 	case KindUpdate:
 		n.applyUpdate(msg)
 	default:
-		panic(fmt.Sprintf("cachepart: node %d: unknown message kind %q", n.id, msg.Kind))
+		n.cfg.Faultf(n.id, "cachepart: node %d: unknown message kind %q", n.id, msg.Kind)
+		mcs.RecycleFrame(msg)
 	}
 }
 
 // sequence (sequencer role for the message's variable) assigns the
-// per-variable order and multicasts to C(x).
+// per-variable order and multicasts to C(x). Malformed or misrouted
+// requests are reported through Config.Faultf and dropped (a panic on
+// a reliable network, a survivable fault under injection).
 func (n *Node) sequence(msg netsim.Message) {
 	d := mcs.DecOf(msg.Payload)
 	wseq := int(d.U32())
 	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
-		panic(fmt.Sprintf("cachepart: node %d: malformed request from %d: %v", n.id, msg.From, err))
+		n.cfg.Faultf(n.id, "cachepart: node %d: malformed request from %d: %v", n.id, msg.From, err)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	if xi < 0 || xi >= n.ix.NumVars() {
-		panic(fmt.Sprintf("cachepart: node %d: request from %d names unknown VarID %d", n.id, msg.From, xi))
+		n.cfg.Faultf(n.id, "cachepart: node %d: request from %d names unknown VarID %d", n.id, msg.From, xi)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	if prim, _ := n.primary(xi); prim != n.id {
-		panic(fmt.Sprintf("cachepart: request for %s routed to non-sequencer node %d", n.ix.Name(xi), n.id))
+		n.cfg.Faultf(n.id, "cachepart: request for %s routed to non-sequencer node %d", n.ix.Name(xi), n.id)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	n.seqMu.Lock()
 	seq := n.vseq[xi]
@@ -272,10 +281,14 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 	wseq := int(d.U32())
 	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
-		panic(fmt.Sprintf("cachepart: node %d: malformed update: %v", n.id, err))
+		n.cfg.Faultf(n.id, "cachepart: node %d: malformed update: %v", n.id, err)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	if xi < 0 || xi >= n.ix.NumVars() {
-		panic(fmt.Sprintf("cachepart: node %d: update names unknown VarID %d", n.id, xi))
+		n.cfg.Faultf(n.id, "cachepart: node %d: update names unknown VarID %d", n.id, xi)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	n.mu.Lock()
 	if n.buffered[xi] == nil {

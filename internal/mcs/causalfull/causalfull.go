@@ -172,10 +172,12 @@ func (n *Node) FlushUpdates() {
 // immediately off the decode scratch; the rest are copied into the
 // pending buffer and drained as their dependencies arrive.
 func (n *Node) handle(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
 	if d.Err() != nil {
-		panic(fmt.Sprintf("causalfull: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err()))
+		n.cfg.Faultf(n.id, "causalfull: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err())
+		return
 	}
 	n.mu.Lock()
 	for k := 0; k < count; k++ {
@@ -183,12 +185,14 @@ func (n *Node) handle(msg netsim.Message) {
 		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
 			n.mu.Unlock()
-			panic(fmt.Sprintf("causalfull: node %d: malformed update from %d: %v", n.id, msg.From, err))
+			n.cfg.Faultf(n.id, "causalfull: node %d: malformed update from %d: %v", n.id, msg.From, err)
+			return
 		}
 		if xi < 0 || xi >= len(n.replicas) || len(n.tsTmp) != len(n.vc) || msg.From >= len(n.vc) {
 			n.mu.Unlock()
-			panic(fmt.Sprintf("causalfull: node %d: update from %d has bad shape (varID %d, clock len %d)",
-				n.id, msg.From, xi, len(n.tsTmp)))
+			n.cfg.Faultf(n.id, "causalfull: node %d: update from %d has bad shape (varID %d, clock len %d)",
+				n.id, msg.From, xi, len(n.tsTmp))
+			return
 		}
 		if n.deliverable(msg.From, n.tsTmp) {
 			n.applyLocked(msg.From, n.tsTmp[msg.From], xi, v)
@@ -203,7 +207,6 @@ func (n *Node) handle(msg netsim.Message) {
 		}
 	}
 	n.mu.Unlock()
-	mcs.RecycleFrame(msg)
 }
 
 // deliverable implements the causal-broadcast condition.

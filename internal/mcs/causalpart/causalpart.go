@@ -310,18 +310,26 @@ func (n *Node) FlushUpdates() {
 // immediately (then drain the pending set), the rest are copied into
 // the pending buffer.
 func (n *Node) handle(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
 	if d.Err() != nil {
-		panic(fmt.Sprintf("causalpart: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err()))
+		n.cfg.Faultf(n.id, "causalpart: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err())
+		return
 	}
 	n.mu.Lock()
 	for k := 0; k < count; k++ {
 		start := len(msg.Payload) - d.Rest()
-		applied := n.tryRecordLocked(&d, msg.From)
+		applied, faulted := n.tryRecordLocked(&d, msg.From)
+		if faulted {
+			// tryRecordLocked already reported; drop the rest of the frame.
+			n.mu.Unlock()
+			return
+		}
 		if err := d.Err(); err != nil {
 			n.mu.Unlock()
-			panic(fmt.Sprintf("causalpart: node %d: malformed record from %d: %v", n.id, msg.From, err))
+			n.cfg.Faultf(n.id, "causalpart: node %d: malformed record from %d: %v", n.id, msg.From, err)
+			return
 		}
 		if applied {
 			n.drainLocked()
@@ -332,24 +340,26 @@ func (n *Node) handle(msg netsim.Message) {
 		}
 	}
 	n.mu.Unlock()
-	mcs.RecycleFrame(msg)
 }
 
 // tryRecordLocked decodes one record written by writer and applies it
 // when its dependency list is dominated by the local counters, bumping
 // cnt[writer][x]. It always consumes exactly one record from d; the
-// caller checks d.Err.
-func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) bool {
+// caller checks d.Err. A record naming out-of-range ids is reported
+// through Config.Faultf (under the node lock — the sink must not call
+// back into the node) and flagged faulted; the caller drops it.
+func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) (applied, faulted bool) {
 	wseq := int(d.U32())
 	xi := int(d.U32())
 	v, hasValue := d.OptVal()
 	nDeps := int(d.U32())
 	if d.Err() != nil {
-		return false
+		return false, false
 	}
 	if writer < 0 || writer >= len(n.cnt) || xi < 0 || xi >= n.ix.NumVars() {
-		panic(fmt.Sprintf("causalpart: node %d: record from %d out of range (writer %d, VarID %d)",
-			n.id, writer, writer, xi))
+		n.cfg.Faultf(n.id, "causalpart: node %d: record from %d out of range (writer %d, VarID %d)",
+			n.id, writer, writer, xi)
+		return false, true
 	}
 	ok := true
 	for k := 0; k < nDeps; k++ {
@@ -357,11 +367,12 @@ func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) bool {
 		dy := int(d.U32())
 		dc := d.U32()
 		if d.Err() != nil {
-			return false
+			return false, false
 		}
 		if dw < 0 || dw >= len(n.cnt) || dy < 0 || dy >= n.ix.NumVars() {
-			panic(fmt.Sprintf("causalpart: node %d: dependency from %d out of range (%d, %d)",
-				n.id, writer, dw, dy))
+			n.cfg.Faultf(n.id, "causalpart: node %d: dependency from %d out of range (%d, %d)",
+				n.id, writer, dw, dy)
+			return false, true
 		}
 		local := n.cnt[dw][dy]
 		if dw == writer && dy == xi {
@@ -374,7 +385,7 @@ func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) bool {
 		}
 	}
 	if !ok {
-		return false
+		return false, false
 	}
 	n.cnt[writer][xi]++
 	if hasValue {
@@ -383,16 +394,20 @@ func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) bool {
 			rec.RecordApply(n.id, writer, wseq, n.ix.Name(xi), v)
 		}
 	}
-	return true
+	return true, false
 }
 
-// drainLocked delivers pending records until a fixpoint.
+// drainLocked delivers pending records until a fixpoint. Pending
+// records passed tryRecordLocked's range checks before they were
+// buffered, so a faulted retry cannot happen; it is still handled (the
+// record is discarded) to keep the drop-on-fault contract local.
 func (n *Node) drainLocked() {
 	for progress := true; progress; {
 		progress = false
 		for i := 0; i < len(n.pending); i++ {
 			pd := mcs.DecOf(n.pending[i].raw)
-			if !n.tryRecordLocked(&pd, n.pending[i].writer) {
+			applied, faulted := n.tryRecordLocked(&pd, n.pending[i].writer)
+			if !applied && !faulted {
 				continue
 			}
 			mcs.PutPayload(n.pending[i].raw)

@@ -81,6 +81,20 @@ type Batcher interface {
 	EndBatch()
 }
 
+// CrashRestarter is implemented by nodes that can model a
+// crash/restart cycle with loss of volatile state: the replica store
+// reverts to ⊥ while durable identity (the node's own write-sequence
+// counters) survives. The facade's RestartNode drives it after the
+// transport-level netsim.FaultController.Restart reconnects the node;
+// protocols whose correctness state cannot survive an amnesiac
+// restart (the blocking, round-trip-based ones) simply don't
+// implement it.
+type CrashRestarter interface {
+	// CrashRestart wipes the node's volatile replica state to ⊥, as if
+	// the process had just rejoined after losing memory.
+	CrashRestart()
+}
+
 // MaxValueLen bounds a single value's size (64 MiB): large enough for
 // any realistic register object, small enough that the u32 wire
 // arithmetic and the payload pools stay comfortable.
@@ -148,6 +162,28 @@ type Config struct {
 	// flight (netsim.PairMonitor): latency-bound workloads keep the
 	// message reduction without waiting out a batch or deadline.
 	CoalesceAdaptive bool
+	// OnFault, when set, receives protocol-detected faults — a handler
+	// hit a malformed or unknown frame (wrong kind, out-of-range VarID)
+	// that a correct peer never sends. The handler reports the fault,
+	// drops the frame, and keeps serving: on a faulty network (dropped,
+	// duplicated, or corrupted traffic) this is survivable input, not a
+	// local invariant violation. When nil, protocols panic instead —
+	// the right behavior on a reliable network, where such a frame can
+	// only mean a bug. OnFault may be called concurrently from network
+	// goroutines and must not block.
+	OnFault func(node int, err error)
+}
+
+// Faultf dispatches a protocol-detected fault on node to OnFault, or
+// panics when no sink is configured (the reliable-network default:
+// a malformed frame then proves a protocol bug, and silence would
+// hide it). Handlers call it and then drop the offending frame.
+func (c Config) Faultf(node int, format string, args ...any) {
+	err := fmt.Errorf(format, args...)
+	if c.OnFault == nil {
+		panic(err.Error())
+	}
+	c.OnFault(node, err)
 }
 
 // ApplyFlushPolicy wires the Config's CoalesceFlushTicks /

@@ -161,11 +161,16 @@ func (n *Node) FlushUpdates() {
 
 // handle applies a batched frame of remote updates in order: per-pair
 // FIFO delivery already presents each sender's writes in program order.
+// Malformed frames are reported through Config.Faultf and dropped —
+// on a reliable network that panics (a correct peer never sends one),
+// under fault injection the node keeps serving.
 func (n *Node) handle(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
 	if d.Err() != nil {
-		panic(fmt.Sprintf("prampart: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err()))
+		n.cfg.Faultf(n.id, "prampart: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err())
+		return
 	}
 	n.mu.Lock()
 	for k := 0; k < count; k++ {
@@ -173,11 +178,13 @@ func (n *Node) handle(msg netsim.Message) {
 		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
 			n.mu.Unlock()
-			panic(fmt.Sprintf("prampart: node %d: malformed update from %d: %v", n.id, msg.From, err))
+			n.cfg.Faultf(n.id, "prampart: node %d: malformed update from %d: %v", n.id, msg.From, err)
+			return
 		}
 		if xi < 0 || xi >= len(n.replicas) {
 			n.mu.Unlock()
-			panic(fmt.Sprintf("prampart: node %d: update from %d names unknown VarID %d", n.id, msg.From, xi))
+			n.cfg.Faultf(n.id, "prampart: node %d: update from %d names unknown VarID %d", n.id, msg.From, xi)
+			return
 		}
 		n.replicas.Set(xi, v)
 		if rec := n.cfg.Recorder; rec != nil {
@@ -185,11 +192,24 @@ func (n *Node) handle(msg netsim.Message) {
 		}
 	}
 	n.mu.Unlock()
-	mcs.RecycleFrame(msg)
+}
+
+// CrashRestart models the node coming back from a crash with its
+// volatile replica store lost: every replica reverts to ⊥
+// (mcs.CrashRestarter). The write-sequence counter survives — the
+// paper's processes number their own writes, and a restarted writer
+// must not reuse sequence numbers its peers have already applied.
+func (n *Node) CrashRestart() {
+	n.mu.Lock()
+	for xi := range n.replicas {
+		n.replicas.Set(xi, mcs.BottomValue)
+	}
+	n.mu.Unlock()
 }
 
 var (
-	_ mcs.Node    = (*Node)(nil)
-	_ mcs.Flusher = (*Node)(nil)
-	_ mcs.Batcher = (*Node)(nil)
+	_ mcs.Node           = (*Node)(nil)
+	_ mcs.Flusher        = (*Node)(nil)
+	_ mcs.Batcher        = (*Node)(nil)
+	_ mcs.CrashRestarter = (*Node)(nil)
 )

@@ -202,23 +202,33 @@ func (n *Node) handle(msg netsim.Message) {
 	case KindUpdate:
 		n.applyUpdate(msg)
 	default:
-		panic(fmt.Sprintf("seqcons: node %d: unknown message kind %q", n.id, msg.Kind))
+		n.cfg.Faultf(n.id, "seqcons: node %d: unknown message kind %q", n.id, msg.Kind)
+		mcs.RecycleFrame(msg)
 	}
 }
 
 // sequence (sequencer role) assigns the global order and broadcasts.
+// Malformed or misrouted requests are reported through Config.Faultf
+// and dropped (a panic on a reliable network, a survivable fault
+// under injection).
 func (n *Node) sequence(msg netsim.Message) {
 	if n.id != 0 {
-		panic(fmt.Sprintf("seqcons: request routed to non-sequencer node %d", n.id))
+		n.cfg.Faultf(n.id, "seqcons: request routed to non-sequencer node %d", n.id)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	d := mcs.DecOf(msg.Payload)
 	wseq := int(d.U32())
 	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
-		panic(fmt.Sprintf("seqcons: malformed request from %d: %v", msg.From, err))
+		n.cfg.Faultf(n.id, "seqcons: malformed request from %d: %v", msg.From, err)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	if xi < 0 || xi >= n.ix.NumVars() {
-		panic(fmt.Sprintf("seqcons: request from %d names unknown VarID %d", msg.From, xi))
+		n.cfg.Faultf(n.id, "seqcons: request from %d names unknown VarID %d", msg.From, xi)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	n.seqMu.Lock()
 	g := n.gseq
@@ -258,10 +268,14 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 	wseq := int(d.U32())
 	xi, v := d.VarVal()
 	if err := d.Err(); err != nil {
-		panic(fmt.Sprintf("seqcons: node %d: malformed update: %v", n.id, err))
+		n.cfg.Faultf(n.id, "seqcons: node %d: malformed update: %v", n.id, err)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	if xi < 0 || xi >= n.ix.NumVars() {
-		panic(fmt.Sprintf("seqcons: node %d: update names unknown VarID %d", n.id, xi))
+		n.cfg.Faultf(n.id, "seqcons: node %d: update names unknown VarID %d", n.id, xi)
+		mcs.RecycleFrame(msg)
+		return
 	}
 	n.mu.Lock()
 	// The value must outlive the shared broadcast frame: copy it into a

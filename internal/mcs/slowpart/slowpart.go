@@ -171,10 +171,12 @@ func (n *Node) FlushUpdates() {
 // (sender, variable) stream, otherwise buffers it; then drains the
 // stream.
 func (n *Node) handle(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
 	if d.Err() != nil {
-		panic(fmt.Sprintf("slowpart: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err()))
+		n.cfg.Faultf(n.id, "slowpart: node %d: malformed frame from %d: %v", n.id, msg.From, d.Err())
+		return
 	}
 	n.mu.Lock()
 	for k := 0; k < count; k++ {
@@ -183,16 +185,17 @@ func (n *Node) handle(msg netsim.Message) {
 		xi, v := d.VarVal()
 		if err := d.Err(); err != nil {
 			n.mu.Unlock()
-			panic(fmt.Sprintf("slowpart: node %d: malformed update from %d: %v", n.id, msg.From, err))
+			n.cfg.Faultf(n.id, "slowpart: node %d: malformed update from %d: %v", n.id, msg.From, err)
+			return
 		}
 		if xi < 0 || xi >= len(n.replicas) {
 			n.mu.Unlock()
-			panic(fmt.Sprintf("slowpart: node %d: update from %d names unknown VarID %d", n.id, msg.From, xi))
+			n.cfg.Faultf(n.id, "slowpart: node %d: update from %d names unknown VarID %d", n.id, msg.From, xi)
+			return
 		}
 		n.applyLocked(msg.From, wseq, vseq, xi, v)
 	}
 	n.mu.Unlock()
-	mcs.RecycleFrame(msg)
 }
 
 // applyLocked applies the update in (sender, variable) sequence order,
@@ -234,8 +237,24 @@ func (n *Node) deliverLocked(sender, wseq, xi int, v []byte) {
 	}
 }
 
+// CrashRestart models the node rejoining after a crash with its
+// volatile replica store lost: every replica reverts to ⊥
+// (mcs.CrashRestarter). Sequencing state survives — the write
+// counters because a restarted writer must not reuse sequence numbers
+// its peers already applied, the per-stream receive cursors because
+// resetting them would make every peer's future updates look early
+// and buffer forever.
+func (n *Node) CrashRestart() {
+	n.mu.Lock()
+	for xi := range n.replicas {
+		n.replicas.Set(xi, mcs.BottomValue)
+	}
+	n.mu.Unlock()
+}
+
 var (
-	_ mcs.Node    = (*Node)(nil)
-	_ mcs.Flusher = (*Node)(nil)
-	_ mcs.Batcher = (*Node)(nil)
+	_ mcs.Node           = (*Node)(nil)
+	_ mcs.Flusher        = (*Node)(nil)
+	_ mcs.Batcher        = (*Node)(nil)
+	_ mcs.CrashRestarter = (*Node)(nil)
 )

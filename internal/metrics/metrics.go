@@ -29,6 +29,7 @@ type Collector struct {
 	dataBytes int64
 	touch     map[int]map[string]bool
 	perKind   map[string]int64
+	faults    map[string]int64
 
 	delayN       int64
 	delaySum     float64 // float accumulator: uint64 would wrap after a handful of MaxInt64-scale delays
@@ -84,6 +85,18 @@ func (c *Collector) RecordDelay(ticks uint64) {
 	c.delayBuckets[bits.Len64(ticks)]++
 }
 
+// RecordFault accounts one injected network fault by kind ("drop",
+// "dup", "partition", "crash"). Transports with fault injection
+// enabled call it once per affected message.
+func (c *Collector) RecordFault(kind string) {
+	c.mu.Lock()
+	if c.faults == nil {
+		c.faults = make(map[string]int64)
+	}
+	c.faults[kind]++
+	c.mu.Unlock()
+}
+
 // Touched reports whether node ever sent or received information about
 // variable x.
 func (c *Collector) Touched(node int, x string) bool {
@@ -100,6 +113,9 @@ type Stats struct {
 	PerKind   map[string]int64
 	// Touch maps node → sorted variables the node has information about.
 	Touch map[int][]string
+	// Faults counts injected network faults by kind ("drop", "dup",
+	// "partition", "crash"); nil when no fault was recorded.
+	Faults map[string]int64
 	// Delay summarizes the recorded virtual delivery delays; the zero
 	// value (Count == 0) means the transport recorded none (real-sleep
 	// or zero-latency mode).
@@ -180,6 +196,12 @@ func (c *Collector) Snapshot() Stats {
 	for k, v := range c.perKind {
 		s.PerKind[k] = v
 	}
+	if len(c.faults) > 0 {
+		s.Faults = make(map[string]int64, len(c.faults))
+		for k, v := range c.faults {
+			s.Faults[k] = v
+		}
+	}
 	for node, vars := range c.touch {
 		list := make([]string, 0, len(vars))
 		for v := range vars {
@@ -198,6 +220,7 @@ func (c *Collector) Reset() {
 	c.msgs, c.ctrlBytes, c.dataBytes = 0, 0, 0
 	c.touch = make(map[int]map[string]bool)
 	c.perKind = make(map[string]int64)
+	c.faults = nil
 	c.delayN, c.delaySum, c.delayMax = 0, 0, 0
 	c.delayBuckets = [65]int64{}
 }

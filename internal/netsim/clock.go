@@ -116,6 +116,7 @@ type vclock struct {
 	seq     uint64
 	firing  bool
 	jumpReq bool // an idle-jump request deferred to the active firing pass
+	hookReq bool // a pair-hook pass requested; serviced inside the firing claim
 	dropped bool
 
 	idle      func() bool // true when no message can still make progress without a jump
@@ -193,11 +194,13 @@ func (c *vclock) tick() {
 // fire any due callbacks — so poll-heavy readers do not serialize on
 // the clock while the network is busy.
 func (c *vclock) AdvanceIdle() {
-	c.runPairHooks()
-	if c.next.Load() == maxTick {
-		return
-	}
-	if c.idle != nil && !c.idle() {
+	hooks := c.requestHooks()
+	if c.next.Load() == maxTick || (c.idle != nil && !c.idle()) {
+		if hooks {
+			// No jump possible, but the requested hook pass must still
+			// run (hooks of idle destinations fire even on a busy net).
+			c.fire(false, false)
+		}
 		return
 	}
 	c.fire(true, false)
@@ -206,19 +209,44 @@ func (c *vclock) AdvanceIdle() {
 // advanceWait is AdvanceIdle for quiescers: it waits out a concurrent
 // firing pass instead of skipping, so Quiesce cannot miss work.
 func (c *vclock) advanceWait() {
-	c.runPairHooks()
+	c.requestHooks()
 	c.fire(true, true)
 }
 
-// runPairHooks fires pair drain hooks at an advance point. When the
-// whole network is idle (in the paused-links-discounted sense) every
-// hook fires — no inbound traffic can still make progress toward any
-// destination, so waiting on a drain that cannot come would strand the
-// hook; otherwise only hooks of destinations with no inbound traffic
-// fire. A destination can only be busy at an idle point when a paused
-// link holds traffic to it, so the idleness probe — which takes engine
+// requestPairHooks asks for a pair-hook pass after a delivery drained
+// a destination; the pass runs inside the firing claim, serialized
+// with deliveries and timers, so hook order is part of the clock's
+// deterministic timeline (in virtual mode: byte-identical traces even
+// for overlapping, non-phase-structured drivers). If another goroutine
+// holds the claim, it services the request before its next callback.
+func (c *vclock) requestPairHooks() {
+	if c.requestHooks() {
+		c.fire(false, false)
+	}
+}
+
+// requestHooks flags a hook pass for the next firing loop iteration;
+// reports whether hooks are pending at all.
+func (c *vclock) requestHooks() bool {
+	if c.pairs == nil || c.pairs.hookCount.Load() == 0 {
+		return false
+	}
+	c.mu.Lock()
+	c.hookReq = true
+	c.mu.Unlock()
+	return true
+}
+
+// firePairHooks runs one pair-hook pass; called from the firing loop
+// with the claim held and c.mu released. When the whole network is
+// idle (in the paused-links-discounted sense) every hook fires — no
+// inbound traffic can still make progress toward any destination, so
+// waiting on a drain that cannot come would strand the hook; otherwise
+// only hooks of destinations with no inbound traffic fire. A
+// destination can only be busy at an idle point when a paused link
+// holds traffic to it, so the idleness probe — which takes engine
 // locks — is consulted only while a link is actually paused.
-func (c *vclock) runPairHooks() {
+func (c *vclock) firePairHooks() {
 	if c.pairs == nil || c.pairs.hookCount.Load() == 0 {
 		return
 	}
@@ -262,7 +290,21 @@ func (c *vclock) fire(jump, wait bool) {
 	}
 	c.firing = true
 	for {
-		for len(c.heap) > 0 {
+		for {
+			// A requested pair-hook pass runs before the next callback:
+			// hooks triggered by a delivery fire right after it on the
+			// same serialized timeline, keeping their order — and the
+			// sends they make — deterministic in virtual mode.
+			if c.hookReq {
+				c.hookReq = false
+				c.mu.Unlock()
+				c.firePairHooks()
+				c.mu.Lock()
+				continue
+			}
+			if len(c.heap) == 0 {
+				break
+			}
 			if c.jumpReq {
 				c.jumpReq = false
 				jump = true
@@ -287,14 +329,14 @@ func (c *vclock) fire(jump, wait bool) {
 			c.mu.Lock()
 		}
 		// Publish the new earliest deadline, release the firing claim,
-		// and catch any timer that came due — or any jump request that
-		// arrived — while we were finishing.
+		// and catch any timer that came due — or any jump or hook
+		// request that arrived — while we were finishing.
 		if len(c.heap) == 0 {
 			c.next.Store(maxTick)
 		} else {
 			c.next.Store(c.heap[0].tick)
 		}
-		if len(c.heap) > 0 && (c.heap[0].tick <= c.now.Load() || c.jumpReq) {
+		if c.hookReq || (len(c.heap) > 0 && (c.heap[0].tick <= c.now.Load() || c.jumpReq)) {
 			continue
 		}
 		c.jumpReq = false // nothing left to jump to
@@ -359,12 +401,13 @@ func newPairWatch(n int) *pairWatch {
 // sent records a message bound for `to`.
 func (w *pairWatch) sent(to int) { w.load[to].Add(1) }
 
-// delivered retires a message bound for `to` and runs the
-// destination's drain hooks when its inbound traffic hits zero.
-func (w *pairWatch) delivered(to int) {
-	if w.load[to].Add(-1) == 0 && w.hookN[to].Load() > 0 {
-		w.runHooks(to)
-	}
+// delivered retires a message bound for `to` and reports whether the
+// destination's inbound traffic hit zero with drain hooks registered —
+// the engine then requests a hook pass from the clock
+// (requestPairHooks), which fires them inside the firing claim,
+// serialized with deliveries and timers.
+func (w *pairWatch) delivered(to int) bool {
+	return w.load[to].Add(-1) == 0 && w.hookN[to].Load() > 0
 }
 
 // InboundIdle reports whether no message is in flight to `to`.

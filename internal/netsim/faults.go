@@ -1,0 +1,280 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"partialdsm/internal/metrics"
+)
+
+// Seeded fault injection. The paper assumes reliable FIFO channels;
+// Options.Faults removes that assumption deterministically: every
+// message drawn through a lossy link decides its fate — dropped,
+// duplicated, or delivered — from hash(seed, src, dst, per-pair
+// sequence), the same shape as the virtual-latency delay draws, so one
+// seed yields byte-identical fault schedules on both engines and every
+// run (as deterministic as the per-pair send order itself).
+//
+// A dropped message is not removed from the engine: it flows through
+// the entire normal delivery pipeline — latency draw, virtual-time
+// scheduling, FIFO sequencing, in-flight accounting, the clock tick —
+// and only the destination handler call is skipped. Quiesce therefore
+// never hangs on a lossy network, and the virtual-time schedule of the
+// surviving messages is identical with and without the loss.
+//
+// A duplicated message is enqueued immediately after the original on
+// the same pair with its own copy of the payload (shared-payload
+// refcounts stay balanced for the original's recipients); the
+// duplicate is exempt from further draws, so one Send yields at most
+// one extra delivery.
+//
+// Beyond the probabilistic knobs, every transport implements
+// FaultController: hard partitions (CutLink — messages sent on the cut
+// link are lost, in contrast to PauseLink's parking) and node
+// crash/restart (messages from, to, and in flight toward a crashed
+// node are lost; replica-state loss is the protocol layer's concern).
+
+// FaultConfig configures probabilistic link faults (Options.Faults).
+type FaultConfig struct {
+	// Drop is the per-message probability, in [0, 1], that a message is
+	// lost in transit: it consumes its slot in the delivery schedule
+	// (in-flight accounting, FIFO sequencing and virtual-time deadlines
+	// are unaffected) but never reaches the destination handler.
+	Drop float64
+	// Dup is the per-message probability, in [0, 1], that a message is
+	// delivered twice: the duplicate follows the original immediately
+	// on the same pair, with its own copy of the payload.
+	Dup float64
+	// Seed feeds the fault draws. It is independent of Options.Seed
+	// (the latency seed), so loss patterns and delay patterns can be
+	// varied separately.
+	Seed int64
+}
+
+// validate rejects out-of-range probabilities; nil means no faults.
+func (fc *FaultConfig) validate() error {
+	if fc == nil {
+		return nil
+	}
+	if fc.Drop < 0 || fc.Drop > 1 {
+		return fmt.Errorf("Faults.Drop %v outside [0, 1]", fc.Drop)
+	}
+	if fc.Dup < 0 || fc.Dup > 1 {
+		return fmt.Errorf("Faults.Dup %v outside [0, 1]", fc.Dup)
+	}
+	return nil
+}
+
+// FaultController is the optional hard-fault interface: partitions
+// that lose messages and node crashes. Both built-in transports
+// implement it on every configuration (FIFO or not, real or virtual
+// latency); callers type-assert, like LinkController.
+type FaultController interface {
+	// CutLink severs the ordered link from → to: messages sent on it
+	// while cut are lost (they still flow through delivery accounting,
+	// so Quiesce completes). Unlike PauseLink, nothing is parked or
+	// replayed on heal.
+	CutLink(from, to int)
+	// HealLink restores a link severed by CutLink.
+	HealLink(from, to int)
+	// Crash takes a node off the network: messages sent by it, to it,
+	// and already in flight toward it are lost. Crashing a crashed
+	// node is a no-op.
+	Crash(node int)
+	// Restart reconnects a crashed node. Whatever replica state the
+	// node lost while down is the protocol layer's concern.
+	Restart(node int)
+}
+
+// faultHash derives one message's fault randomness from (seed, src,
+// dst, per-pair sequence) — the delayHash shape with a different
+// mixing constant, so fault draws and delay draws are independent
+// even under the same seed value.
+func faultHash(seed int64, from, to int, seq uint64) uint64 {
+	h := mix64(uint64(seed) ^ 0xd6e8feb86659fd93)
+	h = mix64(h ^ (uint64(from)<<32 | uint64(uint32(to))))
+	return mix64(h + seq*0x9e3779b97f4a7c15)
+}
+
+// prob32 converts a probability to a fixed-point threshold against a
+// uniform 32-bit draw — integer comparison, bit-identical on every
+// platform.
+func prob32(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 32
+	}
+	return uint64(p * (1 << 32))
+}
+
+// faultInjector holds one transport's fault state: the probabilistic
+// draw thresholds plus the mutable partition/crash sets. The no-fault
+// fast path is one bool and one atomic load.
+type faultInjector struct {
+	n      int
+	probOn bool
+	dropT  uint64 // fixed-point drop threshold in [0, 2^32]
+	dupT   uint64
+	seed   int64
+	seqs   []atomic.Uint64 // per ordered pair: fault draws consumed
+	col    *metrics.Collector
+
+	barred  atomic.Int32 // cut links + crashed nodes; gates the mutex path
+	mu      sync.Mutex
+	cut     []bool // ordered pairs severed by CutLink
+	crashed []bool // nodes taken down by Crash
+}
+
+// newFaultInjector builds the injector for a transport; always
+// constructed (FaultController works without Options.Faults).
+func newFaultInjector(n int, opts Options) *faultInjector {
+	f := &faultInjector{n: n, col: opts.Metrics}
+	if fc := opts.Faults; fc != nil && (fc.Drop > 0 || fc.Dup > 0) {
+		f.probOn = true
+		f.dropT = prob32(fc.Drop)
+		f.dupT = prob32(fc.Dup)
+		f.seed = fc.Seed
+		f.seqs = make([]atomic.Uint64, n*n)
+	}
+	return f
+}
+
+func (f *faultInjector) record(kind string) {
+	if f.col != nil {
+		f.col.RecordFault(kind)
+	}
+}
+
+// inject decides the message's fault fate at send time: marks a loss
+// in place (the message still flows through the delivery pipeline) and
+// returns the duplicate to enqueue right after the original, or nil.
+// Fault draws consume the pair's sequence independently of the
+// partition/crash state, so healing a link never shifts the schedule
+// of later draws.
+func (f *faultInjector) inject(msg *Message) *Message {
+	if msg.faultDrawn {
+		return nil // an injected duplicate: fate already decided
+	}
+	msg.faultDrawn = true
+	var reason string
+	dup := false
+	if f.probOn {
+		seq := f.seqs[msg.From*f.n+msg.To].Add(1) - 1
+		h := faultHash(f.seed, msg.From, msg.To, seq)
+		if f.dropT > 0 && uint64(uint32(h)) < f.dropT {
+			reason = "drop"
+		}
+		if f.dupT > 0 && h>>32 < f.dupT {
+			dup = true
+		}
+	}
+	if f.barred.Load() != 0 {
+		f.mu.Lock()
+		switch {
+		case f.cut != nil && f.cut[msg.From*f.n+msg.To]:
+			reason, dup = "partition", false
+		case f.crashed != nil && (f.crashed[msg.From] || f.crashed[msg.To]):
+			reason, dup = "crash", false
+		}
+		f.mu.Unlock()
+	}
+	if reason != "" {
+		msg.dropped = true
+		f.record(reason)
+	}
+	if !dup {
+		return nil
+	}
+	f.record("dup")
+	d := *msg
+	d.dropped = false // "drop + dup" nets out to one delivery, via the copy
+	d.Payload = append([]byte(nil), msg.Payload...)
+	d.SharedPayload = false
+	d.SharedRefs = nil
+	return &d
+}
+
+// deliverable reports whether an in-flight message may still reach its
+// destination handler at delivery time: messages toward a node that
+// crashed after they were sent are lost. The accounting around the
+// skipped handler call is untouched, exactly like a send-time drop.
+func (f *faultInjector) deliverable(msg *Message) bool {
+	if msg.dropped {
+		return false // loss already recorded at send time
+	}
+	if f == nil || f.barred.Load() == 0 {
+		return true
+	}
+	f.mu.Lock()
+	down := f.crashed != nil && f.crashed[msg.To]
+	f.mu.Unlock()
+	if down {
+		f.record("crash")
+		return false
+	}
+	return true
+}
+
+// cutLink implements FaultController.CutLink for both engines.
+func (f *faultInjector) cutLink(from, to int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cut == nil {
+		f.cut = make([]bool, f.n*f.n)
+	}
+	if !f.cut[from*f.n+to] {
+		f.cut[from*f.n+to] = true
+		f.barred.Add(1)
+	}
+}
+
+// healLink implements FaultController.HealLink.
+func (f *faultInjector) healLink(from, to int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cut != nil && f.cut[from*f.n+to] {
+		f.cut[from*f.n+to] = false
+		f.barred.Add(-1)
+	}
+}
+
+// crash implements FaultController.Crash.
+func (f *faultInjector) crash(node int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed == nil {
+		f.crashed = make([]bool, f.n)
+	}
+	if !f.crashed[node] {
+		f.crashed[node] = true
+		f.barred.Add(1)
+	}
+}
+
+// restart implements FaultController.Restart.
+func (f *faultInjector) restart(node int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed != nil && f.crashed[node] {
+		f.crashed[node] = false
+		f.barred.Add(-1)
+	}
+}
+
+// checkNode panics on an out-of-range node id (a programming error of
+// the same class as sending to an unknown node).
+func (f *faultInjector) checkNode(node int) {
+	if node < 0 || node >= f.n {
+		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", node, f.n))
+	}
+}
+
+// checkLink panics on an out-of-range ordered link.
+func (f *faultInjector) checkLink(from, to int) {
+	if from < 0 || from >= f.n || to < 0 || to >= f.n {
+		panic(fmt.Sprintf("netsim: link %d→%d out of range", from, to))
+	}
+}

@@ -1,0 +1,488 @@
+package netsim
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partialdsm/internal/metrics"
+)
+
+// Fault-injection conformance: every transport configuration must
+// honour the FaultConfig / FaultController semantics — losses that
+// never strand Quiesce, duplicates that arrive exactly twice,
+// seed-determined schedules identical across engines, partitions that
+// lose (not park), crashes that swallow in-flight traffic — and the
+// Reliable wrapper must restore exactly-once FIFO delivery on top of
+// all of it. The package-level goroutine-leak guard (TestMain) covers
+// these tests too: a lossy or crashed network must not leak workers.
+
+// quiesceWithin fails the test if Quiesce does not return in time —
+// the regression harness for losses stranding in-flight accounting.
+func quiesceWithin(t *testing.T, nw Transport, d time.Duration, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { nw.Quiesce(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("Quiesce hung %s", what)
+	}
+}
+
+// TestFaultDropAllStillQuiesces drives a burst through a fully lossy
+// network: nothing may arrive, every loss must be accounted, and —
+// the point — Quiesce must return, because dropped messages still flow
+// through the delivery pipeline and settle the in-flight counters.
+func TestFaultDropAllStillQuiesces(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n, msgs = 3, 120
+		col := metrics.NewCollector()
+		nw := v.make(t, n, Options{
+			FIFO: true, Seed: 4, Metrics: col,
+			MaxLatency: 10 * time.Microsecond,
+			Faults:     &FaultConfig{Drop: 1, Seed: 99},
+		})
+		defer nw.Close()
+		var delivered atomic.Int64
+		for i := 0; i < n; i++ {
+			nw.SetHandler(i, func(Message) { delivered.Add(1) })
+		}
+		for i := 0; i < msgs; i++ {
+			nw.Send(Message{From: i % n, To: (i + 1) % n, Kind: "upd"})
+		}
+		quiesceWithin(t, nw, 30*time.Second, "on a fully lossy network (in-flight accounting lost the drops)")
+		if got := delivered.Load(); got != 0 {
+			t.Fatalf("%d messages delivered through Drop=1", got)
+		}
+		s := col.Snapshot()
+		if s.Faults["drop"] != msgs {
+			t.Fatalf("faults recorded %v, want drop=%d", s.Faults, msgs)
+		}
+		if s.Msgs != msgs {
+			t.Fatalf("accounting saw %d sends, want %d (drops must still be accounted)", s.Msgs, msgs)
+		}
+	})
+}
+
+// TestFaultBurstHalfLossQuiesces is the satellite-1 regression: a
+// concurrent burst under 50% loss, with handlers re-sending, must
+// reach a true quiescence point with every survivor delivered.
+func TestFaultBurstHalfLossQuiesces(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n, perSender = 4, 250
+		nw := v.make(t, n, Options{
+			FIFO: true, Seed: 7,
+			MaxLatency: 10 * time.Microsecond,
+			Faults:     &FaultConfig{Drop: 0.5, Seed: 31},
+		})
+		defer nw.Close()
+		var delivered atomic.Int64
+		for i := 0; i < n; i++ {
+			i := i
+			nw.SetHandler(i, func(m Message) {
+				delivered.Add(1)
+				// Relay once: re-entrant sends must survive loss too.
+				if m.Payload[0] > 0 {
+					nw.Send(Message{From: i, To: (i + 1) % n, Payload: []byte{m.Payload[0] - 1}})
+				}
+			})
+		}
+		var wg sync.WaitGroup
+		for from := 0; from < n; from++ {
+			wg.Add(1)
+			go func(from int) {
+				defer wg.Done()
+				for k := 0; k < perSender; k++ {
+					nw.Send(Message{From: from, To: (from + 1 + k%(n-1)) % n, Payload: []byte{2}})
+				}
+			}(from)
+		}
+		wg.Wait()
+		quiesceWithin(t, nw, 30*time.Second, "under 50% loss (dropped messages stranded the in-flight count)")
+		if delivered.Load() == 0 {
+			t.Fatal("nothing delivered under 50% loss")
+		}
+	})
+}
+
+// TestFaultDupDeliversExactlyTwice checks Dup=1: every message arrives
+// exactly twice, the duplicate immediately after the original in FIFO
+// mode, with its own payload copy (the ownership probe scribbles over
+// each delivery).
+func TestFaultDupDeliversExactlyTwice(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const msgs = 100
+		col := metrics.NewCollector()
+		nw := v.make(t, 2, Options{
+			FIFO: true, Seed: 5, Metrics: col,
+			Faults: &FaultConfig{Dup: 1, Seed: 8},
+		})
+		defer nw.Close()
+		var mu sync.Mutex
+		var got []int
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(m Message) {
+			mu.Lock()
+			got = append(got, int(m.Payload[0]))
+			mu.Unlock()
+			m.Payload[0] = 0xAA // receiver owns the payload; a shared dup would corrupt its twin
+		})
+		for i := 0; i < msgs; i++ {
+			nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+		}
+		nw.Quiesce()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) != 2*msgs {
+			t.Fatalf("delivered %d, want %d (each message exactly twice)", len(got), 2*msgs)
+		}
+		for i, s := range got {
+			if s != i/2 {
+				t.Fatalf("position %d holds %d, want %d (duplicate must follow its original)", i, s, i/2)
+			}
+		}
+		if f := col.Snapshot().Faults["dup"]; f != msgs {
+			t.Fatalf("dup faults recorded %d, want %d", f, msgs)
+		}
+	})
+}
+
+// TestFaultScheduleDeterministic sends the same single-writer stream
+// through every transport configuration: the fault draws depend only
+// on (seed, src, dst, per-pair sequence), so the surviving/duplicated
+// delivery pattern must be byte-identical across engines and modes —
+// and a different seed must yield a different pattern.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	const msgs = 400
+	run := func(t *testing.T, v variant, seed int64) []int {
+		nw := v.make(t, 2, Options{
+			FIFO: true, Seed: 3,
+			Faults: &FaultConfig{Drop: 0.3, Dup: 0.2, Seed: seed},
+		})
+		defer nw.Close()
+		var mu sync.Mutex
+		var got []int
+		nw.SetHandler(0, func(Message) {})
+		nw.SetHandler(1, func(m Message) {
+			mu.Lock()
+			got = append(got, int(m.Payload[0])<<8|int(m.Payload[1]))
+			mu.Unlock()
+		})
+		for i := 0; i < msgs; i++ {
+			nw.Send(Message{From: 0, To: 1, Payload: []byte{byte(i >> 8), byte(i)}})
+		}
+		nw.Quiesce()
+		mu.Lock()
+		defer mu.Unlock()
+		return got
+	}
+	var want []int
+	forEachVariant(t, func(t *testing.T, v variant) {
+		got := run(t, v, 17)
+		if want == nil {
+			want = got
+			if len(want) == 0 || len(want) == msgs {
+				t.Fatalf("schedule exercised no faults: %d of %d delivered", len(want), msgs)
+			}
+			if other := run(t, v, 18); reflect.DeepEqual(other, want) {
+				t.Fatal("different fault seeds produced the identical schedule")
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fault schedule diverged across transports: %d delivered here, %d on the first variant", len(got), len(want))
+		}
+	})
+}
+
+// TestFaultPartitionLosesMessages checks CutLink semantics: messages
+// on the cut link are lost (never parked or replayed on heal), the
+// reverse direction keeps flowing, and healing restores delivery.
+func TestFaultPartitionLosesMessages(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		col := metrics.NewCollector()
+		nw := v.make(t, 2, Options{FIFO: true, Seed: 6, Metrics: col})
+		defer nw.Close()
+		fc := nw.(FaultController)
+		var fwd, rev atomic.Int64
+		nw.SetHandler(0, func(Message) { rev.Add(1) })
+		nw.SetHandler(1, func(m Message) { fwd.Add(1) })
+
+		fc.CutLink(0, 1)
+		for i := 0; i < 10; i++ {
+			nw.Send(Message{From: 0, To: 1})
+			nw.Send(Message{From: 1, To: 0})
+		}
+		quiesceWithin(t, nw, 30*time.Second, "across a hard partition")
+		if got := fwd.Load(); got != 0 {
+			t.Fatalf("%d messages crossed the cut link", got)
+		}
+		if got := rev.Load(); got != 10 {
+			t.Fatalf("reverse direction delivered %d of 10 while 0→1 cut", got)
+		}
+		if f := col.Snapshot().Faults["partition"]; f != 10 {
+			t.Fatalf("partition faults recorded %d, want 10", f)
+		}
+
+		fc.HealLink(0, 1)
+		nw.Send(Message{From: 0, To: 1})
+		nw.Quiesce()
+		if got := fwd.Load(); got != 1 {
+			t.Fatalf("after heal: %d delivered, want exactly 1 (no replay of lost messages)", got)
+		}
+	})
+}
+
+// TestFaultCrashLosesInFlight checks Crash semantics: traffic to and
+// from a crashed node is lost, messages already in flight toward it
+// when it crashes are lost too (parked behind a paused link, then
+// crashed, then released — a deterministic in-flight window), and a
+// restarted node rejoins.
+func TestFaultCrashLosesInFlight(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		col := metrics.NewCollector()
+		nw := v.make(t, 3, Options{FIFO: true, Seed: 9, Metrics: col})
+		defer nw.Close()
+		fc := nw.(FaultController)
+		lc, hasPause := nw.(LinkController)
+		var got [3]atomic.Int64
+		for i := 0; i < 3; i++ {
+			i := i
+			nw.SetHandler(i, func(Message) { got[i].Add(1) })
+		}
+
+		// In-flight loss: park 5 messages toward node 1, crash it, then
+		// release them — they were sent before the crash but must die.
+		if hasPause {
+			lc.PauseLink(0, 1)
+			for i := 0; i < 5; i++ {
+				nw.Send(Message{From: 0, To: 1})
+			}
+			fc.Crash(1)
+			lc.ResumeLink(0, 1)
+			quiesceWithin(t, nw, 30*time.Second, "draining in-flight traffic toward a crashed node")
+			if n := got[1].Load(); n != 0 {
+				t.Fatalf("%d in-flight messages delivered to a crashed node", n)
+			}
+		} else {
+			fc.Crash(1)
+		}
+
+		// Send-time loss, both directions, while other links keep flowing.
+		nw.Send(Message{From: 0, To: 1})
+		nw.Send(Message{From: 1, To: 2})
+		nw.Send(Message{From: 0, To: 2})
+		quiesceWithin(t, nw, 30*time.Second, "with a crashed node in the topology")
+		if n := got[1].Load(); n != 0 {
+			t.Fatalf("message delivered to crashed node")
+		}
+		if n := got[2].Load(); n != 1 {
+			t.Fatalf("healthy link delivered %d of 1 with node 1 down", n)
+		}
+		if f := col.Snapshot().Faults["crash"]; f == 0 {
+			t.Fatal("no crash faults recorded")
+		}
+
+		fc.Restart(1)
+		nw.Send(Message{From: 0, To: 1})
+		nw.Quiesce()
+		if n := got[1].Load(); n != 1 {
+			t.Fatalf("after restart: %d delivered, want 1", n)
+		}
+	})
+}
+
+// TestReliableRestoresFIFOExactlyOnce is the retransmit-layer
+// contract: over an inner transport that drops, duplicates and (in
+// non-FIFO mode) reorders, the wrapper must hand the application every
+// message exactly once, in per-pair send order.
+func TestReliableRestoresFIFOExactlyOnce(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		const n, perPair = 3, 150
+		inner := v.make(t, n, Options{
+			FIFO: false, Seed: 11,
+			MaxLatency: 20 * time.Microsecond,
+			Faults:     &FaultConfig{Drop: 0.3, Dup: 0.2, Seed: 23},
+		})
+		// RTO well above the burst's tick volume: virtual ticks advance
+		// one per delivery, so a small RTO would time out frames whose
+		// acks are merely in (real-latency) flight and storm the network
+		// with spurious retransmissions.
+		r := NewReliable(inner, ReliableOptions{RetransmitTicks: 1 << 20, MaxRetries: 64})
+		defer r.Close()
+		var mu sync.Mutex
+		got := make(map[[2]int][]int)
+		for i := 0; i < n; i++ {
+			i := i
+			r.SetHandler(i, func(m Message) {
+				mu.Lock()
+				k := [2]int{m.From, i}
+				got[k] = append(got[k], int(m.Payload[0])<<8|int(m.Payload[1]))
+				mu.Unlock()
+			})
+		}
+		var wg sync.WaitGroup
+		for from := 0; from < n; from++ {
+			wg.Add(1)
+			go func(from int) {
+				defer wg.Done()
+				for seq := 0; seq < perPair; seq++ {
+					for to := 0; to < n; to++ {
+						if to == from {
+							continue
+						}
+						r.Send(Message{From: from, To: to, Kind: "upd", Payload: []byte{byte(seq >> 8), byte(seq)}})
+					}
+				}
+			}(from)
+		}
+		wg.Wait()
+		quiesceWithin(t, r, 60*time.Second, "recovering a lossy non-FIFO stream")
+		st := r.Stats()
+		if st.Abandoned != 0 {
+			t.Fatalf("%d frames abandoned under recoverable loss", st.Abandoned)
+		}
+		if st.Retransmits == 0 || st.DupsSuppressed == 0 {
+			t.Fatalf("recovery machinery unexercised: %+v", st)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if to == from {
+					continue
+				}
+				seqs := got[[2]int{from, to}]
+				if len(seqs) != perPair {
+					t.Fatalf("pair %d→%d: delivered %d of %d exactly-once", from, to, len(seqs), perPair)
+				}
+				for i, s := range seqs {
+					if s != i {
+						t.Fatalf("pair %d→%d: position %d holds seq %d (FIFO not restored)", from, to, i, s)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestReliableAbandonsAcrossPartition checks the termination bound: a
+// frame sent into a never-healed partition is retransmitted MaxRetries
+// times and then abandoned, so Quiesce still returns.
+func TestReliableAbandonsAcrossPartition(t *testing.T) {
+	inner := NewNetwork(2, Options{FIFO: true, Seed: 14, VirtualLatency: true})
+	r := NewReliable(inner, ReliableOptions{RetransmitTicks: 64, MaxRetries: 3})
+	defer r.Close()
+	var delivered atomic.Int64
+	r.SetHandler(0, func(Message) {})
+	r.SetHandler(1, func(Message) { delivered.Add(1) })
+	r.CutLink(0, 1)
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		r.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+	}
+	quiesceWithin(t, r, 30*time.Second, "abandoning frames lost to a permanent partition")
+	st := r.Stats()
+	if st.Abandoned != frames {
+		t.Fatalf("abandoned %d frames, want %d", st.Abandoned, frames)
+	}
+	if st.Retransmits != frames*3 {
+		t.Fatalf("retransmitted %d times, want %d (MaxRetries per frame)", st.Retransmits, frames*3)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("frame crossed a cut link")
+	}
+
+	// The stream recovers past the gap once the link heals: new frames
+	// are renumbered after the abandoned ones, and the receiver must
+	// not wait forever on sequences that will never arrive.
+	r.HealLink(0, 1)
+	r.Send(Message{From: 0, To: 1, Payload: []byte{42}})
+	quiesceWithin(t, r, 30*time.Second, "delivering past abandoned sequence numbers")
+	if delivered.Load() != 0 {
+		// The abandoned frames left a sequence gap the receiver is
+		// still waiting on — by design the post-heal frame is buffered,
+		// not delivered: the layer trades availability for order. Both
+		// outcomes terminate; pin the actual contract here.
+		t.Fatal("frame delivered across an unfilled abandoned gap (dedup window contract changed)")
+	}
+}
+
+// TestReliableVirtualDeterminism runs a phase-structured lossy
+// workload on both engines in virtual-latency mode: the complete
+// recovery schedule — retransmissions, suppressed dups, acks, fault
+// draws — must be identical, because every send and timer runs on the
+// serialized virtual timeline.
+func TestReliableVirtualDeterminism(t *testing.T) {
+	type trace struct {
+		Delivered []string
+		Stats     ReliableStats
+		Faults    map[string]int64
+		Msgs      int64
+	}
+	run := func(mk func(n int, opts Options) Transport) trace {
+		col := metrics.NewCollector()
+		inner := mk(3, Options{
+			FIFO: true, Seed: 3, VirtualLatency: true,
+			MaxLatency: 50 * time.Microsecond, Metrics: col,
+			Faults: &FaultConfig{Drop: 0.25, Dup: 0.15, Seed: 77},
+		})
+		r := NewReliable(inner, ReliableOptions{RetransmitTicks: 4096, MaxRetries: 32})
+		defer r.Close()
+		var mu sync.Mutex
+		var tr trace
+		for i := 0; i < 3; i++ {
+			i := i
+			r.SetHandler(i, func(m Message) {
+				mu.Lock()
+				tr.Delivered = append(tr.Delivered, fmt.Sprintf("%d→%d:%d", m.From, i, m.Payload[0]))
+				mu.Unlock()
+			})
+		}
+		for phase := 0; phase < 4; phase++ {
+			for from := 0; from < 3; from++ {
+				for to := 0; to < 3; to++ {
+					if to == from {
+						continue
+					}
+					r.Send(Message{From: from, To: to, Kind: "upd", Payload: []byte{byte(phase)}})
+				}
+			}
+			r.Quiesce()
+		}
+		tr.Stats = r.Stats()
+		s := col.Snapshot()
+		tr.Faults, tr.Msgs = s.Faults, s.Msgs
+		return tr
+	}
+	classic := run(func(n int, o Options) Transport { return NewNetwork(n, o) })
+	sharded := run(func(n int, o Options) Transport { return NewSharded(n, o) })
+	if !reflect.DeepEqual(classic, sharded) {
+		t.Fatalf("virtual-time recovery schedules diverged:\nclassic: %+v\nsharded: %+v", classic, sharded)
+	}
+	if classic.Stats.Retransmits == 0 {
+		t.Fatal("workload exercised no retransmissions")
+	}
+}
+
+// TestFaultConfigValidation pins the constructor contract for bad
+// probabilities.
+func TestFaultConfigValidation(t *testing.T) {
+	for _, bad := range []*FaultConfig{{Drop: -0.1}, {Drop: 1.5}, {Dup: 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FaultConfig %+v accepted", bad)
+				}
+			}()
+			NewNetwork(2, Options{FIFO: true, Faults: bad})
+		}()
+	}
+	if _, err := New(KindSharded, 2, Options{FIFO: true, Faults: &FaultConfig{Drop: 2}}); err == nil {
+		t.Error("registry constructor accepted Drop=2")
+	}
+}

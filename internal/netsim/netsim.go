@@ -59,6 +59,15 @@ type Message struct {
 	// it to zero becomes the payload's sole owner and may recycle the
 	// buffer (mcs.RecycleFrame does). Transports never touch it.
 	SharedRefs *atomic.Int32
+
+	// dropped marks a message consumed by fault injection: it flows
+	// through the normal delivery pipeline — in-flight accounting,
+	// FIFO sequencing and virtual-time scheduling are identical — but
+	// is discarded instead of reaching the destination handler.
+	dropped bool
+	// faultDrawn marks a message whose fault fate is already decided
+	// (an injected duplicate), exempting it from further draws.
+	faultDrawn bool
 }
 
 // Handler processes a delivered message. Handlers run on network
@@ -95,9 +104,17 @@ type Options struct {
 	// LatencyMatrix distribution; must be NumNodes×NumNodes (zero
 	// entries deliver with zero delay), with MaxLatency left zero.
 	LatencyMatrix [][]time.Duration
+	// Faults enables seeded probabilistic fault injection: per-message
+	// drop and duplication drawn from hash(Faults.Seed, src, dst,
+	// per-pair sequence), so one seed yields the same fault schedule
+	// on every engine and every run. Nil injects nothing. Hard faults
+	// (partitions, crashes) need no configuration — see
+	// FaultController. See faults.go.
+	Faults *FaultConfig
 	// Metrics receives per-message accounting; nil disables accounting.
 	// In virtual mode it also receives each message's delivery delay
-	// (RecordDelay), making delay histograms measurable.
+	// (RecordDelay), making delay histograms measurable. With Faults it
+	// also counts each injected fault by kind (RecordFault).
 	Metrics *metrics.Collector
 	// Workers sets the delivery worker-pool size for transports that
 	// use one (Sharded). Zero picks max(2, GOMAXPROCS); the classic
@@ -114,9 +131,10 @@ type Network struct {
 
 	clk         *vclock
 	pairs       *pairWatch
-	vlat        *vnet        // non-nil in virtual-latency mode; owns the delivery schedule
-	pausedLinks atomic.Int32 // links currently held by PauseLink
-	inflightA   atomic.Int64 // lock-free mirror of inflight for the idle fast path
+	vlat        *vnet          // non-nil in virtual-latency mode; owns the delivery schedule
+	faults      *faultInjector // always non-nil; cheap no-op without configured faults
+	pausedLinks atomic.Int32   // links currently held by PauseLink
+	inflightA   atomic.Int64   // lock-free mirror of inflight for the idle fast path
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -157,6 +175,7 @@ func NewNetwork(n int, opts Options) *Network {
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		handlers: make([]Handler, n),
 		pairs:    newPairWatch(n),
+		faults:   newFaultInjector(n, opts),
 	}
 	stalled := nw.idle
 	if opts.VirtualLatency {
@@ -244,6 +263,16 @@ func (nw *Network) SetHandler(node int, h Handler) {
 // the receiver. Sending to an unknown node or on a closed network
 // panics (a programming error in the protocol layer).
 func (nw *Network) Send(msg Message) {
+	if dup := nw.faults.inject(&msg); dup != nil {
+		nw.send1(msg)
+		nw.send1(*dup)
+		return
+	}
+	nw.send1(msg)
+}
+
+// send1 enqueues one (possibly fault-marked) message.
+func (nw *Network) send1(msg Message) {
 	if msg.To < 0 || msg.To >= nw.n || msg.From < 0 || msg.From >= nw.n {
 		panic(fmt.Sprintf("netsim: message endpoints %d→%d out of range", msg.From, msg.To))
 	}
@@ -336,17 +365,24 @@ func (nw *Network) servePair(q *pairQueue) {
 
 // deliver runs the destination handler, advances virtual time by one
 // tick, and settles in-flight accounting; the delivery that empties the
-// network gives the clock an idle-advance opportunity.
+// network gives the clock an idle-advance opportunity. A fault-dropped
+// message — or one whose destination crashed while it was in flight —
+// skips only the handler call: its accounting is identical, so lossy
+// runs quiesce exactly like lossless ones.
 func (nw *Network) deliver(msg Message) {
-	nw.mu.Lock()
-	h := nw.handlers[msg.To]
-	nw.mu.Unlock()
-	if h != nil {
-		h(msg)
+	if nw.faults.deliverable(&msg) {
+		nw.mu.Lock()
+		h := nw.handlers[msg.To]
+		nw.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
 	}
 	// Pair hooks and due timers fire while this message still counts as
 	// in flight, so their sends cannot race a spurious idle point.
-	nw.pairs.delivered(msg.To)
+	if nw.pairs.delivered(msg.To) {
+		nw.clk.requestPairHooks()
+	}
 	nw.clk.tick()
 	nw.mu.Lock()
 	nw.inflight--
@@ -420,6 +456,32 @@ func (nw *Network) ResumeLink(from, to int) {
 	// Released messages may satisfy pending deadlines' idle condition
 	// only after they drain; the deliveries themselves re-advance the
 	// clock, so nothing to do here.
+}
+
+// CutLink severs the ordered link from → to: messages sent on it are
+// lost, not parked (FaultController).
+func (nw *Network) CutLink(from, to int) {
+	nw.faults.checkLink(from, to)
+	nw.faults.cutLink(from, to)
+}
+
+// HealLink restores a link severed by CutLink (FaultController).
+func (nw *Network) HealLink(from, to int) {
+	nw.faults.checkLink(from, to)
+	nw.faults.healLink(from, to)
+}
+
+// Crash takes a node off the network: messages from it, to it, and in
+// flight toward it are lost (FaultController).
+func (nw *Network) Crash(node int) {
+	nw.faults.checkNode(node)
+	nw.faults.crash(node)
+}
+
+// Restart reconnects a crashed node (FaultController).
+func (nw *Network) Restart(node int) {
+	nw.faults.checkNode(node)
+	nw.faults.restart(node)
 }
 
 // PausedBacklog lists every paused link currently holding messages

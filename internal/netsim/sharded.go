@@ -50,8 +50,9 @@ type Sharded struct {
 
 	clk         *vclock
 	pairs       *pairWatch
-	vlat        *vnet        // non-nil in virtual-latency mode; owns the delivery schedule
-	pausedLinks atomic.Int32 // links currently held by PauseLink
+	vlat        *vnet          // non-nil in virtual-latency mode; owns the delivery schedule
+	faults      *faultInjector // always non-nil; cheap no-op without configured faults
+	pausedLinks atomic.Int32   // links currently held by PauseLink
 
 	handlers atomic.Value // []Handler, copy-on-write
 	hmu      sync.Mutex   // serializes SetHandler stores
@@ -117,6 +118,7 @@ func NewSharded(n int, opts Options) *Sharded {
 		workers: w,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		pairs:   newPairWatch(n),
+		faults:  newFaultInjector(n, opts),
 	}
 	stalled := nw.idle
 	if opts.VirtualLatency {
@@ -148,13 +150,18 @@ func NewSharded(n int, opts Options) *Sharded {
 
 // deliverVirtual is the virtual-latency delivery hook: handler
 // dispatch plus the per-message clock tick and in-flight settling,
-// invoked from serialized clock callbacks.
+// invoked from serialized clock callbacks. Fault-dropped messages skip
+// only the handler call.
 func (nw *Sharded) deliverVirtual(msg Message) {
-	h := nw.handlers.Load().([]Handler)[msg.To]
-	if h != nil {
-		h(msg)
+	if nw.faults.deliverable(&msg) {
+		h := nw.handlers.Load().([]Handler)[msg.To]
+		if h != nil {
+			h(msg)
+		}
 	}
-	nw.pairs.delivered(msg.To)
+	if nw.pairs.delivered(msg.To) {
+		nw.clk.requestPairHooks()
+	}
 	nw.clk.tick()
 	nw.settle(1)
 }
@@ -195,6 +202,16 @@ func (nw *Sharded) SetHandler(node int, h Handler) {
 // on the receiver; sending to an unknown node or on a closed transport
 // panics.
 func (nw *Sharded) Send(msg Message) {
+	if dup := nw.faults.inject(&msg); dup != nil {
+		nw.send1(msg)
+		nw.send1(*dup)
+		return
+	}
+	nw.send1(msg)
+}
+
+// send1 enqueues one (possibly fault-marked) message.
+func (nw *Sharded) send1(msg Message) {
 	if msg.To < 0 || msg.To >= nw.n || msg.From < 0 || msg.From >= nw.n {
 		panic(fmt.Sprintf("netsim: message endpoints %d→%d out of range", msg.From, msg.To))
 	}
@@ -345,11 +362,15 @@ func (nw *Sharded) serve() {
 			if latency > 0 {
 				time.Sleep(latency)
 			}
-			h := nw.handlers.Load().([]Handler)[msg.To]
-			if h != nil {
-				h(msg)
+			if nw.faults.deliverable(&msg) {
+				h := nw.handlers.Load().([]Handler)[msg.To]
+				if h != nil {
+					h(msg)
+				}
 			}
-			nw.pairs.delivered(msg.To)
+			if nw.pairs.delivered(msg.To) {
+				nw.clk.requestPairHooks()
+			}
 			nw.clk.tick()
 			nw.settle(1)
 			continue
@@ -417,10 +438,12 @@ func (nw *Sharded) drain(mb *mailbox) {
 		if lats != nil && lats[i] > 0 {
 			time.Sleep(lats[i])
 		}
-		if h != nil {
+		if h != nil && nw.faults.deliverable(&batch[i]) {
 			h(batch[i])
 		}
-		nw.pairs.delivered(mb.to)
+		if nw.pairs.delivered(mb.to) {
+			nw.clk.requestPairHooks()
+		}
 		nw.clk.tick()
 		delivered++
 	}
@@ -489,6 +512,32 @@ func (nw *Sharded) ResumeLink(from, to int) {
 		return
 	}
 	nw.resume(nw.mailbox(from, to))
+}
+
+// CutLink severs the ordered link from → to: messages sent on it are
+// lost, not parked (FaultController).
+func (nw *Sharded) CutLink(from, to int) {
+	nw.faults.checkLink(from, to)
+	nw.faults.cutLink(from, to)
+}
+
+// HealLink restores a link severed by CutLink (FaultController).
+func (nw *Sharded) HealLink(from, to int) {
+	nw.faults.checkLink(from, to)
+	nw.faults.healLink(from, to)
+}
+
+// Crash takes a node off the network: messages from it, to it, and in
+// flight toward it are lost (FaultController).
+func (nw *Sharded) Crash(node int) {
+	nw.faults.checkNode(node)
+	nw.faults.crash(node)
+}
+
+// Restart reconnects a crashed node (FaultController).
+func (nw *Sharded) Restart(node int) {
+	nw.faults.checkNode(node)
+	nw.faults.restart(node)
 }
 
 // resume clears a mailbox's pause flag and reschedules it if messages

@@ -172,8 +172,15 @@ var (
 	_ LinkController   = (*Network)(nil)
 	_ PairMonitor      = (*Network)(nil)
 	_ BacklogInspector = (*Network)(nil)
+	_ FaultController  = (*Network)(nil)
 	_ Transport        = (*Sharded)(nil)
 	_ LinkController   = (*Sharded)(nil)
 	_ PairMonitor      = (*Sharded)(nil)
 	_ BacklogInspector = (*Sharded)(nil)
+	_ FaultController  = (*Sharded)(nil)
+	_ Transport        = (*Reliable)(nil)
+	_ LinkController   = (*Reliable)(nil)
+	_ PairMonitor      = (*Reliable)(nil)
+	_ BacklogInspector = (*Reliable)(nil)
+	_ FaultController  = (*Reliable)(nil)
 )

@@ -79,6 +79,9 @@ func (o Options) validate(n int) error {
 	if o.MaxLatency < 0 {
 		return fmt.Errorf("MaxLatency is negative (%v)", o.MaxLatency)
 	}
+	if err := o.Faults.validate(); err != nil {
+		return err
+	}
 	if !o.VirtualLatency {
 		if o.LatencyDist != "" {
 			return fmt.Errorf("LatencyDist %q requires VirtualLatency", o.LatencyDist)

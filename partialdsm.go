@@ -67,6 +67,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"partialdsm/internal/check"
@@ -289,6 +290,38 @@ type Config struct {
 	// batching. May be combined with CoalesceFlushTicks; implies
 	// coalescing like it.
 	CoalesceAdaptive bool
+	// FaultDrop is the per-message probability, in [0, 1], that the
+	// network loses a message in transit — seeded fault injection
+	// (netsim.FaultConfig). The loss schedule is a pure function of
+	// (FaultSeed, sender, receiver, per-link sequence), so a given
+	// workload sees the identical fault pattern on every transport and
+	// every run. Dropped messages still flow through delivery
+	// accounting, so Quiesce completes on a lossy network.
+	FaultDrop float64
+	// FaultDup is the per-message probability, in [0, 1], that the
+	// network delivers a message twice (the duplicate immediately
+	// follows the original on the same link).
+	FaultDup float64
+	// FaultSeed seeds the fault draws, independently of Seed (the
+	// latency seed), so loss and delay patterns vary separately.
+	FaultSeed int64
+	// Reliable wraps the transport in an ack/retransmit layer
+	// (netsim.Reliable) that restores exactly-once FIFO delivery on
+	// top of the injected faults: per-pair sequence numbers, cumulative
+	// acks, timeout-driven retransmission on the virtual clock, and a
+	// receiver-side dedup/reorder window. The protocols then run their
+	// reliable-channel assumptions unchanged; Stats reports the
+	// recovery work.
+	Reliable bool
+	// RetransmitTicks is the Reliable layer's retransmit timeout in
+	// virtual clock ticks (one tick per delivered message); zero picks
+	// the netsim default. Too small a value retransmits frames whose
+	// acks are merely still in flight.
+	RetransmitTicks int
+	// RetransmitMax bounds the Reliable layer's retransmissions per
+	// frame before it abandons the frame (keeping Quiesce terminating
+	// across permanent partitions); zero picks the netsim default.
+	RetransmitMax int
 	// DisableTrace turns off history and witness recording (for
 	// benchmarks). Traced verification methods then return ErrNoTrace.
 	DisableTrace bool
@@ -310,10 +343,36 @@ type Cluster struct {
 	cfg     Config
 	pl      *sharegraph.Placement
 	net     netsim.Transport
+	rel     *netsim.Reliable // non-nil when Config.Reliable
 	col     *metrics.Collector
 	rec     *mcs.Recorder
 	nodes   []mcs.Node
+	faults  *faultSink
 	monitor check.Monitor // nil unless LiveVerify
+}
+
+// faultSink collects the first protocol-level fault each node reports
+// (mcs.Config.OnFault): a malformed or misrouted frame the protocol
+// dropped instead of processing. On a reliable network these indicate a
+// bug; under fault injection they are the expected symptom of a
+// protocol whose wire format is not duplication- or loss-safe.
+type faultSink struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (s *faultSink) record(node int, err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = fmt.Errorf("partialdsm: node %d dropped a frame: %w", node, err)
+	}
+	s.mu.Unlock()
+}
+
+func (s *faultSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // New builds and starts a cluster.
@@ -339,6 +398,10 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("partialdsm: %s requires FIFO channels", cfg.Consistency)
 	}
 
+	var faults *netsim.FaultConfig
+	if cfg.FaultDrop != 0 || cfg.FaultDup != 0 || cfg.FaultSeed != 0 {
+		faults = &netsim.FaultConfig{Drop: cfg.FaultDrop, Dup: cfg.FaultDup, Seed: cfg.FaultSeed}
+	}
 	col := metrics.NewCollector()
 	net, err := netsim.New(string(cfg.Transport), len(cfg.Placement), netsim.Options{
 		FIFO:           !cfg.NonFIFO,
@@ -347,11 +410,25 @@ func New(cfg Config) (*Cluster, error) {
 		LatencyDist:    netsim.LatencyDist(cfg.LatencyDist),
 		LatencyMatrix:  cfg.LatencyMatrix,
 		Seed:           cfg.Seed,
+		Faults:         faults,
 		Metrics:        col,
 		Workers:        cfg.TransportWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("partialdsm: %w", err)
+	}
+	var trans netsim.Transport = net
+	var rel *netsim.Reliable
+	if cfg.Reliable {
+		if cfg.RetransmitTicks < 0 || cfg.RetransmitMax < 0 {
+			net.Close()
+			return nil, errors.New("partialdsm: RetransmitTicks and RetransmitMax must be non-negative")
+		}
+		rel = netsim.NewReliable(net, netsim.ReliableOptions{
+			RetransmitTicks: uint64(cfg.RetransmitTicks),
+			MaxRetries:      cfg.RetransmitMax,
+		})
+		trans = rel
 	}
 	var rec *mcs.Recorder
 	if !cfg.DisableTrace || cfg.LiveVerify {
@@ -367,7 +444,7 @@ func New(cfg Config) (*Cluster, error) {
 		case CacheConsistency:
 			monitor = check.NewCacheMonitor(len(cfg.Placement))
 		default:
-			net.Close()
+			trans.Close()
 			return nil, fmt.Errorf("partialdsm: LiveVerify is not supported for %s (its witness is not prefix-closed)", cfg.Consistency)
 		}
 		rec.SetObserver(func(node int, e check.Event) { _ = monitor.Feed(node, e) })
@@ -376,12 +453,14 @@ func New(cfg Config) (*Cluster, error) {
 	if (cfg.CoalesceFlushTicks > 0 || cfg.CoalesceAdaptive) && batch < 2 {
 		batch = 16 // engine-driven flushing implies coalescing
 	}
+	sink := &faultSink{}
 	mc := mcs.Config{
-		Net: net, Placement: pl, Metrics: col, Recorder: rec,
+		Net: trans, Placement: pl, Metrics: col, Recorder: rec,
 		NonFIFO:            cfg.NonFIFO,
 		CoalesceBatch:      batch,
 		CoalesceFlushTicks: cfg.CoalesceFlushTicks,
 		CoalesceAdaptive:   cfg.CoalesceAdaptive,
+		OnFault:            sink.record,
 	}
 
 	var nodes []mcs.Node
@@ -406,11 +485,20 @@ func New(cfg Config) (*Cluster, error) {
 		err = fmt.Errorf("partialdsm: unknown consistency %q", cfg.Consistency)
 	}
 	if err != nil {
-		net.Close()
+		trans.Close()
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, pl: pl, net: net, col: col, rec: rec, nodes: nodes, monitor: monitor}, nil
+	return &Cluster{cfg: cfg, pl: pl, net: trans, rel: rel, col: col, rec: rec, nodes: nodes, faults: sink, monitor: monitor}, nil
 }
+
+// Err returns the first protocol-level fault any node has reported: a
+// malformed, misrouted or otherwise unprocessable frame the protocol
+// dropped instead of applying. Nil means every delivered frame was
+// processed. On a fault-free network a non-nil Err indicates a protocol
+// bug; with fault injection (Config.FaultDrop/FaultDup) it is how a
+// protocol whose wire format is not loss- or duplication-safe announces
+// itself. Quiesce also fails fast with this error.
+func (c *Cluster) Err() error { return c.faults.Err() }
 
 // LiveError returns the first violation found by the live monitor
 // (Config.LiveVerify), nil while the execution is consistent, and
@@ -479,6 +567,9 @@ func (c *Cluster) VarsOf(i int) []string { return c.pl.VarsOf(i) }
 // a snapshot: a message that reaches a paused link only after Quiesce
 // has begun waiting still blocks it, as before.
 func (c *Cluster) Quiesce() error {
+	if err := c.faults.Err(); err != nil {
+		return err
+	}
 	for _, n := range c.nodes {
 		if f, ok := n.(mcs.Flusher); ok {
 			f.FlushUpdates()
@@ -495,7 +586,7 @@ func (c *Cluster) Quiesce() error {
 		}
 	}
 	c.net.Quiesce()
-	return nil
+	return c.faults.Err()
 }
 
 // PauseLink suspends delivery on the ordered link from → to (messages
@@ -517,6 +608,67 @@ func (c *Cluster) linkController() netsim.LinkController {
 		panic(fmt.Sprintf("partialdsm: transport %T does not support link pausing", c.net))
 	}
 	return lc
+}
+
+// CutLink hard-partitions the ordered link from → to: unlike PauseLink,
+// messages sent while the link is cut are *lost*, not parked, so
+// Quiesce completes normally and the protocols see genuine message
+// loss. With Config.Reliable the retransmit layer masks a cut that
+// heals before Config.RetransmitMax timeouts elapse.
+func (c *Cluster) CutLink(from, to int) { c.faultController().CutLink(from, to) }
+
+// HealLink restores a link cut by CutLink. Messages lost while it was
+// cut stay lost (no replay).
+func (c *Cluster) HealLink(from, to int) { c.faultController().HealLink(from, to) }
+
+// CrashNode fail-stops node i: messages to and from it — including any
+// already in flight — are lost until RestartNode. It returns an error
+// when the cluster's protocol cannot rejoin a restarted node (only
+// protocols implementing crash-recovery state loss support the cycle:
+// PRAM and Slow); the node is then left running.
+func (c *Cluster) CrashNode(i int) error {
+	if err := c.crashRestarter(i); err != nil {
+		return err
+	}
+	c.faultController().Crash(i)
+	return nil
+}
+
+// RestartNode restarts a crashed node i with its replica state wiped
+// back to ⊥ (crash amnesia) while its durable write counters survive,
+// then reconnects it to the network. The restarted node recovers only
+// state it is told about afterward.
+func (c *Cluster) RestartNode(i int) error {
+	if err := c.crashRestarter(i); err != nil {
+		return err
+	}
+	// Wipe before reconnecting: while the node is crashed no frame can
+	// reach it, so the wipe cannot race a delivery.
+	c.nodes[i].(mcs.CrashRestarter).CrashRestart()
+	c.faultController().Restart(i)
+	return nil
+}
+
+// crashRestarter validates that node i supports the crash/restart
+// cycle.
+func (c *Cluster) crashRestarter(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("partialdsm: node %d out of range [0,%d)", i, len(c.nodes))
+	}
+	if _, ok := c.nodes[i].(mcs.CrashRestarter); !ok {
+		return fmt.Errorf("partialdsm: %s does not support crash/restart (node state cannot rejoin)", c.cfg.Consistency)
+	}
+	return nil
+}
+
+// faultController returns the transport's hard-fault interface
+// (partitions and crashes).
+func (c *Cluster) faultController() netsim.FaultController {
+	fc, ok := c.net.(netsim.FaultController)
+	if !ok {
+		panic(fmt.Sprintf("partialdsm: transport %T does not support fault injection", c.net))
+	}
+	return fc
 }
 
 // Close shuts the cluster down. The cluster must not be used afterward.
@@ -767,6 +919,15 @@ type Stats struct {
 	// virtual delivery-delay histogram (P99 is an upper-bound estimate
 	// from log₂ buckets).
 	DelayMean, DelayP99, DelayMax time.Duration
+	// Faults counts injected network faults by kind ("drop", "dup",
+	// "partition", "crash"); nil when no fault fired.
+	Faults map[string]int64
+	// Retransmits, DupsSuppressed, AcksSent and Abandoned report the
+	// recovery work of the ack/retransmit layer (Config.Reliable; zero
+	// otherwise). Abandoned counts frames given up on after
+	// Config.RetransmitMax retries — nonzero only across unhealed
+	// partitions or crashes.
+	Retransmits, DupsSuppressed, AcksSent, Abandoned int64
 }
 
 // Stats returns a snapshot of the communication metrics.
@@ -784,6 +945,14 @@ func (c *Cluster) Stats() Stats {
 		out.DelayMean = time.Duration(s.Delay.MeanTicks)
 		out.DelayP99 = time.Duration(s.Delay.QuantileTicks(0.99))
 		out.DelayMax = time.Duration(s.Delay.MaxTicks)
+	}
+	out.Faults = s.Faults
+	if c.rel != nil {
+		rs := c.rel.Stats()
+		out.Retransmits = rs.Retransmits
+		out.DupsSuppressed = rs.DupsSuppressed
+		out.AcksSent = rs.AcksSent
+		out.Abandoned = rs.Abandoned
 	}
 	return out
 }
