@@ -377,6 +377,18 @@ func benches() []bench {
 			})
 		}
 	}
+	// Recovery sweep: one crash→restart→snapshot-rejoin cycle per
+	// iteration on a partial-replication ring. The msgs metric is the
+	// recovery traffic alone (snapshot requests and responses per
+	// rejoin) — a direct gauge on the snapshot filtering and the retry
+	// machinery, independent of the update path.
+	for _, tr := range partialdsm.Transports {
+		tr := tr
+		out = append(out, bench{
+			name: fmt.Sprintf("RecoverySweep/%s", tr),
+			fn:   func(b *testing.B, msgs *float64) { recoverySweep(b, tr, msgs) },
+		})
+	}
 	// Per-operation costs of the headline protocol.
 	out = append(out,
 		bench{name: "PRAMWrite/8node-full", fn: func(b *testing.B, msgs *float64) { pramWrite(b, modes[0], msgs) }},
@@ -529,6 +541,53 @@ func faultSweep(b *testing.B, tr partialdsm.Transport, reliable bool, msgs *floa
 	}
 	b.StopTimer()
 	*msgs = float64(c.Stats().Msgs) / float64(b.N)
+}
+
+// recoverySweep is one crash→restart→state-transfer rejoin per
+// iteration: an 8-node causal-partial ring (node i replicates v_i and
+// v_{i+1 mod 8}) is seeded with one write per variable, then each
+// iteration crashes node 1, restarts it, and quiesces through the
+// snapshot handshake. The msgs metric counts only the recovery frames
+// (snapreq + snapresp per rejoin), so a filtering regression — values
+// resent to a peer that does not replicate them, or extra retry
+// rounds — moves the number even though the update path is untouched.
+func recoverySweep(b *testing.B, tr partialdsm.Transport, msgs *float64) {
+	const nodes = 8
+	placement := make([][]string, nodes)
+	for i := range placement {
+		placement[i] = []string{fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", (i+1)%nodes)}
+	}
+	cfg := clusterConfig(partialdsm.CausalPartial, placement, tr, modes[0])
+	cfg.MaxLatency = time.Millisecond
+	cfg.VirtualLatency = true
+	c, err := partialdsm.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < nodes; i++ {
+		if err := c.Node(i).Write(fmt.Sprintf("v%d", i), int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(); err != nil {
+		b.Fatal(err)
+	}
+	base := c.Stats().RecoveryMsgs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.CrashNode(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RestartNode(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Quiesce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	*msgs = float64(c.Stats().RecoveryMsgs-base) / float64(b.N)
 }
 
 // bellmanFord is one full distributed shortest-path run per iteration.

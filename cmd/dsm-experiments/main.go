@@ -126,6 +126,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reports = []experiments.Report{experiments.Latency(*seed)}
 	case "faults":
 		reports = []experiments.Report{experiments.Faults(*seed)}
+	case "chaos":
+		reports = []experiments.Report{experiments.Chaos(*seed)}
 	default:
 		fmt.Fprintf(stderr, "dsm-experiments: unknown experiment %q\n", *exp)
 		return 2

@@ -1,6 +1,7 @@
 package partialdsm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -121,8 +122,8 @@ func TestClusterErrReportsDroppedFrame(t *testing.T) {
 
 // TestClusterCutHealCrashRestart walks the hard-fault surface on PRAM:
 // a cut link loses (not parks) messages, healing restores flow without
-// replay, and a crash/restart cycle wipes the node's replicas back to
-// ⊥ while the network state rejoins cleanly.
+// replay, and a crash/restart cycle re-learns the wiped replicas from
+// the live peers' snapshots before new traffic resumes.
 func TestClusterCutHealCrashRestart(t *testing.T) {
 	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(3), VirtualLatency: true})
 	read := func(node int, want int64, what string) {
@@ -163,7 +164,10 @@ func TestClusterCutHealCrashRestart(t *testing.T) {
 	if err := c.RestartNode(1); err != nil {
 		t.Fatal(err)
 	}
-	read(1, Bottom, "replica wiped by restart")
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	read(1, 3, "recovered the write missed while crashed")
 	if err := c.Node(0).Write("x", 4); err != nil {
 		t.Fatal(err)
 	}
@@ -176,16 +180,130 @@ func TestClusterCutHealCrashRestart(t *testing.T) {
 	if s.Faults["partition"] == 0 || s.Faults["crash"] == 0 {
 		t.Fatalf("hard faults not recorded: %v", s.Faults)
 	}
+	if s.Recoveries != 1 || s.RecoveryMsgs == 0 {
+		t.Fatalf("recovery not accounted: Recoveries=%d RecoveryMsgs=%d", s.Recoveries, s.RecoveryMsgs)
+	}
 }
 
-// TestClusterCrashUnsupportedProtocols pins the error contract: only
-// protocols implementing crash-recovery state loss accept CrashNode.
-func TestClusterCrashUnsupportedProtocols(t *testing.T) {
-	c := newCluster(t, Config{Consistency: Sequential, Placement: fullPlacement(2), VirtualLatency: true})
-	if err := c.CrashNode(0); err == nil || !strings.Contains(err.Error(), "crash/restart") {
-		t.Fatalf("CrashNode on Sequential: %v, want unsupported error", err)
+// TestClusterCrashRecoverAllProtocols drives the crash → restart →
+// recover cycle on every protocol and both transports: the write the
+// crashed node missed must be readable after its rejoin (fetched from
+// the peers' snapshots, not from new traffic), subsequent traffic must
+// flow, and the protocol's own witness must validate across the
+// recovery epoch.
+func TestClusterCrashRecoverAllProtocols(t *testing.T) {
+	for _, tr := range Transports {
+		for _, cons := range Consistencies {
+			t.Run(string(tr)+"/"+string(cons), func(t *testing.T) {
+				c := newCluster(t, Config{
+					Consistency: cons, Placement: fullPlacement(3),
+					Transport: tr, VirtualLatency: true, Seed: 23,
+				})
+				step := func(err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				read := func(node int, want int64, what string) {
+					t.Helper()
+					if v, err := c.Node(node).Read("x"); err != nil || v != want {
+						t.Fatalf("%s: node %d read %d, %v; want %d", what, node, v, err, want)
+					}
+				}
+				step(c.Node(0).Write("x", 1))
+				step(c.Quiesce())
+				step(c.CrashNode(1))
+				step(c.Node(0).Write("x", 2))
+				step(c.Quiesce())
+				step(c.RestartNode(1))
+				step(c.Quiesce())
+				read(1, 2, "pre-restart write recovered from peers")
+				step(c.Node(0).Write("x", 3))
+				step(c.Quiesce())
+				read(1, 3, "traffic flows after rejoin")
+				if err := c.VerifyWitness(); err != nil {
+					t.Fatalf("witness across the recovery epoch: %v", err)
+				}
+				if s := c.Stats(); s.Recoveries != 1 || s.RecoveryMsgs == 0 {
+					t.Fatalf("recovery not accounted: Recoveries=%d RecoveryMsgs=%d", s.Recoveries, s.RecoveryMsgs)
+				}
+			})
+		}
 	}
-	if err := c.RestartNode(0); err == nil {
-		t.Fatal("RestartNode on Sequential: nil, want unsupported error")
+}
+
+// TestClusterRestartInsidePartition restarts a node whose snapshot
+// peers are unreachable behind cut links: recovery must not wedge the
+// cluster — the snapshot requests retry on the virtual clock, and once
+// the partition heals the rejoin completes with the pre-crash value.
+func TestClusterRestartInsidePartition(t *testing.T) {
+	c := newCluster(t, Config{
+		Consistency: PRAM, Placement: fullPlacement(3),
+		VirtualLatency: true, Seed: 31,
+	})
+	step := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(c.Node(0).Write("x", 1))
+	step(c.Quiesce())
+	step(c.CrashNode(1))
+	step(c.Node(0).Write("x", 2))
+	step(c.Quiesce())
+	// Cut node 1 off from both peers in both directions, then restart
+	// it inside the partition: the snapshot requests are lost.
+	for _, p := range []int{0, 2} {
+		c.CutLink(1, p)
+		c.CutLink(p, 1)
+	}
+	step(c.RestartNode(1))
+	if v, err := c.Node(1).Read("x"); err != nil || v != Bottom {
+		t.Fatalf("node 1 inside partition read %d, %v; want Bottom (snapshots lost)", v, err)
+	}
+	// Heal before the retry budget is exhausted and let the retried
+	// handshake complete.
+	for _, p := range []int{0, 2} {
+		c.HealLink(1, p)
+		c.HealLink(p, 1)
+	}
+	step(c.Quiesce())
+	if v, err := c.Node(1).Read("x"); err != nil || v != 2 {
+		t.Fatalf("node 1 after heal read %d, %v; want 2 (retried snapshot adopted)", v, err)
+	}
+	if s := c.Stats(); s.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", s.Recoveries)
+	}
+}
+
+// TestClusterOpDeadlineFailsFast pins the bounded-blocking contract:
+// with Config.OpDeadlineTicks set, a blocking protocol's round trip
+// lost to an unhealed cut fails fast with ErrOpDeadline — and records
+// the fault — instead of hanging the application goroutine forever.
+func TestClusterOpDeadlineFailsFast(t *testing.T) {
+	for _, cons := range []Consistency{Sequential, Atomic, CacheConsistency} {
+		t.Run(string(cons), func(t *testing.T) {
+			c := newCluster(t, Config{
+				Consistency: cons, Placement: fullPlacement(2),
+				VirtualLatency: true, OpDeadlineTicks: 1 << 12,
+			})
+			// Requests from node 1 toward its sequencer/primary (node
+			// 0, the lowest clique member) are lost on the cut link.
+			c.CutLink(1, 0)
+			err := c.Node(1).Write("x", 1)
+			if !errors.Is(err, ErrOpDeadline) {
+				t.Fatalf("Write over a cut link: %v, want ErrOpDeadline", err)
+			}
+			if cons == Atomic {
+				if _, err := c.Node(1).Read("x"); !errors.Is(err, ErrOpDeadline) {
+					t.Fatalf("Read over a cut link: %v, want ErrOpDeadline", err)
+				}
+			}
+			if c.Err() == nil {
+				t.Fatal("Err() = nil, want the deadline fault recorded")
+			}
+		})
 	}
 }

@@ -91,6 +91,16 @@ func (m *PRAMMonitor) Feed(node int, e Event) error {
 		}
 		return nil
 	}
+	if e.IsRecover {
+		if e.Writer >= m.numProcs {
+			return m.failf("check: node %d: writer %d out of range", node, e.Writer)
+		}
+		if e.Writer >= 0 && e.WSeq > m.lastSeq[node][e.Writer] {
+			m.lastSeq[node][e.Writer] = e.WSeq
+		}
+		m.cur[node][e.Var] = e.Val
+		return nil
+	}
 	if e.Writer < 0 || e.Writer >= m.numProcs {
 		return m.failf("check: node %d: writer %d out of range", node, e.Writer)
 	}
@@ -152,6 +162,15 @@ func (m *SlowMonitor) Feed(node int, e Event) error {
 		return nil
 	}
 	key := senderVar{e.Writer, e.Var}
+	if e.IsRecover {
+		if e.Writer >= 0 {
+			if last, seen := m.lastSeq[node][key]; !seen || e.WSeq > last {
+				m.lastSeq[node][key] = e.WSeq
+			}
+		}
+		m.cur[node][e.Var] = e.Val
+		return nil
+	}
 	if last, seen := m.lastSeq[node][key]; seen && e.WSeq <= last {
 		return m.failf("check: node %d: %v applied out of per-variable sender order (last #%d)", node, e, last)
 	}
@@ -165,11 +184,20 @@ func (m *SlowMonitor) Feed(node int, e Event) error {
 // monitor maintains, per variable, the longest apply sequence seen so
 // far; every node's sequence must follow it (extending it when the
 // node runs ahead).
+//
+// A recovery event switches the (node, variable) pair from exact
+// prefix alignment to re-anchored tracking: the node's position jumps
+// to just past the recovered write, and subsequent applies must land
+// on strictly advancing positions of the global order — the writes the
+// crashed node slept through are a legitimate gap, but order
+// inversions remain violations.
 type CacheMonitor struct {
 	monitorBase
 	numProcs int
-	global   map[string][]writeID // per variable: longest observed apply order
-	pos      []map[string]int     // [node][var] how far along the global order
+	global   map[string][]writeID       // per variable: longest observed apply order
+	index    map[string]map[writeID]int // per variable: position of each sequenced write
+	pos      []map[string]int           // [node][var] next aligned position / re-anchored floor
+	floating []map[string]bool          // [node][var] re-anchored by a recovery event
 	cur      []map[string]model.Value
 	lastSeq  map[string]map[int]int // per variable, per writer: last sequenced WSeq
 }
@@ -184,15 +212,38 @@ func NewCacheMonitor(numProcs int) *CacheMonitor {
 	m := &CacheMonitor{
 		numProcs: numProcs,
 		global:   make(map[string][]writeID),
+		index:    make(map[string]map[writeID]int),
 		pos:      make([]map[string]int, numProcs),
+		floating: make([]map[string]bool, numProcs),
 		cur:      make([]map[string]model.Value, numProcs),
 		lastSeq:  make(map[string]map[int]int),
 	}
 	for i := 0; i < numProcs; i++ {
 		m.pos[i] = make(map[string]int)
+		m.floating[i] = make(map[string]bool)
 		m.cur[i] = make(map[string]model.Value)
 	}
 	return m
+}
+
+// extend appends w to x's global apply order, enforcing the per-writer
+// program order within the variable. Callers hold m.mu.
+func (m *CacheMonitor) extend(x string, w writeID) (int, error) {
+	if m.lastSeq[x] == nil {
+		m.lastSeq[x] = make(map[int]int)
+	}
+	if last, seen := m.lastSeq[x][w.writer]; seen && w.wseq <= last {
+		return 0, m.failf("check: variable %s: writer %d sequenced out of program order (#%d after #%d)",
+			x, w.writer, w.wseq, last)
+	}
+	m.lastSeq[x][w.writer] = w.wseq
+	if m.index[x] == nil {
+		m.index[x] = make(map[writeID]int)
+	}
+	q := len(m.global[x])
+	m.global[x] = append(m.global[x], w)
+	m.index[x][w] = q
+	return q, nil
 }
 
 // Feed implements Monitor.
@@ -215,7 +266,45 @@ func (m *CacheMonitor) Feed(node int, e Event) error {
 		}
 		return nil
 	}
+	if e.IsRecover {
+		m.cur[node][e.Var] = e.Val
+		m.floating[node][e.Var] = true
+		if e.Writer < 0 {
+			// ⊥ reset: no anchor — the node may re-observe the
+			// variable's order from anywhere onward.
+			m.pos[node][e.Var] = 0
+			return nil
+		}
+		w := writeID{e.Writer, e.WSeq, e.Val}
+		q, known := m.index[e.Var][w]
+		if !known {
+			// The recovered write was sequenced but its apply not yet
+			// observed here (it completed through recovery): enter it.
+			var err error
+			if q, err = m.extend(e.Var, w); err != nil {
+				return err
+			}
+		}
+		m.pos[node][e.Var] = q + 1
+		return nil
+	}
 	w := writeID{e.Writer, e.WSeq, e.Val}
+	if m.floating[node][e.Var] {
+		q, known := m.index[e.Var][w]
+		if !known {
+			var err error
+			if q, err = m.extend(e.Var, w); err != nil {
+				return err
+			}
+		}
+		if q < m.pos[node][e.Var] {
+			return m.failf("check: node %d: variable %s apply order went backward after recovery (%v at position %d, floor %d)",
+				node, e.Var, w, q, m.pos[node][e.Var])
+		}
+		m.pos[node][e.Var] = q + 1
+		m.cur[node][e.Var] = e.Val
+		return nil
+	}
 	seq := m.global[e.Var]
 	p := m.pos[node][e.Var]
 	switch {
@@ -227,15 +316,9 @@ func (m *CacheMonitor) Feed(node int, e Event) error {
 	default:
 		// The node runs ahead: extend the global order, checking the
 		// per-writer program order within the variable.
-		if m.lastSeq[e.Var] == nil {
-			m.lastSeq[e.Var] = make(map[int]int)
+		if _, err := m.extend(e.Var, w); err != nil {
+			return err
 		}
-		if last, seen := m.lastSeq[e.Var][e.Writer]; seen && e.WSeq <= last {
-			return m.failf("check: variable %s: writer %d sequenced out of program order (#%d after #%d)",
-				e.Var, e.Writer, e.WSeq, last)
-		}
-		m.lastSeq[e.Var][e.Writer] = e.WSeq
-		m.global[e.Var] = append(seq, w)
 	}
 	m.pos[node][e.Var] = p + 1
 	m.cur[node][e.Var] = e.Val

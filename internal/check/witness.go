@@ -11,12 +11,22 @@ import (
 // writes applied to a local replica; read events record a local read.
 // A write is globally identified by (Writer, WSeq) where WSeq is the
 // write's index among Writer's writes in program order.
+//
+// Recovery events (IsRecover) record that the node re-acquired
+// Var = Val — the WSeq-th write of Writer — from a peer snapshot while
+// rejoining after a crash, rather than by applying the write's own
+// update message. The witnesses re-anchor the node's tracking state at
+// a recovery event instead of enforcing gapless apply order across it:
+// the node legitimately skipped the updates it slept through. A
+// recovery with Writer < 0 marks a reset — the variable came back as ⊥
+// because no live peer knew a value for it.
 type Event struct {
-	IsRead bool
-	Writer int // write events: issuing application process
-	WSeq   int // write events: per-writer program-order index
-	Var    string
-	Val    model.Value
+	IsRead    bool
+	IsRecover bool
+	Writer    int // write/recovery events: issuing application process
+	WSeq      int // write/recovery events: per-writer program-order index
+	Var       string
+	Val       model.Value
 }
 
 // String renders the event compactly for error messages.
@@ -26,6 +36,12 @@ func (e Event) String() string {
 			return fmt.Sprintf("read(%s)⊥", e.Var)
 		}
 		return fmt.Sprintf("read(%s)%v", e.Var, e.Val)
+	}
+	if e.IsRecover {
+		if e.Writer < 0 {
+			return fmt.Sprintf("recover(%s=⊥ reset)", e.Var)
+		}
+		return fmt.Sprintf("recover(w%d#%d %s=%v)", e.Writer, e.WSeq, e.Var, e.Val)
 	}
 	return fmt.Sprintf("apply(w%d#%d %s=%v)", e.Writer, e.WSeq, e.Var, e.Val)
 }
@@ -49,6 +65,11 @@ func (e Event) String() string {
 // obtained by inserting the unseen writes (which are on variables i
 // never reads) at positions compatible with their writers' program
 // order, which is always possible (see DESIGN.md §6.2).
+//
+// Recovery events re-seed the node's tracked state: the replica view
+// takes the recovered value and the writer's sequence frontier rises
+// to the recovered WSeq, so a subsequent apply must carry a newer
+// sequence number than anything the adopted snapshot already reflects.
 func WitnessPRAM(numProcs int, logs [][]Event) error {
 	if len(logs) != numProcs {
 		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
@@ -60,6 +81,16 @@ func WitnessPRAM(numProcs int, logs [][]Event) error {
 		}
 		cur := make(map[string]model.Value)
 		for k, e := range log {
+			if e.IsRecover {
+				if e.Writer >= numProcs {
+					return fmt.Errorf("check: node %d event %d: writer %d out of range", i, k, e.Writer)
+				}
+				if e.Writer >= 0 && e.WSeq > lastSeq[e.Writer] {
+					lastSeq[e.Writer] = e.WSeq
+				}
+				cur[e.Var] = e.Val
+				continue
+			}
 			if e.IsRead {
 				want, ok := cur[e.Var]
 				if !ok {
@@ -101,6 +132,16 @@ func WitnessSlow(numProcs int, logs [][]Event) error {
 		lastSeq := make(map[sv]int)
 		cur := make(map[string]model.Value)
 		for k, e := range log {
+			if e.IsRecover {
+				if e.Writer >= 0 {
+					key := sv{e.Writer, e.Var}
+					if last, seen := lastSeq[key]; !seen || e.WSeq > last {
+						lastSeq[key] = e.WSeq
+					}
+				}
+				cur[e.Var] = e.Val
+				continue
+			}
 			if e.IsRead {
 				want, ok := cur[e.Var]
 				if !ok {
@@ -136,61 +177,46 @@ func WitnessSlow(numProcs int, logs [][]Event) error {
 //  3. per-writer sanity: within that global order, each writer's
 //     writes to x appear with increasing WSeq (the writer's program
 //     order restricted to x survives sequencing).
+//
+// Crash recovery weakens the per-node condition at the boundary: a
+// recovery event re-anchors the node's position in the variable's
+// global order at the recovered write (the skipped prefix was slept
+// through, not reordered), and from then on the node's applies must
+// hit strictly advancing positions of the order — a necessary
+// condition rather than the exact prefix alignment of an uninterrupted
+// node.
 func WitnessCache(numProcs int, logs [][]Event) error {
 	if len(logs) != numProcs {
 		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
 	}
-	type wid struct {
-		writer, wseq int
-	}
-	perVar := make(map[string][][]wid) // variable → one apply sequence per node (nonempty only)
-	for i, log := range logs {
-		cur := make(map[string]model.Value)
-		seqs := make(map[string][]wid)
-		for k, e := range log {
-			if e.IsRead {
-				want, ok := cur[e.Var]
-				if !ok {
-					want = model.Bottom
+	// Replay through the online monitor. Nodes with uninterrupted logs
+	// go first: they define each variable's global apply order, so the
+	// recovered nodes' anchors resolve against it.
+	m := NewCacheMonitor(numProcs)
+	feed := func(recovered bool) error {
+		for i, log := range logs {
+			hasRec := false
+			for _, e := range log {
+				if e.IsRecover {
+					hasRec = true
+					break
 				}
-				if e.Val != want {
-					return fmt.Errorf("check: node %d event %d: %v returned %v, last applied write is %v",
-						i, k, e, e.Val, want)
-				}
+			}
+			if hasRec != recovered {
 				continue
 			}
-			cur[e.Var] = e.Val
-			seqs[e.Var] = append(seqs[e.Var], wid{e.Writer, e.WSeq})
-		}
-		for x, s := range seqs {
-			perVar[x] = append(perVar[x], s)
-		}
-	}
-	for x, seqs := range perVar {
-		longest := seqs[0]
-		for _, s := range seqs[1:] {
-			if len(s) > len(longest) {
-				longest = s
-			}
-		}
-		for _, s := range seqs {
-			for k := range s {
-				if s[k] != longest[k] {
-					return fmt.Errorf("check: variable %s: apply orders diverge at position %d (%v vs %v)",
-						x, k, s[k], longest[k])
+			for _, e := range log {
+				if err := m.Feed(i, e); err != nil {
+					return err
 				}
 			}
 		}
-		lastSeq := make(map[int]int)
-		for _, w := range longest {
-			if last, seen := lastSeq[w.writer]; seen && w.wseq <= last {
-				return fmt.Errorf("check: variable %s: writer %d's writes sequenced out of program order (#%d after #%d)",
-					x, w.writer, w.wseq, last)
-			}
-			lastSeq[w.writer] = w.wseq
-		}
+		return nil
 	}
-	return nil
+	if err := feed(false); err != nil {
+		return err
+	}
+	return feed(true)
 }
 
 // WitnessAtomic validates per-node event logs of a primary-based
@@ -207,12 +233,22 @@ func WitnessCache(numProcs int, logs [][]Event) error {
 //
 // These are necessary conditions for linearizability; the full
 // criterion is checked on small runs by the exact sequential checker.
+//
+// A restarted primary's recovery events extend the model: a recovery
+// carrying a real value re-enters that value into the register's apply
+// sequence if the crash swallowed its original apply (the write
+// completed through a writer's resend cache), and is a no-op when the
+// value was already applied pre-crash. A ⊥-reset recovery (no live
+// writer knew a value) excuses the variable from the read checks: the
+// register observably restarted from ⊥, so earlier positions are
+// unreachable evidence, not violations.
 func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) error {
 	if len(logs) != numProcs {
 		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
 	}
 	// Primary apply sequences.
 	pos := make(map[string]map[model.Value]int)
+	reset := make(map[string]bool)
 	for i, log := range logs {
 		for k, e := range log {
 			if e.IsRead {
@@ -220,6 +256,19 @@ func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) err
 			}
 			if p := primaryOf(e.Var); p != i {
 				return fmt.Errorf("check: node %d event %d: %v applied away from primary %d", i, k, e, p)
+			}
+			if e.IsRecover {
+				if e.Writer < 0 {
+					reset[e.Var] = true
+					continue
+				}
+				if pos[e.Var] == nil {
+					pos[e.Var] = make(map[model.Value]int)
+				}
+				if _, known := pos[e.Var][e.Val]; !known {
+					pos[e.Var][e.Val] = len(pos[e.Var])
+				}
+				continue
 			}
 			if pos[e.Var] == nil {
 				pos[e.Var] = make(map[model.Value]int)
@@ -234,7 +283,7 @@ func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) err
 	for i, log := range logs {
 		last := make(map[string]int)
 		for k, e := range log {
-			if !e.IsRead {
+			if !e.IsRead || reset[e.Var] {
 				continue
 			}
 			if e.Val == model.Bottom {
@@ -290,6 +339,30 @@ func WitnessCausal(h *model.History, logs [][]Event) error {
 			}
 		}
 	}
+	// checkSegment validates one uninterrupted stretch of applies: no
+	// causal-edge inversion and no duplicate apply. Recovery events cut
+	// segment boundaries — a node that lost its memory and re-seeded
+	// from a snapshot restarts its apply order, so constraints do not
+	// span the crash (the snapshot state itself is validated value by
+	// value against the history).
+	checkSegment := func(i int, appliedIDs []int) error {
+		pos := make(map[int]int, len(appliedIDs))
+		for p, id := range appliedIDs {
+			if _, dup := pos[id]; dup {
+				return fmt.Errorf("check: node %d applied %v twice", i, h.Op(id))
+			}
+			pos[id] = p
+		}
+		for _, a := range appliedIDs {
+			for _, b := range appliedIDs {
+				if a != b && co.Has(a, b) && pos[a] > pos[b] {
+					return fmt.Errorf("check: node %d applied %v before %v, violating causal order",
+						i, h.Op(b), h.Op(a))
+				}
+			}
+		}
+		return nil
+	}
 	for i, log := range logs {
 		cur := make(map[string]model.Value)
 		var appliedIDs []int
@@ -305,6 +378,24 @@ func WitnessCausal(h *model.History, logs [][]Event) error {
 				}
 				continue
 			}
+			if e.IsRecover {
+				if err := checkSegment(i, appliedIDs); err != nil {
+					return err
+				}
+				appliedIDs = appliedIDs[:0]
+				if e.Writer < 0 {
+					cur[e.Var] = model.Bottom
+					continue
+				}
+				if e.Writer >= h.NumProcs() || e.WSeq < 0 || e.WSeq >= len(writeID[e.Writer]) {
+					return fmt.Errorf("check: node %d event %d: %v addresses no write in the history", i, k, e)
+				}
+				if op := h.Op(writeID[e.Writer][e.WSeq]); op.Var != e.Var || op.Val != e.Val {
+					return fmt.Errorf("check: node %d event %d: %v does not match history op %v", i, k, e, op)
+				}
+				cur[e.Var] = e.Val
+				continue
+			}
 			if e.Writer < 0 || e.Writer >= h.NumProcs() || e.WSeq < 0 || e.WSeq >= len(writeID[e.Writer]) {
 				return fmt.Errorf("check: node %d event %d: %v addresses no write in the history", i, k, e)
 			}
@@ -316,20 +407,8 @@ func WitnessCausal(h *model.History, logs [][]Event) error {
 			cur[e.Var] = e.Val
 		}
 		// Apply order must not invert any causal edge.
-		pos := make(map[int]int, len(appliedIDs))
-		for p, id := range appliedIDs {
-			if _, dup := pos[id]; dup {
-				return fmt.Errorf("check: node %d applied %v twice", i, h.Op(id))
-			}
-			pos[id] = p
-		}
-		for _, a := range appliedIDs {
-			for _, b := range appliedIDs {
-				if a != b && co.Has(a, b) && pos[a] > pos[b] {
-					return fmt.Errorf("check: node %d applied %v before %v, violating causal order",
-						i, h.Op(b), h.Op(a))
-				}
-			}
+		if err := checkSegment(i, appliedIDs); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"partialdsm"
+)
+
+// Chaos runs experiment E20: a seeded chaos soak of the crash-recovery
+// machinery. A schedule generator derives, from the seed alone, a
+// sequence of epochs that each crash a node through a bounded
+// virtual-time window (triggering the peer state-transfer rejoin on
+// restart) and cut a link for a bounded window mid-traffic — all on
+// top of continuous seeded drop/dup churn masked by the
+// ack/retransmit layer. Every one of the eight protocols
+// must survive the whole soak on both engines with its consistency
+// witness intact and every recovered replica converged; a second leg
+// repeats the soak on a partially replicated ring placement (snapshot
+// responses are then filtered by what the requester holds), and a third
+// pins the bounded-blocking contract — with OpDeadlineTicks set, a
+// blocking protocol's request lost to an unhealed cut fails fast with
+// ErrOpDeadline instead of hanging.
+//
+// Everything the verdict tables contain — the rendered schedule and the
+// per-protocol verdicts — is rebuilt independently per engine and must
+// come out byte-identical: the chaos schedule, the fault draws and the
+// recovery handshakes all ride the same deterministic virtual clock.
+func Chaos(seed int64) Report {
+	rp := newReporter("E20", "chaos soak — crash/recover + cut/heal + drop/dup churn; bounded blocking")
+
+	const nodes, epochs = 4, 8
+	ringProtocols := []partialdsm.Consistency{
+		partialdsm.Atomic, partialdsm.CausalPartial, partialdsm.CausalHoopAware,
+		partialdsm.PRAM, partialdsm.Slow, partialdsm.CacheConsistency,
+	}
+
+	engines := []string{"classic", "sharded"}
+	tables := make(map[string][]string)
+	var recoveries, recoveryMsgs int
+	var recoveryTicks uint64
+	var abandoned int64
+	for _, engine := range engines {
+		plan := chaosPlan(seed, nodes, epochs)
+		tables[engine] = append(tables[engine], "schedule "+chaosRenderPlan(plan))
+		for _, cons := range partialdsm.Consistencies {
+			verdict, st := chaosVerdict(engine, cons, seed, chaosFullPlacement(nodes), plan)
+			tables[engine] = append(tables[engine],
+				fmt.Sprintf("%-6s %-18s %s", "full", cons, verdict))
+			if engine == "classic" {
+				recoveries += st.Recoveries
+				recoveryMsgs += int(st.RecoveryMsgs)
+				recoveryTicks += st.RecoveryTicks
+				abandoned += st.Abandoned
+			}
+		}
+		for _, cons := range ringProtocols {
+			verdict, st := chaosVerdict(engine, cons, seed+1, chaosRingPlacement(nodes), plan)
+			tables[engine] = append(tables[engine],
+				fmt.Sprintf("%-6s %-18s %s", "ring", cons, verdict))
+			if engine == "classic" {
+				recoveries += st.Recoveries
+				abandoned += st.Abandoned
+			}
+		}
+		for _, cons := range []partialdsm.Consistency{
+			partialdsm.Sequential, partialdsm.Atomic, partialdsm.CacheConsistency,
+		} {
+			tables[engine] = append(tables[engine],
+				fmt.Sprintf("%-6s %-18s %s", "dline", cons, chaosDeadlineVerdict(engine, cons, seed)))
+		}
+	}
+
+	rp.logf("%-6s %-18s %s", "leg", "protocol", "verdict")
+	for _, line := range tables["classic"] {
+		rp.logf("%s", line)
+	}
+
+	identical := len(tables["classic"]) == len(tables["sharded"])
+	for i := range tables["classic"] {
+		if !identical || tables["classic"][i] != tables["sharded"][i] {
+			identical = false
+			rp.logf("engine divergence at row %d:", i)
+			rp.logf("  classic: %s", tables["classic"][i])
+			rp.logf("  sharded: %s", tables["sharded"][i])
+			break
+		}
+	}
+	rp.checkf(identical,
+		"schedule and verdict tables are byte-identical on both engines (seeded chaos schedule)")
+
+	allOK := func(leg string) bool {
+		ok := true
+		for _, line := range tables["classic"] {
+			if strings.HasPrefix(line, leg+" ") && !strings.Contains(line, "ok") {
+				ok = false
+			}
+		}
+		return ok
+	}
+	rp.checkf(allOK("full"),
+		"all eight protocols survive %d crash→recover epochs with cut/heal and drop/dup churn", epochs)
+	rp.checkf(allOK("ring"),
+		"the partial-replication protocols survive the same soak on a ring placement (filtered snapshots)")
+	deadlineOK := true
+	for _, line := range tables["classic"] {
+		if strings.HasPrefix(line, "dline ") && !strings.Contains(line, "deadline") {
+			deadlineOK = false
+		}
+	}
+	rp.checkf(deadlineOK,
+		"bounded blocking: requests lost to an unhealed cut fail fast with ErrOpDeadline on every blocking protocol")
+	wantRecoveries := epochs * (len(partialdsm.Consistencies) + len(ringProtocols))
+	rp.checkf(recoveries == wantRecoveries && recoveryMsgs > 0 && recoveryTicks > 0,
+		"every rejoin completed and was accounted: %d recoveries (want %d), %d snapshot messages, %d virtual ticks (classic legs)",
+		recoveries, wantRecoveries, recoveryMsgs, recoveryTicks)
+	rp.checkf(abandoned == 0,
+		"the retransmit layer masked every chaos-window loss: 0 frames abandoned")
+
+	chaosExactSection(rp, seed)
+	return rp.done()
+}
+
+// chaosEpoch is one epoch of the seeded schedule: who crashes and
+// which ordered link is cut while the epoch's writes are in flight.
+type chaosEpoch struct {
+	victim, cutFrom, cutTo int
+}
+
+// chaosPlan derives the soak schedule from the seed alone.
+func chaosPlan(seed int64, nodes, epochs int) []chaosEpoch {
+	rng := rand.New(rand.NewSource(seed*31 + 17))
+	plan := make([]chaosEpoch, epochs)
+	for e := range plan {
+		victim := rng.Intn(nodes)
+		from := rng.Intn(nodes)
+		to := rng.Intn(nodes - 1)
+		if to >= from {
+			to++
+		}
+		plan[e] = chaosEpoch{victim: victim, cutFrom: from, cutTo: to}
+	}
+	return plan
+}
+
+// chaosRenderPlan renders the schedule into the engine-compared table.
+func chaosRenderPlan(plan []chaosEpoch) string {
+	parts := make([]string, len(plan))
+	for i, ep := range plan {
+		parts[i] = fmt.Sprintf("crash %d cut %d→%d", ep.victim, ep.cutFrom, ep.cutTo)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// chaosFullPlacement replicates v0..v3 everywhere.
+func chaosFullPlacement(nodes int) [][]string {
+	vars := make([]string, nodes)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("v%d", i)
+	}
+	out := make([][]string, nodes)
+	for i := range out {
+		out[i] = vars
+	}
+	return out
+}
+
+// chaosRingPlacement puts v_i on nodes i and i+1 (mod n): every
+// snapshot response is then filtered by what the requester holds, and
+// the hoop-aware protocol keeps its relevance bound through recovery.
+func chaosRingPlacement(nodes int) [][]string {
+	out := make([][]string, nodes)
+	for i := range out {
+		out[i] = []string{
+			fmt.Sprintf("v%d", i),
+			fmt.Sprintf("v%d", (i+nodes-1)%nodes),
+		}
+	}
+	return out
+}
+
+// Fault-window lengths, in virtual ticks, relative to the retransmit
+// layer's RTO (1<<20) and retry budget (16): the crash window is half
+// an RTO and the cut window two, so frames aimed into a window burn at
+// most a few retransmissions — never the whole budget. The windows are
+// scheduled on the virtual clock (CrashNodeFor/CutLinkFor), which is
+// what makes them windows at all: driven from this goroutine, their
+// virtual length would be whatever idle jumps race through while the
+// driver is between two calls — unbounded under an unlucky stall, and
+// different on every engine and run.
+const (
+	chaosCrashTicks = 1 << 19
+	chaosCutTicks   = 1 << 21
+)
+
+// chaosVerdict runs the full soak for one (engine, protocol) cell:
+// per epoch an overlapping crash→recover window and cut→heal window
+// with the live nodes' writes staged across both, a quiesce, the
+// recovered victim's own write, and a convergence probe of every
+// replica. The drop/dup churn runs behind the retransmit layer the
+// whole time. Node i writes v_i, so the expected final values are a
+// pure function of the epoch count.
+func chaosVerdict(engine string, cons partialdsm.Consistency, seed int64, placement [][]string, plan []chaosEpoch) (string, partialdsm.Stats) {
+	nodes := len(placement)
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:    cons,
+		Placement:      placement,
+		Transport:      partialdsm.Transport(engine),
+		Seed:           seed,
+		MaxLatency:     200 * time.Microsecond,
+		VirtualLatency: true,
+		FaultDrop:      0.15,
+		FaultDup:       0.15,
+		FaultSeed:      seed + 59,
+		Reliable:       true,
+	})
+	if err != nil {
+		return "error: " + err.Error(), partialdsm.Stats{}
+	}
+	defer c.Close()
+
+	var broken string
+	note := func(s string) {
+		if broken == "" {
+			broken = s
+		}
+	}
+	for e, ep := range plan {
+		if broken != "" {
+			break
+		}
+		if err := c.CrashNodeFor(ep.victim, chaosCrashTicks); err != nil {
+			note("crash: " + faultTrim(err))
+			break
+		}
+		c.CutLinkFor(ep.cutFrom, ep.cutTo, chaosCutTicks)
+		// Stage the live nodes' writes while the crash and cut windows
+		// are in force: wait-free protocols return immediately, blocking
+		// ones send their ordering requests — the retransmit layer
+		// carries whatever the windows and the churn lose. The victim
+		// writes after the quiesce: a write staged on a node whose crash
+		// callback has not fired yet would be wiped by the coming
+		// amnesia, possibly before its update frames ever left the
+		// coalescing outbox.
+		var pendings []partialdsm.Pending
+		var buf [8]byte
+		for i := 0; i < nodes; i++ {
+			if i == ep.victim {
+				continue
+			}
+			binary.BigEndian.PutUint64(buf[:], uint64((e+1)*1000+i))
+			p, err := c.Node(i).PutAsync(fmt.Sprintf("v%d", i), buf[:])
+			if err != nil {
+				note("write: " + faultTrim(err))
+				break
+			}
+			pendings = append(pendings, p)
+		}
+		if err := c.Quiesce(); err != nil {
+			note(faultTrim(err))
+			break
+		}
+		binary.BigEndian.PutUint64(buf[:], uint64((e+1)*1000+ep.victim))
+		p, err := c.Node(ep.victim).PutAsync(fmt.Sprintf("v%d", ep.victim), buf[:])
+		if err != nil {
+			note("victim write: " + faultTrim(err))
+			break
+		}
+		pendings = append(pendings, p)
+		if err := c.Quiesce(); err != nil {
+			note(faultTrim(err))
+			break
+		}
+		for _, p := range pendings {
+			if err := p.Wait(); err != nil {
+				note("pending: " + faultTrim(err))
+			}
+		}
+		for i := 0; i < nodes && broken == ""; i++ {
+			x := fmt.Sprintf("v%d", i)
+			want := int64((e+1)*1000 + i)
+			for _, holder := range c.Clique(x) {
+				if v, err := c.Node(holder).Read(x); err != nil || v != want {
+					note(fmt.Sprintf("epoch %d: node %d read %s = %d, %v; want %d", e+1, holder, x, v, err, want))
+					break
+				}
+			}
+		}
+	}
+	if broken == "" {
+		if err := c.VerifyWitness(); err != nil {
+			note("witness: " + faultWitnessTrim(err))
+		}
+	}
+	st := c.Stats()
+	if broken != "" {
+		return "BROKEN — " + broken, st
+	}
+	if st.Recoveries != len(plan) {
+		return fmt.Sprintf("BROKEN — %d of %d rejoins completed", st.Recoveries, len(plan)), st
+	}
+	return fmt.Sprintf("ok (%d recoveries, witness intact)", st.Recoveries), st
+}
+
+// chaosDeadlineVerdict pins the fail-fast contract on one blocking
+// protocol: a write whose ordering round trip is lost to an unhealed
+// cut must return ErrOpDeadline (and record the fault) instead of
+// hanging the application goroutine.
+func chaosDeadlineVerdict(engine string, cons partialdsm.Consistency, seed int64) string {
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:     cons,
+		Placement:       [][]string{{"x"}, {"x"}},
+		Transport:       partialdsm.Transport(engine),
+		Seed:            seed,
+		VirtualLatency:  true,
+		OpDeadlineTicks: 1 << 12,
+	})
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	defer c.Close()
+	// Node 1's sequencer/primary for x is node 0 (lowest clique
+	// member); requests toward it are lost on the cut.
+	c.CutLink(1, 0)
+	werr := c.Node(1).Write("x", 1)
+	switch {
+	case werr == nil:
+		return "BROKEN — write completed across an unhealed cut"
+	case !errors.Is(werr, partialdsm.ErrOpDeadline):
+		return "BROKEN — wrong error: " + faultTrim(werr)
+	case c.Err() == nil:
+		return "BROKEN — deadline fault not recorded"
+	}
+	return "deadline error (fail-fast, fault recorded)"
+}
+
+// chaosExactSection runs the exact checkers of the execution model
+// across a recovery epoch: a small PRAM run (well under the exact
+// checkers' operation budget) in which the restarted node's reads are
+// served from recovered state must still be exactly PRAM and slow.
+func chaosExactSection(rp *reporter, seed int64) {
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:    partialdsm.PRAM,
+		Placement:      [][]string{{"x"}, {"x"}, {"x"}},
+		Transport:      partialdsm.Transport("classic"),
+		Seed:           seed,
+		VirtualLatency: true,
+		MaxLatency:     100 * time.Microsecond,
+	})
+	if err != nil {
+		rp.checkf(false, "exact-checker cluster: %v", err)
+		return
+	}
+	defer c.Close()
+	ok := c.Node(0).Write("x", 1) == nil && c.Quiesce() == nil &&
+		c.CrashNode(1) == nil &&
+		c.Node(0).Write("x", 2) == nil && c.Quiesce() == nil &&
+		c.RestartNode(1) == nil && c.Quiesce() == nil
+	v1, _ := c.Node(1).Read("x")
+	ok = ok && c.Node(0).Write("x", 3) == nil && c.Quiesce() == nil
+	v2, _ := c.Node(1).Read("x")
+	verdicts, err := c.CheckHistory()
+	rp.checkf(ok && v1 == 2 && v2 == 3 && err == nil && verdicts["pram"] && verdicts["slow"],
+		"exact checkers: a history spanning crash → state-transfer recovery is still exactly PRAM (and slow)")
+}

@@ -903,6 +903,7 @@ func All(seed int64) []Report {
 		Separation(seed),
 		Latency(seed),
 		Faults(seed),
+		Chaos(seed),
 	}
 }
 

@@ -295,25 +295,40 @@ func faultHardSection(rp *reporter, seed int64) {
 		rp.checkf(false, "restart: %v", err)
 		return
 	}
-	rp.checkf(read(1) == partialdsm.Bottom,
-		"crash/restart: the restarted replica lost its state (x = ⊥ again)")
+	c.Quiesce()
+	rp.checkf(read(1) == 3,
+		"crash/recover: the restarted replica re-learned the write it missed from its live peers")
 	c.Node(0).Write("x", 4)
 	c.Quiesce()
-	rp.checkf(read(1) == 4, "rejoin: the restarted node receives subsequent updates")
+	rp.checkf(read(1) == 4, "rejoin: the recovered node receives subsequent updates")
 
+	// The blocking protocols recover too — including the sequencer node
+	// itself, whose durable sequence counter keeps the total order from
+	// forking across the restart.
 	seqC, err := partialdsm.New(partialdsm.Config{
-		Consistency: partialdsm.Sequential,
-		Placement:   [][]string{{"x"}, {"x"}},
-		Transport:   partialdsm.Transport("classic"),
+		Consistency:    partialdsm.Sequential,
+		Placement:      [][]string{{"x"}, {"x"}},
+		Transport:      partialdsm.Transport("classic"),
+		Seed:           seed,
+		VirtualLatency: true,
+		MaxLatency:     100 * time.Microsecond,
 	})
 	if err != nil {
 		rp.checkf(false, "sequential cluster: %v", err)
 		return
 	}
 	defer seqC.Close()
-	rp.checkf(seqC.CrashNode(0) != nil,
-		"protocols without crash-recovery state loss refuse CrashNode (sequential)")
+	seqOK := seqC.Node(0).Write("x", 7) == nil && seqC.Quiesce() == nil &&
+		seqC.CrashNode(0) == nil && seqC.RestartNode(0) == nil && seqC.Quiesce() == nil
+	seqV, _ := seqC.Node(0).Read("x")
+	seqOK = seqOK && seqV == 7 && seqC.Node(1).Write("x", 8) == nil && seqC.Quiesce() == nil
+	seqV, _ = seqC.Node(0).Read("x")
+	rp.checkf(seqOK && seqV == 8 && seqC.VerifyWitness() == nil,
+		"sequential survives the cycle — even crashing the sequencer node itself (witness intact)")
 	st := c.Stats()
 	rp.checkf(st.Faults["partition"] > 0 && st.Faults["crash"] > 0,
 		"Stats.Faults accounts the hard faults: %v", st.Faults)
+	rp.checkf(st.Recoveries == 1 && st.RecoveryMsgs > 0,
+		"Stats separates the recovery work: %d rejoin, %d snapshot messages, %d virtual ticks",
+		st.Recoveries, st.RecoveryMsgs, st.RecoveryTicks)
 }

@@ -59,6 +59,13 @@ type readReply struct {
 	buf []byte
 }
 
+// heldRead is one read request parked while its primary rejoins.
+type heldRead struct {
+	from int
+	rid  uint32
+	xi   int
+}
+
 // Node is one atomic-register MCS process.
 type Node struct {
 	cfg mcs.Config
@@ -67,11 +74,34 @@ type Node struct {
 
 	mu    sync.Mutex
 	store mcs.Replicas // authoritative copies (by VarID) this node is primary for
-	wseq  int
+	// storeTags tags each authoritative copy with its writer and that
+	// writer's sequence number, so recovery snapshot candidates can be
+	// adopted deterministically (the same-writer comparison is exact;
+	// across writers the higher sequence wins, ties to the lower id).
+	storeTags []mcs.WriteTag
+	wseq      int // durable across CrashRestart: (writer, wseq) pairs must stay unique
 	// expected[r] is the next request sequence this primary expects
 	// from requester r: anything below was already applied and is
-	// re-acked without re-applying (duplicate suppression).
+	// re-acked without re-applying (duplicate suppression). A crashed
+	// primary re-learns it from each requester's sent count during
+	// recovery; re-acking an unapplied pre-crash request is then safe
+	// because the requester's own-write cache travels in the same
+	// snapshot.
 	expected []uint32
+
+	// Requester-side own-write cache: the latest value this node wrote
+	// per variable, kept so a crashed primary can re-learn its
+	// authoritative copies from the surviving requesters. Volatile —
+	// lost with the rest of the node's state on CrashRestart.
+	ownVals mcs.Replicas
+	ownTags []mcs.WriteTag
+
+	rcv       *mcs.Recovery
+	rejoining bool
+	// heldReads queues read requests that arrive while this primary is
+	// rejoining; they are answered once the snapshot merge completes,
+	// so no client observes the half-recovered store.
+	heldReads []heldRead
 
 	// Write-completion accounting: every ack carries its request's
 	// rseq, and the requester keeps the cumulative maximum — the k-th
@@ -81,7 +111,7 @@ type Node struct {
 	ackMu   sync.Mutex
 	ackCond *sync.Cond
 	acks    []int // next-unacked request sequence, per primary (cumulative)
-	sent    []int // write requests sent, per primary (app goroutine only)
+	sent    []int // write requests sent, per primary (durable; snapshot responses report it)
 
 	// readResp hands read responses from the handler to the reading
 	// application goroutine; rid matching discards stale duplicates.
@@ -99,16 +129,21 @@ func New(cfg mcs.Config) ([]*Node, error) {
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
-			cfg:      cfg,
-			id:       i,
-			ix:       ix,
-			store:    mcs.NewReplicas(ix.NumVars()),
-			expected: make([]uint32, n),
-			acks:     make([]int, n),
-			sent:     make([]int, n),
-			readResp: make(chan readReply, readRespCap),
+			cfg:       cfg,
+			id:        i,
+			ix:        ix,
+			store:     mcs.NewReplicas(ix.NumVars()),
+			storeTags: mcs.NewWriteTags(ix.NumVars()),
+			expected:  make([]uint32, n),
+			ownVals:   mcs.NewReplicas(ix.NumVars()),
+			ownTags:   mcs.NewWriteTags(ix.NumVars()),
+			acks:      make([]int, n),
+			sent:      make([]int, n),
+			readResp:  make(chan readReply, readRespCap),
 		}
 		node.ackCond = sync.NewCond(&node.ackMu)
+		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
+		node.rcv.OnDone = node.finishRejoinLocked
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -134,6 +169,8 @@ func (n *Node) issue(xi, prim int, v []byte) (seq int) {
 	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
+	n.ownVals.Set(xi, v)
+	n.ownTags[xi] = mcs.WriteTag{Writer: n.id, WSeq: wseq}
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, n.ix.Name(xi), v)
 	}
@@ -143,8 +180,10 @@ func (n *Node) issue(xi, prim int, v []byte) (seq int) {
 		n.applyPrimary(n.id, wseq, xi, v)
 		return -1
 	}
+	n.ackMu.Lock()
 	seq = n.sent[prim]
 	n.sent[prim]++
+	n.ackMu.Unlock()
 	var enc mcs.Enc
 	enc.SetBuf(mcs.GetPayload())
 	enc.U32(uint32(wseq)).U32(uint32(seq)).VarVal(xi, v)
@@ -157,13 +196,24 @@ func (n *Node) issue(xi, prim int, v []byte) (seq int) {
 	return seq
 }
 
-// waitAck blocks until the seq-th request sent to prim is acked.
-func (n *Node) waitAck(prim, seq int) {
+// waitAck blocks until the seq-th request sent to prim is acked. With
+// Config.OpDeadlineTicks set the wait is bounded on the virtual clock:
+// a request stuck on an unrecovered lossy or partitioned link fails
+// fast with an error wrapping mcs.ErrOpDeadline instead of hanging.
+func (n *Node) waitAck(prim, seq int) error {
 	n.ackMu.Lock()
+	defer n.ackMu.Unlock()
+	if n.cfg.OpDeadlineTicks > 0 {
+		return n.cfg.WaitDeadline(n.id, n.ackCond,
+			func() bool { return n.acks[prim] > seq },
+			func() string {
+				return fmt.Sprintf("atomicreg: node %d write request #%d to primary %d", n.id, seq, prim)
+			})
+	}
 	for n.acks[prim] <= seq {
 		n.ackCond.Wait()
 	}
-	n.ackMu.Unlock()
+	return nil
 }
 
 // Put performs w_i(x)v with a round trip to x's primary.
@@ -177,7 +227,7 @@ func (n *Node) Put(x string, v []byte) error {
 		return err
 	}
 	if seq := n.issue(xi, prim, v); seq >= 0 {
-		n.waitAck(prim, seq) // the write has taken effect atomically
+		return n.waitAck(prim, seq) // the write has taken effect atomically
 	}
 	return nil
 }
@@ -193,7 +243,7 @@ type pending struct {
 // Wait blocks until the write has taken effect at its primary.
 func (p *pending) Wait() error {
 	if p.seq >= 0 {
-		p.n.waitAck(p.prim, p.seq)
+		return p.n.waitAck(p.prim, p.seq)
 	}
 	return nil
 }
@@ -251,9 +301,39 @@ func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 			Vars: n.ix.MsgVars(xi),
 		})
 		// Wait for this read's response; stale replies of duplicated
-		// earlier reads are discarded by the id match.
+		// earlier reads are discarded by the id match. With
+		// Config.OpDeadlineTicks set the wait is bounded on the
+		// virtual clock (same fail-fast contract as waitAck): the
+		// AdvanceIdle nudge before each blocking receive lets an
+		// otherwise idle network jump to the deadline timer.
+		var timeout chan struct{}
+		var clk netsim.Clock
+		if n.cfg.OpDeadlineTicks > 0 {
+			clk = n.cfg.Net.Clock()
+			timeout = make(chan struct{})
+			clk.After(uint64(n.cfg.OpDeadlineTicks), func() { close(timeout) })
+		}
 		for {
-			rep := <-n.readResp
+			var rep readReply
+			if timeout != nil {
+				select {
+				case rep = <-n.readResp:
+				default:
+					clk.AdvanceIdle()
+					select {
+					case rep = <-n.readResp:
+					case <-timeout:
+						err := fmt.Errorf("atomicreg: node %d read of %s from primary %d: no response within OpDeadlineTicks=%d: %w",
+							n.id, x, prim, n.cfg.OpDeadlineTicks, mcs.ErrOpDeadline)
+						if n.cfg.OnFault != nil {
+							n.cfg.OnFault(n.id, err)
+						}
+						return nil, err
+					}
+				}
+			} else {
+				rep = <-n.readResp
+			}
 			if rep.rid != rid {
 				mcs.PutPayload(rep.buf)
 				continue
@@ -273,6 +353,7 @@ func (n *Node) Get(x string, dst []byte) ([]byte, error) {
 func (n *Node) applyPrimary(writer, wseq, xi int, v []byte) {
 	n.mu.Lock()
 	n.store.Set(xi, v)
+	n.storeTags[xi] = mcs.WriteTag{Writer: writer, WSeq: wseq}
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordApply(n.id, writer, wseq, n.ix.Name(xi), v)
 	}
@@ -318,6 +399,7 @@ func (n *Node) handle(msg netsim.Message) {
 		if fresh {
 			n.expected[msg.From] = rseq + 1
 			n.store.Set(xi, v)
+			n.storeTags[xi] = mcs.WriteTag{Writer: msg.From, WSeq: wseq}
 			if rec := n.cfg.Recorder; rec != nil {
 				rec.RecordApply(n.id, msg.From, wseq, n.ix.Name(xi), v)
 			}
@@ -344,6 +426,13 @@ func (n *Node) handle(msg netsim.Message) {
 		}
 		mcs.PutPayload(msg.Payload)
 		n.mu.Lock()
+		if n.rejoining {
+			// Don't serve reads from a half-recovered store: park the
+			// request until the snapshot merge completes.
+			n.heldReads = append(n.heldReads, heldRead{from: msg.From, rid: rid, xi: xi})
+			n.mu.Unlock()
+			return
+		}
 		var enc mcs.Enc
 		enc.SetBuf(mcs.GetPayload())
 		enc.U32(rid).Raw(n.store.Get(xi))
@@ -391,10 +480,223 @@ func (n *Node) handle(msg netsim.Message) {
 			default:
 			}
 		}
+	case mcs.KindSnapReq:
+		n.handleSnapReq(msg)
+	case mcs.KindSnapResp:
+		n.handleSnapResp(msg)
 	default:
 		n.cfg.Faultf(n.id, "atomicreg: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
 	}
 }
 
-var _ mcs.Node = (*Node)(nil)
+// handleSnapReq answers a rejoining peer p with this node's sent-count
+// toward p (so p rebuilds its duplicate-suppression cursor at least as
+// high as every request already issued) and the own-write cache entries
+// for variables p is primary of. A request issued while p was down is
+// then re-acked without re-applying, which is safe precisely because
+// the latest own write per variable rides in this same snapshot.
+func (n *Node) handleSnapReq(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "atomicreg: node %d: malformed snapshot request from %d: %v", n.id, msg.From, err)
+		return
+	}
+	if msg.From < 0 || msg.From >= len(n.expected) {
+		n.cfg.Faultf(n.id, "atomicreg: node %d: snapshot request from unknown node %d", n.id, msg.From)
+		return
+	}
+	n.ackMu.Lock()
+	reqs := n.sent[msg.From]
+	n.ackMu.Unlock()
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(epoch).U32(uint32(reqs))
+	var vars []string
+	pos := enc.Len()
+	enc.U32(0)
+	nVals, data := 0, 0
+	n.mu.Lock()
+	for _, xi := range n.ix.VarIDs(n.id) {
+		t := n.ownTags[xi]
+		if t.Writer != n.id {
+			continue
+		}
+		if prim, err := n.primary(xi); err != nil || prim != msg.From {
+			continue
+		}
+		v := n.ownVals.Get(xi)
+		enc.U32(uint32(t.WSeq)).VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		nVals++
+	}
+	n.mu.Unlock()
+	enc.PatchU32(pos, uint32(nVals))
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        msg.From,
+		Kind:      mcs.KindSnapResp,
+		Payload:   payload,
+		CtrlBytes: len(payload) - data,
+		DataBytes: data,
+		Vars:      vars,
+	})
+}
+
+// handleSnapResp merges one requester's snapshot into the rejoining
+// primary: expected[from] rises to that requester's sent count, and
+// own-write candidates re-populate the authoritative copies. Adoption
+// is deterministic regardless of response arrival order: an empty slot
+// always adopts, a same-writer candidate adopts exactly when newer, and
+// across writers the higher sequence wins with ties to the lower id.
+func (n *Node) handleSnapResp(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	reqs := d.U32()
+	nVals := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "atomicreg: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	if msg.From < 0 || msg.From >= len(n.expected) {
+		n.cfg.Faultf(n.id, "atomicreg: node %d: snapshot from unknown node %d", n.id, msg.From)
+		return
+	}
+	n.mu.Lock()
+	if !n.rcv.Accept(msg.From, epoch) {
+		n.mu.Unlock()
+		return
+	}
+	if reqs > n.expected[msg.From] {
+		n.expected[msg.From] = reqs
+	}
+	for k := 0; k < nVals; k++ {
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "atomicreg: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if xi < 0 || xi >= n.ix.NumVars() {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "atomicreg: node %d: snapshot entry from %d names unknown VarID %d", n.id, msg.From, xi)
+			return
+		}
+		w := msg.From
+		cur := n.storeTags[xi]
+		adopt := cur.Writer < 0 || s > cur.WSeq || (s == cur.WSeq && w < cur.Writer)
+		if !adopt {
+			continue
+		}
+		n.store.Set(xi, v)
+		n.storeTags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordRecover(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	n.rcv.FinishResponse()
+	n.mu.Unlock()
+}
+
+// finishRejoinLocked closes the rejoin window (Recovery.OnDone, node
+// lock held): primary'd variables no surviving requester had a cached
+// write for are recorded as ⊥ resets, then the reads parked during the
+// window are answered from the recovered store. The sends happen with
+// the lock dropped (and re-taken before returning, as OnDone requires).
+func (n *Node) finishRejoinLocked() {
+	n.rejoining = false
+	rec := n.cfg.Recorder
+	var outs []netsim.Message
+	for _, xi := range n.ix.VarIDs(n.id) {
+		if prim, err := n.primary(xi); err != nil || prim != n.id {
+			continue
+		}
+		if rec != nil && n.storeTags[xi].Writer < 0 {
+			rec.RecordRecover(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+		}
+	}
+	for _, hr := range n.heldReads {
+		var enc mcs.Enc
+		enc.SetBuf(mcs.GetPayload())
+		enc.U32(hr.rid).Raw(n.store.Get(hr.xi))
+		outs = append(outs, netsim.Message{
+			From: n.id, To: hr.from, Kind: KindReadResp,
+			Payload: enc.Bytes(), CtrlBytes: 4, DataBytes: enc.Len() - 4,
+			Vars: n.ix.MsgVars(hr.xi),
+		})
+	}
+	n.heldReads = nil
+	if len(outs) > 0 {
+		n.mu.Unlock()
+		for _, m := range outs {
+			n.cfg.Net.Send(m)
+		}
+		n.mu.Lock()
+	}
+}
+
+// CrashRestart models the node rejoining after a crash with its
+// volatile state lost: the authoritative copies, their tags, the
+// duplicate-suppression cursors, the own-write cache and any parked
+// reads are wiped, to be re-learned from the surviving requesters
+// during Recover (mcs.CrashRestarter). The write counter and the
+// per-primary request numbering survive — receivers key duplicate
+// suppression and ack accounting on them, so a restarted requester must
+// not reuse positions. Application goroutines blocked on pre-crash
+// round trips are released (their requests died with the process).
+func (n *Node) CrashRestart() {
+	n.mu.Lock()
+	for xi := range n.store {
+		n.store.Set(xi, mcs.BottomValue)
+		n.storeTags[xi] = mcs.WriteTag{Writer: -1}
+		n.ownVals.Set(xi, mcs.BottomValue)
+		n.ownTags[xi] = mcs.WriteTag{Writer: -1}
+	}
+	for r := range n.expected {
+		n.expected[r] = 0
+	}
+	n.heldReads = nil
+	n.rejoining = true
+	n.rcv.Cancel()
+	n.mu.Unlock()
+	n.ackMu.Lock()
+	for p := range n.acks {
+		if n.sent[p] > n.acks[p] {
+			n.acks[p] = n.sent[p]
+		}
+	}
+	n.ackCond.Broadcast()
+	n.ackMu.Unlock()
+	for {
+		select {
+		case rep := <-n.readResp:
+			mcs.PutPayload(rep.buf)
+		default:
+			return
+		}
+	}
+}
+
+// Recover starts the rejoin handshake (mcs.CrashRestarter): every
+// clique neighbour is a snapshot peer — only clique members can write
+// through this primary, so together they hold every recoverable value.
+func (n *Node) Recover() {
+	n.rcv.Begin(n.cfg.Placement.Neighbors(n.id))
+}
+
+// RecoveryStats reports completed rejoins and their summed virtual
+// duration (mcs.CrashRestarter).
+func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
+	return n.rcv.Stats()
+}
+
+var (
+	_ mcs.Node           = (*Node)(nil)
+	_ mcs.CrashRestarter = (*Node)(nil)
+)

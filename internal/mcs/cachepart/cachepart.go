@@ -57,14 +57,28 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu       sync.Mutex
-	replicas mcs.Replicas // by VarID
+	replicas mcs.Replicas   // by VarID
+	tags     []mcs.WriteTag // by VarID: last applied write (for snapshots)
 	wseq     int
 	nextSeq  []int                 // next per-variable sequence to apply, by VarID
 	buffered []map[int]bufferedUpd // by VarID; maps lazily allocated
-	ownDone  []int                 // per VarID: own writes applied locally
-	ownSent  []int                 // per VarID: own writes issued
-	applied  *sync.Cond
+	// ownDone is, per VarID, the settle cursor for this node's own
+	// writes: own writes with wseq below it have taken local effect —
+	// applied by the drain, or covered by an adopted snapshot prefix.
+	// Keyed to the global write counter (which the update wire format
+	// carries) rather than a count of apply events, it is idempotent
+	// under fault-layer duplicates and across recovery windows.
+	ownDone []int
+	applied *sync.Cond
 
+	rcv       *mcs.Recovery
+	rejoining bool
+
+	// Sequencer state. The per-variable counters are durable across the
+	// sequencer's own crashes: they cannot be reconstructed from
+	// replicas (in-flight multicasts may outrun every peer's apply
+	// cursor), and a reused sequence number would fork a variable's
+	// total order.
 	seqMu sync.Mutex
 	vseq  []int // sequencer role: next sequence per owned VarID
 }
@@ -83,13 +97,15 @@ func New(cfg mcs.Config) ([]*Node, error) {
 			id:       i,
 			ix:       ix,
 			replicas: mcs.NewReplicas(ix.NumVars()),
+			tags:     mcs.NewWriteTags(ix.NumVars()),
 			nextSeq:  make([]int, ix.NumVars()),
 			buffered: make([]map[int]bufferedUpd, ix.NumVars()),
 			ownDone:  make([]int, ix.NumVars()),
-			ownSent:  make([]int, ix.NumVars()),
 			vseq:     make([]int, ix.NumVars()),
 		}
 		node.applied = sync.NewCond(&node.mu)
+		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
+		node.rcv.OnDone = node.finishRejoinLocked
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -109,13 +125,11 @@ func (n *Node) primary(xi int) (int, error) {
 }
 
 // issue records and sends one write request to x's sequencer,
-// returning this node's per-variable turn number.
-func (n *Node) issue(xi, prim int, v []byte) (myTurn int) {
+// returning the write's per-process sequence number.
+func (n *Node) issue(xi, prim int, v []byte) (wseq int) {
 	n.mu.Lock()
-	wseq := n.wseq
+	wseq = n.wseq
 	n.wseq++
-	myTurn = n.ownSent[xi]
-	n.ownSent[xi]++
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, n.ix.Name(xi), v)
 	}
@@ -130,7 +144,7 @@ func (n *Node) issue(xi, prim int, v []byte) (myTurn int) {
 		Payload: payload, CtrlBytes: len(payload) - len(v), DataBytes: len(v),
 		Vars: n.ix.MsgVars(xi),
 	})
-	return myTurn
+	return wseq
 }
 
 // Put performs w_i(x)v: route through x's sequencer, block until the
@@ -144,36 +158,48 @@ func (n *Node) Put(x string, v []byte) error {
 	if err != nil {
 		return err
 	}
-	myTurn := n.issue(xi, prim, v)
-	// Block until this write (the myTurn-th own write on x) is applied
-	// locally, so the process's operations on x serialize in program
-	// order.
+	wseq := n.issue(xi, prim, v)
+	// Block until this write has taken local effect, so the process's
+	// operations on x serialize in program order.
 	n.mu.Lock()
-	for n.ownDone[xi] <= myTurn {
+	defer n.mu.Unlock()
+	if n.cfg.OpDeadlineTicks > 0 {
+		return n.cfg.WaitDeadline(n.id, n.applied,
+			func() bool { return n.ownDone[xi] > wseq },
+			func() string { return fmt.Sprintf("cachepart: node %d write #%d to %s", n.id, wseq, x) })
+	}
+	for n.ownDone[xi] <= wseq {
 		n.applied.Wait()
 	}
-	n.mu.Unlock()
 	return nil
 }
 
 // pending is an outstanding asynchronous write on one variable: it
-// completes when the node's myTurn-th own write on the variable has
-// been applied locally. Requests reach x's sequencer in issue order
-// (per-pair FIFO), so outstanding writes on one variable complete in
-// issue order.
+// completes when the write has taken local effect — exactly where the
+// synchronous Put would have returned. Requests reach x's sequencer in
+// issue order (per-pair FIFO), so outstanding writes on one variable
+// complete in issue order.
 type pending struct {
-	n      *Node
-	varID  int
-	myTurn int
+	n     *Node
+	varID int
+	wseq  int
 }
 
 // Wait blocks until the write is applied locally.
 func (p *pending) Wait() error {
-	p.n.mu.Lock()
-	for p.n.ownDone[p.varID] <= p.myTurn {
-		p.n.applied.Wait()
+	n := p.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.OpDeadlineTicks > 0 {
+		return n.cfg.WaitDeadline(n.id, n.applied,
+			func() bool { return n.ownDone[p.varID] > p.wseq },
+			func() string {
+				return fmt.Sprintf("cachepart: node %d async write #%d to %s", n.id, p.wseq, n.ix.Name(p.varID))
+			})
 	}
-	p.n.mu.Unlock()
+	for n.ownDone[p.varID] <= p.wseq {
+		n.applied.Wait()
+	}
 	return nil
 }
 
@@ -193,7 +219,7 @@ func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &pending{n: n, varID: xi, myTurn: n.issue(xi, prim, v)}, nil
+	return &pending{n: n, varID: xi, wseq: n.issue(xi, prim, v)}, nil
 }
 
 // Get performs r_i(x) wait-free on the local replica, appending the
@@ -219,6 +245,10 @@ func (n *Node) handle(msg netsim.Message) {
 		n.sequence(msg)
 	case KindUpdate:
 		n.applyUpdate(msg)
+	case mcs.KindSnapReq:
+		n.handleSnapReq(msg)
+	case mcs.KindSnapResp:
+		n.handleSnapResp(msg)
 	default:
 		n.cfg.Faultf(n.id, "cachepart: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
@@ -291,12 +321,35 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		return
 	}
 	n.mu.Lock()
+	// Updates below the variable's cursor are already reflected — an
+	// injected duplicate, or a pre-crash straggler the snapshot merge
+	// covered — and are dropped. During a rejoin window updates only
+	// buffer: the cursors are being re-learned from peer snapshots.
+	if !n.rejoining && seq < n.nextSeq[xi] {
+		// The replica state needs nothing, but an own write riding the
+		// frame must still be settled or its Put/Wait would block forever
+		// (the write's effect reached us inside an adopted snapshot).
+		n.settleOwnLocked(xi, writer, wseq)
+		n.mu.Unlock()
+		mcs.RecycleFrame(msg)
+		return
+	}
 	if n.buffered[xi] == nil {
 		n.buffered[xi] = make(map[int]bufferedUpd)
 	}
 	// The value must outlive the shared multicast frame: copy it into a
 	// pooled buffer, recycled when the update applies.
 	n.buffered[xi][seq] = bufferedUpd{writer: writer, wseq: wseq, v: append(mcs.GetPayload(), v...)}
+	if !n.rejoining {
+		n.drainLocked(xi)
+	}
+	n.mu.Unlock()
+	mcs.RecycleFrame(msg) // last receiver of the shared multicast recycles it
+}
+
+// drainLocked applies x's buffered updates in sequence order from the
+// cursor and wakes write waiters.
+func (n *Node) drainLocked(xi int) {
 	for {
 		u, ok := n.buffered[xi][n.nextSeq[xi]]
 		if !ok {
@@ -305,17 +358,187 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		delete(n.buffered[xi], n.nextSeq[xi])
 		n.nextSeq[xi]++
 		n.replicas.Set(xi, u.v)
+		n.tags[xi] = mcs.WriteTag{Writer: u.writer, WSeq: u.wseq}
 		if rec := n.cfg.Recorder; rec != nil {
 			rec.RecordApply(n.id, u.writer, u.wseq, n.ix.Name(xi), u.v)
 		}
-		if u.writer == n.id {
-			n.ownDone[xi]++
-		}
+		n.settleOwnLocked(xi, u.writer, u.wseq)
 		mcs.PutPayload(u.v)
 	}
 	n.applied.Broadcast()
-	n.mu.Unlock()
-	mcs.RecycleFrame(msg) // last receiver of the shared multicast recycles it
 }
 
-var _ mcs.Node = (*Node)(nil)
+// settleOwnLocked advances x's own-write settle cursor when an own
+// update's effect is in the replica state — applied by the drain,
+// covered by an adopted snapshot prefix, or echoed by a fault-layer
+// duplicate. Max semantics keep it idempotent, and pre-crash
+// stragglers never regress it: CrashRestart settles everything issued
+// before the crash.
+func (n *Node) settleOwnLocked(xi, writer, wseq int) {
+	if writer == n.id && wseq+1 > n.ownDone[xi] {
+		n.ownDone[xi] = wseq + 1
+		n.applied.Broadcast()
+	}
+}
+
+// handleSnapReq answers a rejoining peer with, per mutually-replicated
+// written variable: the apply cursor, the last applied write's
+// (writer, wseq) tag and the value. Snapshot traffic stays inside the
+// cliques both nodes belong to, preserving the protocol's efficiency.
+func (n *Node) handleSnapReq(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "cachepart: node %d: malformed snapshot request from %d: %v", n.id, msg.From, err)
+		return
+	}
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(epoch)
+	countPos := enc.Len()
+	enc.U32(0)
+	var vars []string
+	count, data := 0, 0
+	n.mu.Lock()
+	for _, xi := range n.ix.VarIDs(n.id) {
+		t := n.tags[xi]
+		if n.nextSeq[xi] == 0 || t.Writer < 0 || !n.ix.Holds(msg.From, xi) {
+			continue
+		}
+		v := n.replicas.Get(xi)
+		enc.U32(uint32(n.nextSeq[xi])).U32(uint32(t.Writer)).U32(uint32(t.WSeq)).VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		count++
+	}
+	n.mu.Unlock()
+	enc.PatchU32(countPos, uint32(count))
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        msg.From,
+		Kind:      mcs.KindSnapResp,
+		Payload:   payload,
+		CtrlBytes: len(payload) - data,
+		DataBytes: data,
+		Vars:      vars,
+	})
+}
+
+// handleSnapResp merges one peer snapshot per variable: each
+// variable's updates form one total order, so the highest apply cursor
+// wins and adopting its value and cursor together keeps them
+// consistent.
+func (n *Node) handleSnapResp(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	count := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "cachepart: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	n.mu.Lock()
+	if !n.rcv.Accept(msg.From, epoch) {
+		n.mu.Unlock()
+		return
+	}
+	for k := 0; k < count; k++ {
+		cursor := int(d.U32())
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "cachepart: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if xi < 0 || xi >= n.ix.NumVars() || w < 0 || w >= n.cfg.Net.NumNodes() {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "cachepart: node %d: snapshot entry from %d names unknown VarID %d / writer %d",
+				n.id, msg.From, xi, w)
+			return
+		}
+		if cursor <= n.nextSeq[xi] {
+			continue
+		}
+		n.nextSeq[xi] = cursor
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordRecover(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	n.rcv.FinishResponse()
+	n.mu.Unlock()
+}
+
+// finishRejoinLocked closes the rejoin window (Recovery.OnDone, node
+// lock held): buffered updates below the adopted cursors — pre-crash
+// stragglers the snapshots already cover — are purged, each variable's
+// drain resumes from its cursor, and variables no live peer knew a
+// value for are recorded as ⊥ resets.
+func (n *Node) finishRejoinLocked() {
+	n.rejoining = false
+	rec := n.cfg.Recorder
+	for _, xi := range n.ix.VarIDs(n.id) {
+		for seq, u := range n.buffered[xi] {
+			if seq < n.nextSeq[xi] {
+				delete(n.buffered[xi], seq)
+				// The purged update's effect is inside the adopted
+				// snapshot; an own write issued during the rejoin window
+				// still completes.
+				n.settleOwnLocked(xi, u.writer, u.wseq)
+				mcs.PutPayload(u.v)
+			}
+		}
+		if rec != nil && n.tags[xi].Writer < 0 {
+			rec.RecordRecover(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+		}
+		n.drainLocked(xi)
+	}
+}
+
+// CrashRestart models the node rejoining after a crash with its
+// volatile state lost: replicas revert to ⊥; tags, apply cursors and
+// reorder buffers are forgotten, to be re-learned from peer snapshots
+// during Recover (mcs.CrashRestarter). Durable state survives: the
+// node's write counters, and its per-variable sequencer counters (a
+// reused sequence number would fork a variable's total order). Writes
+// still blocked from before the crash complete: their requests died
+// with the node.
+func (n *Node) CrashRestart() {
+	n.mu.Lock()
+	for xi := range n.replicas {
+		n.replicas.Set(xi, mcs.BottomValue)
+		n.tags[xi] = mcs.WriteTag{Writer: -1}
+		n.nextSeq[xi] = 0
+		for seq, u := range n.buffered[xi] {
+			delete(n.buffered[xi], seq)
+			mcs.PutPayload(u.v)
+		}
+		n.ownDone[xi] = n.wseq
+	}
+	n.rejoining = true
+	n.rcv.Cancel()
+	n.applied.Broadcast()
+	n.mu.Unlock()
+}
+
+// Recover starts the rejoin handshake with every variable-sharing
+// neighbor (mcs.CrashRestarter).
+func (n *Node) Recover() {
+	n.rcv.Begin(n.cfg.Placement.Neighbors(n.id))
+}
+
+// RecoveryStats reports completed rejoins and their summed virtual
+// duration (mcs.CrashRestarter).
+func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
+	return n.rcv.Stats()
+}
+
+var (
+	_ mcs.Node           = (*Node)(nil)
+	_ mcs.CrashRestarter = (*Node)(nil)
+)

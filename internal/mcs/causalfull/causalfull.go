@@ -53,11 +53,16 @@ type Node struct {
 	peers []int // every node but this one (broadcast set)
 
 	mu       sync.Mutex
-	vc       []uint32     // vc[p] = number of p's writes applied locally
-	replicas mcs.Replicas // by VarID
+	vc       []uint32       // vc[p] = number of p's writes applied locally
+	replicas mcs.Replicas   // by VarID
+	tags     []mcs.WriteTag // by VarID: last applied write (for snapshots)
 	pending  []update
 	tsTmp    []uint32 // decode scratch, reused per record
-	out      *mcs.Outbox
+
+	rcv       *mcs.Recovery
+	rejoining bool
+
+	out *mcs.Outbox
 }
 
 // New instantiates the nodes and installs handlers. The protocol
@@ -77,6 +82,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 			ix:       ix,
 			vc:       make([]uint32, n),
 			replicas: mcs.NewReplicas(ix.NumVars()),
+			tags:     mcs.NewWriteTags(ix.NumVars()),
 			tsTmp:    make([]uint32, 0, n),
 			out:      mcs.NewOutbox(cfg.Net, i, KindUpdate, cfg.CoalesceBatch),
 		}
@@ -85,6 +91,8 @@ func New(cfg mcs.Config) ([]*Node, error) {
 				node.peers = append(node.peers, p)
 			}
 		}
+		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
+		node.rcv.OnDone = node.finishRejoinLocked
 		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -109,6 +117,7 @@ func (n *Node) Put(x string, v []byte) error {
 	n.vc[n.id]++
 	wseq := int(n.vc[n.id]) - 1
 	n.replicas.Set(xi, v)
+	n.tags[xi] = mcs.WriteTag{Writer: n.id, WSeq: wseq}
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, name, v)
 		rec.RecordApply(n.id, n.id, wseq, name, v)
@@ -168,10 +177,30 @@ func (n *Node) FlushUpdates() {
 	n.mu.Unlock()
 }
 
-// handle processes a batched frame: deliverable records apply
-// immediately off the decode scratch; the rest are copied into the
-// pending buffer and drained as their dependencies arrive.
+// handle dispatches on message kind: steady-state update frames plus
+// the two crash-recovery kinds.
 func (n *Node) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case KindUpdate:
+		n.handleUpdate(msg)
+	case mcs.KindSnapReq:
+		n.handleSnapReq(msg)
+	case mcs.KindSnapResp:
+		n.handleSnapResp(msg)
+	default:
+		n.cfg.Faultf(n.id, "causalfull: node %d: unknown message kind %q", n.id, msg.Kind)
+		mcs.RecycleFrame(msg)
+	}
+}
+
+// handleUpdate processes a batched frame: deliverable records apply
+// immediately off the decode scratch; the rest are copied into the
+// pending buffer and drained as their dependencies arrive. Records
+// whose writer entry the vector clock already covers are duplicates
+// (injected, or pre-crash stragglers the snapshot merge covered) and
+// are dropped; during a rejoin window everything pends until the merge
+// has rebuilt the clock.
+func (n *Node) handleUpdate(msg netsim.Message) {
 	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
@@ -194,10 +223,21 @@ func (n *Node) handle(msg netsim.Message) {
 				n.id, msg.From, xi, len(n.tsTmp))
 			return
 		}
-		if n.deliverable(msg.From, n.tsTmp) {
+		switch {
+		case n.rejoining:
+			n.pending = append(n.pending, update{
+				writer: msg.From,
+				ts:     append([]uint32(nil), n.tsTmp...),
+				varID:  xi,
+				v:      append(mcs.GetPayload(), v...),
+			})
+		case n.tsTmp[msg.From] <= n.vc[msg.From]:
+			// Already reflected: injected duplicate or snapshot-covered
+			// pre-crash straggler.
+		case n.deliverable(msg.From, n.tsTmp):
 			n.applyLocked(msg.From, n.tsTmp[msg.From], xi, v)
 			n.drainLocked()
-		} else {
+		default:
 			n.pending = append(n.pending, update{
 				writer: msg.From,
 				ts:     append([]uint32(nil), n.tsTmp...),
@@ -229,6 +269,7 @@ func (n *Node) deliverable(writer int, ts []uint32) bool {
 func (n *Node) applyLocked(writer int, tsWriter uint32, xi int, v []byte) {
 	n.vc[writer] = tsWriter
 	n.replicas.Set(xi, v)
+	n.tags[xi] = mcs.WriteTag{Writer: writer, WSeq: int(tsWriter) - 1}
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordApply(n.id, writer, int(tsWriter)-1, n.ix.Name(xi), v)
 	}
@@ -252,8 +293,180 @@ func (n *Node) drainLocked() {
 	}
 }
 
+// handleSnapReq answers a rejoining peer with the responder's vector
+// clock and its full tagged replica state: the protocol replicates
+// every variable everywhere, so any live peer can re-seed the whole
+// store.
+func (n *Node) handleSnapReq(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "causalfull: node %d: malformed snapshot request from %d: %v", n.id, msg.From, err)
+		return
+	}
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(epoch)
+	n.mu.Lock()
+	enc.U32Slice(n.vc)
+	countPos := enc.Len()
+	enc.U32(0)
+	var vars []string
+	count, data := 0, 0
+	for xi := range n.tags {
+		t := n.tags[xi]
+		if t.Writer < 0 {
+			continue
+		}
+		v := n.replicas.Get(xi)
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq)).VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		count++
+	}
+	n.mu.Unlock()
+	enc.PatchU32(countPos, uint32(count))
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        msg.From,
+		Kind:      mcs.KindSnapResp,
+		Payload:   payload,
+		CtrlBytes: len(payload) - data,
+		DataBytes: data,
+		Vars:      vars,
+	})
+}
+
+// handleSnapResp merges one peer snapshot: the vector clock merges
+// pointwise-max (the requester's view now causally covers everything
+// any answering peer had applied) and values adopt unless the local
+// tag already reflects a same-writer write at least as new.
+func (n *Node) handleSnapResp(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	n.mu.Lock()
+	n.tsTmp = d.U32SliceInto(n.tsTmp)
+	count := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.mu.Unlock()
+		n.cfg.Faultf(n.id, "causalfull: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	if !n.rcv.Accept(msg.From, epoch) {
+		n.mu.Unlock()
+		return
+	}
+	if len(n.tsTmp) != len(n.vc) {
+		n.mu.Unlock()
+		n.cfg.Faultf(n.id, "causalfull: node %d: snapshot from %d has bad clock len %d", n.id, msg.From, len(n.tsTmp))
+		return
+	}
+	for k, t := range n.tsTmp {
+		if t > n.vc[k] {
+			n.vc[k] = t
+		}
+	}
+	for k := 0; k < count; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "causalfull: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if xi < 0 || xi >= len(n.replicas) || w < 0 || w >= len(n.vc) {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "causalfull: node %d: snapshot entry from %d names unknown VarID %d / writer %d",
+				n.id, msg.From, xi, w)
+			return
+		}
+		if n.tags[xi].Stale(w, s) {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordRecover(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	n.rcv.FinishResponse()
+	n.mu.Unlock()
+}
+
+// finishRejoinLocked closes the rejoin window (Recovery.OnDone, node
+// lock held): pending updates the merged clock already covers —
+// pre-crash stragglers reflected in the adopted snapshots — are
+// purged, the causal drain resumes against the merged clock, and
+// variables no live peer knew a value for are recorded as ⊥ resets.
+func (n *Node) finishRejoinLocked() {
+	n.rejoining = false
+	kept := n.pending[:0]
+	for _, u := range n.pending {
+		if u.ts[u.writer] <= n.vc[u.writer] {
+			mcs.PutPayload(u.v)
+			continue
+		}
+		kept = append(kept, u)
+	}
+	n.pending = kept
+	if rec := n.cfg.Recorder; rec != nil {
+		for _, xi := range n.ix.VarIDs(n.id) {
+			if n.tags[xi].Writer < 0 {
+				rec.RecordRecover(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+	n.drainLocked()
+}
+
+// CrashRestart models the node rejoining after a crash with its
+// volatile state lost: replicas revert to ⊥; tags, the pending buffer
+// and every *other* process's vector-clock entry are forgotten, to be
+// re-learned from peer snapshots during Recover (mcs.CrashRestarter).
+// The node's own clock entry is its write counter and survives — a
+// restarted writer must not reuse timestamps its peers have already
+// delivered. Incoming updates pend until the snapshot merge rebuilds
+// the clock.
+func (n *Node) CrashRestart() {
+	n.mu.Lock()
+	for xi := range n.replicas {
+		n.replicas.Set(xi, mcs.BottomValue)
+		n.tags[xi] = mcs.WriteTag{Writer: -1}
+	}
+	for k := range n.vc {
+		if k != n.id {
+			n.vc[k] = 0
+		}
+	}
+	for _, u := range n.pending {
+		mcs.PutPayload(u.v)
+	}
+	n.pending = n.pending[:0]
+	n.rejoining = true
+	n.rcv.Cancel()
+	n.mu.Unlock()
+}
+
+// Recover starts the rejoin handshake (mcs.CrashRestarter). The
+// protocol broadcasts to everyone, so every live node is a snapshot
+// peer.
+func (n *Node) Recover() {
+	n.rcv.Begin(n.peers)
+}
+
+// RecoveryStats reports completed rejoins and their summed virtual
+// duration (mcs.CrashRestarter).
+func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
+	return n.rcv.Stats()
+}
+
 var (
-	_ mcs.Node    = (*Node)(nil)
-	_ mcs.Flusher = (*Node)(nil)
-	_ mcs.Batcher = (*Node)(nil)
+	_ mcs.Node           = (*Node)(nil)
+	_ mcs.Flusher        = (*Node)(nil)
+	_ mcs.Batcher        = (*Node)(nil)
+	_ mcs.CrashRestarter = (*Node)(nil)
 )

@@ -111,13 +111,18 @@ type Node struct {
 	notifies [][]int  // VarID → N(x) minus self
 
 	mu       sync.Mutex
-	replicas mcs.Replicas // by VarID
+	replicas mcs.Replicas   // by VarID
+	tags     []mcs.WriteTag // by VarID: last applied write (for snapshots)
 	wseq     int
 	cnt      [][]uint32 // cnt[j][y]: delivered writes of j to vars[y]
 	pending  []pendingRec
 	names    []string // per-write scratch for the touch list
-	outUpd   *mcs.Outbox
-	outNtf   *mcs.Outbox
+
+	rcv       *mcs.Recovery
+	rejoining bool
+
+	outUpd *mcs.Outbox
+	outNtf *mcs.Outbox
 }
 
 // New instantiates the nodes and installs handlers.
@@ -156,6 +161,7 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 			interest: make([]bool, numVars),
 			notifies: make([][]int, numVars),
 			replicas: mcs.NewReplicas(numVars),
+			tags:     mcs.NewWriteTags(numVars),
 			cnt:      make([][]uint32, n),
 			outUpd:   mcs.NewOutbox(cfg.Net, i, KindUpdate, cfg.CoalesceBatch),
 			outNtf:   mcs.NewOutbox(cfg.Net, i, KindNotify, cfg.CoalesceBatch),
@@ -171,6 +177,8 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 				}
 			}
 		}
+		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
+		node.rcv.OnDone = node.finishRejoinLocked
 		cfg.ApplyFlushPolicy(&node.mu, node.outUpd, node.outNtf)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -198,6 +206,7 @@ func (n *Node) Put(x string, v []byte) error {
 		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
 	n.replicas.Set(xi, v)
+	n.tags[xi] = mcs.WriteTag{Writer: n.id, WSeq: wseq}
 	for _, r := range n.notifies[xi] {
 		hasValue := n.ix.Holds(r, xi)
 		out := n.outNtf
@@ -305,11 +314,30 @@ func (n *Node) FlushUpdates() {
 	n.mu.Unlock()
 }
 
-// handle processes a batched frame: each record is checked for
-// dependency domination while it is decoded; deliverable records apply
-// immediately (then drain the pending set), the rest are copied into
-// the pending buffer.
+// handle dispatches on message kind: steady-state update/notify frames
+// plus the two crash-recovery kinds.
 func (n *Node) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case KindUpdate, KindNotify:
+		n.handleFrame(msg)
+	case mcs.KindSnapReq:
+		n.handleSnapReq(msg)
+	case mcs.KindSnapResp:
+		n.handleSnapResp(msg)
+	default:
+		n.cfg.Faultf(n.id, "causalpart: node %d: unknown message kind %q", n.id, msg.Kind)
+		mcs.RecycleFrame(msg)
+	}
+}
+
+// handleFrame processes a batched frame: each record is checked for
+// dependency domination while it is decoded; deliverable records apply
+// immediately (then drain the pending set), stale ones — already
+// counted duplicates or snapshot-covered pre-crash stragglers — are
+// dropped, and the rest are copied into the pending buffer. During a
+// rejoin window every record pends: the counters are being re-learned
+// from peer snapshots.
+func (n *Node) handleFrame(msg netsim.Message) {
 	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
@@ -320,7 +348,7 @@ func (n *Node) handle(msg netsim.Message) {
 	n.mu.Lock()
 	for k := 0; k < count; k++ {
 		start := len(msg.Payload) - d.Rest()
-		applied, faulted := n.tryRecordLocked(&d, msg.From)
+		applied, stale, faulted := n.tryRecordLocked(&d, msg.From)
 		if faulted {
 			// tryRecordLocked already reported; drop the rest of the frame.
 			n.mu.Unlock()
@@ -331,9 +359,12 @@ func (n *Node) handle(msg netsim.Message) {
 			n.cfg.Faultf(n.id, "causalpart: node %d: malformed record from %d: %v", n.id, msg.From, err)
 			return
 		}
-		if applied {
+		switch {
+		case applied:
 			n.drainLocked()
-		} else {
+		case stale:
+			// Already reflected; nothing to buffer.
+		default:
 			end := len(msg.Payload) - d.Rest()
 			raw := append(mcs.GetPayload(), msg.Payload[start:end]...)
 			n.pending = append(n.pending, pendingRec{writer: msg.From, raw: raw})
@@ -344,22 +375,25 @@ func (n *Node) handle(msg netsim.Message) {
 
 // tryRecordLocked decodes one record written by writer and applies it
 // when its dependency list is dominated by the local counters, bumping
-// cnt[writer][x]. It always consumes exactly one record from d; the
-// caller checks d.Err. A record naming out-of-range ids is reported
-// through Config.Faultf (under the node lock — the sink must not call
-// back into the node) and flagged faulted; the caller drops it.
-func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) (applied, faulted bool) {
+// cnt[writer][x]. A record whose own-stream counter is below the local
+// one is stale — an injected duplicate, or a pre-crash straggler a
+// snapshot merge already counted — and must be dropped, not buffered.
+// It always consumes exactly one record from d; the caller checks
+// d.Err. A record naming out-of-range ids is reported through
+// Config.Faultf (under the node lock — the sink must not call back
+// into the node) and flagged faulted; the caller drops it.
+func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) (applied, stale, faulted bool) {
 	wseq := int(d.U32())
 	xi := int(d.U32())
 	v, hasValue := d.OptVal()
 	nDeps := int(d.U32())
 	if d.Err() != nil {
-		return false, false
+		return false, false, false
 	}
 	if writer < 0 || writer >= len(n.cnt) || xi < 0 || xi >= n.ix.NumVars() {
 		n.cfg.Faultf(n.id, "causalpart: node %d: record from %d out of range (writer %d, VarID %d)",
 			n.id, writer, writer, xi)
-		return false, true
+		return false, false, true
 	}
 	ok := true
 	for k := 0; k < nDeps; k++ {
@@ -367,16 +401,19 @@ func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) (applied, faulted bool) {
 		dy := int(d.U32())
 		dc := d.U32()
 		if d.Err() != nil {
-			return false, false
+			return false, false, false
 		}
 		if dw < 0 || dw >= len(n.cnt) || dy < 0 || dy >= n.ix.NumVars() {
 			n.cfg.Faultf(n.id, "causalpart: node %d: dependency from %d out of range (%d, %d)",
 				n.id, writer, dw, dy)
-			return false, true
+			return false, false, true
 		}
 		local := n.cnt[dw][dy]
 		if dw == writer && dy == xi {
 			// In-order delivery per (writer, variable) stream.
+			if !n.rejoining && dc < local {
+				stale = true
+			}
 			if local != dc {
 				ok = false
 			}
@@ -384,30 +421,35 @@ func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) (applied, faulted bool) {
 			ok = false
 		}
 	}
-	if !ok {
-		return false, false
+	if stale {
+		return false, true, false
+	}
+	if n.rejoining || !ok {
+		return false, false, false
 	}
 	n.cnt[writer][xi]++
 	if hasValue {
 		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: writer, WSeq: wseq}
 		if rec := n.cfg.Recorder; rec != nil {
 			rec.RecordApply(n.id, writer, wseq, n.ix.Name(xi), v)
 		}
 	}
-	return true, false
+	return true, false, false
 }
 
-// drainLocked delivers pending records until a fixpoint. Pending
-// records passed tryRecordLocked's range checks before they were
-// buffered, so a faulted retry cannot happen; it is still handled (the
-// record is discarded) to keep the drop-on-fault contract local.
+// drainLocked delivers pending records until a fixpoint, discarding
+// stale ones. Pending records passed tryRecordLocked's range checks
+// before they were buffered, so a faulted retry cannot happen; it is
+// still handled (the record is discarded) to keep the drop-on-fault
+// contract local.
 func (n *Node) drainLocked() {
 	for progress := true; progress; {
 		progress = false
 		for i := 0; i < len(n.pending); i++ {
 			pd := mcs.DecOf(n.pending[i].raw)
-			applied, faulted := n.tryRecordLocked(&pd, n.pending[i].writer)
-			if !applied && !faulted {
+			applied, stale, faulted := n.tryRecordLocked(&pd, n.pending[i].writer)
+			if !applied && !stale && !faulted {
 				continue
 			}
 			mcs.PutPayload(n.pending[i].raw)
@@ -418,8 +460,242 @@ func (n *Node) drainLocked() {
 	}
 }
 
+// handleSnapReq answers a rejoining peer with the counter columns of
+// every variable both nodes are notified about, plus tagged values for
+// the variables both replicate. Entries stay within the requester's
+// notification interest, so hoop-aware recovery traffic respects the
+// same relevance bound (Theorem 1) as steady-state notifications.
+func (n *Node) handleSnapReq(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "causalpart: node %d: malformed snapshot request from %d: %v", n.id, msg.From, err)
+		return
+	}
+	if msg.From < 0 || msg.From >= len(n.cnt) {
+		n.cfg.Faultf(n.id, "causalpart: node %d: snapshot request from unknown node %d", n.id, msg.From)
+		return
+	}
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(epoch)
+	var vars []string
+	seen := make(map[int]bool)
+	n.mu.Lock()
+	cntPos := enc.Len()
+	enc.U32(0)
+	nCnt := 0
+	for j := range n.cnt {
+		for yi, c := range n.cnt[j] {
+			if c == 0 || !n.interest[yi] || !n.relOf[yi][msg.From] {
+				continue
+			}
+			enc.U32(uint32(j)).U32(uint32(yi)).U32(c)
+			nCnt++
+			if !seen[yi] {
+				seen[yi] = true
+				vars = append(vars, n.ix.Name(yi))
+			}
+		}
+	}
+	enc.PatchU32(cntPos, uint32(nCnt))
+	valPos := enc.Len()
+	enc.U32(0)
+	nVals, data := 0, 0
+	for _, xi := range n.ix.VarIDs(n.id) {
+		t := n.tags[xi]
+		if t.Writer < 0 || !n.ix.Holds(msg.From, xi) {
+			continue
+		}
+		v := n.replicas.Get(xi)
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq)).VarVal(xi, v)
+		if !seen[xi] {
+			seen[xi] = true
+			vars = append(vars, n.ix.Name(xi))
+		}
+		data += len(v)
+		nVals++
+	}
+	n.mu.Unlock()
+	enc.PatchU32(valPos, uint32(nVals))
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        msg.From,
+		Kind:      mcs.KindSnapResp,
+		Payload:   payload,
+		CtrlBytes: len(payload) - data,
+		DataBytes: data,
+		Vars:      vars,
+	})
+}
+
+// handleSnapResp merges one peer snapshot: counter columns max-merge
+// (the requester's causal view now covers everything any answering
+// peer had delivered) and values adopt unless the local tag already
+// reflects a same-writer write at least as new.
+//
+// Counters for a variable this node replicates only merge from peers
+// that also replicate it. A notify-interest peer counts writer streams
+// it holds no value for, so its snapshot can be "newer" than the
+// newest value any co-holder offered — adopting that counter would
+// make the co-holder's in-flight update for the same stream position
+// drain as a stale duplicate and pin the replica at the old value
+// forever (the retransmit layer never redelivers an acked frame). A
+// co-holder's counter cannot tear this way: it advances atomically
+// with the value application it describes, and the same snapshot frame
+// carries that value.
+func (n *Node) handleSnapResp(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	nCnt := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "causalpart: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	n.mu.Lock()
+	if !n.rcv.Accept(msg.From, epoch) {
+		n.mu.Unlock()
+		return
+	}
+	for k := 0; k < nCnt; k++ {
+		j := int(d.U32())
+		yi := int(d.U32())
+		c := d.U32()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "causalpart: node %d: malformed snapshot counter from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if j < 0 || j >= len(n.cnt) || yi < 0 || yi >= n.ix.NumVars() {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "causalpart: node %d: snapshot counter from %d out of range (%d, %d)",
+				n.id, msg.From, j, yi)
+			return
+		}
+		if j != n.id && c > n.cnt[j][yi] &&
+			(!n.ix.Holds(n.id, yi) || n.ix.Holds(msg.From, yi)) {
+			n.cnt[j][yi] = c
+		}
+	}
+	nVals := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.mu.Unlock()
+		n.cfg.Faultf(n.id, "causalpart: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	for k := 0; k < nVals; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "causalpart: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if xi < 0 || xi >= n.ix.NumVars() || w < 0 || w >= len(n.cnt) {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "causalpart: node %d: snapshot entry from %d names unknown VarID %d / writer %d",
+				n.id, msg.From, xi, w)
+			return
+		}
+		if n.tags[xi].Stale(w, s) {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordRecover(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	n.rcv.FinishResponse()
+	n.mu.Unlock()
+}
+
+// finishRejoinLocked closes the rejoin window (Recovery.OnDone, node
+// lock held): pending records re-evaluate against the merged counters
+// — snapshot-covered stragglers drop as stale, deliverable ones apply
+// — and variables no live peer knew a value for are recorded as ⊥
+// resets.
+func (n *Node) finishRejoinLocked() {
+	n.rejoining = false
+	if rec := n.cfg.Recorder; rec != nil {
+		for _, xi := range n.ix.VarIDs(n.id) {
+			if n.tags[xi].Writer < 0 {
+				rec.RecordRecover(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+	n.drainLocked()
+}
+
+// CrashRestart models the node rejoining after a crash with its
+// volatile state lost: replicas revert to ⊥; tags, the pending buffer
+// and every *other* process's counter rows are forgotten, to be
+// re-learned from peer snapshots during Recover (mcs.CrashRestarter).
+// The node's own counter row is its per-variable write numbering and
+// survives — receivers sequence its streams by exact match, so a
+// restarted writer must not reuse stream positions. Incoming records
+// pend until the snapshot merge rebuilds the counters.
+func (n *Node) CrashRestart() {
+	n.mu.Lock()
+	for xi := range n.replicas {
+		n.replicas.Set(xi, mcs.BottomValue)
+		n.tags[xi] = mcs.WriteTag{Writer: -1}
+	}
+	for j := range n.cnt {
+		if j == n.id {
+			continue
+		}
+		for yi := range n.cnt[j] {
+			n.cnt[j][yi] = 0
+		}
+	}
+	for _, u := range n.pending {
+		mcs.PutPayload(u.raw)
+	}
+	n.pending = n.pending[:0]
+	n.rejoining = true
+	n.rcv.Cancel()
+	n.mu.Unlock()
+}
+
+// Recover starts the rejoin handshake (mcs.CrashRestarter): every node
+// sharing notification interest with this one is a snapshot peer — in
+// broadcast mode all of them, hoop-aware only the relevant ones.
+func (n *Node) Recover() {
+	numNodes := len(n.cnt)
+	peerSet := make([]bool, numNodes)
+	for yi, in := range n.interest {
+		if !in {
+			continue
+		}
+		for p := 0; p < numNodes; p++ {
+			if p != n.id && n.relOf[yi][p] {
+				peerSet[p] = true
+			}
+		}
+	}
+	var peers []int
+	for p, in := range peerSet {
+		if in {
+			peers = append(peers, p)
+		}
+	}
+	n.rcv.Begin(peers)
+}
+
+// RecoveryStats reports completed rejoins and their summed virtual
+// duration (mcs.CrashRestarter).
+func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
+	return n.rcv.Stats()
+}
+
 var (
-	_ mcs.Node    = (*Node)(nil)
-	_ mcs.Flusher = (*Node)(nil)
-	_ mcs.Batcher = (*Node)(nil)
+	_ mcs.Node           = (*Node)(nil)
+	_ mcs.Flusher        = (*Node)(nil)
+	_ mcs.Batcher        = (*Node)(nil)
+	_ mcs.CrashRestarter = (*Node)(nil)
 )

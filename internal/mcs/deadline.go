@@ -1,0 +1,70 @@
+package mcs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOpDeadline is the sentinel wrapped by every deadline-expired
+// operation error (Config.OpDeadlineTicks): callers distinguish "the
+// network never answered in budget" from protocol errors with
+// errors.Is.
+var ErrOpDeadline = errors.New("mcs: operation deadline exceeded")
+
+// WaitDeadline blocks the application goroutine on cond until done()
+// reports true, giving up once the transport's virtual clock has
+// advanced OpDeadlineTicks past entry. cond.L (the node mutex) must be
+// held on entry and is held again on return. On expiry the returned
+// error wraps ErrOpDeadline, carries describe()'s account of the stuck
+// operation, and is also dispatched to OnFault when one is set — the
+// per-node fail-fast path — before being handed back to the caller.
+//
+// The expiry callback rides the virtual clock, so it fires whenever
+// deliveries tick time past the deadline or an idle network jumps to
+// it. The blocked application goroutine may be the only one left — its
+// request dropped on an otherwise silent network — so the loop nudges
+// the clock (AdvanceIdle) before each sleep: an idle network then
+// jumps straight to the deadline and the callback's broadcast wakes
+// the wait. Callers avoid closure setup on the common path by only
+// calling WaitDeadline when OpDeadlineTicks > 0, though a
+// non-positive budget degrades to the plain unbounded wait.
+func (c Config) WaitDeadline(node int, cond *sync.Cond, done func() bool, describe func() string) error {
+	if done() {
+		return nil
+	}
+	if c.OpDeadlineTicks <= 0 {
+		for !done() {
+			cond.Wait()
+		}
+		return nil
+	}
+	clk := c.Net.Clock()
+	expired := false
+	deadline := clk.After(uint64(c.OpDeadlineTicks), func() {
+		cond.L.Lock()
+		expired = true
+		cond.Broadcast()
+		cond.L.Unlock()
+	})
+	for {
+		if done() {
+			return nil
+		}
+		if expired || clk.Now() >= deadline {
+			err := fmt.Errorf("%s: no progress within OpDeadlineTicks=%d: %w",
+				describe(), c.OpDeadlineTicks, ErrOpDeadline)
+			if c.OnFault != nil {
+				c.OnFault(node, err)
+			}
+			return err
+		}
+		cond.L.Unlock()
+		clk.AdvanceIdle()
+		cond.L.Lock()
+		if done() || expired || clk.Now() >= deadline {
+			continue
+		}
+		cond.Wait()
+	}
+}

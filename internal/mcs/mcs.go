@@ -7,6 +7,15 @@
 // One MCS process runs per node (paper §1): the application process
 // invokes operations through its local MCS process, which propagates
 // variable updates to the replicas.
+//
+// Beyond the fault-free protocol core, the package carries the shared
+// crash-recovery machinery: CrashRestarter is the crash/restart/
+// recover cycle every protocol implements, Recovery drives the
+// snapshot handshake (KindSnapReq/KindSnapResp, virtual-clock retries
+// bounded by RecoveryMaxRetries), WriteTag is the per-variable
+// duplicate-suppression tag snapshots and live updates share, and
+// deadline.go holds the fail-fast timer (ErrOpDeadline) the blocking
+// protocols arm on every request.
 package mcs
 
 import (
@@ -81,18 +90,34 @@ type Batcher interface {
 	EndBatch()
 }
 
-// CrashRestarter is implemented by nodes that can model a
-// crash/restart cycle with loss of volatile state: the replica store
-// reverts to ⊥ while durable identity (the node's own write-sequence
-// counters) survives. The facade's RestartNode drives it after the
-// transport-level netsim.FaultController.Restart reconnects the node;
-// protocols whose correctness state cannot survive an amnesiac
-// restart (the blocking, round-trip-based ones) simply don't
-// implement it.
+// CrashRestarter is implemented by every protocol node: it models a
+// crash/restart cycle with loss of volatile state, followed by a
+// recovery handshake that re-acquires replica state from live peers.
+// The facade's CrashNode drives CrashRestart before the
+// transport-level netsim.FaultController.Crash disconnects the node;
+// RestartNode drives Recover after FaultController.Restart has
+// reconnected it, so the snapshot requests ride the live network
+// (virtual latency, coalescing and the fault schedule all apply to
+// recovery traffic).
 type CrashRestarter interface {
 	// CrashRestart wipes the node's volatile replica state to ⊥, as if
-	// the process had just rejoined after losing memory.
+	// the process had just rejoined after losing memory. Durable
+	// identity (the node's own write-sequence counters) survives, so a
+	// rejoining node cannot forge stale sequence numbers.
 	CrashRestart()
+	// Recover starts the rejoin handshake: snapshot requests
+	// (KindSnapReq) go to the node's state-sharing peers, and each
+	// snapshot response re-seeds per-variable values and protocol
+	// metadata (sequence counters, vector clocks, delivery cursors).
+	// Recover returns without waiting — responses are absorbed by the
+	// normal message handler; unresponsive peers are retried on the
+	// virtual clock and reported through Config.OnFault once the retry
+	// budget is exhausted.
+	Recover()
+	// RecoveryStats reports the completed recovery handshakes and the
+	// summed virtual ticks each took from Recover to the last peer
+	// snapshot (or retry exhaustion).
+	RecoveryStats() (recoveries int, ticks uint64)
 }
 
 // MaxValueLen bounds a single value's size (64 MiB): large enough for
@@ -162,6 +187,16 @@ type Config struct {
 	// flight (netsim.PairMonitor): latency-bound workloads keep the
 	// message reduction without waiting out a batch or deadline.
 	CoalesceAdaptive bool
+	// OpDeadlineTicks, when > 0, bounds how many virtual ticks a
+	// blocking operation — the ordering round trips of the sequential,
+	// cache and atomic protocols — may wait for network progress. On
+	// expiry the operation fails fast with an error wrapping
+	// ErrOpDeadline (also dispatched to OnFault when set) instead of
+	// hanging forever on a lost request; an asynchronous write's
+	// Pending completes with the same error. 0 (the default) waits
+	// unboundedly — the right behavior on a reliable network, where
+	// the round trip always completes.
+	OpDeadlineTicks int
 	// OnFault, when set, receives protocol-detected faults — a handler
 	// hit a malformed or unknown frame (wrong kind, out-of-range VarID)
 	// that a correct peer never sends. The handler reports the fault,

@@ -52,9 +52,24 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu       sync.Mutex
-	replicas mcs.Replicas // by VarID, ⊥ until written
+	replicas mcs.Replicas   // by VarID, ⊥ until written
+	tags     []mcs.WriteTag // by VarID: the write each replica holds
 	wseq     int
 	out      *mcs.Outbox
+
+	// Crash-recovery state: while rejoining, steady-state updates are
+	// held back and applied once the peer snapshots are merged, so a
+	// pre-snapshot apply cannot be rolled backward by the merge.
+	rcv       *mcs.Recovery
+	rejoining bool
+	held      []heldUpd
+}
+
+// heldUpd is one update received during the rejoin window; v is a
+// pooled copy recycled when the update is applied (or dropped stale).
+type heldUpd struct {
+	from, wseq, varID int
+	v                 []byte
 }
 
 // New instantiates one node per process and installs the network
@@ -73,8 +88,11 @@ func New(cfg mcs.Config) ([]*Node, error) {
 			id:       i,
 			ix:       ix,
 			replicas: mcs.NewReplicas(ix.NumVars()),
+			tags:     mcs.NewWriteTags(ix.NumVars()),
 			out:      mcs.NewOutbox(cfg.Net, i, KindUpdate, cfg.CoalesceBatch),
 		}
+		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
+		node.rcv.OnDone = node.finishRejoinLocked
 		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -102,6 +120,7 @@ func (n *Node) Put(x string, v []byte) error {
 		rec.RecordApply(n.id, n.id, wseq, name, v)
 	}
 	n.replicas.Set(xi, v)
+	n.tags[xi] = mcs.WriteTag{Writer: n.id, WSeq: wseq}
 	enc := n.out.Stage()
 	enc.U32(uint32(wseq)).VarVal(xi, v)
 	n.out.Emit(n.ix.Peers(n.id, xi), n.ix.MsgVars(xi), enc.Len()-len(v), len(v))
@@ -159,12 +178,28 @@ func (n *Node) FlushUpdates() {
 	n.mu.Unlock()
 }
 
-// handle applies a batched frame of remote updates in order: per-pair
-// FIFO delivery already presents each sender's writes in program order.
-// Malformed frames are reported through Config.Faultf and dropped —
-// on a reliable network that panics (a correct peer never sends one),
-// under fault injection the node keeps serving.
+// handle dispatches on message kind: steady-state update frames plus
+// the two crash-recovery kinds.
 func (n *Node) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case KindUpdate:
+		n.handleUpdate(msg)
+	case mcs.KindSnapReq:
+		n.handleSnapReq(msg)
+	case mcs.KindSnapResp:
+		n.handleSnapResp(msg)
+	default:
+		n.cfg.Faultf(n.id, "prampart: node %d: unknown message kind %q", n.id, msg.Kind)
+		mcs.RecycleFrame(msg)
+	}
+}
+
+// handleUpdate applies a batched frame of remote updates in order:
+// per-pair FIFO delivery already presents each sender's writes in
+// program order. Malformed frames are reported through Config.Faultf
+// and dropped — on a reliable network that panics (a correct peer
+// never sends one), under fault injection the node keeps serving.
+func (n *Node) handleUpdate(msg netsim.Message) {
 	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
@@ -186,25 +221,174 @@ func (n *Node) handle(msg netsim.Message) {
 			n.cfg.Faultf(n.id, "prampart: node %d: update from %d names unknown VarID %d", n.id, msg.From, xi)
 			return
 		}
-		n.replicas.Set(xi, v)
-		if rec := n.cfg.Recorder; rec != nil {
-			rec.RecordApply(n.id, msg.From, wseq, n.ix.Name(xi), v)
+		if n.rejoining {
+			n.held = append(n.held, heldUpd{from: msg.From, wseq: wseq, varID: xi, v: append(mcs.GetPayload(), v...)})
+			continue
 		}
+		n.applyLocked(msg.From, wseq, xi, v)
 	}
 	n.mu.Unlock()
 }
 
+// applyLocked applies one remote update under the node lock, skipping
+// writes the replica already reflects (an injected duplicate, or a
+// pre-crash straggler delivered after the snapshot merge).
+func (n *Node) applyLocked(from, wseq, xi int, v []byte) {
+	if n.tags[xi].Stale(from, wseq) {
+		return
+	}
+	n.replicas.Set(xi, v)
+	n.tags[xi] = mcs.WriteTag{Writer: from, WSeq: wseq}
+	if rec := n.cfg.Recorder; rec != nil {
+		rec.RecordApply(n.id, from, wseq, n.ix.Name(xi), v)
+	}
+}
+
+// handleSnapReq answers a rejoining peer with a snapshot of every
+// written variable both nodes replicate: (writer, wseq, varID, value)
+// per entry — Theorem 2 honesty carries over to recovery, the response
+// mentions no variable outside the requester's replica set.
+func (n *Node) handleSnapReq(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "prampart: node %d: malformed snapshot request from %d: %v", n.id, msg.From, err)
+		return
+	}
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(epoch)
+	countPos := enc.Len()
+	enc.U32(0)
+	var vars []string
+	count, data := 0, 0
+	n.mu.Lock()
+	for _, xi := range n.ix.VarIDs(n.id) {
+		t := n.tags[xi]
+		if t.Writer < 0 || !n.ix.Holds(msg.From, xi) {
+			continue
+		}
+		v := n.replicas.Get(xi)
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq)).VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		count++
+	}
+	n.mu.Unlock()
+	enc.PatchU32(countPos, uint32(count))
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        msg.From,
+		Kind:      mcs.KindSnapResp,
+		Payload:   payload,
+		CtrlBytes: len(payload) - data,
+		DataBytes: data,
+		Vars:      vars,
+	})
+}
+
+// handleSnapResp merges one peer snapshot into the rejoining replica
+// store. Entries the local state already reflects (from an
+// earlier-merged peer with a newer view) are skipped by the same
+// staleness rule as live updates.
+func (n *Node) handleSnapResp(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	count := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "prampart: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	n.mu.Lock()
+	if !n.rcv.Accept(msg.From, epoch) {
+		n.mu.Unlock()
+		return
+	}
+	for k := 0; k < count; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "prampart: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if xi < 0 || xi >= len(n.replicas) || w < 0 || w >= n.cfg.Net.NumNodes() {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "prampart: node %d: snapshot entry from %d names unknown VarID %d / writer %d",
+				n.id, msg.From, xi, w)
+			return
+		}
+		if n.tags[xi].Stale(w, s) {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordRecover(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	n.rcv.FinishResponse()
+	n.mu.Unlock()
+}
+
+// finishRejoinLocked closes the rejoin window (Recovery.OnDone, node
+// lock held): updates held back during recovery are applied through
+// the normal staleness rule, and variables no live peer knew a value
+// for are recorded as ⊥ resets so the consistency checkers track the
+// replica's observable restart.
+func (n *Node) finishRejoinLocked() {
+	n.rejoining = false
+	held := n.held
+	n.held = nil
+	for _, u := range held {
+		n.applyLocked(u.from, u.wseq, u.varID, u.v)
+		mcs.PutPayload(u.v)
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		for _, xi := range n.ix.VarIDs(n.id) {
+			if n.tags[xi].Writer < 0 {
+				rec.RecordRecover(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+}
+
 // CrashRestart models the node coming back from a crash with its
-// volatile replica store lost: every replica reverts to ⊥
-// (mcs.CrashRestarter). The write-sequence counter survives — the
-// paper's processes number their own writes, and a restarted writer
-// must not reuse sequence numbers its peers have already applied.
+// volatile replica store lost: every replica reverts to ⊥ and its
+// write tags are forgotten (mcs.CrashRestarter). The write-sequence
+// counter survives — the paper's processes number their own writes,
+// and a restarted writer must not reuse sequence numbers its peers
+// have already applied. The node holds back incoming updates until
+// Recover's snapshot merge completes.
 func (n *Node) CrashRestart() {
 	n.mu.Lock()
 	for xi := range n.replicas {
 		n.replicas.Set(xi, mcs.BottomValue)
+		n.tags[xi] = mcs.WriteTag{Writer: -1}
 	}
+	for _, u := range n.held {
+		mcs.PutPayload(u.v)
+	}
+	n.held = nil
+	n.rejoining = true
+	n.rcv.Cancel()
 	n.mu.Unlock()
+}
+
+// Recover starts the rejoin handshake with every variable-sharing
+// neighbor (mcs.CrashRestarter).
+func (n *Node) Recover() {
+	n.rcv.Begin(n.cfg.Placement.Neighbors(n.id))
+}
+
+// RecoveryStats reports completed rejoins and their summed virtual
+// duration (mcs.CrashRestarter).
+func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
+	return n.rcv.Stats()
 }
 
 var (

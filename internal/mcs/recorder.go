@@ -96,6 +96,25 @@ func (r *Recorder) RecordApply(node, writer, wseq int, x string, v []byte) {
 	}
 }
 
+// RecordRecover records that node re-acquired x = v — the wseq-th
+// write of writer — from a peer snapshot during crash recovery, rather
+// than by applying the write's own update message. Recovery events
+// enter the node's event log and reach the observer (the witnesses
+// re-anchor the node's position instead of enforcing gapless apply
+// order across them) but not the global history: the operation itself
+// was already recorded by its writer. A recovery of a variable to ⊥
+// with writer -1 marks a reset — no live peer knew a value. The value
+// bytes are copied.
+func (r *Recorder) RecordRecover(node, writer, wseq int, x string, v []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := check.Event{IsRecover: true, Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v)}
+	r.logs[node] = append(r.logs[node], e)
+	if r.observer != nil {
+		r.observer(node, e)
+	}
+}
+
 // History materializes the recorded global history.
 func (r *Recorder) History() (*model.History, error) {
 	r.mu.Lock()

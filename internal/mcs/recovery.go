@@ -1,0 +1,266 @@
+package mcs
+
+import (
+	"fmt"
+	"sync"
+
+	"partialdsm/internal/netsim"
+)
+
+// Recovery wire format. Rejoining a crashed node is a protocol-level
+// handshake on the normal transport — coalescing, virtual latency and
+// the fault schedule all apply to recovery traffic, and the dedicated
+// kinds let Stats account it separately from steady-state updates.
+//
+// A snapshot request is (U32 epoch); the responder answers with
+// (U32 epoch, protocol-specific body) carrying the per-variable values
+// and protocol metadata (sequence counters, vector clocks, delivery
+// cursors) the requester needs to resume. The epoch is the requester's
+// recovery-attempt counter: responses from an earlier attempt — or
+// duplicates injected by the fault layer — are recognized and dropped.
+const (
+	KindSnapReq  = "recovery.snapreq"  // rejoining node → live peer
+	KindSnapResp = "recovery.snapresp" // live peer → rejoining node
+)
+
+const (
+	// RecoveryRetryTicks is the virtual-time interval after which a
+	// rejoining node re-requests snapshots from peers that have not
+	// answered — the request or the response may have been lost. The
+	// interval must sit ABOVE the ack/retransmit layer's timeout
+	// (netsim.ReliableOptions.RetransmitTicks, default 1<<20): a lost
+	// response leaves a gap in the pair's FIFO stream that buffers every
+	// fresh response behind it until a retransmission fills it, so a
+	// retry cadence shorter than the RTO only burns budget without ever
+	// seeing new bytes. Virtual deadlines are reached via idle jumps, so
+	// the generous interval costs no wall time.
+	RecoveryRetryTicks = 1 << 21
+	// RecoveryMaxRetries bounds the re-requests per recovery attempt:
+	// clock callbacks must not reschedule unconditionally (Quiesce
+	// would diverge), so a peer that stays silent through the whole
+	// budget is reported through OnFault instead of retried forever.
+	RecoveryMaxRetries = 32
+)
+
+// Recovery is the requester half of the rejoin handshake, shared by
+// all eight protocols and guarded by the owning node's mutex. The
+// protocol's Recover calls Begin with its state-sharing peers; its
+// message handler calls Accept on each KindSnapResp before merging the
+// body. Lost requests are retried on the virtual clock; exhausted
+// retries surface the unresponsive peers as a per-node fault.
+type Recovery struct {
+	cfg  Config
+	node int
+	mu   *sync.Mutex // the owning node's mutex
+
+	// OnDone, when set, runs once per attempt — after the last peer's
+	// snapshot has been merged (the protocol calls FinishResponse), or
+	// at retry exhaustion — with the node mutex held. Protocols use it
+	// to drain updates held back during the rejoin window and to mark
+	// still-unknown variables as reset.
+	OnDone func()
+
+	epoch   uint32
+	waiting []bool // by peer id: asked this epoch, not yet answered
+	left    int
+	counted bool // attempt already finished (completed or exhausted)
+	retries int
+	begin   uint64 // virtual tick at Begin
+
+	recoveries int
+	ticks      uint64
+}
+
+// NewRecovery returns the recovery engine for one node, sharing the
+// node's mutex.
+func NewRecovery(cfg Config, node int, mu *sync.Mutex) *Recovery {
+	return &Recovery{
+		cfg:     cfg,
+		node:    node,
+		mu:      mu,
+		waiting: make([]bool, cfg.Net.NumNodes()),
+	}
+}
+
+// Begin starts a recovery attempt: one snapshot request goes to every
+// peer, and a bounded retry timer re-requests from the silent ones.
+// Call without the node mutex held (Begin sends). Peers must not
+// include the node itself; an empty peer set (a node sharing variables
+// with nobody) completes immediately.
+func (r *Recovery) Begin(peers []int) {
+	r.mu.Lock()
+	r.epoch++
+	epoch := r.epoch
+	for i := range r.waiting {
+		r.waiting[i] = false
+	}
+	for _, p := range peers {
+		r.waiting[p] = true
+	}
+	r.left = len(peers)
+	r.counted = false
+	r.retries = RecoveryMaxRetries
+	r.begin = r.cfg.Net.Clock().Now()
+	if r.left == 0 {
+		r.counted = true
+		r.recoveries++
+		if r.OnDone != nil {
+			r.OnDone()
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+
+	r.send(peers, epoch)
+	r.cfg.Net.Clock().After(RecoveryRetryTicks, func() { r.retry(epoch) })
+}
+
+// send ships one snapshot request per peer.
+func (r *Recovery) send(peers []int, epoch uint32) {
+	for _, p := range peers {
+		var enc Enc
+		enc.SetBuf(GetPayload())
+		enc.U32(epoch)
+		payload := enc.Bytes()
+		r.cfg.Net.Send(netsim.Message{
+			From:      r.node,
+			To:        p,
+			Kind:      KindSnapReq,
+			Payload:   payload,
+			CtrlBytes: len(payload),
+		})
+	}
+}
+
+// retry re-requests snapshots from peers still silent for the given
+// epoch. It reschedules itself only while an attempt is live and the
+// budget lasts, so Quiesce terminates: an unreachable peer burns the
+// budget and becomes an OnFault report, not an infinite timer chain.
+func (r *Recovery) retry(epoch uint32) {
+	r.mu.Lock()
+	if epoch != r.epoch || r.left == 0 {
+		r.mu.Unlock()
+		return
+	}
+	var silent []int
+	for p, w := range r.waiting {
+		if w {
+			silent = append(silent, p)
+		}
+	}
+	r.retries--
+	if r.retries <= 0 {
+		r.left = 0
+		r.counted = true
+		r.ticks += r.cfg.Net.Clock().Now() - r.begin
+		if r.OnDone != nil {
+			r.OnDone()
+		}
+		r.mu.Unlock()
+		r.cfg.Faultf(r.node, "mcs: node %d recovery: peers %v unresponsive after %d snapshot retries",
+			r.node, silent, RecoveryMaxRetries)
+		return
+	}
+	r.mu.Unlock()
+	r.send(silent, epoch)
+	r.cfg.Net.Clock().After(RecoveryRetryTicks, func() { r.retry(epoch) })
+}
+
+// Accept validates one snapshot response, called with the node mutex
+// held before the protocol merges the body. It reports whether the
+// response is fresh — this epoch, from a peer still owed an answer;
+// stale-epoch responses and fault-layer duplicates report false and
+// must be dropped unmerged. After merging a fresh response's body the
+// protocol calls FinishResponse.
+func (r *Recovery) Accept(from int, epoch uint32) bool {
+	if epoch != r.epoch || from < 0 || from >= len(r.waiting) || !r.waiting[from] {
+		return false
+	}
+	r.waiting[from] = false
+	r.left--
+	return true
+}
+
+// FinishResponse closes out one accepted response, called with the
+// node mutex held after the body has been merged. The response that
+// settled the last waiting peer completes the attempt: its duration is
+// accounted and OnDone runs. Ordering matters — the completion hook
+// must see the final response's state already merged, which is why
+// Accept alone does not complete.
+func (r *Recovery) FinishResponse() {
+	if r.left != 0 || r.counted {
+		return
+	}
+	r.counted = true
+	r.recoveries++
+	r.ticks += r.cfg.Net.Clock().Now() - r.begin
+	if r.OnDone != nil {
+		r.OnDone()
+	}
+}
+
+// Recovering reports whether a recovery attempt is still waiting on
+// peers; called with the node mutex held.
+func (r *Recovery) Recovering() bool { return r.left > 0 }
+
+// Cancel abandons any live attempt (the node crashed again before its
+// peers answered); called with the node mutex held. Outstanding
+// responses and the leftover retry timer recognize the epoch bump and
+// do nothing.
+func (r *Recovery) Cancel() {
+	r.epoch++
+	for i := range r.waiting {
+		r.waiting[i] = false
+	}
+	r.left = 0
+	r.counted = true
+}
+
+// Stats returns the completed recovery handshakes and their summed
+// virtual-tick durations (exhausted attempts count their duration but
+// not a completion).
+func (r *Recovery) Stats() (recoveries int, ticks uint64) {
+	r.mu.Lock()
+	recoveries, ticks = r.recoveries, r.ticks
+	r.mu.Unlock()
+	return recoveries, ticks
+}
+
+// RecoveryEpochOf decodes the epoch header shared by both recovery
+// kinds, reporting the requester/responder epoch and whether the frame
+// was well-formed so far.
+func RecoveryEpochOf(d *Dec) (uint32, error) {
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("recovery frame: %w", err)
+	}
+	return epoch, nil
+}
+
+// WriteTag identifies the write a replica entry currently holds:
+// the (Writer, WSeq) of the last update applied to the variable.
+// Writer < 0 means untagged — the entry is still ⊥. Tags are what a
+// snapshot response carries alongside each value, and what lets both
+// the merge and the post-recovery apply path recognize state the
+// adopted snapshot already reflects (a message sent before the crash
+// can legally be delivered after the restart).
+type WriteTag struct{ Writer, WSeq int }
+
+// NewWriteTags returns an all-untagged tag store for numVars entries.
+func NewWriteTags(numVars int) []WriteTag {
+	t := make([]WriteTag, numVars)
+	for i := range t {
+		t[i].Writer = -1
+	}
+	return t
+}
+
+// Stale reports whether write (w, s) of the same writer is already
+// reflected by the tag — the apply/merge must skip it or it would roll
+// the replica backward. Writes by a different writer are never stale:
+// cross-writer ordering is the consistency criterion's business, not
+// the tag's (exact rejoin is guaranteed for single-writer variables,
+// the workload discipline of every harness in this repo; concurrent
+// multi-writer overwrite during a recovery window is best-effort).
+func (t WriteTag) Stale(w, s int) bool { return t.Writer == w && s <= t.WSeq }

@@ -42,14 +42,21 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu         sync.Mutex
-	replicas   mcs.Replicas // by VarID
+	replicas   mcs.Replicas   // by VarID
+	tags       []mcs.WriteTag // by VarID: last applied write
 	wseq       int
 	nextGSeq   int                 // next global sequence number to apply
 	buffered   map[int]bufferedUpd // gseq → update
 	ownApplied int                 // how many of this node's writes are applied locally
 	applied    *sync.Cond          // signalled on every apply
 
-	// Sequencer state (node 0 only).
+	rcv       *mcs.Recovery
+	rejoining bool
+
+	// Sequencer state (node 0 only). The counter is durable across the
+	// sequencer's own crashes: it cannot be reconstructed from replicas
+	// (in-flight broadcasts may outrun every peer's apply cursor), and a
+	// reused global sequence number would fork the total order.
 	seqMu sync.Mutex
 	gseq  int
 }
@@ -77,9 +84,12 @@ func New(cfg mcs.Config) ([]*Node, error) {
 			id:       i,
 			ix:       ix,
 			replicas: mcs.NewReplicas(ix.NumVars()),
+			tags:     mcs.NewWriteTags(ix.NumVars()),
 			buffered: make(map[int]bufferedUpd),
 		}
 		node.applied = sync.NewCond(&node.mu)
+		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
+		node.rcv.OnDone = node.finishRejoinLocked
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -127,10 +137,15 @@ func (n *Node) Put(x string, v []byte) error {
 	wseq := n.issue(xi, v)
 	// Block until our own write has been applied locally.
 	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.OpDeadlineTicks > 0 {
+		return n.cfg.WaitDeadline(n.id, n.applied,
+			func() bool { return n.appliedOwnLocked(wseq) },
+			func() string { return fmt.Sprintf("seqcons: node %d write #%d to %s", n.id, wseq, x) })
+	}
 	for !n.appliedOwnLocked(wseq) {
 		n.applied.Wait()
 	}
-	n.mu.Unlock()
 	return nil
 }
 
@@ -146,11 +161,17 @@ type pending struct {
 
 // Wait blocks until the write is applied locally.
 func (p *pending) Wait() error {
-	p.n.mu.Lock()
-	for !p.n.appliedOwnLocked(p.wseq) {
-		p.n.applied.Wait()
+	n := p.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.OpDeadlineTicks > 0 {
+		return n.cfg.WaitDeadline(n.id, n.applied,
+			func() bool { return n.appliedOwnLocked(p.wseq) },
+			func() string { return fmt.Sprintf("seqcons: node %d async write #%d", n.id, p.wseq) })
 	}
-	p.n.mu.Unlock()
+	for !n.appliedOwnLocked(p.wseq) {
+		n.applied.Wait()
+	}
 	return nil
 }
 
@@ -201,6 +222,10 @@ func (n *Node) handle(msg netsim.Message) {
 		n.sequence(msg)
 	case KindUpdate:
 		n.applyUpdate(msg)
+	case mcs.KindSnapReq:
+		n.handleSnapReq(msg)
+	case mcs.KindSnapResp:
+		n.handleSnapResp(msg)
 	default:
 		n.cfg.Faultf(n.id, "seqcons: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
@@ -278,9 +303,31 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		return
 	}
 	n.mu.Lock()
+	if g < n.nextGSeq && !n.rejoining {
+		// Behind the apply cursor: a fault-layer duplicate, or an update
+		// whose effect an adopted snapshot already covers. The replica
+		// state needs nothing, but an own write riding it must still be
+		// settled or its Put/Wait would block forever.
+		n.settleOwnLocked(writer, wseq)
+		n.mu.Unlock()
+		mcs.RecycleFrame(msg)
+		return
+	}
 	// The value must outlive the shared broadcast frame: copy it into a
-	// pooled buffer, recycled when the update applies.
+	// pooled buffer, recycled when the update applies. During a rejoin
+	// window updates only buffer: the apply cursor is being re-learned
+	// from peer snapshots, and the drain resumes from the adopted one.
 	n.buffered[g] = bufferedUpd{writer: writer, wseq: wseq, varID: xi, v: append(mcs.GetPayload(), v...)}
+	if !n.rejoining {
+		n.drainLocked()
+	}
+	n.mu.Unlock()
+	mcs.RecycleFrame(msg) // last receiver of the shared broadcast recycles it
+}
+
+// drainLocked applies buffered updates in global-sequence order from
+// the cursor and wakes write waiters.
+func (n *Node) drainLocked() {
 	for {
 		u, ok := n.buffered[n.nextGSeq]
 		if !ok {
@@ -289,17 +336,198 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		delete(n.buffered, n.nextGSeq)
 		n.nextGSeq++
 		n.replicas.Set(u.varID, u.v)
+		n.tags[u.varID] = mcs.WriteTag{Writer: u.writer, WSeq: u.wseq}
 		if rec := n.cfg.Recorder; rec != nil {
 			rec.RecordApply(n.id, u.writer, u.wseq, n.ix.Name(u.varID), u.v)
 		}
-		if u.writer == n.id {
-			n.ownApplied++
-		}
+		n.settleOwnLocked(u.writer, u.wseq)
 		mcs.PutPayload(u.v)
 	}
 	n.applied.Broadcast()
-	n.mu.Unlock()
-	mcs.RecycleFrame(msg) // last receiver of the shared broadcast recycles it
 }
 
-var _ mcs.Node = (*Node)(nil)
+// settleOwnLocked advances the own-write completion cursor when an own
+// update's effect is in the replica state — applied by the drain,
+// covered by an adopted snapshot prefix, or echoed by a fault-layer
+// duplicate. Keyed to the write's per-process sequence (not a count of
+// apply events), it is idempotent under duplicates and never regresses
+// on a pre-crash straggler: writes blocked at the crash are settled by
+// CrashRestart at a cursor at or above their wseq.
+func (n *Node) settleOwnLocked(writer, wseq int) {
+	if writer == n.id && wseq+1 > n.ownApplied {
+		n.ownApplied = wseq + 1
+		n.applied.Broadcast()
+	}
+}
+
+// handleSnapReq answers a rejoining peer with the responder's apply
+// cursor and the full tagged replica state: sequencer broadcasts reach
+// every node, so any live peer's state is a prefix of the single global
+// order and covers every variable.
+func (n *Node) handleSnapReq(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "seqcons: node %d: malformed snapshot request from %d: %v", n.id, msg.From, err)
+		return
+	}
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(epoch)
+	n.mu.Lock()
+	enc.U32(uint32(n.nextGSeq))
+	countPos := enc.Len()
+	enc.U32(0)
+	var vars []string
+	count, data := 0, 0
+	for xi := range n.tags {
+		t := n.tags[xi]
+		if t.Writer < 0 {
+			continue
+		}
+		v := n.replicas.Get(xi)
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq)).VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		count++
+	}
+	n.mu.Unlock()
+	enc.PatchU32(countPos, uint32(count))
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        msg.From,
+		Kind:      mcs.KindSnapResp,
+		Payload:   payload,
+		CtrlBytes: len(payload) - data,
+		DataBytes: data,
+		Vars:      vars,
+	})
+}
+
+// handleSnapResp adopts a peer snapshot wholesale when it extends the
+// longest prefix adopted so far: every snapshot is a prefix of the one
+// global order, so the highest apply cursor wins and its per-variable
+// state is at least as new, variable by variable, as any shorter one.
+func (n *Node) handleSnapResp(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	respGSeq := int(d.U32())
+	count := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "seqcons: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	n.mu.Lock()
+	if !n.rcv.Accept(msg.From, epoch) {
+		n.mu.Unlock()
+		return
+	}
+	adopt := respGSeq > n.nextGSeq
+	if adopt {
+		n.nextGSeq = respGSeq
+	}
+	for k := 0; k < count; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "seqcons: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if xi < 0 || xi >= n.ix.NumVars() || w < 0 || w >= n.cfg.Net.NumNodes() {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "seqcons: node %d: snapshot entry from %d names unknown VarID %d / writer %d",
+				n.id, msg.From, xi, w)
+			return
+		}
+		if !adopt {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordRecover(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	n.rcv.FinishResponse()
+	n.mu.Unlock()
+}
+
+// finishRejoinLocked closes the rejoin window (Recovery.OnDone, node
+// lock held): buffered updates below the adopted cursor — pre-crash
+// stragglers the snapshot already covers — are purged, the drain
+// resumes from the cursor, and variables no live peer knew a value for
+// are recorded as ⊥ resets.
+func (n *Node) finishRejoinLocked() {
+	n.rejoining = false
+	for g, u := range n.buffered {
+		if g < n.nextGSeq {
+			delete(n.buffered, g)
+			// The purged update's effect is inside the adopted snapshot;
+			// an own write issued during the rejoin window still completes.
+			n.settleOwnLocked(u.writer, u.wseq)
+			mcs.PutPayload(u.v)
+		}
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		for _, xi := range n.ix.VarIDs(n.id) {
+			if n.tags[xi].Writer < 0 {
+				rec.RecordRecover(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+	n.drainLocked()
+}
+
+// CrashRestart models the node rejoining after a crash with its
+// volatile state lost: replicas revert to ⊥; tags, the apply cursor and
+// the reorder buffer are forgotten, to be re-learned from peer
+// snapshots during Recover (mcs.CrashRestarter). Durable state
+// survives: the node's own write counter, and — for node 0 — the
+// sequencer counter (a reused global sequence number would fork the
+// total order). Writes still blocked from before the crash complete:
+// their requests died with the node.
+func (n *Node) CrashRestart() {
+	n.mu.Lock()
+	for xi := range n.replicas {
+		n.replicas.Set(xi, mcs.BottomValue)
+		n.tags[xi] = mcs.WriteTag{Writer: -1}
+	}
+	for g, u := range n.buffered {
+		delete(n.buffered, g)
+		mcs.PutPayload(u.v)
+	}
+	n.nextGSeq = 0
+	n.ownApplied = n.wseq
+	n.rejoining = true
+	n.rcv.Cancel()
+	n.applied.Broadcast()
+	n.mu.Unlock()
+}
+
+// Recover starts the rejoin handshake (mcs.CrashRestarter). Sequencer
+// broadcasts reach every node, so every live node is a snapshot peer.
+func (n *Node) Recover() {
+	peers := make([]int, 0, n.cfg.Net.NumNodes()-1)
+	for p := 0; p < n.cfg.Net.NumNodes(); p++ {
+		if p != n.id {
+			peers = append(peers, p)
+		}
+	}
+	n.rcv.Begin(peers)
+}
+
+// RecoveryStats reports completed rejoins and their summed virtual
+// duration (mcs.CrashRestarter).
+func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
+	return n.rcv.Stats()
+}
+
+var (
+	_ mcs.Node           = (*Node)(nil)
+	_ mcs.CrashRestarter = (*Node)(nil)
+)

@@ -40,6 +40,14 @@ type update struct {
 	v    []byte
 }
 
+// heldUpd is a remote update received during the rejoin window, replayed
+// through the normal apply path once the snapshot merge has restored the
+// receive cursors; v is a pooled copy.
+type heldUpd struct {
+	from, wseq, vseq, varID int
+	v                       []byte
+}
+
 // Node is one slow-memory MCS process.
 type Node struct {
 	cfg mcs.Config
@@ -47,14 +55,20 @@ type Node struct {
 	ix  *sharegraph.Index
 
 	mu       sync.Mutex
-	replicas mcs.Replicas // by VarID
-	wseq     int          // own global write counter (for the recorder)
-	vseq     []int        // per-VarID own write counter (wire sequence)
-	next     [][]int      // next[sender][VarID]: next expected sequence
+	replicas mcs.Replicas   // by VarID
+	tags     []mcs.WriteTag // by VarID: last applied write
+	wseq     int            // own global write counter (for the recorder)
+	vseq     []int          // per-VarID own write counter (wire sequence)
+	next     [][]int        // next[sender][VarID]: next expected sequence
 	// buffered holds out-of-order updates per (sender, VarID) — the
 	// cold path; FIFO transports never populate it.
 	buffered map[senderVar]map[int]update
-	out      *mcs.Outbox
+
+	rcv       *mcs.Recovery
+	rejoining bool
+	held      []heldUpd
+
+	out *mcs.Outbox
 }
 
 // senderVar keys the out-of-order buffer.
@@ -77,6 +91,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 			id:       i,
 			ix:       ix,
 			replicas: mcs.NewReplicas(ix.NumVars()),
+			tags:     mcs.NewWriteTags(ix.NumVars()),
 			vseq:     make([]int, ix.NumVars()),
 			next:     make([][]int, n),
 			buffered: make(map[senderVar]map[int]update),
@@ -85,6 +100,8 @@ func New(cfg mcs.Config) ([]*Node, error) {
 		for j := range node.next {
 			node.next[j] = make([]int, ix.NumVars())
 		}
+		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
+		node.rcv.OnDone = node.finishRejoinLocked
 		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -109,6 +126,7 @@ func (n *Node) Put(x string, v []byte) error {
 	vseq := n.vseq[xi]
 	n.vseq[xi]++
 	n.replicas.Set(xi, v)
+	n.tags[xi] = mcs.WriteTag{Writer: n.id, WSeq: wseq}
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordWrite(n.id, name, v)
 		rec.RecordApply(n.id, n.id, wseq, name, v)
@@ -167,10 +185,28 @@ func (n *Node) FlushUpdates() {
 	n.mu.Unlock()
 }
 
-// handle applies each record of the frame if it is next in its
-// (sender, variable) stream, otherwise buffers it; then drains the
-// stream.
+// handle dispatches on message kind: steady-state update frames plus
+// the two crash-recovery kinds.
 func (n *Node) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case KindUpdate:
+		n.handleUpdate(msg)
+	case mcs.KindSnapReq:
+		n.handleSnapReq(msg)
+	case mcs.KindSnapResp:
+		n.handleSnapResp(msg)
+	default:
+		n.cfg.Faultf(n.id, "slowpart: node %d: unknown message kind %q", n.id, msg.Kind)
+		mcs.RecycleFrame(msg)
+	}
+}
+
+// handleUpdate applies each record of the frame if it is next in its
+// (sender, variable) stream, otherwise buffers it; then drains the
+// stream. During a rejoin window records are held back instead: the
+// receive cursors are being re-learned from peer snapshots, and
+// applying against the wiped cursors would replay pre-crash writes.
+func (n *Node) handleUpdate(msg netsim.Message) {
 	defer mcs.RecycleFrame(msg)
 	d := mcs.DecOf(msg.Payload)
 	count := int(d.U32())
@@ -193,16 +229,25 @@ func (n *Node) handle(msg netsim.Message) {
 			n.cfg.Faultf(n.id, "slowpart: node %d: update from %d names unknown VarID %d", n.id, msg.From, xi)
 			return
 		}
+		if n.rejoining {
+			n.held = append(n.held, heldUpd{from: msg.From, wseq: wseq, vseq: vseq, varID: xi, v: append(mcs.GetPayload(), v...)})
+			continue
+		}
 		n.applyLocked(msg.From, wseq, vseq, xi, v)
 	}
 	n.mu.Unlock()
 }
 
 // applyLocked applies the update in (sender, variable) sequence order,
-// buffering it when it arrived early and draining successors. v
-// aliases the delivered frame: the buffer path copies it into a pooled
-// buffer that outlives the frame.
+// buffering it when it arrived early and draining successors. Updates
+// below the stream cursor are already reflected — an injected
+// duplicate, or a pre-crash straggler covered by the snapshot merge —
+// and are dropped. v aliases the delivered frame: the buffer path
+// copies it into a pooled buffer that outlives the frame.
 func (n *Node) applyLocked(sender, wseq, vseq, xi int, v []byte) {
+	if vseq < n.next[sender][xi] {
+		return
+	}
 	if vseq != n.next[sender][xi] {
 		k := senderVar{sender: sender, varID: xi}
 		if n.buffered[k] == nil {
@@ -232,24 +277,209 @@ func (n *Node) applyLocked(sender, wseq, vseq, xi int, v []byte) {
 func (n *Node) deliverLocked(sender, wseq, xi int, v []byte) {
 	n.next[sender][xi]++
 	n.replicas.Set(xi, v)
+	n.tags[xi] = mcs.WriteTag{Writer: sender, WSeq: wseq}
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordApply(n.id, sender, wseq, n.ix.Name(xi), v)
 	}
 }
 
+// handleSnapReq answers a rejoining peer with, per mutually-replicated
+// written variable: the last applied write's (writer, wseq) tag and
+// value, plus the responder's per-sender receive cursors for the
+// variable's clique — for its own stream the cursor is its write
+// counter, everything it ever issued being reflected in its replica.
+func (n *Node) handleSnapReq(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "slowpart: node %d: malformed snapshot request from %d: %v", n.id, msg.From, err)
+		return
+	}
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	enc.U32(epoch)
+	countPos := enc.Len()
+	enc.U32(0)
+	var vars []string
+	count, data := 0, 0
+	n.mu.Lock()
+	for _, xi := range n.ix.VarIDs(n.id) {
+		t := n.tags[xi]
+		if t.Writer < 0 || !n.ix.Holds(msg.From, xi) {
+			continue
+		}
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq))
+		clique := n.ix.Clique(xi)
+		cursors := 0
+		cursorCountPos := enc.Len()
+		enc.U32(0)
+		for _, s := range clique {
+			if s == msg.From {
+				continue
+			}
+			cur := n.next[s][xi]
+			if s == n.id {
+				cur = n.vseq[xi]
+			}
+			enc.U32(uint32(s)).U32(uint32(cur))
+			cursors++
+		}
+		enc.PatchU32(cursorCountPos, uint32(cursors))
+		v := n.replicas.Get(xi)
+		enc.VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		count++
+	}
+	n.mu.Unlock()
+	enc.PatchU32(countPos, uint32(count))
+	payload := enc.Bytes()
+	n.cfg.Net.Send(netsim.Message{
+		From:      n.id,
+		To:        msg.From,
+		Kind:      mcs.KindSnapResp,
+		Payload:   payload,
+		CtrlBytes: len(payload) - data,
+		DataBytes: data,
+		Vars:      vars,
+	})
+}
+
+// handleSnapResp merges one peer snapshot: receive cursors max-merge
+// (the furthest view any responder reports bounds the stragglers worth
+// replaying), values adopt unless the local tag already reflects a
+// same-writer write at least as new.
+func (n *Node) handleSnapResp(msg netsim.Message) {
+	defer mcs.RecycleFrame(msg)
+	d := mcs.DecOf(msg.Payload)
+	epoch := d.U32()
+	count := int(d.U32())
+	if err := d.Err(); err != nil {
+		n.cfg.Faultf(n.id, "slowpart: node %d: malformed snapshot from %d: %v", n.id, msg.From, err)
+		return
+	}
+	n.mu.Lock()
+	if !n.rcv.Accept(msg.From, epoch) {
+		n.mu.Unlock()
+		return
+	}
+	for k := 0; k < count; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		cursors := int(d.U32())
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "slowpart: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		type cursor struct{ sender, next int }
+		curs := make([]cursor, 0, cursors)
+		for c := 0; c < cursors; c++ {
+			curs = append(curs, cursor{sender: int(d.U32()), next: int(d.U32())})
+		}
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "slowpart: node %d: malformed snapshot entry from %d: %v", n.id, msg.From, err)
+			return
+		}
+		if xi < 0 || xi >= len(n.replicas) || w < 0 || w >= n.cfg.Net.NumNodes() {
+			n.mu.Unlock()
+			n.cfg.Faultf(n.id, "slowpart: node %d: snapshot entry from %d names unknown VarID %d / writer %d",
+				n.id, msg.From, xi, w)
+			return
+		}
+		for _, c := range curs {
+			if c.sender < 0 || c.sender >= len(n.next) {
+				n.mu.Unlock()
+				n.cfg.Faultf(n.id, "slowpart: node %d: snapshot cursor from %d names unknown sender %d",
+					n.id, msg.From, c.sender)
+				return
+			}
+			if c.sender != n.id && c.next > n.next[c.sender][xi] {
+				n.next[c.sender][xi] = c.next
+			}
+		}
+		if n.tags[xi].Stale(w, s) {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordRecover(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	n.rcv.FinishResponse()
+	n.mu.Unlock()
+}
+
+// finishRejoinLocked closes the rejoin window (Recovery.OnDone, node
+// lock held): updates held back during recovery replay through the
+// normal sequencing path against the merged cursors — stragglers the
+// snapshot already covers drop as stale, the rest deliver or buffer —
+// and variables no live peer knew a value for are recorded as ⊥ resets.
+func (n *Node) finishRejoinLocked() {
+	n.rejoining = false
+	held := n.held
+	n.held = nil
+	for _, u := range held {
+		n.applyLocked(u.from, u.wseq, u.vseq, u.varID, u.v)
+		mcs.PutPayload(u.v)
+	}
+	if rec := n.cfg.Recorder; rec != nil {
+		for _, xi := range n.ix.VarIDs(n.id) {
+			if n.tags[xi].Writer < 0 {
+				rec.RecordRecover(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+}
+
 // CrashRestart models the node rejoining after a crash with its
-// volatile replica store lost: every replica reverts to ⊥
-// (mcs.CrashRestarter). Sequencing state survives — the write
-// counters because a restarted writer must not reuse sequence numbers
-// its peers already applied, the per-stream receive cursors because
-// resetting them would make every peer's future updates look early
-// and buffer forever.
+// volatile state lost: replicas revert to ⊥ and write tags, receive
+// cursors and the out-of-order buffer are forgotten, to be re-learned
+// from peer snapshots during Recover (mcs.CrashRestarter). The write
+// counters survive — a restarted writer must not reuse sequence
+// numbers its peers already applied. Incoming updates are held back
+// until the snapshot merge restores the cursors.
 func (n *Node) CrashRestart() {
 	n.mu.Lock()
 	for xi := range n.replicas {
 		n.replicas.Set(xi, mcs.BottomValue)
+		n.tags[xi] = mcs.WriteTag{Writer: -1}
 	}
+	for j := range n.next {
+		for xi := range n.next[j] {
+			n.next[j][xi] = 0
+		}
+	}
+	for k, m := range n.buffered {
+		for vseq, u := range m {
+			mcs.PutPayload(u.v)
+			delete(m, vseq)
+		}
+		delete(n.buffered, k)
+	}
+	for _, u := range n.held {
+		mcs.PutPayload(u.v)
+	}
+	n.held = nil
+	n.rejoining = true
+	n.rcv.Cancel()
 	n.mu.Unlock()
+}
+
+// Recover starts the rejoin handshake with every variable-sharing
+// neighbor (mcs.CrashRestarter).
+func (n *Node) Recover() {
+	n.rcv.Begin(n.cfg.Placement.Neighbors(n.id))
+}
+
+// RecoveryStats reports completed rejoins and their summed virtual
+// duration (mcs.CrashRestarter).
+func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
+	return n.rcv.Stats()
 }
 
 var (

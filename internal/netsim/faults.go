@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -53,14 +54,17 @@ type FaultConfig struct {
 }
 
 // validate rejects out-of-range probabilities; nil means no faults.
+// NaN needs its own check: it fails both range comparisons, so without
+// it a NaN rate would slip through and silently disable the draw it
+// was meant to configure.
 func (fc *FaultConfig) validate() error {
 	if fc == nil {
 		return nil
 	}
-	if fc.Drop < 0 || fc.Drop > 1 {
+	if math.IsNaN(fc.Drop) || fc.Drop < 0 || fc.Drop > 1 {
 		return fmt.Errorf("Faults.Drop %v outside [0, 1]", fc.Drop)
 	}
-	if fc.Dup < 0 || fc.Dup > 1 {
+	if math.IsNaN(fc.Dup) || fc.Dup < 0 || fc.Dup > 1 {
 		return fmt.Errorf("Faults.Dup %v outside [0, 1]", fc.Dup)
 	}
 	return nil

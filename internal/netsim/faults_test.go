@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -472,7 +473,14 @@ func TestReliableVirtualDeterminism(t *testing.T) {
 // TestFaultConfigValidation pins the constructor contract for bad
 // probabilities.
 func TestFaultConfigValidation(t *testing.T) {
-	for _, bad := range []*FaultConfig{{Drop: -0.1}, {Drop: 1.5}, {Dup: 2}} {
+	nan := math.NaN()
+	for _, bad := range []*FaultConfig{
+		{Drop: -0.1}, {Drop: 1.5}, {Dup: 2}, {Dup: -1},
+		// NaN fails both range comparisons, so it needs (and has) an
+		// explicit rejection — it must not slip through and silently
+		// disable the draw.
+		{Drop: nan}, {Dup: nan},
+	} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -485,4 +493,45 @@ func TestFaultConfigValidation(t *testing.T) {
 	if _, err := New(KindSharded, 2, Options{FIFO: true, Faults: &FaultConfig{Drop: 2}}); err == nil {
 		t.Error("registry constructor accepted Drop=2")
 	}
+	if _, err := New(KindClassic, 2, Options{FIFO: true, Faults: &FaultConfig{Dup: nan}}); err == nil {
+		t.Error("registry constructor accepted Dup=NaN")
+	}
+}
+
+// TestFaultRestartWhilePartitioned pins the independence of the two
+// hard-fault axes: restarting a crashed node does not heal links that
+// were cut around it — traffic resumes only on uncut links, and the
+// cut ones keep losing messages until HealLink.
+func TestFaultRestartWhilePartitioned(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v variant) {
+		col := metrics.NewCollector()
+		nw := v.make(t, 3, Options{FIFO: true, Seed: 17, Metrics: col})
+		defer nw.Close()
+		fc := nw.(FaultController)
+		var got [3]atomic.Int64
+		for i := 0; i < 3; i++ {
+			i := i
+			nw.SetHandler(i, func(Message) { got[i].Add(1) })
+		}
+
+		fc.Crash(1)
+		fc.CutLink(0, 1)
+		fc.Restart(1) // restart inside the partition: the cut survives
+		nw.Send(Message{From: 0, To: 1})
+		nw.Send(Message{From: 2, To: 1})
+		quiesceWithin(t, nw, 30*time.Second, "restarted node behind a cut link")
+		if n := got[1].Load(); n != 1 {
+			t.Fatalf("restarted node received %d of 1 (cut link must still lose, uncut must flow)", n)
+		}
+		if f := col.Snapshot().Faults["partition"]; f != 1 {
+			t.Fatalf("partition faults recorded %d, want 1", f)
+		}
+
+		fc.HealLink(0, 1)
+		nw.Send(Message{From: 0, To: 1})
+		nw.Quiesce()
+		if n := got[1].Load(); n != 2 {
+			t.Fatalf("after heal: restarted node received %d, want 2", n)
+		}
+	})
 }

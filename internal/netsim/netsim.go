@@ -24,6 +24,19 @@
 // ordered timeline shared with flush timers and idle jumps, and the
 // seed fully determines the message trace on every engine — latency
 // studies become deterministic and cost no wall time; see vlat.go.
+//
+// The reliable-channel assumption itself can be withdrawn: faults.go
+// injects seeded per-message drop/duplication plus hard faults
+// (directed link cuts, node crashes) behind the FaultController
+// interface, and reliable.go layers sequence numbers, cumulative acks,
+// and virtual-clock retransmission on top of any transport to win the
+// assumption back — with abandonment surfaced through OnAbandon after
+// a bounded retry budget, so a permanent partition yields an error,
+// not a hang. Fault windows should be bounded in virtual time by
+// scheduling the un-fault on the Clock (see the facade's CutLinkFor):
+// a window driven from an application goroutine has no defined virtual
+// length, because idle jumps cross retransmit deadlines at memory
+// speed while the goroutine is descheduled.
 package netsim
 
 import (

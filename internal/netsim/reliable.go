@@ -51,6 +51,8 @@ type Reliable struct {
 	dupsSuppressed atomic.Int64
 	acksSent       atomic.Int64
 	abandoned      atomic.Int64
+
+	onAbandon func(from, to int, attempts int)
 }
 
 // relAckKind is the wire kind of the layer's cumulative acks.
@@ -90,6 +92,13 @@ type ReliableOptions struct {
 	// is abandoned after them (counted in Stats.Abandoned), so Quiesce
 	// terminates even against a fully partitioned link. Zero picks 16.
 	MaxRetries int
+	// OnAbandon, when set, is called once per abandoned frame with the
+	// ordered pair and the number of transmissions attempted — the
+	// layer's way of surfacing a permanent delivery failure to the
+	// protocol above instead of only counting it. Called from a
+	// virtual-clock callback with no layer locks held; it must not
+	// block on network progress.
+	OnAbandon func(from, to int, attempts int)
 }
 
 // NewReliable wraps inner with the ack/retransmit layer. Install
@@ -107,13 +116,14 @@ func NewReliable(inner Transport, opts ReliableOptions) *Reliable {
 	}
 	n := inner.NumNodes()
 	return &Reliable{
-		inner:    inner,
-		n:        n,
-		rto:      rto,
-		retry:    retry,
-		send:     make([]relSend, n*n),
-		recv:     make([]relRecv, n*n),
-		handlers: make([]Handler, n),
+		inner:     inner,
+		n:         n,
+		rto:       rto,
+		retry:     retry,
+		send:      make([]relSend, n*n),
+		recv:      make([]relRecv, n*n),
+		handlers:  make([]Handler, n),
+		onAbandon: opts.OnAbandon,
 	}
 }
 
@@ -141,6 +151,15 @@ func (r *Reliable) handler(node int) Handler {
 // copy for retransmission, and transmits the first attempt. Each
 // transmission sends a fresh copy of the payload — the receiver owns
 // (and may recycle) what it is handed, never the master.
+//
+// The pair lock is held across the first transmission so sequence
+// order equals wire order. Unlocking in between would let a competing
+// Send on the pair transmit a later sequence first — normally healed
+// by the reorder window, but if this goroutine then stalls in real
+// time while virtual time races ahead (idle jumps cross retransmit
+// deadlines at memory speed), the receiver's cumulative ack pins below
+// the missing sequence and every later frame burns its whole retry
+// budget against a gap only this goroutine can fill.
 func (r *Reliable) Send(msg Message) {
 	msg.dropped, msg.faultDrawn = false, false
 	p := &r.send[msg.From*r.n+msg.To]
@@ -155,10 +174,14 @@ func (r *Reliable) Send(msg Message) {
 		p.pending = make(map[uint64]Message)
 	}
 	p.pending[seq] = master
-	p.mu.Unlock()
 	r.unacked.Add(1)
-	r.transmit(master, seq)
+	// Arm before transmitting: if this goroutine stalls after the
+	// registration, the due timer still retransmits (the receiver
+	// dedupes the eventual double copy) instead of the frame having no
+	// wire copy and no deadline at once.
 	r.armTimer(msg.From, msg.To, seq, 0)
+	r.transmit(master, seq)
+	p.mu.Unlock()
 }
 
 // transmit sends one framed copy of a master message.
@@ -190,6 +213,9 @@ func (r *Reliable) onTimeout(from, to int, seq uint64, attempt int) {
 		p.mu.Unlock()
 		r.unacked.Add(-1)
 		r.abandoned.Add(1)
+		if r.onAbandon != nil {
+			r.onAbandon(from, to, attempt+1)
+		}
 		return
 	}
 	p.mu.Unlock()
@@ -197,8 +223,8 @@ func (r *Reliable) onTimeout(from, to int, seq uint64, attempt int) {
 		return // acked in the meantime
 	}
 	r.retransmits.Add(1)
-	r.transmit(master, seq)
 	r.armTimer(from, to, seq, attempt+1)
+	r.transmit(master, seq)
 }
 
 // dispatch is the inner-transport handler: acks settle sender state,

@@ -322,6 +322,16 @@ type Config struct {
 	// frame before it abandons the frame (keeping Quiesce terminating
 	// across permanent partitions); zero picks the netsim default.
 	RetransmitMax int
+	// OpDeadlineTicks bounds the blocking protocols' round-trip waits
+	// (Sequential, Atomic, CacheConsistency) on the virtual clock: an
+	// operation that sees no progress within that many ticks fails fast
+	// with an error wrapping ErrOpDeadline — and records it as the
+	// node's fault, visible through Err() — instead of hanging forever
+	// on an unrecovered lossy or partitioned link. Zero (the default)
+	// waits unboundedly, the pre-v7 behaviour. The deadline rides the
+	// same deterministic clock as the latency and fault schedules, so a
+	// given seed either always or never expires a given operation.
+	OpDeadlineTicks int
 	// DisableTrace turns off history and witness recording (for
 	// benchmarks). Traced verification methods then return ErrNoTrace.
 	DisableTrace bool
@@ -337,6 +347,11 @@ type Config struct {
 // ErrNoTrace is returned by history-dependent methods when the cluster
 // was built with DisableTrace.
 var ErrNoTrace = errors.New("partialdsm: cluster was built with DisableTrace")
+
+// ErrOpDeadline is the sentinel wrapped by operations that gave up
+// after Config.OpDeadlineTicks of virtual time without progress; test
+// with errors.Is.
+var ErrOpDeadline = mcs.ErrOpDeadline
 
 // Cluster is a running DSM instance.
 type Cluster struct {
@@ -417,6 +432,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("partialdsm: %w", err)
 	}
+	sink := &faultSink{}
 	var trans netsim.Transport = net
 	var rel *netsim.Reliable
 	if cfg.Reliable {
@@ -427,6 +443,12 @@ func New(cfg Config) (*Cluster, error) {
 		rel = netsim.NewReliable(net, netsim.ReliableOptions{
 			RetransmitTicks: uint64(cfg.RetransmitTicks),
 			MaxRetries:      cfg.RetransmitMax,
+			// A frame the layer gives up on is a permanent delivery
+			// failure the sender can no longer mask; surface it as the
+			// sending node's fault instead of only counting it.
+			OnAbandon: func(from, to, attempts int) {
+				sink.record(from, fmt.Errorf("netsim: peer %d unreachable, frame abandoned after %d transmissions", to, attempts))
+			},
 		})
 		trans = rel
 	}
@@ -453,13 +475,13 @@ func New(cfg Config) (*Cluster, error) {
 	if (cfg.CoalesceFlushTicks > 0 || cfg.CoalesceAdaptive) && batch < 2 {
 		batch = 16 // engine-driven flushing implies coalescing
 	}
-	sink := &faultSink{}
 	mc := mcs.Config{
 		Net: trans, Placement: pl, Metrics: col, Recorder: rec,
 		NonFIFO:            cfg.NonFIFO,
 		CoalesceBatch:      batch,
 		CoalesceFlushTicks: cfg.CoalesceFlushTicks,
 		CoalesceAdaptive:   cfg.CoalesceAdaptive,
+		OpDeadlineTicks:    cfg.OpDeadlineTicks,
 		OnFault:            sink.record,
 	}
 
@@ -621,11 +643,60 @@ func (c *Cluster) CutLink(from, to int) { c.faultController().CutLink(from, to) 
 // cut stay lost (no replay).
 func (c *Cluster) HealLink(from, to int) { c.faultController().HealLink(from, to) }
 
+// CutLinkFor cuts the ordered link from → to and heals it after
+// exactly `ticks` virtual ticks. Both endpoints of the window are
+// virtual-clock callbacks: the cut applies at the next advance and the
+// heal exactly ticks later, registered atomically (no other clock
+// callback can run in between), so the partition's virtual duration is
+// bounded by construction.
+//
+// Driving the window from an application goroutine — CutLink, some
+// staging work, HealLink — leaves its *virtual* length at the mercy of
+// real-time goroutine scheduling: virtual time crosses retransmit and
+// retry deadlines at memory speed whenever the network is otherwise
+// idle, so a stall between the two calls can burn an unbounded number
+// of timeout budgets against the cut. Scheduling the heal on the clock
+// removes that race; it is the fault-injection idiom every seeded,
+// engine-comparable experiment should use.
+func (c *Cluster) CutLinkFor(from, to int, ticks uint64) {
+	fc := c.faultController()
+	clk := c.net.Clock()
+	clk.After(0, func() {
+		fc.CutLink(from, to)
+		clk.After(ticks, func() { fc.HealLink(from, to) })
+	})
+}
+
+// CrashNodeFor fail-stops node i at the next virtual-time advance and
+// restarts it — volatile state wiped, recovery handshake started, like
+// RestartNode — after exactly `ticks` virtual ticks. The same
+// bounded-window rationale as CutLinkFor applies: a crash window driven
+// from an application goroutine has no defined virtual length, one
+// scheduled on the clock does. Quiesce fires both callbacks (and the
+// recovery they trigger) before returning.
+func (c *Cluster) CrashNodeFor(i int, ticks uint64) error {
+	if err := c.crashRestarter(i); err != nil {
+		return err
+	}
+	fc := c.faultController()
+	clk := c.net.Clock()
+	cr := c.nodes[i].(mcs.CrashRestarter)
+	clk.After(0, func() {
+		fc.Crash(i)
+		clk.After(ticks, func() {
+			cr.CrashRestart()
+			fc.Restart(i)
+			cr.Recover()
+		})
+	})
+	return nil
+}
+
 // CrashNode fail-stops node i: messages to and from it — including any
-// already in flight — are lost until RestartNode. It returns an error
-// when the cluster's protocol cannot rejoin a restarted node (only
-// protocols implementing crash-recovery state loss support the cycle:
-// PRAM and Slow); the node is then left running.
+// already in flight — are lost until RestartNode. All eight protocols
+// support the crash/restart/recover cycle; the error return is kept
+// for protocols registered out of tree that do not implement
+// mcs.CrashRestarter (the node is then left running).
 func (c *Cluster) CrashNode(i int) error {
 	if err := c.crashRestarter(i); err != nil {
 		return err
@@ -634,18 +705,30 @@ func (c *Cluster) CrashNode(i int) error {
 	return nil
 }
 
-// RestartNode restarts a crashed node i with its replica state wiped
+// RestartNode restarts a crashed node i with its volatile state wiped
 // back to ⊥ (crash amnesia) while its durable write counters survive,
-// then reconnects it to the network. The restarted node recovers only
-// state it is told about afterward.
+// reconnects it to the network, and starts the recovery handshake: the
+// node fetches per-variable values and protocol metadata (sequence
+// cursors, vector clocks, duplicate-suppression state) from its live
+// peers over the normal transport, so pre-crash writes become readable
+// again instead of every replica resting at ⊥. Recovery traffic is
+// ordinary messages — it coalesces, draws latency, and is subject to
+// the fault schedule like any other frame; snapshot requests retry a
+// bounded number of times, and a node whose peers stay unreachable
+// reports the failure through Err(). Stats separates the recovery
+// traffic and counts completed rejoins. Values no surviving peer knew
+// remain ⊥ (recorded as a recovery reset, which the witness checkers
+// account for).
 func (c *Cluster) RestartNode(i int) error {
 	if err := c.crashRestarter(i); err != nil {
 		return err
 	}
 	// Wipe before reconnecting: while the node is crashed no frame can
 	// reach it, so the wipe cannot race a delivery.
-	c.nodes[i].(mcs.CrashRestarter).CrashRestart()
+	cr := c.nodes[i].(mcs.CrashRestarter)
+	cr.CrashRestart()
 	c.faultController().Restart(i)
+	cr.Recover()
 	return nil
 }
 
@@ -928,6 +1011,15 @@ type Stats struct {
 	// Config.RetransmitMax retries — nonzero only across unhealed
 	// partitions or crashes.
 	Retransmits, DupsSuppressed, AcksSent, Abandoned int64
+	// Recoveries counts completed crash-recovery handshakes
+	// (RestartNode cycles whose snapshot merge finished), RecoveryMsgs
+	// the snapshot requests and responses that crossed the wire for
+	// them, and RecoveryTicks the summed virtual time from each
+	// Recover() to its rejoin completing — the protocol-level cost of
+	// crash recovery, separated from steady-state traffic.
+	Recoveries    int
+	RecoveryMsgs  int64
+	RecoveryTicks uint64
 }
 
 // Stats returns a snapshot of the communication metrics.
@@ -953,6 +1045,14 @@ func (c *Cluster) Stats() Stats {
 		out.DupsSuppressed = rs.DupsSuppressed
 		out.AcksSent = rs.AcksSent
 		out.Abandoned = rs.Abandoned
+	}
+	out.RecoveryMsgs = s.PerKind[mcs.KindSnapReq] + s.PerKind[mcs.KindSnapResp]
+	for _, n := range c.nodes {
+		if cr, ok := n.(mcs.CrashRestarter); ok {
+			recs, ticks := cr.RecoveryStats()
+			out.Recoveries += recs
+			out.RecoveryTicks += ticks
+		}
 	}
 	return out
 }
