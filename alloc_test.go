@@ -19,12 +19,12 @@ import (
 func allocCluster(t *testing.T, cons Consistency, placement [][]string, batch int) *Cluster {
 	t.Helper()
 	c, err := New(Config{
-		Consistency:   cons,
-		Placement:     placement,
-		Seed:          1,
-		DisableTrace:  true,
-		Transport:     TransportSharded,
-		CoalesceBatch: batch,
+		Consistency:    cons,
+		PlacementLists: placement,
+		Seed:           1,
+		DisableTrace:   true,
+		Transport:      TransportSharded,
+		CoalesceBatch:  batch,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -26,10 +26,10 @@ func bfNodes(c *Cluster) []bellmanford.Node {
 func TestBellmanFordFigure8(t *testing.T) {
 	g := bellmanford.Figure8Graph()
 	c := newCluster(t, Config{
-		Consistency: PRAM,
-		Placement:   bellmanford.Placement(g),
-		Seed:        1,
-		MaxLatency:  100 * time.Microsecond,
+		Consistency:    PRAM,
+		PlacementLists: bellmanford.Placement(g),
+		Seed:           1,
+		MaxLatency:     100 * time.Microsecond,
 	})
 	res, err := bellmanford.Run(bfNodes(c), g, 0)
 	if err != nil {
@@ -55,10 +55,10 @@ func TestBellmanFordRandomGraphsOnPRAM(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		g := bellmanford.RandomGraph(rng, 7, 8, 12)
 		c, err := New(Config{
-			Consistency: PRAM,
-			Placement:   bellmanford.Placement(g),
-			Seed:        int64(trial),
-			MaxLatency:  150 * time.Microsecond,
+			Consistency:    PRAM,
+			PlacementLists: bellmanford.Placement(g),
+			Seed:           int64(trial),
+			MaxLatency:     150 * time.Microsecond,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -89,9 +89,9 @@ func TestBellmanFordOnStrongerMemories(t *testing.T) {
 		t.Run(string(cons), func(t *testing.T) {
 			t.Parallel()
 			c := newCluster(t, Config{
-				Consistency: cons,
-				Placement:   bellmanford.Placement(g),
-				Seed:        3,
+				Consistency:    cons,
+				PlacementLists: bellmanford.Placement(g),
+				Seed:           3,
 			})
 			res, err := bellmanford.Run(bfNodes(c), g, 0)
 			if err != nil {
@@ -114,10 +114,10 @@ func TestBellmanFordOnStrongerMemories(t *testing.T) {
 func TestFigure9StepPattern(t *testing.T) {
 	g := bellmanford.Figure8Graph()
 	c := newCluster(t, Config{
-		Consistency: PRAM,
-		Placement:   bellmanford.Placement(g),
-		Seed:        4,
-		MaxLatency:  200 * time.Microsecond,
+		Consistency:    PRAM,
+		PlacementLists: bellmanford.Placement(g),
+		Seed:           4,
+		MaxLatency:     200 * time.Microsecond,
 	})
 	if _, err := bellmanford.Run(bfNodes(c), g, 0); err != nil {
 		t.Fatal(err)

@@ -60,12 +60,12 @@ func benchClusterT(b *testing.B, cons partialdsm.Consistency, placement [][]stri
 		batch = coalesce[0]
 	}
 	c, err := partialdsm.New(partialdsm.Config{
-		Consistency:   cons,
-		Placement:     placement,
-		Seed:          1,
-		DisableTrace:  true,
-		Transport:     tr,
-		CoalesceBatch: batch,
+		Consistency:    cons,
+		PlacementLists: placement,
+		Seed:           1,
+		DisableTrace:   true,
+		Transport:      tr,
+		CoalesceBatch:  batch,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -207,12 +207,12 @@ func BenchmarkBellmanFord(b *testing.B) {
 					placement := bellmanford.Placement(g)
 					for i := 0; i < b.N; i++ {
 						c, err := partialdsm.New(partialdsm.Config{
-							Consistency:   partialdsm.PRAM,
-							Placement:     placement,
-							Seed:          1,
-							DisableTrace:  true,
-							Transport:     tr,
-							CoalesceBatch: batch,
+							Consistency:    partialdsm.PRAM,
+							PlacementLists: placement,
+							Seed:           1,
+							DisableTrace:   true,
+							Transport:      tr,
+							CoalesceBatch:  batch,
 						})
 						if err != nil {
 							b.Fatal(err)

@@ -74,7 +74,7 @@ func TestBasicPropagationAllProtocols(t *testing.T) {
 	for _, cons := range Consistencies {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
-			c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(3), Seed: 1})
+			c := newCluster(t, Config{Consistency: cons, PlacementLists: fullPlacement(3), Seed: 1})
 			if err := c.Node(0).Write("x", 7); err != nil {
 				t.Fatal(err)
 			}
@@ -104,7 +104,7 @@ func TestPartialReplicationPropagation(t *testing.T) {
 	for _, cons := range []Consistency{PRAM, Slow, CausalPartial, CausalHoopAware} {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
-			c := newCluster(t, Config{Consistency: cons, Placement: hoopPlacement(), Seed: 2})
+			c := newCluster(t, Config{Consistency: cons, PlacementLists: hoopPlacement(), Seed: 2})
 			if err := c.Node(0).Write("x", 11); err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +124,7 @@ func TestPartialReplicationPropagation(t *testing.T) {
 
 func TestAccessControl(t *testing.T) {
 	for _, cons := range Consistencies {
-		c := newCluster(t, Config{Consistency: cons, Placement: hoopPlacement(), Seed: 3})
+		c := newCluster(t, Config{Consistency: cons, PlacementLists: hoopPlacement(), Seed: 3})
 		if err := c.Node(1).Write("x", 1); err == nil {
 			t.Errorf("%s: node 1 must not write x (x ∉ X_1)", cons)
 		}
@@ -146,10 +146,10 @@ func TestWitnessesUnderConcurrentWorkload(t *testing.T) {
 			t.Run(string(cons)+"/"+name, func(t *testing.T) {
 				t.Parallel()
 				c := newCluster(t, Config{
-					Consistency: cons,
-					Placement:   pl,
-					Seed:        99,
-					MaxLatency:  200 * time.Microsecond,
+					Consistency:    cons,
+					PlacementLists: pl,
+					Seed:           99,
+					MaxLatency:     200 * time.Microsecond,
 				})
 				runWorkload(t, c, 25, 7)
 				if err := c.VerifyWitness(); err != nil {
@@ -162,11 +162,11 @@ func TestWitnessesUnderConcurrentWorkload(t *testing.T) {
 
 func TestSlowUnderNonFIFO(t *testing.T) {
 	c := newCluster(t, Config{
-		Consistency: Slow,
-		Placement:   fullPlacement(4),
-		NonFIFO:     true,
-		MaxLatency:  300 * time.Microsecond,
-		Seed:        5,
+		Consistency:    Slow,
+		PlacementLists: fullPlacement(4),
+		NonFIFO:        true,
+		MaxLatency:     300 * time.Microsecond,
+		Seed:           5,
 	})
 	runWorkload(t, c, 40, 13)
 	if err := c.VerifyWitness(); err != nil {
@@ -181,11 +181,11 @@ func TestCausalPartialUnderNonFIFO(t *testing.T) {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
 			c := newCluster(t, Config{
-				Consistency: cons,
-				Placement:   hoopPlacement(),
-				NonFIFO:     true,
-				MaxLatency:  300 * time.Microsecond,
-				Seed:        6,
+				Consistency:    cons,
+				PlacementLists: hoopPlacement(),
+				NonFIFO:        true,
+				MaxLatency:     300 * time.Microsecond,
+				Seed:           6,
 			})
 			runWorkload(t, c, 30, 17)
 			if err := c.VerifyWitness(); err != nil {
@@ -197,7 +197,7 @@ func TestCausalPartialUnderNonFIFO(t *testing.T) {
 
 func TestNonFIFORejectedForFIFOProtocols(t *testing.T) {
 	for _, cons := range []Consistency{PRAM, CausalFull} {
-		_, err := New(Config{Consistency: cons, Placement: fullPlacement(2), NonFIFO: true})
+		_, err := New(Config{Consistency: cons, PlacementLists: fullPlacement(2), NonFIFO: true})
 		if err == nil {
 			t.Errorf("%s must reject NonFIFO", cons)
 		}
@@ -222,10 +222,10 @@ func TestCheckHistorySmallRuns(t *testing.T) {
 		t.Run(string(cons), func(t *testing.T) {
 			t.Parallel()
 			c := newCluster(t, Config{
-				Consistency: cons,
-				Placement:   fullPlacement(3),
-				Seed:        8,
-				MaxLatency:  100 * time.Microsecond,
+				Consistency:    cons,
+				PlacementLists: fullPlacement(3),
+				Seed:           8,
+				MaxLatency:     100 * time.Microsecond,
 			})
 			runWorkload(t, c, 4, 21)
 			verdicts, err := c.CheckHistory()
@@ -243,7 +243,7 @@ func TestCheckHistorySmallRuns(t *testing.T) {
 func TestEfficiencyTheorem2(t *testing.T) {
 	// PRAM and Slow: no information about x outside C(x), ever.
 	for _, cons := range []Consistency{PRAM, Slow} {
-		c := newCluster(t, Config{Consistency: cons, Placement: hoopPlacement(), Seed: 9})
+		c := newCluster(t, Config{Consistency: cons, PlacementLists: hoopPlacement(), Seed: 9})
 		runWorkload(t, c, 30, 31)
 		if err := c.VerifyEfficiency(); err != nil {
 			t.Errorf("%s: efficiency violated: %v", cons, err)
@@ -254,7 +254,7 @@ func TestEfficiencyTheorem2(t *testing.T) {
 func TestInefficiencyTheorem1(t *testing.T) {
 	// Causal partial replication: node 1 ∉ C(x) must have handled
 	// information about x (it is x-relevant, on the hoop [0,1,2]).
-	c := newCluster(t, Config{Consistency: CausalPartial, Placement: hoopPlacement(), Seed: 10})
+	c := newCluster(t, Config{Consistency: CausalPartial, PlacementLists: hoopPlacement(), Seed: 10})
 	if err := c.Node(0).Write("x", 1); err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestHoopAwareRespectsRelevanceBound(t *testing.T) {
 	// anchor). Hoop-aware causal must keep x away from node 3;
 	// broadcast causal must not.
 	pl := [][]string{{"x", "y"}, {"y"}, {"x", "y", "z"}, {"z"}}
-	aware := newCluster(t, Config{Consistency: CausalHoopAware, Placement: pl, Seed: 11})
+	aware := newCluster(t, Config{Consistency: CausalHoopAware, PlacementLists: pl, Seed: 11})
 	runWorkload(t, aware, 25, 41)
 	if err := aware.VerifyRelevanceBound(); err != nil {
 		t.Errorf("hoop-aware: relevance bound violated: %v", err)
@@ -291,7 +291,7 @@ func TestHoopAwareRespectsRelevanceBound(t *testing.T) {
 		t.Error("hoop-aware: x-irrelevant node 3 handled information about x")
 	}
 
-	bcast := newCluster(t, Config{Consistency: CausalPartial, Placement: pl, Seed: 11})
+	bcast := newCluster(t, Config{Consistency: CausalPartial, PlacementLists: pl, Seed: 11})
 	runWorkload(t, bcast, 25, 41)
 	if touched := touches(bcast, 3, "x"); !touched {
 		t.Error("broadcast: node 3 should have been notified about x")
@@ -318,7 +318,7 @@ func TestCausalChainAcrossHoop(t *testing.T) {
 				pl = fullPlacement(3)
 			}
 			c, err := New(Config{
-				Consistency: cons, Placement: pl,
+				Consistency: cons, PlacementLists: pl,
 				Seed: trial, MaxLatency: 300 * time.Microsecond,
 			})
 			if err != nil {
@@ -377,16 +377,16 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Consistency: PRAM}); err == nil {
 		t.Error("empty placement must be rejected")
 	}
-	if _, err := New(Config{Consistency: "bogus", Placement: fullPlacement(2)}); err == nil {
+	if _, err := New(Config{Consistency: "bogus", PlacementLists: fullPlacement(2)}); err == nil {
 		t.Error("unknown consistency must be rejected")
 	}
-	if _, err := New(Config{Consistency: PRAM, Placement: [][]string{{""}}}); err == nil {
+	if _, err := New(Config{Consistency: PRAM, PlacementLists: [][]string{{""}}}); err == nil {
 		t.Error("empty variable name must be rejected")
 	}
 }
 
 func TestDisableTrace(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), DisableTrace: true})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), DisableTrace: true})
 	if err := c.Node(0).Write("x", 1); err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestDisableTrace(t *testing.T) {
 }
 
 func TestTopologyQueries(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: hoopPlacement()})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: hoopPlacement()})
 	if got := c.Clique("x"); len(got) != 2 || got[0] != 0 || got[1] != 2 {
 		t.Errorf("C(x) = %v", got)
 	}
@@ -428,7 +428,7 @@ func TestTopologyQueries(t *testing.T) {
 }
 
 func TestHistoryJSONExport(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), Seed: 12})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), Seed: 12})
 	c.Node(0).Write("x", 5)
 	c.Quiesce()
 	c.Node(1).Read("x")
@@ -447,7 +447,7 @@ func TestHistoryJSONExport(t *testing.T) {
 }
 
 func TestSequentialReadYourWrites(t *testing.T) {
-	c := newCluster(t, Config{Consistency: Sequential, Placement: fullPlacement(3), Seed: 13})
+	c := newCluster(t, Config{Consistency: Sequential, PlacementLists: fullPlacement(3), Seed: 13})
 	n0 := c.Node(0)
 	for k := int64(1); k <= 20; k++ {
 		if err := n0.Write("x", k); err != nil {
@@ -464,7 +464,7 @@ func TestSequentialReadYourWrites(t *testing.T) {
 }
 
 func TestAtomicLinearizableSingleVar(t *testing.T) {
-	c := newCluster(t, Config{Consistency: Atomic, Placement: fullPlacement(3), Seed: 14})
+	c := newCluster(t, Config{Consistency: Atomic, PlacementLists: fullPlacement(3), Seed: 14})
 	// After a write completes, every node must see it immediately —
 	// single authoritative copy.
 	if err := c.Node(1).Write("x", 77); err != nil {
@@ -482,7 +482,7 @@ func TestAtomicLinearizableSingleVar(t *testing.T) {
 }
 
 func TestNodeHandleOutOfRange(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2)})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2)})
 	defer func() {
 		if recover() == nil {
 			t.Error("Node(99) must panic")

@@ -87,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cluster, err := partialdsm.New(partialdsm.Config{
 		Consistency:        partialdsm.Consistency(*consistency),
-		Placement:          placement,
+		Placement:          partialdsm.PlacementFromLists(placement),
 		Seed:               *seed,
 		MaxLatency:         *latency,
 		VirtualLatency:     *virtualLat,

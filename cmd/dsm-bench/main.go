@@ -389,6 +389,19 @@ func benches() []bench {
 			fn:   func(b *testing.B, msgs *float64) { recoverySweep(b, tr, msgs) },
 		})
 	}
+	// Migration sweep: one epoch reconfiguration per iteration on a
+	// PRAM ring — a single variable hops one step around the ring, so
+	// each flip transfers exactly one replica (one gain, one shed).
+	// The msgs metric is the epoch wire traffic alone (propose, fence,
+	// transfer, ready, commit per migration) — a direct gauge on the
+	// reconfiguration protocol, independent of the update path.
+	for _, tr := range partialdsm.Transports {
+		tr := tr
+		out = append(out, bench{
+			name: fmt.Sprintf("MigrationSweep/%s", tr),
+			fn:   func(b *testing.B, msgs *float64) { migrationSweep(b, tr, msgs) },
+		})
+	}
 	// Per-operation costs of the headline protocol.
 	out = append(out,
 		bench{name: "PRAMWrite/8node-full", fn: func(b *testing.B, msgs *float64) { pramWrite(b, modes[0], msgs) }},
@@ -441,7 +454,7 @@ func cluster(b *testing.B, cons partialdsm.Consistency, placement [][]string, tr
 func clusterConfig(cons partialdsm.Consistency, placement [][]string, tr partialdsm.Transport, m mode) partialdsm.Config {
 	return partialdsm.Config{
 		Consistency:        cons,
-		Placement:          placement,
+		Placement:          partialdsm.PlacementFromLists(placement),
 		Seed:               1,
 		DisableTrace:       true,
 		Transport:          tr,
@@ -588,6 +601,56 @@ func recoverySweep(b *testing.B, tr partialdsm.Transport, msgs *float64) {
 	}
 	b.StopTimer()
 	*msgs = float64(c.Stats().RecoveryMsgs-base) / float64(b.N)
+}
+
+// migrationSweep is one live epoch reconfiguration per iteration: an
+// 8-node PRAM ring (node i replicates v_i and v_{i+1 mod 8}) is
+// seeded with one write per variable, then each iteration flips
+// between the base ring and a variant where v0 has hopped one step —
+// node 2 gains a replica of v0 with its state transferred from a
+// donor, node 0 sheds its copy. The msgs metric counts only the
+// epoch.* frames per migration, so a chattier handshake — extra
+// fences, redundant transfers — moves the number even though the
+// update path is untouched.
+func migrationSweep(b *testing.B, tr partialdsm.Transport, msgs *float64) {
+	const nodes = 8
+	ring := func(shifted bool) *partialdsm.Placement {
+		p := partialdsm.NewPlacement(nodes)
+		for i := 0; i < nodes; i++ {
+			v := fmt.Sprintf("v%d", i)
+			lo, hi := i, (i+1)%nodes
+			if shifted && i == 0 {
+				lo, hi = 1, 2
+			}
+			p.Assign(lo, v).Assign(hi, v)
+		}
+		return p
+	}
+	cfg := clusterConfig(partialdsm.PRAM, ring(false).Lists(), tr, modes[0])
+	cfg.MaxLatency = time.Millisecond
+	cfg.VirtualLatency = true
+	c, err := partialdsm.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < nodes; i++ {
+		if err := c.Node(i).Write(fmt.Sprintf("v%d", i), int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(); err != nil {
+		b.Fatal(err)
+	}
+	base := c.Stats().ReconfigMsgs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Reconfigure(ring(i%2 == 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	*msgs = float64(c.Stats().ReconfigMsgs-base) / float64(b.N)
 }
 
 // bellmanFord is one full distributed shortest-path run per iteration.

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"partialdsm"
+)
+
+// TestMigrationSweepSmoke runs the migration benchmark body once per
+// engine and pins the property the trajectory relies on: the epoch
+// wire traffic per migration is positive and seed-identical across
+// transports (the handshake is deterministic; only wall time varies).
+func TestMigrationSweepSmoke(t *testing.T) {
+	perEngine := make(map[partialdsm.Transport]float64)
+	for _, tr := range partialdsm.Transports {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			var msgs float64
+			r := testing.Benchmark(func(b *testing.B) {
+				migrationSweep(b, tr, &msgs)
+			})
+			t.Logf("N=%d msgs/op=%.1f", r.N, msgs)
+			if msgs <= 0 {
+				t.Fatalf("msgs/op = %v, want > 0", msgs)
+			}
+			perEngine[tr] = msgs
+		})
+	}
+	if c, s := perEngine[partialdsm.TransportClassic], perEngine[partialdsm.TransportSharded]; c != s {
+		t.Errorf("msgs/op differs across engines: classic=%v sharded=%v", c, s)
+	}
+}

@@ -36,7 +36,7 @@ func run(w io.Writer, transport partialdsm.Transport) error {
 
 	cluster, err := partialdsm.New(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
-		Placement:   placement,
+		Placement:   partialdsm.PlacementFromLists(placement),
 		Seed:        7,
 		MaxLatency:  200 * time.Microsecond,
 		Transport:   transport,

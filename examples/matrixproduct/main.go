@@ -59,7 +59,7 @@ func run(w io.Writer, n int, transport partialdsm.Transport) error {
 
 	cluster, err := partialdsm.New(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
-		Placement:   placement,
+		Placement:   partialdsm.PlacementFromLists(placement),
 		Seed:        11,
 		MaxLatency:  100 * time.Microsecond,
 		Transport:   transport,

@@ -25,11 +25,10 @@ func run(w io.Writer, transport partialdsm.Transport) error {
 	// handles x — that is the paper's "efficient partial replication".
 	cluster, err := partialdsm.New(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
-		Placement: [][]string{
-			{"x", "y"}, // node 0
-			{"y"},      // node 1
-			{"x", "y"}, // node 2
-		},
+		Placement: partialdsm.NewPlacement(3).
+			Assign(0, "x", "y").
+			Assign(1, "y").
+			Assign(2, "x", "y"),
 		Seed:      42,
 		Transport: transport,
 	})

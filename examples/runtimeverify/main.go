@@ -25,7 +25,7 @@ func main() {
 func run(w io.Writer, tracePath string, transport partialdsm.Transport) error {
 	cluster, err := partialdsm.New(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
-		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}},
+		Placement:   partialdsm.PlacementFromLists([][]string{{"x", "y"}, {"y"}, {"x", "y"}}),
 		Seed:        17,
 		LiveVerify:  true, // O(1)-per-event online PRAM witness
 		Transport:   transport,

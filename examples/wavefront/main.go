@@ -56,7 +56,7 @@ func run(w io.Writer, sWord, tWord string, transport partialdsm.Transport) error
 
 	cluster, err := partialdsm.New(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
-		Placement:   placement,
+		Placement:   partialdsm.PlacementFromLists(placement),
 		Seed:        5,
 		MaxLatency:  150 * time.Microsecond,
 		Transport:   transport,

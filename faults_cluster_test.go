@@ -14,7 +14,7 @@ import (
 // Stats must report the drops.
 func TestClusterFaultDropStatsAndQuiesce(t *testing.T) {
 	c := newCluster(t, Config{
-		Consistency: PRAM, Placement: fullPlacement(3),
+		Consistency: PRAM, PlacementLists: fullPlacement(3),
 		VirtualLatency: true, FaultDrop: 1, FaultSeed: 5,
 	})
 	for k := int64(1); k <= 10; k++ {
@@ -39,7 +39,7 @@ func TestClusterFaultDropStatsAndQuiesce(t *testing.T) {
 // verifies both liveness and its consistency witness.
 func TestClusterReliableRestoresBlockingProtocolUnderFaults(t *testing.T) {
 	c := newCluster(t, Config{
-		Consistency: Sequential, Placement: fullPlacement(3),
+		Consistency: Sequential, PlacementLists: fullPlacement(3),
 		VirtualLatency: true,
 		FaultDrop:      0.2, FaultDup: 0.2, FaultSeed: 7,
 		Reliable: true,
@@ -75,7 +75,7 @@ func TestClusterReliableRestoresBlockingProtocolUnderFaults(t *testing.T) {
 // reports a dropped frame.
 func TestClusterAtomicDupSafe(t *testing.T) {
 	c := newCluster(t, Config{
-		Consistency: Atomic, Placement: fullPlacement(3),
+		Consistency: Atomic, PlacementLists: fullPlacement(3),
 		VirtualLatency: true, FaultDup: 1, FaultSeed: 3,
 	})
 	for k := int64(1); k <= 5; k++ {
@@ -105,7 +105,7 @@ func TestClusterAtomicDupSafe(t *testing.T) {
 // Cluster.Err and fails the next Quiesce instead of panicking the
 // delivery goroutine.
 func TestClusterErrReportsDroppedFrame(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), VirtualLatency: true})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), VirtualLatency: true})
 	c.net.Send(netsim.Message{From: 0, To: 1, Kind: "bogus.kind", Payload: []byte{1, 2, 3}})
 	c.net.Quiesce()
 	err := c.Err()
@@ -125,7 +125,7 @@ func TestClusterErrReportsDroppedFrame(t *testing.T) {
 // replay, and a crash/restart cycle re-learns the wiped replicas from
 // the live peers' snapshots before new traffic resumes.
 func TestClusterCutHealCrashRestart(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(3), VirtualLatency: true})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(3), VirtualLatency: true})
 	read := func(node int, want int64, what string) {
 		t.Helper()
 		if v, err := c.Node(node).Read("x"); err != nil || v != want {
@@ -196,7 +196,7 @@ func TestClusterCrashRecoverAllProtocols(t *testing.T) {
 		for _, cons := range Consistencies {
 			t.Run(string(tr)+"/"+string(cons), func(t *testing.T) {
 				c := newCluster(t, Config{
-					Consistency: cons, Placement: fullPlacement(3),
+					Consistency: cons, PlacementLists: fullPlacement(3),
 					Transport: tr, VirtualLatency: true, Seed: 23,
 				})
 				step := func(err error) {
@@ -239,7 +239,7 @@ func TestClusterCrashRecoverAllProtocols(t *testing.T) {
 // the partition heals the rejoin completes with the pre-crash value.
 func TestClusterRestartInsidePartition(t *testing.T) {
 	c := newCluster(t, Config{
-		Consistency: PRAM, Placement: fullPlacement(3),
+		Consistency: PRAM, PlacementLists: fullPlacement(3),
 		VirtualLatency: true, Seed: 31,
 	})
 	step := func(err error) {
@@ -286,7 +286,7 @@ func TestClusterOpDeadlineFailsFast(t *testing.T) {
 	for _, cons := range []Consistency{Sequential, Atomic, CacheConsistency} {
 		t.Run(string(cons), func(t *testing.T) {
 			c := newCluster(t, Config{
-				Consistency: cons, Placement: fullPlacement(2),
+				Consistency: cons, PlacementLists: fullPlacement(2),
 				VirtualLatency: true, OpDeadlineTicks: 1 << 12,
 			})
 			// Requests from node 1 toward its sequencer/primary (node

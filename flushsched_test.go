@@ -170,10 +170,10 @@ func TestFlushScheduleDeterministicAcrossTransports(t *testing.T) {
 				// run-to-run, not just engine-to-engine.
 				for rep := 0; rep < 3; rep++ {
 					cfg := Config{
-						Consistency: PRAM,
-						Placement:   placement,
-						Seed:        7,
-						Transport:   Transport(kind),
+						Consistency:    PRAM,
+						PlacementLists: placement,
+						Seed:           7,
+						Transport:      Transport(kind),
 					}
 					mode.cfg(&cfg)
 					c := newCluster(t, cfg)
@@ -260,7 +260,7 @@ func TestFlushScheduleOverlappingPhasesVirtual(t *testing.T) {
 				for rep := 0; rep < 3; rep++ {
 					cfg := Config{
 						Consistency:    PRAM,
-						Placement:      placement,
+						PlacementLists: placement,
 						Seed:           13,
 						Transport:      Transport(kind),
 						VirtualLatency: true,
@@ -340,7 +340,7 @@ func TestCoalescingPreservesVerdictsAndWitnesses(t *testing.T) {
 		msgs     int64
 	}
 	measure := func(t *testing.T, mutate func(*Config)) outcome {
-		cfg := Config{Consistency: PRAM, Placement: placement, Seed: 11}
+		cfg := Config{Consistency: PRAM, PlacementLists: placement, Seed: 11}
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -393,7 +393,7 @@ func TestEngineDrivenFlushLiveness(t *testing.T) {
 	for _, tr := range Transports {
 		for _, mode := range flushModes {
 			t.Run(string(tr)+"/"+mode.name, func(t *testing.T) {
-				cfg := Config{Consistency: PRAM, Placement: fullPlacement(3), Transport: tr, Seed: 3}
+				cfg := Config{Consistency: PRAM, PlacementLists: fullPlacement(3), Transport: tr, Seed: 3}
 				mode.cfg(&cfg)
 				c := newCluster(t, cfg)
 				if err := c.Node(0).Write("x", 42); err != nil {
@@ -415,7 +415,7 @@ func TestFlushLivenessAcrossPausedLink(t *testing.T) {
 	for _, tr := range Transports {
 		for _, mode := range flushModes {
 			t.Run(string(tr)+"/"+mode.name, func(t *testing.T) {
-				cfg := Config{Consistency: PRAM, Placement: fullPlacement(3), Transport: tr, Seed: 5}
+				cfg := Config{Consistency: PRAM, PlacementLists: fullPlacement(3), Transport: tr, Seed: 5}
 				mode.cfg(&cfg)
 				c := newCluster(t, cfg)
 				c.PauseLink(0, 2)

@@ -91,6 +91,15 @@ func (m *PRAMMonitor) Feed(node int, e Event) error {
 		}
 		return nil
 	}
+	if e.IsMigrate {
+		// Migrated values seed the replica view only; the per-sender
+		// frontiers stay put (see the check.Event doc).
+		if e.Writer >= m.numProcs {
+			return m.failf("check: node %d: writer %d out of range", node, e.Writer)
+		}
+		m.cur[node][e.Var] = e.Val
+		return nil
+	}
 	if e.IsRecover {
 		if e.Writer >= m.numProcs {
 			return m.failf("check: node %d: writer %d out of range", node, e.Writer)
@@ -162,7 +171,10 @@ func (m *SlowMonitor) Feed(node int, e Event) error {
 		return nil
 	}
 	key := senderVar{e.Writer, e.Var}
-	if e.IsRecover {
+	if e.IsRecover || e.IsMigrate {
+		// Slow memory orders per (sender, variable): adopting the
+		// newest write of exactly this variable may raise the pair's
+		// frontier in both cases.
 		if e.Writer >= 0 {
 			if last, seen := m.lastSeq[node][key]; !seen || e.WSeq > last {
 				m.lastSeq[node][key] = e.WSeq
@@ -266,7 +278,7 @@ func (m *CacheMonitor) Feed(node int, e Event) error {
 		}
 		return nil
 	}
-	if e.IsRecover {
+	if e.IsRecover || e.IsMigrate {
 		m.cur[node][e.Var] = e.Val
 		m.floating[node][e.Var] = true
 		if e.Writer < 0 {

@@ -20,11 +20,24 @@ import (
 // the node legitimately skipped the updates it slept through. A
 // recovery with Writer < 0 marks a reset — the variable came back as ⊥
 // because no live peer knew a value for it.
+//
+// Migration events (IsMigrate) record that the node adopted Var = Val
+// from a donor's transfer snapshot while gaining the variable in an
+// epoch reconfiguration. Like a recovery they seed the node's replica
+// view of that one variable, and Writer < 0 marks a ⊥ reset (no live
+// donor survived). Unlike a recovery the node did NOT lose its memory:
+// every other variable's tracking state remains binding. In particular
+// the PRAM witness must not raise the per-sender frontier at a migrate
+// event — the adopted value proves nothing about which of the writer's
+// updates to other variables have reached this node, and an earlier
+// write of the same sender may still legitimately arrive on a
+// different channel after the transfer.
 type Event struct {
 	IsRead    bool
 	IsRecover bool
-	Writer    int // write/recovery events: issuing application process
-	WSeq      int // write/recovery events: per-writer program-order index
+	IsMigrate bool
+	Writer    int // write/recovery/migration events: issuing application process
+	WSeq      int // write/recovery/migration events: per-writer program-order index
 	Var       string
 	Val       model.Value
 }
@@ -36,6 +49,12 @@ func (e Event) String() string {
 			return fmt.Sprintf("read(%s)⊥", e.Var)
 		}
 		return fmt.Sprintf("read(%s)%v", e.Var, e.Val)
+	}
+	if e.IsMigrate {
+		if e.Writer < 0 {
+			return fmt.Sprintf("migrate(%s=⊥ reset)", e.Var)
+		}
+		return fmt.Sprintf("migrate(w%d#%d %s=%v)", e.Writer, e.WSeq, e.Var, e.Val)
 	}
 	if e.IsRecover {
 		if e.Writer < 0 {
@@ -81,6 +100,15 @@ func WitnessPRAM(numProcs int, logs [][]Event) error {
 		}
 		cur := make(map[string]model.Value)
 		for k, e := range log {
+			if e.IsMigrate {
+				// A migrated value seeds the replica view only: the node's
+				// per-sender frontiers stay put (see the Event doc).
+				if e.Writer >= numProcs {
+					return fmt.Errorf("check: node %d event %d: writer %d out of range", i, k, e.Writer)
+				}
+				cur[e.Var] = e.Val
+				continue
+			}
 			if e.IsRecover {
 				if e.Writer >= numProcs {
 					return fmt.Errorf("check: node %d event %d: writer %d out of range", i, k, e.Writer)
@@ -153,6 +181,20 @@ func WitnessSlow(numProcs int, logs [][]Event) error {
 				}
 				continue
 			}
+			if e.IsMigrate {
+				// Slow memory orders per (sender, variable): the adopted
+				// value is the newest write to exactly this variable, so
+				// raising the pair's frontier is sound — no other
+				// variable's stream is constrained.
+				if e.Writer >= 0 {
+					key := sv{e.Writer, e.Var}
+					if last, seen := lastSeq[key]; !seen || e.WSeq > last {
+						lastSeq[key] = e.WSeq
+					}
+				}
+				cur[e.Var] = e.Val
+				continue
+			}
 			key := sv{e.Writer, e.Var}
 			if last, seen := lastSeq[key]; seen && e.WSeq <= last {
 				return fmt.Errorf("check: node %d event %d: %v applied out of per-variable sender order (last #%d)",
@@ -197,7 +239,7 @@ func WitnessCache(numProcs int, logs [][]Event) error {
 		for i, log := range logs {
 			hasRec := false
 			for _, e := range log {
-				if e.IsRecover {
+				if e.IsRecover || e.IsMigrate {
 					hasRec = true
 					break
 				}
@@ -257,7 +299,7 @@ func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) err
 			if p := primaryOf(e.Var); p != i {
 				return fmt.Errorf("check: node %d event %d: %v applied away from primary %d", i, k, e, p)
 			}
-			if e.IsRecover {
+			if e.IsRecover || e.IsMigrate {
 				if e.Writer < 0 {
 					reset[e.Var] = true
 					continue
@@ -376,6 +418,25 @@ func WitnessCausal(h *model.History, logs [][]Event) error {
 					return fmt.Errorf("check: node %d event %d: %v returned %v, last applied write is %v",
 						i, k, e, e.Val, want)
 				}
+				continue
+			}
+			if e.IsMigrate {
+				// Migration transfers one variable's state without the node
+				// losing its memory: validate the adopted value against the
+				// history and seed the replica view, but keep the apply
+				// segment intact — causal constraints on everything already
+				// applied remain binding across the flip.
+				if e.Writer < 0 {
+					cur[e.Var] = model.Bottom
+					continue
+				}
+				if e.Writer >= h.NumProcs() || e.WSeq < 0 || e.WSeq >= len(writeID[e.Writer]) {
+					return fmt.Errorf("check: node %d event %d: %v addresses no write in the history", i, k, e)
+				}
+				if op := h.Op(writeID[e.Writer][e.WSeq]); op.Var != e.Var || op.Val != e.Val {
+					return fmt.Errorf("check: node %d event %d: %v does not match history op %v", i, k, e, op)
+				}
+				cur[e.Var] = e.Val
 				continue
 			}
 			if e.IsRecover {

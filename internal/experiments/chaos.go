@@ -208,7 +208,7 @@ func chaosVerdict(engine string, cons partialdsm.Consistency, seed int64, placem
 	nodes := len(placement)
 	c, err := partialdsm.New(partialdsm.Config{
 		Consistency:    cons,
-		Placement:      placement,
+		Placement:      partialdsm.PlacementFromLists(placement),
 		Transport:      partialdsm.Transport(engine),
 		Seed:           seed,
 		MaxLatency:     200 * time.Microsecond,
@@ -313,7 +313,7 @@ func chaosVerdict(engine string, cons partialdsm.Consistency, seed int64, placem
 func chaosDeadlineVerdict(engine string, cons partialdsm.Consistency, seed int64) string {
 	c, err := partialdsm.New(partialdsm.Config{
 		Consistency:     cons,
-		Placement:       [][]string{{"x"}, {"x"}},
+		Placement:       partialdsm.PlacementFromLists([][]string{{"x"}, {"x"}}),
 		Transport:       partialdsm.Transport(engine),
 		Seed:            seed,
 		VirtualLatency:  true,
@@ -345,7 +345,7 @@ func chaosDeadlineVerdict(engine string, cons partialdsm.Consistency, seed int64
 func chaosExactSection(rp *reporter, seed int64) {
 	c, err := partialdsm.New(partialdsm.Config{
 		Consistency:    partialdsm.PRAM,
-		Placement:      [][]string{{"x"}, {"x"}, {"x"}},
+		Placement:      partialdsm.PlacementFromLists([][]string{{"x"}, {"x"}, {"x"}}),
 		Transport:      partialdsm.Transport("classic"),
 		Seed:           seed,
 		VirtualLatency: true,

@@ -325,7 +325,7 @@ func Thm1(seed int64) Report {
 	// Protocol level: hoop topology, one write on x.
 	cluster, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.CausalPartial,
-		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}},
+		Placement:   partialdsm.PlacementFromLists([][]string{{"x", "y"}, {"y"}, {"x", "y"}}),
 		Seed:        seed,
 	})
 	if err != nil {
@@ -357,7 +357,7 @@ func Thm2(seed int64) Report {
 	for _, cons := range []partialdsm.Consistency{partialdsm.PRAM, partialdsm.Slow} {
 		cluster, err := newCluster(partialdsm.Config{
 			Consistency: cons,
-			Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
+			Placement:   partialdsm.PlacementFromLists([][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}}),
 			Seed:        seed,
 			MaxLatency:  100 * time.Microsecond,
 		})
@@ -408,7 +408,7 @@ func Scaling(sizes []int, opsPerNode int, seed int64) (Report, []ScalingPoint) {
 			placement := ringPlacement(n)
 			cluster, err := newCluster(partialdsm.Config{
 				Consistency:  cons,
-				Placement:    placement,
+				Placement:    partialdsm.PlacementFromLists(placement),
 				Seed:         seed,
 				DisableTrace: true,
 			})
@@ -480,7 +480,7 @@ func DegreeSweep(n int, degrees []int, opsPerNode int, seed int64) Report {
 		r := row{k: k}
 		for _, cons := range []partialdsm.Consistency{partialdsm.CausalPartial, partialdsm.PRAM} {
 			cluster, err := newCluster(partialdsm.Config{
-				Consistency: cons, Placement: placement, Seed: seed, DisableTrace: true,
+				Consistency: cons, Placement: partialdsm.PlacementFromLists(placement), Seed: seed, DisableTrace: true,
 			})
 			if err != nil {
 				rp.checkf(false, "cluster: %v", err)
@@ -524,7 +524,7 @@ func Latency(seed int64) Report {
 	const perOp = 60
 	measure := func(cons partialdsm.Consistency) (writeMean, readMean time.Duration, st partialdsm.Stats, err error) {
 		cluster, err := newCluster(partialdsm.Config{
-			Consistency: cons, Placement: placement,
+			Consistency: cons, Placement: partialdsm.PlacementFromLists(placement),
 			Seed: seed, MaxLatency: time.Millisecond, DisableTrace: true,
 		})
 		if err != nil {
@@ -604,7 +604,7 @@ func BellmanFordFig8(seed int64) Report {
 	g := bellmanford.Figure8Graph()
 	cluster, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.PRAM,
-		Placement:   bellmanford.Placement(g),
+		Placement:   partialdsm.PlacementFromLists(bellmanford.Placement(g)),
 		Seed:        seed,
 		MaxLatency:  100 * time.Microsecond,
 	})
@@ -682,7 +682,7 @@ func Ablation(opsPerNode int, seed int64) Report {
 	run := func(cons partialdsm.Consistency, placement [][]string) (cell, error) {
 		cluster, err := newCluster(partialdsm.Config{
 			Consistency:  cons,
-			Placement:    placement,
+			Placement:    partialdsm.PlacementFromLists(placement),
 			Seed:         seed,
 			DisableTrace: true,
 		})
@@ -785,7 +785,7 @@ func OpenQuestion(seed int64) Report {
 	// Protocol level: cachepart is efficient on the hoop topology.
 	cluster, err := newCluster(partialdsm.Config{
 		Consistency: partialdsm.CacheConsistency,
-		Placement:   [][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}},
+		Placement:   partialdsm.PlacementFromLists([][]string{{"x", "y"}, {"y"}, {"x", "y"}, {"x"}}),
 		Seed:        seed,
 		MaxLatency:  100 * time.Microsecond,
 	})
@@ -833,7 +833,7 @@ func Separation(seed int64) Report {
 
 	// PRAM: the stale read happens.
 	pramC, err := newCluster(partialdsm.Config{
-		Consistency: partialdsm.PRAM, Placement: placement, Seed: seed,
+		Consistency: partialdsm.PRAM, Placement: partialdsm.PlacementFromLists(placement), Seed: seed,
 	})
 	if err != nil {
 		rp.checkf(false, "cluster: %v", err)
@@ -863,7 +863,7 @@ func Separation(seed int64) Report {
 	// Causal partial replication under the identical schedule: y' stays
 	// buffered at node 2 until x arrives.
 	causalC, err := newCluster(partialdsm.Config{
-		Consistency: partialdsm.CausalPartial, Placement: placement, Seed: seed,
+		Consistency: partialdsm.CausalPartial, Placement: partialdsm.PlacementFromLists(placement), Seed: seed,
 	})
 	if err != nil {
 		rp.checkf(false, "cluster: %v", err)
@@ -904,6 +904,7 @@ func All(seed int64) []Report {
 		Latency(seed),
 		Faults(seed),
 		Chaos(seed),
+		Migrate(seed),
 	}
 }
 

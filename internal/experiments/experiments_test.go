@@ -90,6 +90,12 @@ func TestFaultsReport(t *testing.T) {
 	}
 }
 
+func TestMigrateReport(t *testing.T) {
+	if rep := Migrate(13); !rep.Pass {
+		t.Errorf("migrate report failed:\n%s", rep)
+	}
+}
+
 func TestReportString(t *testing.T) {
 	rep := Fig1()
 	s := rep.String()

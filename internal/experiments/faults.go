@@ -156,7 +156,7 @@ func faultVerdict(engine string, cons partialdsm.Consistency, seed int64, drop, 
 	}
 	c, err := partialdsm.New(partialdsm.Config{
 		Consistency:    cons,
-		Placement:      placement,
+		Placement:      partialdsm.PlacementFromLists(placement),
 		Transport:      partialdsm.Transport(engine),
 		Seed:           seed,
 		MaxLatency:     200 * time.Microsecond,
@@ -259,7 +259,7 @@ func faultTrim(err error) string {
 func faultHardSection(rp *reporter, seed int64) {
 	c, err := partialdsm.New(partialdsm.Config{
 		Consistency:    partialdsm.PRAM,
-		Placement:      [][]string{{"x"}, {"x"}, {"x"}},
+		Placement:      partialdsm.PlacementFromLists([][]string{{"x"}, {"x"}, {"x"}}),
 		Transport:      partialdsm.Transport("classic"),
 		Seed:           seed,
 		VirtualLatency: true,
@@ -307,7 +307,7 @@ func faultHardSection(rp *reporter, seed int64) {
 	// forking across the restart.
 	seqC, err := partialdsm.New(partialdsm.Config{
 		Consistency:    partialdsm.Sequential,
-		Placement:      [][]string{{"x"}, {"x"}},
+		Placement:      partialdsm.PlacementFromLists([][]string{{"x"}, {"x"}}),
 		Transport:      partialdsm.Transport("classic"),
 		Seed:           seed,
 		VirtualLatency: true,

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"partialdsm"
+)
+
+// Migrate runs experiment E21: live epoch-based placement migrations
+// under continuous drop/dup churn. A seeded schedule derives a
+// sequence of ring-placement rotations; every reconfigurable protocol
+// must carry each flip — propose, fence, state transfer, commit — on
+// both engines while the ack/retransmit layer masks the churn, with
+// the transferred values readable on every gaining replica and the
+// consistency witness intact across all epochs. A refusal leg pins
+// the contract for the fixed-topology protocols (atomic and cache
+// consistency reject Reconfigure with a descriptive error), and a
+// stall leg pins the abort path: an attempt whose proposal is lost to
+// an unhealed cut burns its virtual-time budget, aborts with
+// ErrOpDeadline, and leaves the old epoch fully consistent.
+//
+// As in E20, everything the verdict tables contain is rebuilt
+// independently per engine and must come out byte-identical: the
+// rotation schedule, the fault draws, the migration handshakes and
+// the epoch numbers all ride the same deterministic virtual clock.
+func Migrate(seed int64) Report {
+	rp := newReporter("E21", "dynamic placement — live epoch migrations under drop/dup churn; refusals; stall abort; exact PRAM across flips")
+
+	const nodes, flips = 4, 4
+	reconfigurables := []partialdsm.Consistency{
+		partialdsm.PRAM, partialdsm.Slow, partialdsm.CausalFull,
+		partialdsm.CausalPartial, partialdsm.CausalHoopAware, partialdsm.Sequential,
+	}
+	fixed := []partialdsm.Consistency{partialdsm.Atomic, partialdsm.CacheConsistency}
+
+	engines := []string{"classic", "sharded"}
+	tables := make(map[string][]string)
+	var reconfigMsgs int64
+	for _, engine := range engines {
+		offsets := migratePlan(seed, nodes, flips)
+		tables[engine] = append(tables[engine], "schedule "+migrateRenderPlan(offsets))
+		for _, cons := range reconfigurables {
+			verdict, st := migrateVerdict(engine, cons, seed, nodes, offsets)
+			tables[engine] = append(tables[engine],
+				fmt.Sprintf("%-6s %-18s %s", "churn", cons, verdict))
+			if engine == "classic" {
+				reconfigMsgs += st.ReconfigMsgs
+			}
+		}
+		for _, cons := range fixed {
+			tables[engine] = append(tables[engine],
+				fmt.Sprintf("%-6s %-18s %s", "refuse", cons, migrateRefusalVerdict(engine, cons, seed)))
+		}
+		tables[engine] = append(tables[engine],
+			fmt.Sprintf("%-6s %-18s %s", "stall", partialdsm.PRAM, migrateStallVerdict(engine, seed)))
+	}
+
+	rp.logf("%-6s %-18s %s", "leg", "protocol", "verdict")
+	for _, line := range tables["classic"] {
+		rp.logf("%s", line)
+	}
+
+	identical := len(tables["classic"]) == len(tables["sharded"])
+	for i := range tables["classic"] {
+		if !identical || tables["classic"][i] != tables["sharded"][i] {
+			identical = false
+			rp.logf("engine divergence at row %d:", i)
+			rp.logf("  classic: %s", tables["classic"][i])
+			rp.logf("  sharded: %s", tables["sharded"][i])
+			break
+		}
+	}
+	rp.checkf(identical,
+		"schedule and verdict tables are byte-identical on both engines (seeded rotation schedule)")
+
+	churnOK := true
+	for _, line := range tables["classic"] {
+		if strings.HasPrefix(line, "churn ") && !strings.Contains(line, "ok") {
+			churnOK = false
+		}
+	}
+	rp.checkf(churnOK,
+		"every reconfigurable protocol carries %d live migrations under drop/dup churn with values transferred and witness intact", flips)
+	refuseOK := true
+	for _, line := range tables["classic"] {
+		if strings.HasPrefix(line, "refuse ") && !strings.Contains(line, "refused:") {
+			refuseOK = false
+		}
+	}
+	rp.checkf(refuseOK,
+		"the fixed-topology protocols reject Reconfigure with a descriptive error and keep epoch 0")
+	stallOK := true
+	for _, line := range tables["classic"] {
+		if strings.HasPrefix(line, "stall ") && !strings.Contains(line, "aborted with ErrOpDeadline") {
+			stallOK = false
+		}
+	}
+	rp.checkf(stallOK,
+		"an attempt lost to an unhealed cut aborts with ErrOpDeadline and the old epoch stays consistent; a healed retry commits")
+	rp.checkf(reconfigMsgs > 0,
+		"the migrations are visible in the epoch wire-protocol accounting: %d epoch.* messages (classic legs)", reconfigMsgs)
+
+	migrateExactSection(rp, seed)
+	return rp.done()
+}
+
+// migratePlan derives the rotation schedule from the seed alone: a
+// sequence of ring offsets, each a non-trivial rotation of the one
+// before, so every flip migrates every variable.
+func migratePlan(seed int64, nodes, flips int) []int {
+	rng := rand.New(rand.NewSource(seed*37 + 11))
+	offs := make([]int, flips)
+	cur := 0
+	for i := range offs {
+		cur = (cur + 1 + rng.Intn(nodes-1)) % nodes
+		offs[i] = cur
+	}
+	return offs
+}
+
+// migrateRenderPlan renders the schedule into the engine-compared
+// table.
+func migrateRenderPlan(offsets []int) string {
+	parts := make([]string, len(offsets))
+	for i, off := range offsets {
+		parts[i] = fmt.Sprintf("rot %d", off)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// migrateRingPlacement puts v_i on nodes (i+off) and (i+off+1) mod n:
+// rotating the offset migrates every variable's two-node clique while
+// preserving the node count and the variable universe.
+func migrateRingPlacement(nodes, off int) *partialdsm.Placement {
+	p := partialdsm.NewPlacement(nodes)
+	for i := 0; i < nodes; i++ {
+		v := fmt.Sprintf("v%d", i)
+		p.Assign((i+off)%nodes, v).Assign((i+off+1)%nodes, v)
+	}
+	return p
+}
+
+// migrateVerdict runs the churn soak for one (engine, protocol) cell:
+// per flip a rotation Reconfigure, a read check that the state
+// transfer carried the previous epoch's values to every gaining
+// replica, a fresh single-writer write wave on the new epoch, and a
+// convergence probe of every replica — all on top of continuous
+// seeded drop/dup churn masked by the ack/retransmit layer.
+func migrateVerdict(engine string, cons partialdsm.Consistency, seed int64, nodes int, offsets []int) (string, partialdsm.Stats) {
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:    cons,
+		Placement:      migrateRingPlacement(nodes, 0),
+		Transport:      partialdsm.Transport(engine),
+		Seed:           seed,
+		MaxLatency:     200 * time.Microsecond,
+		VirtualLatency: true,
+		FaultDrop:      0.15,
+		FaultDup:       0.15,
+		FaultSeed:      seed + 71,
+		Reliable:       true,
+	})
+	if err != nil {
+		return "error: " + err.Error(), partialdsm.Stats{}
+	}
+	defer c.Close()
+
+	// One writer per variable — its lowest current holder — so the
+	// expected final values are a pure function of the flip count.
+	write := func(wave int) string {
+		for j := 0; j < nodes; j++ {
+			x := fmt.Sprintf("v%d", j)
+			if err := c.Node(c.Clique(x)[0]).Write(x, int64((wave+1)*1000+j)); err != nil {
+				return "write: " + faultTrim(err)
+			}
+		}
+		if err := c.Quiesce(); err != nil {
+			return faultTrim(err)
+		}
+		return ""
+	}
+	check := func(wave int) string {
+		for j := 0; j < nodes; j++ {
+			x := fmt.Sprintf("v%d", j)
+			want := int64((wave+1)*1000 + j)
+			for _, holder := range c.Clique(x) {
+				if v, err := c.Node(holder).Read(x); err != nil || v != want {
+					return fmt.Sprintf("wave %d: node %d read %s = %d, %v; want %d", wave, holder, x, v, err, want)
+				}
+			}
+		}
+		return ""
+	}
+	if msg := write(0); msg != "" {
+		return "BROKEN — " + msg, c.Stats()
+	}
+	for k, off := range offsets {
+		if err := c.Reconfigure(migrateRingPlacement(nodes, off)); err != nil {
+			return "BROKEN — flip " + fmt.Sprint(k+1) + ": " + faultTrim(err), c.Stats()
+		}
+		// The state transfer carried the previous wave's values to
+		// every gaining replica of the new cliques.
+		if msg := check(k); msg != "" {
+			return "BROKEN — after flip: " + msg, c.Stats()
+		}
+		if msg := write(k + 1); msg != "" {
+			return "BROKEN — " + msg, c.Stats()
+		}
+		if msg := check(k + 1); msg != "" {
+			return "BROKEN — " + msg, c.Stats()
+		}
+	}
+	if err := c.VerifyWitness(); err != nil {
+		return "BROKEN — witness: " + faultWitnessTrim(err), c.Stats()
+	}
+	if got, want := c.Epoch(), uint64(len(offsets)); got != want {
+		return fmt.Sprintf("BROKEN — final epoch %d, want %d", got, want), c.Stats()
+	}
+	return fmt.Sprintf("ok (%d flips committed, final epoch %d, witness intact)", len(offsets), c.Epoch()), c.Stats()
+}
+
+// migrateRefusalVerdict pins the contract for the fixed-topology
+// protocols: Reconfigure is rejected with a descriptive error naming
+// the construction-time assignment that would need an ownership
+// handoff, and the cluster stays fully usable on epoch 0.
+func migrateRefusalVerdict(engine string, cons partialdsm.Consistency, seed int64) string {
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:    cons,
+		Placement:      partialdsm.PlacementFromLists([][]string{{"x"}, {"x"}}),
+		Transport:      partialdsm.Transport(engine),
+		Seed:           seed,
+		VirtualLatency: true,
+	})
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	defer c.Close()
+	err = c.Reconfigure(partialdsm.NewPlacement(2).Assign(0, "x"))
+	switch {
+	case err == nil:
+		return "BROKEN — Reconfigure was accepted"
+	case !strings.Contains(err.Error(), "does not support runtime reconfiguration"):
+		return "BROKEN — wrong error: " + err.Error()
+	case c.Epoch() != 0:
+		return "BROKEN — epoch moved on a refusal"
+	}
+	if c.Node(0).Write("x", 1) != nil || c.Quiesce() != nil {
+		return "BROKEN — cluster unusable after the refusal"
+	}
+	if v, rerr := c.Node(1).Read("x"); rerr != nil || v != 1 {
+		return "BROKEN — epoch-0 replication broken after the refusal"
+	}
+	return "refused: " + strings.TrimPrefix(err.Error(), "partialdsm: ")
+}
+
+// migrateStallVerdict pins the abort path: the proposal toward the
+// gaining node is lost on an unhealed cut, so the attempt can never
+// commit; it burns its virtual-time budget, aborts with
+// ErrOpDeadline, and the cluster keeps serving the old epoch until a
+// healed retry commits.
+func migrateStallVerdict(engine string, seed int64) string {
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:    partialdsm.PRAM,
+		Placement:      partialdsm.PlacementFromLists([][]string{{"x"}, {"x", "y"}, {"y"}}),
+		Transport:      partialdsm.Transport(engine),
+		Seed:           seed,
+		VirtualLatency: true,
+	})
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	defer c.Close()
+	if c.Node(0).Write("x", 5) != nil || c.Quiesce() != nil {
+		return "BROKEN — epoch-0 write failed"
+	}
+	c.CutLink(0, 2)
+	c.CutLink(1, 2)
+	next := partialdsm.NewPlacement(3).Assign(0, "x").Assign(1, "y").Assign(2, "x", "y")
+	err = c.Reconfigure(next)
+	switch {
+	case err == nil:
+		return "BROKEN — committed across an unhealed cut"
+	case !errors.Is(err, partialdsm.ErrOpDeadline):
+		return "BROKEN — wrong error: " + faultTrim(err)
+	case c.Epoch() != 0:
+		return "BROKEN — aborted attempt moved the epoch"
+	}
+	c.HealLink(0, 2)
+	c.HealLink(1, 2)
+	if c.Reconfigure(next) != nil || c.Quiesce() != nil {
+		return "BROKEN — healed retry failed"
+	}
+	if v, rerr := c.Node(2).Read("x"); rerr != nil || v != 5 {
+		return fmt.Sprintf("BROKEN — gained replica read x = %d, %v; want 5", v, rerr)
+	}
+	if werr := c.VerifyWitness(); werr != nil {
+		return "BROKEN — witness: " + faultWitnessTrim(werr)
+	}
+	return fmt.Sprintf("aborted with ErrOpDeadline on the cut, epoch 0 kept; healed retry committed epoch %d", c.Epoch())
+}
+
+// migrateExactSection runs the exact checkers of the execution model
+// across three epoch flips: a small PRAM run (well under the exact
+// checkers' operation budget) whose reads are served from migrated
+// replicas must still be exactly PRAM and slow, and every touched
+// node must sit inside the union of the attempted epochs' cliques.
+func migrateExactSection(rp *reporter, seed int64) {
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:    partialdsm.PRAM,
+		Placement:      partialdsm.NewPlacement(3).Assign(0, "x").Assign(1, "x", "y").Assign(2, "y"),
+		Transport:      partialdsm.Transport("classic"),
+		Seed:           seed,
+		VirtualLatency: true,
+		MaxLatency:     100 * time.Microsecond,
+	})
+	if err != nil {
+		rp.checkf(false, "exact-checker cluster: %v", err)
+		return
+	}
+	defer c.Close()
+	placements := []*partialdsm.Placement{
+		partialdsm.NewPlacement(3).Assign(0, "x").Assign(1, "y").Assign(2, "x", "y"),
+		partialdsm.NewPlacement(3).Assign(0, "x", "y").Assign(1, "x").Assign(2, "y"),
+		partialdsm.NewPlacement(3).Assign(0, "x").Assign(1, "x", "y").Assign(2, "y"),
+	}
+	ok := c.Node(0).Write("x", 1) == nil && c.Node(1).Write("y", 2) == nil && c.Quiesce() == nil
+	val := int64(10)
+	for _, pl := range placements {
+		ok = ok && c.Reconfigure(pl) == nil
+		ok = ok && c.Node(c.Clique("x")[0]).Write("x", val) == nil &&
+			c.Node(c.Clique("y")[0]).Write("y", val+1) == nil && c.Quiesce() == nil
+		val += 10
+	}
+	verdicts, cerr := c.CheckHistory()
+	rp.checkf(ok && c.Epoch() == uint64(len(placements)) && cerr == nil &&
+		verdicts["pram"] && verdicts["slow"] &&
+		c.VerifyEfficiency() == nil && c.VerifyRelevanceBound() == nil,
+		"exact checkers: a PRAM history spanning %d epoch flips is still exactly PRAM (and slow); every touch within the epoch-union cliques", len(placements))
+}

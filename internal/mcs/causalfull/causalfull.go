@@ -62,6 +62,10 @@ type Node struct {
 	rcv       *mcs.Recovery
 	rejoining bool
 
+	// Epoch reconfiguration: every node replicates every variable, so a
+	// flip only swaps the access-scoping index — no fence, no transfer.
+	rcf *mcs.Reconfig
+
 	out *mcs.Outbox
 }
 
@@ -93,6 +97,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 		}
 		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
 		node.rcv.OnDone = node.finishRejoinLocked
+		node.rcf = mcs.NewReconfig(cfg, i, &node.mu, node, ix)
 		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -108,12 +113,13 @@ func (n *Node) ID() int { return n.id }
 // the placement still scopes which variables the *application* process
 // may access (the paper's X_i model).
 func (n *Node) Put(x string, v []byte) error {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	name := n.ix.Name(xi)
-	n.mu.Lock()
 	n.vc[n.id]++
 	wseq := int(n.vc[n.id]) - 1
 	n.replicas.Set(xi, v)
@@ -138,11 +144,12 @@ func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
 // Get performs r_i(x) wait-free on the local replica, flushing any
 // coalesced updates first.
 func (n *Node) Get(x string, dst []byte) ([]byte, error) {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	n.mu.Lock()
 	if n.out.HasPending() {
 		n.out.Flush()
 	}
@@ -188,6 +195,10 @@ func (n *Node) handle(msg netsim.Message) {
 	case mcs.KindSnapResp:
 		n.handleSnapResp(msg)
 	default:
+		if mcs.IsEpochKind(msg.Kind) {
+			n.rcf.Handle(msg)
+			return
+		}
 		n.cfg.Faultf(n.id, "causalfull: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
 	}
@@ -448,6 +459,7 @@ func (n *Node) CrashRestart() {
 	n.pending = n.pending[:0]
 	n.rejoining = true
 	n.rcv.Cancel()
+	n.rcf.CancelLocked()
 	n.mu.Unlock()
 }
 
@@ -464,9 +476,48 @@ func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
 	return n.rcv.Stats()
 }
 
+// ReconfigEngine exposes the node's epoch reconfiguration engine to the
+// cluster facade.
+func (n *Node) ReconfigEngine() *mcs.Reconfig { return n.rcf }
+
+// ReconfigFlushLocked implements mcs.ReconfigHooks.
+func (n *Node) ReconfigFlushLocked() { n.out.Flush() }
+
+// ReconfigFenceLocked is a no-op (mcs.ReconfigHooks): replica state is
+// global, so a flip changes only which variables the application may
+// access — in-flight writes stay valid across the boundary.
+func (n *Node) ReconfigFenceLocked(next *sharegraph.Index) {}
+
+// ReconfigTransferVarsLocked reports no transfers (mcs.ReconfigHooks):
+// every node already holds every variable's state.
+func (n *Node) ReconfigTransferVarsLocked(next *sharegraph.Index) []int { return nil }
+
+// ReconfigEncodeLocked is never reached — no node requests transfers —
+// and encodes an empty body (mcs.ReconfigHooks).
+func (n *Node) ReconfigEncodeLocked(enc *mcs.Enc, requester int, varIDs []int, next *sharegraph.Index) (data int, vars []string) {
+	return 0, nil
+}
+
+// ReconfigMergeLocked is the empty-body counterpart of
+// ReconfigEncodeLocked (mcs.ReconfigHooks).
+func (n *Node) ReconfigMergeLocked(d *mcs.Dec, from int, next *sharegraph.Index) error {
+	return nil
+}
+
+// ReconfigFlipLocked swaps the access-scoping index and restamps the
+// outbox (mcs.ReconfigHooks).
+func (n *Node) ReconfigFlipLocked(next *sharegraph.Index) {
+	n.ix = next
+	n.out.SetEpoch(next.Epoch())
+}
+
+// ReconfigAbortLocked is a no-op (mcs.ReconfigHooks).
+func (n *Node) ReconfigAbortLocked() {}
+
 var (
 	_ mcs.Node           = (*Node)(nil)
 	_ mcs.Flusher        = (*Node)(nil)
 	_ mcs.Batcher        = (*Node)(nil)
 	_ mcs.CrashRestarter = (*Node)(nil)
+	_ mcs.ReconfigHooks  = (*Node)(nil)
 )

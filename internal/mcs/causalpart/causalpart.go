@@ -106,6 +106,9 @@ type Node struct {
 	id   int
 	ix   *sharegraph.Index
 
+	// Relevance tables for the current epoch; an epoch flip replaces
+	// them wholesale (never mutates — epoch 0's tables are shared
+	// across nodes), so reads belong under mu.
 	interest []bool   // interest[y] — this node is in N(vars[y])
 	relOf    [][]bool // relOf[y][p] — p is in N(vars[y])
 	notifies [][]int  // VarID → N(x) minus self
@@ -121,8 +124,55 @@ type Node struct {
 	rcv       *mcs.Recovery
 	rejoining bool
 
+	// Epoch reconfiguration: dependency lists entangle every variable,
+	// so the fence covers all writes for the transition window.
+	rcf   *mcs.Reconfig
+	fence mcs.Fence
+
 	outUpd *mcs.Outbox
 	outNtf *mcs.Outbox
+}
+
+// relevanceOf computes the per-variable notification sets N(x) for an
+// index: every process in broadcast mode, the x-relevant processes of
+// Theorem 1 in hoop-aware mode. Epoch flips call it against the next
+// index to rebuild the tables under the new placement.
+func relevanceOf(ix *sharegraph.Index, mode Mode) [][]bool {
+	n := ix.NumProcs()
+	relOf := make([][]bool, ix.NumVars())
+	var pl *sharegraph.Placement
+	if mode == ModeHoopAware {
+		pl = ix.AsPlacement()
+	}
+	for yi := range relOf {
+		relOf[yi] = make([]bool, n)
+		if mode == ModeHoopAware {
+			for _, p := range pl.XRelevant(ix.Name(yi)) {
+				relOf[yi][p] = true
+			}
+		} else {
+			for p := 0; p < n; p++ {
+				relOf[yi][p] = true
+			}
+		}
+	}
+	return relOf
+}
+
+// nodeTables derives one node's interest vector and notification lists
+// from the per-variable relevance sets.
+func nodeTables(relOf [][]bool, id int) (interest []bool, notifies [][]int) {
+	interest = make([]bool, len(relOf))
+	notifies = make([][]int, len(relOf))
+	for yi := range relOf {
+		interest[yi] = relOf[yi][id]
+		for p, in := range relOf[yi] {
+			if p != id && in {
+				notifies[yi] = append(notifies[yi], p)
+			}
+		}
+	}
+	return interest, notifies
 }
 
 // New instantiates the nodes and installs handlers.
@@ -130,26 +180,13 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if mode != ModeBroadcast && mode != ModeHoopAware {
+		return nil, fmt.Errorf("causalpart: unknown mode %d", mode)
+	}
 	ix := cfg.Placement.Index()
 	n := ix.NumProcs()
 	numVars := ix.NumVars()
-	// Notification sets per variable.
-	relOf := make([][]bool, numVars)
-	for yi := 0; yi < numVars; yi++ {
-		relOf[yi] = make([]bool, n)
-		switch mode {
-		case ModeBroadcast:
-			for p := 0; p < n; p++ {
-				relOf[yi][p] = true
-			}
-		case ModeHoopAware:
-			for _, p := range cfg.Placement.XRelevant(ix.Name(yi)) {
-				relOf[yi][p] = true
-			}
-		default:
-			return nil, fmt.Errorf("causalpart: unknown mode %d", mode)
-		}
-	}
+	relOf := relevanceOf(ix, mode)
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
@@ -158,8 +195,6 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 			id:       i,
 			ix:       ix,
 			relOf:    relOf,
-			interest: make([]bool, numVars),
-			notifies: make([][]int, numVars),
 			replicas: mcs.NewReplicas(numVars),
 			tags:     mcs.NewWriteTags(numVars),
 			cnt:      make([][]uint32, n),
@@ -169,16 +204,10 @@ func New(cfg mcs.Config, mode Mode) ([]*Node, error) {
 		for j := range node.cnt {
 			node.cnt[j] = make([]uint32, numVars)
 		}
-		for yi := 0; yi < numVars; yi++ {
-			node.interest[yi] = relOf[yi][i]
-			for p := 0; p < n; p++ {
-				if p != i && relOf[yi][p] {
-					node.notifies[yi] = append(node.notifies[yi], p)
-				}
-			}
-		}
+		node.interest, node.notifies = nodeTables(relOf, i)
 		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
 		node.rcv.OnDone = node.finishRejoinLocked
+		node.rcf = mcs.NewReconfig(cfg, i, &node.mu, node, ix)
 		cfg.ApplyFlushPolicy(&node.mu, node.outUpd, node.outNtf)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -193,12 +222,19 @@ func (n *Node) ID() int { return n.id }
 // and notifications to the rest of N(x), each carrying the dependency
 // list pruned to the receiver's interest.
 func (n *Node) Put(x string, v []byte) error {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
+	if err := n.fence.WaitLocked(n.cfg, n.id, xi, x); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	// Re-check against the possibly flipped index: the fence lifts at
+	// the epoch boundary, and this node may have shed the variable.
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	name := n.ix.Name(xi)
-	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
 	if rec := n.cfg.Recorder; rec != nil {
@@ -270,11 +306,12 @@ func (n *Node) encodeDepsLocked(enc *mcs.Enc, r, xi int) {
 // Get performs r_i(x) wait-free on the local replica, flushing any
 // coalesced messages first.
 func (n *Node) Get(x string, dst []byte) ([]byte, error) {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	n.mu.Lock()
 	if n.outUpd.HasPending() || n.outNtf.HasPending() {
 		n.outUpd.Flush()
 		n.outNtf.Flush()
@@ -325,6 +362,10 @@ func (n *Node) handle(msg netsim.Message) {
 	case mcs.KindSnapResp:
 		n.handleSnapResp(msg)
 	default:
+		if mcs.IsEpochKind(msg.Kind) {
+			n.rcf.Handle(msg)
+			return
+		}
 		n.cfg.Faultf(n.id, "causalpart: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
 	}
@@ -428,7 +469,13 @@ func (n *Node) tryRecordLocked(d *mcs.Dec, writer int) (applied, stale, faulted 
 		return false, false, false
 	}
 	n.cnt[writer][xi]++
-	if hasValue {
+	// The sender flagged the value for our *sender-side* view of C(x);
+	// across an epoch flip that view can disagree with ours. Count the
+	// delivery either way, but install the value only if we replicate
+	// the variable under the current epoch or the pending one — an
+	// old-epoch straggler for a shed variable must not resurrect state
+	// the flip wiped.
+	if hasValue && (n.ix.Holds(n.id, xi) || n.rcf.PendingHoldsLocked(n.id, xi)) {
 		n.replicas.Set(xi, v)
 		n.tags[xi] = mcs.WriteTag{Writer: writer, WSeq: wseq}
 		if rec := n.cfg.Recorder; rec != nil {
@@ -659,15 +706,19 @@ func (n *Node) CrashRestart() {
 	n.pending = n.pending[:0]
 	n.rejoining = true
 	n.rcv.Cancel()
+	n.rcf.CancelLocked()
+	n.fence.LiftLocked()
 	n.mu.Unlock()
 }
 
 // Recover starts the rejoin handshake (mcs.CrashRestarter): every node
 // sharing notification interest with this one is a snapshot peer — in
-// broadcast mode all of them, hoop-aware only the relevant ones.
+// broadcast mode all of them, hoop-aware only the relevant ones, under
+// the current epoch's tables.
 func (n *Node) Recover() {
 	numNodes := len(n.cnt)
 	peerSet := make([]bool, numNodes)
+	n.mu.Lock()
 	for yi, in := range n.interest {
 		if !in {
 			continue
@@ -678,6 +729,7 @@ func (n *Node) Recover() {
 			}
 		}
 	}
+	n.mu.Unlock()
 	var peers []int
 	for p, in := range peerSet {
 		if in {
@@ -693,9 +745,183 @@ func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
 	return n.rcv.Stats()
 }
 
+// ReconfigEngine exposes the node's epoch reconfiguration engine to the
+// cluster facade.
+func (n *Node) ReconfigEngine() *mcs.Reconfig { return n.rcf }
+
+// ReconfigFlushLocked implements mcs.ReconfigHooks: the fence must
+// travel behind every staged pre-fence update and notification.
+func (n *Node) ReconfigFlushLocked() {
+	n.outUpd.Flush()
+	n.outNtf.Flush()
+}
+
+// ReconfigFenceLocked fences every write for the transition window
+// (mcs.ReconfigHooks). Partial fencing would be unsound here: an
+// unfenced write's dependency list can entangle any variable of shared
+// interest, so a donor's counter columns are final only once no write
+// at all is in flight — which the global fence plus the per-pair FIFO
+// fence barrier guarantees.
+func (n *Node) ReconfigFenceLocked(next *sharegraph.Index) {
+	n.fence.ArmLocked(&n.mu, n.id, n.ix, next, true)
+}
+
+// ReconfigTransferVarsLocked lists the variables whose state this node
+// needs from old-epoch holders: the ones it gains a replica of, plus —
+// causal memory's extra burden — the ones that newly enter its
+// notification interest, whose delivery counters it must seed before
+// new-epoch dependency lists can ever dominate (mcs.ReconfigHooks).
+func (n *Node) ReconfigTransferVarsLocked(next *sharegraph.Index) []int {
+	nextRel := relevanceOf(next, n.mode)
+	var need []int
+	for yi := 0; yi < next.NumVars(); yi++ {
+		gained := next.Holds(n.id, yi) && !n.ix.Holds(n.id, yi)
+		interested := nextRel[yi][n.id] && !n.interest[yi]
+		if gained || interested {
+			need = append(need, yi)
+		}
+	}
+	return need
+}
+
+// ReconfigEncodeLocked answers a gaining node with, per requested
+// variable, the fence-settled counter column — at the barrier these are
+// the senders' total write counts, identical on every live old-epoch
+// holder — plus the tagged value when the requester replicates the
+// variable in the next epoch (mcs.ReconfigHooks).
+func (n *Node) ReconfigEncodeLocked(enc *mcs.Enc, requester int, varIDs []int, next *sharegraph.Index) (data int, vars []string) {
+	cntPos := enc.Len()
+	enc.U32(0)
+	nCnt := 0
+	seen := make(map[int]bool)
+	for _, yi := range varIDs {
+		if yi < 0 || yi >= n.ix.NumVars() {
+			continue
+		}
+		for j := range n.cnt {
+			if c := n.cnt[j][yi]; c > 0 {
+				enc.U32(uint32(j)).U32(uint32(yi)).U32(c)
+				nCnt++
+				if !seen[yi] {
+					seen[yi] = true
+					vars = append(vars, n.ix.Name(yi))
+				}
+			}
+		}
+	}
+	enc.PatchU32(cntPos, uint32(nCnt))
+	valPos := enc.Len()
+	enc.U32(0)
+	nVals := 0
+	for _, yi := range varIDs {
+		if yi < 0 || yi >= n.ix.NumVars() || !next.Holds(requester, yi) {
+			continue
+		}
+		t := n.tags[yi]
+		if t.Writer < 0 || !n.ix.Holds(n.id, yi) {
+			continue
+		}
+		v := n.replicas.Get(yi)
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq)).VarVal(yi, v)
+		if !seen[yi] {
+			seen[yi] = true
+			vars = append(vars, n.ix.Name(yi))
+		}
+		data += len(v)
+		nVals++
+	}
+	enc.PatchU32(valPos, uint32(nVals))
+	return data, vars
+}
+
+// ReconfigMergeLocked merges one donor's transfer body: counter columns
+// max-merge (the donor's fence-settled totals subsume any partial view,
+// and make in-flight old-epoch stragglers drop as stale), values pass
+// the usual staleness rule and are recorded as migration events. The
+// snapshot tear guard is unnecessary here: a barrier-complete donor's
+// counter advances atomically with the value the same body carries
+// (mcs.ReconfigHooks).
+func (n *Node) ReconfigMergeLocked(d *mcs.Dec, from int, next *sharegraph.Index) error {
+	nCnt := int(d.U32())
+	for k := 0; k < nCnt; k++ {
+		j := int(d.U32())
+		yi := int(d.U32())
+		c := d.U32()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if j < 0 || j >= len(n.cnt) || yi < 0 || yi >= n.ix.NumVars() {
+			return fmt.Errorf("causalpart: transfer counter names unknown writer %d / VarID %d", j, yi)
+		}
+		if j != n.id && c > n.cnt[j][yi] {
+			n.cnt[j][yi] = c
+		}
+	}
+	nVals := int(d.U32())
+	for k := 0; k < nVals; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if xi < 0 || xi >= n.ix.NumVars() || w < 0 || w >= len(n.cnt) {
+			return fmt.Errorf("causalpart: transfer entry names unknown VarID %d / writer %d", xi, w)
+		}
+		if n.tags[xi].Stale(w, s) {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordMigrate(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// Seeded counters may make buffered records deliverable.
+	n.drainLocked()
+	return nil
+}
+
+// ReconfigFlipLocked installs the next epoch: shed replicas revert to
+// ⊥ (delivery counters survive — a later re-gain max-merges them back
+// up from a settled donor), gained variables no donor had a value for
+// are recorded as ⊥ migration resets, the relevance tables rebuild for
+// the new placement, the index swaps, outgoing frames carry the new
+// epoch and the write fence lifts (mcs.ReconfigHooks).
+func (n *Node) ReconfigFlipLocked(next *sharegraph.Index) {
+	for _, xi := range n.ix.VarIDs(n.id) {
+		if !next.Holds(n.id, xi) {
+			n.replicas.Set(xi, mcs.BottomValue)
+			n.tags[xi] = mcs.WriteTag{Writer: -1}
+		}
+	}
+	if rec := n.cfg.Recorder; rec != nil && !n.rejoining {
+		for _, xi := range next.VarIDs(n.id) {
+			if !n.ix.Holds(n.id, xi) && n.tags[xi].Writer < 0 {
+				rec.RecordMigrate(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+	n.relOf = relevanceOf(next, n.mode)
+	n.interest, n.notifies = nodeTables(n.relOf, n.id)
+	n.ix = next
+	n.outUpd.SetEpoch(next.Epoch())
+	n.outNtf.SetEpoch(next.Epoch())
+	n.fence.LiftLocked()
+}
+
+// ReconfigAbortLocked abandons the attempt: the fence lifts and the
+// current epoch stays in force; any counters merged so far are totals a
+// future transfer would max-merge past (mcs.ReconfigHooks).
+func (n *Node) ReconfigAbortLocked() { n.fence.LiftLocked() }
+
 var (
 	_ mcs.Node           = (*Node)(nil)
 	_ mcs.Flusher        = (*Node)(nil)
 	_ mcs.Batcher        = (*Node)(nil)
 	_ mcs.CrashRestarter = (*Node)(nil)
+	_ mcs.ReconfigHooks  = (*Node)(nil)
 )

@@ -16,6 +16,15 @@
 // duplicate-suppression tag snapshots and live updates share, and
 // deadline.go holds the fail-fast timer (ErrOpDeadline) the blocking
 // protocols arm on every request.
+//
+// reconfig.go adds the control plane for epoch-based runtime
+// reconfiguration: Reconfig drives the propose → fence → transfer →
+// flip handshake that migrates replicas to a new placement while the
+// cluster serves traffic, against the per-protocol ReconfigHooks
+// (fence writes to the variables whose clique changes, encode/
+// merge transfer state, flip to the rebound sharegraph.Index). The
+// handshake's wire format, barrier structure, and abort semantics are
+// documented on Reconfig itself.
 package mcs
 
 import (

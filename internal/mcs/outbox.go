@@ -60,8 +60,9 @@ type Outbox struct {
 
 	enc     Enc // staging encoder, reused for every record
 	dests   []destFrame
-	pending int  // records buffered across all destinations
-	hold    bool // batch bracket open: suppress every flush until Release
+	pending int    // records buffered across all destinations
+	hold    bool   // batch bracket open: suppress every flush until Release
+	epoch   uint64 // placement epoch stamped on outgoing frames (SetEpoch)
 
 	// Engine-driven flush policies (nil/zero when disabled). fmu is the
 	// owning node's mutex; every callback takes it before touching the
@@ -161,6 +162,13 @@ func (o *Outbox) SetFlushPolicy(mu *sync.Mutex, flushTicks int, adaptive bool) {
 	}
 }
 
+// SetEpoch sets the placement epoch stamped on every frame the outbox
+// sends from now on. Called under the owning node's mutex, after the
+// node's pre-flip records have been flushed — a frame carries the epoch
+// its records were staged under. Static clusters never call it (epoch
+// stays 0, the zero Message value).
+func (o *Outbox) SetEpoch(e uint64) { o.epoch = e }
+
 // Nudge gives the transport's clock an idle-advance opportunity.
 // Protocol reads call it (outside the node mutex) when a flush policy
 // is active, so a polling reader drives buffered writers' deadlines
@@ -210,6 +218,7 @@ func (o *Outbox) Emit(dests []int, vars []string, ctrl, data int) {
 			CtrlBytes:     ctrl + frameHeaderLen,
 			DataBytes:     data,
 			Vars:          vars,
+			Epoch:         o.epoch,
 			SharedPayload: true,
 			SharedRefs:    refs,
 		})
@@ -331,6 +340,7 @@ func (o *Outbox) flushDest(dst int) {
 		CtrlBytes: d.ctrl + frameHeaderLen,
 		DataBytes: d.data,
 		Vars:      d.vars,
+		Epoch:     o.epoch,
 	})
 	o.pending -= d.count
 	if o.pending == 0 && o.armed {

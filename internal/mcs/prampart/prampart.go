@@ -49,7 +49,7 @@ const KindUpdate = "pram.update"
 type Node struct {
 	cfg mcs.Config
 	id  int
-	ix  *sharegraph.Index
+	ix  *sharegraph.Index // current epoch's index; swapped under mu at a flip
 
 	mu       sync.Mutex
 	replicas mcs.Replicas   // by VarID, ⊥ until written
@@ -63,6 +63,11 @@ type Node struct {
 	rcv       *mcs.Recovery
 	rejoining bool
 	held      []heldUpd
+
+	// Epoch reconfiguration: writes to variables whose clique changes
+	// park on the fence for the transition window.
+	rcf   *mcs.Reconfig
+	fence mcs.Fence
 }
 
 // heldUpd is one update received during the rejoin window; v is a
@@ -93,6 +98,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 		}
 		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
 		node.rcv.OnDone = node.finishRejoinLocked
+		node.rcf = mcs.NewReconfig(cfg, i, &node.mu, node, ix)
 		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -107,12 +113,19 @@ func (n *Node) ID() int { return n.id }
 // other member of C(x) (flushed per the coalescing policy). The value
 // is fully staged before Put returns; the caller may reuse v.
 func (n *Node) Put(x string, v []byte) error {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
+	if err := n.fence.WaitLocked(n.cfg, n.id, xi, x); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	// Re-check against the possibly flipped index: the fence lifts at
+	// the epoch boundary, and this node may have shed the variable.
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	name := n.ix.Name(xi)
-	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
 	if rec := n.cfg.Recorder; rec != nil {
@@ -139,11 +152,12 @@ func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
 // peer polling for this node's writes observes them after this node's
 // next operation.
 func (n *Node) Get(x string, dst []byte) ([]byte, error) {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	n.mu.Lock()
 	if n.out.HasPending() {
 		n.out.Flush()
 	}
@@ -189,6 +203,10 @@ func (n *Node) handle(msg netsim.Message) {
 	case mcs.KindSnapResp:
 		n.handleSnapResp(msg)
 	default:
+		if mcs.IsEpochKind(msg.Kind) {
+			n.rcf.Handle(msg)
+			return
+		}
 		n.cfg.Faultf(n.id, "prampart: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
 	}
@@ -232,8 +250,14 @@ func (n *Node) handleUpdate(msg netsim.Message) {
 
 // applyLocked applies one remote update under the node lock, skipping
 // writes the replica already reflects (an injected duplicate, or a
-// pre-crash straggler delivered after the snapshot merge).
+// pre-crash straggler delivered after the snapshot merge) and updates
+// for variables this node does not serve — an old-epoch straggler for a
+// shed variable, dropped; a first post-flip frame for a gained variable
+// under the still-pending next epoch, admitted.
 func (n *Node) applyLocked(from, wseq, xi int, v []byte) {
+	if !n.ix.Holds(n.id, xi) && !n.rcf.PendingHoldsLocked(n.id, xi) {
+		return
+	}
 	if n.tags[xi].Stale(from, wseq) {
 		return
 	}
@@ -376,13 +400,19 @@ func (n *Node) CrashRestart() {
 	n.held = nil
 	n.rejoining = true
 	n.rcv.Cancel()
+	n.rcf.CancelLocked()
+	n.fence.LiftLocked()
 	n.mu.Unlock()
 }
 
 // Recover starts the rejoin handshake with every variable-sharing
-// neighbor (mcs.CrashRestarter).
+// neighbor under the current epoch's index (mcs.CrashRestarter) — the
+// placement may have been reconfigured since the cluster started.
 func (n *Node) Recover() {
-	n.rcv.Begin(n.cfg.Placement.Neighbors(n.id))
+	n.mu.Lock()
+	peers := n.ix.Neighbors(n.id)
+	n.mu.Unlock()
+	n.rcv.Begin(peers)
 }
 
 // RecoveryStats reports completed rejoins and their summed virtual
@@ -391,9 +421,113 @@ func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
 	return n.rcv.Stats()
 }
 
+// ReconfigEngine exposes the node's epoch reconfiguration engine to the
+// cluster facade.
+func (n *Node) ReconfigEngine() *mcs.Reconfig { return n.rcf }
+
+// ReconfigFlushLocked implements mcs.ReconfigHooks: the fence must
+// travel behind every staged pre-fence update.
+func (n *Node) ReconfigFlushLocked() { n.out.Flush() }
+
+// ReconfigFenceLocked fences writes to the variables whose replica
+// clique changes (mcs.ReconfigHooks).
+func (n *Node) ReconfigFenceLocked(next *sharegraph.Index) {
+	n.fence.ArmLocked(&n.mu, n.id, n.ix, next, false)
+}
+
+// ReconfigTransferVarsLocked lists the variables this node gains in the
+// next epoch (mcs.ReconfigHooks).
+func (n *Node) ReconfigTransferVarsLocked(next *sharegraph.Index) []int {
+	var gained []int
+	for _, xi := range next.VarIDs(n.id) {
+		if !n.ix.Holds(n.id, xi) {
+			gained = append(gained, xi)
+		}
+	}
+	return gained
+}
+
+// ReconfigEncodeLocked answers a gaining node with the fence-settled
+// tagged value of each requested variable, the same entry format as a
+// recovery snapshot (mcs.ReconfigHooks).
+func (n *Node) ReconfigEncodeLocked(enc *mcs.Enc, requester int, varIDs []int, next *sharegraph.Index) (data int, vars []string) {
+	countPos := enc.Len()
+	enc.U32(0)
+	count := 0
+	for _, xi := range varIDs {
+		if xi < 0 || xi >= len(n.tags) || n.tags[xi].Writer < 0 {
+			continue
+		}
+		t := n.tags[xi]
+		v := n.replicas.Get(xi)
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq)).VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		count++
+	}
+	enc.PatchU32(countPos, uint32(count))
+	return data, vars
+}
+
+// ReconfigMergeLocked adopts one donor's transfer entries through the
+// usual staleness rule, recorded as migration events — the PRAM witness
+// seeds the replica view from them without raising any per-sender
+// frontier (mcs.ReconfigHooks).
+func (n *Node) ReconfigMergeLocked(d *mcs.Dec, from int, next *sharegraph.Index) error {
+	count := int(d.U32())
+	for k := 0; k < count; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if xi < 0 || xi >= len(n.replicas) || w < 0 || w >= n.cfg.Net.NumNodes() {
+			return fmt.Errorf("prampart: transfer entry names unknown VarID %d / writer %d", xi, w)
+		}
+		if n.tags[xi].Stale(w, s) {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordMigrate(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	return d.Err()
+}
+
+// ReconfigFlipLocked installs the next epoch: shed replicas revert to
+// ⊥, gained variables no donor had a value for are recorded as ⊥
+// migration resets, the index swaps, outgoing frames carry the new
+// epoch and the write fence lifts (mcs.ReconfigHooks).
+func (n *Node) ReconfigFlipLocked(next *sharegraph.Index) {
+	for _, xi := range n.ix.VarIDs(n.id) {
+		if !next.Holds(n.id, xi) {
+			n.replicas.Set(xi, mcs.BottomValue)
+			n.tags[xi] = mcs.WriteTag{Writer: -1}
+		}
+	}
+	if rec := n.cfg.Recorder; rec != nil && !n.rejoining {
+		for _, xi := range next.VarIDs(n.id) {
+			if !n.ix.Holds(n.id, xi) && n.tags[xi].Writer < 0 {
+				rec.RecordMigrate(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+	n.ix = next
+	n.out.SetEpoch(next.Epoch())
+	n.fence.LiftLocked()
+}
+
+// ReconfigAbortLocked abandons the attempt: the fence lifts and the
+// current epoch stays in force (mcs.ReconfigHooks).
+func (n *Node) ReconfigAbortLocked() { n.fence.LiftLocked() }
+
 var (
 	_ mcs.Node           = (*Node)(nil)
 	_ mcs.Flusher        = (*Node)(nil)
 	_ mcs.Batcher        = (*Node)(nil)
 	_ mcs.CrashRestarter = (*Node)(nil)
+	_ mcs.ReconfigHooks  = (*Node)(nil)
 )

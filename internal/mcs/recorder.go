@@ -115,6 +115,22 @@ func (r *Recorder) RecordRecover(node, writer, wseq int, x string, v []byte) {
 	}
 }
 
+// RecordMigrate records that node adopted x = v — the wseq-th write of
+// writer — from a donor's transfer snapshot while gaining the variable
+// in an epoch reconfiguration. Like recovery events, migration events
+// enter the node's event log and reach the observer but not the global
+// history. A migration of a variable to ⊥ with writer -1 marks a reset
+// — no live donor held a value. The value bytes are copied.
+func (r *Recorder) RecordMigrate(node, writer, wseq int, x string, v []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := check.Event{IsMigrate: true, Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v)}
+	r.logs[node] = append(r.logs[node], e)
+	if r.observer != nil {
+		r.observer(node, e)
+	}
+}
+
 // History materializes the recorded global history.
 func (r *Recorder) History() (*model.History, error) {
 	r.mu.Lock()

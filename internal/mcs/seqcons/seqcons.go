@@ -39,9 +39,16 @@ const (
 type Node struct {
 	cfg mcs.Config
 	id  int
-	ix  *sharegraph.Index
+	// ix0 is the epoch-0 index, used for universe lookups (Name,
+	// MsgVars, NumVars) that are stable across epochs — the variable
+	// universe never changes — so the lock-free sequencer path needs no
+	// synchronization with epoch flips.
+	ix0 *sharegraph.Index
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// ix is the current epoch's index (access scoping); swapped under
+	// mu at an epoch flip.
+	ix         *sharegraph.Index
 	replicas   mcs.Replicas   // by VarID
 	tags       []mcs.WriteTag // by VarID: last applied write
 	wseq       int
@@ -52,6 +59,10 @@ type Node struct {
 
 	rcv       *mcs.Recovery
 	rejoining bool
+
+	// Epoch reconfiguration: replica state is global, so a flip only
+	// swaps the access-scoping index — no fence, no transfer.
+	rcf *mcs.Reconfig
 
 	// Sequencer state (node 0 only). The counter is durable across the
 	// sequencer's own crashes: it cannot be reconstructed from replicas
@@ -82,6 +93,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 		node := &Node{
 			cfg:      cfg,
 			id:       i,
+			ix0:      ix,
 			ix:       ix,
 			replicas: mcs.NewReplicas(ix.NumVars()),
 			tags:     mcs.NewWriteTags(ix.NumVars()),
@@ -90,6 +102,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 		node.applied = sync.NewCond(&node.mu)
 		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
 		node.rcv.OnDone = node.finishRejoinLocked
+		node.rcf = mcs.NewReconfig(cfg, i, &node.mu, node, ix)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
 	}
@@ -99,6 +112,18 @@ func New(cfg mcs.Config) ([]*Node, error) {
 // ID returns the node identifier.
 func (n *Node) ID() int { return n.id }
 
+// resolve interns x and checks the current epoch's access scope under
+// the node lock.
+func (n *Node) resolve(x string) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	xi := n.ix.ID(x)
+	if !n.ix.Holds(n.id, xi) {
+		return -1, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	}
+	return xi, nil
+}
+
 // issue records and sends one write request to the sequencer,
 // returning its per-process sequence number.
 func (n *Node) issue(xi int, v []byte) (wseq int) {
@@ -106,7 +131,7 @@ func (n *Node) issue(xi int, v []byte) (wseq int) {
 	wseq = n.wseq
 	n.wseq++
 	if rec := n.cfg.Recorder; rec != nil {
-		rec.RecordWrite(n.id, n.ix.Name(xi), v)
+		rec.RecordWrite(n.id, n.ix0.Name(xi), v)
 	}
 	n.mu.Unlock()
 
@@ -121,7 +146,7 @@ func (n *Node) issue(xi int, v []byte) (wseq int) {
 		Payload:   payload,
 		CtrlBytes: len(payload) - len(v),
 		DataBytes: len(v),
-		Vars:      n.ix.MsgVars(xi),
+		Vars:      n.ix0.MsgVars(xi),
 	})
 	return wseq
 }
@@ -130,9 +155,9 @@ func (n *Node) issue(xi int, v []byte) (wseq int) {
 // the update is applied locally, so a process's writes take effect in
 // program order before its subsequent reads.
 func (n *Node) Put(x string, v []byte) error {
-	xi := n.ix.ID(x)
-	if !n.ix.Holds(n.id, xi) {
-		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	xi, err := n.resolve(x)
+	if err != nil {
+		return err
 	}
 	wseq := n.issue(xi, v)
 	// Block until our own write has been applied locally.
@@ -186,9 +211,9 @@ func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
 	if n.cfg.NonFIFO {
 		return mcs.Done, n.Put(x, v)
 	}
-	xi := n.ix.ID(x)
-	if !n.ix.Holds(n.id, xi) {
-		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
+	xi, err := n.resolve(x)
+	if err != nil {
+		return nil, err
 	}
 	return &pending{n: n, wseq: n.issue(xi, v)}, nil
 }
@@ -202,11 +227,12 @@ func (n *Node) appliedOwnLocked(wseq int) bool {
 // Get performs r_i(x) on the local replica, appending the value to
 // dst[:0].
 func (n *Node) Get(x string, dst []byte) ([]byte, error) {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	n.mu.Lock()
 	dst = append(dst[:0], n.replicas.Get(xi)...)
 	if rec := n.cfg.Recorder; rec != nil {
 		rec.RecordRead(n.id, n.ix.Name(xi), dst)
@@ -227,6 +253,10 @@ func (n *Node) handle(msg netsim.Message) {
 	case mcs.KindSnapResp:
 		n.handleSnapResp(msg)
 	default:
+		if mcs.IsEpochKind(msg.Kind) {
+			n.rcf.Handle(msg)
+			return
+		}
 		n.cfg.Faultf(n.id, "seqcons: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
 	}
@@ -250,7 +280,7 @@ func (n *Node) sequence(msg netsim.Message) {
 		mcs.RecycleFrame(msg)
 		return
 	}
-	if xi < 0 || xi >= n.ix.NumVars() {
+	if xi < 0 || xi >= n.ix0.NumVars() {
 		n.cfg.Faultf(n.id, "seqcons: request from %d names unknown VarID %d", msg.From, xi)
 		mcs.RecycleFrame(msg)
 		return
@@ -278,7 +308,7 @@ func (n *Node) sequence(msg netsim.Message) {
 			Payload:       payload,
 			CtrlBytes:     len(payload) - len(v),
 			DataBytes:     len(v),
-			Vars:          n.ix.MsgVars(xi),
+			Vars:          n.ix0.MsgVars(xi),
 			SharedPayload: true,
 			SharedRefs:    refs,
 		})
@@ -297,7 +327,7 @@ func (n *Node) applyUpdate(msg netsim.Message) {
 		mcs.RecycleFrame(msg)
 		return
 	}
-	if xi < 0 || xi >= n.ix.NumVars() {
+	if xi < 0 || xi >= n.ix0.NumVars() {
 		n.cfg.Faultf(n.id, "seqcons: node %d: update names unknown VarID %d", n.id, xi)
 		mcs.RecycleFrame(msg)
 		return
@@ -505,6 +535,7 @@ func (n *Node) CrashRestart() {
 	n.ownApplied = n.wseq
 	n.rejoining = true
 	n.rcv.Cancel()
+	n.rcf.CancelLocked()
 	n.applied.Broadcast()
 	n.mu.Unlock()
 }
@@ -527,7 +558,45 @@ func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
 	return n.rcv.Stats()
 }
 
+// ReconfigEngine exposes the node's epoch reconfiguration engine to the
+// cluster facade.
+func (n *Node) ReconfigEngine() *mcs.Reconfig { return n.rcf }
+
+// ReconfigFlushLocked is a no-op (mcs.ReconfigHooks): the protocol has
+// no coalescing outbox — requests and broadcasts go straight out.
+func (n *Node) ReconfigFlushLocked() {}
+
+// ReconfigFenceLocked is a no-op (mcs.ReconfigHooks): replica state is
+// global, so a flip changes only which variables the application may
+// access — writes in the sequencer pipeline stay valid across it.
+func (n *Node) ReconfigFenceLocked(next *sharegraph.Index) {}
+
+// ReconfigTransferVarsLocked reports no transfers (mcs.ReconfigHooks):
+// every node already holds every variable's state.
+func (n *Node) ReconfigTransferVarsLocked(next *sharegraph.Index) []int { return nil }
+
+// ReconfigEncodeLocked is never reached — no node requests transfers —
+// and encodes an empty body (mcs.ReconfigHooks).
+func (n *Node) ReconfigEncodeLocked(enc *mcs.Enc, requester int, varIDs []int, next *sharegraph.Index) (data int, vars []string) {
+	return 0, nil
+}
+
+// ReconfigMergeLocked is the empty-body counterpart of
+// ReconfigEncodeLocked (mcs.ReconfigHooks).
+func (n *Node) ReconfigMergeLocked(d *mcs.Dec, from int, next *sharegraph.Index) error {
+	return nil
+}
+
+// ReconfigFlipLocked swaps the access-scoping index
+// (mcs.ReconfigHooks). There is no outbox to restamp: requests and
+// broadcasts are sent unbatched.
+func (n *Node) ReconfigFlipLocked(next *sharegraph.Index) { n.ix = next }
+
+// ReconfigAbortLocked is a no-op (mcs.ReconfigHooks).
+func (n *Node) ReconfigAbortLocked() {}
+
 var (
 	_ mcs.Node           = (*Node)(nil)
 	_ mcs.CrashRestarter = (*Node)(nil)
+	_ mcs.ReconfigHooks  = (*Node)(nil)
 )

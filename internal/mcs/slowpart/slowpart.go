@@ -68,6 +68,11 @@ type Node struct {
 	rejoining bool
 	held      []heldUpd
 
+	// Epoch reconfiguration: writes to variables whose clique changes
+	// park on the fence for the transition window.
+	rcf   *mcs.Reconfig
+	fence mcs.Fence
+
 	out *mcs.Outbox
 }
 
@@ -102,6 +107,7 @@ func New(cfg mcs.Config) ([]*Node, error) {
 		}
 		node.rcv = mcs.NewRecovery(cfg, i, &node.mu)
 		node.rcv.OnDone = node.finishRejoinLocked
+		node.rcf = mcs.NewReconfig(cfg, i, &node.mu, node, ix)
 		cfg.ApplyFlushPolicy(&node.mu, node.out)
 		nodes[i] = node
 		cfg.Net.SetHandler(i, node.handle)
@@ -115,12 +121,19 @@ func (n *Node) ID() int { return n.id }
 // Put performs w_i(x)v: local apply, then stage the update for C(x)
 // with the per-variable sequence number.
 func (n *Node) Put(x string, v []byte) error {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
+	if err := n.fence.WaitLocked(n.cfg, n.id, xi, x); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	// Re-check against the possibly flipped index: the fence lifts at
+	// the epoch boundary, and this node may have shed the variable.
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
 	name := n.ix.Name(xi)
-	n.mu.Lock()
 	wseq := n.wseq
 	n.wseq++
 	vseq := n.vseq[xi]
@@ -146,11 +159,12 @@ func (n *Node) PutAsync(x string, v []byte) (mcs.Pending, error) {
 // Get performs r_i(x) wait-free on the local replica, flushing any
 // coalesced updates first.
 func (n *Node) Get(x string, dst []byte) ([]byte, error) {
+	n.mu.Lock()
 	xi := n.ix.ID(x)
 	if !n.ix.Holds(n.id, xi) {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: node %d, variable %s", mcs.ErrNotReplicated, n.id, x)
 	}
-	n.mu.Lock()
 	if n.out.HasPending() {
 		n.out.Flush()
 	}
@@ -196,6 +210,10 @@ func (n *Node) handle(msg netsim.Message) {
 	case mcs.KindSnapResp:
 		n.handleSnapResp(msg)
 	default:
+		if mcs.IsEpochKind(msg.Kind) {
+			n.rcf.Handle(msg)
+			return
+		}
 		n.cfg.Faultf(n.id, "slowpart: node %d: unknown message kind %q", n.id, msg.Kind)
 		mcs.RecycleFrame(msg)
 	}
@@ -245,6 +263,12 @@ func (n *Node) handleUpdate(msg netsim.Message) {
 // and are dropped. v aliases the delivered frame: the buffer path
 // copies it into a pooled buffer that outlives the frame.
 func (n *Node) applyLocked(sender, wseq, vseq, xi int, v []byte) {
+	if !n.ix.Holds(n.id, xi) && !n.rcf.PendingHoldsLocked(n.id, xi) {
+		// An old-epoch straggler for a shed variable: drop without
+		// touching the stream cursor (re-gaining the variable re-seeds
+		// cursors from a fence-settled donor).
+		return
+	}
 	if vseq < n.next[sender][xi] {
 		return
 	}
@@ -467,13 +491,19 @@ func (n *Node) CrashRestart() {
 	n.held = nil
 	n.rejoining = true
 	n.rcv.Cancel()
+	n.rcf.CancelLocked()
+	n.fence.LiftLocked()
 	n.mu.Unlock()
 }
 
 // Recover starts the rejoin handshake with every variable-sharing
-// neighbor (mcs.CrashRestarter).
+// neighbor under the current epoch's index (mcs.CrashRestarter) — the
+// placement may have been reconfigured since the cluster started.
 func (n *Node) Recover() {
-	n.rcv.Begin(n.cfg.Placement.Neighbors(n.id))
+	n.mu.Lock()
+	peers := n.ix.Neighbors(n.id)
+	n.mu.Unlock()
+	n.rcv.Begin(peers)
 }
 
 // RecoveryStats reports completed rejoins and their summed virtual
@@ -482,9 +512,141 @@ func (n *Node) RecoveryStats() (recoveries int, ticks uint64) {
 	return n.rcv.Stats()
 }
 
+// ReconfigEngine exposes the node's epoch reconfiguration engine to the
+// cluster facade.
+func (n *Node) ReconfigEngine() *mcs.Reconfig { return n.rcf }
+
+// ReconfigFlushLocked implements mcs.ReconfigHooks: the fence must
+// travel behind every staged pre-fence update.
+func (n *Node) ReconfigFlushLocked() { n.out.Flush() }
+
+// ReconfigFenceLocked fences writes to the variables whose replica
+// clique changes (mcs.ReconfigHooks).
+func (n *Node) ReconfigFenceLocked(next *sharegraph.Index) {
+	n.fence.ArmLocked(&n.mu, n.id, n.ix, next, false)
+}
+
+// ReconfigTransferVarsLocked lists the variables this node gains in the
+// next epoch (mcs.ReconfigHooks).
+func (n *Node) ReconfigTransferVarsLocked(next *sharegraph.Index) []int {
+	var gained []int
+	for _, xi := range next.VarIDs(n.id) {
+		if !n.ix.Holds(n.id, xi) {
+			gained = append(gained, xi)
+		}
+	}
+	return gained
+}
+
+// ReconfigEncodeLocked answers a gaining node with the fence-settled
+// tagged value of each requested variable. No receive cursors travel
+// with the transfer: a gained variable's clique changed by
+// definition, so its stream numbering restarts at zero on every
+// clique member at the flip (mcs.ReconfigHooks).
+func (n *Node) ReconfigEncodeLocked(enc *mcs.Enc, requester int, varIDs []int, next *sharegraph.Index) (data int, vars []string) {
+	countPos := enc.Len()
+	enc.U32(0)
+	count := 0
+	for _, xi := range varIDs {
+		if xi < 0 || xi >= len(n.tags) || n.tags[xi].Writer < 0 {
+			continue
+		}
+		t := n.tags[xi]
+		enc.U32(uint32(t.Writer)).U32(uint32(t.WSeq))
+		v := n.replicas.Get(xi)
+		enc.VarVal(xi, v)
+		vars = append(vars, n.ix.Name(xi))
+		data += len(v)
+		count++
+	}
+	enc.PatchU32(countPos, uint32(count))
+	return data, vars
+}
+
+// ReconfigMergeLocked adopts one donor's transfer entries: values
+// pass the usual staleness rule and are recorded as migration events
+// — the slow witness raises its per-(sender, variable) frontier from
+// them (mcs.ReconfigHooks).
+func (n *Node) ReconfigMergeLocked(d *mcs.Dec, from int, next *sharegraph.Index) error {
+	count := int(d.U32())
+	for k := 0; k < count; k++ {
+		w := int(d.U32())
+		s := int(d.U32())
+		xi, v := d.VarVal()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if xi < 0 || xi >= len(n.replicas) || w < 0 || w >= n.cfg.Net.NumNodes() {
+			return fmt.Errorf("slowpart: transfer entry names unknown VarID %d / writer %d", xi, w)
+		}
+		if n.tags[xi].Stale(w, s) {
+			continue
+		}
+		n.replicas.Set(xi, v)
+		n.tags[xi] = mcs.WriteTag{Writer: w, WSeq: s}
+		if rec := n.cfg.Recorder; rec != nil {
+			rec.RecordMigrate(n.id, w, s, n.ix.Name(xi), v)
+		}
+	}
+	return d.Err()
+}
+
+// ReconfigFlipLocked installs the next epoch: shed replicas revert to
+// ⊥, the per-(sender, variable) stream numbering of every variable
+// whose clique changed restarts at zero on writer and receiver alike
+// (readiness certified that both drained the old epoch's streams, and
+// a one-sided reset would wedge the stream when a variable returns to
+// a clique it had left), gained variables no donor had a value for
+// are recorded as ⊥ migration resets, the index swaps, outgoing
+// frames carry the new epoch and the write fence lifts
+// (mcs.ReconfigHooks).
+func (n *Node) ReconfigFlipLocked(next *sharegraph.Index) {
+	for _, xi := range n.ix.VarIDs(n.id) {
+		if next.Holds(n.id, xi) {
+			continue
+		}
+		n.replicas.Set(xi, mcs.BottomValue)
+		n.tags[xi] = mcs.WriteTag{Writer: -1}
+	}
+	for xi := 0; xi < n.ix.NumVars(); xi++ {
+		if sharegraph.SameClique(n.ix, next, xi) {
+			continue
+		}
+		n.vseq[xi] = 0
+		for j := range n.next {
+			n.next[j][xi] = 0
+		}
+	}
+	for k, m := range n.buffered {
+		if next.Holds(n.id, k.varID) && sharegraph.SameClique(n.ix, next, k.varID) {
+			continue
+		}
+		for vseq, u := range m {
+			mcs.PutPayload(u.v)
+			delete(m, vseq)
+		}
+		delete(n.buffered, k)
+	}
+	if rec := n.cfg.Recorder; rec != nil && !n.rejoining {
+		for _, xi := range next.VarIDs(n.id) {
+			if !n.ix.Holds(n.id, xi) && n.tags[xi].Writer < 0 {
+				rec.RecordMigrate(n.id, -1, -1, n.ix.Name(xi), mcs.BottomValue)
+			}
+		}
+	}
+	n.ix = next
+	n.out.SetEpoch(next.Epoch())
+	n.fence.LiftLocked()
+}
+
+// ReconfigAbortLocked abandons the attempt: the fence lifts and the
+// current epoch stays in force (mcs.ReconfigHooks).
+func (n *Node) ReconfigAbortLocked() { n.fence.LiftLocked() }
+
 var (
 	_ mcs.Node           = (*Node)(nil)
 	_ mcs.Flusher        = (*Node)(nil)
 	_ mcs.Batcher        = (*Node)(nil)
 	_ mcs.CrashRestarter = (*Node)(nil)
+	_ mcs.ReconfigHooks  = (*Node)(nil)
 )

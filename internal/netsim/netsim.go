@@ -62,6 +62,12 @@ type Message struct {
 	// Vars lists the shared variables this message carries information
 	// about (for the touch matrix).
 	Vars []string
+	// Epoch tags the frame with the sender's placement epoch. It is
+	// transport metadata, not payload bytes — static clusters leave it 0
+	// and their wire traffic is unchanged. During a reconfiguration the
+	// protocols use it to tell straggler frames sent under an older
+	// epoch apart from post-flip traffic (see mcs reconfig).
+	Epoch uint64
 	// SharedPayload marks Payload (and Vars) as shared across several
 	// Sends — a multicast fanning one encoded frame out to its whole
 	// destination set. Receivers must not mutate a shared buffer;

@@ -17,7 +17,14 @@ import (
 // builds it lazily; a later Assign invalidates it, so callers must
 // capture the Index only after the placement is fully constructed.
 // Returned slices are shared — callers must not modify them.
+//
+// Indexes are epoch-versioned: the one a Placement builds is epoch 0,
+// and Rebind derives successor epochs for runtime reconfiguration.
+// Because the variable universe may not change across epochs, VarIDs
+// are stable for the lifetime of a cluster — a name interned under one
+// epoch's Index resolves to the same dense id under every other.
 type Index struct {
+	epoch    uint64
 	numProcs int
 	vars     []string       // id → name, sorted
 	ids      map[string]int // name → id
@@ -27,6 +34,10 @@ type Index struct {
 	peers    [][][]int      // peers[p][id] = C(x) ∖ {p}, sorted
 	msgVars  [][]string     // msgVars[id] = the canonical {name} slice
 }
+
+// Epoch returns the placement epoch this index describes. Placement-
+// built indexes are epoch 0; Rebind stamps successors.
+func (ix *Index) Epoch() uint64 { return ix.epoch }
 
 // NumProcs returns the number of processes.
 func (ix *Index) NumProcs() int { return ix.numProcs }
@@ -139,6 +150,94 @@ func (pl *Placement) buildIndex() *Index {
 		}
 	}
 	return ix
+}
+
+// Rebind derives the Index of a successor epoch from a proposed
+// placement. The proposal must keep the process count and the variable
+// universe of the current index: VarIDs are assigned in sorted-name
+// order, so an identical universe guarantees every dense id — and with
+// it every interned name, wire frame and replica-array slot — means the
+// same variable before and after the flip. Only the clique tables
+// change. The returned index is freshly built (never the placement's
+// cached epoch-0 index) and stamped with the given epoch.
+func (ix *Index) Rebind(next *Placement, epoch uint64) (*Index, error) {
+	if next == nil {
+		return nil, fmt.Errorf("sharegraph: rebind needs a placement")
+	}
+	if next.NumProcs() != ix.numProcs {
+		return nil, fmt.Errorf("sharegraph: rebind changes the process count from %d to %d",
+			ix.numProcs, next.NumProcs())
+	}
+	nvars := next.Vars()
+	i, j := 0, 0
+	for i < len(ix.vars) || j < len(nvars) {
+		switch {
+		case j >= len(nvars) || (i < len(ix.vars) && ix.vars[i] < nvars[j]):
+			return nil, fmt.Errorf("sharegraph: rebind drops variable %q from the universe", ix.vars[i])
+		case i >= len(ix.vars) || ix.vars[i] > nvars[j]:
+			return nil, fmt.Errorf("sharegraph: rebind adds variable %q to the universe", nvars[j])
+		default:
+			i++
+			j++
+		}
+	}
+	next.mu.Lock()
+	nix := next.buildIndex()
+	next.mu.Unlock()
+	nix.epoch = epoch
+	return nix, nil
+}
+
+// AsPlacement rematerializes the placement this index was built from,
+// so share-graph analyses that live on Placement — XRelevant, hoop
+// enumeration — can run against a rebound epoch's index. Every variable
+// of a valid index has at least one holder (Rebind enforces a constant
+// universe), so the reconstruction preserves the variable set.
+func (ix *Index) AsPlacement() *Placement {
+	pl := NewPlacement(ix.numProcs)
+	for p := 0; p < ix.numProcs; p++ {
+		for _, id := range ix.varsOf[p] {
+			pl.Assign(p, ix.vars[id])
+		}
+	}
+	return pl
+}
+
+// SameClique reports whether the variable with VarID id has the same
+// replica clique under both indexes. Reconfiguration engines use it to
+// decide which variables need fencing and transfer across an epoch
+// flip.
+func SameClique(a, b *Index, id int) bool {
+	ca, cb := a.Clique(id), b.Clique(id)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbors returns the processes sharing at least one variable with p
+// under this index, sorted. Unlike Placement.Neighbors it reflects the
+// index's epoch, so recovery peer sets stay correct after a
+// reconfiguration.
+func (ix *Index) Neighbors(p int) []int {
+	seen := make([]bool, ix.numProcs)
+	for _, xi := range ix.varsOf[p] {
+		for _, q := range ix.peers[p][xi] {
+			seen[q] = true
+		}
+	}
+	var out []int
+	for q, ok := range seen {
+		if ok {
+			out = append(out, q)
+		}
+	}
+	return out
 }
 
 // idxPtr wraps atomic.Pointer so Placement's zero-value-unfriendly

@@ -5,6 +5,13 @@
 // per-variable replica cliques C(x), enumerates x-hoops, decides
 // x-relevance (Theorem 1) in linear time, and constructs/detects the
 // x-dependency chains of Definition 4.
+//
+// A placement is no longer frozen for the lifetime of a cluster: the
+// dense Index the protocol hot paths run on is epoch-versioned, and
+// Index.Rebind derives the successor epoch's index from a proposed
+// placement — same processes, same variable universe (so VarIDs stay
+// stable), new cliques. The mcs reconfiguration engine ships Rebind's
+// output through its propose → fence → transfer → flip protocol.
 package sharegraph
 
 import (
@@ -71,6 +78,54 @@ func (pl *Placement) Assign(p int, vars ...string) *Placement {
 		}
 	}
 	return pl
+}
+
+// FromLists builds a placement from per-process variable lists:
+// lists[p] becomes X_p. The list count fixes the process count.
+func FromLists(lists [][]string) *Placement {
+	pl := NewPlacement(len(lists))
+	for p, vars := range lists {
+		pl.Assign(p, vars...)
+	}
+	return pl
+}
+
+// Lists renders the placement as per-process sorted variable lists,
+// the inverse of FromLists. The result is freshly allocated.
+func (pl *Placement) Lists() [][]string {
+	out := make([][]string, pl.numProcs)
+	for p := range out {
+		out[p] = pl.VarsOf(p)
+	}
+	return out
+}
+
+// Clone returns an independent copy of the placement.
+func (pl *Placement) Clone() *Placement {
+	out := NewPlacement(pl.numProcs)
+	for p := 0; p < pl.numProcs; p++ {
+		out.Assign(p, pl.VarsOf(p)...)
+	}
+	return out
+}
+
+// Equal reports whether both placements assign exactly the same
+// variable sets to the same processes.
+func (pl *Placement) Equal(other *Placement) bool {
+	if other == nil || pl.numProcs != other.numProcs {
+		return false
+	}
+	for p := 0; p < pl.numProcs; p++ {
+		if len(pl.holds[p]) != len(other.holds[p]) {
+			return false
+		}
+		for v := range pl.holds[p] {
+			if !other.holds[p][v] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NumProcs returns the number of processes.

@@ -12,11 +12,11 @@ func TestLiveVerifyCleanRun(t *testing.T) {
 		t.Run(string(cons), func(t *testing.T) {
 			t.Parallel()
 			c := newCluster(t, Config{
-				Consistency: cons,
-				Placement:   fullPlacement(3),
-				Seed:        21,
-				MaxLatency:  100 * time.Microsecond,
-				LiveVerify:  true,
+				Consistency:    cons,
+				PlacementLists: fullPlacement(3),
+				Seed:           21,
+				MaxLatency:     100 * time.Microsecond,
+				LiveVerify:     true,
 			})
 			runWorkload(t, c, 30, 5)
 			if err := c.LiveError(); err != nil {
@@ -28,14 +28,14 @@ func TestLiveVerifyCleanRun(t *testing.T) {
 
 func TestLiveVerifyUnsupportedCriteria(t *testing.T) {
 	for _, cons := range []Consistency{CausalFull, CausalPartial, CausalHoopAware, Atomic} {
-		if _, err := New(Config{Consistency: cons, Placement: fullPlacement(2), LiveVerify: true}); err == nil {
+		if _, err := New(Config{Consistency: cons, PlacementLists: fullPlacement(2), LiveVerify: true}); err == nil {
 			t.Errorf("%s must reject LiveVerify", cons)
 		}
 	}
 }
 
 func TestLiveErrorWithoutMonitor(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2)})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2)})
 	if err := c.LiveError(); !errors.Is(err, ErrNoTrace) {
 		t.Errorf("LiveError without monitor = %v, want ErrNoTrace", err)
 	}
@@ -45,10 +45,10 @@ func TestLiveVerifyImpliesTracing(t *testing.T) {
 	// LiveVerify with DisableTrace still records (the monitor needs the
 	// event stream); history methods work.
 	c := newCluster(t, Config{
-		Consistency:  PRAM,
-		Placement:    fullPlacement(2),
-		DisableTrace: true,
-		LiveVerify:   true,
+		Consistency:    PRAM,
+		PlacementLists: fullPlacement(2),
+		DisableTrace:   true,
+		LiveVerify:     true,
 	})
 	c.Node(0).Write("x", 1)
 	c.Quiesce()

@@ -46,11 +46,24 @@
 // 8-byte value — and produces byte-identical message traces to the
 // pre-v2 wire format.
 //
+// # Control plane
+//
+// Beyond the data-plane operations, a Cluster exposes a control plane
+// for experiments and operations: PauseLink/ResumeLink (deterministic
+// asynchrony), CutLink/HealLink and CrashNode/RestartNode (hard
+// faults), the bounded virtual-time Window helper with its CutLinkFor
+// and CrashNodeFor instances, and epoch-based runtime reconfiguration
+// — Reconfigure migrates the cluster to a new Placement without
+// stopping it, and Failover re-places a crashed node's variables onto
+// the survivors. Epoch and Placement report the current configuration;
+// Holds, Clique, XRelevant and VarsOf are snapshots of it.
+//
 // # Quick start
 //
 //	cluster, err := partialdsm.New(partialdsm.Config{
 //		Consistency: partialdsm.PRAM,
-//		Placement:   [][]string{{"x", "y"}, {"x"}, {"y"}},
+//		Placement: partialdsm.NewPlacement(3).
+//			Assign(0, "x", "y").Assign(1, "x").Assign(2, "y"),
 //	})
 //	// node 0 writes, node 1 reads after the network settles
 //	n0, n1 := cluster.Node(0), cluster.Node(1)
@@ -211,10 +224,17 @@ func ParseLatencyDistFlag(s string) (LatencyDist, error) {
 type Config struct {
 	// Consistency selects the protocol. Required.
 	Consistency Consistency
-	// Placement lists, per node, the variables the node replicates and
-	// its application may access (the X_i sets). Required, one entry
-	// per node.
-	Placement [][]string
+	// Placement assigns, per node, the variables the node replicates
+	// and its application may access (the X_i sets) — the epoch-0
+	// placement; Cluster.Reconfigure can install successors at
+	// runtime. Build one with NewPlacement/Assign or
+	// PlacementFromLists. Required unless PlacementLists is set.
+	Placement *Placement
+	// PlacementLists is the raw pre-v8 form of Placement: one variable
+	// list per node.
+	//
+	// Deprecated: use Placement. Setting both is an error.
+	PlacementLists [][]string
 	// MaxLatency bounds the simulated per-message delivery latency
 	// (uniform in [0, MaxLatency] by default). Without VirtualLatency
 	// each delivery really sleeps; with it the bound scales the
@@ -356,7 +376,7 @@ var ErrOpDeadline = mcs.ErrOpDeadline
 // Cluster is a running DSM instance.
 type Cluster struct {
 	cfg     Config
-	pl      *sharegraph.Placement
+	pl      *sharegraph.Placement // epoch-0 placement (the universe never changes)
 	net     netsim.Transport
 	rel     *netsim.Reliable // non-nil when Config.Reliable
 	col     *metrics.Collector
@@ -364,6 +384,22 @@ type Cluster struct {
 	nodes   []mcs.Node
 	faults  *faultSink
 	monitor check.Monitor // nil unless LiveVerify
+
+	// Control-plane state (reconfigure.go), guarded by cmu.
+	cmu           sync.Mutex
+	ix            *sharegraph.Index     // current epoch's index
+	cpl           *sharegraph.Placement // current epoch's placement
+	epoch         uint64                // committed epoch
+	attempt       uint64                // highest reconfiguration attempt number burned
+	reconfiguring bool
+	crashed       []bool
+	recoverWant   []int // completed recovery handshakes expected per node
+	// Efficiency ledger: per variable, every node that was in C(x) /
+	// x-relevant under any epoch attempted so far. Nil until the first
+	// reconfiguration attempt; VerifyEfficiency and
+	// VerifyRelevanceBound fall back to the epoch-0 sets.
+	cliqueUnion map[string]map[int]bool
+	relUnion    map[string]map[int]bool
 }
 
 // faultSink collects the first protocol-level fault each node reports
@@ -392,23 +428,15 @@ func (s *faultSink) Err() error {
 
 // New builds and starts a cluster.
 func New(cfg Config) (*Cluster, error) {
-	if len(cfg.Placement) == 0 {
-		return nil, errors.New("partialdsm: config needs a placement with at least one node")
+	pub, err := cfg.placement()
+	if err != nil {
+		return nil, err
 	}
-	pl := sharegraph.NewPlacement(len(cfg.Placement))
-	for p, vars := range cfg.Placement {
-		seen := make(map[string]bool, len(vars))
-		for _, v := range vars {
-			if v == "" {
-				return nil, fmt.Errorf("partialdsm: node %d has an empty variable name", p)
-			}
-			if seen[v] {
-				return nil, fmt.Errorf("partialdsm: node %d lists variable %q more than once in its placement entry", p, v)
-			}
-			seen[v] = true
-		}
-		pl.Assign(p, vars...)
+	pl, err := pub.build()
+	if err != nil {
+		return nil, err
 	}
+	numNodes := pl.NumProcs()
 	if cfg.NonFIFO && (cfg.Consistency == PRAM || cfg.Consistency == CausalFull) {
 		return nil, fmt.Errorf("partialdsm: %s requires FIFO channels", cfg.Consistency)
 	}
@@ -418,7 +446,7 @@ func New(cfg Config) (*Cluster, error) {
 		faults = &netsim.FaultConfig{Drop: cfg.FaultDrop, Dup: cfg.FaultDup, Seed: cfg.FaultSeed}
 	}
 	col := metrics.NewCollector()
-	net, err := netsim.New(string(cfg.Transport), len(cfg.Placement), netsim.Options{
+	net, err := netsim.New(string(cfg.Transport), numNodes, netsim.Options{
 		FIFO:           !cfg.NonFIFO,
 		MaxLatency:     cfg.MaxLatency,
 		VirtualLatency: cfg.VirtualLatency,
@@ -454,17 +482,17 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	var rec *mcs.Recorder
 	if !cfg.DisableTrace || cfg.LiveVerify {
-		rec = mcs.NewRecorder(len(cfg.Placement))
+		rec = mcs.NewRecorder(numNodes)
 	}
 	var monitor check.Monitor
 	if cfg.LiveVerify {
 		switch cfg.Consistency {
 		case PRAM, Sequential:
-			monitor = check.NewPRAMMonitor(len(cfg.Placement))
+			monitor = check.NewPRAMMonitor(numNodes)
 		case Slow:
-			monitor = check.NewSlowMonitor(len(cfg.Placement))
+			monitor = check.NewSlowMonitor(numNodes)
 		case CacheConsistency:
-			monitor = check.NewCacheMonitor(len(cfg.Placement))
+			monitor = check.NewCacheMonitor(numNodes)
 		default:
 			trans.Close()
 			return nil, fmt.Errorf("partialdsm: LiveVerify is not supported for %s (its witness is not prefix-closed)", cfg.Consistency)
@@ -510,7 +538,12 @@ func New(cfg Config) (*Cluster, error) {
 		trans.Close()
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, pl: pl, net: trans, rel: rel, col: col, rec: rec, nodes: nodes, faults: sink, monitor: monitor}, nil
+	c := &Cluster{cfg: cfg, pl: pl, net: trans, rel: rel, col: col, rec: rec, nodes: nodes, faults: sink, monitor: monitor}
+	c.ix = pl.Index()
+	c.cpl = pl
+	c.crashed = make([]bool, numNodes)
+	c.recoverWant = make([]int, numNodes)
+	return c, nil
 }
 
 // Err returns the first protocol-level fault any node has reported: a
@@ -557,24 +590,45 @@ func (c *Cluster) Node(i int) *NodeHandle {
 	return &NodeHandle{node: c.nodes[i]}
 }
 
-// Holds reports whether node i replicates variable x.
-func (c *Cluster) Holds(i int, x string) bool { return c.pl.Holds(i, x) }
-
-// Clique returns C(x), the nodes replicating x.
-func (c *Cluster) Clique(x string) []int {
-	return append([]int(nil), c.pl.Clique(x)...)
+// Holds reports whether node i replicates variable x under the
+// current epoch's placement — a snapshot: Reconfigure may change it.
+func (c *Cluster) Holds(i int, x string) bool {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.cpl.Holds(i, x)
 }
 
-// XRelevant returns the x-relevant nodes per Theorem 1.
-func (c *Cluster) XRelevant(x string) []int { return c.pl.XRelevant(x) }
+// Clique returns C(x), the nodes replicating x under the current
+// epoch's placement — a snapshot: Reconfigure may change it.
+func (c *Cluster) Clique(x string) []int {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return append([]int(nil), c.cpl.Clique(x)...)
+}
 
-// Vars returns the sorted variable universe.
+// XRelevant returns the x-relevant nodes per Theorem 1, under the
+// current epoch's placement — a snapshot: Reconfigure may change it.
+func (c *Cluster) XRelevant(x string) []int {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.cpl.XRelevant(x)
+}
+
+// Vars returns the sorted variable universe. Unlike the placement,
+// the universe is fixed for the cluster's lifetime — Reconfigure may
+// move replicas but never add or drop variables.
 func (c *Cluster) Vars() []string {
 	return append([]string(nil), c.pl.Vars()...)
 }
 
-// VarsOf returns the sorted variables node i replicates (X_i).
-func (c *Cluster) VarsOf(i int) []string { return c.pl.VarsOf(i) }
+// VarsOf returns the sorted variables node i replicates (X_i) under
+// the current epoch's placement — a snapshot: Reconfigure may change
+// it.
+func (c *Cluster) VarsOf(i int) []string {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.cpl.VarsOf(i)
+}
 
 // Quiesce blocks until no message is in flight. With idle application
 // goroutines this is a consistent global cut: all issued updates have
@@ -644,51 +698,41 @@ func (c *Cluster) CutLink(from, to int) { c.faultController().CutLink(from, to) 
 func (c *Cluster) HealLink(from, to int) { c.faultController().HealLink(from, to) }
 
 // CutLinkFor cuts the ordered link from → to and heals it after
-// exactly `ticks` virtual ticks. Both endpoints of the window are
-// virtual-clock callbacks: the cut applies at the next advance and the
-// heal exactly ticks later, registered atomically (no other clock
-// callback can run in between), so the partition's virtual duration is
-// bounded by construction.
-//
-// Driving the window from an application goroutine — CutLink, some
-// staging work, HealLink — leaves its *virtual* length at the mercy of
-// real-time goroutine scheduling: virtual time crosses retransmit and
-// retry deadlines at memory speed whenever the network is otherwise
-// idle, so a stall between the two calls can burn an unbounded number
-// of timeout budgets against the cut. Scheduling the heal on the clock
-// removes that race; it is the fault-injection idiom every seeded,
-// engine-comparable experiment should use.
+// exactly `ticks` virtual ticks — a Window instance; see Window for
+// why the bounded-virtual-time form is the fault-injection idiom
+// seeded, engine-comparable experiments should use.
 func (c *Cluster) CutLinkFor(from, to int, ticks uint64) {
 	fc := c.faultController()
-	clk := c.net.Clock()
-	clk.After(0, func() {
-		fc.CutLink(from, to)
-		clk.After(ticks, func() { fc.HealLink(from, to) })
-	})
+	c.Window(ticks,
+		func() { fc.CutLink(from, to) },
+		func() { fc.HealLink(from, to) })
 }
 
 // CrashNodeFor fail-stops node i at the next virtual-time advance and
 // restarts it — volatile state wiped, recovery handshake started, like
-// RestartNode — after exactly `ticks` virtual ticks. The same
-// bounded-window rationale as CutLinkFor applies: a crash window driven
-// from an application goroutine has no defined virtual length, one
-// scheduled on the clock does. Quiesce fires both callbacks (and the
-// recovery they trigger) before returning.
+// RestartNode — after exactly `ticks` virtual ticks. A Window
+// instance: a crash window driven from an application goroutine has
+// no defined virtual length, one scheduled on the clock does. Quiesce
+// fires both callbacks (and the recovery they trigger) before
+// returning.
 func (c *Cluster) CrashNodeFor(i int, ticks uint64) error {
 	if err := c.crashRestarter(i); err != nil {
 		return err
 	}
 	fc := c.faultController()
-	clk := c.net.Clock()
 	cr := c.nodes[i].(mcs.CrashRestarter)
-	clk.After(0, func() {
-		fc.Crash(i)
-		clk.After(ticks, func() {
+	c.Window(ticks,
+		func() {
+			c.setCrashed(i, true)
+			fc.Crash(i)
+		},
+		func() {
 			cr.CrashRestart()
+			c.installCurrentEpoch(i)
 			fc.Restart(i)
+			c.noteRecoverStart(i)
 			cr.Recover()
 		})
-	})
 	return nil
 }
 
@@ -701,6 +745,7 @@ func (c *Cluster) CrashNode(i int) error {
 	if err := c.crashRestarter(i); err != nil {
 		return err
 	}
+	c.setCrashed(i, true)
 	c.faultController().Crash(i)
 	return nil
 }
@@ -724,10 +769,14 @@ func (c *Cluster) RestartNode(i int) error {
 		return err
 	}
 	// Wipe before reconnecting: while the node is crashed no frame can
-	// reach it, so the wipe cannot race a delivery.
+	// reach it, so the wipe cannot race a delivery. Epochs that
+	// committed while the node was down (Failover) are installed next,
+	// so recovery re-seeds its state under the current placement.
 	cr := c.nodes[i].(mcs.CrashRestarter)
 	cr.CrashRestart()
+	c.installCurrentEpoch(i)
 	c.faultController().Restart(i)
+	c.noteRecoverStart(i)
 	cr.Recover()
 	return nil
 }
@@ -1020,6 +1069,11 @@ type Stats struct {
 	Recoveries    int
 	RecoveryMsgs  int64
 	RecoveryTicks uint64
+	// ReconfigMsgs counts the messages of the epoch reconfiguration
+	// protocol (Reconfigure/Failover): proposals, fences, state
+	// transfers, readies and commits — the protocol-level cost of live
+	// migration, separated from steady-state traffic.
+	ReconfigMsgs int64
 }
 
 // Stats returns a snapshot of the communication metrics.
@@ -1047,6 +1101,10 @@ func (c *Cluster) Stats() Stats {
 		out.Abandoned = rs.Abandoned
 	}
 	out.RecoveryMsgs = s.PerKind[mcs.KindSnapReq] + s.PerKind[mcs.KindSnapResp]
+	for _, k := range []string{mcs.KindEpochPropose, mcs.KindEpochFence, mcs.KindEpochMigReq,
+		mcs.KindEpochMigResp, mcs.KindEpochReady, mcs.KindEpochCommit} {
+		out.ReconfigMsgs += s.PerKind[k]
+	}
 	for _, n := range c.nodes {
 		if cr, ok := n.(mcs.CrashRestarter); ok {
 			recs, ticks := cr.RecoveryStats()
@@ -1062,18 +1120,30 @@ func (c *Cluster) Stats() Stats {
 // information about x. It returns nil when the property holds and a
 // descriptive error naming the first violation otherwise.
 //
+// On a reconfigured cluster the check runs against the union of every
+// attempted epoch's cliques — the touch metrics span the whole run,
+// and transfer traffic legitimately reaches a variable's prospective
+// replicas — so the property becomes: information about x never
+// reached a process that was not in C(x) under any epoch.
+//
 // PRAM and Slow clusters satisfy it (Theorem 2); the causal
 // configurations do not in general (Theorem 1).
 func (c *Cluster) VerifyEfficiency() error {
+	c.cmu.Lock()
+	union := c.cliqueUnion
+	c.cmu.Unlock()
 	for _, x := range c.pl.Vars() {
 		cx := make(map[int]bool)
 		for _, p := range c.pl.Clique(x) {
 			cx[p] = true
 		}
+		for p := range union[x] {
+			cx[p] = true
+		}
 		for p := 0; p < c.pl.NumProcs(); p++ {
 			if !cx[p] && c.col.Touched(p, x) {
-				return fmt.Errorf("partialdsm: node %d handled information about %s but is not in C(%s)=%v",
-					p, x, x, c.pl.Clique(x))
+				return fmt.Errorf("partialdsm: node %d handled information about %s but was never in C(%s) under any epoch",
+					p, x, x)
 			}
 		}
 	}
@@ -1083,17 +1153,25 @@ func (c *Cluster) VerifyEfficiency() error {
 // VerifyRelevanceBound checks the weaker Theorem 1 bound: information
 // about x reaches only x-relevant processes (C(x) plus x-hoop members).
 // CausalHoopAware satisfies this; CausalPartial and CausalFull do not
-// on topologies with x-irrelevant processes.
+// on topologies with x-irrelevant processes. Like VerifyEfficiency,
+// a reconfigured cluster is checked against the union of every
+// attempted epoch's relevance sets.
 func (c *Cluster) VerifyRelevanceBound() error {
+	c.cmu.Lock()
+	union := c.relUnion
+	c.cmu.Unlock()
 	for _, x := range c.pl.Vars() {
 		rel := make(map[int]bool)
 		for _, p := range c.pl.XRelevant(x) {
 			rel[p] = true
 		}
+		for p := range union[x] {
+			rel[p] = true
+		}
 		for p := 0; p < c.pl.NumProcs(); p++ {
 			if !rel[p] && c.col.Touched(p, x) {
-				return fmt.Errorf("partialdsm: node %d handled information about %s but is not %s-relevant (%v)",
-					p, x, x, c.pl.XRelevant(x))
+				return fmt.Errorf("partialdsm: node %d handled information about %s but was never %s-relevant under any epoch",
+					p, x, x)
 			}
 		}
 	}

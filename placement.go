@@ -1,0 +1,106 @@
+package partialdsm
+
+import (
+	"errors"
+	"fmt"
+
+	"partialdsm/internal/sharegraph"
+)
+
+// Placement assigns each node the set of shared variables it
+// replicates and may access (the paper's X_i sets). Build one with
+// NewPlacement and Assign, or convert the raw per-node lists form with
+// PlacementFromLists:
+//
+//	pl := partialdsm.NewPlacement(3).
+//		Assign(0, "x", "y").
+//		Assign(1, "x").
+//		Assign(2, "y")
+//
+// A Placement is a description, not a live object: Config.Placement
+// captures the epoch-0 placement at New, and Cluster.Reconfigure
+// installs successor placements at runtime. Validation (empty or
+// duplicate variable names) happens at those call sites, so Assign
+// never fails.
+type Placement struct {
+	lists [][]string
+}
+
+// NewPlacement returns an empty placement over numNodes nodes.
+func NewPlacement(numNodes int) *Placement {
+	return &Placement{lists: make([][]string, numNodes)}
+}
+
+// Assign adds variables to node's replica set and returns the
+// placement for chaining. It panics when node is out of range,
+// mirroring a slice access.
+func (p *Placement) Assign(node int, vars ...string) *Placement {
+	if node < 0 || node >= len(p.lists) {
+		panic(fmt.Sprintf("partialdsm: node %d out of range [0,%d)", node, len(p.lists)))
+	}
+	p.lists[node] = append(p.lists[node], vars...)
+	return p
+}
+
+// PlacementFromLists converts the raw per-node lists form — the
+// pre-v8 placement type, still accepted through the deprecated
+// Config.PlacementLists field — into a Placement. The lists are
+// deep-copied.
+func PlacementFromLists(lists [][]string) *Placement {
+	p := NewPlacement(len(lists))
+	for node, vars := range lists {
+		p.Assign(node, vars...)
+	}
+	return p
+}
+
+// NumNodes returns the number of nodes the placement spans.
+func (p *Placement) NumNodes() int { return len(p.lists) }
+
+// Lists returns the per-node variable lists as a deep copy, the
+// inverse of PlacementFromLists.
+func (p *Placement) Lists() [][]string {
+	out := make([][]string, len(p.lists))
+	for i, vars := range p.lists {
+		out[i] = append([]string(nil), vars...)
+	}
+	return out
+}
+
+// build validates the placement and converts it to the internal
+// share-graph form — the single conversion point behind both Config
+// placement fields and Cluster.Reconfigure.
+func (p *Placement) build() (*sharegraph.Placement, error) {
+	if p == nil || len(p.lists) == 0 {
+		return nil, errors.New("partialdsm: config needs a placement with at least one node")
+	}
+	pl := sharegraph.NewPlacement(len(p.lists))
+	for node, vars := range p.lists {
+		seen := make(map[string]bool, len(vars))
+		for _, v := range vars {
+			if v == "" {
+				return nil, fmt.Errorf("partialdsm: node %d has an empty variable name", node)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("partialdsm: node %d lists variable %q more than once in its placement entry", node, v)
+			}
+			seen[v] = true
+		}
+		pl.Assign(node, vars...)
+	}
+	return pl, nil
+}
+
+// placement resolves the Config's placement fields: the first-class
+// Config.Placement, or the deprecated raw-lists Config.PlacementLists.
+func (cfg Config) placement() (*Placement, error) {
+	switch {
+	case cfg.Placement != nil && cfg.PlacementLists != nil:
+		return nil, errors.New("partialdsm: set Config.Placement or the deprecated Config.PlacementLists, not both")
+	case cfg.Placement != nil:
+		return cfg.Placement, nil
+	case cfg.PlacementLists != nil:
+		return PlacementFromLists(cfg.PlacementLists), nil
+	}
+	return nil, errors.New("partialdsm: config needs a placement with at least one node")
+}

@@ -1,0 +1,373 @@
+package partialdsm
+
+// This file is the cluster's reconfiguration control plane: the
+// epoch-based Reconfigure protocol driver, the failover planner, and
+// the bounded virtual-time Window helper the fault injectors share.
+// See the package documentation's "Control plane" section for how
+// these methods relate.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"partialdsm/internal/mcs"
+	"partialdsm/internal/sharegraph"
+)
+
+// DefaultReconfigTicks bounds a reconfiguration attempt in virtual
+// clock ticks (one tick per delivered message). An attempt that has
+// not committed within the budget — its transfer traffic lost on an
+// unhealed partition, say — is resolved from outside: flipped
+// everywhere when the coordinator had already decided commit, aborted
+// everywhere otherwise, and Reconfigure returns an error wrapping
+// ErrOpDeadline in the aborted case. The budget rides the same
+// deterministic clock as the latency and fault schedules, so a given
+// seed either always or never expires a given attempt.
+const DefaultReconfigTicks = 1 << 22
+
+// reconfigurable is implemented by the protocol nodes that support
+// epoch-based runtime reconfiguration (PRAM, Slow, the causal family,
+// Sequential). Atomic and CacheConsistency do not: their per-variable
+// primaries and sequencers are fixed at construction.
+type reconfigurable interface{ ReconfigEngine() *mcs.Reconfig }
+
+// Epoch returns the committed placement epoch the cluster serves.
+// Clusters start at epoch 0; every committed Reconfigure installs a
+// higher epoch (aborted attempts burn numbers, so epochs are
+// monotonic but not necessarily consecutive).
+func (c *Cluster) Epoch() uint64 {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.epoch
+}
+
+// Placement returns the current epoch's placement as a deep copy.
+func (c *Cluster) Placement() *Placement {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return PlacementFromLists(c.cpl.Lists())
+}
+
+// reconfigEngines collects every node's reconfiguration engine, or
+// explains why the cluster's protocol cannot reconfigure.
+func (c *Cluster) reconfigEngines() ([]*mcs.Reconfig, error) {
+	engs := make([]*mcs.Reconfig, len(c.nodes))
+	for i, n := range c.nodes {
+		re, ok := n.(reconfigurable)
+		if !ok {
+			role := "topology"
+			switch c.cfg.Consistency {
+			case Atomic:
+				role = "per-variable primary assignment"
+			case CacheConsistency:
+				role = "per-variable sequencer assignment"
+			}
+			return nil, fmt.Errorf("partialdsm: %s does not support runtime reconfiguration: its %s is fixed at construction and would need an ownership handoff protocol",
+				c.cfg.Consistency, role)
+		}
+		engs[i] = re.ReconfigEngine()
+	}
+	return engs, nil
+}
+
+// Reconfigure migrates the cluster to a new placement at runtime
+// without stopping it: propose → fence → transfer → flip. The
+// coordinator (the lowest live node) broadcasts the proposal; each
+// live node fences the variables whose replica clique changes
+// (blocked writers fail fast per Config.OpDeadlineTicks if the epoch
+// stalls), pulls the state of every variable it gains from a donor of
+// the current clique, and flips to the new epoch once every live node
+// has finished its transfer. Crashed nodes are left out and catch up
+// at RestartNode. Variables no live donor holds come up as ⊥ on their
+// new replicas, recorded like a recovery reset.
+//
+// Reconfigure returns after the flip has committed (in-flight commit
+// notifications may still be draining; Quiesce to settle them). A nil
+// error means the cluster serves the new epoch. The proposal must
+// keep the node count and the variable universe; an attempt already
+// in progress, a node still running crash recovery, a non-FIFO
+// network, and a protocol without reconfiguration support (Atomic,
+// CacheConsistency) are each rejected with a descriptive error.
+// Reconfiguring to the placement already installed is a no-op: nil,
+// zero messages.
+//
+// An attempt that exceeds DefaultReconfigTicks of virtual time is
+// resolved by force — committed everywhere if the coordinator had
+// decided, aborted everywhere (error wrapping ErrOpDeadline, old
+// epoch intact) otherwise.
+func (c *Cluster) Reconfigure(next *Placement) error {
+	if next == nil {
+		return errors.New("partialdsm: Reconfigure needs a placement")
+	}
+	engs, err := c.reconfigEngines()
+	if err != nil {
+		return err
+	}
+	if c.cfg.NonFIFO {
+		return errors.New("partialdsm: Reconfigure requires FIFO channels (the epoch fence barrier relies on per-pair order)")
+	}
+	sg, err := next.build()
+	if err != nil {
+		return err
+	}
+	if sg.NumProcs() != len(c.nodes) {
+		return fmt.Errorf("partialdsm: reconfiguration changes the node count from %d to %d", len(c.nodes), sg.NumProcs())
+	}
+
+	c.cmu.Lock()
+	if c.reconfiguring {
+		c.cmu.Unlock()
+		return errors.New("partialdsm: a reconfiguration is already in progress")
+	}
+	for i, n := range c.nodes {
+		cr, ok := n.(mcs.CrashRestarter)
+		if !ok {
+			continue
+		}
+		if recs, _ := cr.RecoveryStats(); recs < c.recoverWant[i] {
+			c.cmu.Unlock()
+			return fmt.Errorf("partialdsm: node %d is still running crash recovery; Quiesce before reconfiguring", i)
+		}
+	}
+	if c.cpl.Equal(sg) {
+		c.cmu.Unlock()
+		return nil
+	}
+	live := make([]bool, len(c.nodes))
+	coord := -1
+	for i := range live {
+		live[i] = !c.crashed[i]
+		if live[i] && coord < 0 {
+			coord = i
+		}
+	}
+	if coord < 0 {
+		c.cmu.Unlock()
+		return errors.New("partialdsm: every node is crashed; nothing can coordinate a reconfiguration")
+	}
+	nix, err := c.ix.Rebind(sg, c.attempt+1)
+	if err != nil {
+		c.cmu.Unlock()
+		return fmt.Errorf("partialdsm: %w", err)
+	}
+	c.attempt++
+	attempt := c.attempt
+	c.reconfiguring = true
+	// The efficiency ledger admits the proposed cliques as soon as the
+	// attempt starts: transfer traffic about a variable legitimately
+	// reaches its prospective replicas even if the attempt later
+	// aborts.
+	c.extendUnionsLocked(sg)
+	c.cmu.Unlock()
+
+	done, err := engs[coord].StartReconfigure(nix, live, attempt)
+	if err != nil {
+		c.cmu.Lock()
+		c.reconfiguring = false
+		c.cmu.Unlock()
+		return fmt.Errorf("partialdsm: %w", err)
+	}
+	expired := make(chan struct{})
+	clk := c.net.Clock()
+	clk.After(DefaultReconfigTicks, func() { close(expired) })
+	// The attempt may already be stalled with the network drained
+	// (every frame it needed was lost before the budget timer was
+	// registered); give the clock an advance opportunity so the timer
+	// cannot strand.
+	clk.AdvanceIdle()
+	commit := true
+	select {
+	case <-done:
+	case <-expired:
+		// The coordinator's decision bit survives everything short of
+		// its own crash-wipe (it models a durable consensus write), so
+		// resolving uniformly is safe: commit-decided means every live
+		// node had finished its transfer merge, not-decided means
+		// nobody flipped.
+		commit = engs[coord].Decided(attempt)
+		for _, e := range engs {
+			e.ForceFinish(commit)
+		}
+	}
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	c.reconfiguring = false
+	if !commit {
+		return fmt.Errorf("partialdsm: reconfiguration to epoch %d stalled after %d virtual ticks and was aborted; the cluster stays on epoch %d: %w",
+			attempt, uint64(DefaultReconfigTicks), c.epoch, ErrOpDeadline)
+	}
+	c.ix = nix
+	c.cpl = sg
+	c.epoch = attempt
+	return nil
+}
+
+// FailoverPlacement plans the placement that re-places node i's
+// variables onto the survivors: each replica i held moves to the live
+// node with the fewest assigned variables that does not already hold
+// it (ties to the lowest id), keeping every variable's replication
+// degree. Variables every survivor already replicates simply lose i's
+// copy. The plan treats i as crashed whether or not it already is, so
+// it can be computed ahead of an anticipated failure.
+func (c *Cluster) FailoverPlacement(i int) (*Placement, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("partialdsm: node %d out of range [0,%d)", i, len(c.nodes))
+	}
+	c.cmu.Lock()
+	lists := c.cpl.Lists()
+	crashed := append([]bool(nil), c.crashed...)
+	c.cmu.Unlock()
+	crashed[i] = true
+	load := make([]int, len(lists))
+	holds := make([]map[string]bool, len(lists))
+	for p, vars := range lists {
+		holds[p] = make(map[string]bool, len(vars))
+		for _, x := range vars {
+			holds[p][x] = true
+		}
+		load[p] = len(vars)
+	}
+	moved := append([]string(nil), lists[i]...)
+	sort.Strings(moved)
+	lists[i] = nil
+	for _, x := range moved {
+		best := -1
+		for p := range lists {
+			if crashed[p] || holds[p][x] {
+				continue
+			}
+			if best < 0 || load[p] < load[best] {
+				best = p
+			}
+		}
+		if best < 0 {
+			// Every survivor already replicates x: dropping i's copy
+			// keeps the clique intact. (If i was the last holder and no
+			// survivor can take x, the variable would leave the
+			// universe and Reconfigure's Rebind check rejects the plan
+			// with a descriptive error.)
+			continue
+		}
+		lists[best] = append(lists[best], x)
+		holds[best][x] = true
+		load[best]++
+	}
+	return PlacementFromLists(lists), nil
+}
+
+// Failover re-places a crashed node's variables onto the survivors
+// (FailoverPlacement) and migrates to that placement with Reconfigure.
+// The node must actually be crashed — the live nodes transfer what
+// state they have and the moved variables stay writable while the
+// node is down; when it restarts, it recovers under the new epoch's
+// placement.
+func (c *Cluster) Failover(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("partialdsm: node %d out of range [0,%d)", i, len(c.nodes))
+	}
+	c.cmu.Lock()
+	down := c.crashed[i]
+	c.cmu.Unlock()
+	if !down {
+		return fmt.Errorf("partialdsm: node %d is not crashed; Failover re-places a crashed node's variables", i)
+	}
+	pl, err := c.FailoverPlacement(i)
+	if err != nil {
+		return err
+	}
+	return c.Reconfigure(pl)
+}
+
+// Window applies a state change for a bounded window of virtual time:
+// apply runs at the next virtual-time advance and undo exactly ticks
+// later, both as clock callbacks registered atomically (no other
+// clock callback can run in between), so the window's virtual
+// duration is bounded by construction.
+//
+// Driving such a window from an application goroutine — apply, some
+// staging work, undo — leaves its *virtual* length at the mercy of
+// real-time goroutine scheduling: virtual time crosses retransmit and
+// retry deadlines at memory speed whenever the network is otherwise
+// idle, so a stall between the two calls can burn an unbounded number
+// of timeout budgets against the window. Scheduling the undo on the
+// clock removes that race; it is the fault-injection idiom every
+// seeded, engine-comparable experiment should use. CutLinkFor and
+// CrashNodeFor are Window instances; callbacks must not block on
+// network progress.
+func (c *Cluster) Window(ticks uint64, apply, undo func()) {
+	clk := c.net.Clock()
+	clk.After(0, func() {
+		apply()
+		clk.After(ticks, undo)
+	})
+}
+
+// setCrashed records node i's crash state in the control plane.
+func (c *Cluster) setCrashed(i int, v bool) {
+	c.cmu.Lock()
+	c.crashed[i] = v
+	c.cmu.Unlock()
+}
+
+// noteRecoverStart marks node i live again and expects one more
+// completed recovery handshake from it; Reconfigure refuses to run
+// until the handshake finishes.
+func (c *Cluster) noteRecoverStart(i int) {
+	c.cmu.Lock()
+	c.crashed[i] = false
+	c.recoverWant[i]++
+	c.cmu.Unlock()
+}
+
+// installCurrentEpoch catches a restarted node's engine up to the
+// epochs that committed while it was down, before crash recovery
+// re-seeds its state under that placement. Protocols without a
+// reconfiguration engine are permanently at epoch 0 and skip it.
+func (c *Cluster) installCurrentEpoch(i int) {
+	re, ok := c.nodes[i].(reconfigurable)
+	if !ok {
+		return
+	}
+	c.cmu.Lock()
+	ix := c.ix
+	c.cmu.Unlock()
+	re.ReconfigEngine().InstallCurrent(ix)
+}
+
+// extendUnionsLocked admits a placement's cliques and relevance sets
+// into the efficiency ledger VerifyEfficiency and
+// VerifyRelevanceBound check against; called with cmu held. The
+// ledger is lazily created from the epoch-0 placement on the first
+// reconfiguration attempt — static clusters keep the exact epoch-0
+// check.
+func (c *Cluster) extendUnionsLocked(sg *sharegraph.Placement) {
+	if c.cliqueUnion == nil {
+		c.cliqueUnion = make(map[string]map[int]bool)
+		c.relUnion = make(map[string]map[int]bool)
+		c.admitUnionLocked(c.pl)
+	}
+	c.admitUnionLocked(sg)
+}
+
+// admitUnionLocked adds one placement to the efficiency ledger.
+func (c *Cluster) admitUnionLocked(pl *sharegraph.Placement) {
+	for _, x := range pl.Vars() {
+		cu := c.cliqueUnion[x]
+		if cu == nil {
+			cu = make(map[int]bool)
+			c.cliqueUnion[x] = cu
+		}
+		for _, p := range pl.Clique(x) {
+			cu[p] = true
+		}
+		ru := c.relUnion[x]
+		if ru == nil {
+			ru = make(map[int]bool)
+			c.relUnion[x] = ru
+		}
+		for _, p := range pl.XRelevant(x) {
+			ru[p] = true
+		}
+	}
+}

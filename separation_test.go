@@ -16,7 +16,7 @@ import (
 // x = ⊥ although it has observed y' — exactly the stale read causal
 // consistency forbids.
 func TestOperationalSeparationPRAMvsCausal(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: hoopPlacement(), Seed: 1})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: hoopPlacement(), Seed: 1})
 	n0, n1, n2 := c.Node(0), c.Node(1), c.Node(2)
 
 	c.PauseLink(0, 2)
@@ -74,7 +74,7 @@ func TestOperationalSeparationPRAMvsCausal(t *testing.T) {
 // withheld x arrives — the protocol *pays* for causality with exactly
 // the information flow Theorem 1 describes.
 func TestCausalPartialBlocksUnderSameSchedule(t *testing.T) {
-	c := newCluster(t, Config{Consistency: CausalPartial, Placement: hoopPlacement(), Seed: 2})
+	c := newCluster(t, Config{Consistency: CausalPartial, PlacementLists: hoopPlacement(), Seed: 2})
 	n0, n1, n2 := c.Node(0), c.Node(1), c.Node(2)
 
 	c.PauseLink(0, 2)

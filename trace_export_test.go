@@ -13,7 +13,7 @@ func TestExportTraceRoundTrip(t *testing.T) {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
 			t.Parallel()
-			c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(3), Seed: 30})
+			c := newCluster(t, Config{Consistency: cons, PlacementLists: fullPlacement(3), Seed: 30})
 			runWorkload(t, c, 10, 11)
 			data, err := c.ExportTrace()
 			if err != nil {
@@ -46,7 +46,7 @@ func TestExportTraceRoundTrip(t *testing.T) {
 }
 
 func TestExportTraceWithoutTrace(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), DisableTrace: true})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), DisableTrace: true})
 	if _, err := c.ExportTrace(); !errors.Is(err, ErrNoTrace) {
 		t.Errorf("ExportTrace = %v, want ErrNoTrace", err)
 	}

@@ -17,10 +17,10 @@ func TestAllProtocolsOnEveryTransport(t *testing.T) {
 			cons := cons
 			t.Run(string(tr)+"/"+string(cons), func(t *testing.T) {
 				c := newCluster(t, Config{
-					Consistency: cons,
-					Placement:   hoopPlacement(),
-					Seed:        3,
-					Transport:   tr,
+					Consistency:    cons,
+					PlacementLists: hoopPlacement(),
+					Seed:           3,
+					Transport:      tr,
 				})
 				runWorkload(t, c, 40, 7)
 				if err := c.VerifyWitness(); err != nil {
@@ -38,7 +38,7 @@ func TestEfficiencyTheoremOnSharded(t *testing.T) {
 	for _, cons := range []Consistency{PRAM, Slow} {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
-			cfg := Config{Consistency: cons, Placement: hoopPlacement(), Seed: 5, Transport: TransportSharded}
+			cfg := Config{Consistency: cons, PlacementLists: hoopPlacement(), Seed: 5, Transport: TransportSharded}
 			if cons == Slow {
 				cfg.NonFIFO = true
 			}
@@ -57,7 +57,7 @@ func TestEfficiencyTheoremOnSharded(t *testing.T) {
 func TestMessageCountsMatchAcrossTransports(t *testing.T) {
 	stats := make(map[Transport]Stats)
 	for _, tr := range Transports {
-		c := newCluster(t, Config{Consistency: PRAM, Placement: hoopPlacement(), Seed: 9, Transport: tr})
+		c := newCluster(t, Config{Consistency: PRAM, PlacementLists: hoopPlacement(), Seed: 9, Transport: tr})
 		for k := 0; k < 25; k++ {
 			if err := c.Node(0).Write("x", int64(k)+1); err != nil {
 				t.Fatal(err)
@@ -79,7 +79,7 @@ func TestMessageCountsMatchAcrossTransports(t *testing.T) {
 func TestTransportWorkersKnob(t *testing.T) {
 	c := newCluster(t, Config{
 		Consistency:      PRAM,
-		Placement:        hoopPlacement(),
+		PlacementLists:   hoopPlacement(),
 		Transport:        TransportSharded,
 		TransportWorkers: 1,
 	})
@@ -92,7 +92,7 @@ func TestTransportWorkersKnob(t *testing.T) {
 // TestUnknownTransportRejected checks the error path names the
 // available engines.
 func TestUnknownTransportRejected(t *testing.T) {
-	_, err := New(Config{Consistency: PRAM, Placement: hoopPlacement(), Transport: "carrier-pigeon"})
+	_, err := New(Config{Consistency: PRAM, PlacementLists: hoopPlacement(), Transport: "carrier-pigeon"})
 	if err == nil {
 		t.Fatal("unknown transport must be rejected")
 	}
@@ -104,7 +104,7 @@ func TestUnknownTransportRejected(t *testing.T) {
 // TestPauseLinkOnSharded checks the LinkController plumbing through
 // the cluster facade on the sharded engine.
 func TestPauseLinkOnSharded(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: hoopPlacement(), Seed: 2, Transport: TransportSharded})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: hoopPlacement(), Seed: 2, Transport: TransportSharded})
 	c.PauseLink(0, 2)
 	if err := c.Node(0).Write("x", 41); err != nil {
 		t.Fatal(err)

@@ -44,7 +44,7 @@ func TestByteValuesAllProtocols(t *testing.T) {
 		for _, tr := range Transports {
 			tr := tr
 			t.Run(string(cons)+"/"+string(tr), func(t *testing.T) {
-				c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(3), Seed: 5, Transport: tr})
+				c := newCluster(t, Config{Consistency: cons, PlacementLists: fullPlacement(3), Seed: 5, Transport: tr})
 				k := 0
 				var lastX, lastY []byte
 				for _, v := range testValues() {
@@ -128,7 +128,7 @@ func TestByteValuesEfficiencyPartial(t *testing.T) {
 	} {
 		tc := tc
 		t.Run(string(tc.cons), func(t *testing.T) {
-			c := newCluster(t, Config{Consistency: tc.cons, Placement: placement, Seed: 3})
+			c := newCluster(t, Config{Consistency: tc.cons, PlacementLists: placement, Seed: 3})
 			k := 0
 			for _, v := range testValues() {
 				if err := c.Node(0).Put("x", uniq(k, v)); err != nil {
@@ -163,7 +163,7 @@ func TestByteValuesEfficiencyPartial(t *testing.T) {
 // variables, fresh copies from Get (mutating the result must not
 // corrupt the replica), append-into semantics for GetInto.
 func TestGetSemantics(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), Seed: 1})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), Seed: 1})
 	h := c.Node(0)
 	v, err := h.Get("x")
 	if err != nil {
@@ -206,7 +206,7 @@ func TestGetSemantics(t *testing.T) {
 
 // TestValueTooLarge pins the MaxValueLen guard on every write surface.
 func TestValueTooLarge(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), Seed: 1, DisableTrace: true})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), Seed: 1, DisableTrace: true})
 	huge := make([]byte, MaxValueLen+1)
 	if err := c.Node(0).Put("x", huge); err == nil {
 		t.Error("Put accepted an over-limit value")
@@ -228,7 +228,7 @@ func TestPutAsyncAllProtocols(t *testing.T) {
 	for _, cons := range Consistencies {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
-			c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(3), Seed: 9})
+			c := newCluster(t, Config{Consistency: cons, PlacementLists: fullPlacement(3), Seed: 9})
 			h := c.Node(0)
 			pend := make([]Pending, 0, n)
 			var last []byte
@@ -281,7 +281,7 @@ func TestPutAsyncAllProtocols(t *testing.T) {
 // whose Wait never blocks, even with nothing delivered yet.
 func TestPutAsyncWaitFreeIsImmediate(t *testing.T) {
 	for _, cons := range []Consistency{PRAM, Slow, CausalFull, CausalPartial, CausalHoopAware} {
-		c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(2), Seed: 1, DisableTrace: true})
+		c := newCluster(t, Config{Consistency: cons, PlacementLists: fullPlacement(2), Seed: 1, DisableTrace: true})
 		p, err := c.Node(0).PutAsync("x", []byte("v"))
 		if err != nil {
 			t.Fatal(err)
@@ -304,7 +304,7 @@ func TestBatchOneFramePerDestination(t *testing.T) {
 	for _, tr := range Transports {
 		tr := tr
 		t.Run(string(tr), func(t *testing.T) {
-			c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(nodes), Seed: 1, Transport: tr})
+			c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(nodes), Seed: 1, Transport: tr})
 			b := Batch{}
 			for i := 0; i < k; i++ {
 				b = b.PutInt64("x", int64(i)+1)
@@ -341,7 +341,7 @@ func TestBatchSemanticsAllProtocols(t *testing.T) {
 	for _, cons := range Consistencies {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
-			c := newCluster(t, Config{Consistency: cons, Placement: fullPlacement(3), Seed: 4})
+			c := newCluster(t, Config{Consistency: cons, PlacementLists: fullPlacement(3), Seed: 4})
 			big := bytes.Repeat([]byte{0x5A}, 1024)
 			res, err := c.Node(0).Apply(Batch{}.
 				Put("x", []byte("first")).
@@ -386,7 +386,7 @@ func TestBatchSemanticsAllProtocols(t *testing.T) {
 // TestBatchErrorStopsButFlushes: an error mid-batch surfaces, earlier
 // updates still propagate (the bracket is released on the error path).
 func TestBatchErrorStopsButFlushes(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(3), Seed: 2})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(3), Seed: 2})
 	_, err := c.Node(0).Apply(Batch{}.
 		Put("x", []byte("kept")).
 		Put("nosuchvar", []byte("boom")).
@@ -413,7 +413,7 @@ func TestQuiesceFailsFastOnPausedBacklog(t *testing.T) {
 	for _, tr := range Transports {
 		tr := tr
 		t.Run(string(tr), func(t *testing.T) {
-			c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(3), Seed: 6, Transport: tr})
+			c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(3), Seed: 6, Transport: tr})
 			c.PauseLink(0, 2)
 			if err := c.Node(0).Write("x", 1); err != nil {
 				t.Fatal(err)
@@ -454,8 +454,8 @@ func TestQuiesceFailsFastOnPausedBacklog(t *testing.T) {
 // error, not a silent dedup.
 func TestConfigRejectsDuplicatePlacementEntry(t *testing.T) {
 	_, err := New(Config{
-		Consistency: PRAM,
-		Placement:   [][]string{{"x", "y", "x"}, {"y"}},
+		Consistency:    PRAM,
+		PlacementLists: [][]string{{"x", "y", "x"}, {"y"}},
 	})
 	if err == nil {
 		t.Fatal("duplicate variable in a placement entry accepted")
@@ -471,7 +471,7 @@ func TestConfigRejectsDuplicatePlacementEntry(t *testing.T) {
 // and re-verifies it offline, covering the valb JSON encoding end to
 // end.
 func TestByteValueTraceRoundTrip(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), Seed: 8})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), Seed: 8})
 	k := 0
 	for _, v := range testValues() {
 		if err := c.Node(0).Put("x", uniq(k, v)); err != nil {
@@ -515,11 +515,11 @@ func TestPutAsyncNonFIFODegradesToSync(t *testing.T) {
 		cons := cons
 		t.Run(string(cons), func(t *testing.T) {
 			c := newCluster(t, Config{
-				Consistency: cons,
-				Placement:   fullPlacement(3),
-				Seed:        13,
-				NonFIFO:     true,
-				MaxLatency:  500 * time.Microsecond, // real reordering pressure
+				Consistency:    cons,
+				PlacementLists: fullPlacement(3),
+				Seed:           13,
+				NonFIFO:        true,
+				MaxLatency:     500 * time.Microsecond, // real reordering pressure
 			})
 			h := c.Node(1) // non-primary/non-sequencer writer
 			for k := 0; k < 6; k++ {
@@ -553,7 +553,7 @@ func TestPutAsyncNonFIFODegradesToSync(t *testing.T) {
 // values: they survive the history JSON and exported-trace round
 // trips instead of decoding as the int64 word 0.
 func TestEmptyValueJSONRoundTrip(t *testing.T) {
-	c := newCluster(t, Config{Consistency: PRAM, Placement: fullPlacement(2), Seed: 14})
+	c := newCluster(t, Config{Consistency: PRAM, PlacementLists: fullPlacement(2), Seed: 14})
 	if err := c.Node(0).Put("x", []byte{}); err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func TestVirtualLatencyQuiesceWallClock(t *testing.T) {
 	for _, tr := range Transports {
 		t.Run(string(tr), func(t *testing.T) {
 			c := newCluster(t, Config{
-				Consistency: PRAM, Placement: fullPlacement(4),
+				Consistency: PRAM, PlacementLists: fullPlacement(4),
 				MaxLatency: 50 * time.Millisecond, VirtualLatency: true,
 				Seed: 1, Transport: tr,
 			})
@@ -96,7 +96,7 @@ func TestVirtualLatencyTraceIdenticalAcrossTransports(t *testing.T) {
 			for _, kind := range []string{"rec-classic", "rec-sharded"} {
 				for rep := 0; rep < 3; rep++ {
 					c := newCluster(t, Config{
-						Consistency: PRAM, Placement: placement, Seed: 7,
+						Consistency: PRAM, PlacementLists: placement, Seed: 7,
 						MaxLatency: time.Millisecond, VirtualLatency: true, LatencyDist: dist,
 						Transport: Transport(kind),
 					})
@@ -141,7 +141,7 @@ func TestVirtualLatencyAllProtocols(t *testing.T) {
 			t.Run(string(cons)+"/"+string(tr), func(t *testing.T) {
 				t.Parallel()
 				c := newCluster(t, Config{
-					Consistency: cons, Placement: fullPlacement(3),
+					Consistency: cons, PlacementLists: fullPlacement(3),
 					MaxLatency: time.Millisecond, VirtualLatency: true,
 					Seed: 4, Transport: tr,
 				})
@@ -179,7 +179,7 @@ func TestVirtualLatencyAllProtocols(t *testing.T) {
 // per-message delivery-delay histogram.
 func TestVirtualLatencyDelayStats(t *testing.T) {
 	c := newCluster(t, Config{
-		Consistency: PRAM, Placement: fullPlacement(4),
+		Consistency: PRAM, PlacementLists: fullPlacement(4),
 		MaxLatency: time.Millisecond, VirtualLatency: true, LatencyDist: LatencyFixed,
 		Seed: 2, DisableTrace: true,
 	})
@@ -204,7 +204,7 @@ func TestVirtualLatencyDelayStats(t *testing.T) {
 
 	// The real-sleep mode records no virtual delays.
 	real := newCluster(t, Config{
-		Consistency: PRAM, Placement: fullPlacement(2),
+		Consistency: PRAM, PlacementLists: fullPlacement(2),
 		MaxLatency: 50 * time.Microsecond, Seed: 2, DisableTrace: true,
 	})
 	if err := real.Node(0).Write("x", 1); err != nil {
@@ -224,7 +224,7 @@ func TestVirtualLatencyDelayStats(t *testing.T) {
 // MaxLatency that used to overflow the rng draw.
 func TestVirtualLatencyConfigValidation(t *testing.T) {
 	base := func() Config {
-		return Config{Consistency: PRAM, Placement: fullPlacement(2), Seed: 1}
+		return Config{Consistency: PRAM, PlacementLists: fullPlacement(2), Seed: 1}
 	}
 	cases := []struct {
 		name   string
@@ -257,7 +257,7 @@ func TestVirtualLatencyConfigValidation(t *testing.T) {
 
 	// MaxInt64 virtual latency: valid, deterministic, drains instantly.
 	c := newCluster(t, Config{
-		Consistency: PRAM, Placement: fullPlacement(2),
+		Consistency: PRAM, PlacementLists: fullPlacement(2),
 		MaxLatency: time.Duration(math.MaxInt64), VirtualLatency: true, Seed: 1,
 	})
 	if err := c.Node(0).Write("x", 9); err != nil {
@@ -273,7 +273,7 @@ func TestVirtualLatencyConfigValidation(t *testing.T) {
 	// A per-link matrix end to end: the slow link's messages arrive,
 	// the zero-latency links too.
 	mc := newCluster(t, Config{
-		Consistency: PRAM, Placement: fullPlacement(3),
+		Consistency: PRAM, PlacementLists: fullPlacement(3),
 		VirtualLatency: true, LatencyDist: LatencyMatrix,
 		LatencyMatrix: [][]time.Duration{
 			{0, time.Second, 0},
@@ -323,7 +323,7 @@ func TestVirtualLatencyPausedQuiesceFailsFast(t *testing.T) {
 	for _, tr := range Transports {
 		t.Run(string(tr), func(t *testing.T) {
 			c := newCluster(t, Config{
-				Consistency: PRAM, Placement: [][]string{{"x"}, {"x"}},
+				Consistency: PRAM, PlacementLists: [][]string{{"x"}, {"x"}},
 				MaxLatency: time.Millisecond, VirtualLatency: true,
 				Seed: 6, Transport: tr,
 			})
@@ -367,7 +367,7 @@ func TestVirtualLatencyWithCoalescing(t *testing.T) {
 	for _, tr := range Transports {
 		t.Run(string(tr), func(t *testing.T) {
 			c := newCluster(t, Config{
-				Consistency: PRAM, Placement: fullPlacement(3),
+				Consistency: PRAM, PlacementLists: fullPlacement(3),
 				MaxLatency: time.Millisecond, VirtualLatency: true,
 				CoalesceBatch: 16, CoalesceFlushTicks: 4,
 				Seed: 9, Transport: tr,
@@ -395,7 +395,7 @@ func TestVirtualLatencyConcurrentWorkload(t *testing.T) {
 	for _, tr := range Transports {
 		t.Run(string(tr), func(t *testing.T) {
 			c := newCluster(t, Config{
-				Consistency: PRAM, Placement: fullPlacement(4),
+				Consistency: PRAM, PlacementLists: fullPlacement(4),
 				MaxLatency: 200 * time.Microsecond, VirtualLatency: true,
 				Seed: 11, Transport: tr,
 			})
