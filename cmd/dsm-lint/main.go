@@ -1,0 +1,175 @@
+// Command dsm-lint runs the four determinism/ownership analyzers
+// (virtualtime, seededrand, maporder, poolown — see internal/lint) over
+// Go packages. It works in two modes:
+//
+// Standalone, on package patterns:
+//
+//	dsm-lint ./...
+//
+// and as a `go vet` tool, speaking vet's unitchecker protocol
+// (-V=full / -flags / per-package config file):
+//
+//	go vet -vettool=$(pwd)/bin/dsm-lint ./...
+//
+// Both modes see identical type information: standalone loads export
+// data through `go list -export`, the vet mode reads the export-data
+// map vet hands it. Exit status: 0 clean, 1 operational error, 2 (vet
+// mode) or 1 (standalone) findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"partialdsm/internal/lint"
+	"partialdsm/internal/lint/analysis"
+	"partialdsm/internal/lint/loader"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet driver probes the tool before use: -V=full must print
+	// a version line keyed to the binary's content (it becomes part of
+	// vet's cache key), -flags must describe the tool's flags.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		fmt.Printf("dsm-lint version devel buildID=%s\n", buildID())
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetMode(args[0]))
+	}
+
+	os.Exit(standalone(args))
+}
+
+// buildID hashes the executable so vet's result cache invalidates when
+// the tool changes.
+func buildID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			return fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	return "unknown"
+}
+
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsm-lint:", err)
+		return 1
+	}
+	findings, err := analysis.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsm-lint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the per-package configuration `go vet` writes for its
+// tool (cmd/go/internal/vet's Config struct; unknown fields ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMode(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsm-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dsm-lint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// Vet runs the tool over dependencies first purely to build up
+	// per-package facts; this suite keeps no cross-package facts, so a
+	// facts-only run has nothing to do.
+	if !cfg.VetxOnly {
+		if code := vetCheck(&cfg); code != 0 {
+			return code
+		}
+	}
+	if cfg.VetxOutput != "" {
+		// Facts file: empty, but its presence completes the protocol.
+		if err := os.WriteFile(cfg.VetxOutput, []byte("dsm-lint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "dsm-lint:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func vetCheck(cfg *vetConfig) int {
+	fset := token.NewFileSet()
+	imp := loader.NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	}, cfg.ImportMap)
+
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	goVersion := cfg.GoVersion
+	if goVersion != "" && !strings.HasPrefix(goVersion, "go") {
+		goVersion = "go" + goVersion
+	}
+	pkg, err := loader.Check(cfg.ImportPath, fset, files, imp, goVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "dsm-lint:", err)
+		return 1
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsm-lint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -210,7 +210,7 @@ func runVertex(node Node, g *Graph, src, i int) (int64, error) {
 				if kh >= k {
 					break
 				}
-				time.Sleep(20 * time.Microsecond)
+				time.Sleep(20 * time.Microsecond) //lint:allow realtime bounded poll backoff while spinning on a remote round counter; virtual engines advance regardless
 			}
 		}
 		// Update: x_i := min over predecessors (and self, w(i,i)=0) of

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"partialdsm/internal/lint/analysis"
+)
+
+// allowPrefix starts every suppression annotation. Grammar:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory — an annotation without one is itself a
+// diagnostic. An annotation covers its own line and the next line, or
+// the whole function when it appears in the function's doc comment.
+const allowPrefix = "//lint:allow"
+
+// span is a line range [from, to] within one file that one annotation
+// covers.
+type span struct {
+	file     string
+	from, to int
+}
+
+// allowSet indexes a package's //lint:allow annotations.
+type allowSet struct {
+	fset     *token.FileSet
+	byCheck  map[string][]span
+	bad      map[string][]badAllow // malformed annotations by check token
+	unknown  []badAllow            // annotations with an unrecognized check token
+	testFile map[string]bool
+}
+
+type badAllow struct {
+	pos token.Pos
+	msg string
+}
+
+// allowsOf parses the annotations of every file in the pass. The
+// result is cheap enough to rebuild per analyzer; each analyzer then
+// owns reporting the malformed annotations that carry its token.
+func allowsOf(pass *analysis.Pass) *allowSet {
+	as := &allowSet{
+		fset:     pass.Fset,
+		byCheck:  make(map[string][]span),
+		bad:      make(map[string][]badAllow),
+		testFile: make(map[string]bool),
+	}
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(file, "_test.go") {
+			as.testFile[file] = true
+		}
+		// Doc-comment annotations cover their whole declaration.
+		funcSpans := make(map[*ast.Comment]span)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				funcSpans[c] = span{
+					file: file,
+					from: pass.Fset.Position(fd.Pos()).Line,
+					to:   pass.Fset.Position(fd.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					as.unknown = append(as.unknown, badAllow{c.Pos(), "//lint:allow needs a check name and a reason"})
+					continue
+				}
+				check := fields[0]
+				if !checkNames[check] {
+					as.unknown = append(as.unknown, badAllow{c.Pos(), "//lint:allow " + check + ": unknown check"})
+					continue
+				}
+				if len(fields) < 2 {
+					as.bad[check] = append(as.bad[check], badAllow{c.Pos(),
+						"//lint:allow " + check + " needs a reason: the allowlist documents why each exception is sound"})
+					continue
+				}
+				sp, ok := funcSpans[c]
+				if !ok {
+					line := pass.Fset.Position(c.Pos()).Line
+					sp = span{file: file, from: line, to: line + 1}
+				}
+				as.byCheck[check] = append(as.byCheck[check], sp)
+			}
+		}
+	}
+	return as
+}
+
+// allowed reports whether pos is covered by an annotation for check.
+func (as *allowSet) allowed(check string, pos token.Pos) bool {
+	p := as.fset.Position(pos)
+	for _, sp := range as.byCheck[check] {
+		if sp.file == p.Filename && sp.from <= p.Line && p.Line <= sp.to {
+			return true
+		}
+	}
+	return false
+}
+
+// inTestFile reports whether pos is in a _test.go file — tests drive
+// wall-clock deadlines and scratch rngs by design, so the suite skips
+// them.
+func (as *allowSet) inTestFile(pos token.Pos) bool {
+	return as.testFile[as.fset.Position(pos).Filename]
+}
+
+// reportBad reports the malformed annotations carrying this check's
+// token. The virtualtime analyzer additionally owns the
+// unknown-check-token reports (exactly one analyzer must, or every
+// finding would appear four times).
+func (as *allowSet) reportBad(pass *analysis.Pass, check string, ownUnknown bool) {
+	for _, b := range as.bad[check] {
+		pass.Reportf(b.pos, "%s", b.msg)
+	}
+	if ownUnknown {
+		for _, b := range as.unknown {
+			pass.Reportf(b.pos, "%s", b.msg)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repo's build environment carries no module dependencies, so the
+// dsm-lint suite (internal/lint) is written against this shim instead
+// of x/tools. The shapes are kept intentionally identical — Analyzer
+// {Name, Doc, Run}, Pass {Fset, Files, Pkg, TypesInfo, Report} — so
+// porting the analyzers to the real framework is a mechanical import
+// swap if x/tools ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check. Run is called once per
+// package with a fully type-checked Pass and reports findings through
+// pass.Report; the returned value is ignored by this driver (the
+// x/tools slot for inter-analyzer results).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags
+	// and //lint:allow annotations. It must be a valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and the sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Package is the loader-independent unit of analysis: syntax plus
+// type information, as produced by internal/lint/loader or the
+// unitchecker config path in cmd/dsm-lint.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Finding pairs a diagnostic with the analyzer that produced it and
+// its resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file, line, column and analyzer name — a deterministic
+// order regardless of analyzer scheduling.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on
+// allocated, shared by the loader and the unitchecker path.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

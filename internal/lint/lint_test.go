@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"partialdsm/internal/lint"
+	"partialdsm/internal/lint/linttest"
+)
+
+func TestVirtualTime(t *testing.T) { linttest.Run(t, lint.VirtualTime, "virtualtime") }
+func TestSeededRand(t *testing.T)  { linttest.Run(t, lint.SeededRand, "seededrand") }
+func TestMapOrder(t *testing.T)    { linttest.Run(t, lint.MapOrder, "maporder") }
+func TestPoolOwn(t *testing.T)     { linttest.Run(t, lint.PoolOwn, "poolown") }
+
+// buildLint compiles the dsm-lint binary into the test's temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dsm-lint")
+	cmd := exec.Command("go", "build", "-o", bin, "partialdsm/cmd/dsm-lint")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building dsm-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRepoIsClean is the enforcement test: the tree must stay free of
+// dsm-lint findings (fix the code or annotate with a reason).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and sweeps the whole module")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("dsm-lint ./... found violations:\n%s", out)
+	}
+}
+
+// TestGoVetVettool drives the real `go vet -vettool` protocol
+// end-to-end: version/flags probe, per-package config files, export
+// data, facts files.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over the whole module")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=dsm-lint ./...: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,254 @@
+// Package linttest is an analysistest-style harness for the dsm-lint
+// analyzers: it type-checks a fixture package under testdata/src,
+// runs one analyzer over it, and matches the diagnostics against
+// `// want "regex"` expectations embedded in the fixture sources.
+//
+// Expectation grammar, one or more per comment:
+//
+//	code() // want "first regex" "second regex"
+//
+// Each expectation matches exactly one diagnostic reported on its
+// line; unmatched diagnostics and unmatched expectations both fail
+// the test. A `// want-1 "regex"` form anchors the expectation one
+// line up (generally: want<offset> with a signed offset) — needed for
+// diagnostics reported on a line whose only comment is the annotation
+// under test.
+//
+// Fixture imports resolve in two steps: a sibling directory under
+// testdata/src wins (so fixtures can import stub `netsim` and `mcs`
+// packages that mirror the real shapes dsm-lint keys on), anything
+// else is loaded as compiled export data via `go list -export`.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"partialdsm/internal/lint/analysis"
+	"partialdsm/internal/lint/loader"
+)
+
+// Run loads testdata/src/<pkgPath>, applies the analyzer, and checks
+// the diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := &fixtureImporter{root: root, fset: token.NewFileSet(), loaded: make(map[string]*analysis.Package)}
+	pkg, err := fi.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := parseWants(filepath.Join(root, filepath.FromSlash(pkgPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !consumeWant(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re.String())
+		}
+	}
+}
+
+// want is one expectation: a diagnostic on (file, line) whose message
+// matches re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe captures the optional signed line offset and the quoted
+// regexes of a want comment.
+var wantRe = regexp.MustCompile(`//\s*want([+-]\d+)?\s+(.*)`)
+
+// quotedRe captures one double-quoted or backquoted string.
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func parseWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			lineNo := i + 1
+			if m[1] != "" {
+				off, err := strconv.Atoi(strings.TrimPrefix(m[1], "+"))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want offset %q", path, lineNo, m[1])
+				}
+				lineNo += off
+			}
+			quoted := quotedRe.FindAllString(m[2], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment without a quoted regex", path, lineNo)
+			}
+			for _, q := range quoted {
+				var pat string
+				if q[0] == '`' {
+					pat = q[1 : len(q)-1]
+				} else if pat, err = strconv.Unquote(q); err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want string %s: %v", path, lineNo, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regex %q: %v", path, lineNo, pat, err)
+				}
+				wants = append(wants, &want{file: path, line: lineNo, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+func consumeWant(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// fixtureImporter type-checks fixture packages from source and
+// everything else from `go list -export` data.
+type fixtureImporter struct {
+	root   string
+	fset   *token.FileSet
+	loaded map[string]*analysis.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return stdImporter(fi.fset).Import(path)
+}
+
+func (fi *fixtureImporter) load(path string) (*analysis.Package, error) {
+	if pkg, ok := fi.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	pkg, err := loader.Check(path, fi.fset, files, fi, "")
+	if err != nil {
+		return nil, err
+	}
+	fi.loaded[path] = pkg
+	return pkg, nil
+}
+
+// stdImporter lazily builds one shared export-data lookup for the
+// standard library packages fixtures may import. `go list` compiles
+// into the build cache as needed, so this works offline.
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+// stdPkgs is the closed set of non-fixture imports fixtures may use;
+// -deps pulls in their internal dependencies.
+var stdPkgs = []string{"time", "math/rand", "sort", "fmt", "sync", "sync/atomic"}
+
+func stdImporter(fset *token.FileSet) types.Importer {
+	stdOnce.Do(func() {
+		args := append([]string{"list", "-e", "-export", "-deps", "-json"}, stdPkgs...)
+		cmd := exec.Command("go", args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			stdErr = fmt.Errorf("go list std exports: %v\n%s", err, stderr.String())
+			return
+		}
+		stdExports = make(map[string]string)
+		dec := json.NewDecoder(&stdout)
+		for {
+			var lp struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&lp); err == io.EOF {
+				break
+			} else if err != nil {
+				stdErr = err
+				return
+			}
+			if lp.Export != "" {
+				stdExports[lp.ImportPath] = lp.Export
+			}
+		}
+	})
+	if stdErr != nil {
+		return failImporter{stdErr}
+	}
+	return loader.NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := stdExports[path]
+		return f, ok
+	}, nil)
+}
+
+type failImporter struct{ err error }
+
+func (f failImporter) Import(string) (*types.Package, error) { return nil, f.err }

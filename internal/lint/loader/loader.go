@@ -1,0 +1,187 @@
+// Package loader turns `go list` package patterns into type-checked
+// analysis.Packages without depending on anything beyond the standard
+// library and the go command.
+//
+// It shells out to `go list -export -deps -json`, which compiles every
+// dependency into the build cache and reports the export-data file per
+// package. Target packages (the ones matching the patterns) are then
+// parsed from source and type-checked against that export data via the
+// standard gc importer — the same arrangement `go vet` sets up for a
+// vet tool, so the standalone dsm-lint run and the -vettool run see
+// identical type information.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"partialdsm/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load lists, parses and type-checks the packages matching the
+// patterns (plus export data for their dependency closure) in the
+// directory dir ("" = current directory).
+func Load(dir string, patterns ...string) ([]*analysis.Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	}, nil)
+
+	var pkgs []*analysis.Package
+	for _, lp := range targets {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			// No cgo in this module; type-checking half a cgo package
+			// would produce garbage findings, so refuse loudly.
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		goVersion := ""
+		if lp.Module != nil && lp.Module.GoVersion != "" {
+			goVersion = "go" + lp.Module.GoVersion
+		}
+		pkg, err := Check(lp.ImportPath, fset, files, imp, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// NewExportImporter returns a types importer resolving import paths
+// through importMap (nil = identity) and reading gc export data from
+// the file reported by lookup. Paths lookup cannot resolve fail with a
+// descriptive error.
+func NewExportImporter(fset *token.FileSet, lookup func(path string) (file string, ok bool), importMap map[string]string) types.ImporterFrom {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return &mappedImporter{gc: gc.(types.ImporterFrom), importMap: importMap}
+}
+
+type mappedImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.gc.ImportFrom(path, dir, mode)
+}
+
+// Check parses the given files and type-checks them as one package,
+// returning the analysis view. Parse and type errors are collected
+// into a single error.
+func Check(pkgPath string, fset *token.FileSet, files []string, imp types.Importer, goVersion string) (*analysis.Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", pkgPath, err)
+		}
+		syntax = append(syntax, f)
+	}
+	return CheckSyntax(pkgPath, fset, syntax, imp, goVersion)
+}
+
+// CheckSyntax type-checks already-parsed files as one package.
+func CheckSyntax(pkgPath string, fset *token.FileSet, syntax []*ast.File, imp types.Importer, goVersion string) (*analysis.Package, error) {
+	info := analysis.NewInfo()
+	var typeErrs []string
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, syntax, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type errors:\n\t%s", pkgPath, strings.Join(typeErrs, "\n\t"))
+	}
+	return &analysis.Package{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

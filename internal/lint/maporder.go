@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"partialdsm/internal/lint/analysis"
+)
+
+// MapOrder forbids ranging over a map in any function that can reach
+// the wire. Map iteration order is deliberately randomized by the
+// runtime, so a map range anywhere on a path that stages, encodes or
+// sends bytes turns into run-to-run trace divergence — the exact class
+// of bug the cross-engine byte-identical goldens exist to catch, found
+// late and expensively. Reachability is computed transitively over the
+// package's own call graph; the wire sinks are netsim.Transport.Send
+// (and engine Send implementations), the mcs.Outbox staging methods,
+// and every mcs.Enc encode method.
+//
+// Two escapes: iterate a sorted key slice (the range that merely
+// collects keys into a slice that is subsequently sorted in the same
+// function is recognized and not flagged), or annotate a genuinely
+// order-insensitive loop with //lint:allow maporder <reason>.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map iteration in functions that can reach Transport.Send/Outbox/Enc; iterate sorted keys",
+	Run:  runMapOrder,
+}
+
+// outboxWireMethods are the mcs.Outbox methods that stage or emit
+// frames.
+var outboxWireMethods = map[string]bool{
+	"Stage":     true,
+	"Emit":      true,
+	"AddTo":     true,
+	"AddToVars": true,
+	"Flush":     true,
+}
+
+// sinkName reports whether fn is a wire sink and names it for the
+// diagnostic.
+func sinkName(fn *types.Func) (string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	switch {
+	case fn.Name() == "Send" && pkgTailIs(fn.Pkg(), "netsim"):
+		return recvString(recv) + ".Send", true
+	case pkgTailIs(fn.Pkg(), "mcs") && isTypeFrom(recv, "mcs", "Outbox") && outboxWireMethods[fn.Name()]:
+		return "Outbox." + fn.Name(), true
+	case pkgTailIs(fn.Pkg(), "mcs") && isTypeFrom(recv, "mcs", "Enc"):
+		return "Enc." + fn.Name(), true
+	}
+	return "", false
+}
+
+func recvString(t types.Type) string {
+	if n := namedOf(t); n != nil {
+		return n.Obj().Name()
+	}
+	return "Transport"
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	allows := allowsOf(pass)
+	allows.reportBad(pass, "maporder", false)
+	if !inScope(pass.Pkg) {
+		return nil, nil
+	}
+
+	// decls maps the package's own functions to their syntax; the
+	// reachability fixed point runs over this set. Function literals
+	// are attributed to their enclosing declaration.
+	type funcInfo struct {
+		decl    *ast.FuncDecl
+		callees map[*types.Func]bool
+		via     string // sink (or callee chain head) that makes it wire-reaching
+	}
+	decls := make(map[*types.Func]*funcInfo)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = &funcInfo{decl: fd, callees: make(map[*types.Func]bool)}
+		}
+	}
+
+	// Seed: functions that ARE wire sinks (Enc methods, engine Send
+	// implementations analyzed in their own package) or directly call
+	// one; collect call edges for the rest.
+	for fn, info := range decls {
+		if name, ok := sinkName(fn); ok {
+			info.via = "is " + name
+			continue
+		}
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *types.Func
+			switch fun := unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callee, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+			case *ast.SelectorExpr:
+				callee, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+			}
+			if callee == nil {
+				return true
+			}
+			if name, ok := sinkName(callee); ok && info.via == "" {
+				info.via = "calls " + name
+			}
+			if _, local := decls[callee]; local {
+				info.callees[callee] = true
+			}
+			return true
+		})
+	}
+
+	// Fixed point: a caller of a wire-reaching function is
+	// wire-reaching.
+	for changed := true; changed; {
+		changed = false
+		for fn, info := range decls {
+			if info.via != "" {
+				continue
+			}
+			for callee := range info.callees {
+				if c := decls[callee]; c.via != "" {
+					info.via = fmt.Sprintf("calls %s (which %s)", callee.Name(), c.via)
+					changed = true
+					break
+				}
+			}
+			_ = fn
+		}
+	}
+
+	for _, info := range decls {
+		if info.via == "" || allows.inTestFile(info.decl.Pos()) {
+			continue
+		}
+		via := info.via
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if allows.allowed("maporder", rs.Pos()) {
+				return true
+			}
+			if collectsForSort(pass, info.decl.Body, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"map iteration order reaches the wire (function %s): collect the keys, sort them, and range over the slice — or annotate an order-insensitive loop with //lint:allow maporder <reason>",
+				via)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectsForSort recognizes the blessed sorted-iteration prologue: a
+// range over the map whose body only appends keys/values to local
+// slices, at least one of which is later passed to sort.* or slices.*
+// in the same enclosing function. The subsequent ordered loop ranges a
+// slice and needs no exemption.
+func collectsForSort(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	// Every statement of the body must be `target = append(target, ...)`
+	// (or `target := append(...)`) with target a plain local identifier.
+	targets := make(map[types.Object]bool)
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fun, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		var obj types.Object
+		if as.Tok.String() == ":=" {
+			obj = pass.TypesInfo.Defs[lhs]
+		} else {
+			obj = pass.TypesInfo.Uses[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Look for a later sort.X(target...) / slices.X(target...) call.
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := unparen(arg).(*ast.Ident); ok && targets[pass.TypesInfo.Uses[id]] {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

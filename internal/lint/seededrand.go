@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"partialdsm/internal/lint/analysis"
+)
+
+// randConstructors are the math/rand package-level functions that
+// build an explicit, locally-owned generator — the blessed way to get
+// scratch randomness in a single-goroutine driver. Everything else at
+// package level draws from the process-global stream.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// randStreamTypes are the generator/state types whose placement in a
+// struct field or package variable creates a shared stream.
+var randStreamTypes = map[string]bool{
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"PCG":      true,
+	"ChaCha8":  true,
+	"Zipf":     true,
+}
+
+func isMathRand(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
+// SeededRand forbids the two rng shapes that break cross-engine
+// determinism: the math/rand global stream (seeded per process, and
+// shared by every goroutine) and *rand.Rand values stored in struct
+// fields or package variables (a shared stream whose draw order
+// depends on how sends interleave across pairs — the PR-5 cross-engine
+// divergence). Per-message randomness must be derived as a pure
+// function of (seed, src, dst, per-pair seq): netsim.PairDraw. Local
+// rand.New(rand.NewSource(seed)) generators owned by one driver
+// goroutine remain legal.
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid math/rand global functions and shared *rand.Rand streams in deterministic code; use netsim.PairDraw",
+	Run:  runSeededRand,
+}
+
+func runSeededRand(pass *analysis.Pass) (any, error) {
+	allows := allowsOf(pass)
+	allows.reportBad(pass, "seededrand", false)
+	if !inScope(pass.Pkg) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				fn, ok := pass.TypesInfo.Uses[n].(*types.Func)
+				if !ok || !isMathRand(fn.Pkg()) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil || randConstructors[fn.Name()] {
+					return true
+				}
+				if allows.inTestFile(n.Pos()) || allows.allowed("seededrand", n.Pos()) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"rand.%s draws from the process-global stream in deterministic code: derive per-message randomness with netsim.PairDraw(domain, seed, src, dst, seq), or build a local rand.New(rand.NewSource(seed)) owned by one goroutine",
+					fn.Name())
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					t := pass.TypesInfo.TypeOf(field.Type)
+					if t == nil || !isRandStream(t) {
+						continue
+					}
+					pos := field.Pos()
+					if allows.inTestFile(pos) || allows.allowed("seededrand", pos) {
+						continue
+					}
+					pass.Reportf(pos,
+						"struct field holds a %s: a shared rng stream's draw order depends on goroutine interleaving; derive per-message randomness with netsim.PairDraw(domain, seed, src, dst, seq) instead",
+						types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+						if !ok || obj.Parent() != pass.Pkg.Scope() || !isRandStream(obj.Type()) {
+							continue
+						}
+						if allows.inTestFile(name.Pos()) || allows.allowed("seededrand", name.Pos()) {
+							continue
+						}
+						pass.Reportf(name.Pos(),
+							"package-level %s is a shared rng stream in deterministic code; derive per-message randomness with netsim.PairDraw(domain, seed, src, dst, seq) instead",
+							types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isRandStream reports whether t (through pointers) is a math/rand
+// generator or source type.
+func isRandStream(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return isMathRand(n.Obj().Pkg()) && randStreamTypes[n.Obj().Name()]
+}

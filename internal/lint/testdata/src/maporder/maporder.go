@@ -1,0 +1,74 @@
+// Package maporder exercises the maporder analyzer: map ranges in
+// functions that (transitively) reach a wire sink are flagged unless
+// the keys are collected and sorted first or the loop is annotated.
+package maporder
+
+import (
+	"sort"
+
+	"mcs"
+	"netsim"
+)
+
+type node struct {
+	net   *netsim.Net
+	out   *mcs.Outbox
+	dirty map[string]int
+}
+
+func (n *node) flushUnsorted() {
+	for x := range n.dirty { // want `map iteration order reaches the wire`
+		n.net.Send(netsim.Message{Vars: []string{x}})
+	}
+}
+
+func (n *node) flushSorted() {
+	var keys []string
+	for x := range n.dirty { // collected then sorted: the blessed shape
+		keys = append(keys, x)
+	}
+	sort.Strings(keys)
+	for _, x := range keys {
+		n.net.Send(netsim.Message{Vars: []string{x}})
+	}
+}
+
+func (n *node) flushAllowed() {
+	//lint:allow maporder fixture: destination set is a singleton here
+	for x := range n.dirty {
+		n.net.Send(netsim.Message{Vars: []string{x}})
+	}
+}
+
+// count never reaches the wire: map order is harmless bookkeeping.
+func (n *node) count() int {
+	total := 0
+	for _, v := range n.dirty {
+		total += v
+	}
+	return total
+}
+
+// transitive reach: rangeThenHelper -> helper -> Net.Send.
+func (n *node) rangeThenHelper() {
+	for x := range n.dirty { // want `map iteration order reaches the wire`
+		n.helper(x)
+	}
+}
+
+func (n *node) helper(x string) {
+	n.net.Send(netsim.Message{Vars: []string{x}})
+}
+
+// Outbox staging and Enc encoding are wire sinks too.
+func (n *node) stageUnsorted() {
+	for x := range n.dirty { // want `map iteration order reaches the wire`
+		n.out.AddTo(0, x, 1, 0)
+	}
+}
+
+func encodeMap(e *mcs.Enc, m map[uint32]uint32) {
+	for k := range m { // want `map iteration order reaches the wire`
+		e.U32(k)
+	}
+}

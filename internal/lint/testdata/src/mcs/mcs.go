@@ -1,0 +1,34 @@
+// Package mcs is a fixture stub mirroring the protocol-layer shapes
+// dsm-lint keys on: the Enc wire encoder (every method is a maporder
+// sink), the Outbox staging methods, and the pooled-payload getters
+// whose results poolown tracks.
+package mcs
+
+type Enc struct {
+	buf []byte
+}
+
+func (e *Enc) SetBuf(b []byte) { e.buf = b[:0] }
+func (e *Enc) U32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *Enc) Str(s string)  { e.buf = append(e.buf, s...) }
+func (e *Enc) Bytes() []byte { return e.buf }
+
+type Outbox struct {
+	staged int
+}
+
+func (o *Outbox) Stage(ctrl, data int)                      { o.staged++ }
+func (o *Outbox) Emit(dests []int, vars []string, c, d int) { o.staged = 0 }
+func (o *Outbox) AddTo(dst int, x string, ctrl, data int)   { o.staged++ }
+func (o *Outbox) AddToVars(dst int, xs []string, c, d int)  { o.staged++ }
+func (o *Outbox) Flush()                                    { o.staged = 0 }
+
+func GetPayload() []byte  { return make([]byte, 0, 64) }
+func PutPayload(b []byte) {}
+
+func GetSharedPayload(n int) ([]byte, *int32) {
+	refs := int32(n)
+	return make([]byte, 0, 64), &refs
+}

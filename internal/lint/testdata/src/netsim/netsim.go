@@ -1,0 +1,25 @@
+// Package netsim is a fixture stub mirroring the transport shapes
+// dsm-lint keys on: a Message with a pooled Payload and engines whose
+// Send method is a wire sink. Matching is by package-path tail, so
+// this flat "netsim" stands in for partialdsm/internal/netsim.
+package netsim
+
+type Message struct {
+	From, To int
+	Payload  []byte
+	Vars     []string
+}
+
+type Transport interface {
+	Send(Message)
+}
+
+// Net is a concrete engine; any Send method in a netsim package is a
+// maporder wire sink.
+type Net struct {
+	log []Message
+}
+
+func (n *Net) Send(m Message) {
+	n.log = append(n.log, m)
+}

@@ -1,0 +1,82 @@
+// Package poolown exercises the poolown analyzer: a pooled buffer
+// must reach a hand-off on every path, and handlers must not retain a
+// delivered Message's payload.
+package poolown
+
+import (
+	"mcs"
+	"netsim"
+)
+
+type sender struct {
+	net  *netsim.Net
+	held []byte
+}
+
+func (s *sender) leakOnBranch(urgent bool) {
+	buf := mcs.GetPayload() // want `may not reach PutPayload`
+	buf = append(buf, 1)
+	if urgent {
+		s.net.Send(netsim.Message{Payload: buf})
+	}
+	// not urgent: buf falls off the function unconsumed — the PR-6
+	// drop-vs-inflight leak shape.
+}
+
+func discardBlank() {
+	_ = mcs.GetPayload() // want `result is discarded`
+}
+
+func discardBare() {
+	mcs.GetPayload() // want `result is discarded`
+}
+
+func (s *sender) okAllPaths(urgent bool) {
+	buf := mcs.GetPayload()
+	buf = append(buf, 1)
+	if urgent {
+		s.net.Send(netsim.Message{Payload: buf})
+		return
+	}
+	mcs.PutPayload(buf)
+}
+
+func (s *sender) okReturned() []byte {
+	buf := mcs.GetPayload()
+	return append(buf, 0) // ownership moves to the caller
+}
+
+func (s *sender) leakInLoop(dests []int) {
+	for range dests {
+		buf := mcs.GetPayload() // want `may not reach PutPayload`
+		buf = append(buf, 1)
+	}
+}
+
+func (s *sender) okSharedAllowed(dests []int) {
+	if len(dests) == 0 {
+		return
+	}
+	//lint:allow poolown fixture: dests is non-empty (guarded above); every path reaches a Send
+	buf, refs := mcs.GetSharedPayload(len(dests))
+	_ = refs
+	for _, d := range dests {
+		s.net.Send(netsim.Message{To: d, Payload: buf})
+	}
+}
+
+func (s *sender) retainPayload(m netsim.Message) {
+	s.held = m.Payload // want `retains Message\.Payload past return`
+}
+
+func (s *sender) retainSubslice(m netsim.Message) {
+	s.held = m.Payload[4:] // want `retains Message\.Payload past return`
+}
+
+func (s *sender) retainCopy(m netsim.Message) {
+	s.held = append(s.held[:0], m.Payload...) // copying is the fix
+}
+
+func (s *sender) readOnly(m netsim.Message) int {
+	return len(m.Payload) + int(m.Payload[0])
+}

@@ -1,0 +1,36 @@
+// Package seededrand exercises the seededrand analyzer: the math/rand
+// global stream and shared generator storage are flagged, local
+// explicitly-seeded generators are not.
+package seededrand
+
+import "math/rand"
+
+func globalStream() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global stream`
+}
+
+func globalFloat() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global stream`
+	return rand.Float64()              // want `rand\.Float64 draws from the process-global stream`
+}
+
+type engine struct {
+	seed int64
+	rng  *rand.Rand // want `struct field holds a \*math/rand\.Rand`
+}
+
+var sharedRng = rand.New(rand.NewSource(1)) // want `package-level \*math/rand\.Rand is a shared rng stream`
+
+func localGenerator(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors and local streams are fine
+	return r.Intn(10)
+}
+
+//lint:allow seededrand fixture: scratch shuffle whose order never reaches the wire
+func allowedWholeFunc() float64 {
+	return rand.Float64()
+}
+
+type annotated struct {
+	rng *rand.Rand //lint:allow seededrand fixture: guarded by a mutex, real-latency jitter only
+}

@@ -1,0 +1,54 @@
+// Package virtualtime exercises the virtualtime analyzer: wall-clock
+// reads are flagged, pure time-value arithmetic is not, and
+// //lint:allow realtime annotations (with reasons) silence a site.
+package virtualtime
+
+import "time"
+
+func wallClock() time.Time {
+	t := time.Now()              // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return t
+}
+
+func wallChannels() {
+	<-time.After(time.Second)  // want `time\.After reads the wall clock`
+	_ = time.Tick(time.Second) // want `time\.Tick reads the wall clock`
+}
+
+func pureValues() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	t := time.Unix(0, 0)
+	u := time.Unix(1, 0)
+	if u.After(t) { // Time.After is a pure comparison, not a clock read
+		return d + u.Sub(t)
+	}
+	return d
+}
+
+// Annotated in the doc comment: the allowance covers the whole
+// function.
+//
+//lint:allow realtime fixture: real-latency path sleeps wall-clock by design
+func allowedWholeFunc() {
+	time.Sleep(time.Millisecond)
+	time.Sleep(2 * time.Millisecond)
+}
+
+func allowedPerLine() {
+	time.Sleep(time.Millisecond) //lint:allow realtime fixture: wall sleep is the point here
+	//lint:allow realtime fixture: annotation covers the next line
+	time.Sleep(time.Millisecond)
+}
+
+func missingReason() {
+	//lint:allow realtime
+	// want-1 `needs a reason`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func unknownCheck() {
+	//lint:allow wallclock misspelled check token
+	// want-1 `unknown check`
+	_ = time.Unix(0, 0)
+}

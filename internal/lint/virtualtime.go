@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"partialdsm/internal/lint/analysis"
+)
+
+// realTimeFuncs are the package time functions that read or act on the
+// wall clock. Pure constructors of duration/format values (ParseDuration,
+// Unix, Date, ...) are deterministic and stay legal.
+var realTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// VirtualTime forbids wall-clock time in deterministic code. The
+// one-seed ⇒ byte-identical-traces guarantee holds because protocol
+// and experiment schedules run entirely on the virtual clock
+// (netsim.Clock): a single time.Sleep or time.Now-derived deadline
+// reintroduces machine speed into the trace. The real-sleep latency
+// engine and wall-clock measurement of it are the only legitimate
+// users, each behind //lint:allow realtime <reason>.
+var VirtualTime = &analysis.Analyzer{
+	Name: "virtualtime",
+	Doc:  "forbid time.Now/Sleep/After/... in deterministic code; schedules belong on netsim.Clock",
+	Run:  runVirtualTime,
+}
+
+func runVirtualTime(pass *analysis.Pass) (any, error) {
+	allows := allowsOf(pass)
+	// virtualtime anchors the suite: it owns the unknown-check-token
+	// reports so they appear exactly once.
+	allows.reportBad(pass, "realtime", true)
+	if !inScope(pass.Pkg) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !realTimeFuncs[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Time.After / Time.Sub etc. are pure value comparisons,
+				// not wall-clock reads.
+				return true
+			}
+			if allows.inTestFile(id.Pos()) || allows.allowed("realtime", id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock in deterministic code: schedule on the virtual clock (netsim.Clock via Transport.Clock) instead, or annotate a real-latency path with //lint:allow realtime <reason>",
+				fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -206,6 +206,7 @@ func (o *Outbox) Emit(dests []int, vars []string, ctrl, data int) {
 		return
 	}
 	rec := o.enc.Bytes()
+	//lint:allow poolown dests is non-empty (guarded above), so every path reaches a Send adopting the refcounted buffer
 	buf, refs := GetSharedPayload(len(dests))
 	buf = append(buf, 0, 0, 0, 1) // count = 1
 	buf = append(buf, rec...)

@@ -2,6 +2,7 @@ package mcs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"partialdsm/internal/netsim"
@@ -357,7 +358,16 @@ func (r *Reconfig) participantBeginLocked() {
 		donors[donor] = append(donors[donor], xi)
 	}
 	r.donorsLeft = len(donors)
-	for donor, ids := range donors {
+	// Send requests in donor order, not map order: the requests enter
+	// the transport's global send sequence here, so map iteration order
+	// would leak into the byte-identical trace.
+	donorOrder := make([]int, 0, len(donors))
+	for donor := range donors {
+		donorOrder = append(donorOrder, donor)
+	}
+	sort.Ints(donorOrder)
+	for _, donor := range donorOrder {
+		ids := donors[donor]
 		var req Enc
 		req.SetBuf(GetPayload())
 		req.U32(r.attempt)

@@ -1,0 +1,41 @@
+package netsim
+
+// Seeded per-pair draws. Every probabilistic decision in the simulator
+// — message delay, fault injection, anything future — derives its
+// randomness as a pure function of (seed, src, dst, per-pair sequence)
+// through a splitmix64-style hash. No shared rng stream exists, so a
+// draw's value is independent of how sends interleave across pairs and
+// identical across engines and platforms. Distinct consumers separate
+// their streams with a domain constant so delay draws and fault draws
+// stay independent under the same seed.
+
+// Domain constants for PairDraw. New consumers add a constant here
+// rather than reusing one: two consumers sharing a domain would see
+// correlated draws.
+const (
+	// DomainDelay feeds the virtual-latency delay distributions (PR 5).
+	DomainDelay uint64 = 0x9e3779b97f4a7c15
+	// DomainFault feeds drop/duplicate fault injection (PR 6).
+	DomainFault uint64 = 0xd6e8feb86659fd93
+)
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit
+// avalanche, identical on every platform.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PairDraw derives one message's 64 bits of randomness from
+// (domain, seed, src, dst, per-pair sequence). The mixing is exactly
+// the PR-5 delayHash / PR-6 faultHash construction, so traces are
+// byte-identical with earlier revisions.
+func PairDraw(domain uint64, seed int64, from, to int, seq uint64) uint64 {
+	h := mix64(uint64(seed) ^ domain)
+	h = mix64(h ^ (uint64(from)<<32 | uint64(uint32(to))))
+	return mix64(h + seq*0x9e3779b97f4a7c15)
+}

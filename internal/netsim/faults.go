@@ -92,13 +92,10 @@ type FaultController interface {
 }
 
 // faultHash derives one message's fault randomness from (seed, src,
-// dst, per-pair sequence) — the delayHash shape with a different
-// mixing constant, so fault draws and delay draws are independent
-// even under the same seed value.
+// dst, per-pair sequence) — PairDraw under the fault domain, so fault
+// draws and delay draws are independent even under the same seed value.
 func faultHash(seed int64, from, to int, seq uint64) uint64 {
-	h := mix64(uint64(seed) ^ 0xd6e8feb86659fd93)
-	h = mix64(h ^ (uint64(from)<<32 | uint64(uint32(to))))
-	return mix64(h + seq*0x9e3779b97f4a7c15)
+	return PairDraw(DomainFault, seed, from, to, seq)
 }
 
 // prob32 converts a probability to a fixed-point threshold against a

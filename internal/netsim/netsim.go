@@ -156,7 +156,7 @@ type Network struct {
 	inflightA   atomic.Int64   // lock-free mirror of inflight for the idle fast path
 
 	mu       sync.Mutex
-	rng      *rand.Rand
+	rng      *rand.Rand //lint:allow seededrand real-latency jitter only (guarded by mu); virtual mode draws via PairDraw
 	handlers []Handler
 	queues   []*pairQueue // FIFO mode: one per ordered pair, lazily started
 	inflight int
@@ -325,7 +325,7 @@ func (nw *Network) send1(msg Message) {
 		go func() {
 			defer nw.wg.Done()
 			if latency > 0 {
-				time.Sleep(latency)
+				time.Sleep(latency) //lint:allow realtime real-latency engine: latency IS wall-clock sleep here
 			}
 			nw.deliver(msg)
 		}()
@@ -376,7 +376,7 @@ func (nw *Network) servePair(q *pairQueue) {
 		q.latencies = q.latencies[1:]
 		q.mu.Unlock()
 		if latency > 0 {
-			time.Sleep(latency)
+			time.Sleep(latency) //lint:allow realtime real-latency engine: FIFO pair queue sleeps wall-clock by design
 		}
 		nw.deliver(msg)
 	}

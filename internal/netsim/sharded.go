@@ -62,7 +62,7 @@ type Sharded struct {
 	quiet    *sync.Cond
 
 	latMu sync.Mutex // guards rng; taken only when MaxLatency > 0
-	rng   *rand.Rand
+	rng   *rand.Rand //lint:allow seededrand real-latency jitter only (guarded by latMu); virtual mode draws via PairDraw
 
 	bmu   sync.Mutex // serializes lazy mailbox creation
 	boxes []atomic.Pointer[mailbox]
@@ -360,7 +360,7 @@ func (nw *Sharded) serve() {
 			q.lats = q.lats[1:]
 			q.mu.Unlock()
 			if latency > 0 {
-				time.Sleep(latency)
+				time.Sleep(latency) //lint:allow realtime real-latency engine: loose-order delivery sleeps wall-clock by design
 			}
 			if nw.faults.deliverable(&msg) {
 				h := nw.handlers.Load().([]Handler)[msg.To]
@@ -436,7 +436,7 @@ func (nw *Sharded) drain(mb *mailbox) {
 			return
 		}
 		if lats != nil && lats[i] > 0 {
-			time.Sleep(lats[i])
+			time.Sleep(lats[i]) //lint:allow realtime real-latency engine: mailbox drain sleeps wall-clock by design
 		}
 		if h != nil && nw.faults.deliverable(&batch[i]) {
 			h(batch[i])

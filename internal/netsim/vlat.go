@@ -134,25 +134,12 @@ func drawRealLatency(rng *rand.Rand, max time.Duration) time.Duration {
 	return time.Duration(rng.Int63n(int64(max) + 1))
 }
 
-// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit
-// avalanche, identical on every platform.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // delayHash derives the raw 64-bit randomness of one message's delay
 // from (seed, src, dst, per-pair sequence) — no shared rng stream, so
 // the value is independent of how sends interleave across pairs and
 // identical across engines.
 func delayHash(seed int64, from, to int, seq uint64) uint64 {
-	h := mix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
-	h = mix64(h ^ (uint64(from)<<32 | uint64(uint32(to))))
-	return mix64(h + seq*0x9e3779b97f4a7c15)
+	return PairDraw(DomainDelay, seed, from, to, seq)
 }
 
 // delayFn builds the per-message delay function (in virtual ticks; one
