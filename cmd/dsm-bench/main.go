@@ -54,6 +54,7 @@ import (
 
 	"partialdsm"
 	"partialdsm/internal/bellmanford"
+	"partialdsm/internal/workload"
 )
 
 // Result is one benchmark's measurement. MsgsPerOp counts network
@@ -201,9 +202,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// medianResult combines repeated measurements into one Result, taking
-// the median of each metric independently (the deterministic metrics
-// agree across reps anyway; the median tames wall-time outliers).
+// medianResult combines repeated measurements into one Result. Wall
+// time, msgs/op and N take the per-metric median (msgs agree across
+// reps anyway; the median tames wall-time outliers). The allocation
+// metrics take the per-metric minimum: buffer-pool misses are driven
+// by GC timing and only ever add allocations and bytes on top of the
+// workload's true cost, so the minimum across reps is the
+// reproducible floor, where a median still carries whatever noise the
+// majority of reps happened to see.
 func medianResult(reps []Result) Result {
 	if len(reps) == 1 {
 		return reps[0]
@@ -220,10 +226,19 @@ func medianResult(reps []Result) Result {
 			return (vals[n/2-1] + vals[n/2]) / 2
 		}
 	}
+	min := func(get func(Result) float64) float64 {
+		best := get(reps[0])
+		for _, r := range reps[1:] {
+			if v := get(r); v < best {
+				best = v
+			}
+		}
+		return best
+	}
 	return Result{
 		NsPerOp:     med(func(r Result) float64 { return r.NsPerOp }),
-		AllocsPerOp: int64(med(func(r Result) float64 { return float64(r.AllocsPerOp) })),
-		BytesPerOp:  int64(med(func(r Result) float64 { return float64(r.BytesPerOp) })),
+		AllocsPerOp: int64(min(func(r Result) float64 { return float64(r.AllocsPerOp) })),
+		BytesPerOp:  int64(min(func(r Result) float64 { return float64(r.BytesPerOp) })),
 		MsgsPerOp:   med(func(r Result) float64 { return r.MsgsPerOp }),
 		N:           int(med(func(r Result) float64 { return float64(r.N) })),
 	}
@@ -247,10 +262,14 @@ func readTrajectory(path string) (Trajectory, error) {
 
 // metricFloor is the absolute slack per metric that absorbs pool and
 // scheduler jitter on small counts; a regression must exceed both the
-// percentage tolerance and the floor to fail the gate.
+// percentage tolerance and the floor to fail the gate. The bytes/op
+// floor is one 4 KiB pool grow plus header: on the value-size sweeps a
+// single GC-timed pool miss per op swings bytes/op by the payload
+// size, and those benchmarks' real allocation cost is gated precisely
+// by allocs/op anyway.
 var metricFloors = map[string]float64{
 	"allocs/op": 4,
-	"bytes/op":  2048,
+	"bytes/op":  8192,
 	"msgs/op":   0.5,
 }
 
@@ -400,6 +419,19 @@ func benches() []bench {
 		out = append(out, bench{
 			name: fmt.Sprintf("MigrationSweep/%s", tr),
 			fn:   func(b *testing.B, msgs *float64) { migrationSweep(b, tr, msgs) },
+		})
+	}
+	// Policy sweep: one zipfian block plus one adaptive placement
+	// decision per iteration on a 4-node PRAM cluster. The workload's
+	// hot slices rotate every iteration, so every iteration pays the
+	// whole policy loop — counter window, plan, epoch flip when the
+	// demand moved — and the msgs metric prices the adaptation churn
+	// on top of the update traffic.
+	for _, tr := range partialdsm.Transports {
+		tr := tr
+		out = append(out, bench{
+			name: fmt.Sprintf("PolicySweep/%s", tr),
+			fn:   func(b *testing.B, msgs *float64) { policySweep(b, tr, msgs) },
 		})
 	}
 	// Per-operation costs of the headline protocol.
@@ -651,6 +683,62 @@ func migrationSweep(b *testing.B, tr partialdsm.Transport, msgs *float64) {
 	}
 	b.StopTimer()
 	*msgs = float64(c.Stats().ReconfigMsgs-base) / float64(b.N)
+}
+
+// policySweep is one 150-access zipfian block plus one policy decision
+// per iteration: a 4-node cluster starts from full replication over 8
+// variables, each node draws from a zipfian anchored at its own hot
+// slice, and the slices rotate half the variable space at every
+// iteration — so GreedyPolicy (the E22 knobs) re-adapts the placement
+// over and over instead of converging once. Denied accesses are
+// workload signal (the policy reads the unmet demand), not errors.
+func policySweep(b *testing.B, tr partialdsm.Transport, msgs *float64) {
+	const nodes, vars, block = 4, 8, 150
+	pl := partialdsm.NewPlacement(nodes)
+	for n := 0; n < nodes; n++ {
+		pl.Assign(n, workload.VarNames(vars)...)
+	}
+	cfg := partialdsm.Config{
+		Consistency:    partialdsm.PRAM,
+		Placement:      pl,
+		Seed:           1,
+		DisableTrace:   true,
+		Transport:      tr,
+		MaxLatency:     100 * time.Microsecond,
+		VirtualLatency: true,
+	}
+	c, err := partialdsm.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	gen := workload.NewZipfMix(14, nodes, vars, 1.6, 0.65)
+	driver := c.NewPolicyDriver(&partialdsm.GreedyPolicy{
+		MinTotal:      20,
+		HotThreshold:  8,
+		IdleThreshold: 1,
+	}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Rotate(vars / 2)
+		for k := 0; k < block; k++ {
+			a := gen.Next()
+			h := c.Node(a.Node)
+			if a.Read {
+				_, _ = h.Read(a.Var)
+			} else {
+				_ = h.Write(a.Var, int64(i*block+k+1))
+			}
+		}
+		if err := c.Quiesce(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := driver.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	*msgs = float64(c.Stats().Msgs) / float64(b.N)
 }
 
 // bellmanFord is one full distributed shortest-path run per iteration.

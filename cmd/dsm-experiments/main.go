@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dsm-experiments [-exp all|fig1…fig6|thm1|thm2|scaling|degree|bellmanford|hierarchy|ablation|openquestion|separation|latency|faults|chaos|migrate] [-seed N]
+//	dsm-experiments [-exp all|fig1…fig6|thm1|thm2|scaling|degree|bellmanford|hierarchy|ablation|openquestion|separation|latency|faults|chaos|migrate|policy] [-seed N]
 //	                [-transport classic|sharded]
 //	                [-coalesce 1] [-flush-ticks 4] [-adaptive]
 //	                [-virtual-latency] [-latency-dist uniform|fixed|heavytail]
@@ -44,7 +44,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsm-experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run (all, fig1…fig6, thm1, thm2, scaling, degree, bellmanford, hierarchy, ablation, openquestion, separation, latency, faults, chaos, migrate)")
+	exp := fs.String("exp", "all", "experiment to run (all, fig1…fig6, thm1, thm2, scaling, degree, bellmanford, hierarchy, ablation, openquestion, separation, latency, faults, chaos, migrate, policy)")
 	seed := fs.Int64("seed", 1, "seed for randomized experiments")
 	sizes := fs.String("sizes", "4,8,16,24", "comma-separated ring sizes for the scaling sweep")
 	ops := fs.Int("ops", 30, "operations per node for workload-driven experiments")
@@ -130,6 +130,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reports = []experiments.Report{experiments.Chaos(*seed)}
 	case "migrate":
 		reports = []experiments.Report{experiments.Migrate(*seed)}
+	case "policy":
+		reports = []experiments.Report{experiments.Policy(*seed)}
 	default:
 		fmt.Fprintf(stderr, "dsm-experiments: unknown experiment %q\n", *exp)
 		return 2

@@ -258,6 +258,18 @@ func (m *CacheMonitor) extend(x string, w writeID) (int, error) {
 	return q, nil
 }
 
+// Sequenced reports whether the write (writer, wseq, val) already
+// holds a position in x's global apply order. The offline witness uses
+// it to schedule its replay: a node parking at a recovery or migration
+// anchor resumes once the anchored write has been sequenced by some
+// other node's events.
+func (m *CacheMonitor) Sequenced(x string, writer, wseq int, val model.Value) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, known := m.index[x][writeID{writer, wseq, val}]
+	return known
+}
+
 // Feed implements Monitor.
 func (m *CacheMonitor) Feed(node int, e Event) error {
 	m.mu.Lock()

@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
 	"partialdsm/internal/model"
 )
@@ -40,6 +41,12 @@ type Event struct {
 	WSeq      int // write/recovery/migration events: per-writer program-order index
 	Var       string
 	Val       model.Value
+	// Epoch stamps the placement epoch the event happened under.
+	// Protocols whose witness is location-sensitive (the atomic
+	// register's "applies only at the owner" condition) must stamp it,
+	// because ownership migrates across epochs; the other witnesses
+	// ignore it. Zero for protocols that never reconfigure ownership.
+	Epoch uint64
 }
 
 // String renders the event compactly for error messages.
@@ -220,45 +227,111 @@ func WitnessSlow(numProcs int, logs [][]Event) error {
 //     writes to x appear with increasing WSeq (the writer's program
 //     order restricted to x survives sequencing).
 //
-// Crash recovery weakens the per-node condition at the boundary: a
-// recovery event re-anchors the node's position in the variable's
-// global order at the recovered write (the skipped prefix was slept
-// through, not reordered), and from then on the node's applies must
-// hit strictly advancing positions of the order — a necessary
-// condition rather than the exact prefix alignment of an uninterrupted
-// node.
+// Crash recovery and epoch migration weaken the per-node condition at
+// the boundary: a recovery or migration event re-anchors the node's
+// position in the variable's global order at the adopted write (the
+// skipped prefix was slept through or spent outside the clique, not
+// reordered), and from then on the node's applies must hit strictly
+// advancing positions of the order — a necessary condition rather
+// than the exact prefix alignment of an uninterrupted node.
+//
+// Cache consistency carries no cross-variable constraint, so the
+// replay is scheduled per variable: each node's subsequence of events
+// touching x is fed in its local order, and a node parks at an anchor
+// (recovery or migration with a real value) until the anchored write
+// has been sequenced by some other node's replay. Under placement
+// churn every log may contain anchors — a node sheds x in one epoch
+// and regains it in a later one — so the order-defining history of an
+// epoch can live on any node; the parking rule reconstructs the
+// cross-epoch chain regardless of which nodes carry which fragment.
+// When every remaining node is parked (an anchor's write completed
+// through recovery without any surviving apply), the lowest one is
+// forced: the monitor enters the anchored write itself.
 func WitnessCache(numProcs int, logs [][]Event) error {
 	if len(logs) != numProcs {
 		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
 	}
-	// Replay through the online monitor. Nodes with uninterrupted logs
-	// go first: they define each variable's global apply order, so the
-	// recovered nodes' anchors resolve against it.
 	m := NewCacheMonitor(numProcs)
-	feed := func(recovered bool) error {
-		for i, log := range logs {
-			hasRec := false
-			for _, e := range log {
-				if e.IsRecover || e.IsMigrate {
-					hasRec = true
-					break
+	var vars []string
+	sub := make(map[string][][]Event)
+	for i, log := range logs {
+		for _, e := range log {
+			if sub[e.Var] == nil {
+				vars = append(vars, e.Var)
+				sub[e.Var] = make([][]Event, numProcs)
+			}
+			sub[e.Var][i] = append(sub[e.Var][i], e)
+		}
+	}
+	for _, x := range vars {
+		if err := witnessCacheVar(m, x, sub[x]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// witnessCacheVar replays one variable's per-node subsequences through
+// the monitor. Nodes whose subsequence holds no anchor go first (their
+// uninterrupted prefixes define the early order, matching the replay
+// order the anchored nodes resolve against); the anchored nodes then
+// run under the parking worklist described on WitnessCache.
+func witnessCacheVar(m *CacheMonitor, x string, sub [][]Event) error {
+	cur := make([]int, len(sub))
+	anchored := func(i int) bool {
+		for _, e := range sub[i] {
+			if e.IsRecover || e.IsMigrate {
+				return true
+			}
+		}
+		return false
+	}
+	for i, events := range sub {
+		if anchored(i) {
+			continue
+		}
+		for _, e := range events {
+			if err := m.Feed(i, e); err != nil {
+				return err
+			}
+		}
+		cur[i] = len(events)
+	}
+	for {
+		progress, done := false, true
+		for i := range sub {
+			for cur[i] < len(sub[i]) {
+				e := sub[i][cur[i]]
+				if (e.IsRecover || e.IsMigrate) && e.Writer >= 0 && !m.Sequenced(x, e.Writer, e.WSeq, e.Val) {
+					break // parked until the anchored write is known
 				}
-			}
-			if hasRec != recovered {
-				continue
-			}
-			for _, e := range log {
 				if err := m.Feed(i, e); err != nil {
 					return err
 				}
+				cur[i]++
+				progress = true
+			}
+			if cur[i] < len(sub[i]) {
+				done = false
 			}
 		}
-		return nil
+		if done {
+			return nil
+		}
+		if !progress {
+			// Every remaining node is parked on an unknown anchor:
+			// force the lowest one — Feed enters the write itself.
+			for i := range sub {
+				if cur[i] < len(sub[i]) {
+					if err := m.Feed(i, sub[i][cur[i]]); err != nil {
+						return err
+					}
+					cur[i]++
+					break
+				}
+			}
+		}
 	}
-	if err := feed(false); err != nil {
-		return err
-	}
-	return feed(true)
 }
 
 // WitnessAtomic validates per-node event logs of a primary-based
@@ -337,6 +410,110 @@ func WitnessAtomic(numProcs int, logs [][]Event, primaryOf func(string) int) err
 			p, ok := pos[e.Var][e.Val]
 			if !ok {
 				return fmt.Errorf("check: node %d event %d: %v returns a value never applied at the primary", i, k, e)
+			}
+			if p+1 < last[e.Var] {
+				return fmt.Errorf("check: node %d event %d: %v observes position %d after position %d (register went backward)",
+					i, k, e, p, last[e.Var]-1)
+			}
+			if p+1 > last[e.Var] {
+				last[e.Var] = p + 1
+			}
+		}
+	}
+	return nil
+}
+
+// WitnessAtomicDynamic generalizes WitnessAtomic to migratable
+// ownership: ownerAt(x, epoch) resolves which node held x's
+// authoritative copy under the placement committed at or before that
+// epoch (ok=false when the variable is unknown). Apply, recovery and
+// migration events must sit at the owner of their stamped epoch, and
+// the register's apply sequence is reconstructed in epoch order — per
+// epoch exactly one owner applies, so within an epoch the owner's log
+// order is the register order, and the handoff's migration event
+// splices the sequences (the transferred value is already known, so it
+// re-enters at its old position; a ⊥-reset migration, recorded when no
+// donor survived, excuses the variable like a ⊥-reset recovery does).
+// The per-node monotone-observation condition is unchanged.
+func WitnessAtomicDynamic(numProcs int, logs [][]Event, ownerAt func(x string, epoch uint64) (int, bool)) error {
+	if len(logs) != numProcs {
+		return fmt.Errorf("check: %d logs for %d processes", len(logs), numProcs)
+	}
+	// Collect each variable's apply-side events across all nodes.
+	type applyEv struct {
+		node, k int
+		e       Event
+	}
+	byVar := make(map[string][]applyEv)
+	var varNames []string
+	for i, log := range logs {
+		for k, e := range log {
+			if e.IsRead {
+				continue
+			}
+			if own, ok := ownerAt(e.Var, e.Epoch); ok && own != i {
+				return fmt.Errorf("check: node %d event %d: %v applied away from epoch-%d owner %d", i, k, e, e.Epoch, own)
+			}
+			if _, seen := byVar[e.Var]; !seen {
+				varNames = append(varNames, e.Var)
+			}
+			byVar[e.Var] = append(byVar[e.Var], applyEv{node: i, k: k, e: e})
+		}
+	}
+	sort.Strings(varNames)
+	// Reconstruct each register's apply sequence in (epoch, log index)
+	// order. One owner per epoch means events of an epoch come from a
+	// single node's log, so the within-epoch order is well defined.
+	pos := make(map[string]map[model.Value]int)
+	reset := make(map[string]bool)
+	for _, x := range varNames {
+		evs := byVar[x]
+		sort.SliceStable(evs, func(a, b int) bool {
+			if evs[a].e.Epoch != evs[b].e.Epoch {
+				return evs[a].e.Epoch < evs[b].e.Epoch
+			}
+			return evs[a].k < evs[b].k
+		})
+		for _, ae := range evs {
+			e := ae.e
+			if e.IsRecover || e.IsMigrate {
+				if e.Writer < 0 {
+					reset[x] = true
+					continue
+				}
+				if pos[x] == nil {
+					pos[x] = make(map[model.Value]int)
+				}
+				if _, known := pos[x][e.Val]; !known {
+					pos[x][e.Val] = len(pos[x])
+				}
+				continue
+			}
+			if pos[x] == nil {
+				pos[x] = make(map[model.Value]int)
+			}
+			if _, dup := pos[x][e.Val]; dup {
+				return fmt.Errorf("check: node %d event %d: value %v applied twice to %s", ae.node, ae.k, e.Val, x)
+			}
+			pos[x][e.Val] = len(pos[x])
+		}
+	}
+	// Per-node monotone observation, as in WitnessAtomic.
+	for i, log := range logs {
+		last := make(map[string]int)
+		for k, e := range log {
+			if !e.IsRead || reset[e.Var] {
+				continue
+			}
+			if e.Val == model.Bottom {
+				if last[e.Var] > 0 {
+					return fmt.Errorf("check: node %d event %d: %v after observing a written value", i, k, e)
+				}
+				continue
+			}
+			p, ok := pos[e.Var][e.Val]
+			if !ok {
+				return fmt.Errorf("check: node %d event %d: %v returns a value never applied at the owner", i, k, e)
 			}
 			if p+1 < last[e.Var] {
 				return fmt.Errorf("check: node %d event %d: %v observes position %d after position %d (register went backward)",

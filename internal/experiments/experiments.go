@@ -905,6 +905,7 @@ func All(seed int64) []Report {
 		Faults(seed),
 		Chaos(seed),
 		Migrate(seed),
+		Policy(seed),
 	}
 }
 

@@ -96,6 +96,12 @@ func TestMigrateReport(t *testing.T) {
 	}
 }
 
+func TestPolicyReport(t *testing.T) {
+	if rep := Policy(13); !rep.Pass {
+		t.Errorf("policy report failed:\n%s", rep)
+	}
+}
+
 func TestReportString(t *testing.T) {
 	rep := Fig1()
 	s := rep.String()

@@ -12,36 +12,41 @@ import (
 
 // Migrate runs experiment E21: live epoch-based placement migrations
 // under continuous drop/dup churn. A seeded schedule derives a
-// sequence of ring-placement rotations; every reconfigurable protocol
-// must carry each flip — propose, fence, state transfer, commit — on
-// both engines while the ack/retransmit layer masks the churn, with
-// the transferred values readable on every gaining replica and the
-// consistency witness intact across all epochs. A refusal leg pins
-// the contract for the fixed-topology protocols (atomic and cache
-// consistency reject Reconfigure with a descriptive error), and a
-// stall leg pins the abort path: an attempt whose proposal is lost to
-// an unhealed cut burns its virtual-time budget, aborts with
-// ErrOpDeadline, and leaves the old epoch fully consistent.
+// sequence of ring-placement rotations; every protocol — all eight
+// reconfigure since the v10 ownership-handoff work — must carry each
+// flip (propose, fence, state transfer, commit) on both engines while
+// the ack/retransmit layer masks the churn, with the transferred
+// values readable on every gaining replica and the consistency
+// witness intact across all epochs. For the owner-based protocols the
+// rotations also move each variable's primary/sequencer implicitly; a
+// dedicated handoff leg additionally walks explicit owner pins across
+// a fixed clique so the handoff window itself (drain, transfer, flip)
+// is crossed by foreign writes every step. A stall leg pins the abort
+// path: an attempt whose proposal is lost to an unhealed cut burns
+// its virtual-time budget, aborts with ErrOpDeadline, and leaves the
+// old epoch fully consistent.
 //
 // As in E20, everything the verdict tables contain is rebuilt
 // independently per engine and must come out byte-identical: the
 // rotation schedule, the fault draws, the migration handshakes and
 // the epoch numbers all ride the same deterministic virtual clock.
 func Migrate(seed int64) Report {
-	rp := newReporter("E21", "dynamic placement — live epoch migrations under drop/dup churn; refusals; stall abort; exact PRAM across flips")
+	rp := newReporter("E21", "dynamic placement — live epoch migrations under drop/dup churn; owner handoffs; stall abort; exact PRAM across flips")
 
 	const nodes, flips = 4, 4
 	reconfigurables := []partialdsm.Consistency{
 		partialdsm.PRAM, partialdsm.Slow, partialdsm.CausalFull,
 		partialdsm.CausalPartial, partialdsm.CausalHoopAware, partialdsm.Sequential,
+		partialdsm.Atomic, partialdsm.CacheConsistency,
 	}
-	fixed := []partialdsm.Consistency{partialdsm.Atomic, partialdsm.CacheConsistency}
+	owned := []partialdsm.Consistency{partialdsm.Atomic, partialdsm.CacheConsistency}
 
 	engines := []string{"classic", "sharded"}
 	tables := make(map[string][]string)
 	var reconfigMsgs int64
 	for _, engine := range engines {
 		offsets := migratePlan(seed, nodes, flips)
+		walk := migrateHandoffPlan(seed, 3, flips)
 		tables[engine] = append(tables[engine], "schedule "+migrateRenderPlan(offsets))
 		for _, cons := range reconfigurables {
 			verdict, st := migrateVerdict(engine, cons, seed, nodes, offsets)
@@ -51,9 +56,9 @@ func Migrate(seed int64) Report {
 				reconfigMsgs += st.ReconfigMsgs
 			}
 		}
-		for _, cons := range fixed {
+		for _, cons := range owned {
 			tables[engine] = append(tables[engine],
-				fmt.Sprintf("%-6s %-18s %s", "refuse", cons, migrateRefusalVerdict(engine, cons, seed)))
+				fmt.Sprintf("%-6s %-18s %s", "owner", cons, migrateHandoffVerdict(engine, cons, seed, walk)))
 		}
 		tables[engine] = append(tables[engine],
 			fmt.Sprintf("%-6s %-18s %s", "stall", partialdsm.PRAM, migrateStallVerdict(engine, seed)))
@@ -84,15 +89,15 @@ func Migrate(seed int64) Report {
 		}
 	}
 	rp.checkf(churnOK,
-		"every reconfigurable protocol carries %d live migrations under drop/dup churn with values transferred and witness intact", flips)
-	refuseOK := true
+		"all eight protocols carry %d live migrations under drop/dup churn with values transferred and witness intact", flips)
+	handoffOK := true
 	for _, line := range tables["classic"] {
-		if strings.HasPrefix(line, "refuse ") && !strings.Contains(line, "refused:") {
-			refuseOK = false
+		if strings.HasPrefix(line, "owner ") && !strings.Contains(line, "ok") {
+			handoffOK = false
 		}
 	}
-	rp.checkf(refuseOK,
-		"the fixed-topology protocols reject Reconfigure with a descriptive error and keep epoch 0")
+	rp.checkf(handoffOK,
+		"the owner protocols walk the primary/sequencer across a fixed clique under churn, foreign writes crossing every handoff window")
 	stallOK := true
 	for _, line := range tables["classic"] {
 		if strings.HasPrefix(line, "stall ") && !strings.Contains(line, "aborted with ErrOpDeadline") {
@@ -222,38 +227,85 @@ func migrateVerdict(engine string, cons partialdsm.Consistency, seed int64, node
 	return fmt.Sprintf("ok (%d flips committed, final epoch %d, witness intact)", len(offsets), c.Epoch()), c.Stats()
 }
 
-// migrateRefusalVerdict pins the contract for the fixed-topology
-// protocols: Reconfigure is rejected with a descriptive error naming
-// the construction-time assignment that would need an ownership
-// handoff, and the cluster stays fully usable on epoch 0.
-func migrateRefusalVerdict(engine string, cons partialdsm.Consistency, seed int64) string {
+// migrateHandoffPlan derives the owner walk from the seed alone: a
+// sequence of clique members, each different from the one before, so
+// every step is a real primary/sequencer handoff.
+func migrateHandoffPlan(seed int64, nodes, steps int) []int {
+	rng := rand.New(rand.NewSource(seed*53 + 29))
+	walk := make([]int, steps)
+	cur := 0
+	for i := range walk {
+		cur = (cur + 1 + rng.Intn(nodes-1)) % nodes
+		walk[i] = cur
+	}
+	return walk
+}
+
+// migrateHandoffVerdict walks x's and y's owner — the per-variable
+// primary (Atomic) or sequencer (CacheConsistency) — through the
+// seeded walk over a fixed three-node full-replication clique, under
+// the same drop/dup churn as the rotation legs. Every step a foreign
+// write (issued by a non-owner) crosses the freshly installed owner,
+// and every replica must converge to it; the witness check at the end
+// replays the whole multi-epoch history against the owner of record
+// at each operation's epoch.
+func migrateHandoffVerdict(engine string, cons partialdsm.Consistency, seed int64, walk []int) string {
 	c, err := partialdsm.New(partialdsm.Config{
-		Consistency:    cons,
-		Placement:      partialdsm.PlacementFromLists([][]string{{"x"}, {"x"}}),
+		Consistency: cons,
+		Placement: partialdsm.NewPlacement(3).
+			Assign(0, "x", "y").Assign(1, "x", "y").Assign(2, "x", "y"),
 		Transport:      partialdsm.Transport(engine),
 		Seed:           seed,
+		MaxLatency:     200 * time.Microsecond,
 		VirtualLatency: true,
+		FaultDrop:      0.15,
+		FaultDup:       0.15,
+		FaultSeed:      seed + 73,
+		Reliable:       true,
 	})
 	if err != nil {
 		return "error: " + err.Error()
 	}
 	defer c.Close()
-	err = c.Reconfigure(partialdsm.NewPlacement(2).Assign(0, "x"))
-	switch {
-	case err == nil:
-		return "BROKEN — Reconfigure was accepted"
-	case !strings.Contains(err.Error(), "does not support runtime reconfiguration"):
-		return "BROKEN — wrong error: " + err.Error()
-	case c.Epoch() != 0:
-		return "BROKEN — epoch moved on a refusal"
+	if c.Node(0).Write("x", 1) != nil || c.Node(0).Write("y", 2) != nil || c.Quiesce() != nil {
+		return "BROKEN — epoch-0 writes failed"
 	}
-	if c.Node(0).Write("x", 1) != nil || c.Quiesce() != nil {
-		return "BROKEN — cluster unusable after the refusal"
+	for k, owner := range walk {
+		next := partialdsm.NewPlacement(3).
+			Assign(0, "x", "y").Assign(1, "x", "y").Assign(2, "x", "y").
+			SetOwner("x", owner).SetOwner("y", owner)
+		if err := c.Reconfigure(next); err != nil {
+			return fmt.Sprintf("BROKEN — handoff %d to node %d: %s", k+1, owner, faultTrim(err))
+		}
+		wantX, wantY := int64((k+2)*100), int64((k+2)*100+1)
+		writer := (owner + 1) % 3
+		if c.Node(writer).Write("x", wantX) != nil || c.Node(writer).Write("y", wantY) != nil {
+			return fmt.Sprintf("BROKEN — foreign write after handoff %d failed", k+1)
+		}
+		if err := c.Quiesce(); err != nil {
+			return "BROKEN — " + faultTrim(err)
+		}
+		for i := 0; i < 3; i++ {
+			if v, err := c.Node(i).Read("x"); err != nil || v != wantX {
+				return fmt.Sprintf("BROKEN — step %d: node %d read x = %d, %v; want %d", k+1, i, v, err, wantX)
+			}
+			if v, err := c.Node(i).Read("y"); err != nil || v != wantY {
+				return fmt.Sprintf("BROKEN — step %d: node %d read y = %d, %v; want %d", k+1, i, v, err, wantY)
+			}
+		}
 	}
-	if v, rerr := c.Node(1).Read("x"); rerr != nil || v != 1 {
-		return "BROKEN — epoch-0 replication broken after the refusal"
+	if err := c.VerifyWitness(); err != nil {
+		return "BROKEN — witness: " + faultWitnessTrim(err)
 	}
-	return "refused: " + strings.TrimPrefix(err.Error(), "partialdsm: ")
+	if got, want := c.Epoch(), uint64(len(walk)); got != want {
+		return fmt.Sprintf("BROKEN — final epoch %d, want %d", got, want)
+	}
+	parts := make([]string, len(walk))
+	for i, owner := range walk {
+		parts[i] = fmt.Sprint(owner)
+	}
+	return fmt.Sprintf("ok (owner walk 0→%s, %d handoffs, witness intact)",
+		strings.Join(parts, "→"), len(walk))
 }
 
 // migrateStallVerdict pins the abort path: the proposal toward the

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"partialdsm"
+	"partialdsm/internal/workload"
+)
+
+// Policy runs experiment E22: the load-adaptive placement loop against
+// a zipfian hot-key workload with a mid-run skew flip. Four nodes
+// start with every variable fully replicated; the workload gives each
+// node a hot slice of the variable space, and halfway through the run
+// the slices rotate onto different variables. A static control keeps
+// the initial placement and pays full multicast fan-out forever; the
+// adaptive run drives GreedyPolicy through a PolicyDriver ticked at
+// block boundaries, shedding idle replicas, re-granting them where the
+// (possibly denied) demand moved, and walking each variable's owner to
+// its dominant writer. The claim under test is the ISSUE's: messages
+// per operation drop as the placement adapts, the loop re-converges
+// after the skew flip, and — as in E20/E21 — the whole verdict table
+// is rebuilt per engine and must come out byte-identical, because the
+// policy decisions ride the same deterministic counters and virtual
+// clock on both.
+func Policy(seed int64) Report {
+	rp := newReporter("E22", "adaptive placement — zipfian hot keys, mid-run skew flip; policy loop vs static control")
+
+	protocols := []partialdsm.Consistency{partialdsm.PRAM, partialdsm.CacheConsistency}
+	engines := []string{"classic", "sharded"}
+	tables := make(map[string][]string)
+	results := make(map[partialdsm.Consistency]map[string]policyOutcome)
+	for _, engine := range engines {
+		for _, cons := range protocols {
+			for _, mode := range []string{"static", "adaptive"} {
+				rows, out := policyRun(engine, cons, seed, mode == "adaptive")
+				tables[engine] = append(tables[engine], rows...)
+				if engine == "classic" {
+					if results[cons] == nil {
+						results[cons] = make(map[string]policyOutcome)
+					}
+					results[cons][mode] = out
+				}
+			}
+		}
+	}
+
+	rp.logf("%-8s %-18s %s", "mode", "protocol", "per-phase verdict (phase 1 rotates every hot slice)")
+	for _, line := range tables["classic"] {
+		rp.logf("%s", line)
+	}
+
+	identical := len(tables["classic"]) == len(tables["sharded"])
+	for i := range tables["classic"] {
+		if !identical || tables["classic"][i] != tables["sharded"][i] {
+			identical = false
+			rp.logf("engine divergence at row %d:", i)
+			rp.logf("  classic: %s", tables["classic"][i])
+			rp.logf("  sharded: %s", tables["sharded"][i])
+			break
+		}
+	}
+	rp.checkf(identical,
+		"verdict tables are byte-identical on both engines (counters, decisions and flips all deterministic)")
+
+	for _, cons := range protocols {
+		st, ad := results[cons]["static"], results[cons]["adaptive"]
+		if st.broken != "" || ad.broken != "" {
+			rp.checkf(false, "%s: run broken — static: %q, adaptive: %q", cons, st.broken, ad.broken)
+			continue
+		}
+		last := policyPhases - 1
+		rp.checkf(ad.msgsPerOp[last] < st.msgsPerOp[last],
+			"%s: adapted placement beats the static control on msgs/op in the final phase (%.2f vs %.2f)",
+			cons, ad.msgsPerOp[last], st.msgsPerOp[last])
+		rp.checkf(st.epoch == 0 && ad.epoch >= 2 && ad.flips == int(ad.epoch),
+			"%s: every flip came from the policy loop (static epoch %d, adaptive epoch %d over %d flips)",
+			cons, st.epoch, ad.epoch, ad.flips)
+		rp.checkf(ad.denied[last] < ad.denied[1],
+			"%s: the loop re-converges after the skew flip — denials fall from %d (rotation phase) to %d (final phase)",
+			cons, ad.denied[1], ad.denied[last])
+	}
+	return rp.done()
+}
+
+const (
+	policyNodes    = 4
+	policyVarCount = 8
+	policyPhases   = 3
+	policyPhaseOps = 600
+	policyBlockOps = 150
+)
+
+// policyOutcome carries the numeric surface of one (engine, protocol,
+// mode) run for the classic-side checks; the rows carry the same
+// numbers for the engine-identity comparison.
+type policyOutcome struct {
+	msgsPerOp [policyPhases]float64
+	denied    [policyPhases]int
+	epoch     uint64
+	flips     int
+	broken    string
+}
+
+// policyRun drives one soak: policyPhases phases of policyPhaseOps
+// zipfian accesses, quiescing every policyBlockOps operations; the hot
+// slices rotate half the variable space at the start of phase 1. In
+// adaptive mode a PolicyDriver tick follows every quiesce — the
+// one-tick cadence makes a decision whenever virtual time moved at
+// all, so the pacing is the block structure itself, identically on
+// both engines.
+func policyRun(engine string, cons partialdsm.Consistency, seed int64, adaptive bool) ([]string, policyOutcome) {
+	mode := "static"
+	if adaptive {
+		mode = "adaptive"
+	}
+	var out policyOutcome
+	fail := func(msg string) ([]string, policyOutcome) {
+		out.broken = msg
+		return []string{fmt.Sprintf("%-8s %-18s BROKEN — %s", mode, cons, msg)}, out
+	}
+	pl := partialdsm.NewPlacement(policyNodes)
+	for n := 0; n < policyNodes; n++ {
+		pl.Assign(n, workload.VarNames(policyVarCount)...)
+	}
+	c, err := partialdsm.New(partialdsm.Config{
+		Consistency:    cons,
+		Placement:      pl,
+		Transport:      partialdsm.Transport(engine),
+		Seed:           seed,
+		MaxLatency:     100 * time.Microsecond,
+		VirtualLatency: true,
+	})
+	if err != nil {
+		return fail("cluster: " + err.Error())
+	}
+	defer c.Close()
+
+	gen := workload.NewZipfMix(seed+13, policyNodes, policyVarCount, 1.6, 0.65)
+	var driver *partialdsm.PolicyDriver
+	if adaptive {
+		driver = c.NewPolicyDriver(&partialdsm.GreedyPolicy{
+			MinTotal:      20,
+			HotThreshold:  8,
+			IdleThreshold: 1,
+		}, 1)
+	}
+
+	var rows []string
+	for p := 0; p < policyPhases; p++ {
+		if p == 1 {
+			gen.Rotate(policyVarCount / 2) // the skew flip
+		}
+		start := c.Stats().Msgs
+		denied := 0
+		for k := 0; k < policyPhaseOps; k++ {
+			a := gen.Next()
+			h := c.Node(a.Node)
+			if a.Read {
+				if _, err := h.Read(a.Var); err != nil {
+					denied++
+				}
+			} else if err := h.Write(a.Var, int64(p*policyPhaseOps+k+1)); err != nil {
+				denied++
+			}
+			if (k+1)%policyBlockOps == 0 {
+				if err := c.Quiesce(); err != nil {
+					return fail(fmt.Sprintf("phase %d quiesce: %s", p, faultTrim(err)))
+				}
+				if driver != nil {
+					if _, err := driver.Tick(); err != nil {
+						return fail(fmt.Sprintf("phase %d tick: %s", p, faultTrim(err)))
+					}
+				}
+			}
+		}
+		out.msgsPerOp[p] = float64(c.Stats().Msgs-start) / policyPhaseOps
+		out.denied[p] = denied
+		rows = append(rows, fmt.Sprintf("%-8s %-18s phase %d: %6.2f msgs/op  denied %4d  epoch %2d",
+			mode, cons, p, out.msgsPerOp[p], denied, c.Epoch()))
+	}
+	if err := c.VerifyWitness(); err != nil {
+		return fail("witness: " + faultWitnessTrim(err))
+	}
+	out.epoch = c.Epoch()
+	if driver != nil {
+		out.flips = driver.Flips()
+	}
+	return rows, out
+}

@@ -125,6 +125,88 @@ func TestAccessControlAndMissingVar(t *testing.T) {
 	}
 }
 
+func TestReadRacingFlipBouncesAndRetries(t *testing.T) {
+	// x's owner moves 0→1 while reader 2 still runs the old epoch — the
+	// one request class that may legitimately straggle across a flip,
+	// because reads are unfenced. The ex-owner must bounce the request
+	// with its epoch tag, the reader must park until its own commit
+	// arrives, and the retry must reach the new owner and return the
+	// transferred value.
+	nodes, _, _, col := harness(t)
+	if err := mcs.WriteInt(nodes[0], "x", 7); err != nil {
+		t.Fatal(err)
+	}
+	next, err := nodes[0].ix.Rebind(sharegraph.NewPlacement(3).
+		Assign(0, "x", "y").
+		Assign(1, "x").
+		Assign(2, "x", "y").
+		SetOwner("x", 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the handshake's data path by hand on nodes 0 and 1 only —
+	// fence, transfer, flip — reproducing the window the engine passes
+	// through after the coordinator decides commit and before the last
+	// commit drains: reader 2 is still in epoch 0.
+	xi := nodes[0].ix.ID("x")
+	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
+	nodes[0].mu.Lock()
+	nodes[0].ReconfigFenceLocked(next)
+	nodes[0].ReconfigEncodeLocked(&enc, 1, []int{xi}, next)
+	nodes[0].ReconfigFlipLocked(next)
+	nodes[0].mu.Unlock()
+	nodes[1].mu.Lock()
+	nodes[1].ReconfigFenceLocked(next)
+	d := mcs.DecOf(enc.Bytes())
+	err = nodes[1].ReconfigMergeLocked(&d, 0, next)
+	if err == nil {
+		nodes[1].ReconfigFlipLocked(next)
+	}
+	nodes[1].mu.Unlock()
+	if err != nil {
+		t.Fatalf("transfer merge: %v", err)
+	}
+
+	// The stale-epoch read: routed to ex-owner 0, bounced, parked.
+	got := make(chan int64, 1)
+	go func() {
+		v, err := mcs.ReadInt(nodes[2], "x")
+		if err != nil {
+			t.Errorf("bounced read failed: %v", err)
+		}
+		got <- v
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Snapshot().PerKind[KindReadBounce] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ex-owner never bounced the stale-epoch read")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case v := <-got:
+		t.Fatalf("read returned %d before the reader's commit arrived", v)
+	default:
+	}
+	// Deliver reader 2's commit: the flip wakes the parked read, which
+	// re-resolves the owner and retries against node 1.
+	nodes[2].mu.Lock()
+	nodes[2].ReconfigFenceLocked(next)
+	nodes[2].ReconfigFlipLocked(next)
+	nodes[2].mu.Unlock()
+	if v := <-got; v != 7 {
+		t.Fatalf("retried read = %d, want the transferred 7", v)
+	}
+	s := col.Snapshot()
+	if s.PerKind[KindReadBounce] != 1 {
+		t.Errorf("bounces = %d, want exactly 1", s.PerKind[KindReadBounce])
+	}
+	if s.PerKind[KindReadReq] < 2 {
+		t.Errorf("read requests = %d, want the original and the retry", s.PerKind[KindReadReq])
+	}
+}
+
 func TestUnknownKindPanics(t *testing.T) {
 	nodes, _, _, _ := harness(t)
 	defer func() {

@@ -144,16 +144,27 @@ func TestMalformedPayloadPanics(t *testing.T) {
 	nodes[0].handle(netsim.Message{From: 1, To: 0, Kind: KindRequest, Payload: []byte{5}})
 }
 
-func TestRequestToWrongSequencerPanics(t *testing.T) {
-	nodes, _, _, _ := harness(t)
-	// A well-formed (wseq, varID, val) request for x (VarID 0).
+func TestRequestToWrongSequencerForwards(t *testing.T) {
+	// Under migratable ownership a request routed to a non-sequencer is
+	// no longer a protocol violation: it is a straggler from an older
+	// epoch, and the receiver forwards it toward the current owner with
+	// the original writer attached. The write must still land, exactly
+	// once, in x's total order.
+	nodes, net, rec, _ := harness(t)
+	// A well-formed (wseq, varID, val) request for x (VarID 0), written
+	// by node 2 but delivered to node 2 itself instead of x's sequencer
+	// (node 0). RecordWrite keeps the recorder's write sequence
+	// consistent with the wseq the frame carries.
+	rec.RecordWrite(2, "x", nil)
 	var enc mcs.Enc
+	enc.SetBuf(mcs.GetPayload())
 	enc.U32(0).U32(0).I64(1)
-	defer func() {
-		if recover() == nil {
-			t.Error("request to non-sequencer must panic")
-		}
-	}()
-	// x's sequencer is node 0; deliver the request to node 2 instead.
-	nodes[2].handle(netsim.Message{From: 0, To: 2, Kind: KindRequest, Payload: enc.Bytes()})
+	nodes[2].handle(netsim.Message{From: 2, To: 2, Kind: KindRequest, Payload: enc.Bytes()})
+	net.Quiesce()
+	if v, err := mcs.ReadInt(nodes[0], "x"); err != nil || v != 1 {
+		t.Fatalf("forwarded write did not land at the sequencer: x = %d, err = %v", v, err)
+	}
+	if v, err := mcs.ReadInt(nodes[2], "x"); err != nil || v != 1 {
+		t.Fatalf("forwarded write did not multicast back to the writer: x = %d, err = %v", v, err)
+	}
 }

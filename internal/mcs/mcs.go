@@ -23,8 +23,14 @@
 // cluster serves traffic, against the per-protocol ReconfigHooks
 // (fence writes to the variables whose clique changes, encode/
 // merge transfer state, flip to the rebound sharegraph.Index). The
-// handshake's wire format, barrier structure, and abort semantics are
-// documented on Reconfig itself.
+// same handshake migrates per-variable ownership: a protocol whose
+// variables have an authoritative owner — the atomic-register primary,
+// the cache sequencer — hands the owner's state to its successor in
+// the fence→transfer window (ReconfigDonorPicker pins the donor to the
+// old owner), and requests that raced the flip are bounced with the
+// new epoch and retried by their issuer. The handshake's wire format,
+// barrier structure, and abort semantics are documented on Reconfig
+// itself.
 package mcs
 
 import (

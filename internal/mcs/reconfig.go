@@ -100,6 +100,19 @@ type ReconfigHooks interface {
 	ReconfigAbortLocked()
 }
 
+// ReconfigDonorPicker is an optional extension of ReconfigHooks for
+// protocols whose authoritative per-variable state lives on a specific
+// process rather than on every clique member. When implemented, the
+// engine asks it — instead of defaulting to the lowest live member of
+// the old clique — which donor must answer the transfer request for a
+// gained variable. Returning a negative process means no usable donor
+// exists (e.g. the old owner is dead) and the variable resets to ⊥ at
+// the flip, like a recovery no peer could answer. Called with the
+// owning node's mutex held.
+type ReconfigDonorPicker interface {
+	ReconfigDonorLocked(xi int, cur *sharegraph.Index, live []bool) int
+}
+
 // Fence blocks application writes to a set of variables for the
 // duration of a reconfiguration window. Writers park on the condition
 // variable (sharing the node mutex) until the flip or abort lifts the
@@ -112,9 +125,13 @@ type Fence struct {
 	active int    // number of fenced variables
 }
 
-// ArmLocked fences the variables node holds under cur whose replica
-// clique changes in next — or every held variable when all is set.
-// Called with mu (the owning node's mutex) held.
+// ArmLocked fences the variables node holds under cur whose assignment
+// — replica clique or owner — changes in next, or every held variable
+// when all is set. Owner moves fence too: for the owner protocols a
+// same-clique owner move still needs the drain window, and for the
+// ownerless protocols assignments only change when cliques do, so the
+// owner term never widens their fence. Called with mu (the owning
+// node's mutex) held.
 func (f *Fence) ArmLocked(mu *sync.Mutex, node int, cur, next *sharegraph.Index, all bool) {
 	if f.cond == nil {
 		f.cond = sync.NewCond(mu)
@@ -123,7 +140,7 @@ func (f *Fence) ArmLocked(mu *sync.Mutex, node int, cur, next *sharegraph.Index,
 		f.fenced = make([]bool, cur.NumVars())
 	}
 	for _, xi := range cur.VarIDs(node) {
-		if (all || !sharegraph.SameClique(cur, next, xi)) && !f.fenced[xi] {
+		if (all || !sharegraph.SameAssignment(cur, next, xi)) && !f.fenced[xi] {
 			f.fenced[xi] = true
 			f.active++
 		}
@@ -141,6 +158,15 @@ func (f *Fence) LiftLocked() {
 	if f.cond != nil {
 		f.cond.Broadcast()
 	}
+}
+
+// FencedLocked reports whether variable xi is currently fenced.
+// Handler paths use it to park requests that must not enter the old
+// epoch's stream once the transition window opened (the sequencer
+// protocol parks requests instead of multicasting behind its own fence
+// frame). Called with the owning node's mutex held.
+func (f *Fence) FencedLocked(xi int) bool {
+	return f.active > 0 && xi >= 0 && xi < len(f.fenced) && f.fenced[xi]
 }
 
 // WaitLocked parks the calling writer while variable xi is fenced,
@@ -272,6 +298,18 @@ func (r *Reconfig) StartReconfigure(next *sharegraph.Index, live []bool, epoch u
 		}
 	}
 	enc.U32Slice(liveIDs)
+	// Owner overrides: only the variables whose owner differs from the
+	// default (lowest clique member) travel, id-ascending — empty for
+	// every placement that never called SetOwner.
+	var ownerVars, ownerProcs []uint32
+	for id := 0; id < next.NumVars(); id++ {
+		if c := next.Clique(id); len(c) > 0 && next.Owner(id) != c[0] {
+			ownerVars = append(ownerVars, uint32(id))
+			ownerProcs = append(ownerProcs, uint32(next.Owner(id)))
+		}
+	}
+	enc.U32Slice(ownerVars)
+	enc.U32Slice(ownerProcs)
 	proposal := enc.Bytes()
 	for p, ok := range live {
 		if !ok || p == r.node {
@@ -337,16 +375,25 @@ func (r *Reconfig) participantBeginLocked() {
 	}
 
 	// Group the variables this node must fetch by donor: the lowest
-	// live member of each variable's old-epoch clique. A variable whose
-	// old clique has no live member has no donor — it resets to ⊥ at
-	// the flip, exactly like a recovery no peer could answer.
+	// live member of each variable's old-epoch clique, unless the
+	// protocol pins a specific donor (ReconfigDonorPicker — the atomic
+	// register's authoritative state lives only on the old owner). A
+	// variable with no usable donor resets to ⊥ at the flip, exactly
+	// like a recovery no peer could answer.
+	picker, _ := r.hooks.(ReconfigDonorPicker)
 	var donors map[int][]int
 	for _, xi := range r.hooks.ReconfigTransferVarsLocked(r.next) {
 		donor := -1
-		for _, p := range r.cur.Clique(xi) {
-			if p < len(r.live) && r.live[p] && p != r.node {
+		if picker != nil {
+			if p := picker.ReconfigDonorLocked(xi, r.cur, r.live); p >= 0 && p != r.node {
 				donor = p
-				break
+			}
+		} else {
+			for _, p := range r.cur.Clique(xi) {
+				if p < len(r.live) && r.live[p] && p != r.node {
+					donor = p
+					break
+				}
 			}
 		}
 		if donor < 0 {
@@ -507,6 +554,20 @@ func (r *Reconfig) proposeLocked(from int, attempt uint32, d *Dec) {
 		if int(u) < numProcs {
 			live[u] = true
 		}
+	}
+	ownerVars := d.U32Slice()
+	ownerProcs := d.U32Slice()
+	if d.Err() != nil || len(ownerVars) != len(ownerProcs) {
+		r.cfg.Faultf(r.node, "mcs: node %d: malformed proposal from %d: bad owner section", r.node, from)
+		return
+	}
+	for k, u := range ownerVars {
+		if int(u) >= r.cur.NumVars() || int(ownerProcs[k]) >= numProcs ||
+			!pl.Holds(int(ownerProcs[k]), r.cur.Name(int(u))) {
+			r.cfg.Faultf(r.node, "mcs: node %d: proposal from %d pins an invalid owner", r.node, from)
+			return
+		}
+		pl.SetOwner(r.cur.Name(int(u)), int(ownerProcs[k]))
 	}
 	next, err := r.cur.Rebind(pl, uint64(attempt))
 	if err != nil {
@@ -694,8 +755,14 @@ func (r *Reconfig) ForceFinish(commit bool) {
 // InstallCurrent force-installs an index on an idle engine, bypassing
 // the wire protocol: the facade uses it to catch a restarted node up to
 // the epochs that committed while it was down, before crash recovery
-// re-seeds its state under the new placement.
-func (r *Reconfig) InstallCurrent(next *sharegraph.Index) {
+// re-seeds its state under the new placement. burned is the highest
+// attempt number the cluster has ever used — committed or aborted. The
+// crash wiped this node's burned-attempt counter, and without restoring
+// the floor a stale proposal still in flight from an aborted attempt
+// would enlist the restarted node into an attempt every other node has
+// already abandoned, wedging reconfiguration forever (nobody re-aborts
+// a dead attempt).
+func (r *Reconfig) InstallCurrent(next *sharegraph.Index, burned uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.next != nil {
@@ -705,6 +772,9 @@ func (r *Reconfig) InstallCurrent(next *sharegraph.Index) {
 	if uint32(next.Epoch()) > r.attempt {
 		r.attempt = uint32(next.Epoch())
 	}
+	if uint32(burned) > r.attempt {
+		r.attempt = uint32(burned)
+	}
 	r.hooks.ReconfigFlipLocked(next)
 	r.cur = next
 }
@@ -712,8 +782,10 @@ func (r *Reconfig) InstallCurrent(next *sharegraph.Index) {
 // CancelLocked abandons any in-progress attempt without touching
 // protocol state; the protocol's CrashRestart calls it with the node
 // mutex held (the crash wipes the state the attempt was building
-// anyway; the decision bit survives).
+// anyway; the decision bit survives). Control frames parked for a
+// future attempt are lost with the rest of the node's volatile state.
 func (r *Reconfig) CancelLocked() {
+	r.early = nil
 	if r.next == nil {
 		return
 	}
@@ -730,6 +802,12 @@ func (r *Reconfig) CancelLocked() {
 func (r *Reconfig) PendingHoldsLocked(p, xi int) bool {
 	return r.next != nil && r.next.Holds(p, xi)
 }
+
+// PendingIndexLocked returns the in-progress attempt's proposed index,
+// or nil when no attempt is active. Owner protocols consult it to serve
+// requests a flipped peer already routed under the pending epoch.
+// Called with the node mutex held.
+func (r *Reconfig) PendingIndexLocked() *sharegraph.Index { return r.next }
 
 // EpochLocked returns the committed epoch this node currently serves.
 // Called with the node mutex held.

@@ -87,9 +87,16 @@ func (r *Recorder) RecordRead(p int, x string, v []byte) {
 // too, at local-apply time.
 // The value bytes are copied.
 func (r *Recorder) RecordApply(node, writer, wseq int, x string, v []byte) {
+	r.RecordApplyAt(node, writer, wseq, x, v, 0)
+}
+
+// RecordApplyAt is RecordApply with an explicit placement-epoch stamp,
+// for protocols whose witness is location-sensitive (the atomic
+// register's owner condition) under migratable ownership.
+func (r *Recorder) RecordApplyAt(node, writer, wseq int, x string, v []byte, epoch uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e := check.Event{Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v)}
+	e := check.Event{Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v), Epoch: epoch}
 	r.logs[node] = append(r.logs[node], e)
 	if r.observer != nil {
 		r.observer(node, e)
@@ -106,9 +113,15 @@ func (r *Recorder) RecordApply(node, writer, wseq int, x string, v []byte) {
 // with writer -1 marks a reset — no live peer knew a value. The value
 // bytes are copied.
 func (r *Recorder) RecordRecover(node, writer, wseq int, x string, v []byte) {
+	r.RecordRecoverAt(node, writer, wseq, x, v, 0)
+}
+
+// RecordRecoverAt is RecordRecover with an explicit placement-epoch
+// stamp.
+func (r *Recorder) RecordRecoverAt(node, writer, wseq int, x string, v []byte, epoch uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e := check.Event{IsRecover: true, Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v)}
+	e := check.Event{IsRecover: true, Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v), Epoch: epoch}
 	r.logs[node] = append(r.logs[node], e)
 	if r.observer != nil {
 		r.observer(node, e)
@@ -122,9 +135,15 @@ func (r *Recorder) RecordRecover(node, writer, wseq int, x string, v []byte) {
 // history. A migration of a variable to ⊥ with writer -1 marks a reset
 // — no live donor held a value. The value bytes are copied.
 func (r *Recorder) RecordMigrate(node, writer, wseq int, x string, v []byte) {
+	r.RecordMigrateAt(node, writer, wseq, x, v, 0)
+}
+
+// RecordMigrateAt is RecordMigrate with an explicit placement-epoch
+// stamp (the epoch the node flipped to when it adopted the value).
+func (r *Recorder) RecordMigrateAt(node, writer, wseq int, x string, v []byte, epoch uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	e := check.Event{IsMigrate: true, Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v)}
+	e := check.Event{IsMigrate: true, Writer: writer, WSeq: wseq, Var: x, Val: model.ValueOf(v), Epoch: epoch}
 	r.logs[node] = append(r.logs[node], e)
 	if r.observer != nil {
 		r.observer(node, e)

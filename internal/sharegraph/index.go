@@ -33,6 +33,7 @@ type Index struct {
 	varsOf   [][]int        // varsOf[p] = X_p as sorted ids
 	peers    [][][]int      // peers[p][id] = C(x) ∖ {p}, sorted
 	msgVars  [][]string     // msgVars[id] = the canonical {name} slice
+	owner    []int          // owner[id]: the variable's primary/sequencer
 }
 
 // Epoch returns the placement epoch this index describes. Placement-
@@ -77,6 +78,13 @@ func (ix *Index) Peers(p, id int) []int { return ix.peers[p][id] }
 // across every message ever sent about the variable: callers must
 // neither modify nor recycle it.
 func (ix *Index) MsgVars(id int) []string { return ix.msgVars[id] }
+
+// Owner returns the variable's owner under this index: the process
+// acting as its primary (atomic registers) or sequencer (cache
+// consistency). Defaults to the lowest member of C(x) unless the
+// placement pinned a different owner with SetOwner; -1 when the
+// variable has no replicas.
+func (ix *Index) Owner(id int) int { return ix.owner[id] }
 
 // Index returns the placement's dense index, building it on first use.
 // Assign invalidates the index, so capture it only once the placement
@@ -136,6 +144,16 @@ func (pl *Placement) buildIndex() *Index {
 			}
 		}
 		ix.cliques[id] = c
+	}
+	ix.owner = make([]int, len(ix.vars))
+	for id, name := range ix.vars {
+		if p, ok := pl.owners[name]; ok {
+			ix.owner[id] = p
+		} else if c := ix.cliques[id]; len(c) > 0 {
+			ix.owner[id] = c[0]
+		} else {
+			ix.owner[id] = -1
+		}
 	}
 	for p := 0; p < n; p++ {
 		ix.peers[p] = make([][]int, len(ix.vars))
@@ -200,6 +218,11 @@ func (ix *Index) AsPlacement() *Placement {
 			pl.Assign(p, ix.vars[id])
 		}
 	}
+	for id, name := range ix.vars {
+		if ix.owner[id] >= 0 && len(ix.cliques[id]) > 0 && ix.owner[id] != ix.cliques[id][0] {
+			pl.SetOwner(name, ix.owner[id])
+		}
+	}
 	return pl
 }
 
@@ -218,6 +241,15 @@ func SameClique(a, b *Index, id int) bool {
 		}
 	}
 	return true
+}
+
+// SameAssignment reports whether the variable keeps both its replica
+// clique and its owner across the two indexes. Owner-aware protocols
+// (atomic registers, cache consistency) fence on this instead of
+// SameClique, so a pure owner move inside an unchanged clique still
+// gets the fence→transfer window it needs.
+func SameAssignment(a, b *Index, id int) bool {
+	return SameClique(a, b, id) && a.Owner(id) == b.Owner(id)
 }
 
 // Neighbors returns the processes sharing at least one variable with p

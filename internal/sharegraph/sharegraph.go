@@ -12,6 +12,13 @@
 // placement — same processes, same variable universe (so VarIDs stay
 // stable), new cliques. The mcs reconfiguration engine ships Rebind's
 // output through its propose → fence → transfer → flip protocol.
+//
+// Each variable additionally has an effective owner — the process that
+// acts as its per-variable primary (atomic registers) or sequencer
+// (cache consistency). The owner defaults to the lowest member of C(x)
+// and can be pinned elsewhere in the clique with SetOwner; because it
+// is part of the placement, an epoch flip migrates ownership exactly
+// like it migrates replicas.
 package sharegraph
 
 import (
@@ -29,6 +36,7 @@ type Placement struct {
 	vars     []string          // sorted variable universe
 	varIdx   map[string]int    // variable → dense index
 	holds    []map[string]bool // holds[p][x]
+	owners   map[string]int    // explicit owner overrides (SetOwner)
 
 	mu     sync.Mutex       // guards clique (lazily filled cache)
 	clique map[string][]int // cached C(x), sorted
@@ -80,6 +88,53 @@ func (pl *Placement) Assign(p int, vars ...string) *Placement {
 	return pl
 }
 
+// SetOwner overrides variable x's owner — the process that acts as x's
+// per-variable primary (atomic registers) or sequencer (cache
+// consistency). The owner must already replicate x (Assign first).
+// Without an override the owner defaults to the lowest-numbered member
+// of C(x), which is what every placement used before owners became
+// migratable.
+func (pl *Placement) SetOwner(x string, p int) *Placement {
+	if p < 0 || p >= pl.numProcs {
+		panic(fmt.Sprintf("sharegraph: owner %d out of range [0,%d)", p, pl.numProcs))
+	}
+	if !pl.holds[p][x] {
+		panic(fmt.Sprintf("sharegraph: owner %d does not replicate %q; Assign it first", p, x))
+	}
+	if pl.owners == nil {
+		pl.owners = make(map[string]int)
+	}
+	pl.owners[x] = p
+	pl.mu.Lock()
+	pl.idx.Store(nil) // invalidate the dense index
+	pl.mu.Unlock()
+	return pl
+}
+
+// Owner returns variable x's effective owner: the SetOwner override
+// when present, the lowest member of C(x) otherwise, and -1 when x has
+// no replicas.
+func (pl *Placement) Owner(x string) int {
+	if p, ok := pl.owners[x]; ok {
+		return p
+	}
+	cx := pl.Clique(x)
+	if len(cx) == 0 {
+		return -1
+	}
+	return cx[0]
+}
+
+// Owners returns a copy of the explicit owner overrides (variables
+// whose owner was pinned with SetOwner); derived defaults are omitted.
+func (pl *Placement) Owners() map[string]int {
+	out := make(map[string]int, len(pl.owners))
+	for x, p := range pl.owners {
+		out[x] = p
+	}
+	return out
+}
+
 // FromLists builds a placement from per-process variable lists:
 // lists[p] becomes X_p. The list count fixes the process count.
 func FromLists(lists [][]string) *Placement {
@@ -100,17 +155,23 @@ func (pl *Placement) Lists() [][]string {
 	return out
 }
 
-// Clone returns an independent copy of the placement.
+// Clone returns an independent copy of the placement, owner overrides
+// included.
 func (pl *Placement) Clone() *Placement {
 	out := NewPlacement(pl.numProcs)
 	for p := 0; p < pl.numProcs; p++ {
 		out.Assign(p, pl.VarsOf(p)...)
 	}
+	for x, p := range pl.owners {
+		out.SetOwner(x, p)
+	}
 	return out
 }
 
 // Equal reports whether both placements assign exactly the same
-// variable sets to the same processes.
+// variable sets to the same processes with the same effective owners.
+// Owners compare by effect, not by override: a placement pinning x's
+// owner to the lowest clique member equals one that leaves the default.
 func (pl *Placement) Equal(other *Placement) bool {
 	if other == nil || pl.numProcs != other.numProcs {
 		return false
@@ -123,6 +184,11 @@ func (pl *Placement) Equal(other *Placement) bool {
 			if !other.holds[p][v] {
 				return false
 			}
+		}
+	}
+	for _, x := range pl.vars {
+		if pl.Owner(x) != other.Owner(x) {
+			return false
 		}
 	}
 	return true

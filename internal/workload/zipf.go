@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"sort"
+)
+
+// Access is one application-level operation of a generated stream: a
+// read or a write of one variable issued at one node. The generator
+// does not consult any placement — access control (and its denials)
+// are part of what the stream is meant to exercise.
+type Access struct {
+	Node int
+	Var  string
+	Read bool
+}
+
+// ZipfMix generates a seeded hot-key access stream with per-node
+// locality: each node draws variables from a zipfian distribution
+// anchored at its own "home" slice of the variable space, so a few
+// variables absorb most of a node's traffic and different nodes are
+// hot on different variables. Rotate shifts every node's home slice at
+// once — the working-set churn that forces a placement policy to
+// re-adapt mid-run.
+//
+// The stream is fully determined by the constructor arguments: two
+// ZipfMix values built with the same parameters produce identical
+// sequences of Next results, interleaved identically with Rotate
+// calls. That makes the generator safe for byte-identical experiment
+// tables and usable standalone from dsm-bench. The generator owns its
+// randomness outright — a splitmix64 counter and a precomputed zipf
+// CDF — so no shared math/rand stream is involved anywhere.
+type ZipfMix struct {
+	state    uint64    // splitmix64 state, advanced once per draw
+	cdf      []float64 // cumulative zipf weights over ranks 0..numVars-1
+	numProcs int
+	numVars  int
+	readFrac float64
+	rot      int
+}
+
+// NewZipfMix returns a generator over numProcs nodes and numVars
+// variables (named with VarName). skew is the zipfian s parameter and
+// must be > 0 — rank k is drawn with probability proportional to
+// (k+1)^-skew, so larger values concentrate more traffic on each
+// node's hottest variables. readFrac in [0, 1] is the probability that
+// an access is a read.
+func NewZipfMix(seed int64, numProcs, numVars int, skew, readFrac float64) *ZipfMix {
+	if numProcs < 1 || numVars < 1 {
+		panic("workload: ZipfMix needs at least one node and one variable")
+	}
+	if skew <= 0 {
+		panic("workload: zipf skew must be > 0")
+	}
+	cdf := make([]float64, numVars)
+	sum := 0.0
+	for k := range cdf {
+		sum += math.Pow(float64(k+1), -skew)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &ZipfMix{
+		state:    uint64(seed),
+		cdf:      cdf,
+		numProcs: numProcs,
+		numVars:  numVars,
+		readFrac: readFrac,
+	}
+}
+
+// next64 advances the splitmix64 counter and returns the next draw.
+func (z *ZipfMix) next64() uint64 {
+	z.state += 0x9E3779B97F4A7C15
+	x := z.state
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// float01 returns the next draw as a float64 in [0, 1).
+func (z *ZipfMix) float01() float64 {
+	return float64(z.next64()>>11) / (1 << 53)
+}
+
+// Next draws one access: a uniformly chosen node, a zipfian offset
+// into the variable space anchored at that node's home slice, and a
+// read/write coin weighted by readFrac.
+func (z *ZipfMix) Next() Access {
+	node := int(z.next64() % uint64(z.numProcs))
+	u := z.float01()
+	off := sort.Search(len(z.cdf), func(i int) bool { return z.cdf[i] > u })
+	if off >= z.numVars {
+		off = z.numVars - 1 // u landed on the rounding tail of the CDF
+	}
+	base := node*z.numVars/z.numProcs + z.rot
+	v := (base + off) % z.numVars
+	return Access{
+		Node: node,
+		Var:  VarName(v),
+		Read: z.float01() < z.readFrac,
+	}
+}
+
+// Rotate shifts every node's home slice k variables forward: node i's
+// hot set lands on variables that previously belonged to another
+// node's slice. Calling it mid-stream models a workload skew flip.
+func (z *ZipfMix) Rotate(k int) {
+	z.rot = ((z.rot+k)%z.numVars + z.numVars) % z.numVars
+}

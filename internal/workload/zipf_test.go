@@ -1,0 +1,82 @@
+package workload
+
+import "testing"
+
+func TestZipfMixDeterministic(t *testing.T) {
+	a := NewZipfMix(7, 4, 8, 1.5, 0.6)
+	b := NewZipfMix(7, 4, 8, 1.5, 0.6)
+	for i := 0; i < 500; i++ {
+		if i == 250 {
+			a.Rotate(4)
+			b.Rotate(4)
+		}
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("step %d: streams diverge: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestZipfMixSkewAndLocality(t *testing.T) {
+	const n, v, draws = 4, 8, 4000
+	z := NewZipfMix(11, n, v, 1.5, 0.5)
+	perNode := make([]map[string]int, n)
+	for i := range perNode {
+		perNode[i] = make(map[string]int)
+	}
+	reads := 0
+	for i := 0; i < draws; i++ {
+		a := z.Next()
+		if a.Node < 0 || a.Node >= n {
+			t.Fatalf("node %d out of range", a.Node)
+		}
+		perNode[a.Node][a.Var]++
+		if a.Read {
+			reads++
+		}
+	}
+	// Each node's home variable (offset 0 of its slice) must dominate
+	// its own traffic: zipfian concentration plus locality.
+	for i := 0; i < n; i++ {
+		home := VarName(i * v / n)
+		total := 0
+		for x, c := range perNode[i] {
+			total += c
+			if x != home && c >= perNode[i][home] {
+				t.Errorf("node %d: %s (%d) outdraws home %s (%d)", i, x, c, home, perNode[i][home])
+			}
+		}
+		if c := perNode[i][home]; c*3 < total {
+			t.Errorf("node %d: home %s got %d of %d accesses, want at least a third", i, home, c, total)
+		}
+	}
+	if reads < draws/3 || reads > 2*draws/3 {
+		t.Errorf("read fraction off: %d/%d reads for readFrac 0.5", reads, draws)
+	}
+}
+
+func TestZipfMixRotateShiftsHotSet(t *testing.T) {
+	const n, v = 2, 6
+	z := NewZipfMix(3, n, v, 1.5, 0.5)
+	z.Rotate(2)
+	counts := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		a := z.Next()
+		if a.Node == 0 {
+			counts[a.Var]++
+		}
+	}
+	// Node 0's slice starts at variable 0; after Rotate(2) its hottest
+	// variable is x2.
+	if counts["x2"] <= counts["x0"] {
+		t.Errorf("after Rotate(2), node 0 hot on %v — want x2 > x0", counts)
+	}
+	// Rotation wraps modulo the variable count.
+	z.Rotate(-2)
+	if z.rot != 0 {
+		t.Errorf("rot = %d after +2/-2, want 0", z.rot)
+	}
+	z.Rotate(v + 1)
+	if z.rot != 1 {
+		t.Errorf("rot = %d after Rotate(v+1), want 1", z.rot)
+	}
+}

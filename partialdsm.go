@@ -400,6 +400,23 @@ type Cluster struct {
 	// VerifyRelevanceBound fall back to the epoch-0 sets.
 	cliqueUnion map[string]map[int]bool
 	relUnion    map[string]map[int]bool
+	// ownerHist records every committed epoch's index in ascending
+	// epoch order (epoch 0 first). The atomic witness resolves each
+	// event's owner from the largest committed epoch at or below the
+	// event's stamp.
+	ownerHist []*sharegraph.Index
+
+	// Access counters for the placement policy loop (policy.go): dense
+	// per-(node, variable) operation counts indexed node*numVars+vid
+	// through accessVar, bumped atomically on every NodeHandle
+	// operation (uint32 cells: a policy window cannot meaningfully
+	// exceed 4 billion accesses per cell, and the halved footprint
+	// keeps construction cheap on wide placements).
+	// prevReads/prevWrites mark the last policy window's high-water
+	// marks — allocated lazily at the first window, guarded by cmu.
+	accessVar               map[string]int
+	readCounts, writeCounts []uint32
+	prevReads, prevWrites   []uint32
 }
 
 // faultSink collects the first protocol-level fault each node reports
@@ -541,8 +558,10 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{cfg: cfg, pl: pl, net: trans, rel: rel, col: col, rec: rec, nodes: nodes, faults: sink, monitor: monitor}
 	c.ix = pl.Index()
 	c.cpl = pl
+	c.ownerHist = []*sharegraph.Index{c.ix}
 	c.crashed = make([]bool, numNodes)
 	c.recoverWant = make([]int, numNodes)
+	c.initAccessCounters()
 	return c, nil
 }
 
@@ -587,7 +606,7 @@ func (c *Cluster) Node(i int) *NodeHandle {
 	if i < 0 || i >= len(c.nodes) {
 		panic(fmt.Sprintf("partialdsm: node %d out of range [0,%d)", i, len(c.nodes)))
 	}
-	return &NodeHandle{node: c.nodes[i]}
+	return &NodeHandle{c: c, id: i, node: c.nodes[i]}
 }
 
 // Holds reports whether node i replicates variable x under the
@@ -811,6 +830,8 @@ func (c *Cluster) Close() { c.net.Close() }
 // goroutine, matching the paper's model of one sequential application
 // process per node.
 type NodeHandle struct {
+	c       *Cluster
+	id      int
 	node    mcs.Node
 	scratch [8]byte // per-handle buffer for the int64 shim, no per-op alloc
 }
@@ -823,6 +844,7 @@ func (h *NodeHandle) ID() int { return h.node.ID() }
 // the caller may reuse v. Wait-free protocols return after the local
 // apply; ordering protocols block until the write is ordered.
 func (h *NodeHandle) Put(x string, v []byte) error {
+	h.c.countAccess(h.id, x, true)
 	if len(v) > MaxValueLen {
 		return fmt.Errorf("partialdsm: value for %s is %d bytes, max %d", x, len(v), MaxValueLen)
 	}
@@ -842,6 +864,7 @@ func (h *NodeHandle) Put(x string, v []byte) error {
 // relies on per-pair FIFO order: on a Config.NonFIFO network their
 // PutAsync degrades to the synchronous Put.
 func (h *NodeHandle) PutAsync(x string, v []byte) (Pending, error) {
+	h.c.countAccess(h.id, x, true)
 	if len(v) > MaxValueLen {
 		return nil, fmt.Errorf("partialdsm: value for %s is %d bytes, max %d", x, len(v), MaxValueLen)
 	}
@@ -850,12 +873,16 @@ func (h *NodeHandle) PutAsync(x string, v []byte) (Pending, error) {
 
 // Get performs r_i(x) and returns the value as a fresh slice. Reads of
 // never-written variables return BottomValue().
-func (h *NodeHandle) Get(x string) ([]byte, error) { return h.node.Get(x, nil) }
+func (h *NodeHandle) Get(x string) ([]byte, error) {
+	h.c.countAccess(h.id, x, false)
+	return h.node.Get(x, nil)
+}
 
 // GetInto performs r_i(x), appending the value to dst[:0] and
 // returning the result — the allocation-free read path: with enough
 // capacity in dst, a wait-free protocol's GetInto is 0 allocs/op.
 func (h *NodeHandle) GetInto(x string, dst []byte) ([]byte, error) {
+	h.c.countAccess(h.id, x, false)
 	return h.node.Get(x, dst)
 }
 
@@ -863,6 +890,7 @@ func (h *NodeHandle) GetInto(x string, dst []byte) ([]byte, error) {
 // over Put with the 8-byte big-endian encoding of v, byte-identical on
 // the wire to the pre-v2 format.
 func (h *NodeHandle) Write(x string, v int64) error {
+	h.c.countAccess(h.id, x, true)
 	binary.BigEndian.PutUint64(h.scratch[:], uint64(v))
 	return h.node.Put(x, h.scratch[:])
 }
@@ -871,6 +899,7 @@ func (h *NodeHandle) Write(x string, v int64) error {
 // never-written variables return Bottom; reading a variable whose
 // current value is not 8 bytes is an error (use Get).
 func (h *NodeHandle) Read(x string) (int64, error) {
+	h.c.countAccess(h.id, x, false)
 	v, err := h.node.Get(x, h.scratch[:0])
 	if err != nil {
 		return 0, err
@@ -970,6 +999,7 @@ func (r *BatchResult) Int64(i int) (int64, error) {
 // staged update is still flushed.
 func (h *NodeHandle) Apply(b Batch) (*BatchResult, error) {
 	for _, op := range b.ops {
+		h.c.countAccess(h.id, op.x, !op.get)
 		if !op.get && len(op.v) > MaxValueLen {
 			return nil, fmt.Errorf("partialdsm: value for %s is %d bytes, max %d", op.x, len(op.v), MaxValueLen)
 		}
@@ -1074,6 +1104,14 @@ type Stats struct {
 	// transfers, readies and commits — the protocol-level cost of live
 	// migration, separated from steady-state traffic.
 	ReconfigMsgs int64
+	// ReadCounts and WriteCounts are the cumulative per-node,
+	// per-variable application operation counts (indexed by node;
+	// variables a node never touched are absent from its map). They
+	// count attempts, not granted operations — demand from outside a
+	// variable's clique is included, which is exactly what a placement
+	// policy wants to see. The same counters, windowed between policy
+	// decisions, feed Policy.Plan.
+	ReadCounts, WriteCounts []map[string]int64
 }
 
 // Stats returns a snapshot of the communication metrics.
@@ -1112,6 +1150,8 @@ func (c *Cluster) Stats() Stats {
 			out.RecoveryTicks += ticks
 		}
 	}
+	access := c.accessMaps(c.accessSnapshot())
+	out.ReadCounts, out.WriteCounts = access.Reads, access.Writes
 	return out
 }
 
@@ -1196,12 +1236,31 @@ func (c *Cluster) VerifyWitness() error {
 		// their full strength is checked by CheckHistory.
 		return check.WitnessPRAM(c.rec.NumProcs(), logs)
 	case Atomic:
-		return check.WitnessAtomic(c.rec.NumProcs(), logs, func(x string) int {
-			cx := c.pl.Clique(x)
-			if len(cx) == 0 {
-				return -1
+		c.cmu.Lock()
+		hist := append([]*sharegraph.Index(nil), c.ownerHist...)
+		c.cmu.Unlock()
+		return check.WitnessAtomicDynamic(c.rec.NumProcs(), logs, func(x string, epoch uint64) (int, bool) {
+			// Owners at the largest committed epoch ≤ the event's stamp
+			// (committed epoch numbers are sparse: aborted attempts burn
+			// numbers without entering the history).
+			var ix *sharegraph.Index
+			for _, h := range hist {
+				if h.Epoch() > epoch {
+					break
+				}
+				ix = h
 			}
-			return cx[0]
+			if ix == nil {
+				return -1, false
+			}
+			id := ix.ID(x)
+			if id < 0 {
+				return -1, false
+			}
+			if own := ix.Owner(id); own >= 0 {
+				return own, true
+			}
+			return -1, false
 		})
 	case Slow:
 		return check.WitnessSlow(c.rec.NumProcs(), logs)

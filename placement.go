@@ -3,6 +3,7 @@ package partialdsm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"partialdsm/internal/sharegraph"
 )
@@ -23,7 +24,8 @@ import (
 // duplicate variable names) happens at those call sites, so Assign
 // never fails.
 type Placement struct {
-	lists [][]string
+	lists  [][]string
+	owners map[string]int // explicit owner pins (SetOwner)
 }
 
 // NewPlacement returns an empty placement over numNodes nodes.
@@ -40,6 +42,33 @@ func (p *Placement) Assign(node int, vars ...string) *Placement {
 	}
 	p.lists[node] = append(p.lists[node], vars...)
 	return p
+}
+
+// SetOwner pins variable x's owner — the node acting as its
+// per-variable primary (Atomic) or sequencer (CacheConsistency) — to a
+// specific replica, and returns the placement for chaining. Without a
+// pin the owner defaults to the lowest-numbered node replicating x.
+// Ownerless protocols ignore pins. Validation (the owner must
+// replicate x) happens where the placement is installed, like Assign's.
+func (p *Placement) SetOwner(x string, node int) *Placement {
+	if node < 0 || node >= len(p.lists) {
+		panic(fmt.Sprintf("partialdsm: node %d out of range [0,%d)", node, len(p.lists)))
+	}
+	if p.owners == nil {
+		p.owners = make(map[string]int)
+	}
+	p.owners[x] = node
+	return p
+}
+
+// Owners returns a copy of the explicit owner pins; variables left on
+// the default owner are omitted.
+func (p *Placement) Owners() map[string]int {
+	out := make(map[string]int, len(p.owners))
+	for x, node := range p.owners {
+		out[x] = node
+	}
+	return out
 }
 
 // PlacementFromLists converts the raw per-node lists form — the
@@ -87,6 +116,21 @@ func (p *Placement) build() (*sharegraph.Placement, error) {
 			seen[v] = true
 		}
 		pl.Assign(node, vars...)
+	}
+	owned := make([]string, 0, len(p.owners))
+	for x := range p.owners {
+		owned = append(owned, x)
+	}
+	sort.Strings(owned)
+	for _, x := range owned {
+		node := p.owners[x]
+		if pl.VarID(x) < 0 {
+			return nil, fmt.Errorf("partialdsm: owner pinned for unknown variable %q", x)
+		}
+		if !pl.Holds(node, x) {
+			return nil, fmt.Errorf("partialdsm: owner %d of variable %q does not replicate it", node, x)
+		}
+		pl.SetOwner(x, node)
 	}
 	return pl, nil
 }

@@ -1,0 +1,373 @@
+// Placement policy: the decision layer above Cluster.Reconfigure.
+//
+// The mechanism half of dynamic placement (epoch reconfiguration,
+// state transfer, ownership handoff) lives in reconfigure.go and the
+// protocol packages; this file closes the loop. Every application
+// operation entering a NodeHandle bumps a per-(node, variable) access
+// counter — before access control, so denied demand is visible too —
+// and a Policy periodically turns a window of those counters into the
+// next Placement. AutoReconfigure installs it through the ordinary
+// Reconfigure handshake, and PolicyDriver paces the decisions on the
+// virtual clock so the whole loop stays deterministic: same seed, same
+// workload, same sequence of flips.
+package partialdsm
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// AccessCounts is a window of application demand handed to a Policy:
+// Reads[i][x] and Writes[i][x] count the operations node i issued on
+// variable x since the previous policy decision (attempts count even
+// when access control denied them — unmet demand is exactly what a
+// placement policy wants to see). Variables a node never touched in
+// the window are absent from its map.
+type AccessCounts struct {
+	Reads  []map[string]int64
+	Writes []map[string]int64
+}
+
+// read, write and total return the window counts for (node, x).
+func (a AccessCounts) read(i int, x string) int64  { return a.Reads[i][x] }
+func (a AccessCounts) write(i int, x string) int64 { return a.Writes[i][x] }
+func (a AccessCounts) total(i int, x string) int64 { return a.Reads[i][x] + a.Writes[i][x] }
+
+// Policy derives placement proposals from observed access demand. Plan
+// receives the currently installed placement and the access window
+// since the last decision, and returns the placement to install next —
+// or nil to leave the current one in force. Implementations must be
+// deterministic functions of their inputs (no map-iteration order, no
+// wall clock, no unseeded randomness): the policy loop is part of the
+// reproducible surface, and E22 compares its decisions byte-for-byte
+// across engines.
+type Policy interface {
+	Plan(cur *Placement, load AccessCounts) *Placement
+}
+
+// GreedyPolicy is the default placement policy: hot variables gain
+// replicas near their heaviest accessors, idle replicas are shed, and
+// each variable's owner (the Atomic primary / CacheConsistency
+// sequencer; ignored by the ownerless protocols) follows its dominant
+// writer. All knobs are hysteresis: a variable below MinTotal accesses
+// in the window is left exactly as it is, so a quiet system never
+// flips epochs.
+//
+// The zero value is usable: every read qualifies a gainer, only
+// completely idle replicas are shed, and cliques never shrink below
+// one replica.
+type GreedyPolicy struct {
+	// MinTotal is the minimum number of accesses (reads + writes,
+	// summed over all nodes) a variable needs in the window before the
+	// policy considers changing its assignment at all.
+	MinTotal int64
+	// HotThreshold is the minimum number of accesses (reads + writes) a
+	// non-replica node needs in the window to gain a replica (minimum
+	// 1: a node that never touched the variable gains nothing). Denied
+	// attempts count — a heavy writer locked out of the clique signals
+	// its demand through the attempts access control rejected, and the
+	// next decision lets it in.
+	HotThreshold int64
+	// MinShare additionally requires a gaining node to account for at
+	// least this fraction of the variable's total accesses in the
+	// window (0 disables the share test).
+	MinShare float64
+	// MaxReplicas caps a variable's clique size after gains
+	// (0 = unlimited).
+	MaxReplicas int
+	// IdleThreshold sheds a replica whose node made at most this many
+	// accesses in the window (the owner and the last MinReplicas
+	// members are never shed).
+	IdleThreshold int64
+	// MinReplicas is the clique size below which nothing is shed
+	// (minimum 1: a variable never loses its last replica).
+	MinReplicas int
+}
+
+// Plan implements Policy. Variables and nodes are visited in
+// deterministic order (the placement's variable order, node IDs
+// ascending); the returned placement is nil when nothing would change.
+func (g *GreedyPolicy) Plan(cur *Placement, load AccessCounts) *Placement {
+	numNodes := cur.NumNodes()
+	lists := cur.Lists()
+	owners := cur.Owners()
+
+	// Current membership, per variable in first-assignment order.
+	var vars []string
+	members := make(map[string][]int)
+	for node, vs := range lists {
+		for _, x := range vs {
+			if members[x] == nil {
+				vars = append(vars, x)
+			}
+			members[x] = append(members[x], node) // ascending: node loop ascends
+		}
+	}
+	sort.Strings(vars)
+
+	changed := false
+	nextMembers := make(map[string][]int, len(vars))
+	nextOwner := make(map[string]int, len(vars))
+	for _, x := range vars {
+		cliq := append([]int(nil), members[x]...)
+		owner, pinned := owners[x]
+		if !pinned {
+			owner = cliq[0] // the default owner: lowest replica
+		}
+		var total int64
+		for i := 0; i < numNodes; i++ {
+			total += load.total(i, x)
+		}
+		if total >= g.MinTotal && total > 0 {
+			in := make(map[int]bool, len(cliq))
+			for _, p := range cliq {
+				in[p] = true
+			}
+			// Gains: heavy accessors join the clique.
+			hot := g.HotThreshold
+			if hot < 1 {
+				hot = 1
+			}
+			for i := 0; i < numNodes; i++ {
+				if g.MaxReplicas > 0 && len(cliq) >= g.MaxReplicas {
+					break
+				}
+				if in[i] || load.total(i, x) < hot {
+					continue
+				}
+				if g.MinShare > 0 && float64(load.total(i, x)) < g.MinShare*float64(total) {
+					continue
+				}
+				cliq = append(cliq, i)
+				in[i] = true
+				changed = true
+			}
+			// Sheds: idle replicas leave, never the owner, never below
+			// the floor.
+			floor := g.MinReplicas
+			if floor < 1 {
+				floor = 1
+			}
+			kept := cliq[:0]
+			for _, p := range cliq {
+				if p != owner && load.total(p, x) <= g.IdleThreshold &&
+					len(kept)+sheddableAfter(cliq, p, owner, g.IdleThreshold, load, x) >= floor {
+					changed = true
+					continue
+				}
+				kept = append(kept, p)
+			}
+			cliq = kept
+			// Ownership follows the dominant writer among the members.
+			dom, domW := owner, load.write(owner, x)
+			for _, p := range cliq {
+				if w := load.write(p, x); w > domW || (w == domW && p < dom) {
+					dom, domW = p, w
+				}
+			}
+			if domW > load.write(owner, x) {
+				owner = dom
+				changed = true
+			}
+		}
+		sort.Ints(cliq)
+		nextMembers[x] = cliq
+		nextOwner[x] = owner
+	}
+	if !changed {
+		return nil
+	}
+	next := NewPlacement(numNodes)
+	for node := 0; node < numNodes; node++ {
+		for _, x := range vars {
+			for _, p := range nextMembers[x] {
+				if p == node {
+					next.Assign(node, x)
+				}
+			}
+		}
+	}
+	for _, x := range vars {
+		if owner := nextOwner[x]; owner != nextMembers[x][0] {
+			next.SetOwner(x, owner)
+		}
+	}
+	return next
+}
+
+// sheddableAfter counts the members after p (in clique order) that
+// would also survive the shed pass — the floor check needs to know how
+// many keepers remain, not how many members remain.
+func sheddableAfter(cliq []int, p, owner int, idle int64, load AccessCounts, x string) int {
+	n := 0
+	seen := false
+	for _, q := range cliq {
+		if q == p {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		if q == owner || load.total(q, x) > idle {
+			n++
+		}
+	}
+	return n
+}
+
+// initAccessCounters sizes the dense per-(node, variable) access
+// counters. The variable universe is fixed at construction (Reconfigure
+// preserves it), so the epoch-0 placement's variable order indexes the
+// counters for the cluster's whole lifetime.
+func (c *Cluster) initAccessCounters() {
+	vars := c.pl.Vars()
+	c.accessVar = make(map[string]int, len(vars))
+	for i, x := range vars {
+		c.accessVar[x] = i
+	}
+	n := c.pl.NumProcs() * len(vars)
+	c.readCounts = make([]uint32, n)
+	c.writeCounts = make([]uint32, n)
+	// prevReads/prevWrites are allocated by the first takeAccessWindow:
+	// only the policy loop needs window marks, and a cluster that never
+	// runs one should not pay for them at construction.
+}
+
+// countAccess bumps one access counter. Called from the NodeHandle
+// entry points before any access-control check, so the counters see
+// demand, not just granted operations. Unknown variables (an
+// application typo the protocol will reject anyway) are not counted.
+func (c *Cluster) countAccess(node int, x string, write bool) {
+	vid, ok := c.accessVar[x]
+	if !ok {
+		return
+	}
+	idx := node*len(c.accessVar) + vid
+	if write {
+		atomic.AddUint32(&c.writeCounts[idx], 1)
+	} else {
+		atomic.AddUint32(&c.readCounts[idx], 1)
+	}
+}
+
+// accessSnapshot copies the live counters (atomically per cell; the
+// matrix as a whole is a moving snapshot, which is fine for both Stats
+// and the policy window).
+func (c *Cluster) accessSnapshot() (reads, writes []uint32) {
+	reads = make([]uint32, len(c.readCounts))
+	writes = make([]uint32, len(c.writeCounts))
+	for i := range c.readCounts {
+		reads[i] = atomic.LoadUint32(&c.readCounts[i])
+		writes[i] = atomic.LoadUint32(&c.writeCounts[i])
+	}
+	return reads, writes
+}
+
+// accessMaps renders dense counter slices as per-node maps in the
+// AccessCounts shape, omitting zero cells.
+func (c *Cluster) accessMaps(reads, writes []uint32) AccessCounts {
+	numNodes := c.pl.NumProcs()
+	vars := c.pl.Vars()
+	out := AccessCounts{
+		Reads:  make([]map[string]int64, numNodes),
+		Writes: make([]map[string]int64, numNodes),
+	}
+	for i := 0; i < numNodes; i++ {
+		out.Reads[i] = make(map[string]int64)
+		out.Writes[i] = make(map[string]int64)
+		for vid, x := range vars {
+			if r := reads[i*len(vars)+vid]; r > 0 {
+				out.Reads[i][x] = int64(r)
+			}
+			if w := writes[i*len(vars)+vid]; w > 0 {
+				out.Writes[i][x] = int64(w)
+			}
+		}
+	}
+	return out
+}
+
+// takeAccessWindow returns the access counts accumulated since the
+// previous call (or since construction) and advances the window mark.
+// The uint32 subtraction is wraparound-safe: the live counters are
+// monotone, so cur-prev is the window count even across a wrap.
+func (c *Cluster) takeAccessWindow() AccessCounts {
+	reads, writes := c.accessSnapshot()
+	c.cmu.Lock()
+	if c.prevReads == nil {
+		c.prevReads = make([]uint32, len(reads))
+		c.prevWrites = make([]uint32, len(writes))
+	}
+	for i := range reads {
+		reads[i], c.prevReads[i] = reads[i]-c.prevReads[i], reads[i]
+		writes[i], c.prevWrites[i] = writes[i]-c.prevWrites[i], writes[i]
+	}
+	c.cmu.Unlock()
+	return c.accessMaps(reads, writes)
+}
+
+// AutoReconfigure runs one policy decision: the access window since
+// the previous decision is handed to p, and a proposal differing from
+// the installed placement is applied through Reconfigure. It reports
+// whether an epoch flip committed. A nil or no-op proposal returns
+// (false, nil) without touching the network; Reconfigure errors
+// (validation, in-progress recovery, abort on partition) surface
+// as-is.
+func (c *Cluster) AutoReconfigure(p Policy) (bool, error) {
+	load := c.takeAccessWindow()
+	next := p.Plan(c.Placement(), load)
+	if next == nil {
+		return false, nil
+	}
+	before := c.Epoch()
+	if err := c.Reconfigure(next); err != nil {
+		return false, err
+	}
+	return c.Epoch() != before, nil
+}
+
+// PolicyDriver paces AutoReconfigure on the virtual clock. There is no
+// background goroutine — determinism forbids one; the application (or
+// the experiment harness) calls Tick at natural points (between
+// workload phases, every N operations) and the driver decides whether
+// enough virtual time has passed since the last decision. The cadence
+// is the outermost hysteresis band: however noisy the counters, the
+// placement changes at most once per interval.
+type PolicyDriver struct {
+	c      *Cluster
+	policy Policy
+	every  uint64
+	due    uint64
+	flips  int
+}
+
+// NewPolicyDriver returns a driver applying p at most once per
+// everyTicks of virtual time, first at construction time + everyTicks.
+func (c *Cluster) NewPolicyDriver(p Policy, everyTicks uint64) *PolicyDriver {
+	return &PolicyDriver{
+		c:      c,
+		policy: p,
+		every:  everyTicks,
+		due:    c.net.Clock().Now() + everyTicks,
+	}
+}
+
+// Tick runs a policy decision when the cadence has elapsed, and
+// reports whether an epoch flip committed. Calls before the next due
+// time return (false, nil) immediately.
+func (d *PolicyDriver) Tick() (bool, error) {
+	now := d.c.net.Clock().Now()
+	if now < d.due {
+		return false, nil
+	}
+	d.due = now + d.every
+	changed, err := d.c.AutoReconfigure(d.policy)
+	if changed {
+		d.flips++
+	}
+	return changed, err
+}
+
+// Flips returns the number of epoch flips the driver has committed.
+func (d *PolicyDriver) Flips() int { return d.flips }

@@ -1,0 +1,136 @@
+package partialdsm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGreedyPolicyPlan exercises the pure decision function: gains for
+// hot non-members, sheds for idle replicas, ownership following the
+// dominant writer, and the leave-quiet-variables-alone hysteresis.
+func TestGreedyPolicyPlan(t *testing.T) {
+	cur := NewPlacement(3).
+		Assign(0, "x", "y", "q").
+		Assign(1, "x", "y", "q").
+		Assign(2, "y")
+	load := AccessCounts{
+		Reads: []map[string]int64{
+			{"x": 5},
+			{"x": 3},
+			{"x": 10}, // hot non-member: gains a replica
+		},
+		Writes: []map[string]int64{
+			{"y": 1},
+			{},       // idle on y: shed
+			{"y": 8}, // dominant writer: takes ownership
+		},
+	}
+	g := &GreedyPolicy{HotThreshold: 2}
+	next := g.Plan(cur, load)
+	if next == nil {
+		t.Fatal("Plan returned nil for a load that demands changes")
+	}
+	wantLists := [][]string{{"q", "x", "y"}, {"q", "x"}, {"x", "y"}}
+	if got := next.Lists(); !reflect.DeepEqual(got, wantLists) {
+		t.Errorf("Plan lists = %v, want %v", got, wantLists)
+	}
+	if got := next.Owners(); len(got) != 1 || got["y"] != 2 {
+		t.Errorf("Plan owners = %v, want y pinned to 2", got)
+	}
+
+	// A zero window changes nothing.
+	idle := AccessCounts{
+		Reads:  make([]map[string]int64, 3),
+		Writes: make([]map[string]int64, 3),
+	}
+	if next := g.Plan(cur, idle); next != nil {
+		t.Errorf("Plan on an idle window = %v, want nil", next)
+	}
+
+	// MinTotal hysteresis: the same load below the floor is ignored.
+	cold := &GreedyPolicy{MinTotal: 100, HotThreshold: 2}
+	if next := cold.Plan(cur, load); next != nil {
+		t.Errorf("Plan below MinTotal = %v, want nil", next)
+	}
+}
+
+// TestAutoReconfigureAdapts closes the loop end to end: denied reads
+// at a non-replica node are counted as demand, one policy decision
+// grants the replica through a live epoch flip, and the node reads the
+// migrated value.
+func TestAutoReconfigureAdapts(t *testing.T) {
+	c := newReconfigCluster(t, Atomic)
+	defer c.Close()
+	if err := c.Node(0).Write("x", 41); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Node(2).Read("x"); err == nil {
+			t.Fatal("read of x at non-replica 2 succeeded before the flip")
+		}
+	}
+	if got := c.Stats().ReadCounts[2]["x"]; got != 3 {
+		t.Fatalf("denied reads not counted: ReadCounts[2][x] = %d, want 3", got)
+	}
+	changed, err := c.AutoReconfigure(&GreedyPolicy{HotThreshold: 2})
+	if err != nil {
+		t.Fatalf("AutoReconfigure: %v", err)
+	}
+	if !changed {
+		t.Fatal("AutoReconfigure did not flip despite hot denied demand")
+	}
+	if !c.Holds(2, "x") {
+		t.Fatal("node 2 did not gain the x replica")
+	}
+	if v, err := c.Node(2).Read("x"); err != nil || v != 41 {
+		t.Fatalf("gained replica reads x=%d, %v; want 41", v, err)
+	}
+	// The window was consumed: a second decision with no new traffic
+	// leaves the placement alone.
+	epoch := c.Epoch()
+	if changed, err := c.AutoReconfigure(&GreedyPolicy{HotThreshold: 2}); err != nil || changed {
+		t.Fatalf("idle AutoReconfigure = (%v, %v), want (false, nil)", changed, err)
+	}
+	if c.Epoch() != epoch {
+		t.Fatalf("epoch moved on an idle decision")
+	}
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatalf("witness after policy flip: %v", err)
+	}
+}
+
+// TestPolicyDriverCadence checks the virtual-time pacing: a driver
+// whose interval has not elapsed refuses to decide, one whose interval
+// has elapsed flips and counts it.
+func TestPolicyDriverCadence(t *testing.T) {
+	c := newReconfigCluster(t, PRAM)
+	defer c.Close()
+	if err := c.Node(0).Write("x", 7); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		c.Node(2).Read("x") // denied: node 2 does not hold x
+	}
+	pol := &GreedyPolicy{HotThreshold: 2}
+	far := c.NewPolicyDriver(pol, 1<<60)
+	if changed, err := far.Tick(); err != nil || changed {
+		t.Fatalf("Tick before the cadence elapsed = (%v, %v), want (false, nil)", changed, err)
+	}
+	if far.Flips() != 0 {
+		t.Fatalf("far driver flips = %d, want 0", far.Flips())
+	}
+	due := c.NewPolicyDriver(pol, 0)
+	changed, err := due.Tick()
+	if err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if !changed || due.Flips() != 1 {
+		t.Fatalf("due driver: changed=%v flips=%d, want true/1", changed, due.Flips())
+	}
+	if !c.Holds(2, "x") {
+		t.Fatal("policy flip did not grant node 2 the x replica")
+	}
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+}

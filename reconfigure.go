@@ -26,10 +26,15 @@ import (
 // seed either always or never expires a given attempt.
 const DefaultReconfigTicks = 1 << 22
 
-// reconfigurable is implemented by the protocol nodes that support
-// epoch-based runtime reconfiguration (PRAM, Slow, the causal family,
-// Sequential). Atomic and CacheConsistency do not: their per-variable
-// primaries and sequencers are fixed at construction.
+// errRecoveryInProgress tags rejections caused by an unfinished crash
+// recovery, so callers can distinguish "retry after Quiesce" from a
+// malformed proposal.
+var errRecoveryInProgress = errors.New("a crash recovery is in progress")
+
+// reconfigurable is implemented by every protocol node: all eight
+// protocols support epoch-based runtime reconfiguration, including the
+// owner protocols (Atomic, CacheConsistency), whose per-variable
+// primary/sequencer migrates through the same handshake.
 type reconfigurable interface{ ReconfigEngine() *mcs.Reconfig }
 
 // Epoch returns the committed placement epoch the cluster serves.
@@ -42,29 +47,34 @@ func (c *Cluster) Epoch() uint64 {
 	return c.epoch
 }
 
-// Placement returns the current epoch's placement as a deep copy.
+// Placement returns the current epoch's placement as a deep copy,
+// owner pins included for variables not on their default owner.
 func (c *Cluster) Placement() *Placement {
 	c.cmu.Lock()
 	defer c.cmu.Unlock()
-	return PlacementFromLists(c.cpl.Lists())
+	return placementOf(c.cpl)
 }
 
-// reconfigEngines collects every node's reconfiguration engine, or
-// explains why the cluster's protocol cannot reconfigure.
+// placementOf converts an internal placement back to the public form,
+// pinning every variable whose effective owner differs from the
+// default (lowest clique member).
+func placementOf(sg *sharegraph.Placement) *Placement {
+	p := PlacementFromLists(sg.Lists())
+	for _, x := range sg.Vars() {
+		if cx := sg.Clique(x); len(cx) > 0 && sg.Owner(x) != cx[0] {
+			p.SetOwner(x, sg.Owner(x))
+		}
+	}
+	return p
+}
+
+// reconfigEngines collects every node's reconfiguration engine.
 func (c *Cluster) reconfigEngines() ([]*mcs.Reconfig, error) {
 	engs := make([]*mcs.Reconfig, len(c.nodes))
 	for i, n := range c.nodes {
 		re, ok := n.(reconfigurable)
 		if !ok {
-			role := "topology"
-			switch c.cfg.Consistency {
-			case Atomic:
-				role = "per-variable primary assignment"
-			case CacheConsistency:
-				role = "per-variable sequencer assignment"
-			}
-			return nil, fmt.Errorf("partialdsm: %s does not support runtime reconfiguration: its %s is fixed at construction and would need an ownership handoff protocol",
-				c.cfg.Consistency, role)
+			return nil, fmt.Errorf("partialdsm: %s does not support runtime reconfiguration", c.cfg.Consistency)
 		}
 		engs[i] = re.ReconfigEngine()
 	}
@@ -86,11 +96,10 @@ func (c *Cluster) reconfigEngines() ([]*mcs.Reconfig, error) {
 // notifications may still be draining; Quiesce to settle them). A nil
 // error means the cluster serves the new epoch. The proposal must
 // keep the node count and the variable universe; an attempt already
-// in progress, a node still running crash recovery, a non-FIFO
-// network, and a protocol without reconfiguration support (Atomic,
-// CacheConsistency) are each rejected with a descriptive error.
-// Reconfiguring to the placement already installed is a no-op: nil,
-// zero messages.
+// in progress, a live node still running crash recovery, and a
+// non-FIFO network are each rejected with a descriptive error.
+// Reconfiguring to the placement already installed (same replica sets,
+// same effective owners) is a no-op: nil, zero messages.
 //
 // An attempt that exceeds DefaultReconfigTicks of virtual time is
 // resolved by force — committed everywhere if the coordinator had
@@ -122,7 +131,12 @@ func (c *Cluster) Reconfigure(next *Placement) error {
 	}
 	for i, n := range c.nodes {
 		cr, ok := n.(mcs.CrashRestarter)
-		if !ok {
+		if !ok || c.crashed[i] {
+			// A node that re-crashed before finishing its recovery
+			// handshake keeps its elevated expectation until the next
+			// restart; it is excluded from the attempt anyway, so it must
+			// not block reconfiguration (it would otherwise block its own
+			// Failover forever).
 			continue
 		}
 		if recs, _ := cr.RecoveryStats(); recs < c.recoverWant[i] {
@@ -200,6 +214,7 @@ func (c *Cluster) Reconfigure(next *Placement) error {
 	c.ix = nix
 	c.cpl = sg
 	c.epoch = attempt
+	c.ownerHist = append(c.ownerHist, nix)
 	return nil
 }
 
@@ -208,14 +223,22 @@ func (c *Cluster) Reconfigure(next *Placement) error {
 // node with the fewest assigned variables that does not already hold
 // it (ties to the lowest id), keeping every variable's replication
 // degree. Variables every survivor already replicates simply lose i's
-// copy. The plan treats i as crashed whether or not it already is, so
-// it can be computed ahead of an anticipated failure.
+// copy. Surviving owner pins carry over; variables i owned fall back
+// to the new epoch's default owner. The plan treats i as crashed
+// whether or not it already is, so it can be computed ahead of an
+// anticipated failure.
 func (c *Cluster) FailoverPlacement(i int) (*Placement, error) {
 	if i < 0 || i >= len(c.nodes) {
 		return nil, fmt.Errorf("partialdsm: node %d out of range [0,%d)", i, len(c.nodes))
 	}
 	c.cmu.Lock()
 	lists := c.cpl.Lists()
+	owners := make(map[string]int)
+	for _, x := range c.cpl.Vars() {
+		if cx := c.cpl.Clique(x); len(cx) > 0 && c.cpl.Owner(x) != cx[0] {
+			owners[x] = c.cpl.Owner(x)
+		}
+	}
 	crashed := append([]bool(nil), c.crashed...)
 	c.cmu.Unlock()
 	crashed[i] = true
@@ -253,7 +276,20 @@ func (c *Cluster) FailoverPlacement(i int) (*Placement, error) {
 		holds[best][x] = true
 		load[best]++
 	}
-	return PlacementFromLists(lists), nil
+	out := PlacementFromLists(lists)
+	// Surviving non-default owners stay pinned (the survivors keep
+	// their replicas, so every pin not naming i is still a holder).
+	pinned := make([]string, 0, len(owners))
+	for x := range owners {
+		pinned = append(pinned, x)
+	}
+	sort.Strings(pinned)
+	for _, x := range pinned {
+		if owners[x] != i {
+			out.SetOwner(x, owners[x])
+		}
+	}
+	return out, nil
 }
 
 // Failover re-places a crashed node's variables onto the survivors
@@ -261,16 +297,33 @@ func (c *Cluster) FailoverPlacement(i int) (*Placement, error) {
 // The node must actually be crashed — the live nodes transfer what
 // state they have and the moved variables stay writable while the
 // node is down; when it restarts, it recovers under the new epoch's
-// placement.
+// placement. A failover proposed while another node's peers are still
+// mid-state-transfer (a restarted node whose recovery handshake has
+// not finished) is rejected descriptively: the transfer holds state
+// the migration would need settled.
 func (c *Cluster) Failover(i int) error {
 	if i < 0 || i >= len(c.nodes) {
 		return fmt.Errorf("partialdsm: node %d out of range [0,%d)", i, len(c.nodes))
 	}
 	c.cmu.Lock()
 	down := c.crashed[i]
+	var recovering []int
+	for j, n := range c.nodes {
+		cr, ok := n.(mcs.CrashRestarter)
+		if !ok || c.crashed[j] {
+			continue
+		}
+		if recs, _ := cr.RecoveryStats(); recs < c.recoverWant[j] {
+			recovering = append(recovering, j)
+		}
+	}
 	c.cmu.Unlock()
 	if !down {
 		return fmt.Errorf("partialdsm: node %d is not crashed; Failover re-places a crashed node's variables", i)
+	}
+	if len(recovering) > 0 {
+		return fmt.Errorf("partialdsm: cannot fail over node %d while node %d's peers are mid-state-transfer; Quiesce before failing over: %w",
+			i, recovering[0], errRecoveryInProgress)
 	}
 	pl, err := c.FailoverPlacement(i)
 	if err != nil {
@@ -331,8 +384,9 @@ func (c *Cluster) installCurrentEpoch(i int) {
 	}
 	c.cmu.Lock()
 	ix := c.ix
+	burned := c.attempt
 	c.cmu.Unlock()
-	re.ReconfigEngine().InstallCurrent(ix)
+	re.ReconfigEngine().InstallCurrent(ix, burned)
 }
 
 // extendUnionsLocked admits a placement's cliques and relevance sets

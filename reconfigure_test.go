@@ -9,8 +9,13 @@ import (
 )
 
 // reconfigProtocols are the configurations that support epoch-based
-// runtime reconfiguration.
-var reconfigProtocols = []Consistency{PRAM, Slow, CausalFull, CausalPartial, CausalHoopAware, Sequential}
+// runtime reconfiguration — since v10, all of them. The owner-based
+// protocols (Atomic, CacheConsistency) migrate their per-variable
+// primary/sequencer alongside the replica cliques.
+var reconfigProtocols = []Consistency{
+	PRAM, Slow, CausalFull, CausalPartial, CausalHoopAware, Sequential,
+	Atomic, CacheConsistency,
+}
 
 // newReconfigCluster builds a 3-node virtual-latency cluster with
 // x on {0,1} and y on {1,2}.
@@ -101,6 +106,8 @@ func TestReconfigureValidation(t *testing.T) {
 		{"added variable", NewPlacement(3).Assign(0, "x", "z").Assign(1, "x", "y").Assign(2, "y", "z"), `adds variable "z"`},
 		{"empty name", NewPlacement(3).Assign(0, "x", "").Assign(1, "x", "y").Assign(2, "y"), "empty variable name"},
 		{"duplicate name", NewPlacement(3).Assign(0, "x", "x").Assign(1, "x", "y").Assign(2, "y"), "more than once"},
+		{"owner of unknown variable", NewPlacement(3).Assign(0, "x").Assign(1, "x", "y").Assign(2, "y").SetOwner("z", 0), `owner pinned for unknown variable "z"`},
+		{"owner not replicating", NewPlacement(3).Assign(0, "x").Assign(1, "x", "y").Assign(2, "y").SetOwner("x", 2), "does not replicate it"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,24 +120,6 @@ func TestReconfigureValidation(t *testing.T) {
 	if got := c.Epoch(); got != 0 {
 		t.Fatalf("rejected attempts moved the epoch to %d", got)
 	}
-
-	t.Run("unsupported protocols", func(t *testing.T) {
-		for _, cons := range []Consistency{Atomic, CacheConsistency} {
-			uc, err := New(Config{
-				Consistency:    cons,
-				Placement:      NewPlacement(2).Assign(0, "x").Assign(1, "x"),
-				VirtualLatency: true,
-			})
-			if err != nil {
-				t.Fatalf("New(%s): %v", cons, err)
-			}
-			err = uc.Reconfigure(NewPlacement(2).Assign(0, "x").Assign(1, "x"))
-			uc.Close()
-			if err == nil || !strings.Contains(err.Error(), "does not support runtime reconfiguration") {
-				t.Fatalf("%s Reconfigure = %v; want unsupported error", cons, err)
-			}
-		}
-	})
 
 	t.Run("non-FIFO", func(t *testing.T) {
 		nc, err := New(Config{
@@ -148,6 +137,63 @@ func TestReconfigureValidation(t *testing.T) {
 			t.Fatalf("Reconfigure on non-FIFO = %v; want FIFO error", err)
 		}
 	})
+}
+
+// TestReconfigureMovesOwner walks x's owner — the per-variable primary
+// (Atomic) or sequencer (CacheConsistency) — across the whole clique in
+// back-to-back flips 0→1→2 without changing the replica sets. Each
+// handoff must carry the committed value to the new owner, keep writes
+// flowing under the new epoch, and leave a witness-consistent history.
+func TestReconfigureMovesOwner(t *testing.T) {
+	for _, cons := range []Consistency{Atomic, CacheConsistency} {
+		t.Run(string(cons), func(t *testing.T) {
+			c, err := New(Config{
+				Consistency: cons,
+				Placement: NewPlacement(3).
+					Assign(0, "x").Assign(1, "x").Assign(2, "x"),
+				VirtualLatency: true,
+				Seed:           9,
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer c.Close()
+			if err := c.Node(0).Write("x", 1); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if err := c.Quiesce(); err != nil {
+				t.Fatalf("quiesce: %v", err)
+			}
+			for step, owner := range []int{1, 2} {
+				next := NewPlacement(3).
+					Assign(0, "x").Assign(1, "x").Assign(2, "x").
+					SetOwner("x", owner)
+				if err := c.Reconfigure(next); err != nil {
+					t.Fatalf("handoff to %d: %v", owner, err)
+				}
+				if got := c.Placement().Owners()["x"]; got != owner {
+					t.Fatalf("owner after handoff = %d; want %d", got, owner)
+				}
+				v := int64(step + 2)
+				// Write from a non-owner so the round trip crosses the
+				// freshly installed owner.
+				if err := c.Node((owner+1)%3).Write("x", v); err != nil {
+					t.Fatalf("write under owner %d: %v", owner, err)
+				}
+				if err := c.Quiesce(); err != nil {
+					t.Fatalf("quiesce: %v", err)
+				}
+				for i := 0; i < 3; i++ {
+					if got, err := c.Node(i).Read("x"); err != nil || got != v {
+						t.Fatalf("node %d reads x=%d, %v; want %d", i, got, err, v)
+					}
+				}
+			}
+			if err := c.VerifyWitness(); err != nil {
+				t.Fatalf("witness after owner walk: %v", err)
+			}
+		})
+	}
 }
 
 // TestReconfigureNoop checks that reconfiguring to the placement
@@ -463,6 +509,88 @@ func TestReconfigureCoordinatorCrash(t *testing.T) {
 	}
 }
 
+// TestReconfigureOwnerCrashMidHandoff crashes the gaining owner while
+// the ownership-handoff proposal is in flight to it, for both owner
+// protocols: the attempt must abort with the old epoch — and the old
+// owner's authority — fully intact, and the same handoff must succeed
+// once the node is restarted and recovered.
+func TestReconfigureOwnerCrashMidHandoff(t *testing.T) {
+	for _, cons := range []Consistency{Atomic, CacheConsistency} {
+		t.Run(string(cons), func(t *testing.T) {
+			c := newReconfigCluster(t, cons)
+			defer c.Close()
+			if err := c.Node(0).Write("x", 31); err != nil {
+				t.Fatalf("write x: %v", err)
+			}
+			if err := c.Quiesce(); err != nil {
+				t.Fatalf("quiesce: %v", err)
+			}
+			// Walk x's ownership 0→1 inside its unchanged clique, but
+			// park the proposal on the paused link and crash the gaining
+			// owner before it can participate.
+			c.PauseLink(0, 1)
+			next := NewPlacement(3).
+				Assign(0, "x").Assign(1, "x", "y").Assign(2, "y").
+				SetOwner("x", 1)
+			recErr := make(chan error, 1)
+			go func() { recErr <- c.Reconfigure(next) }()
+			deadline := time.Now().Add(10 * time.Second)
+			for c.Stats().MsgsByKind["epoch.propose"] == 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("handoff never started")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err := c.CrashNode(1); err != nil {
+				t.Fatalf("crash gaining owner: %v", err)
+			}
+			c.ResumeLink(0, 1) // frames to the crashed node are lost
+			if err := <-recErr; !errors.Is(err, ErrOpDeadline) {
+				t.Fatalf("Reconfigure with crashed gainer = %v; want ErrOpDeadline", err)
+			}
+			if c.Epoch() != 0 {
+				t.Fatalf("aborted handoff moved the epoch to %d", c.Epoch())
+			}
+			if len(c.Placement().Owners()) != 0 {
+				t.Fatalf("aborted handoff pinned owners %v", c.Placement().Owners())
+			}
+			// The old owner kept its authority: writes and reads at node
+			// 0 flow without touching the dead gainer.
+			if err := c.Node(0).Write("x", 32); err != nil {
+				t.Fatalf("write under old epoch: %v", err)
+			}
+			if v, err := c.Node(0).Read("x"); err != nil || v != 32 {
+				t.Fatalf("old owner reads x=%d, %v; want 32", v, err)
+			}
+			if err := c.RestartNode(1); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			if err := c.Quiesce(); err != nil {
+				t.Fatalf("quiesce: %v", err)
+			}
+			// The recovered node can now take the handoff for real.
+			if err := c.Reconfigure(next); err != nil {
+				t.Fatalf("Reconfigure after restart: %v", err)
+			}
+			if own := c.Placement().Owners(); own["x"] != 1 {
+				t.Fatalf("owners after handoff = %v; want x pinned to 1", own)
+			}
+			if err := c.Node(0).Write("x", 33); err != nil {
+				t.Fatalf("write under new owner: %v", err)
+			}
+			if err := c.Quiesce(); err != nil {
+				t.Fatalf("quiesce: %v", err)
+			}
+			if v, err := c.Node(1).Read("x"); err != nil || v != 33 {
+				t.Fatalf("new owner reads x=%d, %v; want 33", v, err)
+			}
+			if err := c.VerifyWitness(); err != nil {
+				t.Fatalf("witness: %v", err)
+			}
+		})
+	}
+}
+
 // TestFailoverReplacesCrashedNode crashes the node holding y's only
 // surviving peer copy and z's only copy, fails it over, and checks the
 // moved variables: transferred where a live donor existed, ⊥ where
@@ -531,6 +659,80 @@ func TestFailoverReplacesCrashedNode(t *testing.T) {
 	}
 	if err := c.VerifyWitness(); err != nil {
 		t.Fatalf("witness after failover: %v", err)
+	}
+}
+
+// TestFailoverDuringRecoveryRejected checks that Failover refuses to
+// migrate while another node's crash recovery is still mid-state-
+// transfer: the peers hold snapshot state the migration would need
+// settled. Once the handshake drains, the same failover succeeds.
+func TestFailoverDuringRecoveryRejected(t *testing.T) {
+	c, err := New(Config{
+		Consistency: PRAM,
+		Placement: NewPlacement(3).
+			Assign(0, "x", "y").Assign(1, "x").Assign(2, "y"),
+		VirtualLatency: true,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	if err := c.Node(0).Write("x", 1); err != nil {
+		t.Fatalf("write x: %v", err)
+	}
+	if err := c.Node(0).Write("y", 2); err != nil {
+		t.Fatalf("write y: %v", err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	// Put node 1 into an unfinished recovery: crash it, park its
+	// snapshot requests on the paused link, restart it. Its only
+	// recovery donor is node 0, so the handshake cannot progress.
+	if err := c.CrashNode(1); err != nil {
+		t.Fatalf("crash 1: %v", err)
+	}
+	c.PauseLink(1, 0)
+	if err := c.RestartNode(1); err != nil {
+		t.Fatalf("restart 1: %v", err)
+	}
+	// Crash the failover target while node 1 is still recovering.
+	if err := c.CrashNode(2); err != nil {
+		t.Fatalf("crash 2: %v", err)
+	}
+	if err := c.Failover(2); !errors.Is(err, errRecoveryInProgress) {
+		t.Fatalf("Failover during recovery = %v; want errRecoveryInProgress", err)
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("rejected failover moved the epoch to %d", c.Epoch())
+	}
+	c.ResumeLink(1, 0)
+	if err := c.Quiesce(); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	// With the handshake settled, the failover goes through: y's
+	// surviving copy on node 0 is transferred to node 1.
+	if err := c.Failover(2); err != nil {
+		t.Fatalf("Failover after recovery: %v", err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	if c.Holds(2, "y") || !c.Holds(1, "y") {
+		t.Fatalf("failover did not move y: clique %v", c.Clique("y"))
+	}
+	if v, err := c.Node(1).Read("y"); err != nil || v != 2 {
+		t.Fatalf("moved replica reads y=%d, %v; want 2", v, err)
+	}
+	if err := c.RestartNode(2); err != nil {
+		t.Fatalf("restart 2: %v", err)
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	if err := c.VerifyWitness(); err != nil {
+		t.Fatalf("witness: %v", err)
 	}
 }
 
